@@ -1,0 +1,560 @@
+//! OpenMP AST nodes: directives, clauses, the classic `OMPLoopDirective`
+//! shadow helper bundle, and the `OMPCanonicalLoop` meta node — the two
+//! representations the paper contrasts.
+
+use crate::decl::VarDecl;
+use crate::expr::Expr;
+use crate::stmt::{CapturedStmt, Stmt};
+use crate::P;
+use omplt_source::SourceLocation;
+
+/// Directive kinds (the class-hierarchy leaves of the paper's Fig. 3/5).
+///
+/// The is-a relations of Clang's hierarchy are encoded by the predicate
+/// methods: every kind is an `OMPExecutableDirective`;
+/// [`OMPDirectiveKind::is_loop_based`] corresponds to deriving from the new
+/// `OMPLoopBasedDirective` base class; [`OMPDirectiveKind::is_loop_directive`]
+/// to the classic `OMPLoopDirective` (which carries the shadow helper
+/// bundle); and [`OMPDirectiveKind::is_loop_transformation`] marks the two
+/// new OpenMP 5.1 transformation directives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OMPDirectiveKind {
+    /// `#pragma omp parallel`.
+    Parallel,
+    /// `#pragma omp for`.
+    For,
+    /// `#pragma omp parallel for` (combined).
+    ParallelFor,
+    /// `#pragma omp simd`.
+    Simd,
+    /// `#pragma omp taskloop`.
+    Taskloop,
+    /// `#pragma omp unroll` (loop transformation, OpenMP 5.1).
+    Unroll,
+    /// `#pragma omp tile` (loop transformation, OpenMP 5.1).
+    Tile,
+}
+
+impl OMPDirectiveKind {
+    /// Directive name as written in source.
+    pub fn name(self) -> &'static str {
+        match self {
+            OMPDirectiveKind::Parallel => "parallel",
+            OMPDirectiveKind::For => "for",
+            OMPDirectiveKind::ParallelFor => "parallel for",
+            OMPDirectiveKind::Simd => "simd",
+            OMPDirectiveKind::Taskloop => "taskloop",
+            OMPDirectiveKind::Unroll => "unroll",
+            OMPDirectiveKind::Tile => "tile",
+        }
+    }
+
+    /// Clang AST class name.
+    pub fn class_name(self) -> &'static str {
+        match self {
+            OMPDirectiveKind::Parallel => "OMPParallelDirective",
+            OMPDirectiveKind::For => "OMPForDirective",
+            OMPDirectiveKind::ParallelFor => "OMPParallelForDirective",
+            OMPDirectiveKind::Simd => "OMPSimdDirective",
+            OMPDirectiveKind::Taskloop => "OMPTaskLoopDirective",
+            OMPDirectiveKind::Unroll => "OMPUnrollDirective",
+            OMPDirectiveKind::Tile => "OMPTileDirective",
+        }
+    }
+
+    /// Is-a `OMPLoopBasedDirective` (associates with a canonical loop nest).
+    pub fn is_loop_based(self) -> bool {
+        !matches!(self, OMPDirectiveKind::Parallel)
+    }
+
+    /// Is-a classic `OMPLoopDirective` (worksharing/simd/taskloop family,
+    /// carries the full shadow helper bundle in classic mode).
+    pub fn is_loop_directive(self) -> bool {
+        matches!(
+            self,
+            OMPDirectiveKind::For
+                | OMPDirectiveKind::ParallelFor
+                | OMPDirectiveKind::Simd
+                | OMPDirectiveKind::Taskloop
+        )
+    }
+
+    /// One of the OpenMP 5.1 loop transformation directives.
+    pub fn is_loop_transformation(self) -> bool {
+        matches!(self, OMPDirectiveKind::Unroll | OMPDirectiveKind::Tile)
+    }
+
+    /// Whether the associated region is outlined into a `CapturedStmt`.
+    /// Loop transformations must *not* capture (paper §2.1: "it is
+    /// imperative to not wrap the code in a CapturedStmt").
+    pub fn captures_associated(self) -> bool {
+        !self.is_loop_transformation()
+    }
+
+    /// Whether the directive forks a thread team.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor)
+    }
+
+    /// Whether the directive workshares iterations across a team.
+    pub fn is_worksharing(self) -> bool {
+        matches!(self, OMPDirectiveKind::For | OMPDirectiveKind::ParallelFor)
+    }
+}
+
+/// `schedule(...)` kinds (only `static` is lowered; others parse and are
+/// diagnosed as unsupported).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum ScheduleKind {
+    Static,
+    Dynamic,
+    Guided,
+    Auto,
+    Runtime,
+}
+
+impl ScheduleKind {
+    /// Source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::Static => "static",
+            ScheduleKind::Dynamic => "dynamic",
+            ScheduleKind::Guided => "guided",
+            ScheduleKind::Auto => "auto",
+            ScheduleKind::Runtime => "runtime",
+        }
+    }
+}
+
+/// Reduction operators supported in `reduction(op: vars)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum ReductionOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl ReductionOp {
+    /// Source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
+            ReductionOp::Min => "min",
+            ReductionOp::Max => "max",
+        }
+    }
+}
+
+/// Clause kinds (paper Fig. 4: `OMPFullClause`, `OMPPartialClause`,
+/// `OMPSizesClause` join the existing clause hierarchy).
+#[derive(Clone, Debug)]
+pub enum OMPClauseKind {
+    /// `schedule(kind[, chunk])`.
+    Schedule {
+        /// Schedule policy.
+        kind: ScheduleKind,
+        /// Optional chunk size.
+        chunk: Option<P<Expr>>,
+    },
+    /// `collapse(n)`.
+    Collapse(P<Expr>),
+    /// `num_threads(n)`.
+    NumThreads(P<Expr>),
+    /// `full` (unroll completely).
+    Full,
+    /// `partial` / `partial(factor)`.
+    Partial(Option<P<Expr>>),
+    /// `sizes(s1, s2, …)`.
+    Sizes(Vec<P<Expr>>),
+    /// `private(vars)`.
+    Private(Vec<P<Expr>>),
+    /// `firstprivate(vars)`.
+    FirstPrivate(Vec<P<Expr>>),
+    /// `shared(vars)`.
+    Shared(Vec<P<Expr>>),
+    /// `reduction(op: vars)`.
+    Reduction {
+        /// Combiner.
+        op: ReductionOp,
+        /// Reduced variables.
+        vars: Vec<P<Expr>>,
+    },
+    /// `nowait`.
+    Nowait,
+    /// `grainsize(n)` for `taskloop`.
+    Grainsize(P<Expr>),
+}
+
+impl OMPClauseKind {
+    /// Clang AST class name.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            OMPClauseKind::Schedule { .. } => "OMPScheduleClause",
+            OMPClauseKind::Collapse(_) => "OMPCollapseClause",
+            OMPClauseKind::NumThreads(_) => "OMPNumThreadsClause",
+            OMPClauseKind::Full => "OMPFullClause",
+            OMPClauseKind::Partial(_) => "OMPPartialClause",
+            OMPClauseKind::Sizes(_) => "OMPSizesClause",
+            OMPClauseKind::Private(_) => "OMPPrivateClause",
+            OMPClauseKind::FirstPrivate(_) => "OMPFirstprivateClause",
+            OMPClauseKind::Shared(_) => "OMPSharedClause",
+            OMPClauseKind::Reduction { .. } => "OMPReductionClause",
+            OMPClauseKind::Nowait => "OMPNowaitClause",
+            OMPClauseKind::Grainsize(_) => "OMPGrainsizeClause",
+        }
+    }
+
+    /// Clause name as written in source.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OMPClauseKind::Schedule { .. } => "schedule",
+            OMPClauseKind::Collapse(_) => "collapse",
+            OMPClauseKind::NumThreads(_) => "num_threads",
+            OMPClauseKind::Full => "full",
+            OMPClauseKind::Partial(_) => "partial",
+            OMPClauseKind::Sizes(_) => "sizes",
+            OMPClauseKind::Private(_) => "private",
+            OMPClauseKind::FirstPrivate(_) => "firstprivate",
+            OMPClauseKind::Shared(_) => "shared",
+            OMPClauseKind::Reduction { .. } => "reduction",
+            OMPClauseKind::Nowait => "nowait",
+            OMPClauseKind::Grainsize(_) => "grainsize",
+        }
+    }
+}
+
+/// A clause node.
+#[derive(Clone, Debug)]
+pub struct OMPClause {
+    /// Kind and arguments.
+    pub kind: OMPClauseKind,
+    /// Source position of the clause name.
+    pub loc: SourceLocation,
+}
+
+impl OMPClause {
+    /// Wraps a kind into a counted pointer.
+    pub fn new(kind: OMPClauseKind, loc: SourceLocation) -> P<OMPClause> {
+        P::new(OMPClause { kind, loc })
+    }
+}
+
+/// Per-associated-loop helper nodes of the classic `OMPLoopDirective`
+/// representation — the paper counts "6 for each loop in the associated
+/// loop nest".
+#[derive(Debug)]
+pub struct PerLoopHelpers {
+    /// The loop's own counter variable.
+    pub counter: P<VarDecl>,
+    /// The privatized copy used inside the region.
+    pub private_counter: P<VarDecl>,
+    /// Counter initialization expression (counter = lb).
+    pub init: P<Expr>,
+    /// Counter update from the logical iteration number.
+    pub update: P<Expr>,
+    /// Value of the counter after the loop ("final").
+    pub final_value: P<Expr>,
+    /// The loop's step as an expression.
+    pub step: P<Expr>,
+}
+
+impl PerLoopHelpers {
+    /// Number of shadow nodes this bundle contributes (for the paper's
+    /// 30 + 6·loops count).
+    pub const NODE_COUNT: usize = 6;
+}
+
+/// The loop-nest-wide helper nodes of the classic `OMPLoopDirective`
+/// representation — "up to 30 shadow AST statements for representing a loop
+/// nest" (paper §1.2). Every field is code-generation material produced in
+/// Sema and hidden from `children()`.
+#[derive(Debug)]
+pub struct LoopDirectiveHelpers {
+    /// The normalized logical iteration variable (`.omp.iv`).
+    pub iteration_variable: P<VarDecl>,
+    /// Total number of logical iterations (the distance).
+    pub num_iterations: P<Expr>,
+    /// `num_iterations - 1`.
+    pub last_iteration: P<Expr>,
+    /// Expression recomputing `last_iteration` (Clang: `CalcLastIteration`).
+    pub calc_last_iteration: P<Expr>,
+    /// `0 < num_iterations` — guards the whole construct.
+    pub precondition: P<Expr>,
+    /// `iv = 0`.
+    pub init: P<Expr>,
+    /// `iv < num_iterations`.
+    pub cond: P<Expr>,
+    /// `iv = iv + 1`.
+    pub inc: P<Expr>,
+    /// Worksharing lower bound variable (`.omp.lb`).
+    pub lower_bound: P<VarDecl>,
+    /// Worksharing upper bound variable (`.omp.ub`).
+    pub upper_bound: P<VarDecl>,
+    /// Worksharing stride variable (`.omp.stride`).
+    pub stride: P<VarDecl>,
+    /// Is-last-iteration flag variable (`.omp.is_last`).
+    pub is_last_iter_variable: P<VarDecl>,
+    /// `iv = lb` for the worksharing inner loop.
+    pub workshare_init: P<Expr>,
+    /// `iv <= ub` for the worksharing inner loop (Clang: `Cond` with bounds).
+    pub workshare_cond: P<Expr>,
+    /// `ub = min(ub, last_iteration)` (Clang: `EnsureUpperBound`).
+    pub ensure_upper_bound: P<Expr>,
+    /// `lb += stride` (Clang: `NextLowerBound`).
+    pub next_lower_bound: P<Expr>,
+    /// `ub += stride` (Clang: `NextUpperBound`).
+    pub next_upper_bound: P<Expr>,
+    /// Per-loop helper bundles (6 nodes per associated loop).
+    pub loops: Vec<PerLoopHelpers>,
+    /// Captured trip-count variables (`.capture_expr.`), declared before the
+    /// construct; the other helper expressions read them.
+    pub capture_decls: Vec<P<VarDecl>>,
+}
+
+impl LoopDirectiveHelpers {
+    /// Number of nest-wide shadow nodes (17 here; the paper says "up to 30"
+    /// — the remainder are distribute/doacross-only helpers we do not model,
+    /// see DESIGN.md §7).
+    pub const NEST_NODE_COUNT: usize = 17;
+
+    /// Total number of shadow nodes held by this bundle.
+    pub fn node_count(&self) -> usize {
+        Self::NEST_NODE_COUNT + self.loops.len() * PerLoopHelpers::NODE_COUNT
+    }
+}
+
+/// An OpenMP executable directive (`OMPExecutableDirective` and all of its
+/// subclasses, discriminated by [`OMPDirectiveKind`]).
+#[derive(Debug)]
+pub struct OMPDirective {
+    /// Which directive this is.
+    pub kind: OMPDirectiveKind,
+    /// Clauses in source order.
+    pub clauses: Vec<P<OMPClause>>,
+    /// The associated statement: a `CapturedStmt` for outlining directives,
+    /// the bare loop (or nested directive) for loop transformations, or
+    /// `None` for stand-alone directives.
+    pub associated: Option<P<Stmt>>,
+    /// Classic-mode shadow helper bundle (only for `is_loop_directive()`
+    /// kinds in classic codegen mode). **Not** part of `children()`.
+    pub loop_helpers: Option<P<LoopDirectiveHelpers>>,
+    /// The transformed loop nest — the shadow AST of `tile`/`unroll`
+    /// directives (paper §2). `None` when no generated loop exists (e.g.
+    /// `unroll full`, or when CodeGen lowers directly). **Not** part of
+    /// `children()` and invisible to the default AST dump.
+    pub transformed: Option<P<Stmt>>,
+    /// Source position of the `#pragma`.
+    pub loc: SourceLocation,
+}
+
+impl OMPDirective {
+    /// Creates a directive node.
+    pub fn new(
+        kind: OMPDirectiveKind,
+        clauses: Vec<P<OMPClause>>,
+        associated: Option<P<Stmt>>,
+        loc: SourceLocation,
+    ) -> OMPDirective {
+        OMPDirective { kind, clauses, associated, loop_helpers: None, transformed: None, loc }
+    }
+
+    /// The semantically equivalent statement a consuming directive analyzes
+    /// instead of the directive itself — `getTransformedStmt()` of the
+    /// shadow-AST design. Returns `None` if this directive does not stand
+    /// for a generated loop (not a transformation, or fully unrolled).
+    pub fn get_transformed_stmt(&self) -> Option<&P<Stmt>> {
+        self.transformed.as_ref()
+    }
+
+    /// Finds the first clause matching `pred`.
+    pub fn find_clause(&self, pred: impl Fn(&OMPClauseKind) -> bool) -> Option<&P<OMPClause>> {
+        self.clauses.iter().find(|c| pred(&c.kind))
+    }
+
+    /// Whether a `full` clause is present.
+    pub fn has_full_clause(&self) -> bool {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Full)).is_some()
+    }
+
+    /// The `partial` clause factor: `Some(None)` for bare `partial`,
+    /// `Some(Some(e))` with the factor expression, `None` if absent.
+    pub fn partial_clause(&self) -> Option<Option<&P<Expr>>> {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Partial(_))).map(|c| match &c.kind {
+            OMPClauseKind::Partial(f) => f.as_ref(),
+            _ => unreachable!(),
+        })
+    }
+
+    /// The `sizes` clause arguments, if present.
+    pub fn sizes_clause(&self) -> Option<&[P<Expr>]> {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Sizes(_))).map(|c| match &c.kind {
+            OMPClauseKind::Sizes(s) => s.as_slice(),
+            _ => unreachable!(),
+        })
+    }
+
+    /// The `collapse(n)` value (constant-evaluated), defaulting to 1.
+    pub fn collapse_depth(&self) -> usize {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Collapse(_)))
+            .and_then(|c| match &c.kind {
+                OMPClauseKind::Collapse(e) => e.eval_const_int(),
+                _ => None,
+            })
+            .map_or(1, |v| usize::try_from(v).unwrap_or(1))
+    }
+
+    /// A source-like rendering of the pragma line, used for the
+    /// "in loop generated by '…'" diagnostics breadcrumb.
+    pub fn pragma_text(&self) -> String {
+        let mut s = format!("#pragma omp {}", self.kind.name());
+        for c in &self.clauses {
+            s.push(' ');
+            s.push_str(c.kind.name());
+            match &c.kind {
+                OMPClauseKind::Partial(Some(e)) | OMPClauseKind::Collapse(e) | OMPClauseKind::NumThreads(e) | OMPClauseKind::Grainsize(e) => {
+                    if let Some(v) = e.eval_const_int() {
+                        s.push_str(&format!("({v})"));
+                    } else {
+                        s.push_str("(...)");
+                    }
+                }
+                OMPClauseKind::Sizes(es) => {
+                    let vals: Vec<String> = es
+                        .iter()
+                        .map(|e| e.eval_const_int().map_or("...".to_string(), |v| v.to_string()))
+                        .collect();
+                    s.push_str(&format!("({})", vals.join(", ")));
+                }
+                OMPClauseKind::Schedule { kind, .. } => s.push_str(&format!("({})", kind.name())),
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+/// The `OMPCanonicalLoop` meta node (paper §3.1): wraps a literal loop and
+/// carries the *minimal* meta-information resolved at the Sema layer —
+/// reduced from the ~36 shadow nodes of [`LoopDirectiveHelpers`] to exactly
+/// three items.
+#[derive(Debug)]
+pub struct OMPCanonicalLoop {
+    /// The wrapped literal loop (`ForStmt` or `CXXForRangeStmt`).
+    pub loop_stmt: P<Stmt>,
+    /// The **distance function**: a lambda `[&](size_t &Result) { Result =
+    /// __end - __begin; }` computing the trip count before loop entry.
+    pub distance_fn: P<CapturedStmt>,
+    /// The **loop user value function**: a lambda
+    /// `[&,__begin](auto &Result, size_t i) { Result = __begin + i; }`
+    /// converting a logical iteration number into the user variable's value.
+    pub loop_var_fn: P<CapturedStmt>,
+    /// The **user variable reference** that must be updated before each
+    /// iteration.
+    pub loop_var_ref: P<Expr>,
+}
+
+impl OMPCanonicalLoop {
+    /// The number of Sema-resolved meta-information items — the paper's
+    /// headline reduction ("This is reduced from the 36 shadow AST nodes
+    /// required by OMPLoopDirective").
+    pub const META_NODE_COUNT: usize = 3;
+
+    /// Test-only constructor with placeholder helper lambdas.
+    #[doc(hidden)]
+    pub fn for_test(loop_stmt: P<Stmt>) -> P<OMPCanonicalLoop> {
+        use crate::decl::CapturedDecl;
+        use crate::expr::{Expr, ExprKind};
+        use crate::ty::{Type, TypeKind};
+        let mk_captured = || {
+            P::new(CapturedStmt {
+                decl: P::new(CapturedDecl {
+                    params: Vec::new(),
+                    body: Stmt::new(crate::stmt::StmtKind::Null, SourceLocation::INVALID),
+                    nothrow: true,
+                }),
+                captures: Vec::new(),
+            })
+        };
+        P::new(OMPCanonicalLoop {
+            loop_stmt,
+            distance_fn: mk_captured(),
+            loop_var_fn: mk_captured(),
+            loop_var_ref: Expr::rvalue(
+                ExprKind::IntegerLiteral(0),
+                Type::new(TypeKind::Int { width: crate::ty::IntWidth::W32, signed: true }),
+                SourceLocation::INVALID,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_predicates_match_paper_fig3() {
+        use OMPDirectiveKind::*;
+        // OMPUnrollDirective/OMPTileDirective derive from
+        // OMPLoopBasedDirective but NOT from OMPLoopDirective.
+        assert!(Unroll.is_loop_based() && !Unroll.is_loop_directive());
+        assert!(Tile.is_loop_based() && !Tile.is_loop_directive());
+        assert!(Unroll.is_loop_transformation() && Tile.is_loop_transformation());
+        // Classic loop directives are both.
+        assert!(For.is_loop_based() && For.is_loop_directive());
+        assert!(ParallelFor.is_loop_based() && ParallelFor.is_loop_directive());
+        assert!(!ParallelFor.is_loop_transformation());
+        // parallel is neither loop-based nor a loop directive.
+        assert!(!Parallel.is_loop_based() && !Parallel.is_loop_directive());
+    }
+
+    #[test]
+    fn transformations_do_not_capture() {
+        assert!(!OMPDirectiveKind::Unroll.captures_associated());
+        assert!(!OMPDirectiveKind::Tile.captures_associated());
+        assert!(OMPDirectiveKind::ParallelFor.captures_associated());
+        assert!(OMPDirectiveKind::Parallel.captures_associated());
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(OMPDirectiveKind::Tile.class_name(), "OMPTileDirective");
+        assert_eq!(OMPClauseKind::Full.class_name(), "OMPFullClause");
+        assert_eq!(OMPClauseKind::Sizes(vec![]).class_name(), "OMPSizesClause");
+        assert_eq!(OMPClauseKind::Partial(None).class_name(), "OMPPartialClause");
+    }
+
+    #[test]
+    fn pragma_text_round_trip() {
+        let d = OMPDirective::new(
+            OMPDirectiveKind::Unroll,
+            vec![OMPClause::new(OMPClauseKind::Full, SourceLocation::INVALID)],
+            None,
+            SourceLocation::INVALID,
+        );
+        assert_eq!(d.pragma_text(), "#pragma omp unroll full");
+    }
+
+    #[test]
+    fn meta_count_is_three() {
+        assert_eq!(OMPCanonicalLoop::META_NODE_COUNT, 3);
+    }
+
+    #[test]
+    fn clause_queries() {
+        let d = OMPDirective::new(
+            OMPDirectiveKind::Unroll,
+            vec![OMPClause::new(OMPClauseKind::Partial(None), SourceLocation::INVALID)],
+            None,
+            SourceLocation::INVALID,
+        );
+        assert!(!d.has_full_clause());
+        assert!(matches!(d.partial_clause(), Some(None)));
+        assert_eq!(d.collapse_depth(), 1);
+        assert!(d.get_transformed_stmt().is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! AST node statistics — the quantitative backbone of the paper's
+//! representation comparison: the classic `OMPLoopDirective` carries "up to
+//! 30 shadow AST statements … plus 6 for each loop", while `OMPCanonicalLoop`
+//! reduces the Sema-resolved meta-information to **3** items.
+
+use crate::expr::Expr;
+use crate::omp::{OMPCanonicalLoop, OMPDirective};
+use crate::stmt::{Stmt, StmtKind};
+use crate::visitor::{walk_expr, walk_stmt, StmtVisitor};
+use crate::P;
+
+/// Node counts for one subtree, split by visibility.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Statements reachable through `children()` (syntactic + semantic).
+    pub visible_stmts: usize,
+    /// Expressions reachable through `children()`.
+    pub visible_exprs: usize,
+    /// Nodes hidden in shadow storage: transformed subtrees and the
+    /// `LoopDirectiveHelpers` bundle members.
+    pub shadow_nodes: usize,
+    /// Sema meta-information items on `OMPCanonicalLoop` wrappers (3 each).
+    pub canonical_meta: usize,
+}
+
+impl NodeStats {
+    /// Total of all counted nodes.
+    pub fn total(&self) -> usize {
+        self.visible_stmts + self.visible_exprs + self.shadow_nodes + self.canonical_meta
+    }
+}
+
+struct StatsVisitor {
+    stats: NodeStats,
+}
+
+impl StmtVisitor for StatsVisitor {
+    fn visit_stmt(&mut self, s: &P<Stmt>) {
+        self.stats.visible_stmts += 1;
+        match &s.kind {
+            StmtKind::OMP(d) => {
+                self.stats.shadow_nodes += directive_shadow_count(d);
+                walk_stmt(self, s);
+            }
+            StmtKind::OMPCanonicalLoop(cl) => {
+                self.stats.canonical_meta += canonical_meta_count(cl);
+                walk_stmt(self, s);
+            }
+            _ => walk_stmt(self, s),
+        }
+    }
+
+    fn visit_expr(&mut self, e: &P<Expr>) {
+        self.stats.visible_exprs += 1;
+        walk_expr(self, e);
+    }
+}
+
+/// Counts the nodes in `s`.
+pub fn stmt_stats(s: &P<Stmt>) -> NodeStats {
+    let mut v = StatsVisitor { stats: NodeStats::default() };
+    v.visit_stmt(s);
+    v.stats
+}
+
+/// Shadow nodes attached to a directive: the helper bundle size plus the
+/// size of the transformed subtree (counted as plain nodes).
+pub fn directive_shadow_count(d: &OMPDirective) -> usize {
+    let helpers = d.loop_helpers.as_ref().map_or(0, |h| h.node_count());
+    let transformed = d.transformed.as_ref().map_or(0, |t| {
+        let s = stmt_stats(t);
+        s.visible_stmts + s.visible_exprs
+    });
+    helpers + transformed
+}
+
+/// Meta-information items on a canonical loop wrapper — always 3
+/// (distance function, loop user value function, user-variable reference).
+pub fn canonical_meta_count(_cl: &OMPCanonicalLoop) -> usize {
+    OMPCanonicalLoop::META_NODE_COUNT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ASTContext;
+    use crate::omp::OMPDirectiveKind;
+    use omplt_source::SourceLocation;
+
+    fn null_loop() -> P<Stmt> {
+        let loc = SourceLocation::INVALID;
+        Stmt::new(
+            StmtKind::For { init: None, cond: None, inc: None, body: Stmt::new(StmtKind::Null, loc) },
+            loc,
+        )
+    }
+
+    #[test]
+    fn plain_loop_has_no_shadow() {
+        let s = stmt_stats(&null_loop());
+        assert_eq!(s.shadow_nodes, 0);
+        assert_eq!(s.canonical_meta, 0);
+        assert_eq!(s.visible_stmts, 2);
+    }
+
+    #[test]
+    fn transformed_subtree_counts_as_shadow() {
+        let mut d = OMPDirective::new(OMPDirectiveKind::Unroll, vec![], Some(null_loop()), SourceLocation::INVALID);
+        d.transformed = Some(null_loop());
+        let s = Stmt::new(StmtKind::OMP(P::new(d)), SourceLocation::INVALID);
+        let st = stmt_stats(&s);
+        assert_eq!(st.shadow_nodes, 2, "{st:?}"); // for + null of the shadow tree
+        assert_eq!(st.visible_stmts, 3); // directive + for + null
+    }
+
+    #[test]
+    fn canonical_loop_counts_three() {
+        let cl = OMPCanonicalLoop::for_test(null_loop());
+        let s = Stmt::new(StmtKind::OMPCanonicalLoop(cl), SourceLocation::INVALID);
+        let st = stmt_stats(&s);
+        assert_eq!(st.canonical_meta, 3);
+        assert_eq!(st.shadow_nodes, 0);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let ctx = ASTContext::new();
+        let _ = ctx;
+        let st = stmt_stats(&null_loop());
+        assert_eq!(st.total(), st.visible_stmts + st.visible_exprs);
+    }
+}

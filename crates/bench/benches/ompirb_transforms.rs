@@ -1,0 +1,99 @@
+//! Experiment B3: throughput of the OpenMPIRBuilder transformations
+//! themselves (paper §3.2) — `create_canonical_loop`, `tile_loops`,
+//! `collapse_loops`, `unroll_loop_partial` — on synthetic IR nests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt_ir::{Function, IrBuilder, IrType, Module, Value};
+use omplt_ompirb::{
+    collapse_loops, create_canonical_loop, tile_loops, unroll_loop_partial, CanonicalLoopInfo,
+};
+
+/// Builds a `depth`-deep perfect nest calling `sink(iv...)`.
+fn build_nest(depth: usize) -> (Module, Function, Vec<CanonicalLoopInfo>) {
+    let mut m = Module::new();
+    let sink = m.intern("sink");
+    let mut f = Function::new("kernel", vec![IrType::I64], IrType::Void);
+    let mut clis = Vec::new();
+    {
+        let mut b = IrBuilder::new(&mut f);
+        fn rec(
+            b: &mut IrBuilder<'_>,
+            depth: usize,
+            sink: omplt_ir::SymbolId,
+            clis: &mut Vec<CanonicalLoopInfo>,
+        ) {
+            let cli = create_canonical_loop(b, Value::Arg(0), &format!("l{depth}"), |b, iv| {
+                if depth == 1 {
+                    b.call(sink, vec![iv], IrType::Void);
+                } else {
+                    rec(b, depth - 1, sink, clis);
+                }
+            });
+            clis.push(cli);
+        }
+        rec(&mut b, depth, sink, &mut clis);
+        b.ret(None);
+    }
+    clis.reverse(); // outermost first
+    (m, f, clis)
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ompirb_transforms");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    g.bench_function("create_canonical_loop", |b| {
+        b.iter(|| {
+            let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+            let mut bld = IrBuilder::new(&mut f);
+            let cli = create_canonical_loop(&mut bld, Value::Arg(0), "l", |_, _| {});
+            bld.ret(None);
+            cli
+        })
+    });
+
+    for depth in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("tile_loops", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || build_nest(depth),
+                |(m, mut f, clis)| {
+                    let mut bld = IrBuilder::new(&mut f);
+                    let sizes: Vec<Value> = clis.iter().map(|_| Value::i64(4)).collect();
+                    let out = tile_loops(&mut bld, &clis, &sizes);
+                    (m, f, out)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    for depth in [2usize, 3] {
+        g.bench_with_input(BenchmarkId::new("collapse_loops", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || build_nest(depth),
+                |(m, mut f, clis)| {
+                    let mut bld = IrBuilder::new(&mut f);
+                    let out = collapse_loops(&mut bld, &clis);
+                    (m, f, out)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("unroll_loop_partial_consumed", |b| {
+        b.iter_batched(
+            || build_nest(1),
+            |(m, mut f, clis)| {
+                let mut bld = IrBuilder::new(&mut f);
+                let out = unroll_loop_partial(&mut bld, &clis[0], 4, true);
+                (m, f, out)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

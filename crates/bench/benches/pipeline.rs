@@ -1,0 +1,63 @@
+//! Experiment F1 (paper Fig. 1): per-layer cost of the front-end pipeline —
+//! preprocess/lex, parse+Sema, CodeGen, mid-end — over growing sources.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt::{CompilerInstance, Options};
+
+/// A source with `n` small OpenMP-annotated functions.
+fn synthetic_source(n: usize) -> String {
+    let mut s = String::from("void print_i64(long v);\n");
+    for k in 0..n {
+        s.push_str(&format!(
+            "long f{k}(int n) {{\n  long acc = 0;\n  #pragma omp unroll partial(4)\n  for (int i = 0; i < n; i += 1)\n    acc = acc + i * {k};\n  return acc;\n}}\n"
+        ));
+    }
+    s
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_stages");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    for &n in &[4usize, 16, 64] {
+        let src = synthetic_source(n);
+        g.bench_with_input(BenchmarkId::new("parse_sema", n), &src, |b, src| {
+            b.iter(|| {
+                let mut ci = CompilerInstance::new(Options::default());
+                ci.parse_source("bench.c", src).expect("parse")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("codegen", n), &src, |b, src| {
+            let mut ci = CompilerInstance::new(Options::default());
+            let tu = ci.parse_source("bench.c", src).expect("parse");
+            b.iter(|| ci.codegen(&tu).expect("codegen"))
+        });
+        g.bench_with_input(BenchmarkId::new("midend", n), &src, |b, src| {
+            let mut ci = CompilerInstance::new(Options::default());
+            let tu = ci.parse_source("bench.c", src).expect("parse");
+            let module = ci.codegen(&tu).expect("codegen");
+            b.iter_batched(
+                || clone_module_via_recodegen(&ci, &tu),
+                |mut m| {
+                    ci.optimize(&mut m);
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            );
+            let _ = module;
+        });
+    }
+    g.finish();
+}
+
+fn clone_module_via_recodegen(
+    ci: &CompilerInstance,
+    tu: &omplt::ast::TranslationUnit,
+) -> omplt::ir::Module {
+    ci.codegen(tu).expect("codegen")
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

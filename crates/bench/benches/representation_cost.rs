@@ -1,0 +1,51 @@
+//! Experiment B1: Sema + CodeGen cost of the two representations for the
+//! same worksharing construct, by collapse depth. Shape to observe: the
+//! canonical-loop path builds far fewer Sema nodes (3 meta items vs the
+//! helper bundle) and its front-end cost grows more slowly with depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+
+fn nest_source(depth: usize) -> String {
+    let mut loops = String::new();
+    for k in 0..depth {
+        loops.push_str(&format!("  for (int i{k} = 0; i{k} < 32; i{k} += 1)\n"));
+    }
+    format!(
+        "void body(int x);\nvoid kernel(void) {{\n  #pragma omp for collapse({depth})\n{loops}    body(i0);\n}}\n"
+    )
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("representation_cost");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    for depth in [1usize, 2, 3] {
+        let src = nest_source(depth);
+        for (label, mode) in [
+            ("classic_shadow_ast", OpenMpCodegenMode::Classic),
+            ("canonical_irbuilder", OpenMpCodegenMode::IrBuilder),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, depth),
+                &(src.clone(), mode),
+                |b, (src, mode)| {
+                    b.iter(|| {
+                        let mut ci = CompilerInstance::new(Options {
+                            codegen_mode: *mode,
+                            ..Options::default()
+                        });
+                        let tu = ci.parse_source("r.c", src).expect("parse");
+                        ci.codegen(&tu).expect("codegen")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_representations);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment L2 (paper Fig. "Partial unrolling with remainder loop"):
+//! execution cost of three unrolling styles for the same loop —
+//! (a) no unrolling, (b) remainder-loop style (what `#pragma omp unroll
+//! partial` + the LoopUnroll pass produce), (c) conditional-in-body style
+//! (the naive expansion the paper shows first). The remainder style avoids
+//! the per-iteration conditional; the shape to observe is (b) ≤ (c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt::{run_source_with, Options};
+
+const N: u64 = 20_000;
+
+fn no_unroll() -> String {
+    format!(
+        "void print_i64(long v);\nint main(void) {{\n  long acc = 0;\n  for (int i = 0; i < {N}; i += 1)\n    acc = acc + i;\n  print_i64(acc);\n  return 0;\n}}\n"
+    )
+}
+
+/// The directive version: strip-mine + LoopUnroll with remainder loop.
+fn pragma_unroll(factor: u64) -> String {
+    format!(
+        "void print_i64(long v);\nint main(void) {{\n  long acc = 0;\n  #pragma omp unroll partial({factor})\n  for (int i = 0; i < {N}; i += 1)\n    acc = acc + i;\n  print_i64(acc);\n  return 0;\n}}\n"
+    )
+}
+
+/// Hand-written conditional-in-body expansion (paper §1's first example).
+fn conditional_unroll() -> String {
+    format!(
+        "void print_i64(long v);\nint main(void) {{\n  long acc = 0;\n  for (int i = 0; i < {N}; i += 2) {{\n    acc = acc + i;\n    if (i + 1 < {N}) acc = acc + i + 1;\n  }}\n  print_i64(acc);\n  return 0;\n}}\n"
+    )
+}
+
+/// Hand-written remainder-loop expansion (paper Fig. lst:remainder).
+fn remainder_unroll() -> String {
+    format!(
+        "void print_i64(long v);\nint main(void) {{\n  long acc = 0;\n  int i = 0;\n  for (; i + 3 < {N}; i += 4) {{\n    acc = acc + i;\n    acc = acc + i + 1;\n    acc = acc + i + 2;\n    acc = acc + i + 3;\n  }}\n  for (; i < {N}; i += 1)\n    acc = acc + i;\n  print_i64(acc);\n  return 0;\n}}\n"
+    )
+}
+
+fn bench_styles(c: &mut Criterion) {
+    let expected = format!("{}\n", (0..N as i64).sum::<i64>());
+    let mut g = c.benchmark_group("unroll_styles");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_secs(1));
+
+    let cases: Vec<(&str, String)> = vec![
+        ("baseline_no_unroll", no_unroll()),
+        ("pragma_partial2", pragma_unroll(2)),
+        ("pragma_partial4", pragma_unroll(4)),
+        ("manual_conditional2", conditional_unroll()),
+        ("manual_remainder4", remainder_unroll()),
+    ];
+    for (name, src) in cases {
+        // correctness first — a wrong benchmark is worse than a slow one
+        let r = run_source_with(&src, Options::default(), true);
+        assert_eq!(r.stdout, expected, "{name} computed a wrong sum");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| run_source_with(src, Options::default(), true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_styles);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment C7 (shape claim): static worksharing on real OS threads —
+//! wall-clock of an embarrassingly parallel kernel for team sizes 1..8.
+//! The shape to observe: time decreases with the team size until the
+//! interpreter's per-thread overhead dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+
+const N: u64 = 100_000;
+
+fn kernel_src() -> String {
+    format!(
+        "void print_i64(long v);\nlong partial[32];\nint omp_get_thread_num(void);\nint main(void) {{\n  long sum = 0;\n  #pragma omp parallel for reduction(+: sum)\n  for (int i = 0; i < {N}; i += 1)\n    sum = sum + (i % 7) * (i % 13);\n  print_i64(sum);\n  return 0;\n}}\n"
+    )
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let src = kernel_src();
+    let mut g = c.benchmark_group("workshare_scaling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // Pre-compile once per mode; benchmark only execution.
+    for (label, mode) in [
+        ("classic", OpenMpCodegenMode::Classic),
+        ("irbuilder", OpenMpCodegenMode::IrBuilder),
+    ] {
+        for threads in [1u32, 2, 4, 8] {
+            let opts = Options { codegen_mode: mode, num_threads: threads, ..Options::default() };
+            let mut ci = CompilerInstance::new(opts);
+            let tu = ci.parse_source("w.c", &src).expect("parse");
+            let module = ci.codegen(&tu).expect("codegen");
+            // sanity: result is thread-count independent
+            let expect = ci.run(&module).expect("run").stdout;
+            assert!(!expect.is_empty());
+            g.bench_with_input(
+                BenchmarkId::new(label, threads),
+                &module,
+                |b, module| b.iter(|| ci.run(module).expect("run")),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! # omplt-bench
+//!
+//! Shared source generators for the Criterion benchmark harness. Each bench
+//! target under `benches/` regenerates one figure/claim from the paper; see
+//! `EXPERIMENTS.md` at the workspace root for the index.
+
+/// Generates a C source with a perfect loop nest of `depth` loops, each with
+/// `trip` iterations, whose body accumulates into an array element.
+pub fn nest_source(depth: usize, trip: u64, pragma: &str) -> String {
+    let mut s = String::from("void sink(long v);\nvoid kernel(void) {\n  long acc = 0;\n");
+    if !pragma.is_empty() {
+        s.push_str("  ");
+        s.push_str(pragma);
+        s.push('\n');
+    }
+    for d in 0..depth {
+        s.push_str(&format!(
+            "  for (int i{d} = 0; i{d} < {trip}; i{d} += 1)\n"
+        ));
+    }
+    s.push_str("    acc = acc + ");
+    for d in 0..depth {
+        if d > 0 {
+            s.push_str(" + ");
+        }
+        s.push_str(&format!("i{d}"));
+    }
+    s.push_str(";\n  sink(acc);\n}\n");
+    s
+}
+
+/// Generates a saxpy-style workshared kernel over `n` elements.
+pub fn saxpy_source(n: u64, pragma: &str) -> String {
+    format!(
+        "void kernel(double *x, double *y) {{\n  {pragma}\n  for (int i = 0; i < {n}; i += 1)\n    y[i] = 2.0 * x[i] + y[i];\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nest_source_shape() {
+        let s = nest_source(2, 8, "#pragma omp tile sizes(4, 4)");
+        assert!(s.contains("for (int i0"));
+        assert!(s.contains("for (int i1"));
+        assert!(s.contains("tile sizes"));
+    }
+
+    #[test]
+    fn saxpy_source_shape() {
+        let s = saxpy_source(128, "");
+        assert!(s.contains("y[i] = 2.0 * x[i] + y[i];"));
+    }
+}

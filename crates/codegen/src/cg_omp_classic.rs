@@ -1,0 +1,623 @@
+//! Classic OpenMP lowering (paper §2): front-end "early outlining" of
+//! `parallel` regions, worksharing emitted from the `OMPLoopDirective`
+//! shadow helper expressions ("a significant portion of the code generation
+//! already takes place when creating the AST"), and transformation
+//! directives that either emit their Sema-built transformed AST or defer to
+//! the mid-end via loop metadata.
+
+use crate::codegen::{ir_type, Binding, FnCodegen};
+use omplt_ast::{
+    DeclId, OMPClauseKind, OMPDirective, OMPDirectiveKind, P, ReductionOp, ScheduleKind, Stmt,
+    StmtKind,
+};
+use omplt_ir::{Function, IrType, LoopMetadata, UnrollHint, Value};
+
+/// What an outlined function's body contains.
+enum OutlinedContent<'a> {
+    /// Just the captured body (`parallel`).
+    PlainBody,
+    /// A workshared loop (`parallel for`).
+    Workshare(&'a P<OMPDirective>),
+}
+
+impl FnCodegen<'_, '_> {
+    /// Classic-mode directive dispatch.
+    pub(crate) fn emit_omp_classic(&mut self, d: &P<OMPDirective>) {
+        match d.kind {
+            OMPDirectiveKind::Parallel => self.emit_omp_classic_parallel(d),
+            OMPDirectiveKind::ParallelFor => self.emit_omp_classic_parallel(d),
+            OMPDirectiveKind::For => {
+                let saved = self.apply_data_sharing(d);
+                self.emit_workshared_loop(d);
+                self.restore_data_sharing(d, saved);
+            }
+            OMPDirectiveKind::Simd => self.emit_logical_loop(d, LoopFlavor::Simd),
+            OMPDirectiveKind::Taskloop => self.emit_logical_loop(d, LoopFlavor::Taskloop),
+            OMPDirectiveKind::Unroll => self.emit_unroll_classic(d),
+            OMPDirectiveKind::Tile => {
+                // "If encountering a non-associated tile construct, CodeGen
+                // will simply emit the transformed AST in its place" (§2.2).
+                match d.get_transformed_stmt() {
+                    Some(t) => {
+                        let t = P::clone(t);
+                        self.emit_stmt(&t);
+                    }
+                    None => {
+                        if let Some(a) = &d.associated {
+                            let a = P::clone(a);
+                            self.emit_stmt(&a);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Top-level `unroll` (not consumed by another directive): "it is more
+    /// efficient to defer unrolling to the LoopUnroll pass by attaching
+    /// `llvm.loop.unroll.*` metadata to the loop without even tiling the
+    /// loop beforehand" (§2.2).
+    fn emit_unroll_classic(&mut self, d: &P<OMPDirective>) {
+        let md = if d.has_full_clause() {
+            LoopMetadata::unroll(UnrollHint::Full)
+        } else if let Some(f) = d.partial_clause() {
+            let factor = f.and_then(|e| e.eval_const_int()).map_or(2, |v| v.max(1) as u64);
+            LoopMetadata::unroll(UnrollHint::Count(factor))
+        } else {
+            // Heuristic mode: the pass chooses.
+            LoopMetadata::unroll(UnrollHint::Enable)
+        };
+        // Resolve the associated loop, looking through wrappers and inner
+        // transformation directives.
+        let Some(assoc) = d.associated.clone() else { return };
+        let (prologue, lp) = resolve_loop(&assoc);
+        for p in &prologue {
+            self.emit_stmt(p);
+        }
+        match &lp.kind {
+            StmtKind::For { .. } => self.emit_for(&lp, Some(md)),
+            _ => self.emit_stmt(&lp),
+        }
+    }
+
+    /// Outlines the captured region and emits the `__kmpc_fork_call`.
+    /// (`parallel` runs the body; `parallel for` workshares inside,
+    /// dispatching by codegen mode.)
+    pub(crate) fn emit_omp_classic_parallel(&mut self, d: &P<OMPDirective>) {
+        let content = if d.kind == OMPDirectiveKind::ParallelFor {
+            OutlinedContent::Workshare(d)
+        } else {
+            OutlinedContent::PlainBody
+        };
+        let Some(assoc) = &d.associated else { return };
+        let StmtKind::Captured(cs) = &assoc.kind else {
+            // Should not happen (Sema always captures); degrade gracefully.
+            let a = P::clone(assoc);
+            self.emit_stmt(&a);
+            return;
+        };
+        let cs = P::clone(cs);
+
+        // num_threads clause is evaluated in the caller, before the fork.
+        let num_threads = d
+            .find_clause(|k| matches!(k, OMPClauseKind::NumThreads(_)))
+            .map(|c| match &c.kind {
+                OMPClauseKind::NumThreads(e) => {
+                    let e = P::clone(e);
+                    self.emit_rvalue(&e)
+                }
+                _ => unreachable!(),
+            });
+
+        // Build the outlined function:
+        // void name(i32 gtid, i32 btid, ptr cap0, …)
+        let name = self.outlined_name();
+        let mut params = vec![IrType::I32, IrType::I32];
+        params.extend(std::iter::repeat(IrType::Ptr).take(cs.captures.len()));
+        let sub_fn = Function::new(&name, params, IrType::Void);
+        {
+            let mut sub = FnCodegen::new(
+                &mut *self.module,
+                self.diags,
+                self.opts,
+                self.globals,
+                sub_fn,
+            );
+            sub.outlined_counter = self.outlined_counter * 64 + 1;
+            // Captured variables arrive by reference: the argument IS the
+            // variable's address.
+            for (i, cap) in cs.captures.iter().enumerate() {
+                sub.bindings.insert(cap.var.id, Binding { addr: Value::Arg(2 + i as u32) });
+            }
+            let saved = sub.apply_data_sharing(d);
+            match content {
+                OutlinedContent::PlainBody => {
+                    sub.emit_stmt(&cs.decl.body);
+                }
+                OutlinedContent::Workshare(dir) => match sub.opts.mode {
+                    omplt_sema::OpenMpCodegenMode::Classic => sub.emit_workshared_loop(dir),
+                    omplt_sema::OpenMpCodegenMode::IrBuilder => {
+                        sub.emit_workshare_irbuilder(dir, &cs.decl.body)
+                    }
+                },
+            }
+            sub.restore_data_sharing(d, saved);
+            if sub.func.block(sub.cur).term.is_none() {
+                sub.with_builder(|b| b.ret(None));
+            }
+            for bl in &mut sub.func.blocks {
+                if bl.term.is_none() {
+                    bl.term = Some(omplt_ir::Terminator::Unreachable);
+                }
+            }
+            let finished =
+                std::mem::replace(&mut sub.func, Function::new("<done>", vec![], IrType::Void));
+            let nested = std::mem::take(&mut sub.pending_outlined);
+            drop(sub);
+            self.pending_outlined.push(finished);
+            self.pending_outlined.extend(nested);
+        }
+
+        // Caller side: collect capture addresses and fork.
+        let outlined_sym = self.sym(&name);
+        let mut cap_ptrs = Vec::with_capacity(cs.captures.len());
+        for cap in &cs.captures {
+            let addr = match self.bindings.get(&cap.var.id) {
+                Some(b) => b.addr,
+                None => {
+                    if let Some(&sym) = self.globals.get(&cap.var.id) {
+                        Value::Global(sym)
+                    } else {
+                        let s = self.slot_for(&cap.var);
+                        self.bindings.insert(cap.var.id, Binding { addr: s });
+                        s
+                    }
+                }
+            };
+            cap_ptrs.push(addr);
+        }
+        let n = cap_ptrs.len();
+        // Borrow func and module as separate fields so the OpenMPIRBuilder
+        // helper can intern runtime symbols while building.
+        let mut b = omplt_ir::IrBuilder::new(&mut self.func);
+        b.set_insert_point(self.cur);
+        omplt_ompirb::create_parallel(
+            &mut b,
+            self.module,
+            omplt_ompirb::OutlinedFn { sym: outlined_sym, num_captures: n },
+            cap_ptrs,
+            num_threads,
+        );
+        self.cur = b.insert_block();
+    }
+
+    /// Emits the workshared loop from the directive's shadow helper bundle
+    /// (classic `EmitOMPWorksharingLoop`). Handles both unchunked and
+    /// chunked static schedules through the chunk loop built from
+    /// `next_lower_bound`/`next_upper_bound`.
+    pub(crate) fn emit_workshared_loop(&mut self, d: &P<OMPDirective>) {
+        let Some(h) = d.loop_helpers.clone() else {
+            // No helpers (e.g. malformed loop already diagnosed).
+            return;
+        };
+        let Some((prologues, body)) = self.collect_nest_for_codegen(d) else { return };
+        let (_sched, chunk) = schedule_of(d);
+
+        // Prologues (inner transformed-AST capture declarations) first,
+        // then the helper bundle's own capture declarations.
+        for p in &prologues {
+            self.emit_stmt(p);
+        }
+        for cd in &h.capture_decls {
+            self.emit_var_decl(cd, &[]);
+        }
+        for v in [
+            &h.iteration_variable,
+            &h.lower_bound,
+            &h.upper_bound,
+            &h.stride,
+            &h.is_last_iter_variable,
+        ] {
+            self.emit_var_decl(v, &[]);
+        }
+        for l in &h.loops {
+            // The original counters become locals of the region.
+            let slot = self.slot_for(&l.counter);
+            self.bindings.insert(l.counter.id, Binding { addr: slot });
+        }
+
+        let n = self.emit_rvalue(&h.num_iterations);
+        let last = self.emit_rvalue(&h.last_iteration);
+
+        // Precondition guard: skip everything when there are no iterations.
+        let pre = self.emit_rvalue(&h.precondition);
+        let (work_bb, done_bb) = self.with_builder(|b| {
+            let work = b.create_block("omp.precond.then");
+            let done = b.create_block("omp.precond.end");
+            b.cond_br(pre, work, done);
+            (work, done)
+        });
+        self.cur = work_bb;
+
+        // lb = 0; ub = last; stride = 1; is_last = 0; __kmpc_for_static_init
+        self.store_var(&h.lower_bound, Value::i64(0));
+        self.store_var(&h.upper_bound, last);
+        self.store_var(&h.stride, Value::i64(1));
+        self.store_var(&h.is_last_iter_variable, Value::i32(0));
+        let _ = n;
+
+        let gtid_fn = self.module.declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+        let init_fn = self.module.declare_extern(
+            "__kmpc_for_static_init",
+            vec![
+                IrType::I32,
+                IrType::I32,
+                IrType::Ptr,
+                IrType::Ptr,
+                IrType::Ptr,
+                IrType::Ptr,
+                IrType::I64,
+                IrType::I64,
+            ],
+            IrType::Void,
+        );
+        let fini_fn =
+            self.module.declare_extern("__kmpc_for_static_fini", vec![IrType::I32], IrType::Void);
+
+        let plast = self.bindings[&h.is_last_iter_variable.id].addr;
+        let plb = self.bindings[&h.lower_bound.id].addr;
+        let pub_ = self.bindings[&h.upper_bound.id].addr;
+        let pstride = self.bindings[&h.stride.id].addr;
+        let chunk_v = match &chunk {
+            Some(e) => {
+                let e = P::clone(e);
+                let v = self.emit_rvalue(&e);
+                self.with_builder(|b| b.int_resize(v, IrType::I64, true))
+            }
+            None => Value::i64(0),
+        };
+        let sched_const = Value::i32(if chunk.is_some() { 33 } else { 34 });
+        let gtid = self.with_builder(|b| {
+            let gtid = b.call(gtid_fn, vec![], IrType::I32);
+            b.call(
+                init_fn,
+                vec![gtid, sched_const, plast, plb, pub_, pstride, Value::i64(1), chunk_v],
+                IrType::Void,
+            );
+            gtid
+        });
+
+        // Chunk loop (executes once for unchunked: stride == trip count):
+        //   while (lb <= last) { ub = min(ub, last);
+        //     for (iv = lb; iv <= ub; ++iv) { counters; body }
+        //     lb += stride; ub += stride; }
+        let (chunk_cond, chunk_body, chunk_inc, chunk_end) = self.with_builder(|b| {
+            (
+                b.create_block("omp.dispatch.cond"),
+                b.create_block("omp.dispatch.body"),
+                b.create_block("omp.dispatch.inc"),
+                b.create_block("omp.dispatch.end"),
+            )
+        });
+        self.branch_if_open(chunk_cond);
+        self.cur = chunk_cond;
+        let lb_now = self.load_var(&h.lower_bound);
+        let still = self.with_builder(|b| b.cmp(omplt_ir::CmpPred::Ule, lb_now, last));
+        self.with_builder(|b| b.cond_br(still, chunk_body, chunk_end));
+
+        self.cur = chunk_body;
+        self.emit_rvalue(&h.ensure_upper_bound);
+        // Inner worksharing loop from the helper expressions.
+        self.emit_rvalue(&h.workshare_init);
+        let (ws_cond, ws_body, ws_inc) = self.with_builder(|b| {
+            (
+                b.create_block("omp.inner.for.cond"),
+                b.create_block("omp.inner.for.body"),
+                b.create_block("omp.inner.for.inc"),
+            )
+        });
+        self.branch_if_open(ws_cond);
+        self.cur = ws_cond;
+        let c = self.emit_rvalue(&h.workshare_cond);
+        self.with_builder(|b| b.cond_br(c, ws_body, chunk_inc));
+        self.cur = ws_body;
+        // Recover the user counters from the logical IV, then run the body.
+        for l in &h.loops {
+            self.emit_rvalue(&l.update);
+        }
+        self.loop_stack.push((chunk_end, ws_inc));
+        self.emit_stmt(&body);
+        self.loop_stack.pop();
+        self.branch_if_open(ws_inc);
+        self.cur = ws_inc;
+        self.emit_rvalue(&h.inc);
+        self.with_builder(|b| b.br(ws_cond));
+
+        self.cur = chunk_inc;
+        self.emit_rvalue(&h.next_lower_bound);
+        self.emit_rvalue(&h.next_upper_bound);
+        self.with_builder(|b| b.br(chunk_cond));
+
+        self.cur = chunk_end;
+        self.with_builder(|b| {
+            b.call(fini_fn, vec![gtid], IrType::Void);
+        });
+        self.branch_if_open(done_bb);
+        self.cur = done_bb;
+    }
+
+    /// Serial logical-IV loop used by `simd` (vectorize metadata) and
+    /// `taskloop` (per-iteration task accounting).
+    fn emit_logical_loop(&mut self, d: &P<OMPDirective>, flavor: LoopFlavor) {
+        let Some(h) = d.loop_helpers.clone() else { return };
+        let Some((prologues, body)) = self.collect_nest_for_codegen(d) else { return };
+        let saved = self.apply_data_sharing(d);
+        for p in &prologues {
+            self.emit_stmt(p);
+        }
+        for cd in &h.capture_decls {
+            self.emit_var_decl(cd, &[]);
+        }
+        self.emit_var_decl(&h.iteration_variable, &[]);
+        for l in &h.loops {
+            let slot = self.slot_for(&l.counter);
+            self.bindings.insert(l.counter.id, Binding { addr: slot });
+        }
+        let task_fn = if flavor == LoopFlavor::Taskloop {
+            Some(self.module.declare_extern("__omplt_task_created", vec![], IrType::Void))
+        } else {
+            None
+        };
+
+        self.emit_rvalue(&h.init); // iv = 0
+        let (cond_bb, body_bb, inc_bb, end) = self.with_builder(|b| {
+            (
+                b.create_block("omp.simd.cond"),
+                b.create_block("omp.simd.body"),
+                b.create_block("omp.simd.inc"),
+                b.create_block("omp.simd.end"),
+            )
+        });
+        self.branch_if_open(cond_bb);
+        self.cur = cond_bb;
+        let c = self.emit_rvalue(&h.cond);
+        self.with_builder(|b| b.cond_br(c, body_bb, end));
+        self.cur = body_bb;
+        if let Some(tf) = task_fn {
+            self.with_builder(|b| {
+                b.call(tf, vec![], IrType::Void);
+            });
+        }
+        for l in &h.loops {
+            self.emit_rvalue(&l.update);
+        }
+        self.loop_stack.push((end, inc_bb));
+        self.emit_stmt(&body);
+        self.loop_stack.pop();
+        self.branch_if_open(inc_bb);
+        self.cur = inc_bb;
+        self.emit_rvalue(&h.inc);
+        let md = if flavor == LoopFlavor::Simd {
+            LoopMetadata { vectorize_enable: true, ..Default::default() }
+        } else {
+            LoopMetadata::default()
+        };
+        self.with_builder(|b| b.br_with_md(cond_bb, md));
+        self.cur = end;
+        self.restore_data_sharing(d, saved);
+    }
+
+    /// Re-resolves the associated loop nest for codegen: returns the
+    /// prologue statements of consumed transformed ASTs plus the innermost
+    /// body. The helper bundle's expressions refer to the same loops, so
+    /// only structure is needed here, not re-analysis.
+    pub(crate) fn collect_nest_for_codegen(
+        &mut self,
+        d: &P<OMPDirective>,
+    ) -> Option<(Vec<P<Stmt>>, P<Stmt>)> {
+        let assoc = d.associated.as_ref()?;
+        let start = match &assoc.kind {
+            StmtKind::Captured(cs) => P::clone(&cs.decl.body),
+            _ => P::clone(assoc),
+        };
+        let depth = d.collapse_depth();
+        let mut prologues = Vec::new();
+        let mut cur = start;
+        for _ in 0..depth {
+            let (pro, lp) = resolve_loop(&cur);
+            prologues.extend(pro);
+            match &lp.kind {
+                StmtKind::For { body, .. } => {
+                    cur = P::clone(body);
+                }
+                StmtKind::CxxForRange(dd) => {
+                    cur = P::clone(&dd.body);
+                }
+                _ => return Some((prologues, lp)),
+            }
+        }
+        Some((prologues, cur))
+    }
+
+    // ---------------- data-sharing clauses ----------------
+
+    /// Applies `private` / `firstprivate` / `reduction` rebinding. Returns
+    /// the saved bindings for [`FnCodegen::restore_data_sharing`].
+    pub(crate) fn apply_data_sharing(
+        &mut self,
+        d: &P<OMPDirective>,
+    ) -> Vec<(DeclId, Option<Binding>, Option<Value>)> {
+        let mut saved = Vec::new();
+        let clauses = d.clauses.clone();
+        for c in &clauses {
+            match &c.kind {
+                OMPClauseKind::Private(vars) | OMPClauseKind::FirstPrivate(vars) => {
+                    let first = matches!(c.kind, OMPClauseKind::FirstPrivate(_));
+                    for ve in vars {
+                        let Some(v) = ve.as_decl_ref() else { continue };
+                        let v = P::clone(v);
+                        let old = self.bindings.get(&v.id).copied();
+                        let old_addr = old.map(|b| b.addr).or_else(|| {
+                            self.globals.get(&v.id).map(|&s| Value::Global(s))
+                        });
+                        let fresh = self.scratch(ir_type(&v.ty), &format!(".priv.{}", v.name));
+                        if first {
+                            if let Some(oa) = old_addr {
+                                let ty = ir_type(&v.ty);
+                                self.with_builder(|b| {
+                                    let val = b.load(ty, oa);
+                                    b.store(val, fresh);
+                                });
+                            }
+                        }
+                        self.bindings.insert(v.id, Binding { addr: fresh });
+                        saved.push((v.id, old, None));
+                    }
+                }
+                OMPClauseKind::Reduction { op, vars } => {
+                    for ve in vars {
+                        let Some(v) = ve.as_decl_ref() else { continue };
+                        let v = P::clone(v);
+                        let old = self.bindings.get(&v.id).copied();
+                        let shared_addr = old.map(|b| b.addr).or_else(|| {
+                            self.globals.get(&v.id).map(|&s| Value::Global(s))
+                        });
+                        let fresh = self.scratch(ir_type(&v.ty), &format!(".red.{}", v.name));
+                        let ty = ir_type(&v.ty);
+                        let identity = match op {
+                            ReductionOp::Add => {
+                                if ty.is_float() {
+                                    Value::float(ty, 0.0)
+                                } else {
+                                    Value::int(ty, 0)
+                                }
+                            }
+                            ReductionOp::Mul => {
+                                if ty.is_float() {
+                                    Value::float(ty, 1.0)
+                                } else {
+                                    Value::int(ty, 1)
+                                }
+                            }
+                            _ => {
+                                self.diags.warning(
+                                    c.loc,
+                                    format!("reduction '{}' is not supported; ignoring", op.name()),
+                                );
+                                continue;
+                            }
+                        };
+                        self.with_builder(|b| b.store(identity, fresh));
+                        self.bindings.insert(v.id, Binding { addr: fresh });
+                        saved.push((v.id, old, shared_addr));
+                    }
+                }
+                _ => {}
+            }
+        }
+        saved
+    }
+
+    /// Restores bindings and combines reductions atomically.
+    pub(crate) fn restore_data_sharing(
+        &mut self,
+        d: &P<OMPDirective>,
+        saved: Vec<(DeclId, Option<Binding>, Option<Value>)>,
+    ) {
+        // Find the reduction ops again (for the combine).
+        let mut red_op = std::collections::HashMap::new();
+        for c in &d.clauses {
+            if let OMPClauseKind::Reduction { op, vars } = &c.kind {
+                for ve in vars {
+                    if let Some(v) = ve.as_decl_ref() {
+                        red_op.insert(v.id, (*op, P::clone(&v.ty)));
+                    }
+                }
+            }
+        }
+        for (id, old, shared) in saved {
+            if let (Some(shared_addr), Some((op, ty))) = (shared, red_op.get(&id)) {
+                let ity = ir_type(ty);
+                let local_addr = self.bindings[&id].addr;
+                let fname = match (op, ity.is_float()) {
+                    (ReductionOp::Add, false) => "__omplt_atomic_add_i64",
+                    (ReductionOp::Add, true) => "__omplt_atomic_add_f64",
+                    (ReductionOp::Mul, false) => "__omplt_atomic_mul_i64",
+                    (ReductionOp::Mul, true) => "__omplt_atomic_mul_f64",
+                    _ => "__omplt_atomic_add_i64",
+                };
+                let f = self.module.declare_extern(
+                    fname,
+                    vec![IrType::Ptr, if ity.is_float() { IrType::F64 } else { IrType::I64 }],
+                    IrType::Void,
+                );
+                self.with_builder(|b| {
+                    let v = b.load(ity, local_addr);
+                    let v = if ity.is_float() {
+                        if ity == IrType::F32 {
+                            b.cast(omplt_ir::CastOp::FpExt, v, IrType::F64)
+                        } else {
+                            v
+                        }
+                    } else {
+                        b.int_resize(v, IrType::I64, true)
+                    };
+                    b.call(f, vec![shared_addr, v], IrType::Void);
+                });
+            }
+            match old {
+                Some(b) => {
+                    self.bindings.insert(id, b);
+                }
+                None => {
+                    self.bindings.remove(&id);
+                }
+            }
+        }
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum LoopFlavor {
+    Simd,
+    Taskloop,
+}
+
+/// Resolves wrappers down to the loop statement, collecting transformed-AST
+/// prologues — the codegen-side mirror of Sema's `resolve_level`.
+pub(crate) fn resolve_loop(stmt: &P<Stmt>) -> (Vec<P<Stmt>>, P<Stmt>) {
+    let mut prologue = Vec::new();
+    let mut cur = P::clone(stmt);
+    loop {
+        let next = match &cur.kind {
+            StmtKind::OMP(d) if d.kind.is_loop_transformation() => match d.get_transformed_stmt() {
+                Some(t) => P::clone(t),
+                None => return (prologue, cur),
+            },
+            StmtKind::OMPCanonicalLoop(cl) => P::clone(&cl.loop_stmt),
+            StmtKind::Compound(stmts) if !stmts.is_empty() => {
+                let (last, rest) = stmts.split_last().expect("non-empty");
+                if last.strip_to_loop().is_loop()
+                    && rest.iter().all(|s| matches!(s.kind, StmtKind::Decl(_)))
+                {
+                    prologue.extend(rest.iter().cloned());
+                    P::clone(last)
+                } else {
+                    return (prologue, cur);
+                }
+            }
+            _ => return (prologue, cur),
+        };
+        cur = next;
+    }
+}
+
+/// Extracts the schedule clause (kind + chunk).
+fn schedule_of(d: &P<OMPDirective>) -> (ScheduleKind, Option<P<omplt_ast::Expr>>) {
+    for c in &d.clauses {
+        if let OMPClauseKind::Schedule { kind, chunk } = &c.kind {
+            return (*kind, chunk.clone());
+        }
+    }
+    (ScheduleKind::Static, None)
+}

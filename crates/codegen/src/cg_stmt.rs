@@ -1,0 +1,348 @@
+//! Statement lowering (the base language; OpenMP directives dispatch into
+//! `cg_omp_classic` / `cg_omp_irbuilder`).
+
+use crate::codegen::{ir_type, Binding, FnCodegen};
+use omplt_ast::{Attr, CxxForRangeData, Decl, P, Stmt, StmtKind, VarDecl};
+use omplt_ir::{IrType, LoopMetadata, UnrollHint, Value};
+use omplt_sema::OpenMpCodegenMode;
+
+impl FnCodegen<'_, '_> {
+    /// Emits one statement at the current insertion point.
+    pub(crate) fn emit_stmt(&mut self, s: &P<Stmt>) {
+        // Stop emitting into a terminated block (code after return/break).
+        if self.func.block(self.cur).term.is_some() {
+            return;
+        }
+        match &s.kind {
+            StmtKind::Compound(stmts) => {
+                for c in stmts {
+                    self.emit_stmt(c);
+                }
+            }
+            StmtKind::Decl(decls) => {
+                for d in decls {
+                    if let Decl::Var(v) = d {
+                        self.emit_var_decl(v, &[]);
+                    }
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.emit_rvalue(e);
+            }
+            StmtKind::Null => {}
+            StmtKind::Return(e) => {
+                let v = e.as_ref().map(|e| self.emit_rvalue(e));
+                self.with_builder(|b| b.ret(v));
+            }
+            StmtKind::Break => {
+                if let Some(&(brk, _)) = self.loop_stack.last() {
+                    self.with_builder(|b| b.br(brk));
+                } else {
+                    self.diags.error(s.loc, "'break' outside of a loop");
+                }
+            }
+            StmtKind::Continue => {
+                if let Some(&(_, cont)) = self.loop_stack.last() {
+                    self.with_builder(|b| b.br(cont));
+                } else {
+                    self.diags.error(s.loc, "'continue' outside of a loop");
+                }
+            }
+            StmtKind::If { cond, then, els } => {
+                let c = self.emit_rvalue(cond);
+                let (then_bb, else_bb, join) = self.with_builder(|b| {
+                    let then_bb = b.create_block("if.then");
+                    let else_bb = b.create_block("if.else");
+                    let join = b.create_block("if.end");
+                    b.cond_br(c, then_bb, else_bb);
+                    (then_bb, else_bb, join)
+                });
+                self.cur = then_bb;
+                self.emit_stmt(then);
+                self.branch_if_open(join);
+                self.cur = else_bb;
+                if let Some(e) = els {
+                    self.emit_stmt(e);
+                }
+                self.branch_if_open(join);
+                self.cur = join;
+            }
+            StmtKind::While { cond, body } => {
+                let (cond_bb, body_bb, end) = self.with_builder(|b| {
+                    let cond_bb = b.create_block("while.cond");
+                    let body_bb = b.create_block("while.body");
+                    let end = b.create_block("while.end");
+                    b.br(cond_bb);
+                    (cond_bb, body_bb, end)
+                });
+                self.cur = cond_bb;
+                let c = self.emit_rvalue(cond);
+                self.with_builder(|b| b.cond_br(c, body_bb, end));
+                self.cur = body_bb;
+                self.loop_stack.push((end, cond_bb));
+                self.emit_stmt(body);
+                self.loop_stack.pop();
+                self.branch_if_open(cond_bb);
+                self.cur = end;
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let (body_bb, cond_bb, end) = self.with_builder(|b| {
+                    let body_bb = b.create_block("do.body");
+                    let cond_bb = b.create_block("do.cond");
+                    let end = b.create_block("do.end");
+                    b.br(body_bb);
+                    (body_bb, cond_bb, end)
+                });
+                self.cur = body_bb;
+                self.loop_stack.push((end, cond_bb));
+                self.emit_stmt(body);
+                self.loop_stack.pop();
+                self.branch_if_open(cond_bb);
+                self.cur = cond_bb;
+                let c = self.emit_rvalue(cond);
+                self.with_builder(|b| b.cond_br(c, body_bb, end));
+                self.cur = end;
+            }
+            StmtKind::For { .. } => self.emit_for(s, None),
+            StmtKind::CxxForRange(d) => self.emit_range_for(d),
+            StmtKind::Attributed { attrs, sub } => {
+                // LoopHintAttr → llvm.loop.unroll.* metadata on the loop we
+                // are about to emit (paper §2.1).
+                let md = attrs.iter().find_map(|a| match a {
+                    Attr::LoopUnrollCount(n) => Some(LoopMetadata::unroll(UnrollHint::Count(*n))),
+                    Attr::LoopUnrollFull => Some(LoopMetadata::unroll(UnrollHint::Full)),
+                    Attr::LoopUnrollEnable => Some(LoopMetadata::unroll(UnrollHint::Enable)),
+                });
+                match &sub.kind {
+                    StmtKind::For { .. } => self.emit_for(sub, md),
+                    _ => self.emit_stmt(sub),
+                }
+            }
+            StmtKind::Captured(c) => {
+                // A bare captured statement executes its body inline.
+                self.emit_stmt(&c.decl.body);
+            }
+            StmtKind::OMPCanonicalLoop(cl) => {
+                // Outside a directive the canonical loop wrapper is
+                // transparent.
+                let _ = self.emit_canonical_loop(cl);
+            }
+            StmtKind::OMP(d) => match self.opts.mode {
+                OpenMpCodegenMode::Classic => self.emit_omp_classic(d),
+                OpenMpCodegenMode::IrBuilder => self.emit_omp_irbuilder(d),
+            },
+        }
+    }
+
+    /// Declares a variable: (re)uses its slot and stores the initializer.
+    /// `overrides` supplies pre-bound storage (canonical-loop Result params).
+    pub(crate) fn emit_var_decl(&mut self, v: &P<VarDecl>, overrides: &[(omplt_ast::DeclId, Value)]) {
+        if let Some((_, addr)) = overrides.iter().find(|(id, _)| *id == v.id) {
+            self.bindings.insert(v.id, Binding { addr: *addr });
+            return;
+        }
+        let slot = self.slot_for(v);
+        self.bindings.insert(v.id, Binding { addr: slot });
+        if let Some(init) = &v.init {
+            if v.by_ref {
+                // Reference binding: store the referent's ADDRESS.
+                let addr = self.emit_lvalue(init);
+                self.with_builder(|b| b.store(addr, slot));
+            } else if v.ty.element().is_some() {
+                self.diags.error(v.loc, "array initializers are not supported");
+            } else {
+                let val = self.emit_rvalue(init);
+                self.with_builder(|b| b.store(val, slot));
+            }
+        }
+    }
+
+    /// Branches to `target` unless the current block is already terminated.
+    pub(crate) fn branch_if_open(&mut self, target: omplt_ir::BlockId) {
+        if self.func.block(self.cur).term.is_none() {
+            self.with_builder(|b| b.br(target));
+        }
+    }
+
+    /// Generic C for-loop lowering; `md` attaches loop metadata to the latch
+    /// (LoopHintAttr / heuristic unroll deferral).
+    ///
+    /// Metadata-carrying loops are lowered through the canonical skeleton
+    /// when they are in canonical form, so the mid-end `LoopUnroll` pass can
+    /// recognize them without ScalarEvolution-style analysis — this is what
+    /// makes the shadow-AST deferral ("no duplication takes place until
+    /// that point", paper §2.1) actually fire.
+    pub(crate) fn emit_for(&mut self, s: &P<Stmt>, md: Option<LoopMetadata>) {
+        if let Some(m) = md {
+            if self.emit_canonical_for(s, m) {
+                return;
+            }
+        }
+        let StmtKind::For { init, cond, inc, body } = &s.kind else { unreachable!() };
+        if let Some(i) = init {
+            self.emit_stmt(i);
+        }
+        let (cond_bb, body_bb, inc_bb, end) = self.with_builder(|b| {
+            let cond_bb = b.create_block("for.cond");
+            let body_bb = b.create_block("for.body");
+            let inc_bb = b.create_block("for.inc");
+            let end = b.create_block("for.end");
+            b.br(cond_bb);
+            (cond_bb, body_bb, inc_bb, end)
+        });
+        self.cur = cond_bb;
+        match cond {
+            Some(c) => {
+                let cv = self.emit_rvalue(c);
+                self.with_builder(|b| b.cond_br(cv, body_bb, end));
+            }
+            None => self.with_builder(|b| b.br(body_bb)),
+        }
+        self.cur = body_bb;
+        self.loop_stack.push((end, inc_bb));
+        self.emit_stmt(body);
+        self.loop_stack.pop();
+        self.branch_if_open(inc_bb);
+        self.cur = inc_bb;
+        if let Some(i) = inc {
+            self.emit_rvalue(i);
+        }
+        // The latch: carries the loop metadata.
+        self.with_builder(|b| match md {
+            Some(m) => b.br_with_md(cond_bb, m),
+            None => b.br(cond_bb),
+        });
+        self.cur = end;
+    }
+
+    /// Lowers a canonical-form for-loop through the canonical skeleton with
+    /// `md` on the latch. Returns false (emitting nothing) when the loop is
+    /// not in canonical form — the caller falls back to generic lowering.
+    fn emit_canonical_for(&mut self, s: &P<Stmt>, md: LoopMetadata) -> bool {
+        // A throwaway context is safe here: the analysis builds expression
+        // nodes only (no new declarations), and expressions reference the
+        // original `VarDecl`s.
+        let ctx = omplt_ast::ASTContext::new();
+        let quiet = omplt_source::DiagnosticsEngine::new();
+        let Some(a) = omplt_sema::analyze_canonical_loop(&ctx, &quiet, s, "loop hint") else {
+            return false;
+        };
+        let StmtKind::For { init, body, .. } = &s.kind else { return false };
+        if let Some(i) = init.clone() {
+            self.emit_stmt(&i);
+        }
+        // Loop-invariant values, evaluated once in the preheader position:
+        // the variable's start value, the step, and the trip count.
+        let start = self.load_var(&a.iter_var);
+        let step_expr = a.step.clone();
+        let step = self.emit_rvalue(&step_expr);
+        // A compile-time trip count is materialized as a constant so the
+        // full-unroll path of the LoopUnroll pass can see it (the generic
+        // distance expression goes through memory and would not fold).
+        let logical_ir = ir_type(&a.logical_ty);
+        let tc = match a.const_trip_count() {
+            Some(n) => Value::int(logical_ir, n as i64),
+            None => {
+                let dist = a.distance_expr(&ctx);
+                self.emit_rvalue(&dist)
+            }
+        };
+        let var_ir = ir_type(&a.iter_var.ty);
+        let is_ptr = a.iter_var.ty.is_pointer();
+        let elem = a.iter_var.ty.pointee().map_or(1, |t| t.size_of()).max(1);
+        let down = a.direction == omplt_sema::LoopDirection::Down;
+
+        let cli = {
+            let mut b = omplt_ir::IrBuilder::new(&mut self.func);
+            b.set_insert_point(self.cur);
+            let cli =
+                omplt_ompirb::create_canonical_loop_skeleton(&mut b, tc, "hint", true);
+            cli.set_metadata(b.func_mut(), LoopMetadata { is_canonical: true, ..md });
+            cli
+        };
+        self.cur = cli.body;
+        // var = start ± iv * step, then the body.
+        let val = self.with_builder(|b| {
+            if is_ptr {
+                let iv64 = b.int_resize(cli.iv(), IrType::I64, false);
+                let scaled = b.mul(iv64, step);
+                let off = if down { b.sub(Value::i64(0), scaled) } else { scaled };
+                b.gep(start, off, elem)
+            } else {
+                let ivv = b.int_resize(cli.iv(), var_ir, false);
+                let stepv = b.int_resize(step, var_ir, true);
+                let scaled = b.mul(ivv, stepv);
+                if down {
+                    b.sub(start, scaled)
+                } else {
+                    b.add(start, scaled)
+                }
+            }
+        });
+        self.store_var(&a.iter_var, val);
+        self.loop_stack.push((cli.after, cli.latch));
+        self.emit_stmt(body);
+        self.loop_stack.pop();
+        self.branch_if_open(cli.latch);
+        self.cur = cli.after;
+        true
+    }
+
+    /// Lowers a range-based for through its de-sugared form (paper Fig.
+    /// lst:rangesugar).
+    fn emit_range_for(&mut self, d: &P<CxxForRangeData>) {
+        self.emit_stmt(&d.range_stmt);
+        self.emit_stmt(&d.begin_stmt);
+        self.emit_stmt(&d.end_stmt);
+        let (cond_bb, body_bb, inc_bb, end) = self.with_builder(|b| {
+            let cond_bb = b.create_block("range.cond");
+            let body_bb = b.create_block("range.body");
+            let inc_bb = b.create_block("range.inc");
+            let end = b.create_block("range.end");
+            b.br(cond_bb);
+            (cond_bb, body_bb, inc_bb, end)
+        });
+        self.cur = cond_bb;
+        let c = self.emit_rvalue(&d.cond);
+        self.with_builder(|b| b.cond_br(c, body_bb, end));
+        self.cur = body_bb;
+        // Bind the loop user variable for this iteration.
+        self.emit_stmt(&d.loop_var_stmt);
+        self.loop_stack.push((end, inc_bb));
+        self.emit_stmt(&d.body);
+        self.loop_stack.pop();
+        self.branch_if_open(inc_bb);
+        self.cur = inc_bb;
+        self.emit_rvalue(&d.inc);
+        self.with_builder(|b| b.br(cond_bb));
+        self.cur = end;
+    }
+
+    /// Loads the current value of a bound variable (helper for OpenMP
+    /// lowering).
+    pub(crate) fn load_var(&mut self, v: &P<VarDecl>) -> Value {
+        let addr = self.bindings.get(&v.id).map(|b| b.addr).unwrap_or_else(|| {
+            let s = self.slot_for(v);
+            self.bindings.insert(v.id, Binding { addr: s });
+            s
+        });
+        let ty = ir_type(&v.ty);
+        self.with_builder(|b| b.load(ty, addr))
+    }
+
+    /// Stores into a bound variable.
+    pub(crate) fn store_var(&mut self, v: &P<VarDecl>, val: Value) {
+        let addr = self.bindings.get(&v.id).map(|b| b.addr).unwrap_or_else(|| {
+            let s = self.slot_for(v);
+            self.bindings.insert(v.id, Binding { addr: s });
+            s
+        });
+        self.with_builder(|b| b.store(val, addr));
+    }
+
+    /// Allocates an anonymous scratch slot.
+    pub(crate) fn scratch(&mut self, ty: IrType, name: &str) -> Value {
+        let entry = self.func.entry();
+        self.func.push_inst(entry, omplt_ir::Inst::Alloca { ty, count: 1, name: name.to_string() })
+    }
+}

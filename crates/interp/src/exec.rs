@@ -1,0 +1,653 @@
+//! The IR interpreter: executes `omplt-ir` modules, dispatching runtime
+//! calls (OpenMP + I/O shims) to [`crate::runtime`].
+
+use crate::memory::Memory;
+use crate::runtime::{self, RuntimeConfig, ThreadCtx};
+use omplt_ir::{
+    BinOpKind, BlockId, CastOp, CmpPred, Function, Inst, IrType, Module, Terminator, Value,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RtVal {
+    /// Integer (sign-extended to 64-bit storage).
+    I(i64),
+    /// Floating point (f32 values round-trip through f64 storage).
+    F(f64),
+    /// Guest pointer.
+    P(u64),
+}
+
+impl RtVal {
+    /// Integer payload (pointers coerce — C-style).
+    pub fn as_i(self) -> i64 {
+        match self {
+            RtVal::I(v) => v,
+            RtVal::P(p) => p as i64,
+            RtVal::F(f) => f as i64,
+        }
+    }
+
+    /// Float payload.
+    pub fn as_f(self) -> f64 {
+        match self {
+            RtVal::F(v) => v,
+            RtVal::I(v) => v as f64,
+            RtVal::P(p) => p as f64,
+        }
+    }
+
+    /// Pointer payload.
+    pub fn as_p(self) -> u64 {
+        match self {
+            RtVal::P(p) => p,
+            RtVal::I(v) => v as u64,
+            RtVal::F(_) => 0,
+        }
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Memory fault.
+    Mem(String),
+    /// `unreachable` executed.
+    Unreachable,
+    /// The step budget was exhausted (guards against infinite loops).
+    FuelExhausted,
+    /// Call to an unknown function.
+    UnknownFunction(String),
+    /// Malformed IR encountered at runtime.
+    Malformed(String),
+    /// A spawned team thread panicked.
+    ThreadPanic,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DivByZero => write!(f, "division by zero"),
+            ExecError::Mem(m) => write!(f, "memory error: {m}"),
+            ExecError::Unreachable => write!(f, "reached 'unreachable'"),
+            ExecError::FuelExhausted => write!(f, "step budget exhausted (infinite loop?)"),
+            ExecError::UnknownFunction(n) => write!(f, "call to unknown function '{n}'"),
+            ExecError::Malformed(m) => write!(f, "malformed IR: {m}"),
+            ExecError::ThreadPanic => write!(f, "a team thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Everything printed through the `print_*` shims.
+    pub stdout: String,
+    /// `main`'s return value (0 when `main` returns void).
+    pub exit_code: i64,
+    /// Number of tasks created by `taskloop` constructs — the paper notes
+    /// the unroll factor becomes *observable* through this count.
+    pub tasks_created: u64,
+}
+
+/// Shared interpreter state (one per run; `Sync`, shared across team
+/// threads).
+pub struct Interpreter<'m> {
+    /// The module being executed.
+    pub module: &'m Module,
+    /// Guest memory.
+    pub mem: Arc<Memory>,
+    /// Collected stdout.
+    pub out: Mutex<String>,
+    /// Task counter (see [`RunResult::tasks_created`]).
+    pub tasks: AtomicU64,
+    /// Remaining instruction budget, shared across all threads.
+    pub fuel: AtomicU64,
+    /// Runtime configuration.
+    pub cfg: RuntimeConfig,
+    /// Guest addresses of module globals, by symbol index.
+    pub global_addrs: Vec<(u32, u64)>,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter and materializes module globals.
+    pub fn new(module: &'m Module, cfg: RuntimeConfig) -> Interpreter<'m> {
+        let mem = Arc::new(Memory::new());
+        let mut global_addrs = Vec::new();
+        for g in &module.globals {
+            let addr = mem.alloc(g.size.max(1));
+            for (i, w) in g.init.iter().enumerate() {
+                let sz = g.ty.size().max(1);
+                let _ = mem.store(addr + i as u64 * sz, sz, *w as u64);
+            }
+            global_addrs.push((g.sym.0, addr));
+        }
+        Interpreter {
+            module,
+            mem,
+            out: Mutex::new(String::new()),
+            tasks: AtomicU64::new(0),
+            fuel: AtomicU64::new(cfg.max_steps),
+            cfg,
+            global_addrs,
+        }
+    }
+
+    /// Runs `main` and collects results.
+    pub fn run_main(&self) -> Result<RunResult, ExecError> {
+        let ctx = ThreadCtx::initial();
+        let ret = self.call_by_name("main", vec![], &ctx)?;
+        Ok(RunResult {
+            stdout: std::mem::take(&mut *self.out.lock().expect("out lock")),
+            exit_code: ret.map_or(0, |v| v.as_i()),
+            tasks_created: self.tasks.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Runs an arbitrary void/intret function (for kernels without `main`).
+    pub fn run_function(&self, name: &str, args: Vec<RtVal>) -> Result<RunResult, ExecError> {
+        let ctx = ThreadCtx::initial();
+        let ret = self.call_by_name(name, args, &ctx)?;
+        Ok(RunResult {
+            stdout: std::mem::take(&mut *self.out.lock().expect("out lock")),
+            exit_code: ret.map_or(0, |v| v.as_i()),
+            tasks_created: self.tasks.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Calls a function by name: module definitions first, then runtime
+    /// shims.
+    pub fn call_by_name(
+        &self,
+        name: &str,
+        args: Vec<RtVal>,
+        ctx: &ThreadCtx,
+    ) -> Result<Option<RtVal>, ExecError> {
+        if let Some(f) = self.module.function(name) {
+            return self.exec_function(f, args, ctx);
+        }
+        runtime::dispatch(self, name, args, ctx)
+    }
+
+    fn global_addr(&self, sym: u32) -> Option<u64> {
+        self.global_addrs.iter().find(|(s, _)| *s == sym).map(|(_, a)| *a)
+    }
+
+    fn eval(&self, frame: &[Option<RtVal>], args: &[RtVal], v: Value) -> Result<RtVal, ExecError> {
+        Ok(match v {
+            Value::Inst(id) => frame[id.0 as usize]
+                .ok_or_else(|| ExecError::Malformed(format!("use of undefined %{}", id.0)))?,
+            Value::Arg(i) => *args
+                .get(i as usize)
+                .ok_or_else(|| ExecError::Malformed(format!("missing argument {i}")))?,
+            Value::ConstInt { val, .. } => RtVal::I(val),
+            Value::ConstFloat { bits, .. } => RtVal::F(f64::from_bits(bits)),
+            Value::Global(s) => RtVal::P(
+                self.global_addr(s.0)
+                    .ok_or_else(|| ExecError::Malformed(format!("unknown global {}", s.0)))?,
+            ),
+            Value::FuncRef(s) => RtVal::P(Memory::encode_fn_ptr(s.0)),
+            Value::Undef(ty) => {
+                if ty.is_float() {
+                    RtVal::F(0.0)
+                } else {
+                    RtVal::I(0)
+                }
+            }
+        })
+    }
+
+    /// Executes one function body.
+    pub fn exec_function(
+        &self,
+        f: &Function,
+        args: Vec<RtVal>,
+        ctx: &ThreadCtx,
+    ) -> Result<Option<RtVal>, ExecError> {
+        let mut frame: Vec<Option<RtVal>> = vec![None; f.insts.len()];
+        let mut cur = f.entry();
+        let mut prev: Option<BlockId> = None;
+        // Fuel is accounted in batches: a per-frame local counter refills
+        // from the shared atomic, so team threads do not serialize on one
+        // contended cache line (one fetch_sub per 4096 instructions).
+        const FUEL_BATCH: u64 = 4096;
+        let mut local_fuel: u64 = 0;
+
+        loop {
+            let block = f.block(cur);
+
+            // Phase 1: evaluate all phis against the incoming edge
+            // simultaneously (textbook simultaneous-assignment semantics).
+            let mut phi_updates: Vec<(usize, RtVal)> = Vec::new();
+            for &iid in &block.insts {
+                match f.inst(iid) {
+                    Inst::Phi { incoming, .. } => {
+                        let from = prev.ok_or_else(|| {
+                            ExecError::Malformed("phi in entry block".to_string())
+                        })?;
+                        let (_, val) = incoming
+                            .iter()
+                            .find(|(b, _)| *b == from)
+                            .ok_or_else(|| {
+                                ExecError::Malformed(format!(
+                                    "phi %{} has no edge for predecessor {}",
+                                    iid.0, from.0
+                                ))
+                            })?;
+                        phi_updates.push((iid.0 as usize, self.eval(&frame, &args, *val)?));
+                    }
+                    _ => break,
+                }
+            }
+            for (slot, v) in phi_updates {
+                frame[slot] = Some(v);
+            }
+
+            // Phase 2: the straight-line instructions.
+            for &iid in &block.insts {
+                if matches!(f.inst(iid), Inst::Phi { .. }) {
+                    continue;
+                }
+                if local_fuel == 0 {
+                    let prev_fuel = self.fuel.fetch_sub(FUEL_BATCH, Ordering::Relaxed);
+                    if prev_fuel < FUEL_BATCH {
+                        return Err(ExecError::FuelExhausted);
+                    }
+                    local_fuel = FUEL_BATCH;
+                }
+                local_fuel -= 1;
+                let result = self.exec_inst(f, &frame, &args, f.inst(iid), ctx)?;
+                frame[iid.0 as usize] = result;
+            }
+
+            // Phase 3: the terminator.
+            let term = block
+                .term
+                .as_ref()
+                .ok_or_else(|| ExecError::Malformed(format!("unterminated block {}", block.name)))?;
+            match term {
+                Terminator::Br { target, .. } => {
+                    prev = Some(cur);
+                    cur = *target;
+                }
+                Terminator::CondBr { cond, then_bb, else_bb, .. } => {
+                    let c = self.eval(&frame, &args, *cond)?.as_i();
+                    prev = Some(cur);
+                    cur = if c != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret(v) => {
+                    return match v {
+                        Some(v) => Ok(Some(self.eval(&frame, &args, *v)?)),
+                        None => Ok(None),
+                    };
+                }
+                Terminator::Unreachable => return Err(ExecError::Unreachable),
+            }
+        }
+    }
+
+    fn exec_inst(
+        &self,
+        f: &Function,
+        frame: &[Option<RtVal>],
+        args: &[RtVal],
+        inst: &Inst,
+        ctx: &ThreadCtx,
+    ) -> Result<Option<RtVal>, ExecError> {
+        Ok(match inst {
+            Inst::Phi { .. } => unreachable!("phis handled in phase 1"),
+            Inst::Alloca { ty, count, .. } => {
+                Some(RtVal::P(self.mem.alloc(ty.size().max(1) * (*count).max(1))))
+            }
+            Inst::Load { ty, ptr } => {
+                let p = self.eval(frame, args, *ptr)?.as_p();
+                let raw = self.mem.load(p, ty.size()).map_err(|e| ExecError::Mem(e.what))?;
+                Some(decode_scalar(*ty, raw))
+            }
+            Inst::Store { val, ptr } => {
+                let ty = f.value_type(*val);
+                let v = self.eval(frame, args, *val)?;
+                let p = self.eval(frame, args, *ptr)?.as_p();
+                self.mem
+                    .store(p, ty.size(), encode_scalar(ty, v))
+                    .map_err(|e| ExecError::Mem(e.what))?;
+                None
+            }
+            Inst::Gep { ptr, index, elem_size } => {
+                let p = self.eval(frame, args, *ptr)?.as_p();
+                let i = self.eval(frame, args, *index)?.as_i();
+                Some(RtVal::P(p.wrapping_add((i as u64).wrapping_mul(*elem_size))))
+            }
+            Inst::Bin { op, lhs, rhs } => {
+                let ty = f.value_type(*lhs);
+                let a = self.eval(frame, args, *lhs)?;
+                let b = self.eval(frame, args, *rhs)?;
+                Some(exec_bin(*op, ty, a, b)?)
+            }
+            Inst::Cmp { pred, lhs, rhs } => {
+                let ty = f.value_type(*lhs);
+                let a = self.eval(frame, args, *lhs)?;
+                let b = self.eval(frame, args, *rhs)?;
+                Some(RtVal::I(exec_cmp(*pred, ty, a, b) as i64))
+            }
+            Inst::Cast { op, val, to } => {
+                let from = f.value_type(*val);
+                let v = self.eval(frame, args, *val)?;
+                Some(exec_cast(*op, from, *to, v))
+            }
+            Inst::Select { cond, t, f: fv } => {
+                let c = self.eval(frame, args, *cond)?.as_i();
+                Some(self.eval(frame, args, if c != 0 { *t } else { *fv })?)
+            }
+            Inst::Call { callee, args: call_args, ty } => {
+                let name = self.module.symbol_name(callee.0).to_string();
+                let mut vs = Vec::with_capacity(call_args.len());
+                for a in call_args {
+                    vs.push(self.eval(frame, args, *a)?);
+                }
+                let r = self.call_by_name(&name, vs, ctx)?;
+                if *ty == IrType::Void {
+                    None
+                } else {
+                    Some(r.unwrap_or(RtVal::I(0)))
+                }
+            }
+        })
+    }
+}
+
+/// Converts raw loaded bits into a typed value.
+pub fn decode_scalar(ty: IrType, raw: u64) -> RtVal {
+    match ty {
+        IrType::F32 => RtVal::F(f32::from_bits(raw as u32) as f64),
+        IrType::F64 => RtVal::F(f64::from_bits(raw)),
+        IrType::Ptr => RtVal::P(raw),
+        _ => RtVal::I(ty.wrap(raw as i64)),
+    }
+}
+
+/// Converts a typed value into raw storable bits.
+pub fn encode_scalar(ty: IrType, v: RtVal) -> u64 {
+    match ty {
+        IrType::F32 => (v.as_f() as f32).to_bits() as u64,
+        IrType::F64 => v.as_f().to_bits(),
+        IrType::Ptr => v.as_p(),
+        _ => v.as_i() as u64,
+    }
+}
+
+fn exec_bin(op: BinOpKind, ty: IrType, a: RtVal, b: RtVal) -> Result<RtVal, ExecError> {
+    use BinOpKind::*;
+    if op.is_float() {
+        let (x, y) = (a.as_f(), b.as_f());
+        let r = match op {
+            FAdd => x + y,
+            FSub => x - y,
+            FMul => x * y,
+            FDiv => x / y,
+            FRem => x % y,
+            _ => unreachable!(),
+        };
+        return Ok(RtVal::F(if ty == IrType::F32 { (r as f32) as f64 } else { r }));
+    }
+    // Pointer arithmetic through add/sub keeps the pointer flavor.
+    if ty == IrType::Ptr {
+        let (x, y) = (a.as_p(), b.as_p());
+        let r = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            _ => return Err(ExecError::Malformed("non-additive pointer arithmetic".into())),
+        };
+        return Ok(RtVal::P(r));
+    }
+    let (x, y) = (a.as_i(), b.as_i());
+    let (ux, uy) = (ty.wrap_unsigned(x), ty.wrap_unsigned(y));
+    let r = match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        SDiv => {
+            if y == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            x.wrapping_div(y)
+        }
+        UDiv => {
+            if uy == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            (ux / uy) as i64
+        }
+        SRem => {
+            if y == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        URem => {
+            if uy == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            (ux % uy) as i64
+        }
+        Shl => x.wrapping_shl((uy & 63) as u32),
+        AShr => x.wrapping_shr((uy & 63) as u32),
+        LShr => (ux >> (uy & (ty.bits() as u64 - 1).max(1))) as i64,
+        And => x & y,
+        Or => x | y,
+        Xor => x ^ y,
+        _ => unreachable!(),
+    };
+    Ok(RtVal::I(ty.wrap(r)))
+}
+
+fn exec_cmp(pred: CmpPred, ty: IrType, a: RtVal, b: RtVal) -> bool {
+    use CmpPred::*;
+    if pred.is_float() {
+        let (x, y) = (a.as_f(), b.as_f());
+        return match pred {
+            FEq => x == y,
+            FNe => x != y,
+            FLt => x < y,
+            FLe => x <= y,
+            FGt => x > y,
+            FGe => x >= y,
+            _ => unreachable!(),
+        };
+    }
+    let (x, y) = (a.as_i(), b.as_i());
+    let (ux, uy) = if ty == IrType::Ptr {
+        (a.as_p(), b.as_p())
+    } else {
+        (ty.wrap_unsigned(x), ty.wrap_unsigned(y))
+    };
+    match pred {
+        Eq => ux == uy,
+        Ne => ux != uy,
+        Slt => x < y,
+        Sle => x <= y,
+        Sgt => x > y,
+        Sge => x >= y,
+        Ult => ux < uy,
+        Ule => ux <= uy,
+        Ugt => ux > uy,
+        Uge => ux >= uy,
+        _ => unreachable!(),
+    }
+}
+
+fn exec_cast(op: CastOp, from: IrType, to: IrType, v: RtVal) -> RtVal {
+    match op {
+        CastOp::Trunc => RtVal::I(to.wrap(v.as_i())),
+        CastOp::SExt => RtVal::I(v.as_i()),
+        CastOp::ZExt => RtVal::I(from.wrap_unsigned(v.as_i()) as i64),
+        CastOp::SiToFp => RtVal::F(round_to(to, v.as_i() as f64)),
+        CastOp::UiToFp => RtVal::F(round_to(to, from.wrap_unsigned(v.as_i()) as f64)),
+        CastOp::FpToSi => RtVal::I(to.wrap(v.as_f() as i64)),
+        CastOp::FpToUi => RtVal::I(to.wrap(v.as_f() as u64 as i64)),
+        CastOp::FpTrunc | CastOp::FpExt => RtVal::F(round_to(to, v.as_f())),
+        CastOp::PtrToInt => RtVal::I(to.wrap(v.as_p() as i64)),
+        CastOp::IntToPtr => RtVal::P(v.as_i() as u64),
+    }
+}
+
+fn round_to(ty: IrType, v: f64) -> f64 {
+    if ty == IrType::F32 {
+        (v as f32) as f64
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::IrBuilder;
+
+    fn run(m: &Module) -> RunResult {
+        Interpreter::new(m, RuntimeConfig::default()).run_main().expect("run failed")
+    }
+
+    #[test]
+    fn returns_constant() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            b.ret(Some(Value::i32(42)));
+        }
+        m.add_function(f);
+        assert_eq!(run(&m).exit_code, 42);
+    }
+
+    #[test]
+    fn memory_round_trip_and_print() {
+        let mut m = Module::new();
+        let print = m.intern("print_i64");
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let p = b.alloca(IrType::I64, 1, "x");
+            b.store(Value::i64(7), p);
+            let v = b.load(IrType::I64, p);
+            let w = b.mul(v, Value::i64(6));
+            b.call(print, vec![w], IrType::Void);
+            b.ret(Some(Value::i32(0)));
+        }
+        m.add_function(f);
+        assert_eq!(run(&m).stdout, "42\n");
+    }
+
+    #[test]
+    fn loop_with_phi_sums() {
+        // sum 0..10 via canonical-style loop
+        let mut m = Module::new();
+        let print = m.intern("print_i64");
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let acc = b.alloca(IrType::I64, 1, "acc");
+            b.store(Value::i64(0), acc);
+            let header = b.create_block("header");
+            let body = b.create_block("body");
+            let exit = b.create_block("exit");
+            let entry = b.insert_block();
+            b.br(header);
+            b.set_insert_point(header);
+            let (iv, phi) = b.phi(IrType::I64);
+            b.add_phi_incoming(phi, entry, Value::i64(0));
+            let c = b.cmp(CmpPred::Ult, iv, Value::i64(10));
+            b.cond_br(c, body, exit);
+            b.set_insert_point(body);
+            let old = b.load(IrType::I64, acc);
+            let new = b.add(old, iv);
+            b.store(new, acc);
+            let next = b.add(iv, Value::i64(1));
+            b.add_phi_incoming(phi, body, next);
+            b.br(header);
+            b.set_insert_point(exit);
+            let fin = b.load(IrType::I64, acc);
+            b.call(print, vec![fin], IrType::Void);
+            b.ret(Some(Value::i32(0)));
+        }
+        m.add_function(f);
+        assert_eq!(run(&m).stdout, "45\n");
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let p = b.alloca(IrType::I32, 1, "z");
+            b.store(Value::i32(0), p);
+            let z = b.load(IrType::I32, p);
+            let d = b.sdiv(Value::i32(1), z);
+            b.ret(Some(d));
+        }
+        m.add_function(f);
+        let r = Interpreter::new(&m, RuntimeConfig::default()).run_main();
+        assert_eq!(r.unwrap_err(), ExecError::DivByZero);
+    }
+
+    #[test]
+    fn fuel_guards_infinite_loops() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let spin = b.create_block("spin");
+            b.br(spin);
+            b.set_insert_point(spin);
+            // keep at least one instruction so fuel is consumed
+            let p = b.alloca(IrType::I64, 1, "x");
+            b.store(Value::i64(1), p);
+            b.br(spin);
+        }
+        m.add_function(f);
+        let cfg = RuntimeConfig { max_steps: 10_000, ..Default::default() };
+        let r = Interpreter::new(&m, cfg).run_main();
+        assert_eq!(r.unwrap_err(), ExecError::FuelExhausted);
+    }
+
+    #[test]
+    fn f32_rounding_applied() {
+        let mut m = Module::new();
+        let print = m.intern("print_f64");
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let p = b.alloca(IrType::F32, 1, "x");
+            b.store(Value::float(IrType::F32, 0.1), p);
+            let v = b.load(IrType::F32, p);
+            let w = b.cast(CastOp::FpExt, v, IrType::F64);
+            b.call(print, vec![w], IrType::Void);
+            b.ret(Some(Value::i32(0)));
+        }
+        m.add_function(f);
+        let out = run(&m).stdout;
+        assert!(out.starts_with("0.100000001"), "f32 rounding must be visible: {out}");
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let mut m = Module::new();
+        let mystery = m.intern("mystery_fn");
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            b.call(mystery, vec![], IrType::Void);
+            b.ret(Some(Value::i32(0)));
+        }
+        m.add_function(f);
+        let r = Interpreter::new(&m, RuntimeConfig::default()).run_main();
+        assert!(matches!(r.unwrap_err(), ExecError::UnknownFunction(n) if n == "mystery_fn"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # omplt-interp
+//!
+//! Executes `omplt-ir` modules so every loop transformation can be validated
+//! end-to-end: the transformed program must produce the same observable
+//! behaviour as the untransformed one (the property the paper's Clang
+//! implementation must uphold, here checked by tests and property tests).
+//!
+//! * [`memory`] — a shared, byte-addressed memory built from `AtomicU64` word
+//!   cells, so `parallel` regions can run on **real OS threads** without data
+//!   races in the interpreter itself (racy *guest* programs degrade to
+//!   relaxed-atomic semantics instead of UB).
+//! * [`exec`] — the instruction interpreter (stack frames, phi handling,
+//!   calls).
+//! * [`runtime`] — the OpenMP runtime shim: `__kmpc_fork_call` spawns a
+//!   thread team via `std::thread::scope`, `__kmpc_for_static_init`
+//!   implements the static worksharing schedule, plus `omp_get_thread_num`,
+//!   `omp_get_num_threads`, and task bookkeeping for `taskloop`.
+
+pub mod exec;
+pub mod memory;
+pub mod runtime;
+
+pub use exec::{ExecError, Interpreter, RtVal, RunResult};
+pub use memory::Memory;
+pub use runtime::{RuntimeConfig, ThreadCtx};

@@ -1,0 +1,411 @@
+//! The OpenMP runtime shim (plus tiny I/O builtins).
+//!
+//! Implements the calls that Clang's "early outlining" lowering targets
+//! (paper §1): `__kmpc_fork_call` spawns a real thread team with
+//! `std::thread::scope`, `__kmpc_for_static_init` computes static-schedule
+//! chunk bounds (types 34 = static, 33 = static-chunked, exactly the libomp
+//! constants), and `omp_get_thread_num`/`omp_get_num_threads` expose the
+//! team context.
+
+use crate::exec::{ExecError, Interpreter, RtVal};
+use crate::memory::Memory;
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
+
+/// Per-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Default team size for `parallel` regions without `num_threads`.
+    pub num_threads: u32,
+    /// Instruction budget shared by all threads (infinite-loop guard).
+    pub max_steps: u64,
+    /// When true, `parallel` regions execute sequentially (tid 0..n in
+    /// order) — useful for deterministic golden tests.
+    pub serial: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { num_threads: 4, max_steps: 500_000_000, serial: false }
+    }
+}
+
+/// Per-thread execution context (team membership).
+#[derive(Debug)]
+pub struct ThreadCtx {
+    /// This thread's id within its team.
+    pub gtid: u32,
+    /// Team size.
+    pub team_size: u32,
+    /// `num_threads(n)` request for the *next* fork
+    /// (`__kmpc_push_num_threads`).
+    pub pending_num_threads: Cell<Option<u32>>,
+}
+
+impl ThreadCtx {
+    /// The initial (serial-region) context.
+    pub fn initial() -> ThreadCtx {
+        ThreadCtx { gtid: 0, team_size: 1, pending_num_threads: Cell::new(None) }
+    }
+
+    fn team_member(gtid: u32, team_size: u32) -> ThreadCtx {
+        ThreadCtx { gtid, team_size, pending_num_threads: Cell::new(None) }
+    }
+}
+
+/// libomp schedule-type constants (subset).
+const SCHED_STATIC_CHUNKED: i64 = 33;
+#[cfg(test)]
+const SCHED_STATIC: i64 = 34;
+
+/// Dispatches a call to a runtime function. Returns
+/// `Err(UnknownFunction)` for unrecognized names.
+pub fn dispatch(
+    it: &Interpreter<'_>,
+    name: &str,
+    args: Vec<RtVal>,
+    ctx: &ThreadCtx,
+) -> Result<Option<RtVal>, ExecError> {
+    match name {
+        "__kmpc_global_thread_num" | "omp_get_thread_num" => {
+            Ok(Some(RtVal::I(ctx.gtid as i64)))
+        }
+        "omp_get_num_threads" => Ok(Some(RtVal::I(ctx.team_size as i64))),
+        "__kmpc_push_num_threads" => {
+            let n = args.first().map_or(0, |v| v.as_i()).max(1) as u32;
+            ctx.pending_num_threads.set(Some(n));
+            Ok(None)
+        }
+        "__kmpc_fork_call" => fork_call(it, args, ctx),
+        "__kmpc_for_static_init" => for_static_init(it, args, ctx),
+        "__kmpc_for_static_fini" => Ok(None),
+        "__kmpc_barrier" => Ok(None), // fork/join already synchronizes teams
+        "__omplt_task_created" => {
+            it.tasks.fetch_add(1, Ordering::Relaxed);
+            Ok(None)
+        }
+        "__omplt_atomic_add_i64" => {
+            let p = args[0].as_p();
+            let v = args[1].as_i();
+            it.mem.fetch_add_i64(p, v).map_err(|e| ExecError::Mem(e.what))?;
+            Ok(None)
+        }
+        "print_i64" => {
+            let v = args.first().map_or(0, |v| v.as_i());
+            it.out.lock().expect("out lock").push_str(&format!("{v}\n"));
+            Ok(None)
+        }
+        "print_f64" => {
+            let v = args.first().map_or(0.0, |v| v.as_f());
+            let s = if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+                format!("{v:.6}\n")
+            } else {
+                format!("{v}\n")
+            };
+            it.out.lock().expect("out lock").push_str(&s);
+            Ok(None)
+        }
+        "print_char" => {
+            let v = args.first().map_or(0, |v| v.as_i());
+            it.out
+                .lock()
+                .expect("out lock")
+                .push(char::from_u32((v as u32) & 0x7F).unwrap_or('?'));
+            Ok(None)
+        }
+        "omp_get_max_threads" => Ok(Some(RtVal::I(it.cfg.num_threads as i64))),
+        other => Err(ExecError::UnknownFunction(other.to_string())),
+    }
+}
+
+/// `__kmpc_fork_call(fnptr, nargs, cap0, cap1, …)` — spawns the team.
+fn fork_call(
+    it: &Interpreter<'_>,
+    args: Vec<RtVal>,
+    ctx: &ThreadCtx,
+) -> Result<Option<RtVal>, ExecError> {
+    let fnptr = args
+        .first()
+        .ok_or_else(|| ExecError::Malformed("fork_call without function".to_string()))?
+        .as_p();
+    let sym = Memory::decode_fn_ptr(fnptr)
+        .ok_or_else(|| ExecError::Malformed("fork_call target is not a function".to_string()))?;
+    let name = it.module.symbol_name(omplt_ir::SymbolId(sym)).to_string();
+    let caps: Vec<RtVal> = args[2..].to_vec();
+    let team = ctx.pending_num_threads.take().unwrap_or(it.cfg.num_threads).max(1);
+
+    if team == 1 || it.cfg.serial {
+        for tid in 0..team {
+            let child = ThreadCtx::team_member(tid, team);
+            let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
+            a.extend(caps.iter().copied());
+            it.call_by_name(&name, a, &child)?;
+        }
+        return Ok(None);
+    }
+
+    // Real thread team: the interpreter is Sync (module is immutable, memory
+    // is atomic, output is mutexed), so scoped threads can share it.
+    let mut first_err: Option<ExecError> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..team)
+            .map(|tid| {
+                let name = name.clone();
+                let caps = caps.clone();
+                s.spawn(move || {
+                    let child = ThreadCtx::team_member(tid, team);
+                    let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
+                    a.extend(caps);
+                    it.call_by_name(&name, a, &child).map(|_| ())
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(ExecError::ThreadPanic);
+                }
+            }
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(None),
+    }
+}
+
+/// `__kmpc_for_static_init(gtid, sched, plast, plb, pub, pstride, incr,
+/// chunk)` with i64 bounds — the static worksharing schedule.
+fn for_static_init(
+    it: &Interpreter<'_>,
+    args: Vec<RtVal>,
+    ctx: &ThreadCtx,
+) -> Result<Option<RtVal>, ExecError> {
+    if args.len() < 8 {
+        return Err(ExecError::Malformed("for_static_init needs 8 arguments".to_string()));
+    }
+    let sched = args[1].as_i();
+    let plast = args[2].as_p();
+    let plb = args[3].as_p();
+    let pub_ = args[4].as_p();
+    let pstride = args[5].as_p();
+    let chunk = args[7].as_i().max(1);
+
+    let mem = |e: crate::memory::MemError| ExecError::Mem(e.what);
+    let lb = it.mem.load(plb, 8).map_err(mem)? as i64;
+    let ub = it.mem.load(pub_, 8).map_err(mem)? as i64;
+    let tid = ctx.gtid as i64;
+    let team = ctx.team_size as i64;
+    let trip = ub - lb + 1; // may be ≤ 0 for empty loops
+
+    let (my_lb, my_ub, stride, is_last) = if trip <= 0 {
+        (lb, lb - 1, 1, false)
+    } else {
+        match sched {
+            SCHED_STATIC_CHUNKED => {
+                let my_lb = lb + tid * chunk;
+                let my_ub = my_lb + chunk - 1;
+                let stride = chunk * team;
+                // last chunk owner: thread holding the final iteration's chunk
+                let last_owner = ((trip - 1) / chunk) % team;
+                (my_lb, my_ub, stride, tid == last_owner)
+            }
+            _ => {
+                // SCHED_STATIC (34): one contiguous span per thread,
+                // ceil-divided, exactly like libomp's static_balanced-greedy.
+                let per = (trip + team - 1) / team;
+                let my_lb = lb + tid * per;
+                let my_ub = (my_lb + per - 1).min(ub);
+                let is_last = my_lb <= ub && my_ub == ub;
+                (my_lb, my_ub.max(my_lb - 1), trip, is_last)
+            }
+        }
+    };
+
+    it.mem.store(plb, 8, my_lb as u64).map_err(mem)?;
+    it.mem.store(pub_, 8, my_ub as u64).map_err(mem)?;
+    it.mem.store(pstride, 8, stride as u64).map_err(mem)?;
+    it.mem.store(plast, 4, is_last as u64).map_err(mem)?;
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::{Function, IrBuilder, IrType, Module, Value};
+    use std::collections::HashSet;
+
+    /// Builds a module whose outlined function marks `covered[tid-span]` and
+    /// forks a team of `team` threads.
+    fn fork_module(team: u32) -> Module {
+        let mut m = Module::new();
+        let outlined_sym = m.intern("outlined");
+        let fork = m.intern("__kmpc_fork_call");
+        let push = m.intern("__kmpc_push_num_threads");
+
+        // outlined(gtid, btid, ptr flags): flags[gtid] = gtid + 1
+        let mut o = Function::new("outlined", vec![IrType::I32, IrType::I32, IrType::Ptr], IrType::Void);
+        {
+            let mut b = IrBuilder::new(&mut o);
+            let gtid64 = b.cast(omplt_ir::CastOp::SExt, Value::Arg(0), IrType::I64);
+            let slot = b.gep(Value::Arg(2), gtid64, 8);
+            let v = b.add(gtid64, Value::i64(1));
+            b.store(v, slot);
+            b.ret(None);
+        }
+        m.add_function(o);
+
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let flags = b.alloca(IrType::I64, 16, "flags");
+            b.call(push, vec![Value::i32(team as i32)], IrType::Void);
+            b.call(
+                fork,
+                vec![Value::FuncRef(omplt_ir::SymbolId(outlined_sym.0)), Value::i32(1), flags],
+                IrType::Void,
+            );
+            // sum the flags: sum of (tid+1) over the team
+            let mut total = Value::i64(0);
+            for i in 0..team as i64 {
+                let slot = b.gep(flags, Value::i64(i), 8);
+                let v = b.load(IrType::I64, slot);
+                total = b.add(total, v);
+            }
+            let t32 = b.cast(omplt_ir::CastOp::Trunc, total, IrType::I32);
+            b.ret(Some(t32));
+        }
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn fork_call_runs_every_team_member() {
+        for team in [1u32, 2, 4, 8] {
+            let m = fork_module(team);
+            let it = Interpreter::new(&m, RuntimeConfig::default());
+            let r = it.run_main().expect("run");
+            let expect: i64 = (1..=team as i64).sum();
+            assert_eq!(r.exit_code, expect, "team of {team}");
+        }
+    }
+
+    #[test]
+    fn fork_call_serial_mode_matches_parallel() {
+        let m = fork_module(4);
+        let serial = Interpreter::new(&m, RuntimeConfig { serial: true, ..Default::default() })
+            .run_main()
+            .unwrap();
+        let parallel = Interpreter::new(&m, RuntimeConfig::default()).run_main().unwrap();
+        assert_eq!(serial.exit_code, parallel.exit_code);
+    }
+
+    /// Drives `for_static_init` directly and checks the partition laws.
+    fn partition(sched: i64, trip: i64, team: u32, chunk: i64) -> Vec<Vec<i64>> {
+        let m = Module::new();
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        let mut out = Vec::new();
+        for tid in 0..team {
+            let ctx = ThreadCtx::team_member(tid, team);
+            let plast = it.mem.alloc(4);
+            let plb = it.mem.alloc(8);
+            let pub_ = it.mem.alloc(8);
+            let pstride = it.mem.alloc(8);
+            it.mem.store(plb, 8, 0).unwrap();
+            it.mem.store(pub_, 8, (trip - 1) as u64).unwrap();
+            it.mem.store(pstride, 8, 1).unwrap();
+            dispatch(
+                &it,
+                "__kmpc_for_static_init",
+                vec![
+                    RtVal::I(tid as i64),
+                    RtVal::I(sched),
+                    RtVal::P(plast),
+                    RtVal::P(plb),
+                    RtVal::P(pub_),
+                    RtVal::P(pstride),
+                    RtVal::I(1),
+                    RtVal::I(chunk),
+                ],
+                &ctx,
+            )
+            .unwrap();
+            let lb = it.mem.load(plb, 8).unwrap() as i64;
+            let ub = it.mem.load(pub_, 8).unwrap() as i64;
+            let stride = it.mem.load(pstride, 8).unwrap() as i64;
+            // Expand this thread's iterations (respecting chunking).
+            let mut iters = Vec::new();
+            if sched == SCHED_STATIC_CHUNKED {
+                let mut start = lb;
+                while start < trip {
+                    for i in start..=(start + chunk - 1).min(trip - 1) {
+                        iters.push(i);
+                    }
+                    start += stride;
+                }
+            } else {
+                for i in lb..=ub.min(trip - 1) {
+                    iters.push(i);
+                }
+            }
+            out.push(iters);
+        }
+        out
+    }
+
+    fn assert_partition_laws(parts: &[Vec<i64>], trip: i64) {
+        let mut seen = HashSet::new();
+        for p in parts {
+            for &i in p {
+                assert!(i >= 0 && i < trip, "iteration {i} out of range");
+                assert!(seen.insert(i), "iteration {i} assigned twice");
+            }
+        }
+        assert_eq!(seen.len() as i64, trip, "not all iterations covered");
+    }
+
+    #[test]
+    fn static_partition_is_exhaustive_and_disjoint() {
+        for trip in [0i64, 1, 7, 16, 100] {
+            for team in [1u32, 2, 3, 4, 7] {
+                let parts = partition(SCHED_STATIC, trip, team, 0);
+                assert_partition_laws(&parts, trip);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_partition_is_exhaustive_and_disjoint() {
+        for trip in [0i64, 1, 7, 16, 100] {
+            for team in [1u32, 2, 3, 4] {
+                for chunk in [1i64, 2, 5] {
+                    let parts = partition(SCHED_STATIC_CHUNKED, trip, team, chunk);
+                    assert_partition_laws(&parts, trip);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_round_robins() {
+        // 8 iterations, 2 threads, chunk 2: t0 gets {0,1,4,5}, t1 {2,3,6,7}
+        let parts = partition(SCHED_STATIC_CHUNKED, 8, 2, 2);
+        assert_eq!(parts[0], vec![0, 1, 4, 5]);
+        assert_eq!(parts[1], vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn task_counter_accumulates() {
+        let m = Module::new();
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        let ctx = ThreadCtx::initial();
+        for _ in 0..5 {
+            dispatch(&it, "__omplt_task_created", vec![], &ctx).unwrap();
+        }
+        assert_eq!(it.tasks.load(Ordering::Relaxed), 5);
+    }
+}

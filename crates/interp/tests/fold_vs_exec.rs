@@ -1,0 +1,142 @@
+//! Property test: the `IrBuilder`'s on-the-fly constant folder must agree
+//! with the interpreter's execution of the unfolded instruction — otherwise
+//! "simplifies expressions on-the-fly" (paper §1.3) would silently change
+//! program meaning.
+
+use omplt_interp::{Interpreter, RtVal, RuntimeConfig, ThreadCtx};
+use omplt_ir::{BinOpKind, CmpPred, Function, Inst, IrBuilder, IrType, Module, Value};
+use proptest::prelude::*;
+
+/// Executes `op(a, b)` through the interpreter without any folding.
+fn exec_unfolded(op: BinOpKind, ty: IrType, a: i64, b: i64) -> Option<i64> {
+    let mut m = Module::new();
+    let mut f = Function::new("t", vec![ty, ty], IrType::I64);
+    {
+        // Raw pushes bypass the builder's folder.
+        let entry = f.entry();
+        let v = f.push_inst(entry, Inst::Bin { op, lhs: Value::Arg(0), rhs: Value::Arg(1) });
+        let widened = f.push_inst(entry, Inst::Cast { op: omplt_ir::CastOp::SExt, val: v, to: IrType::I64 });
+        f.blocks[0].term = Some(omplt_ir::Terminator::Ret(Some(widened)));
+    }
+    m.add_function(f);
+    let it = Interpreter::new(&m, RuntimeConfig::default());
+    let ctx = ThreadCtx::initial();
+    it.call_by_name("t", vec![RtVal::I(a), RtVal::I(b)], &ctx)
+        .ok()
+        .flatten()
+        .map(|v| v.as_i())
+}
+
+/// Folds `op(a, b)` through the builder, if it folds.
+fn fold(op: BinOpKind, ty: IrType, a: i64, b: i64) -> Option<i64> {
+    omplt_ir::fold_bin(op, Value::int(ty, a), Value::int(ty, b), ty).and_then(|v| v.as_const_int())
+}
+
+const INT_OPS: [BinOpKind; 13] = [
+    BinOpKind::Add,
+    BinOpKind::Sub,
+    BinOpKind::Mul,
+    BinOpKind::SDiv,
+    BinOpKind::UDiv,
+    BinOpKind::SRem,
+    BinOpKind::URem,
+    BinOpKind::Shl,
+    BinOpKind::AShr,
+    BinOpKind::LShr,
+    BinOpKind::And,
+    BinOpKind::Or,
+    BinOpKind::Xor,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+
+    #[test]
+    fn folded_result_matches_interpreted_result(
+        op_idx in 0usize..13,
+        ty_idx in 0usize..3,
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let op = INT_OPS[op_idx];
+        let ty = [IrType::I64, IrType::I32, IrType::I8][ty_idx];
+        // shift amounts are masked by the interpreter; restrict to in-range
+        // shifts where C behaviour is defined
+        let b = match op {
+            BinOpKind::Shl | BinOpKind::AShr | BinOpKind::LShr => b.rem_euclid(ty.bits() as i64),
+            _ => b,
+        };
+        let (a, b) = (ty.wrap(a), ty.wrap(b));
+        if let Some(folded) = fold(op, ty, a, b) {
+            let executed = exec_unfolded(op, ty, a, b)
+                .expect("interpreter must execute what the folder folds");
+            prop_assert_eq!(
+                folded, executed,
+                "op {:?} ty {:?} a {} b {}", op, ty, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn icmp_folding_matches_execution(
+        pred_idx in 0usize..10,
+        ty_idx in 0usize..3,
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let pred = [
+            CmpPred::Eq, CmpPred::Ne, CmpPred::Slt, CmpPred::Sle, CmpPred::Sgt,
+            CmpPred::Sge, CmpPred::Ult, CmpPred::Ule, CmpPred::Ugt, CmpPred::Uge,
+        ][pred_idx];
+        let ty = [IrType::I64, IrType::I32, IrType::I8][ty_idx];
+        let (a, b) = (ty.wrap(a), ty.wrap(b));
+        let folded = omplt_ir::eval_icmp(pred, a, b, ty);
+
+        // interpreted
+        let mut m = Module::new();
+        let mut f = Function::new("t", vec![ty, ty], IrType::I64);
+        {
+            let mut bld = IrBuilder::new(&mut f);
+            let c = bld.cmp(pred, Value::Arg(0), Value::Arg(1));
+            let w = bld.cast(omplt_ir::CastOp::ZExt, c, IrType::I64);
+            bld.ret(Some(w));
+        }
+        m.add_function(f);
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        let ctx = ThreadCtx::initial();
+        let executed = it
+            .call_by_name("t", vec![RtVal::I(a), RtVal::I(b)], &ctx)
+            .unwrap()
+            .unwrap()
+            .as_i();
+        prop_assert_eq!(folded as i64, executed, "pred {:?} ty {:?} a {} b {}", pred, ty, a, b);
+    }
+
+    #[test]
+    fn algebraic_identities_preserve_runtime_value(
+        a in any::<i64>(),
+    ) {
+        // x+0, x*1, x-x, x*0, x&0, x|0 identities: folder vs direct compute.
+        for (op, rhs, expect) in [
+            (BinOpKind::Add, 0i64, a),
+            (BinOpKind::Sub, 0, a),
+            (BinOpKind::Mul, 1, a),
+            (BinOpKind::Mul, 0, 0),
+            (BinOpKind::And, 0, 0),
+            (BinOpKind::Or, 0, a),
+            (BinOpKind::Xor, 0, a),
+        ] {
+            let mut f = Function::new("t", vec![IrType::I64], IrType::I64);
+            let v = {
+                let mut b = IrBuilder::new(&mut f);
+                b.bin(op, Value::Arg(0), Value::i64(rhs))
+            };
+            // identity must fold away the instruction entirely
+            match v {
+                Value::Arg(0) => prop_assert_eq!(expect, a),
+                Value::ConstInt { val, .. } => prop_assert_eq!(val, expect),
+                other => prop_assert!(false, "identity {:?} x {:?} did not fold: {:?}", op, rhs, other),
+            }
+        }
+    }
+}

@@ -1,0 +1,580 @@
+//! The hand-written lexer: bytes → raw [`Token`]s.
+//!
+//! Follows Clang's design: one lexer per buffer, sentinel-`'\0'` termination
+//! via [`MemoryBuffer::char_at`], and a `at_line_start` flag on tokens instead
+//! of explicit newline tokens (the preprocessor uses the flag to find
+//! directive lines and pragma line ends).
+
+use crate::token::{IntSuffix, Keyword, Punct, Token, TokenKind};
+use omplt_source::{DiagnosticsEngine, FileId, MemoryBuffer, SourceLocation, SourceManager};
+use std::sync::Arc;
+
+/// Lexes a single [`MemoryBuffer`].
+///
+/// The lexer does not hold a borrow of the `SourceManager` (it captures the
+/// buffer's base location instead) so the preprocessor can register
+/// `#include`d files while lexers are live.
+pub struct Lexer<'a> {
+    buffer: Arc<MemoryBuffer>,
+    base: SourceLocation,
+    diags: &'a DiagnosticsEngine,
+    pos: usize,
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over the file `file` registered in `sm`.
+    pub fn new(sm: &SourceManager, file: FileId, diags: &'a DiagnosticsEngine) -> Self {
+        Lexer::from_buffer(Arc::clone(sm.buffer(file)), sm.loc_for_offset(file, 0), diags)
+    }
+
+    /// Creates a lexer from a buffer whose first byte has location `base`.
+    pub fn from_buffer(
+        buffer: Arc<MemoryBuffer>,
+        base: SourceLocation,
+        diags: &'a DiagnosticsEngine,
+    ) -> Self {
+        Lexer { buffer, base, diags, pos: 0, at_line_start: true }
+    }
+
+    fn peek(&self) -> u8 {
+        self.buffer.char_at(self.pos)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.buffer.char_at(self.pos + 1)
+    }
+
+    fn peek3(&self) -> u8 {
+        self.buffer.char_at(self.pos + 2)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn loc(&self) -> SourceLocation {
+        self.base.offset(self.pos as u32)
+    }
+
+    /// Skips whitespace and comments, updating the line-start flag.
+    /// A backslash-newline continues the line (needed for long pragmas).
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b'\n' => {
+                    self.at_line_start = true;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'\\' if self.peek2() == b'\n' => {
+                    self.pos += 2; // line continuation: does NOT set at_line_start
+                }
+                b'\\' if self.peek2() == b'\r' && self.peek3() == b'\n' => {
+                    self.pos += 3;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.loc();
+                    self.pos += 2;
+                    loop {
+                        if self.peek() == 0 {
+                            self.diags.error(start, "unterminated /* comment");
+                            break;
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Lexes the next token. Returns `Eof` forever at end of input.
+    pub fn next_token(&mut self) -> Token {
+        self.skip_trivia();
+        let at_line_start = std::mem::replace(&mut self.at_line_start, false);
+        let loc = self.loc();
+        let kind = self.lex_kind();
+        Token { kind, loc, at_line_start }
+    }
+
+    fn lex_kind(&mut self) -> TokenKind {
+        let c = self.peek();
+        match c {
+            0 => TokenKind::Eof,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            b'0'..=b'9' => self.lex_number(),
+            b'.' if self.peek2().is_ascii_digit() => self.lex_number(),
+            b'"' => self.lex_string(),
+            b'\'' => self.lex_char(),
+            _ => self.lex_punct(),
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let text = &self.buffer.data()[start..self.pos];
+        match Keyword::from_str(text) {
+            Some(k) => TokenKind::Kw(k),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let start = self.pos;
+        let loc = self.loc();
+        // Hex?
+        if self.peek() == b'0' && (self.peek2() | 0x20) == b'x' {
+            self.pos += 2;
+            let hex_start = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+            let text = &self.buffer.data()[hex_start..self.pos];
+            let value = u128::from_str_radix(text, 16).unwrap_or_else(|_| {
+                self.diags.error(loc, "invalid hexadecimal literal");
+                0
+            });
+            let suffix = self.lex_int_suffix();
+            return TokenKind::IntLit { value, suffix };
+        }
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if (self.peek() | 0x20) == b'e'
+            && (self.peek2().is_ascii_digit()
+                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+        {
+            is_float = true;
+            self.pos += 1; // e
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.pos += 1;
+            }
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let text = &self.buffer.data()[start..self.pos];
+        if is_float {
+            if (self.peek() | 0x20) == b'f' || (self.peek() | 0x20) == b'l' {
+                self.pos += 1; // float/long-double suffix; type kept as double
+            }
+            match text.parse::<f64>() {
+                Ok(v) => TokenKind::FloatLit(v),
+                Err(_) => {
+                    self.diags.error(loc, format!("invalid floating literal '{text}'"));
+                    TokenKind::FloatLit(0.0)
+                }
+            }
+        } else {
+            let value = text.parse::<u128>().unwrap_or_else(|_| {
+                self.diags.error(loc, format!("integer literal '{text}' is too large"));
+                0
+            });
+            let suffix = self.lex_int_suffix();
+            TokenKind::IntLit { value, suffix }
+        }
+    }
+
+    fn lex_int_suffix(&mut self) -> IntSuffix {
+        let mut unsigned = false;
+        let mut longs = 0u8;
+        loop {
+            match self.peek() | 0x20 {
+                b'u' if !unsigned => {
+                    unsigned = true;
+                    self.pos += 1;
+                }
+                b'l' if longs < 2 => {
+                    longs += 1;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        match (unsigned, longs) {
+            (false, 0) => IntSuffix::None,
+            (true, 0) => IntSuffix::Unsigned,
+            (false, 1) => IntSuffix::Long,
+            (true, 1) => IntSuffix::UnsignedLong,
+            (false, _) => IntSuffix::LongLong,
+            (true, _) => IntSuffix::UnsignedLongLong,
+        }
+    }
+
+    fn lex_string(&mut self) -> TokenKind {
+        let loc = self.loc();
+        self.pos += 1; // "
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                0 | b'\n' => {
+                    self.diags.error(loc, "unterminated string literal");
+                    break;
+                }
+                b'"' => break,
+                b'\\' => s.push(unescape(self.bump())),
+                c => s.push(c as char),
+            }
+        }
+        TokenKind::StrLit(s)
+    }
+
+    fn lex_char(&mut self) -> TokenKind {
+        let loc = self.loc();
+        self.pos += 1; // '
+        let c = match self.bump() {
+            b'\\' => unescape(self.bump()) as u8,
+            0 => {
+                self.diags.error(loc, "unterminated character literal");
+                0
+            }
+            c => c,
+        };
+        if self.peek() == b'\'' {
+            self.pos += 1;
+        } else {
+            self.diags.error(loc, "expected closing ' in character literal");
+        }
+        TokenKind::CharLit(c)
+    }
+
+    fn lex_punct(&mut self) -> TokenKind {
+        use Punct::*;
+        let loc = self.loc();
+        let c = self.bump();
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'#' => Hash,
+            b':' => Colon,
+            b'.' => {
+                if self.peek() == b'.' && self.peek2() == b'.' {
+                    self.pos += 2;
+                    Ellipsis
+                } else {
+                    Dot
+                }
+            }
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.pos += 1;
+                    PlusPlus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.pos += 1;
+                    MinusMinus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    MinusAssign
+                }
+                b'>' => {
+                    self.pos += 1;
+                    Arrow
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    PercentAssign
+                } else {
+                    Percent
+                }
+            }
+            b'^' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    CaretAssign
+                } else {
+                    Caret
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    NotEq
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.pos += 1;
+                    AmpAmp
+                }
+                b'=' => {
+                    self.pos += 1;
+                    AmpAssign
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.pos += 1;
+                    PipePipe
+                }
+                b'=' => {
+                    self.pos += 1;
+                    PipeAssign
+                }
+                _ => Pipe,
+            },
+            b'<' => match self.peek() {
+                b'<' => {
+                    self.pos += 1;
+                    if self.peek() == b'=' {
+                        self.pos += 1;
+                        ShlAssign
+                    } else {
+                        Shl
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == b'=' {
+                        self.pos += 1;
+                        ShrAssign
+                    } else {
+                        Shr
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Ge
+                }
+                _ => Gt,
+            },
+            other => {
+                self.diags.error(loc, format!("unexpected character '{}'", other as char));
+                // Recover by treating it as a semicolon-like separator.
+                Semi
+            }
+        };
+        TokenKind::Punct(p)
+    }
+}
+
+fn unescape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_source::FileManager;
+
+    fn lex_all(src: &str) -> (Vec<Token>, DiagnosticsEngine) {
+        let mut fm = FileManager::new();
+        let buf = fm.add_virtual_file("t.c", src);
+        let mut sm = SourceManager::new();
+        let (id, _) = sm.add_file(buf);
+        let diags = DiagnosticsEngine::new();
+        let mut toks = Vec::new();
+        {
+            let mut lx = Lexer::new(&sm, id, &diags);
+            loop {
+                let t = lx.next_token();
+                let eof = matches!(t.kind, TokenKind::Eof);
+                toks.push(t);
+                if eof {
+                    break;
+                }
+            }
+        }
+        (toks, diags)
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (toks, diags) = lex_all(src);
+        assert!(!diags.has_errors(), "unexpected lex errors:\n{:?}", diags.all());
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        let k = kinds("int foo for4 for");
+        assert_eq!(k[0], TokenKind::Kw(Keyword::Int));
+        assert_eq!(k[1], TokenKind::Ident("foo".into()));
+        assert_eq!(k[2], TokenKind::Ident("for4".into()));
+        assert_eq!(k[3], TokenKind::Kw(Keyword::For));
+    }
+
+    #[test]
+    fn integer_literals() {
+        let k = kinds("0 42 0x2A 7u 9L 10ul");
+        let vals: Vec<u128> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::IntLit { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![0, 42, 42, 7, 9, 10]);
+        assert!(matches!(k[3], TokenKind::IntLit { suffix: IntSuffix::Unsigned, .. }));
+        assert!(matches!(k[4], TokenKind::IntLit { suffix: IntSuffix::Long, .. }));
+        assert!(matches!(k[5], TokenKind::IntLit { suffix: IntSuffix::UnsignedLong, .. }));
+    }
+
+    #[test]
+    fn float_literals() {
+        let k = kinds("1.5 2. 3e2 4.5e-1 2.0f");
+        let vals: Vec<f64> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::FloatLit(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![1.5, 2.0, 300.0, 0.45, 2.0]);
+    }
+
+    #[test]
+    fn float_vs_member_access() {
+        let k = kinds("a.b");
+        assert_eq!(k[0], TokenKind::Ident("a".into()));
+        assert_eq!(k[1], TokenKind::Punct(Punct::Dot));
+        assert_eq!(k[2], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        let k = kinds("+= ++ + <<= << <= < ->");
+        use Punct::*;
+        let ps: Vec<Punct> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ps, vec![PlusAssign, PlusPlus, Plus, ShlAssign, Shl, Le, Lt, Arrow]);
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let k = kinds("a // line\n b /* block\n over lines */ c");
+        assert_eq!(k.len(), 4); // a b c eof
+    }
+
+    #[test]
+    fn line_start_flag() {
+        let (toks, _) = lex_all("a b\nc");
+        assert!(toks[0].at_line_start);
+        assert!(!toks[1].at_line_start);
+        assert!(toks[2].at_line_start);
+    }
+
+    #[test]
+    fn backslash_newline_continues_line() {
+        let (toks, _) = lex_all("a \\\nb");
+        assert!(!toks[1].at_line_start, "continuation must not start a new line");
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        let k = kinds(r#""hi\n" 'x' '\n'"#);
+        assert_eq!(k[0], TokenKind::StrLit("hi\n".into()));
+        assert_eq!(k[1], TokenKind::CharLit(b'x'));
+        assert_eq!(k[2], TokenKind::CharLit(b'\n'));
+    }
+
+    #[test]
+    fn unterminated_comment_diagnosed() {
+        let (_, diags) = lex_all("a /* oops");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        let (toks, _) = lex_all("");
+        assert!(matches!(toks.last().unwrap().kind, TokenKind::Eof));
+    }
+
+    #[test]
+    fn locations_point_at_token_start() {
+        let (toks, _) = lex_all("ab cd");
+        assert_eq!(toks[0].loc.raw(), 1);
+        assert_eq!(toks[1].loc.raw(), 4);
+    }
+}

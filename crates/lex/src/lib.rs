@@ -1,0 +1,20 @@
+//! # omplt-lex
+//!
+//! The Lexer and Preprocessor layers of the pipeline (paper Fig. 1).
+//!
+//! The [`Lexer`] turns a [`omplt_source::MemoryBuffer`] into raw
+//! [`Token`]s; the [`Preprocessor`] sits on top, handling `#include`,
+//! object-like `#define` macro substitution, and — most importantly for this
+//! reproduction — `#pragma omp` lines, which it re-emits bracketed between
+//! [`TokenKind::PragmaOmpStart`] and [`TokenKind::PragmaOmpEnd`] annotation
+//! tokens so the parser can treat a directive as a statement-level construct,
+//! exactly like Clang's `annot_pragma_openmp`/`annot_pragma_openmp_end`
+//! tokens.
+
+pub mod lexer;
+pub mod preprocessor;
+pub mod token;
+
+pub use lexer::Lexer;
+pub use preprocessor::Preprocessor;
+pub use token::{Keyword, Punct, Token, TokenKind};

@@ -1,0 +1,349 @@
+//! Token definitions shared by the lexer, preprocessor and parser.
+
+use omplt_source::SourceLocation;
+
+/// Reserved words of the base language subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Void,
+    Bool,
+    Char,
+    Short,
+    Int,
+    Long,
+    Unsigned,
+    Signed,
+    Float,
+    Double,
+    SizeT,
+    PtrdiffT,
+    Auto,
+    Const,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Sizeof,
+    Extern,
+    Static,
+}
+
+impl Keyword {
+    /// Maps an identifier spelling to a keyword, if reserved.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "void" => Keyword::Void,
+            "bool" | "_Bool" => Keyword::Bool,
+            "char" => Keyword::Char,
+            "short" => Keyword::Short,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "unsigned" => Keyword::Unsigned,
+            "signed" => Keyword::Signed,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "size_t" => Keyword::SizeT,
+            "ptrdiff_t" => Keyword::PtrdiffT,
+            "auto" => Keyword::Auto,
+            "const" => Keyword::Const,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "sizeof" => Keyword::Sizeof,
+            "extern" => Keyword::Extern,
+            "static" => Keyword::Static,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Void => "void",
+            Keyword::Bool => "bool",
+            Keyword::Char => "char",
+            Keyword::Short => "short",
+            Keyword::Int => "int",
+            Keyword::Long => "long",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Signed => "signed",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::SizeT => "size_t",
+            Keyword::PtrdiffT => "ptrdiff_t",
+            Keyword::Auto => "auto",
+            Keyword::Const => "const",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Sizeof => "sizeof",
+            Keyword::Extern => "extern",
+            Keyword::Static => "static",
+        }
+    }
+}
+
+/// Punctuators and operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    ShlAssign,
+    ShrAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    PlusPlus,
+    MinusMinus,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    Arrow,
+    Dot,
+    Hash,
+    Ellipsis,
+}
+
+impl Punct {
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            NotEq => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Arrow => "->",
+            Dot => ".",
+            Hash => "#",
+            Ellipsis => "...",
+        }
+    }
+}
+
+/// Integer-literal suffix, determining the literal's type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum IntSuffix {
+    /// No suffix: `int` (or the first fitting wider type).
+    #[default]
+    None,
+    /// `u` / `U`.
+    Unsigned,
+    /// `l` / `L`.
+    Long,
+    /// `ul` / `lu` / …
+    UnsignedLong,
+    /// `ll` / `LL`.
+    LongLong,
+    /// `ull` / …
+    UnsignedLongLong,
+}
+
+/// The kind (and payload) of a token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// An identifier that is not a keyword.
+    Ident(String),
+    /// A reserved word.
+    Kw(Keyword),
+    /// An integer literal with its parsed value and suffix.
+    IntLit { value: u128, suffix: IntSuffix },
+    /// A floating-point literal.
+    FloatLit(f64),
+    /// A string literal (contents, unescaped).
+    StrLit(String),
+    /// A character literal value.
+    CharLit(u8),
+    /// A punctuator or operator.
+    Punct(Punct),
+    /// Annotation token opening an OpenMP pragma region
+    /// (Clang: `annot_pragma_openmp`).
+    PragmaOmpStart,
+    /// Annotation token closing an OpenMP pragma region
+    /// (Clang: `annot_pragma_openmp_end`).
+    PragmaOmpEnd,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True for `Punct(p)`.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// True for `Kw(k)`.
+    pub fn is_kw(&self, k: Keyword) -> bool {
+        matches!(self, TokenKind::Kw(q) if *q == k)
+    }
+
+    /// True for an identifier with this exact spelling (used for OpenMP
+    /// directive/clause names, which are contextual keywords).
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, TokenKind::Ident(t) if t == s)
+    }
+}
+
+/// A lexed token: kind, location of its first character, and whether it is
+/// the first token on its line (needed for preprocessor-directive detection
+/// and for finding the end of a pragma line).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Location of the first character.
+    pub loc: SourceLocation,
+    /// Whether a newline (or start of file) precedes this token.
+    pub at_line_start: bool,
+}
+
+impl Token {
+    /// A user-facing description used in parse diagnostics.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Kw(k) => format!("'{}'", k.as_str()),
+            TokenKind::IntLit { value, .. } => format!("integer literal '{value}'"),
+            TokenKind::FloatLit(v) => format!("floating literal '{v}'"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::CharLit(_) => "character literal".to_string(),
+            TokenKind::Punct(p) => format!("'{}'", p.as_str()),
+            TokenKind::PragmaOmpStart => "'#pragma omp'".to_string(),
+            TokenKind::PragmaOmpEnd => "end of OpenMP pragma".to_string(),
+            TokenKind::Eof => "end of file".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in ["int", "for", "unsigned", "size_t", "return", "extern"] {
+            let k = Keyword::from_str(kw).unwrap();
+            assert_eq!(k.as_str(), kw);
+        }
+        assert!(Keyword::from_str("omp").is_none());
+        assert!(Keyword::from_str("unroll").is_none());
+    }
+
+    #[test]
+    fn punct_spellings() {
+        assert_eq!(Punct::PlusAssign.as_str(), "+=");
+        assert_eq!(Punct::Ellipsis.as_str(), "...");
+        assert_eq!(Punct::Shl.as_str(), "<<");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let k = TokenKind::Ident("unroll".into());
+        assert!(k.is_ident("unroll"));
+        assert!(!k.is_ident("tile"));
+        assert!(TokenKind::Punct(Punct::Semi).is_punct(Punct::Semi));
+        assert!(TokenKind::Kw(Keyword::For).is_kw(Keyword::For));
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        let t = Token {
+            kind: TokenKind::Punct(Punct::LParen),
+            loc: SourceLocation::INVALID,
+            at_line_start: false,
+        };
+        assert_eq!(t.describe(), "'('");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the lexer/preprocessor layer.
+
+use omplt_lex::{Preprocessor, TokenKind};
+use omplt_source::{DiagnosticsEngine, FileManager, SourceManager};
+use proptest::prelude::*;
+
+fn lex(src: &str) -> (Vec<TokenKind>, bool) {
+    let mut fm = FileManager::new();
+    let main = fm.add_virtual_file("p.c", src);
+    let mut sm = SourceManager::new();
+    let (id, _) = sm.add_file(main);
+    let diags = DiagnosticsEngine::new();
+    let toks = {
+        let mut pp = Preprocessor::new(&mut sm, &mut fm, &diags, id);
+        pp.tokenize_all()
+    };
+    (toks.into_iter().map(|t| t.kind).collect(), diags.has_errors())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_ascii(src in "[ -~\n\t]{0,200}") {
+        // Any printable-ASCII input must lex to EOF without panicking
+        // (errors are fine; crashes are not).
+        let (toks, _) = lex(&src);
+        prop_assert!(matches!(toks.last(), Some(TokenKind::Eof)));
+    }
+
+    #[test]
+    fn integer_literals_round_trip(v in 0u64..=u64::MAX / 2) {
+        let (toks, errs) = lex(&format!("{v}"));
+        prop_assert!(!errs);
+        let ok = matches!(toks[0], TokenKind::IntLit { value, .. } if value == v as u128);
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn identifiers_survive_whitespace_and_comments(
+        name in "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
+        pad in "[ \t\n]{0,5}",
+    ) {
+        let (toks, errs) = lex(&format!("{pad}{name}{pad}// trailing\n"));
+        prop_assert!(!errs);
+        match &toks[0] {
+            TokenKind::Ident(s) => prop_assert_eq!(s, &name),
+            TokenKind::Kw(_) => {} // reserved words are fine
+            other => prop_assert!(false, "unexpected token {:?}", other),
+        }
+    }
+
+    #[test]
+    fn macro_substitution_is_literal(v in 0u32..1_000_000) {
+        let (toks, errs) = lex(&format!("#define K {v}\nint a = K;"));
+        prop_assert!(!errs);
+        let found = toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::IntLit { value, .. } if *value == v as u128));
+        prop_assert!(found);
+    }
+
+    #[test]
+    fn pragma_bodies_are_bracketed(factor in 1u32..64) {
+        let (toks, errs) = lex(&format!("#pragma omp unroll partial({factor})\n;"));
+        prop_assert!(!errs);
+        let start = toks.iter().position(|t| matches!(t, TokenKind::PragmaOmpStart));
+        let end = toks.iter().position(|t| matches!(t, TokenKind::PragmaOmpEnd));
+        prop_assert!(start.is_some() && end.is_some() && start < end);
+    }
+}

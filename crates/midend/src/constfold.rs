@@ -1,0 +1,224 @@
+//! Constant folding + dead-code elimination over whole functions,
+//! complementing the `IrBuilder`'s on-the-fly folding: transformations
+//! (unrolling in particular) substitute constants for induction variables
+//! *after* instructions were built, so a post-pass re-folds them.
+
+use omplt_ir::{fold_bin, eval_icmp, Function, Inst, InstId, Value};
+use std::collections::HashMap;
+
+/// Folds constants and removes dead instructions to a fixpoint.
+/// Returns true if anything changed.
+pub fn constant_fold(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = fold_once(f);
+        local |= dce_once(f);
+        if !local {
+            return changed;
+        }
+        changed = true;
+    }
+}
+
+fn fold_once(f: &mut Function) -> bool {
+    // Pass 1: decide replacements.
+    let mut replacements: HashMap<InstId, Value> = HashMap::new();
+    for bi in 0..f.blocks.len() {
+        for &iid in &f.blocks[bi].insts {
+            let inst = f.inst(iid);
+            let folded = match inst {
+                Inst::Bin { op, lhs, rhs } => {
+                    let ty = f.value_type(*lhs);
+                    fold_bin(*op, *lhs, *rhs, ty)
+                }
+                Inst::Cmp { pred, lhs, rhs } if !pred.is_float() => {
+                    match (lhs.as_const_int(), rhs.as_const_int()) {
+                        (Some(a), Some(b)) => {
+                            Some(Value::bool(eval_icmp(*pred, a, b, f.value_type(*lhs))))
+                        }
+                        _ => None,
+                    }
+                }
+                Inst::Select { cond, t, f: fv } => match cond.as_const_int() {
+                    Some(0) => Some(*fv),
+                    Some(_) => Some(*t),
+                    None => None,
+                },
+                Inst::Cast { op, val, to } => match (op, val.as_const_int()) {
+                    (omplt_ir::CastOp::Trunc, Some(c)) | (omplt_ir::CastOp::SExt, Some(c)) => {
+                        Some(Value::int(*to, c))
+                    }
+                    (omplt_ir::CastOp::ZExt, Some(c)) => {
+                        Some(Value::int(*to, f.value_type(*val).wrap_unsigned(c) as i64))
+                    }
+                    _ => None,
+                },
+                // Single-incoming phis collapse to their value.
+                Inst::Phi { incoming, .. } if incoming.len() == 1 => Some(incoming[0].1),
+                _ => None,
+            };
+            if let Some(v) = folded {
+                // Avoid self-replacement cycles.
+                if v != Value::Inst(iid) {
+                    replacements.insert(iid, v);
+                }
+            }
+        }
+    }
+    if replacements.is_empty() {
+        return false;
+    }
+    // Resolve chains (a→b→const).
+    let resolve = |mut v: Value| {
+        let mut hops = 0;
+        while let Value::Inst(id) = v {
+            match replacements.get(&id) {
+                Some(&next) if hops < 64 => {
+                    v = next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        v
+    };
+    // Pass 2: rewrite all uses and drop the folded instructions.
+    for bi in 0..f.blocks.len() {
+        let insts = f.blocks[bi].insts.clone();
+        for iid in insts {
+            f.inst_mut(iid).map_operands(resolve);
+        }
+        if let Some(t) = f.blocks[bi].term.as_mut() {
+            t.map_operands(resolve);
+        }
+        f.blocks[bi].insts.retain(|i| !replacements.contains_key(i));
+    }
+    true
+}
+
+/// Removes instructions whose results are unused and that have no side
+/// effects. Returns true if anything was removed.
+fn dce_once(f: &mut Function) -> bool {
+    let mut used = vec![false; f.insts.len()];
+    for b in &f.blocks {
+        for &iid in &b.insts {
+            for op in f.inst(iid).operands() {
+                if let Value::Inst(id) = op {
+                    used[id.0 as usize] = true;
+                }
+            }
+        }
+        if let Some(t) = &b.term {
+            let mut mark = |v: Value| {
+                if let Value::Inst(id) = v {
+                    used[id.0 as usize] = true;
+                }
+                v
+            };
+            // map_operands requires &mut; emulate with a clone
+            let mut t2 = t.clone();
+            t2.map_operands(&mut mark);
+        }
+    }
+    let mut removed = false;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|&iid| {
+            let keep = used[iid.0 as usize]
+                || matches!(
+                    f.insts[iid.0 as usize],
+                    Inst::Store { .. } | Inst::Call { .. }
+                );
+            keep
+        });
+        removed |= b.insts.len() != before;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::{assert_verified, BinOpKind, IrBuilder, IrType};
+
+    #[test]
+    fn folds_chains_after_substitution() {
+        let mut f = Function::new("t", vec![], IrType::I64);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            // Build unfoldable insts via raw pushes (simulating post-unroll
+            // constant substitution).
+            let e = b.insert_block();
+            let v1 = b.func_mut().push_inst(e, Inst::Bin {
+                op: BinOpKind::Add,
+                lhs: Value::i64(2),
+                rhs: Value::i64(3),
+            });
+            let v2 = b.func_mut().push_inst(e, Inst::Bin {
+                op: BinOpKind::Mul,
+                lhs: v1,
+                rhs: Value::i64(4),
+            });
+            b.ret(Some(v2));
+        }
+        assert!(constant_fold(&mut f));
+        assert_eq!(f.num_insts(), 0);
+        assert!(matches!(
+            f.block(f.entry()).term,
+            Some(omplt_ir::Terminator::Ret(Some(Value::ConstInt { val: 20, .. })))
+        ));
+        assert_verified(&f);
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut f = Function::new("t", vec![], IrType::Void);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let p = b.alloca(IrType::I64, 1, "x");
+            b.store(Value::i64(1), p);
+            // dead arithmetic
+            let e = b.insert_block();
+            b.func_mut().push_inst(e, Inst::Bin {
+                op: BinOpKind::Add,
+                lhs: Value::i64(1),
+                rhs: Value::i64(1),
+            });
+            b.ret(None);
+        }
+        constant_fold(&mut f);
+        // alloca + store survive; dead add is gone
+        assert_eq!(f.block(f.entry()).insts.len(), 2);
+    }
+
+    #[test]
+    fn single_incoming_phi_collapses() {
+        let mut f = Function::new("t", vec![], IrType::I64);
+        let next = f.add_block("next");
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let e = b.insert_block();
+            b.br(next);
+            b.set_insert_point(next);
+            let (v, phi) = b.phi(IrType::I64);
+            b.add_phi_incoming(phi, e, Value::i64(9));
+            b.ret(Some(v));
+        }
+        constant_fold(&mut f);
+        assert!(matches!(
+            f.block(next).term,
+            Some(omplt_ir::Terminator::Ret(Some(Value::ConstInt { val: 9, .. })))
+        ));
+    }
+
+    #[test]
+    fn idempotent_when_nothing_to_do() {
+        let mut f = Function::new("t", vec![IrType::I64], IrType::I64);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let v = b.add(Value::Arg(0), Value::i64(1));
+            b.ret(Some(v));
+        }
+        assert!(constant_fold(&mut f) == false);
+    }
+}

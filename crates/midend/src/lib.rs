@@ -1,0 +1,26 @@
+//! # omplt-midend
+//!
+//! The mid-end the shadow-AST design relies on (paper §2.2): partial
+//! unrolling only *annotates* the inner loop with unroll metadata — "no
+//! duplication takes place until" the `LoopUnroll` pass runs here.
+//!
+//! Provides classic scalar/CFG infrastructure (dominator tree, natural-loop
+//! detection, CFG simplification, constant folding + DCE) and the
+//! [`mod@loop_unroll`] pass, which consumes `llvm.loop.unroll.{full,count,enable}`
+//! metadata, performs full unrolling for constant trip counts, and partial
+//! unrolling with a **remainder loop** in the shape of the paper's
+//! "Partial unrolling with remainder loop" figure.
+
+pub mod constfold;
+pub mod domtree;
+pub mod loop_info;
+pub mod loop_unroll;
+pub mod pass_manager;
+pub mod simplify_cfg;
+
+pub use domtree::DomTree;
+pub use loop_info::{match_skeleton, skeleton_body_region, LoopInfo, NaturalLoop, SkeletonLoop};
+pub use constfold::constant_fold;
+pub use loop_unroll::{loop_unroll, UnrollStats};
+pub use simplify_cfg::simplify_cfg;
+pub use pass_manager::{run_default_pipeline, Pass, PassManager};

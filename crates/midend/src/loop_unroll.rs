@@ -1,0 +1,535 @@
+//! The `LoopUnroll` pass — the mid-end half of the paper's deferred-unroll
+//! design (§2.1/§2.2): the front-end only attaches `llvm.loop.unroll.*`
+//! metadata ("no duplication takes place until that point"); this pass
+//! performs the duplication:
+//!
+//! * **full** (constant trip count): the loop is replaced by `tc` copies of
+//!   the body with the IV substituted by constants;
+//! * **count(k)**: partial unroll producing a main loop of `tc / k` groups
+//!   of `k` body copies plus a **remainder loop** reusing the original loop
+//!   blocks — the exact shape of the paper's "Partial unrolling with
+//!   remainder loop" figure; "LoopUnroll will also handle the case when the
+//!   iteration count is not a multiple of the unroll factor";
+//! * **enable**: a documented profitability heuristic picks full, a factor,
+//!   or nothing (the paper: "the LoopUnroll pass can apply profitability
+//!   heuristics to determine an appropriate factor").
+//!
+//! Only loops in the canonical skeleton shape are transformed (recovered by
+//! [`crate::loop_info::match_skeleton`]); anything else keeps its metadata
+//! and a statistic records the skip.
+
+use crate::domtree::DomTree;
+use crate::loop_info::{match_skeleton, skeleton_body_region, LoopInfo, SkeletonLoop};
+use omplt_ir::{
+    BlockId, CmpPred, Function, Inst, InstId, IrBuilder, LoopMetadata, Terminator, UnrollHint,
+    Value,
+};
+use std::collections::HashMap;
+
+/// What the pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UnrollStats {
+    /// Loops fully unrolled.
+    pub full: usize,
+    /// Loops partially unrolled (with remainder loop).
+    pub partial: usize,
+    /// Loops the heuristic chose not to unroll.
+    pub declined: usize,
+    /// Loops with metadata that could not be matched/transformed.
+    pub skipped: usize,
+}
+
+/// Cost-model limits (documented in DESIGN.md §7).
+const FULL_UNROLL_MAX_GROWTH: u64 = 8_192;
+const HEURISTIC_FULL_MAX_TC: i64 = 64;
+const HEURISTIC_SMALL_BODY: usize = 16;
+const HEURISTIC_MEDIUM_BODY: usize = 64;
+
+/// Runs the unroll pass over `f` until no actionable metadata remains.
+pub fn loop_unroll(f: &mut Function) -> UnrollStats {
+    let mut stats = UnrollStats::default();
+    // One loop per iteration: every transformation invalidates the CFG
+    // analyses, so recompute. Terminates because each step removes or
+    // disables one metadata annotation.
+    loop {
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let target = li
+            .loops
+            .iter()
+            .find_map(|l| {
+                let md = f.block(l.latch).term.as_ref()?.loop_md()?;
+                match md.unroll {
+                    Some(UnrollHint::Full) | Some(UnrollHint::Count(_)) | Some(UnrollHint::Enable) => {
+                        Some((l.clone(), md.unroll.unwrap()))
+                    }
+                    _ => None,
+                }
+            });
+        let Some((l, hint)) = target else { return stats };
+
+        let Some(sk) = match_skeleton(f, &l) else {
+            disable(f, l.latch);
+            stats.skipped += 1;
+            continue;
+        };
+        let region = skeleton_body_region(f, &sk);
+        if region_has_phis(f, &region) {
+            disable(f, l.latch);
+            stats.skipped += 1;
+            continue;
+        }
+        let body_size: usize = region.iter().map(|&b| f.block(b).insts.len()).sum();
+
+        match hint {
+            UnrollHint::Full => {
+                let Some(tc) = sk.trip_count.as_const_int() else {
+                    // Non-constant trip count: full unrolling is impossible;
+                    // the front-end guarantees `unroll full` only on
+                    // countable loops, but degrade gracefully.
+                    disable(f, l.latch);
+                    stats.skipped += 1;
+                    continue;
+                };
+                if (tc.max(0) as u64).saturating_mul(body_size.max(1) as u64) > FULL_UNROLL_MAX_GROWTH
+                {
+                    // Too large to fully materialize: fall back to a factor.
+                    partial_unroll(f, &sk, &region, 4);
+                    stats.partial += 1;
+                    continue;
+                }
+                full_unroll(f, &sk, &region, tc.max(0) as u64);
+                stats.full += 1;
+            }
+            UnrollHint::Count(k) if k <= 1 => {
+                disable(f, l.latch);
+                stats.declined += 1;
+            }
+            UnrollHint::Count(k) => {
+                partial_unroll(f, &sk, &region, k);
+                stats.partial += 1;
+            }
+            UnrollHint::Enable => {
+                // Profitability heuristic.
+                let tc = sk.trip_count.as_const_int();
+                match tc {
+                    Some(n)
+                        if n <= HEURISTIC_FULL_MAX_TC
+                            && (n.max(0) as u64) * body_size.max(1) as u64
+                                <= FULL_UNROLL_MAX_GROWTH =>
+                    {
+                        full_unroll(f, &sk, &region, n.max(0) as u64);
+                        stats.full += 1;
+                    }
+                    _ if body_size <= HEURISTIC_SMALL_BODY => {
+                        partial_unroll(f, &sk, &region, 4);
+                        stats.partial += 1;
+                    }
+                    _ if body_size <= HEURISTIC_MEDIUM_BODY => {
+                        partial_unroll(f, &sk, &region, 2);
+                        stats.partial += 1;
+                    }
+                    _ => {
+                        disable(f, l.latch);
+                        stats.declined += 1;
+                    }
+                }
+            }
+            UnrollHint::Disable => unreachable!("filtered above"),
+        }
+    }
+}
+
+fn disable(f: &mut Function, latch: BlockId) {
+    if let Some(t) = f.block_mut(latch).term.as_mut() {
+        if let Some(slot) = t.loop_md_mut() {
+            *slot = Some(slot.unwrap_or_default().disabled());
+        }
+    }
+}
+
+fn region_has_phis(f: &Function, region: &[BlockId]) -> bool {
+    region.iter().any(|&bb| {
+        f.block(bb).insts.iter().any(|&i| matches!(f.inst(i), Inst::Phi { .. }))
+    })
+}
+
+/// The region's blocks in function reverse-postorder (defs before uses).
+fn region_in_rpo(f: &Function, region: &[BlockId]) -> Vec<BlockId> {
+    let set: Vec<bool> = {
+        let mut v = vec![false; f.blocks.len()];
+        for &b in region {
+            v[b.0 as usize] = true;
+        }
+        v
+    };
+    f.reverse_postorder().into_iter().filter(|b| set[b.0 as usize]).collect()
+}
+
+/// Clones `region`, remapping values through `vmap` (seeded with the IV
+/// substitution) and intra-region branch targets. Branches to `old_exit_to`
+/// are retargeted to `new_exit_to`. Returns the clone's entry block.
+fn clone_region(
+    f: &mut Function,
+    region_rpo: &[BlockId],
+    entry: BlockId,
+    seed: &[(InstId, Value)],
+    old_exit_to: BlockId,
+    new_exit_to: BlockId,
+    tag: &str,
+) -> BlockId {
+    let mut bmap: HashMap<BlockId, BlockId> = HashMap::new();
+    for &bb in region_rpo {
+        let name = format!("{}.{tag}", f.block(bb).name);
+        bmap.insert(bb, f.add_block(name));
+    }
+    let mut vmap: HashMap<InstId, Value> = seed.iter().copied().collect();
+    for &bb in region_rpo {
+        let new_bb = bmap[&bb];
+        let insts = f.block(bb).insts.clone();
+        for iid in insts {
+            let mut inst = f.inst(iid).clone();
+            inst.map_operands(|v| match v {
+                Value::Inst(id) => vmap.get(&id).copied().unwrap_or(v),
+                _ => v,
+            });
+            let nv = f.push_inst(new_bb, inst);
+            vmap.insert(iid, nv);
+        }
+        let mut term = f
+            .block(bb)
+            .term
+            .clone()
+            .expect("region blocks must be terminated");
+        term.map_operands(|v| match v {
+            Value::Inst(id) => vmap.get(&id).copied().unwrap_or(v),
+            _ => v,
+        });
+        term.map_blocks(|t| {
+            if t == old_exit_to {
+                new_exit_to
+            } else {
+                bmap.get(&t).copied().unwrap_or(t)
+            }
+        });
+        f.block_mut(new_bb).term = Some(term);
+    }
+    bmap[&entry]
+}
+
+/// The preheader of a skeleton loop: the IV phi's non-latch incoming block.
+fn preheader_of(f: &Function, sk: &SkeletonLoop) -> BlockId {
+    match f.inst(sk.iv_phi) {
+        Inst::Phi { incoming, .. } => incoming
+            .iter()
+            .find(|(b, _)| *b != sk.latch)
+            .map(|(b, _)| *b)
+            .expect("skeleton phi must have a preheader edge"),
+        _ => unreachable!("iv_phi is a phi"),
+    }
+}
+
+/// Replaces the loop with `tc` sequential body copies (IV = 0..tc-1).
+fn full_unroll(f: &mut Function, sk: &SkeletonLoop, region: &[BlockId], tc: u64) {
+    let region_rpo = region_in_rpo(f, region);
+    let preheader = preheader_of(f, sk);
+    let ty = f.value_type(sk.trip_count);
+
+    // Clone back-to-front so each copy can point at its successor.
+    let mut next_entry = sk.exit;
+    for k in (0..tc).rev() {
+        let seed = [(sk.iv_phi, Value::int(ty, k as i64))];
+        next_entry =
+            clone_region(f, &region_rpo, sk.body, &seed, sk.latch, next_entry, &format!("unroll{k}"));
+    }
+    // The preheader now jumps straight into the first copy (or the exit for
+    // a zero-trip loop); header/cond/body/latch become unreachable.
+    if let Some(t) = f.block_mut(preheader).term.as_mut() {
+        t.map_blocks(|b| if b == sk.header { next_entry } else { b });
+    }
+}
+
+/// Partial unroll by factor `k` with a remainder loop:
+///
+/// ```text
+/// preheader:  main_tc = tc / k;  rem_start = main_tc * k;  br main_header
+/// main_header: g = phi [0, preheader], [g+1, main_latch]
+///              base = g * k;  iv_0 = base;  iv_1 = base + 1; …
+///              br main_cond
+/// main_cond:   br (g <u main_tc), copy_0, main_exit
+/// copy_j:      <body with iv := iv_j>            (j = 0 … k-1)
+/// main_latch:  g = g + 1; br main_header         (unroll.disable)
+/// main_exit:   br old_header                      (remainder loop)
+/// old loop:    unchanged, but IV starts at rem_start; metadata disabled
+/// ```
+fn partial_unroll(f: &mut Function, sk: &SkeletonLoop, region: &[BlockId], k: u64) {
+    let region_rpo = region_in_rpo(f, region);
+    let preheader = preheader_of(f, sk);
+    let ty = f.value_type(sk.trip_count);
+    let k_const = Value::int(ty, k as i64);
+
+    // Preheader computations.
+    let (main_tc, rem_start) = {
+        let mut b = IrBuilder::new(f);
+        b.set_insert_point(preheader);
+        let main_tc = b.udiv(sk.trip_count, k_const);
+        let rem_start = b.mul(main_tc, k_const);
+        (main_tc, rem_start)
+    };
+
+    // Main-loop skeleton.
+    let (mheader, mcond, mlatch, mexit, g_phi, ivs) = {
+        let mut b = IrBuilder::new(f);
+        let mheader = b.create_block("main.header");
+        let mcond = b.create_block("main.cond");
+        let mlatch = b.create_block("main.latch");
+        let mexit = b.create_block("main.exit");
+
+        b.set_insert_point(mheader);
+        let (g, g_phi) = b.phi(ty);
+        b.add_phi_incoming(g_phi, preheader, Value::int(ty, 0));
+        let base = b.mul(g, k_const);
+        let ivs: Vec<Value> =
+            (0..k).map(|j| b.add(base, Value::int(ty, j as i64))).collect();
+        b.br(mcond);
+
+        b.set_insert_point(mcond);
+        let c = b.cmp(CmpPred::Ult, g, main_tc);
+        // placeholder targets patched below (copy_0 unknown yet)
+        b.cond_br(c, mexit, mexit);
+
+        b.set_insert_point(mlatch);
+        let g1 = b.add(g, Value::int(ty, 1));
+        b.add_phi_incoming(g_phi, mlatch, g1);
+        b.br_with_md(mheader, LoopMetadata::unroll(UnrollHint::Disable));
+
+        b.set_insert_point(mexit);
+        b.br(sk.header);
+        (mheader, mcond, mlatch, mexit, g_phi, ivs)
+    };
+    let _ = g_phi;
+
+    // Body copies, chained back-to-front into the main latch.
+    let mut next_entry = mlatch;
+    for j in (0..k).rev() {
+        let seed = [(sk.iv_phi, ivs[j as usize])];
+        next_entry = clone_region(
+            f,
+            &region_rpo,
+            sk.body,
+            &seed,
+            sk.latch,
+            next_entry,
+            &format!("copy{j}"),
+        );
+    }
+    // Patch the main cond's true edge to the first copy.
+    if let Some(Terminator::CondBr { then_bb, .. }) = f.block_mut(mcond).term.as_mut() {
+        *then_bb = next_entry;
+    }
+
+    // Redirect the preheader into the main loop.
+    if let Some(t) = f.block_mut(preheader).term.as_mut() {
+        t.map_blocks(|b| if b == sk.header { mheader } else { b });
+    }
+
+    // Remainder: the original loop, entered from main_exit with
+    // IV = rem_start.
+    if let Inst::Phi { incoming, .. } = f.inst_mut(sk.iv_phi) {
+        for (from, val) in incoming.iter_mut() {
+            if *from == preheader {
+                *from = mexit;
+                *val = rem_start;
+            }
+        }
+    }
+    disable(f, sk.latch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::{assert_verified, IrType, Module};
+
+    /// Builds `for (iv in 0..tc) sink(iv)` with the given metadata; returns
+    /// the module. The loop is built in the canonical skeleton shape.
+    fn loop_module(tc: Value, hint: UnrollHint) -> Module {
+        let mut m = Module::new();
+        let sink = m.intern("print_i64");
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let preheader = b.create_block("preheader");
+            let header = b.create_block("header");
+            let cond = b.create_block("cond");
+            let body = b.create_block("body");
+            let latch = b.create_block("latch");
+            let exit = b.create_block("exit");
+            let after = b.create_block("after");
+            b.br(preheader);
+            b.set_insert_point(preheader);
+            b.br(header);
+            b.set_insert_point(header);
+            let (iv, phi) = b.phi(IrType::I64);
+            b.add_phi_incoming(phi, preheader, Value::i64(0));
+            b.br(cond);
+            b.set_insert_point(cond);
+            let c = b.cmp(CmpPred::Ult, iv, tc);
+            b.cond_br(c, body, exit);
+            b.set_insert_point(body);
+            b.call(sink, vec![iv], IrType::Void);
+            b.br(latch);
+            b.set_insert_point(latch);
+            let next = b.add(iv, Value::i64(1));
+            b.add_phi_incoming(phi, latch, next);
+            b.br_with_md(header, LoopMetadata::unroll(hint));
+            b.set_insert_point(exit);
+            b.br(after);
+            b.set_insert_point(after);
+            b.ret(Some(Value::i32(0)));
+        }
+        m.add_function(f);
+        m
+    }
+
+    fn run_collect(m: &Module) -> String {
+        use omplt_interp_for_tests::*;
+        interp_run(m)
+    }
+
+    /// Thin indirection so the midend unit tests can execute IR without a
+    /// hard dependency in the library (dev-dependency only).
+    mod omplt_interp_for_tests {
+        use omplt_ir::Module;
+
+        pub fn interp_run(m: &Module) -> String {
+            let it = omplt_interp::Interpreter::new(m, omplt_interp::RuntimeConfig::default());
+            it.run_main().expect("execution failed").stdout
+        }
+    }
+
+    fn expected(tc: u64) -> String {
+        (0..tc).map(|i| format!("{i}\n")).collect()
+    }
+
+    #[test]
+    fn full_unroll_replaces_loop_and_preserves_semantics() {
+        let mut m = loop_module(Value::i64(5), UnrollHint::Full);
+        let before = run_collect(&m);
+        let stats = loop_unroll(m.function_mut("main").unwrap());
+        assert_eq!(stats.full, 1);
+        let f = m.function("main").unwrap();
+        assert_verified(f);
+        assert_eq!(run_collect(&m), before);
+        assert_eq!(run_collect(&m), expected(5));
+        // No loop remains.
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        assert!(li.loops.is_empty(), "full unroll must leave no back edge");
+    }
+
+    #[test]
+    fn full_unroll_zero_trip_count() {
+        let mut m = loop_module(Value::i64(0), UnrollHint::Full);
+        let stats = loop_unroll(m.function_mut("main").unwrap());
+        assert_eq!(stats.full, 1);
+        assert_eq!(run_collect(&m), "");
+    }
+
+    #[test]
+    fn partial_unroll_preserves_semantics_with_remainder() {
+        // 10 iterations, factor 4: main loop 2 groups, remainder 2.
+        for tc in [0u64, 1, 3, 4, 10, 17] {
+            let mut m = loop_module(Value::i64(tc as i64), UnrollHint::Count(4));
+            let stats = loop_unroll(m.function_mut("main").unwrap());
+            assert_eq!(stats.partial, 1, "tc={tc}");
+            assert_verified(m.function("main").unwrap());
+            assert_eq!(run_collect(&m), expected(tc), "tc={tc}");
+        }
+    }
+
+    #[test]
+    fn partial_unroll_has_two_loops_after() {
+        // main loop + remainder loop (the paper's lst:remainder shape)
+        let mut m = loop_module(Value::i64(10), UnrollHint::Count(4));
+        loop_unroll(m.function_mut("main").unwrap());
+        let f = m.function("main").unwrap();
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        assert_eq!(li.loops.len(), 2, "expected main + remainder loop");
+    }
+
+    #[test]
+    fn runtime_trip_count_partial_unroll() {
+        // trip count is a function argument: still unrollable partially.
+        let mut m = Module::new();
+        let sink = m.intern("print_i64");
+        let mut f = Function::new("kernel", vec![IrType::I64], IrType::Void);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let preheader = b.create_block("preheader");
+            let header = b.create_block("header");
+            let cond = b.create_block("cond");
+            let body = b.create_block("body");
+            let latch = b.create_block("latch");
+            let exit = b.create_block("exit");
+            b.br(preheader);
+            b.set_insert_point(preheader);
+            b.br(header);
+            b.set_insert_point(header);
+            let (iv, phi) = b.phi(IrType::I64);
+            b.add_phi_incoming(phi, preheader, Value::i64(0));
+            b.br(cond);
+            b.set_insert_point(cond);
+            let c = b.cmp(CmpPred::Ult, iv, Value::Arg(0));
+            b.cond_br(c, body, exit);
+            b.set_insert_point(body);
+            b.call(sink, vec![iv], IrType::Void);
+            b.br(latch);
+            b.set_insert_point(latch);
+            let next = b.add(iv, Value::i64(1));
+            b.add_phi_incoming(phi, latch, next);
+            b.br_with_md(header, LoopMetadata::unroll(UnrollHint::Count(3)));
+            b.set_insert_point(exit);
+            b.ret(None);
+        }
+        m.add_function(f);
+        let stats = loop_unroll(m.function_mut("kernel").unwrap());
+        assert_eq!(stats.partial, 1);
+        assert_verified(m.function("kernel").unwrap());
+        for n in [0i64, 1, 3, 7, 11] {
+            let it = omplt_interp::Interpreter::new(&m, omplt_interp::RuntimeConfig::default());
+            let ctx = omplt_interp::ThreadCtx::initial();
+            it.call_by_name("kernel", vec![omplt_interp::RtVal::I(n)], &ctx).unwrap();
+            let out = std::mem::take(&mut *it.out.lock().unwrap());
+            assert_eq!(out, expected(n as u64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn heuristic_full_unrolls_small_constant_loops() {
+        let mut m = loop_module(Value::i64(8), UnrollHint::Enable);
+        let stats = loop_unroll(m.function_mut("main").unwrap());
+        assert_eq!(stats.full, 1);
+        assert_eq!(run_collect(&m), expected(8));
+    }
+
+    #[test]
+    fn heuristic_picks_factor_for_runtime_tc() {
+        // Runtime trip count & small body → factor 4.
+        let mut m = loop_module(Value::i64(100), UnrollHint::Enable);
+        // force the runtime-tc path by making the tc large (above the
+        // full-unroll threshold? 100 > 64 → partial path)
+        let stats = loop_unroll(m.function_mut("main").unwrap());
+        assert_eq!(stats.partial, 1);
+        assert_eq!(run_collect(&m), expected(100));
+    }
+
+    #[test]
+    fn disable_metadata_is_respected() {
+        let mut m = loop_module(Value::i64(5), UnrollHint::Disable);
+        let stats = loop_unroll(m.function_mut("main").unwrap());
+        assert_eq!(stats, UnrollStats::default());
+        assert_eq!(run_collect(&m), expected(5));
+    }
+}

@@ -1,0 +1,128 @@
+//! A simple function-pass pipeline.
+
+use crate::constfold::constant_fold;
+use crate::loop_unroll::{loop_unroll, UnrollStats};
+use crate::simplify_cfg::simplify_cfg;
+use omplt_ir::{Function, Module};
+
+/// Named function passes.
+pub enum Pass {
+    /// CFG cleanup.
+    SimplifyCfg,
+    /// Constant folding + DCE.
+    ConstFold,
+    /// The metadata-driven unroller.
+    LoopUnroll,
+}
+
+/// Runs passes over every function of a module.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Pass>,
+    /// Accumulated unroll statistics (for remarks/tests).
+    pub unroll_stats: UnrollStats,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Appends a pass.
+    pub fn add(mut self, p: Pass) -> Self {
+        self.passes.push(p);
+        self
+    }
+
+    /// Runs the pipeline on one function.
+    pub fn run_on_function(&mut self, f: &mut Function) {
+        for p in &self.passes {
+            match p {
+                Pass::SimplifyCfg => {
+                    simplify_cfg(f);
+                }
+                Pass::ConstFold => {
+                    constant_fold(f);
+                }
+                Pass::LoopUnroll => {
+                    let s = loop_unroll(f);
+                    self.unroll_stats.full += s.full;
+                    self.unroll_stats.partial += s.partial;
+                    self.unroll_stats.declined += s.declined;
+                    self.unroll_stats.skipped += s.skipped;
+                }
+            }
+        }
+    }
+
+    /// Runs the pipeline on every function.
+    pub fn run(&mut self, m: &mut Module) {
+        for f in &mut m.functions {
+            self.run_on_function(f);
+        }
+    }
+}
+
+/// The default `-O` pipeline used by the driver. `LoopUnroll` runs before
+/// `SimplifyCfg`: block merging would otherwise collapse the canonical
+/// skeleton (header+cond) that the unroller recognizes structurally.
+/// Constant folding runs first so tile/collapse trip counts become
+/// constants the full-unroll path can see.
+pub fn run_default_pipeline(m: &mut Module) -> UnrollStats {
+    let mut pm = PassManager::new()
+        .add(Pass::ConstFold)
+        .add(Pass::LoopUnroll)
+        .add(Pass::ConstFold)
+        .add(Pass::SimplifyCfg)
+        .add(Pass::ConstFold);
+    pm.run(m);
+    pm.unroll_stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::{assert_verified, IrBuilder, IrType, Value};
+
+    #[test]
+    fn default_pipeline_is_safe_on_trivial_functions() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], IrType::I32);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            b.ret(Some(Value::i32(0)));
+        }
+        m.add_function(f);
+        let stats = run_default_pipeline(&mut m);
+        assert_eq!(stats, UnrollStats::default());
+        assert_verified(m.function("main").unwrap());
+    }
+
+    #[test]
+    fn pipeline_runs_all_functions() {
+        let mut m = Module::new();
+        for name in ["a", "b"] {
+            let mut f = Function::new(name, vec![], IrType::Void);
+            {
+                let mut b = IrBuilder::new(&mut f);
+                // dead arithmetic the pipeline should clean
+                let e = b.insert_block();
+                b.func_mut().push_inst(
+                    e,
+                    omplt_ir::Inst::Bin {
+                        op: omplt_ir::BinOpKind::Add,
+                        lhs: Value::i64(1),
+                        rhs: Value::i64(2),
+                    },
+                );
+                b.ret(None);
+            }
+            m.add_function(f);
+        }
+        run_default_pipeline(&mut m);
+        for name in ["a", "b"] {
+            assert_eq!(m.function(name).unwrap().num_insts(), 0);
+        }
+    }
+}

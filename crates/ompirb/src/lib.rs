@@ -1,0 +1,40 @@
+//! # omplt-ompirb — the OpenMPIRBuilder
+//!
+//! The paper's second contribution (§3): a front-end-agnostic builder for
+//! OpenMP constructs on top of the plain [`omplt_ir::IrBuilder`], so that the
+//! heavy lowering can be shared between front-ends (Clang and Flang in the
+//! paper; `omplt-codegen` and the direct-IR tests/benches here).
+//!
+//! * [`CanonicalLoopInfo`] — a handle to a loop emitted as the fixed
+//!   **skeleton** of the paper's Fig. "createCanonicalLoop": explicit
+//!   preheader / header / cond / body / latch / exit / after blocks, an
+//!   identifiable induction variable (a phi starting at 0 with step 1) and an
+//!   identifiable trip count, *without* requiring ScalarEvolution-style
+//!   analysis. [`CanonicalLoopInfo::assert_ok`] re-validates the invariants.
+//! * [`create_canonical_loop`] — emits the skeleton and calls back into the
+//!   front-end for the body ("callback-ception").
+//! * [`tile_loops`] — tiles a perfect nest of N canonical loops into 2N.
+//! * [`collapse_loops`] — fuses a nest into a single canonical loop.
+//! * [`unroll_loop_full`] / [`unroll_loop_partial`] / [`unroll_loop_heuristic`]
+//!   — the three modes of the `unroll` directive; partial unrolling tiles by
+//!   the factor and annotates the inner loop with unroll metadata, deferring
+//!   duplication to the mid-end `LoopUnroll` pass, exactly as in the paper.
+//! * [`create_static_workshare_loop`] — applies a `schedule(static)`
+//!   worksharing scheme by bounding the loop with `__kmpc_for_static_init`
+//!   chunk bounds.
+//! * [`create_parallel`] — outlining-based `parallel` region construction via
+//!   `__kmpc_fork_call`.
+
+pub mod canonical_loop;
+pub mod collapse;
+pub mod parallel;
+pub mod tile;
+pub mod unroll;
+pub mod workshare;
+
+pub use canonical_loop::{create_canonical_loop, create_canonical_loop_skeleton, CanonicalLoopInfo};
+pub use collapse::collapse_loops;
+pub use parallel::{create_parallel, OutlinedFn};
+pub use tile::tile_loops;
+pub use unroll::{unroll_loop_full, unroll_loop_heuristic, unroll_loop_partial};
+pub use workshare::{create_static_workshare_loop, WorksharingScheme};

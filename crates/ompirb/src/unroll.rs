@@ -1,0 +1,138 @@
+//! The three unroll modes of `#pragma omp unroll` (paper §2.2/§3.2):
+//!
+//! * **full** — no generated loop remains, so nothing can associate with the
+//!   result; we only attach `llvm.loop.unroll.full` metadata and let the
+//!   mid-end `LoopUnroll` pass do the duplication.
+//! * **heuristic** (no clause) — `llvm.loop.unroll.enable`; the pass picks
+//!   the factor with its profitability heuristic ("the LoopUnroll pass can
+//!   apply profitability heuristics to determine an appropriate factor").
+//! * **partial(f)** — two cases, exactly as the paper describes:
+//!   - not consumed by another directive → cheapest to defer entirely:
+//!     attach `llvm.loop.unroll.count(f)` *without even tiling the loop
+//!     beforehand*;
+//!   - consumed (a generated loop is required) → tile by the factor and mark
+//!     the inner tile loop for unrolling; the returned **floor loop** is the
+//!     generated loop the consuming directive associates with. Its iteration
+//!     count is observable (e.g. `taskloop` task counts), which is why the
+//!     factor cannot be left to the heuristic in this case.
+
+use crate::canonical_loop::CanonicalLoopInfo;
+use crate::tile::tile_loops;
+use omplt_ir::{IrBuilder, UnrollHint, Value};
+
+/// Fully unrolls `cli` (deferred to the mid-end pass via metadata).
+pub fn unroll_loop_full(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo) {
+    let mut md = cli.metadata(b.func()).unwrap_or_default();
+    md.unroll = Some(UnrollHint::Full);
+    cli.set_metadata(b.func_mut(), md);
+}
+
+/// Lets the mid-end decide whether/how much to unroll.
+pub fn unroll_loop_heuristic(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo) {
+    let mut md = cli.metadata(b.func()).unwrap_or_default();
+    md.unroll = Some(UnrollHint::Enable);
+    cli.set_metadata(b.func_mut(), md);
+}
+
+/// Partially unrolls `cli` by `factor`.
+///
+/// When `need_unrolled_cli` is true, returns the generated (floor) loop for
+/// consumption by an enclosing directive; otherwise returns `None` and the
+/// whole transformation is deferred to the mid-end.
+pub fn unroll_loop_partial(
+    b: &mut IrBuilder<'_>,
+    cli: &CanonicalLoopInfo,
+    factor: u64,
+    need_unrolled_cli: bool,
+) -> Option<CanonicalLoopInfo> {
+    assert!(factor >= 1, "unroll factor must be positive");
+    if !need_unrolled_cli {
+        let mut md = cli.metadata(b.func()).unwrap_or_default();
+        md.unroll = Some(UnrollHint::Count(factor));
+        cli.set_metadata(b.func_mut(), md);
+        return None;
+    }
+    // Strip-mine by the factor; fully unroll the inner (≤ factor iterations).
+    let tiled = tile_loops(b, &[*cli], &[Value::int(cli.ty, factor as i64)]);
+    let (floor, tile) = (tiled[0], tiled[1]);
+    let mut md = tile.metadata(b.func()).unwrap_or_default();
+    md.unroll = Some(UnrollHint::Count(factor));
+    tile.set_metadata(b.func_mut(), md);
+    Some(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical_loop::create_canonical_loop;
+    use omplt_ir::{assert_verified, Function, IrType, Module};
+
+    fn one_loop(f: &mut Function, m: &mut Module) -> CanonicalLoopInfo {
+        let sink = m.intern("sink");
+        let mut b = IrBuilder::new(f);
+        let cli = create_canonical_loop(&mut b, Value::Arg(0), "i", |b, i| {
+            b.call(sink, vec![i], IrType::Void);
+        });
+        b.ret(None);
+        cli
+    }
+
+    #[test]
+    fn full_attaches_metadata_only() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let cli = one_loop(&mut f, &mut m);
+        let nblocks = f.blocks.len();
+        {
+            let mut b = IrBuilder::new(&mut f);
+            unroll_loop_full(&mut b, &cli);
+        }
+        assert_eq!(f.blocks.len(), nblocks, "full unroll must not restructure the IR");
+        assert_eq!(cli.metadata(&f).unwrap().unroll, Some(UnrollHint::Full));
+        cli.assert_ok(&f);
+    }
+
+    #[test]
+    fn heuristic_attaches_enable() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let cli = one_loop(&mut f, &mut m);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            unroll_loop_heuristic(&mut b, &cli);
+        }
+        assert_eq!(cli.metadata(&f).unwrap().unroll, Some(UnrollHint::Enable));
+    }
+
+    #[test]
+    fn partial_without_consumer_defers_entirely() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let cli = one_loop(&mut f, &mut m);
+        let nblocks = f.blocks.len();
+        let r = {
+            let mut b = IrBuilder::new(&mut f);
+            unroll_loop_partial(&mut b, &cli, 4, false)
+        };
+        assert!(r.is_none());
+        assert_eq!(f.blocks.len(), nblocks, "deferred partial unroll must not tile");
+        assert_eq!(cli.metadata(&f).unwrap().unroll, Some(UnrollHint::Count(4)));
+    }
+
+    #[test]
+    fn partial_with_consumer_tiles_and_returns_floor_loop() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let cli = one_loop(&mut f, &mut m);
+        let floor = {
+            let mut b = IrBuilder::new(&mut f);
+            unroll_loop_partial(&mut b, &cli, 2, true)
+        }
+        .expect("consumer requires a generated loop");
+        floor.assert_ok(&f);
+        assert_verified(&f);
+        // The floor loop itself carries no unroll metadata; the inner tile
+        // loop (reached through the floor body) does.
+        assert!(floor.metadata(&f).map_or(true, |m| m.unroll.is_none()));
+    }
+}

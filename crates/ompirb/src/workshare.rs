@@ -1,0 +1,328 @@
+//! `create_static_workshare_loop` — applies the worksharing-loop construct
+//! (`schedule(static[, chunk])`) to a canonical loop by bracketing it with
+//! `__kmpc_for_static_init` / `__kmpc_for_static_fini` runtime calls and
+//! re-bounding the logical iteration space to the calling thread's chunk
+//! (paper §3.2: "`createWorkshareLoop` … implements the worksharing-loop
+//! construct" on a `CanonicalLoopInfo` handle).
+
+use crate::canonical_loop::{create_canonical_loop_skeleton, CanonicalLoopInfo};
+use omplt_ir::{
+    BlockId, Inst, IrBuilder, IrType, Module, Terminator, Value,
+};
+
+/// Which worksharing scheme to apply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorksharingScheme {
+    /// `schedule(static)` — one contiguous block per thread.
+    StaticUnchunked,
+    /// `schedule(static, chunk)` — round-robin chunks of the given size.
+    StaticChunked(Value),
+}
+
+/// kmp schedule-type constants (subset).
+const SCHED_STATIC: i64 = 34;
+const SCHED_STATIC_CHUNKED: i64 = 33;
+
+/// Applies static worksharing to `cli`.
+///
+/// Must be called directly after the loop was created, while `cli.after` is
+/// still empty: chunked scheduling wraps the loop in an outer chunk loop and
+/// returns the new continuation block where code after the construct must be
+/// emitted (for the unchunked scheme this is simply `cli.after`).
+pub fn create_static_workshare_loop(
+    b: &mut IrBuilder<'_>,
+    m: &mut Module,
+    cli: &mut CanonicalLoopInfo,
+    scheme: WorksharingScheme,
+) -> BlockId {
+    let gtid_fn = m.declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+    let init_fn = m.declare_extern(
+        "__kmpc_for_static_init",
+        vec![
+            IrType::I32, // gtid
+            IrType::I32, // schedule type
+            IrType::Ptr, // plastiter
+            IrType::Ptr, // plower
+            IrType::Ptr, // pupper
+            IrType::Ptr, // pstride
+            IrType::I64, // incr
+            IrType::I64, // chunk
+        ],
+        IrType::Void,
+    );
+    let fini_fn = m.declare_extern("__kmpc_for_static_fini", vec![IrType::I32], IrType::Void);
+
+    match scheme {
+        WorksharingScheme::StaticUnchunked => {
+            apply_unchunked(b, cli, gtid_fn, init_fn, fini_fn)
+        }
+        WorksharingScheme::StaticChunked(chunk) => {
+            apply_chunked(b, cli, chunk, gtid_fn, init_fn, fini_fn)
+        }
+    }
+}
+
+/// Emits the init call and loads the resulting bounds. Returns
+/// `(gtid, lb, ub, stride)` as `i64` values (except `gtid`: `i32`).
+fn emit_static_init(
+    b: &mut IrBuilder<'_>,
+    cli: &CanonicalLoopInfo,
+    sched: i64,
+    chunk: Value,
+    gtid_fn: omplt_ir::SymbolId,
+    init_fn: omplt_ir::SymbolId,
+) -> (Value, Value, Value, Value) {
+    let gtid = b.call(gtid_fn, vec![], IrType::I32);
+    let plast = b.alloca(IrType::I32, 1, ".omp.is_last");
+    let plb = b.alloca(IrType::I64, 1, ".omp.lb");
+    let pub_ = b.alloca(IrType::I64, 1, ".omp.ub");
+    let pstride = b.alloca(IrType::I64, 1, ".omp.stride");
+    let tc64 = b.int_resize(cli.trip_count, IrType::I64, false);
+    b.store(Value::i32(0), plast);
+    b.store(Value::i64(0), plb);
+    let last = b.sub(tc64, Value::i64(1));
+    b.store(last, pub_);
+    b.store(Value::i64(1), pstride);
+    let chunk64 = b.int_resize(chunk, IrType::I64, false);
+    b.call(
+        init_fn,
+        vec![gtid, Value::i32(sched as i32), plast, plb, pub_, pstride, Value::i64(1), chunk64],
+        IrType::Void,
+    );
+    let lb = b.load(IrType::I64, plb);
+    let ub = b.load(IrType::I64, pub_);
+    let stride = b.load(IrType::I64, pstride);
+    (gtid, lb, ub, stride)
+}
+
+/// Shifts the body's view of the IV by `offset` (in the IV type): prepends
+/// `shifted = iv + offset` to the body entry and rewrites all other body
+/// uses of the IV.
+fn shift_body_iv(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo, offset: Value) {
+    let region = cli.body_region(b.func());
+    let func = b.func_mut();
+    let shifted = func.prepend_inst(
+        cli.body,
+        Inst::Bin { op: omplt_ir::BinOpKind::Add, lhs: cli.iv(), rhs: offset },
+    );
+    let shifted_id = match shifted {
+        Value::Inst(id) => id,
+        _ => unreachable!(),
+    };
+    for bb in region {
+        let insts = func.block(bb).insts.clone();
+        for iid in insts {
+            if iid == shifted_id {
+                continue;
+            }
+            func.inst_mut(iid).map_operands(|v| if v == cli.iv() { shifted } else { v });
+        }
+        if let Some(t) = func.block_mut(bb).term.as_mut() {
+            t.map_operands(|v| if v == cli.iv() { shifted } else { v });
+        }
+    }
+}
+
+fn apply_unchunked(
+    b: &mut IrBuilder<'_>,
+    cli: &mut CanonicalLoopInfo,
+    gtid_fn: omplt_ir::SymbolId,
+    init_fn: omplt_ir::SymbolId,
+    fini_fn: omplt_ir::SymbolId,
+) -> BlockId {
+    let saved = b.insert_block();
+
+    b.set_insert_point(cli.preheader);
+    let (gtid, lb, ub, _stride) =
+        emit_static_init(b, cli, SCHED_STATIC, Value::i64(0), gtid_fn, init_fn);
+    // span = ub + 1 - lb  (0 when the thread got an empty range: ub = lb - 1)
+    let ubp1 = b.add(ub, Value::i64(1));
+    let span = b.sub(ubp1, lb);
+    let span_n = b.int_resize(span, cli.ty, false);
+    cli.set_trip_count(b.func_mut(), span_n);
+
+    let lb_n = b.int_resize(lb, cli.ty, false);
+    shift_body_iv(b, cli, lb_n);
+
+    b.set_insert_point(cli.exit);
+    b.call(fini_fn, vec![gtid], IrType::Void);
+
+    b.set_insert_point(saved);
+    cli.after
+}
+
+fn apply_chunked(
+    b: &mut IrBuilder<'_>,
+    cli: &mut CanonicalLoopInfo,
+    chunk: Value,
+    gtid_fn: omplt_ir::SymbolId,
+    init_fn: omplt_ir::SymbolId,
+    fini_fn: omplt_ir::SymbolId,
+) -> BlockId {
+    // A new setup block takes over every edge into the loop's preheader.
+    let setup = b.create_block("omp_ws.setup");
+    let pre = cli.preheader;
+    let nblocks = b.func().blocks.len();
+    for i in 0..nblocks {
+        let bb = BlockId(i as u32);
+        if bb == setup {
+            continue;
+        }
+        if let Some(t) = b.func_mut().block_mut(bb).term.as_mut() {
+            t.map_blocks(|x| if x == pre { setup } else { x });
+        }
+    }
+
+    b.set_insert_point(setup);
+    let (gtid, lb0, _ub0, stride) =
+        emit_static_init(b, cli, SCHED_STATIC_CHUNKED, chunk, gtid_fn, init_fn);
+    let tc64 = b.int_resize(cli.trip_count, IrType::I64, false);
+    let chunk64 = b.int_resize(chunk, IrType::I64, false);
+    // Number of chunks this thread executes:
+    //   remaining = max(0, tc - lb0);  n_chunks = ceildiv(remaining, stride)
+    let rem_raw = b.sub(tc64, lb0);
+    let has_any = b.cmp(omplt_ir::CmpPred::Ult, lb0, tc64);
+    let rem = b.select(has_any, rem_raw, Value::i64(0));
+    let remm1 = b.sub(rem, Value::i64(1));
+    let d = b.udiv(remm1, stride);
+    let dp1 = b.add(d, Value::i64(1));
+    let zero = Value::i64(0);
+    let is_zero = b.cmp(omplt_ir::CmpPred::Eq, rem, zero);
+    let n_chunks = b.select(is_zero, zero, dp1);
+
+    // Outer chunk loop wrapping the canonical loop.
+    let outer = create_canonical_loop_skeleton(b, n_chunks, "ws_chunks", false);
+    b.func_mut().block_mut(setup).term = Some(Terminator::Br { target: outer.preheader, loop_md: None });
+
+    // Per-chunk bounds in the outer body, then enter the original loop.
+    b.set_insert_point(outer.body);
+    let off = b.mul(outer.iv(), stride);
+    let chunk_start = b.add(lb0, off);
+    let left = b.sub(tc64, chunk_start);
+    let span64 = b.umin(chunk64, left);
+    let span = b.int_resize(span64, cli.ty, false);
+    cli.set_trip_count(b.func_mut(), span);
+    b.func_mut().block_mut(outer.body).term = Some(Terminator::Br { target: pre, loop_md: None });
+
+    // The loop's after returns to the chunk latch; execution continues at
+    // the outer after.
+    b.func_mut().block_mut(cli.after).term = Some(Terminator::Br { target: outer.latch, loop_md: None });
+
+    let start_n = b.int_resize(chunk_start, cli.ty, false);
+    shift_body_iv(b, cli, start_n);
+
+    b.set_insert_point(outer.exit);
+    b.call(fini_fn, vec![gtid], IrType::Void);
+
+    b.set_insert_point(outer.after);
+    outer.after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical_loop::create_canonical_loop;
+    use omplt_ir::{assert_verified, Function};
+
+    fn one_loop(f: &mut Function, m: &mut Module) -> CanonicalLoopInfo {
+        let sink = m.intern("sink");
+        let mut b = IrBuilder::new(f);
+        let cli = create_canonical_loop(&mut b, Value::Arg(0), "i", |b, i| {
+            b.call(sink, vec![i], IrType::Void);
+        });
+        cli
+    }
+
+    #[test]
+    fn unchunked_brackets_with_runtime_calls() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let mut cli = one_loop(&mut f, &mut m);
+        let cont = {
+            let mut b = IrBuilder::new(&mut f);
+            b.set_insert_point(cli.after);
+            let cont = create_static_workshare_loop(
+                &mut b,
+                &mut m,
+                &mut cli,
+                WorksharingScheme::StaticUnchunked,
+            );
+            b.set_insert_point(cont);
+            b.ret(None);
+            cont
+        };
+        assert_eq!(cont, cli.after);
+        cli.assert_ok(&f);
+        assert_verified(&f);
+        let init = m.lookup_symbol("__kmpc_for_static_init").unwrap();
+        let fini = m.lookup_symbol("__kmpc_for_static_fini").unwrap();
+        let calls = |bb: BlockId, sym| {
+            f.block(bb)
+                .insts
+                .iter()
+                .any(|&i| matches!(f.inst(i), Inst::Call { callee, .. } if callee.0 == sym))
+        };
+        assert!(calls(cli.preheader, init), "init call must be in the preheader");
+        assert!(calls(cli.exit, fini), "fini call must be in the exit");
+    }
+
+    #[test]
+    fn unchunked_patches_trip_count_to_span() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let mut cli = one_loop(&mut f, &mut m);
+        let orig_tc = cli.trip_count;
+        {
+            let mut b = IrBuilder::new(&mut f);
+            b.set_insert_point(cli.after);
+            create_static_workshare_loop(&mut b, &mut m, &mut cli, WorksharingScheme::StaticUnchunked);
+        }
+        assert_ne!(cli.trip_count, orig_tc, "trip count must become the thread's span");
+    }
+
+    #[test]
+    fn body_iv_is_shifted_by_lower_bound() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let mut cli = one_loop(&mut f, &mut m);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            b.set_insert_point(cli.after);
+            create_static_workshare_loop(&mut b, &mut m, &mut cli, WorksharingScheme::StaticUnchunked);
+        }
+        // The sink call must use the shifted value, not the raw phi.
+        let first = f.block(cli.body).insts[0];
+        assert!(
+            matches!(f.inst(first), Inst::Bin { op: omplt_ir::BinOpKind::Add, lhs, .. } if *lhs == cli.iv()),
+            "body must start with the IV shift"
+        );
+        for &iid in &f.block(cli.body).insts[1..] {
+            if let Inst::Call { args, .. } = f.inst(iid) {
+                assert!(!args.contains(&cli.iv()), "raw IV leaked into the body");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_wraps_in_outer_chunk_loop() {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let mut cli = one_loop(&mut f, &mut m);
+        let cont = {
+            let mut b = IrBuilder::new(&mut f);
+            b.set_insert_point(cli.after);
+            let cont = create_static_workshare_loop(
+                &mut b,
+                &mut m,
+                &mut cli,
+                WorksharingScheme::StaticChunked(Value::i64(8)),
+            );
+            b.set_insert_point(cont);
+            b.ret(None);
+            cont
+        };
+        assert_ne!(cont, cli.after, "chunked scheme must return a new continuation");
+        cli.assert_ok(&f);
+        assert_verified(&f);
+    }
+}

@@ -1,0 +1,16 @@
+//! # omplt-parse
+//!
+//! The recursive-descent parser (Parser layer of the paper's Fig. 1). As in
+//! Clang, "general control flow is steered by the parser": it pulls
+//! preprocessed tokens and pushes each recognized construct into
+//! [`omplt_sema::Sema`] action methods, which build and type-check the AST.
+//!
+//! OpenMP directives arrive bracketed in `PragmaOmpStart`/`PragmaOmpEnd`
+//! annotation tokens (see `omplt-lex`); [`pragma`] parses the directive name
+//! and clauses, then hands the associated statement plus parsed clause list
+//! to Sema.
+
+pub mod parser;
+pub mod pragma;
+
+pub use parser::{parse_translation_unit, Parser};

@@ -1,0 +1,280 @@
+//! Parsing of `#pragma omp` directives, arriving between the
+//! `PragmaOmpStart`/`PragmaOmpEnd` annotation tokens. Directive and clause
+//! names are *contextual* keywords (plain identifiers — except `for`, which
+//! is the base-language keyword).
+
+use crate::parser::Parser;
+use omplt_ast::{OMPClause, OMPClauseKind, OMPDirectiveKind, P, ReductionOp, ScheduleKind, Stmt};
+use omplt_lex::{Keyword, Punct, TokenKind};
+
+/// Parses one OpenMP directive (pragma line + associated statement).
+pub fn parse_omp_directive(p: &mut Parser<'_, '_>) -> P<Stmt> {
+    let loc = p.loc();
+    p.next(); // PragmaOmpStart
+
+    // ---- directive name ----
+    let kind = match parse_directive_name(p) {
+        Some(k) => k,
+        None => {
+            p.sema
+                .diags
+                .error(loc, "expected an OpenMP directive name after '#pragma omp'");
+            skip_to_pragma_end(p);
+            // Parse and return the following statement unmodified.
+            return p.parse_stmt();
+        }
+    };
+
+    // ---- clauses ----
+    let mut clauses = Vec::new();
+    while !matches!(p.peek().kind, TokenKind::PragmaOmpEnd | TokenKind::Eof) {
+        // optional separating commas between clauses
+        if p.eat_punct(Punct::Comma) {
+            continue;
+        }
+        match parse_clause(p) {
+            Some(c) => clauses.push(c),
+            None => {
+                skip_to_pragma_end(p);
+                break;
+            }
+        }
+    }
+    if matches!(p.peek().kind, TokenKind::PragmaOmpEnd) {
+        p.next();
+    }
+
+    // ---- associated statement ----
+    let associated = p.parse_stmt();
+    p.sema.act_on_omp_directive(kind, clauses, Some(associated), loc)
+}
+
+fn parse_directive_name(p: &mut Parser<'_, '_>) -> Option<OMPDirectiveKind> {
+    // `parallel [for]`, `for`, `simd`, `taskloop`, `unroll`, `tile`
+    match &p.peek().kind {
+        TokenKind::Kw(Keyword::For) => {
+            p.next();
+            Some(OMPDirectiveKind::For)
+        }
+        TokenKind::Ident(name) => match name.as_str() {
+            "parallel" => {
+                p.next();
+                if p.peek().kind.is_kw(Keyword::For) {
+                    p.next();
+                    Some(OMPDirectiveKind::ParallelFor)
+                } else {
+                    Some(OMPDirectiveKind::Parallel)
+                }
+            }
+            "simd" => {
+                p.next();
+                Some(OMPDirectiveKind::Simd)
+            }
+            "taskloop" => {
+                p.next();
+                Some(OMPDirectiveKind::Taskloop)
+            }
+            "unroll" => {
+                p.next();
+                Some(OMPDirectiveKind::Unroll)
+            }
+            "tile" => {
+                p.next();
+                Some(OMPDirectiveKind::Tile)
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn parse_clause(p: &mut Parser<'_, '_>) -> Option<P<OMPClause>> {
+    let loc = p.loc();
+    let name = match &p.peek().kind {
+        TokenKind::Ident(n) => n.clone(),
+        other => {
+            p.sema
+                .diags
+                .error(loc, format!("expected an OpenMP clause name, found {other:?}"));
+            return None;
+        }
+    };
+    p.next();
+    let kind = match name.as_str() {
+        "full" => OMPClauseKind::Full,
+        "nowait" => OMPClauseKind::Nowait,
+        "partial" => {
+            if p.at_punct(Punct::LParen) {
+                p.next();
+                let e = p.parse_assignment_expr();
+                p.expect_punct(Punct::RParen);
+                OMPClauseKind::Partial(Some(wrap_constant(p, e)))
+            } else {
+                OMPClauseKind::Partial(None)
+            }
+        }
+        "sizes" => {
+            p.expect_punct(Punct::LParen);
+            let mut sizes = Vec::new();
+            loop {
+                let e = p.parse_assignment_expr();
+                sizes.push(wrap_constant(p, e));
+                if !p.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Sizes(sizes)
+        }
+        "collapse" => {
+            p.expect_punct(Punct::LParen);
+            let e = p.parse_assignment_expr();
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Collapse(wrap_constant(p, e))
+        }
+        "num_threads" => {
+            p.expect_punct(Punct::LParen);
+            let e = p.parse_assignment_expr();
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::NumThreads(e)
+        }
+        "grainsize" => {
+            p.expect_punct(Punct::LParen);
+            let e = p.parse_assignment_expr();
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Grainsize(wrap_constant(p, e))
+        }
+        "schedule" => {
+            p.expect_punct(Punct::LParen);
+            let kloc = p.loc();
+            let sk = match &p.next().kind {
+                TokenKind::Ident(s) => match s.as_str() {
+                    "static" => ScheduleKind::Static,
+                    "dynamic" => ScheduleKind::Dynamic,
+                    "guided" => ScheduleKind::Guided,
+                    "auto" => ScheduleKind::Auto,
+                    "runtime" => ScheduleKind::Runtime,
+                    other => {
+                        p.sema.diags.error(kloc, format!("unknown schedule kind '{other}'"));
+                        ScheduleKind::Static
+                    }
+                },
+                TokenKind::Kw(Keyword::Auto) => ScheduleKind::Auto,
+                TokenKind::Kw(Keyword::Static) => ScheduleKind::Static,
+                other => {
+                    p.sema.diags.error(kloc, format!("expected schedule kind, found {other:?}"));
+                    ScheduleKind::Static
+                }
+            };
+            let chunk = if p.eat_punct(Punct::Comma) {
+                Some(p.parse_assignment_expr())
+            } else {
+                None
+            };
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Schedule { kind: sk, chunk }
+        }
+        "private" | "firstprivate" | "shared" => {
+            p.expect_punct(Punct::LParen);
+            let mut vars = Vec::new();
+            loop {
+                let vloc = p.loc();
+                match &p.next().kind {
+                    TokenKind::Ident(vn) => vars.push(p.sema.act_on_decl_ref(vn, vloc)),
+                    other => {
+                        p.sema
+                            .diags
+                            .error(vloc, format!("expected variable name, found {other:?}"));
+                    }
+                }
+                if !p.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            p.expect_punct(Punct::RParen);
+            match name.as_str() {
+                "private" => OMPClauseKind::Private(vars),
+                "firstprivate" => OMPClauseKind::FirstPrivate(vars),
+                _ => OMPClauseKind::Shared(vars),
+            }
+        }
+        "reduction" => {
+            p.expect_punct(Punct::LParen);
+            let oloc = p.loc();
+            let op = match &p.next().kind {
+                TokenKind::Punct(Punct::Plus) => ReductionOp::Add,
+                TokenKind::Punct(Punct::Star) => ReductionOp::Mul,
+                TokenKind::Ident(s) if s == "min" => ReductionOp::Min,
+                TokenKind::Ident(s) if s == "max" => ReductionOp::Max,
+                other => {
+                    p.sema
+                        .diags
+                        .error(oloc, format!("unsupported reduction operator {other:?}"));
+                    ReductionOp::Add
+                }
+            };
+            p.expect_punct(Punct::Colon);
+            let mut vars = Vec::new();
+            loop {
+                let vloc = p.loc();
+                match &p.next().kind {
+                    TokenKind::Ident(vn) => vars.push(p.sema.act_on_decl_ref(vn, vloc)),
+                    other => {
+                        p.sema
+                            .diags
+                            .error(vloc, format!("expected variable name, found {other:?}"));
+                    }
+                }
+                if !p.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Reduction { op, vars }
+        }
+        other => {
+            p.sema.diags.error(loc, format!("unknown OpenMP clause '{other}'"));
+            // Skip a parenthesized argument if present.
+            if p.eat_punct(Punct::LParen) {
+                let mut depth = 1;
+                while depth > 0 && !matches!(p.peek().kind, TokenKind::Eof | TokenKind::PragmaOmpEnd) {
+                    match &p.next().kind {
+                        TokenKind::Punct(Punct::LParen) => depth += 1,
+                        TokenKind::Punct(Punct::RParen) => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            return None;
+        }
+    };
+    Some(OMPClause::new(kind, loc))
+}
+
+/// Wraps a clause argument in a Sema-evaluated `ConstantExpr` node (Clang
+/// dumps these with a `value: Int n` child — paper Fig.
+/// lst:astdump_shadowast).
+fn wrap_constant(_p: &mut Parser<'_, '_>, e: P<omplt_ast::Expr>) -> P<omplt_ast::Expr> {
+    match e.eval_const_int() {
+        Some(v) => {
+            let ty = P::clone(&e.ty);
+            let loc = e.loc;
+            P::new(omplt_ast::Expr {
+                kind: omplt_ast::ExprKind::ConstantExpr { value: v, sub: e },
+                ty,
+                category: omplt_ast::ValueCategory::RValue,
+                loc,
+            })
+        }
+        None => e, // non-constant: Sema diagnoses at the use site
+    }
+}
+
+fn skip_to_pragma_end(p: &mut Parser<'_, '_>) {
+    while !matches!(p.peek().kind, TokenKind::PragmaOmpEnd | TokenKind::Eof) {
+        p.next();
+    }
+    if matches!(p.peek().kind, TokenKind::PragmaOmpEnd) {
+        p.next();
+    }
+}

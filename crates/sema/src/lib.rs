@@ -1,0 +1,35 @@
+//! # omplt-sema
+//!
+//! The semantic analyzer (Sema layer of the paper's Fig. 1). The parser
+//! pushes syntax at these entry points; Sema type-checks, builds AST nodes
+//! (including implicit ones), and implements **both** loop-transformation
+//! representations the paper contrasts:
+//!
+//! * the **shadow-AST** path (paper §2): [`transform`] applies `tile`/`unroll`
+//!   on the AST via [`tree_transform::TreeTransform`]-style rebuilding and
+//!   stores the result on the directive node, where consuming directives pick
+//!   it up with `get_transformed_stmt()`;
+//! * the **canonical-loop** path (paper §3): [`canonical`] wraps literal loops
+//!   in `OMPCanonicalLoop` nodes carrying the distance function, the loop
+//!   user value function and the user-variable reference — the "minimal set
+//!   of meta-information that needs to be resolved at the Sema layer".
+//!
+//! [`loop_analysis`] implements OpenMP's *canonical loop form* check
+//! (init/test/incr shape), shared by both paths.
+
+pub mod canonical;
+pub mod capture;
+pub mod loop_analysis;
+pub mod omp_sema;
+pub mod range_for;
+pub mod scope;
+pub mod sema;
+pub mod transform;
+pub mod tree_transform;
+
+pub use loop_analysis::{analyze_canonical_loop, CanonicalLoopAnalysis, LoopDirection};
+pub use canonical::build_canonical_loop;
+pub use capture::{build_omp_captured_stmt, free_variables};
+pub use transform::{count_generated_loops, split_prologue, LoopNestLevel};
+pub use tree_transform::TreeTransform;
+pub use sema::{OpenMpCodegenMode, Sema};

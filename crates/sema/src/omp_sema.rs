@@ -1,0 +1,730 @@
+//! Sema for OpenMP executable directives: clause validation, loop-nest
+//! collection (looking *through* transformation directives via
+//! `get_transformed_stmt()` — the shadow-AST composition mechanism),
+//! shadow-AST construction, the classic `OMPLoopDirective` helper bundle,
+//! and `OMPCanonicalLoop` wrapping for the IrBuilder mode.
+
+use crate::canonical::build_canonical_loop;
+use crate::capture::build_omp_captured_stmt;
+use crate::loop_analysis::analyze_canonical_loop;
+use crate::sema::{OpenMpCodegenMode, Sema};
+use crate::transform::{
+    split_prologue, transform_tile, transform_unroll_partial, LoopNestLevel,
+};
+use omplt_ast::{
+    BinOp, Expr, LoopDirectiveHelpers, OMPClause, OMPClauseKind, OMPDirective,
+    OMPDirectiveKind, P, PerLoopHelpers, ScheduleKind, Stmt, StmtKind,
+};
+use omplt_source::SourceLocation;
+
+impl Sema<'_> {
+    /// Main entry: builds the AST for one OpenMP executable directive.
+    pub fn act_on_omp_directive(
+        &mut self,
+        kind: OMPDirectiveKind,
+        clauses: Vec<P<OMPClause>>,
+        associated: Option<P<Stmt>>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        if !self.openmp {
+            // `-fno-openmp`: pragmas are ignored; the associated statement
+            // stands alone.
+            return associated.unwrap_or_else(|| Stmt::new(StmtKind::Null, loc));
+        }
+        self.check_clauses(kind, &clauses, loc);
+
+        let Some(associated) = associated else {
+            self.diags.error(loc, format!("'#pragma omp {}' requires an associated statement", kind.name()));
+            return Stmt::new(StmtKind::Null, loc);
+        };
+
+        match kind {
+            OMPDirectiveKind::Parallel => {
+                let captured = Stmt::new(
+                    StmtKind::Captured(build_omp_captured_stmt(&self.ctx, associated)),
+                    loc,
+                );
+                let d = OMPDirective::new(kind, clauses, Some(captured), loc);
+                Stmt::new(StmtKind::OMP(P::new(d)), loc)
+            }
+            OMPDirectiveKind::Unroll => self.act_on_unroll(clauses, associated, loc),
+            OMPDirectiveKind::Tile => self.act_on_tile(clauses, associated, loc),
+            OMPDirectiveKind::For
+            | OMPDirectiveKind::ParallelFor
+            | OMPDirectiveKind::Simd
+            | OMPDirectiveKind::Taskloop => self.act_on_loop_directive(kind, clauses, associated, loc),
+        }
+    }
+
+    // ---------------- clause validation ----------------
+
+    fn check_clauses(&self, kind: OMPDirectiveKind, clauses: &[P<OMPClause>], _loc: SourceLocation) {
+        for c in clauses {
+            let ok = match &c.kind {
+                OMPClauseKind::Full | OMPClauseKind::Partial(_) => kind == OMPDirectiveKind::Unroll,
+                OMPClauseKind::Sizes(_) => kind == OMPDirectiveKind::Tile,
+                OMPClauseKind::Schedule { .. } | OMPClauseKind::Nowait => kind.is_worksharing(),
+                OMPClauseKind::NumThreads(_) => kind.is_parallel(),
+                OMPClauseKind::Collapse(_) => kind.is_loop_directive(),
+                OMPClauseKind::Grainsize(_) => kind == OMPDirectiveKind::Taskloop,
+                OMPClauseKind::Private(_)
+                | OMPClauseKind::FirstPrivate(_)
+                | OMPClauseKind::Shared(_)
+                | OMPClauseKind::Reduction { .. } => !kind.is_loop_transformation(),
+            };
+            if !ok {
+                self.diags.error(
+                    c.loc,
+                    format!(
+                        "clause '{}' is not valid on '#pragma omp {}'",
+                        c.kind.name(),
+                        kind.name()
+                    ),
+                );
+            }
+            if let OMPClauseKind::Schedule { kind: sk, .. } = &c.kind {
+                if *sk != ScheduleKind::Static {
+                    self.diags.warning(
+                        c.loc,
+                        format!("schedule kind '{}' is not implemented; using 'static'", sk.name()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Evaluates a clause argument as a positive integer constant.
+    fn positive_const(&self, e: &P<Expr>, what: &str) -> Option<u64> {
+        match e.eval_const_int() {
+            Some(v) if v > 0 => Some(v as u64),
+            Some(_) => {
+                self.diags.error(e.loc, format!("argument to '{what}' must be positive"));
+                None
+            }
+            None => {
+                self.diags
+                    .error(e.loc, format!("argument to '{what}' must be a constant expression"));
+                None
+            }
+        }
+    }
+
+    // ---------------- loop-nest collection ----------------
+
+    /// Resolves one nest level to `(prologue, loop)`, looking through
+    /// attributes, `OMPCanonicalLoop` wrappers, transformed-AST compounds,
+    /// and — crucially — transformation directives standing in for their
+    /// generated loop (paper §2: `getTransformedStmt()`).
+    fn resolve_level(
+        &self,
+        stmt: &P<Stmt>,
+        consumer: &str,
+    ) -> Option<(Vec<P<Stmt>>, P<Stmt>)> {
+        let mut prologue = Vec::new();
+        let mut cur = P::clone(stmt);
+        loop {
+            match &cur.kind {
+                StmtKind::OMP(d) if d.kind.is_loop_transformation() => {
+                    match d.get_transformed_stmt() {
+                        Some(t) => {
+                            cur = P::clone(t);
+                        }
+                        None => {
+                            // `unroll full` / heuristic unroll leave no
+                            // generated loop to associate (paper §1.1).
+                            self.diags.error(
+                                d.loc,
+                                format!(
+                                    "'#pragma omp {}' here does not generate a loop that can be associated with '{consumer}'",
+                                    d.kind.name()
+                                ),
+                            );
+                            return None;
+                        }
+                    }
+                }
+                StmtKind::Attributed { sub, .. } => cur = P::clone(sub),
+                StmtKind::OMPCanonicalLoop(cl) => cur = P::clone(&cl.loop_stmt),
+                StmtKind::Compound(_) => match split_prologue(&cur) {
+                    Some((pro, lp)) => {
+                        prologue.extend(pro);
+                        cur = lp;
+                    }
+                    None => {
+                        self.diags.error(
+                            cur.loc,
+                            format!("statement after '{consumer}' must be a for loop"),
+                        );
+                        return None;
+                    }
+                },
+                StmtKind::For { .. } | StmtKind::CxxForRange(_) => {
+                    return Some((prologue, cur));
+                }
+                _ => {
+                    self.diags
+                        .error(cur.loc, format!("statement after '{consumer}' must be a for loop"));
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Collects `depth` perfectly nested canonical loops.
+    pub fn collect_loop_nest(
+        &mut self,
+        stmt: &P<Stmt>,
+        depth: usize,
+        consumer: &str,
+    ) -> Option<Vec<LoopNestLevel>> {
+        let mut levels = Vec::with_capacity(depth);
+        let mut cur = P::clone(stmt);
+        for lvl in 0..depth {
+            let (prologue, lp) = self.resolve_level(&cur, consumer)?;
+            let analysis = analyze_canonical_loop(&self.ctx, self.diags, &lp, consumer)?;
+            let next = P::clone(&analysis.body);
+            levels.push(LoopNestLevel { prologue, analysis });
+            if lvl + 1 < depth {
+                // The next level must be the sole statement of the body.
+                cur = peel_singleton_compound(&next);
+            }
+        }
+        Some(levels)
+    }
+
+    // ---------------- transformation directives ----------------
+
+    fn act_on_unroll(
+        &mut self,
+        clauses: Vec<P<OMPClause>>,
+        associated: P<Stmt>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        let pragma = OMPDirective::new(OMPDirectiveKind::Unroll, clauses.clone(), None, loc).pragma_text();
+        let mut d = OMPDirective::new(OMPDirectiveKind::Unroll, clauses, None, loc);
+
+        let has_full = d.has_full_clause();
+        let partial = d.partial_clause().map(|f| f.cloned());
+        if has_full && partial.is_some() {
+            self.diags.error(loc, "'full' and 'partial' clauses are mutually exclusive");
+        }
+
+        let levels = self.collect_loop_nest(&associated, 1, "#pragma omp unroll");
+        if let Some(levels) = levels {
+            let analysis = &levels[0].analysis;
+            if has_full && analysis.const_trip_count().is_none() {
+                self.diags.error(
+                    loc,
+                    "loop to be fully unrolled must have a constant trip count (is the bound a constant?)",
+                );
+            }
+            // The shadow AST exists exactly when a `partial` clause makes
+            // the directive potentially consumable (paper §2.2); it is kept
+            // in IrBuilder mode too for the consumer-side diagnostics
+            // ("for the moment we rely on the existing diagnostic", §3.1).
+            if let Some(factor_expr) = &partial {
+                let factor = factor_expr
+                    .as_ref()
+                    .and_then(|e| self.positive_const(e, "partial"))
+                    // bare `partial`: "the current implementation uses the
+                    // unroll factor of two" (paper §2.2)
+                    .unwrap_or(2);
+                let transformed = {
+                    let mut sm = self.sm.borrow_mut();
+                    transform_unroll_partial(&self.ctx, &mut sm, analysis, factor, &pragma)
+                };
+                // Prologue of an inner transformed loop must stay in front.
+                d.transformed = Some(wrap_with_prologue(&levels[0].prologue, transformed, loc));
+            }
+        }
+
+        // IrBuilder mode additionally wraps the literal loop (paper §3.1).
+        let associated = self.maybe_wrap_canonical(associated, "#pragma omp unroll");
+        d.associated = Some(associated);
+        Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    fn act_on_tile(
+        &mut self,
+        clauses: Vec<P<OMPClause>>,
+        associated: P<Stmt>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        let pragma = OMPDirective::new(OMPDirectiveKind::Tile, clauses.clone(), None, loc).pragma_text();
+        let mut d = OMPDirective::new(OMPDirectiveKind::Tile, clauses, None, loc);
+        let Some(size_exprs) = d.sizes_clause().map(<[_]>::to_vec) else {
+            self.diags.error(loc, "'#pragma omp tile' requires a 'sizes' clause");
+            d.associated = Some(associated);
+            return Stmt::new(StmtKind::OMP(P::new(d)), loc);
+        };
+        let sizes: Vec<u64> = size_exprs
+            .iter()
+            .filter_map(|e| self.positive_const(e, "sizes"))
+            .collect();
+        if sizes.len() == size_exprs.len() {
+            if let Some(levels) =
+                self.collect_loop_nest(&associated, sizes.len(), "#pragma omp tile")
+            {
+                let transformed = {
+                    let mut sm = self.sm.borrow_mut();
+                    transform_tile(&self.ctx, &mut sm, &levels, &sizes, &pragma)
+                };
+                // Tile always stands in for its generated nest (it may
+                // always be consumed).
+                d.transformed = Some(transformed);
+            }
+        }
+        let associated = self.maybe_wrap_canonical(associated, "#pragma omp tile");
+        d.associated = Some(associated);
+        Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    // ---------------- loop-associated directives ----------------
+
+    fn act_on_loop_directive(
+        &mut self,
+        kind: OMPDirectiveKind,
+        clauses: Vec<P<OMPClause>>,
+        associated: P<Stmt>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        let mut d = OMPDirective::new(kind, clauses, None, loc);
+        let consumer = format!("#pragma omp {}", kind.name());
+        let depth = d.collapse_depth();
+        for c in &d.clauses {
+            for e in omplt_ast::visitor::clause_exprs(c) {
+                if matches!(c.kind, OMPClauseKind::Collapse(_)) {
+                    self.positive_const(e, "collapse");
+                }
+            }
+        }
+
+        let levels = self.collect_loop_nest(&associated, depth, &consumer);
+        if let Some(levels) = &levels {
+            if self.mode == OpenMpCodegenMode::Classic {
+                d.loop_helpers = Some(self.build_loop_helpers(levels, loc));
+            }
+        }
+
+        // IrBuilder mode: wrap the associated literal loop in the
+        // OMPCanonicalLoop meta node.
+        let associated = self.maybe_wrap_canonical(associated, &consumer);
+
+        // Worksharing and taskloop regions are outlined → CapturedStmt
+        // (loop transformations must NOT capture; paper §2.1).
+        let associated = if kind.captures_associated() {
+            Stmt::new(StmtKind::Captured(build_omp_captured_stmt(&self.ctx, associated)), loc)
+        } else {
+            associated
+        };
+        d.associated = Some(associated);
+        Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    /// In IrBuilder mode, wraps a *literal* loop in `OMPCanonicalLoop`.
+    /// Nested directives (transformation stacking) are left alone — their
+    /// own Sema pass already wrapped the innermost literal loop.
+    fn maybe_wrap_canonical(&mut self, stmt: P<Stmt>, consumer: &str) -> P<Stmt> {
+        if self.mode != OpenMpCodegenMode::IrBuilder {
+            return stmt;
+        }
+        match &stmt.kind {
+            StmtKind::For { .. } | StmtKind::CxxForRange(_) => {
+                match build_canonical_loop(&self.ctx, self.diags, &stmt, consumer) {
+                    Some((node, _)) => {
+                        let loc = stmt.loc;
+                        Stmt::new(StmtKind::OMPCanonicalLoop(node), loc)
+                    }
+                    None => stmt,
+                }
+            }
+            _ => stmt,
+        }
+    }
+
+    // ---------------- classic helper bundle ----------------
+
+    /// Builds the `OMPLoopDirective` shadow helper bundle — "up to 30 shadow
+    /// AST statements … plus 6 for each loop" (paper §1.2). All nodes are
+    /// real expression trees; classic CodeGen emits from them.
+    pub fn build_loop_helpers(
+        &mut self,
+        levels: &[LoopNestLevel],
+        loc: SourceLocation,
+    ) -> P<LoopDirectiveHelpers> {
+        let ctx = &self.ctx;
+        let szt = ctx.size_t();
+        let lit = |v: i128| ctx.int_lit(v, P::clone(&szt), loc);
+
+        // Captured trip counts (".capture_expr." — see the paper's
+        // diagnostics example) and the total iteration space.
+        let mut capture_decls = Vec::with_capacity(levels.len());
+        for l in levels {
+            let tc = l.analysis.distance_expr_with_start(ctx, P::clone(&l.analysis.lb));
+            let tc = ctx.int_convert(tc, &szt);
+            capture_decls.push(ctx.make_implicit_var(
+                ctx.fresh_name(".capture_expr."),
+                P::clone(&szt),
+                Some(tc),
+                loc,
+            ));
+        }
+        let mut num_iterations = ctx.read_var(&capture_decls[0], loc);
+        for cd in &capture_decls[1..] {
+            num_iterations =
+                ctx.binary(BinOp::Mul, num_iterations, ctx.read_var(cd, loc), P::clone(&szt), loc);
+        }
+
+        let iv = ctx.make_implicit_var(".omp.iv", P::clone(&szt), None, loc);
+        let lb = ctx.make_implicit_var(".omp.lb", P::clone(&szt), None, loc);
+        let ub = ctx.make_implicit_var(".omp.ub", P::clone(&szt), None, loc);
+        let stride = ctx.make_implicit_var(".omp.stride", P::clone(&szt), None, loc);
+        let is_last = ctx.make_implicit_var(".omp.is_last", ctx.int(), None, loc);
+
+        let last_iteration = ctx.binary(BinOp::Sub, P::clone(&num_iterations), lit(1), P::clone(&szt), loc);
+        let precondition = ctx.binary(BinOp::Lt, lit(0), P::clone(&num_iterations), ctx.bool_ty(), loc);
+        let init = ctx.assign(ctx.decl_ref(&iv, loc), lit(0), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&iv, loc),
+            P::clone(&num_iterations),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.assign(
+            ctx.decl_ref(&iv, loc),
+            ctx.binary(BinOp::Add, ctx.read_var(&iv, loc), lit(1), P::clone(&szt), loc),
+            loc,
+        );
+        let workshare_init = ctx.assign(ctx.decl_ref(&iv, loc), ctx.read_var(&lb, loc), loc);
+        let workshare_cond =
+            ctx.binary(BinOp::Le, ctx.read_var(&iv, loc), ctx.read_var(&ub, loc), ctx.bool_ty(), loc);
+        let ensure_upper_bound = ctx.assign(
+            ctx.decl_ref(&ub, loc),
+            ctx.min_expr(ctx.read_var(&ub, loc), P::clone(&last_iteration), P::clone(&szt), loc),
+            loc,
+        );
+        let next_lower_bound = ctx.assign(
+            ctx.decl_ref(&lb, loc),
+            ctx.binary(BinOp::Add, ctx.read_var(&lb, loc), ctx.read_var(&stride, loc), P::clone(&szt), loc),
+            loc,
+        );
+        let next_upper_bound = ctx.assign(
+            ctx.decl_ref(&ub, loc),
+            ctx.binary(BinOp::Add, ctx.read_var(&ub, loc), ctx.read_var(&stride, loc), P::clone(&szt), loc),
+            loc,
+        );
+
+        // Per-loop helpers: recover each counter from the logical IV.
+        let mut loops = Vec::with_capacity(levels.len());
+        for (k, l) in levels.iter().enumerate() {
+            let a = &l.analysis;
+            // idx_k = (iv / Π_{j>k} tc_j) % tc_k
+            let mut divisor: Option<P<Expr>> = None;
+            for cd in capture_decls.iter().skip(k + 1) {
+                let r = ctx.read_var(cd, loc);
+                divisor = Some(match divisor {
+                    None => r,
+                    Some(d) => ctx.binary(BinOp::Mul, d, r, P::clone(&szt), loc),
+                });
+            }
+            let mut idx = ctx.read_var(&iv, loc);
+            if let Some(d) = divisor {
+                idx = ctx.binary(BinOp::Div, idx, d, P::clone(&szt), loc);
+            }
+            idx = ctx.binary(BinOp::Rem, idx, ctx.read_var(&capture_decls[k], loc), P::clone(&szt), loc);
+            let update_val = a.user_value_expr(ctx, P::clone(&a.lb), idx);
+            let update = ctx.assign(ctx.decl_ref(&a.iter_var, loc), update_val, loc);
+
+            let init_k = ctx.assign(ctx.decl_ref(&a.iter_var, loc), P::clone(&a.lb), loc);
+            let final_idx = ctx.read_var(&capture_decls[k], loc);
+            let final_val = a.user_value_expr(ctx, P::clone(&a.lb), final_idx);
+            let final_k = ctx.assign(ctx.decl_ref(&a.iter_var, loc), final_val, loc);
+            let private_counter = ctx.make_implicit_var(
+                format!(".omp.priv.{}", a.iter_var.name),
+                P::clone(&a.iter_var.ty),
+                None,
+                loc,
+            );
+            loops.push(PerLoopHelpers {
+                counter: P::clone(&a.iter_var),
+                private_counter,
+                init: init_k,
+                update,
+                final_value: final_k,
+                step: P::clone(&a.step),
+            });
+        }
+
+        P::new(LoopDirectiveHelpers {
+            iteration_variable: iv,
+            num_iterations,
+            last_iteration: P::clone(&last_iteration),
+            calc_last_iteration: last_iteration,
+            precondition,
+            init,
+            cond,
+            inc,
+            lower_bound: lb,
+            upper_bound: ub,
+            stride,
+            is_last_iter_variable: is_last,
+            workshare_init,
+            workshare_cond,
+            ensure_upper_bound,
+            next_lower_bound,
+            next_upper_bound,
+            loops,
+            capture_decls,
+        })
+    }
+}
+
+/// Unwraps `{ single-stmt }` compounds (perfect-nest navigation).
+fn peel_singleton_compound(s: &P<Stmt>) -> P<Stmt> {
+    match &s.kind {
+        StmtKind::Compound(stmts) if stmts.len() == 1 => peel_singleton_compound(&stmts[0]),
+        _ => P::clone(s),
+    }
+}
+
+/// Re-wraps a transformed statement with a leading prologue.
+fn wrap_with_prologue(prologue: &[P<Stmt>], t: P<Stmt>, loc: SourceLocation) -> P<Stmt> {
+    if prologue.is_empty() {
+        return t;
+    }
+    let mut stmts: Vec<P<Stmt>> = prologue.to_vec();
+    stmts.push(t);
+    Stmt::new(StmtKind::Compound(stmts), loc)
+}
+
+/// Statistics helper: the shadow-node count of a helper bundle plus the
+/// capture declarations (used by the representation-comparison experiment).
+pub fn helpers_node_count(h: &LoopDirectiveHelpers) -> usize {
+    h.node_count()
+}
+
+/// Re-export for the paper's C1 experiment.
+pub use omplt_ast::OMPCanonicalLoop as _CanonicalForStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sema::Sema;
+    use omplt_ast::Decl;
+    use omplt_source::{DiagnosticsEngine, SourceManager};
+    use std::cell::RefCell;
+
+    fn mk_loop(s: &Sema, lb: i128, ub: i128, step: i128, body: Option<P<Stmt>>) -> P<Stmt> {
+        let ctx = &s.ctx;
+        let loc = SourceLocation::INVALID;
+        let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(lb, ctx.int(), loc)), loc);
+        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(ub, ctx.int(), loc), ctx.bool_ty(), loc);
+        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(step, ctx.int(), loc), ctx.int(), loc);
+        Stmt::new(
+            StmtKind::For {
+                init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
+                cond: Some(cond),
+                inc: Some(inc),
+                body: body.unwrap_or_else(|| Stmt::new(StmtKind::Null, loc)),
+            },
+            loc,
+        )
+    }
+
+    fn with_sema<R>(mode: OpenMpCodegenMode, f: impl FnOnce(&mut Sema) -> R) -> (R, Vec<String>) {
+        let diags = DiagnosticsEngine::new();
+        let sm = RefCell::new(SourceManager::new());
+        let mut sema = Sema::new(&diags, &sm, mode, true);
+        sema.scopes.push();
+        let r = f(&mut sema);
+        let msgs = diags.all().iter().map(|d| d.message.clone()).collect();
+        (r, msgs)
+    }
+
+    fn unroll_clause(s: &Sema, partial: Option<i128>) -> P<OMPClause> {
+        let loc = SourceLocation::INVALID;
+        OMPClause::new(
+            OMPClauseKind::Partial(partial.map(|v| s.ctx.int_lit(v, s.ctx.int(), loc))),
+            loc,
+        )
+    }
+
+    #[test]
+    fn unroll_partial_builds_shadow_ast() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let c = unroll_clause(s, Some(2));
+            s.act_on_omp_directive(OMPDirectiveKind::Unroll, vec![c], Some(lp), SourceLocation::INVALID)
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        assert!(d.get_transformed_stmt().is_some(), "partial unroll must build shadow AST");
+    }
+
+    #[test]
+    fn unroll_full_has_no_shadow_ast() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let c = OMPClause::new(OMPClauseKind::Full, SourceLocation::INVALID);
+            s.act_on_omp_directive(OMPDirectiveKind::Unroll, vec![c], Some(lp), SourceLocation::INVALID)
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        assert!(d.get_transformed_stmt().is_none(), "full unroll leaves no generated loop");
+    }
+
+    #[test]
+    fn consuming_full_unroll_is_diagnosed() {
+        // #pragma omp for over #pragma omp unroll full → C4.
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let full = OMPClause::new(OMPClauseKind::Full, SourceLocation::INVALID);
+            let inner = s.act_on_omp_directive(
+                OMPDirectiveKind::Unroll,
+                vec![full],
+                Some(lp),
+                SourceLocation::INVALID,
+            );
+            s.act_on_omp_directive(OMPDirectiveKind::For, vec![], Some(inner), SourceLocation::INVALID)
+        });
+        assert!(
+            msgs.iter().any(|m| m.contains("does not generate a loop")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn consuming_partial_unroll_reanalyzes_generated_loop() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let c = unroll_clause(s, Some(2));
+            let inner = s.act_on_omp_directive(
+                OMPDirectiveKind::Unroll,
+                vec![c],
+                Some(lp),
+                SourceLocation::INVALID,
+            );
+            s.act_on_omp_directive(
+                OMPDirectiveKind::ParallelFor,
+                vec![],
+                Some(inner),
+                SourceLocation::INVALID,
+            )
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        assert!(d.loop_helpers.is_some(), "classic mode builds the helper bundle");
+        // associated is CapturedStmt wrapping the inner unroll directive
+        let StmtKind::Captured(_) = &d.associated.as_ref().unwrap().kind else {
+            panic!("worksharing must capture its region");
+        };
+    }
+
+    #[test]
+    fn tile_requires_sizes() {
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![], Some(lp), SourceLocation::INVALID)
+        });
+        assert!(msgs.iter().any(|m| m.contains("requires a 'sizes'")), "{msgs:?}");
+    }
+
+    #[test]
+    fn tile_depth_2_collects_nested_loops() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let inner = mk_loop(s, 0, 8, 1, None);
+            let outer = mk_loop(s, 0, 16, 1, Some(inner));
+            let loc = SourceLocation::INVALID;
+            let sizes = OMPClause::new(
+                OMPClauseKind::Sizes(vec![
+                    s.ctx.int_lit(4, s.ctx.int(), loc),
+                    s.ctx.int_lit(2, s.ctx.int(), loc),
+                ]),
+                loc,
+            );
+            s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![sizes], Some(outer), loc)
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        let t = d.get_transformed_stmt().unwrap();
+        assert_eq!(crate::transform::count_generated_loops(t), 4);
+    }
+
+    #[test]
+    fn insufficient_nest_depth_is_diagnosed() {
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 8, 1, None); // body is NullStmt, not a loop
+            let loc = SourceLocation::INVALID;
+            let sizes = OMPClause::new(
+                OMPClauseKind::Sizes(vec![
+                    s.ctx.int_lit(4, s.ctx.int(), loc),
+                    s.ctx.int_lit(2, s.ctx.int(), loc),
+                ]),
+                loc,
+            );
+            s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![sizes], Some(lp), loc)
+        });
+        assert!(msgs.iter().any(|m| m.contains("must be a for loop")), "{msgs:?}");
+    }
+
+    #[test]
+    fn irbuilder_mode_wraps_canonical_loop() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::IrBuilder, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            s.act_on_omp_directive(OMPDirectiveKind::Unroll, vec![unroll_clause(s, Some(2))], Some(lp), SourceLocation::INVALID)
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        assert!(
+            matches!(d.associated.as_ref().unwrap().kind, StmtKind::OMPCanonicalLoop(_)),
+            "IrBuilder mode must wrap the literal loop"
+        );
+    }
+
+    #[test]
+    fn classic_mode_helper_bundle_size_vs_canonical() {
+        // The 36-vs-3 comparison (paper §3: "reduced from the 36 shadow AST
+        // nodes required by OMPLoopDirective" to 3 meta items).
+        let (count, _) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let stmt = s.act_on_omp_directive(
+                OMPDirectiveKind::For,
+                vec![],
+                Some(lp),
+                SourceLocation::INVALID,
+            );
+            let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+            d.loop_helpers.as_ref().unwrap().node_count()
+        });
+        assert_eq!(count, 17 + 6, "one loop: nest-wide 17 + 6 per-loop helpers");
+        assert!(count > 7 * omplt_ast::OMPCanonicalLoop::META_NODE_COUNT);
+    }
+
+    #[test]
+    fn wrong_clause_on_directive_is_diagnosed() {
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let loc = SourceLocation::INVALID;
+            let sizes = OMPClause::new(OMPClauseKind::Sizes(vec![s.ctx.int_lit(4, s.ctx.int(), loc)]), loc);
+            s.act_on_omp_directive(OMPDirectiveKind::For, vec![sizes], Some(lp), loc)
+        });
+        assert!(msgs.iter().any(|m| m.contains("not valid on")), "{msgs:?}");
+    }
+
+    #[test]
+    fn openmp_disabled_passes_through() {
+        let diags = DiagnosticsEngine::new();
+        let sm = RefCell::new(SourceManager::new());
+        let mut sema = Sema::new(&diags, &sm, OpenMpCodegenMode::Classic, false);
+        sema.scopes.push();
+        let lp = mk_loop(&sema, 0, 4, 1, None);
+        let r = sema.act_on_omp_directive(
+            OMPDirectiveKind::ParallelFor,
+            vec![],
+            Some(P::clone(&lp)),
+            SourceLocation::INVALID,
+        );
+        assert!(P::ptr_eq(&r, &lp), "disabled OpenMP must return the bare statement");
+    }
+}

@@ -1,0 +1,103 @@
+//! Lexical scopes for name lookup.
+
+use omplt_ast::{Decl, P, FunctionDecl, VarDecl};
+use std::collections::HashMap;
+
+/// One lexical scope level.
+#[derive(Default)]
+pub struct Scope {
+    names: HashMap<String, Decl>,
+}
+
+/// A stack of scopes (function, block, loop-init, …).
+#[derive(Default)]
+pub struct ScopeStack {
+    scopes: Vec<Scope>,
+}
+
+impl ScopeStack {
+    /// Creates the stack with the translation-unit scope.
+    pub fn new() -> ScopeStack {
+        ScopeStack { scopes: vec![Scope::default()] }
+    }
+
+    /// Enters a nested scope.
+    pub fn push(&mut self) {
+        self.scopes.push(Scope::default());
+    }
+
+    /// Leaves the innermost scope.
+    pub fn pop(&mut self) {
+        assert!(self.scopes.len() > 1, "cannot pop the translation-unit scope");
+        self.scopes.pop();
+    }
+
+    /// Declares `decl` in the innermost scope; returns the previous
+    /// same-scope declaration on redefinition.
+    pub fn declare(&mut self, decl: Decl) -> Option<Decl> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        scope.names.insert(decl.name().to_string(), decl)
+    }
+
+    /// Innermost-out lookup.
+    pub fn lookup(&self, name: &str) -> Option<&Decl> {
+        self.scopes.iter().rev().find_map(|s| s.names.get(name))
+    }
+
+    /// Looks up a variable.
+    pub fn lookup_var(&self, name: &str) -> Option<&P<VarDecl>> {
+        match self.lookup(name) {
+            Some(Decl::Var(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a function.
+    pub fn lookup_fn(&self, name: &str) -> Option<&P<FunctionDecl>> {
+        match self.lookup(name) {
+            Some(Decl::Function(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Current nesting depth (1 = file scope).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ast::ASTContext;
+    use omplt_source::SourceLocation;
+
+    #[test]
+    fn shadowing_and_popping() {
+        let ctx = ASTContext::new();
+        let mut s = ScopeStack::new();
+        let outer = ctx.make_var("x", ctx.int(), None, SourceLocation::INVALID);
+        s.declare(Decl::Var(P::clone(&outer)));
+        s.push();
+        let inner = ctx.make_var("x", ctx.double_ty(), None, SourceLocation::INVALID);
+        s.declare(Decl::Var(inner));
+        assert_eq!(s.lookup_var("x").unwrap().ty.spelling(), "double");
+        s.pop();
+        assert_eq!(s.lookup_var("x").unwrap().ty.spelling(), "int");
+    }
+
+    #[test]
+    fn redefinition_detected_same_scope_only() {
+        let ctx = ASTContext::new();
+        let mut s = ScopeStack::new();
+        let a = ctx.make_var("a", ctx.int(), None, SourceLocation::INVALID);
+        assert!(s.declare(Decl::Var(P::clone(&a))).is_none());
+        assert!(s.declare(Decl::Var(a)).is_some());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let s = ScopeStack::new();
+        assert!(s.lookup("nope").is_none());
+    }
+}

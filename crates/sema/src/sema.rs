@@ -1,0 +1,636 @@
+//! The semantic analyzer. The parser pushes syntax into these `act_on_*`
+//! entry points (Clang's "pushed to Sema to create an AST node" control
+//! flow, paper Fig. 1); Sema type-checks, inserts implicit nodes
+//! (conversions, decay), and owns the OpenMP directive handling in
+//! `omp_sema`.
+
+use crate::scope::ScopeStack;
+use omplt_ast::{
+    ASTContext, BinOp, CastKind, Decl, Expr, ExprKind, FunctionDecl, P, Stmt, StmtKind, Type,
+    TypeKind, UnOp, VarDecl, VarKind,
+};
+use omplt_source::{DiagnosticsEngine, SourceLocation, SourceManager};
+use std::cell::RefCell;
+
+/// Which OpenMP lowering the pipeline uses — Clang's
+/// `-fopenmp-enable-irbuilder` flag (paper §1.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OpenMpCodegenMode {
+    /// Shadow-AST representation + classic CodeGen (paper §2).
+    #[default]
+    Classic,
+    /// `OMPCanonicalLoop` + OpenMPIRBuilder (paper §3).
+    IrBuilder,
+}
+
+/// The Sema layer state.
+pub struct Sema<'a> {
+    /// AST allocation context.
+    pub ctx: ASTContext,
+    /// Diagnostics sink shared with all layers.
+    pub diags: &'a DiagnosticsEngine,
+    /// Source manager (mutable: transformed-location creation).
+    pub sm: &'a RefCell<SourceManager>,
+    /// Name lookup scopes.
+    pub scopes: ScopeStack,
+    /// Selected OpenMP lowering.
+    pub mode: OpenMpCodegenMode,
+    /// Whether OpenMP pragmas are honored (`-fopenmp`); when false they
+    /// parse but lower to their associated statements.
+    pub openmp: bool,
+    /// The function currently being analyzed (for `return` checking).
+    pub current_fn: Option<P<FunctionDecl>>,
+}
+
+impl<'a> Sema<'a> {
+    /// Creates a Sema over shared diagnostics and source manager.
+    pub fn new(
+        diags: &'a DiagnosticsEngine,
+        sm: &'a RefCell<SourceManager>,
+        mode: OpenMpCodegenMode,
+        openmp: bool,
+    ) -> Sema<'a> {
+        Sema {
+            ctx: ASTContext::new(),
+            diags,
+            sm,
+            scopes: ScopeStack::new(),
+            mode,
+            openmp,
+            current_fn: None,
+        }
+    }
+
+    /// An error-recovery expression (type `int`, value 0).
+    pub fn error_expr(&self, loc: SourceLocation) -> P<Expr> {
+        self.ctx.int_lit(0, self.ctx.int(), loc)
+    }
+
+    // ---------------- declarations ----------------
+
+    /// Declares a local variable, converting the initializer.
+    pub fn act_on_var_decl(
+        &mut self,
+        name: &str,
+        ty: P<Type>,
+        init: Option<P<Expr>>,
+        by_ref: bool,
+        loc: SourceLocation,
+    ) -> P<VarDecl> {
+        let init = init.map(|e| {
+            if by_ref {
+                // Reference binding: keep the lvalue (no decay/conversion).
+                e
+            } else {
+                self.convert_for_init(e, &ty)
+            }
+        });
+        let var = P::new(VarDecl {
+            id: self.ctx.fresh_decl_id(),
+            name: name.to_string(),
+            ty,
+            init,
+            loc,
+            kind: if self.scopes.depth() == 1 { VarKind::Global } else { VarKind::Local },
+            implicit: false,
+            by_ref,
+            used: std::cell::Cell::new(false),
+        });
+        if self.scopes.declare(Decl::Var(P::clone(&var))).is_some() {
+            self.diags.error(loc, format!("redefinition of '{name}'"));
+        }
+        var
+    }
+
+    /// Starts a function: declares it, pushes the parameter scope.
+    pub fn act_on_function_start(
+        &mut self,
+        name: &str,
+        ret: P<Type>,
+        params: Vec<(String, P<Type>, SourceLocation)>,
+        loc: SourceLocation,
+    ) -> P<FunctionDecl> {
+        let param_decls: Vec<P<VarDecl>> = params
+            .iter()
+            .map(|(n, t, l)| {
+                P::new(VarDecl {
+                    id: self.ctx.fresh_decl_id(),
+                    name: n.clone(),
+                    ty: P::clone(t),
+                    init: None,
+                    loc: *l,
+                    kind: VarKind::Param,
+                    implicit: false,
+                    by_ref: false,
+                    used: std::cell::Cell::new(false),
+                })
+            })
+            .collect();
+        let fn_ty = Type::new(TypeKind::Function {
+            ret,
+            params: params.iter().map(|(_, t, _)| P::clone(t)).collect(),
+        });
+        // Re-declaration with a body is a definition of a prior prototype.
+        let func = if let Some(prev) = self.scopes.lookup_fn(name).cloned() {
+            if *prev.ty != *fn_ty {
+                self.diags.error(loc, format!("conflicting types for '{name}'"));
+            }
+            prev
+        } else {
+            let f = P::new(FunctionDecl {
+                id: self.ctx.fresh_decl_id(),
+                name: name.to_string(),
+                ty: fn_ty,
+                params: param_decls.clone(),
+                body: RefCell::new(None),
+                loc,
+            });
+            self.scopes.declare(Decl::Function(P::clone(&f)));
+            f
+        };
+        self.scopes.push();
+        for p in &func.params {
+            self.scopes.declare(Decl::Var(P::clone(p)));
+        }
+        self.current_fn = Some(P::clone(&func));
+        func
+    }
+
+    /// Finishes a function definition (or prototype when `body` is `None`).
+    pub fn act_on_function_end(&mut self, func: &P<FunctionDecl>, body: Option<P<Stmt>>) {
+        if let Some(b) = body {
+            if func.is_definition() {
+                self.diags.error(func.loc, format!("redefinition of '{}'", func.name));
+            }
+            *func.body.borrow_mut() = Some(b);
+        }
+        self.scopes.pop();
+        self.current_fn = None;
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Resolves a name to a variable reference (with array decay deferred to
+    /// the use site).
+    pub fn act_on_decl_ref(&mut self, name: &str, loc: SourceLocation) -> P<Expr> {
+        match self.scopes.lookup_var(name) {
+            Some(v) => self.ctx.decl_ref(&P::clone(v), loc),
+            None => {
+                self.diags.error(loc, format!("use of undeclared identifier '{name}'"));
+                self.error_expr(loc)
+            }
+        }
+    }
+
+    /// Loads an rvalue out of `e` if it is an lvalue (inserting
+    /// `LValueToRValue`), and decays arrays/functions.
+    pub fn rvalue(&self, e: P<Expr>) -> P<Expr> {
+        let loc = e.loc;
+        if let TypeKind::Array(elem, _) = &e.ty.kind {
+            let pty = self.ctx.pointer_to(P::clone(elem));
+            return Expr::rvalue(ExprKind::ImplicitCast(CastKind::ArrayToPointerDecay, e), pty, loc);
+        }
+        if e.is_lvalue() {
+            let ty = P::clone(&e.ty);
+            return Expr::rvalue(ExprKind::ImplicitCast(CastKind::LValueToRValue, e), ty, loc);
+        }
+        e
+    }
+
+    /// Converts `e` to `to` (for initialization/assignment/arguments).
+    pub fn convert_for_init(&self, e: P<Expr>, to: &P<Type>) -> P<Expr> {
+        let e = self.rvalue(e);
+        self.implicit_convert(e, to)
+    }
+
+    /// Inserts an implicit conversion node when types differ.
+    pub fn implicit_convert(&self, e: P<Expr>, to: &P<Type>) -> P<Expr> {
+        if *e.ty == **to {
+            return e;
+        }
+        let loc = e.loc;
+        let kind = match (&e.ty.kind, &to.kind) {
+            (TypeKind::Int { .. } | TypeKind::Bool, TypeKind::Int { .. }) => CastKind::IntegralCast,
+            (TypeKind::Int { .. } | TypeKind::Bool, TypeKind::Float | TypeKind::Double) => {
+                CastKind::IntegralToFloating
+            }
+            (TypeKind::Float | TypeKind::Double, TypeKind::Int { .. }) => {
+                CastKind::FloatingToIntegral
+            }
+            (TypeKind::Float | TypeKind::Double, TypeKind::Float | TypeKind::Double) => {
+                CastKind::FloatingCast
+            }
+            (TypeKind::Int { .. }, TypeKind::Bool) => CastKind::IntegralToBoolean,
+            (TypeKind::Float | TypeKind::Double, TypeKind::Bool) => CastKind::IntegralToBoolean,
+            (TypeKind::Pointer(_), TypeKind::Pointer(_)) => CastKind::NoOp,
+            (TypeKind::Pointer(_), TypeKind::Bool) => CastKind::IntegralToBoolean,
+            _ => {
+                self.diags.error(
+                    loc,
+                    format!("cannot convert '{}' to '{}'", e.ty.spelling(), to.spelling()),
+                );
+                CastKind::NoOp
+            }
+        };
+        Expr::rvalue(ExprKind::ImplicitCast(kind, e), P::clone(to), loc)
+    }
+
+    /// The common type of the usual arithmetic conversions.
+    fn common_arith_type(&self, a: &P<Type>, b: &P<Type>) -> P<Type> {
+        fn rank(t: &Type) -> u32 {
+            match &t.kind {
+                TypeKind::Double => 100,
+                TypeKind::Float => 90,
+                TypeKind::Int { width, signed } => 10 + width.bits() * 2 + (!signed) as u32,
+                TypeKind::Bool => 1,
+                _ => 0,
+            }
+        }
+        // Integer promotion: everything below int promotes to int.
+        let promote = |t: &P<Type>| -> P<Type> {
+            match &t.kind {
+                TypeKind::Bool => self.ctx.int(),
+                TypeKind::Int { width, .. } if width.bits() < 32 => self.ctx.int(),
+                _ => P::clone(t),
+            }
+        };
+        let (a, b) = (promote(a), promote(b));
+        if rank(&a) >= rank(&b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Builds a type-checked binary operation.
+    pub fn act_on_binary(
+        &mut self,
+        op: BinOp,
+        lhs: P<Expr>,
+        rhs: P<Expr>,
+        loc: SourceLocation,
+    ) -> P<Expr> {
+        if op.is_assignment() {
+            if !lhs.is_lvalue() {
+                self.diags.error(loc, "expression is not assignable");
+                return self.error_expr(loc);
+            }
+            let lty = P::clone(&lhs.ty);
+            // Compound pointer arithmetic (p += n) keeps the pointer type.
+            let rhs = if lty.is_pointer() && op != BinOp::Assign {
+                self.rvalue(rhs)
+            } else {
+                self.convert_for_init(rhs, &lty)
+            };
+            return self.ctx.binary(op, lhs, rhs, lty, loc);
+        }
+        match op {
+            BinOp::Comma => {
+                let rty = P::clone(&rhs.ty);
+                let rhs = self.rvalue(rhs);
+                let ty = P::clone(&rhs.ty);
+                let _ = rty;
+                self.ctx.binary(op, self.rvalue(lhs), rhs, ty, loc)
+            }
+            BinOp::LAnd | BinOp::LOr => {
+                let l = self.to_bool(lhs);
+                let r = self.to_bool(rhs);
+                self.ctx.binary(op, l, r, self.ctx.bool_ty(), loc)
+            }
+            _ if op.is_comparison() => {
+                let (l, r) = self.arith_operands(lhs, rhs, loc);
+                self.ctx.binary(op, l, r, self.ctx.bool_ty(), loc)
+            }
+            BinOp::Add | BinOp::Sub => {
+                let l = self.rvalue(lhs);
+                let r = self.rvalue(rhs);
+                // Pointer arithmetic: p ± n, p - q.
+                if l.ty.is_pointer() && r.ty.is_integer() {
+                    let ty = P::clone(&l.ty);
+                    return self.ctx.binary(op, l, r, ty, loc);
+                }
+                if op == BinOp::Sub && l.ty.is_pointer() && r.ty.is_pointer() {
+                    return self.ctx.binary(op, l, r, self.ctx.ptrdiff_t(), loc);
+                }
+                if op == BinOp::Add && l.ty.is_integer() && r.ty.is_pointer() {
+                    let ty = P::clone(&r.ty);
+                    return self.ctx.binary(op, r, l, ty, loc);
+                }
+                let (l, r, ty) = self.converted_arith(l, r, loc);
+                self.ctx.binary(op, l, r, ty, loc)
+            }
+            _ => {
+                let l = self.rvalue(lhs);
+                let r = self.rvalue(rhs);
+                let (l, r, ty) = self.converted_arith(l, r, loc);
+                self.ctx.binary(op, l, r, ty, loc)
+            }
+        }
+    }
+
+    fn arith_operands(&mut self, lhs: P<Expr>, rhs: P<Expr>, loc: SourceLocation) -> (P<Expr>, P<Expr>) {
+        let l = self.rvalue(lhs);
+        let r = self.rvalue(rhs);
+        if l.ty.is_pointer() || r.ty.is_pointer() {
+            return (l, r); // pointer comparisons compare addresses
+        }
+        let (l, r, _) = self.converted_arith(l, r, loc);
+        (l, r)
+    }
+
+    fn converted_arith(
+        &mut self,
+        l: P<Expr>,
+        r: P<Expr>,
+        loc: SourceLocation,
+    ) -> (P<Expr>, P<Expr>, P<Type>) {
+        if !l.ty.is_arithmetic() || !r.ty.is_arithmetic() {
+            self.diags.error(loc, "invalid operands to binary expression");
+            let ty = self.ctx.int();
+            return (self.error_expr(loc), self.error_expr(loc), ty);
+        }
+        let ty = self.common_arith_type(&l.ty, &r.ty);
+        (self.implicit_convert(l, &ty), self.implicit_convert(r, &ty), ty)
+    }
+
+    /// Converts a controlling expression to `bool`.
+    pub fn to_bool(&self, e: P<Expr>) -> P<Expr> {
+        let e = self.rvalue(e);
+        self.implicit_convert(e, &self.ctx.bool_ty())
+    }
+
+    /// Builds a type-checked unary operation.
+    pub fn act_on_unary(&mut self, op: UnOp, sub: P<Expr>, loc: SourceLocation) -> P<Expr> {
+        match op {
+            UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                if !sub.is_lvalue() {
+                    self.diags.error(loc, "expression is not assignable");
+                    return self.error_expr(loc);
+                }
+                let ty = P::clone(&sub.ty);
+                self.ctx.unary(op, sub, ty, loc)
+            }
+            UnOp::Deref => {
+                let sub = self.rvalue(sub);
+                match sub.ty.pointee() {
+                    Some(p) => {
+                        let pty = P::clone(p);
+                        Expr::lvalue(ExprKind::Unary(op, sub), pty, loc)
+                    }
+                    None => {
+                        self.diags.error(loc, "indirection requires pointer operand");
+                        self.error_expr(loc)
+                    }
+                }
+            }
+            UnOp::AddrOf => {
+                if !sub.is_lvalue() {
+                    self.diags.error(loc, "cannot take the address of an rvalue");
+                    return self.error_expr(loc);
+                }
+                let ty = self.ctx.pointer_to(P::clone(&sub.ty));
+                self.ctx.unary(op, sub, ty, loc)
+            }
+            UnOp::LNot => {
+                let b = self.to_bool(sub);
+                self.ctx.unary(op, b, self.ctx.bool_ty(), loc)
+            }
+            UnOp::Plus | UnOp::Minus | UnOp::BitNot => {
+                let sub = self.rvalue(sub);
+                if !sub.ty.is_arithmetic() {
+                    self.diags.error(loc, "invalid operand to unary expression");
+                    return self.error_expr(loc);
+                }
+                let ty = self.common_arith_type(&sub.ty, &self.ctx.int());
+                let sub = self.implicit_convert(sub, &ty);
+                self.ctx.unary(op, sub, ty, loc)
+            }
+        }
+    }
+
+    /// Builds a type-checked call.
+    pub fn act_on_call(&mut self, name: &str, args: Vec<P<Expr>>, loc: SourceLocation) -> P<Expr> {
+        let Some(callee) = self.scopes.lookup_fn(name).cloned() else {
+            self.diags.error(loc, format!("call to undeclared function '{name}'"));
+            return self.error_expr(loc);
+        };
+        let TypeKind::Function { ret, params } = &callee.ty.kind else { unreachable!() };
+        let (ret, params) = (P::clone(ret), params.clone());
+        if args.len() != params.len() {
+            self.diags.error(
+                loc,
+                format!(
+                    "'{name}' expects {} argument(s), {} given",
+                    params.len(),
+                    args.len()
+                ),
+            );
+            return self.error_expr(loc);
+        }
+        let args: Vec<P<Expr>> = args
+            .into_iter()
+            .zip(&params)
+            .map(|(a, p)| self.convert_for_init(a, p))
+            .collect();
+        Expr::rvalue(ExprKind::Call { callee, args }, ret, loc)
+    }
+
+    /// Builds `base[index]` (an lvalue of the element type).
+    pub fn act_on_subscript(
+        &mut self,
+        base: P<Expr>,
+        index: P<Expr>,
+        loc: SourceLocation,
+    ) -> P<Expr> {
+        let base = self.rvalue(base); // decays arrays
+        let index = self.rvalue(index);
+        let Some(elem) = base.ty.pointee().map(P::clone) else {
+            self.diags.error(loc, "subscripted value is not an array or pointer");
+            return self.error_expr(loc);
+        };
+        if !index.ty.is_integral_or_bool() {
+            self.diags.error(loc, "array subscript is not an integer");
+            return self.error_expr(loc);
+        }
+        Expr::lvalue(ExprKind::ArraySubscript(base, index), elem, loc)
+    }
+
+    /// Builds `c ? t : f`.
+    pub fn act_on_conditional(
+        &mut self,
+        c: P<Expr>,
+        t: P<Expr>,
+        f: P<Expr>,
+        loc: SourceLocation,
+    ) -> P<Expr> {
+        let c = self.to_bool(c);
+        let t = self.rvalue(t);
+        let f = self.rvalue(f);
+        let ty = if *t.ty == *f.ty {
+            P::clone(&t.ty)
+        } else if t.ty.is_arithmetic() && f.ty.is_arithmetic() {
+            self.common_arith_type(&t.ty, &f.ty)
+        } else {
+            self.diags.error(loc, "incompatible operand types in conditional expression");
+            self.ctx.int()
+        };
+        let t = self.implicit_convert(t, &ty);
+        let f = self.implicit_convert(f, &ty);
+        P::new(Expr {
+            kind: ExprKind::Conditional(c, t, f),
+            ty,
+            category: omplt_ast::ValueCategory::RValue,
+            loc,
+        })
+    }
+
+    /// Builds a `return` statement, converting to the return type.
+    pub fn act_on_return(&mut self, e: Option<P<Expr>>, loc: SourceLocation) -> P<Stmt> {
+        let ret_ty = self.current_fn.as_ref().map(|f| f.return_type());
+        let e = match (e, ret_ty) {
+            (Some(e), Some(rt)) if !rt.is_void() => Some(self.convert_for_init(e, &rt)),
+            (Some(e), _) => {
+                self.diags.error(loc, "void function should not return a value");
+                let _ = e;
+                None
+            }
+            (None, Some(rt)) if !rt.is_void() => {
+                self.diags.error(loc, "non-void function should return a value");
+                None
+            }
+            (None, _) => None,
+        };
+        Stmt::new(StmtKind::Return(e), loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_sema<R>(f: impl FnOnce(&mut Sema) -> R) -> (R, usize) {
+        let diags = DiagnosticsEngine::new();
+        let sm = RefCell::new(SourceManager::new());
+        let mut sema = Sema::new(&diags, &sm, OpenMpCodegenMode::Classic, true);
+        sema.scopes.push(); // function scope for local declarations
+        let r = f(&mut sema);
+        let n = diags.num_errors();
+        (r, n)
+    }
+
+    #[test]
+    fn arithmetic_conversion_int_double() {
+        let ((ty, has_cast), errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let i = s.ctx.int_lit(1, s.ctx.int(), loc);
+            let d = Expr::rvalue(ExprKind::FloatingLiteral(2.5), s.ctx.double_ty(), loc);
+            let e = s.act_on_binary(BinOp::Add, i, d, loc);
+            let has_cast = matches!(
+                &e.kind,
+                ExprKind::Binary(_, l, _) if matches!(l.kind, ExprKind::ImplicitCast(CastKind::IntegralToFloating, _))
+            );
+            (e.ty.spelling(), has_cast)
+        });
+        assert_eq!(errs, 0);
+        assert_eq!(ty, "double");
+        assert!(has_cast);
+    }
+
+    #[test]
+    fn assignment_requires_lvalue() {
+        let (_, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let l = s.ctx.int_lit(1, s.ctx.int(), loc);
+            let r = s.ctx.int_lit(2, s.ctx.int(), loc);
+            s.act_on_binary(BinOp::Assign, l, r, loc)
+        });
+        assert_eq!(errs, 1);
+    }
+
+    #[test]
+    fn undeclared_identifier_is_diagnosed() {
+        let (_, errs) = with_sema(|s| s.act_on_decl_ref("ghost", SourceLocation::INVALID));
+        assert_eq!(errs, 1);
+    }
+
+    #[test]
+    fn var_decl_and_lookup() {
+        let (name, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let init = s.ctx.int_lit(3, s.ctx.int(), loc);
+            s.act_on_var_decl("x", s.ctx.int(), Some(init), false, loc);
+            let r = s.act_on_decl_ref("x", loc);
+            r.as_decl_ref().unwrap().name.clone()
+        });
+        assert_eq!(errs, 0);
+        assert_eq!(name, "x");
+    }
+
+    #[test]
+    fn redefinition_is_diagnosed() {
+        let (_, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            s.act_on_var_decl("x", s.ctx.int(), None, false, loc);
+            s.act_on_var_decl("x", s.ctx.int(), None, false, loc);
+        });
+        assert_eq!(errs, 1);
+    }
+
+    #[test]
+    fn array_decays_in_subscript() {
+        let (ty, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let arr_ty = Type::new(TypeKind::Array(s.ctx.double_ty(), 8));
+            let a = s.act_on_var_decl("a", arr_ty, None, false, loc);
+            let base = s.ctx.decl_ref(&a, loc);
+            let idx = s.ctx.int_lit(2, s.ctx.int(), loc);
+            let e = s.act_on_subscript(base, idx, loc);
+            assert!(e.is_lvalue());
+            e.ty.spelling()
+        });
+        assert_eq!(errs, 0);
+        assert_eq!(ty, "double");
+    }
+
+    #[test]
+    fn pointer_difference_is_ptrdiff() {
+        let (ty, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let pty = s.ctx.pointer_to(s.ctx.double_ty());
+            let p = s.act_on_var_decl("p", P::clone(&pty), None, false, loc);
+            let q = s.act_on_var_decl("q", pty, None, false, loc);
+            let e = s.act_on_binary(
+                BinOp::Sub,
+                s.ctx.decl_ref(&p, loc),
+                s.ctx.decl_ref(&q, loc),
+                loc,
+            );
+            e.ty.spelling()
+        });
+        assert_eq!(errs, 0);
+        assert_eq!(ty, "long");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let (_, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let f = s.act_on_function_start("f", s.ctx.void(), vec![("x".into(), s.ctx.int(), loc)], loc);
+            s.act_on_function_end(&f, None);
+            s.act_on_call("f", vec![], loc)
+        });
+        assert_eq!(errs, 1);
+    }
+
+    #[test]
+    fn return_type_mismatch_diagnosed() {
+        let (_, errs) = with_sema(|s| {
+            let loc = SourceLocation::INVALID;
+            let f = s.act_on_function_start("v", s.ctx.void(), vec![], loc);
+            let lit = s.ctx.int_lit(1, s.ctx.int(), loc);
+            let r = s.act_on_return(Some(lit), loc);
+            s.act_on_function_end(&f, Some(r));
+        });
+        assert_eq!(errs, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! `TreeTransform`: rebuilds AST subtrees with changes applied — "creates
+//! copies of AST subtrees with some changes applied; its primary use is
+//! template instantiation" (paper §1.3). Here it provides declaration
+//! substitution, which the shadow-AST transforms and tests use.
+//!
+//! Because the AST is immutable (`Rc` subtrees), untouched branches are
+//! shared rather than copied.
+
+use omplt_ast::{
+    CxxForRangeData, Decl, DeclId, Expr, ExprKind, P, Stmt, StmtKind, VarDecl,
+};
+use std::collections::HashMap;
+
+/// Rebuilds trees substituting variable references.
+pub struct TreeTransform {
+    /// `DeclId` → replacement expression for every reference.
+    subst: HashMap<DeclId, P<Expr>>,
+}
+
+impl TreeTransform {
+    /// Creates a transform with the given substitution map.
+    pub fn new(subst: HashMap<DeclId, P<Expr>>) -> TreeTransform {
+        TreeTransform { subst }
+    }
+
+    /// Substitutes one variable.
+    pub fn substituting(var: &P<VarDecl>, replacement: P<Expr>) -> TreeTransform {
+        let mut m = HashMap::new();
+        m.insert(var.id, replacement);
+        TreeTransform::new(m)
+    }
+
+    /// Rebuilds an expression.
+    pub fn transform_expr(&self, e: &P<Expr>) -> P<Expr> {
+        let kind = match &e.kind {
+            ExprKind::DeclRef(v) => {
+                if let Some(rep) = self.subst.get(&v.id) {
+                    return P::clone(rep);
+                }
+                return P::clone(e);
+            }
+            ExprKind::IntegerLiteral(_)
+            | ExprKind::FloatingLiteral(_)
+            | ExprKind::BoolLiteral(_)
+            | ExprKind::StringLiteral(_)
+            | ExprKind::SizeOf(_) => return P::clone(e),
+            ExprKind::Unary(op, s) => ExprKind::Unary(*op, self.transform_expr(s)),
+            ExprKind::Binary(op, l, r) => {
+                ExprKind::Binary(*op, self.transform_expr(l), self.transform_expr(r))
+            }
+            ExprKind::Call { callee, args } => ExprKind::Call {
+                callee: P::clone(callee),
+                args: args.iter().map(|a| self.transform_expr(a)).collect(),
+            },
+            ExprKind::ImplicitCast(k, s) => ExprKind::ImplicitCast(*k, self.transform_expr(s)),
+            ExprKind::ExplicitCast(k, s) => ExprKind::ExplicitCast(*k, self.transform_expr(s)),
+            ExprKind::Paren(s) => ExprKind::Paren(self.transform_expr(s)),
+            ExprKind::ArraySubscript(b, i) => {
+                ExprKind::ArraySubscript(self.transform_expr(b), self.transform_expr(i))
+            }
+            ExprKind::Conditional(c, t, f) => ExprKind::Conditional(
+                self.transform_expr(c),
+                self.transform_expr(t),
+                self.transform_expr(f),
+            ),
+            ExprKind::ConstantExpr { value, sub } => {
+                ExprKind::ConstantExpr { value: *value, sub: self.transform_expr(sub) }
+            }
+        };
+        P::new(Expr { kind, ty: P::clone(&e.ty), category: e.category, loc: e.loc })
+    }
+
+    /// Rebuilds a statement.
+    pub fn transform_stmt(&self, s: &P<Stmt>) -> P<Stmt> {
+        let kind = match &s.kind {
+            StmtKind::Compound(stmts) => {
+                StmtKind::Compound(stmts.iter().map(|c| self.transform_stmt(c)).collect())
+            }
+            StmtKind::Decl(decls) => StmtKind::Decl(
+                decls
+                    .iter()
+                    .map(|d| match d {
+                        Decl::Var(v) => Decl::Var(self.transform_var_decl(v)),
+                        other => other.clone(),
+                    })
+                    .collect(),
+            ),
+            StmtKind::Expr(e) => StmtKind::Expr(self.transform_expr(e)),
+            StmtKind::If { cond, then, els } => StmtKind::If {
+                cond: self.transform_expr(cond),
+                then: self.transform_stmt(then),
+                els: els.as_ref().map(|e| self.transform_stmt(e)),
+            },
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: self.transform_expr(cond),
+                body: self.transform_stmt(body),
+            },
+            StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+                body: self.transform_stmt(body),
+                cond: self.transform_expr(cond),
+            },
+            StmtKind::For { init, cond, inc, body } => StmtKind::For {
+                init: init.as_ref().map(|i| self.transform_stmt(i)),
+                cond: cond.as_ref().map(|c| self.transform_expr(c)),
+                inc: inc.as_ref().map(|i| self.transform_expr(i)),
+                body: self.transform_stmt(body),
+            },
+            StmtKind::CxxForRange(d) => StmtKind::CxxForRange(P::new(CxxForRangeData {
+                range_stmt: self.transform_stmt(&d.range_stmt),
+                begin_stmt: self.transform_stmt(&d.begin_stmt),
+                end_stmt: self.transform_stmt(&d.end_stmt),
+                cond: self.transform_expr(&d.cond),
+                inc: self.transform_expr(&d.inc),
+                loop_var_stmt: self.transform_stmt(&d.loop_var_stmt),
+                begin_var: P::clone(&d.begin_var),
+                end_var: P::clone(&d.end_var),
+                loop_var: P::clone(&d.loop_var),
+                body: self.transform_stmt(&d.body),
+            })),
+            StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| self.transform_expr(e))),
+            StmtKind::Break | StmtKind::Continue | StmtKind::Null => return P::clone(s),
+            StmtKind::Attributed { attrs, sub } => StmtKind::Attributed {
+                attrs: attrs.clone(),
+                sub: self.transform_stmt(sub),
+            },
+            // Captured regions and directives are rebuilt shallowly: their
+            // bodies were already Sema-processed; substitution inside them
+            // is not needed by the current transforms.
+            StmtKind::Captured(_) | StmtKind::OMP(_) | StmtKind::OMPCanonicalLoop(_) => {
+                return P::clone(s)
+            }
+        };
+        P::new(Stmt { kind, loc: s.loc })
+    }
+
+    fn transform_var_decl(&self, v: &P<VarDecl>) -> P<VarDecl> {
+        match &v.init {
+            Some(init) => {
+                let new_init = self.transform_expr(init);
+                if P::ptr_eq(&new_init, init) {
+                    P::clone(v)
+                } else {
+                    P::new(VarDecl {
+                        id: v.id,
+                        name: v.name.clone(),
+                        ty: P::clone(&v.ty),
+                        init: Some(new_init),
+                        loc: v.loc,
+                        kind: v.kind,
+                        implicit: v.implicit,
+                        by_ref: v.by_ref,
+                        used: std::cell::Cell::new(v.used.get()),
+                    })
+                }
+            }
+            None => P::clone(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ast::{ASTContext, BinOp};
+    use omplt_source::SourceLocation;
+
+    #[test]
+    fn substitutes_decl_refs() {
+        let ctx = ASTContext::new();
+        let loc = SourceLocation::INVALID;
+        let x = ctx.make_var("x", ctx.int(), None, loc);
+        let e = ctx.binary(BinOp::Add, ctx.read_var(&x, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let tt = TreeTransform::substituting(&x, ctx.int_lit(41, ctx.int(), loc));
+        let t = tt.transform_expr(&e);
+        assert_eq!(t.eval_const_int(), Some(42));
+    }
+
+    #[test]
+    fn untouched_subtrees_are_shared() {
+        let ctx = ASTContext::new();
+        let loc = SourceLocation::INVALID;
+        let x = ctx.make_var("x", ctx.int(), None, loc);
+        let lit = ctx.int_lit(5, ctx.int(), loc);
+        let tt = TreeTransform::substituting(&x, ctx.int_lit(0, ctx.int(), loc));
+        let t = tt.transform_expr(&lit);
+        assert!(P::ptr_eq(&t, &lit), "unchanged nodes must be shared, not cloned");
+    }
+
+    #[test]
+    fn statements_rebuild_recursively() {
+        let ctx = ASTContext::new();
+        let loc = SourceLocation::INVALID;
+        let x = ctx.make_var("x", ctx.int(), None, loc);
+        let body = Stmt::new(
+            StmtKind::Expr(ctx.binary(
+                BinOp::Mul,
+                ctx.read_var(&x, loc),
+                ctx.int_lit(2, ctx.int(), loc),
+                ctx.int(),
+                loc,
+            )),
+            loc,
+        );
+        let s = Stmt::new(StmtKind::Compound(vec![body]), loc);
+        let tt = TreeTransform::substituting(&x, ctx.int_lit(3, ctx.int(), loc));
+        let t = tt.transform_stmt(&s);
+        let StmtKind::Compound(inner) = &t.kind else { panic!() };
+        let StmtKind::Expr(e) = &inner[0].kind else { panic!() };
+        assert_eq!(e.eval_const_int(), Some(6));
+    }
+}

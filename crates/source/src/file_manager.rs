@@ -1,0 +1,150 @@
+//! The FileManager layer: owns the bytes of every source file.
+//!
+//! Mirrors Clang's `FileManager`/`llvm::MemoryBuffer` split. Buffers can come
+//! from the real filesystem or be registered in-memory (the common case in
+//! tests and in the paper's examples, which are self-contained snippets).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// An immutable, named chunk of source text.
+///
+/// Clang's `MemoryBuffer` guarantees NUL-termination to let the lexer read one
+/// past the end; we instead expose [`MemoryBuffer::char_at`] which yields
+/// `'\0'` past the end, preserving the same lexer-facing contract safely.
+#[derive(Debug)]
+pub struct MemoryBuffer {
+    name: String,
+    data: String,
+}
+
+impl MemoryBuffer {
+    /// Creates a buffer from a name and its contents.
+    pub fn new(name: impl Into<String>, data: impl Into<String>) -> Self {
+        MemoryBuffer { name: name.into(), data: data.into() }
+    }
+
+    /// The buffer identifier (usually a file path).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full contents.
+    pub fn data(&self) -> &str {
+        &self.data
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Byte at `offset`, or `'\0'` when `offset` is at/past the end —
+    /// the sentinel Clang's lexer relies on to avoid bounds checks.
+    pub fn char_at(&self, offset: usize) -> u8 {
+        *self.data.as_bytes().get(offset).unwrap_or(&0)
+    }
+}
+
+/// Owns every [`MemoryBuffer`] for a compilation, deduplicating by name.
+///
+/// In-memory registrations take precedence over the on-disk filesystem, which
+/// is how the test-suite and the `#include`-free examples provide sources.
+#[derive(Default)]
+pub struct FileManager {
+    buffers: HashMap<String, Arc<MemoryBuffer>>,
+}
+
+impl FileManager {
+    /// Creates an empty file manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an in-memory file, replacing any previous registration of
+    /// the same name. Returns the interned buffer.
+    pub fn add_virtual_file(
+        &mut self,
+        name: impl Into<String>,
+        contents: impl Into<String>,
+    ) -> Arc<MemoryBuffer> {
+        let name = name.into();
+        let buf = Arc::new(MemoryBuffer::new(name.clone(), contents));
+        self.buffers.insert(name, Arc::clone(&buf));
+        buf
+    }
+
+    /// Fetches a file: in-memory registrations first, then the real
+    /// filesystem (reading and caching the contents).
+    pub fn get_file(&mut self, name: &str) -> io::Result<Arc<MemoryBuffer>> {
+        if let Some(buf) = self.buffers.get(name) {
+            return Ok(Arc::clone(buf));
+        }
+        let contents = std::fs::read_to_string(Path::new(name))?;
+        Ok(self.add_virtual_file(name, contents))
+    }
+
+    /// Whether `name` has been loaded or registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.buffers.contains_key(name)
+    }
+
+    /// Number of loaded buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_file_round_trip() {
+        let mut fm = FileManager::new();
+        fm.add_virtual_file("a.c", "int x;");
+        let b = fm.get_file("a.c").unwrap();
+        assert_eq!(b.name(), "a.c");
+        assert_eq!(b.data(), "int x;");
+        assert_eq!(b.len(), 6);
+        assert!(fm.contains("a.c"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut fm = FileManager::new();
+        assert!(fm.get_file("/definitely/not/here.c").is_err());
+    }
+
+    #[test]
+    fn char_at_past_end_is_nul() {
+        let b = MemoryBuffer::new("x", "ab");
+        assert_eq!(b.char_at(0), b'a');
+        assert_eq!(b.char_at(1), b'b');
+        assert_eq!(b.char_at(2), 0);
+        assert_eq!(b.char_at(100), 0);
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut fm = FileManager::new();
+        fm.add_virtual_file("a.c", "old");
+        fm.add_virtual_file("a.c", "new");
+        assert_eq!(fm.get_file("a.c").unwrap().data(), "new");
+        assert_eq!(fm.num_buffers(), 1);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = MemoryBuffer::new("e", "");
+        assert!(b.is_empty());
+        assert_eq!(b.char_at(0), 0);
+    }
+}

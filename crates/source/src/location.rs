@@ -1,0 +1,148 @@
+//! Flat source locations, modeled after Clang's `SourceLocation`.
+//!
+//! A [`SourceLocation`] is a 32-bit offset into the [`crate::SourceManager`]'s
+//! global address space (the concatenation of every loaded buffer). Offset `0`
+//! is reserved for the *invalid* location; synthetic locations for
+//! compiler-generated code live in a dedicated high range (see
+//! [`SourceLocation::synthetic`]).
+
+use std::fmt;
+
+/// An opaque, cheap-to-copy handle identifying a position in the source.
+///
+/// Mirrors Clang's `SourceLocation`: the AST stores these 4-byte handles and
+/// the `SourceManager` is required to decode them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceLocation(pub(crate) u32);
+
+/// Offsets at or above this bound denote synthetic (compiler-generated)
+/// locations rather than positions in a real buffer.
+const SYNTHETIC_BASE: u32 = 0xF000_0000;
+
+impl SourceLocation {
+    /// The invalid location (Clang: `SourceLocation()`), used for nodes that
+    /// have no corresponding source text at all.
+    pub const INVALID: SourceLocation = SourceLocation(0);
+
+    /// Creates a location from a raw global offset. Offset 0 is invalid.
+    pub fn from_raw(raw: u32) -> Self {
+        SourceLocation(raw)
+    }
+
+    /// The raw global offset.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this location points at real or synthetic source.
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Creates the `idx`-th synthetic location. Synthetic locations are
+    /// produced for shadow-AST nodes; the `SourceManager` maps them back to a
+    /// representative literal-loop location for diagnostics (paper §2).
+    pub fn synthetic(idx: u32) -> Self {
+        SourceLocation(SYNTHETIC_BASE.checked_add(idx).expect("synthetic location overflow"))
+    }
+
+    /// Whether this is a synthetic (compiler-generated) location.
+    pub fn is_synthetic(self) -> bool {
+        self.0 >= SYNTHETIC_BASE
+    }
+
+    /// Returns a location `n` bytes further into the buffer.
+    pub fn offset(self, n: u32) -> Self {
+        debug_assert!(self.is_valid() && !self.is_synthetic());
+        SourceLocation(self.0 + n)
+    }
+}
+
+impl fmt::Debug for SourceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_valid() {
+            write!(f, "<invalid loc>")
+        } else if self.is_synthetic() {
+            write!(f, "<synthetic #{}>", self.0 - SYNTHETIC_BASE)
+        } else {
+            write!(f, "loc({})", self.0)
+        }
+    }
+}
+
+/// A half-open character range `[begin, end)` in the global source space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct SourceRange {
+    /// First character of the range.
+    pub begin: SourceLocation,
+    /// One past the last character of the range.
+    pub end: SourceLocation,
+}
+
+impl SourceRange {
+    /// An everywhere-invalid range.
+    pub const INVALID: SourceRange = SourceRange {
+        begin: SourceLocation::INVALID,
+        end: SourceLocation::INVALID,
+    };
+
+    /// Builds a range from two endpoints.
+    pub fn new(begin: SourceLocation, end: SourceLocation) -> Self {
+        SourceRange { begin, end }
+    }
+
+    /// A zero-width range at `loc`.
+    pub fn at(loc: SourceLocation) -> Self {
+        SourceRange { begin: loc, end: loc }
+    }
+
+    /// True when both endpoints are valid.
+    pub fn is_valid(self) -> bool {
+        self.begin.is_valid() && self.end.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_is_not_valid() {
+        assert!(!SourceLocation::INVALID.is_valid());
+        assert!(SourceLocation::from_raw(1).is_valid());
+    }
+
+    #[test]
+    fn synthetic_round_trip() {
+        let s = SourceLocation::synthetic(42);
+        assert!(s.is_valid());
+        assert!(s.is_synthetic());
+        assert!(!SourceLocation::from_raw(17).is_synthetic());
+    }
+
+    #[test]
+    fn offset_advances() {
+        let l = SourceLocation::from_raw(10);
+        assert_eq!(l.offset(5).raw(), 15);
+    }
+
+    #[test]
+    fn range_validity() {
+        assert!(!SourceRange::INVALID.is_valid());
+        let r = SourceRange::new(SourceLocation::from_raw(1), SourceLocation::from_raw(4));
+        assert!(r.is_valid());
+        assert!(SourceRange::at(SourceLocation::from_raw(3)).is_valid());
+    }
+
+    #[test]
+    fn ordering_follows_offsets() {
+        assert!(SourceLocation::from_raw(3) < SourceLocation::from_raw(9));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", SourceLocation::INVALID), "<invalid loc>");
+        assert_eq!(format!("{:?}", SourceLocation::synthetic(7)), "<synthetic #7>");
+        assert_eq!(format!("{:?}", SourceLocation::from_raw(12)), "loc(12)");
+    }
+}

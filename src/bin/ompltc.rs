@@ -1,0 +1,105 @@
+//! `ompltc` — the clang-like driver for the omplt pipeline.
+//!
+//! ```text
+//! ompltc [OPTIONS] <file.c>
+//!   --ast-dump               print the syntactic AST (clang -ast-dump style)
+//!   --ast-dump-transformed   additionally show shadow (transformed) subtrees
+//!   --emit-ir                print generated IR
+//!   --enable-irbuilder       use the OpenMPIRBuilder / OMPCanonicalLoop path
+//!   --no-openmp              parse pragmas but ignore them
+//!   --run [args...]          interpret the module (calls `main`)
+//!   --opt                    run the mid-end pipeline (incl. LoopUnroll) first
+//!   --syntax-only            stop after semantic analysis
+//!   --threads N              thread-team size for `parallel` regions (default 4)
+//! ```
+
+use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::default();
+    let mut file = None;
+    let mut ast_dump = false;
+    let mut ast_dump_transformed = false;
+    let mut emit_ir = false;
+    let mut run = false;
+    let mut optimize = false;
+    let mut syntax_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ast-dump" => ast_dump = true,
+            "--ast-dump-transformed" => ast_dump_transformed = true,
+            "--emit-ir" => emit_ir = true,
+            "--enable-irbuilder" => opts.codegen_mode = OpenMpCodegenMode::IrBuilder,
+            "--no-openmp" => opts.openmp = false,
+            "--run" => run = true,
+            "--opt" => optimize = true,
+            "--syntax-only" => syntax_only = true,
+            "--threads" => {
+                let n = it.next().expect("--threads needs a value");
+                opts.num_threads = n.parse().expect("--threads needs an integer");
+            }
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("ompltc: unknown option '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: ompltc [--ast-dump] [--ast-dump-transformed] [--emit-ir] [--enable-irbuilder] [--opt] [--run] [--threads N] <file.c>");
+        return ExitCode::from(2);
+    };
+
+    let mut ci = CompilerInstance::new(opts);
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ompltc: cannot read '{file}': {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let tu = match ci.parse_source(&file, &source) {
+        Ok(tu) => tu,
+        Err(diags) => {
+            eprint!("{diags}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if ast_dump || ast_dump_transformed {
+        print!("{}", if ast_dump_transformed { ci.ast_dump_transformed(&tu) } else { ci.ast_dump(&tu) });
+    }
+    if syntax_only {
+        return ExitCode::SUCCESS;
+    }
+
+    let mut module = match ci.codegen(&tu) {
+        Ok(m) => m,
+        Err(diags) => {
+            eprint!("{diags}");
+            return ExitCode::from(1);
+        }
+    };
+    if optimize {
+        ci.optimize(&mut module);
+    }
+    if emit_ir {
+        print!("{}", omplt::ir::print_module(&module));
+    }
+    if run {
+        match ci.run(&module) {
+            Ok(result) => {
+                print!("{}", result.stdout);
+                return ExitCode::from(result.exit_code as u8);
+            }
+            Err(e) => {
+                eprintln!("ompltc: runtime error: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

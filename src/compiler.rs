@@ -1,0 +1,155 @@
+//! `CompilerInstance`: the user-facing pipeline façade (the equivalent of
+//! Clang's driver + CompilerInstance).
+
+use omplt_ast::{DumpOptions, TranslationUnit};
+use omplt_codegen::{codegen_translation_unit, CodegenOptions};
+use omplt_interp::{Interpreter, RunResult, RuntimeConfig};
+use omplt_ir::Module;
+use omplt_lex::Preprocessor;
+use omplt_parse::parse_translation_unit;
+use omplt_sema::{OpenMpCodegenMode, Sema};
+use omplt_source::{DiagnosticsEngine, FileManager, SourceManager};
+use std::cell::RefCell;
+
+/// Pipeline options (the interesting subset of `clang`'s flags).
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// `-fopenmp` (default true) — honor OpenMP pragmas.
+    pub openmp: bool,
+    /// `-fopenmp-enable-irbuilder` — select the canonical-loop path.
+    pub codegen_mode: OpenMpCodegenMode,
+    /// Thread-team size for `parallel` regions.
+    pub num_threads: u32,
+    /// Serialize `parallel` regions (deterministic output for goldens).
+    pub serial: bool,
+    /// Interpreter step budget.
+    pub max_steps: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            openmp: true,
+            codegen_mode: OpenMpCodegenMode::Classic,
+            num_threads: 4,
+            serial: false,
+            max_steps: 500_000_000,
+        }
+    }
+}
+
+/// Owns the shared compiler state for one or more compilations.
+pub struct CompilerInstance {
+    /// Options.
+    pub opts: Options,
+    /// File manager (register virtual files here before parsing).
+    pub fm: FileManager,
+    /// Source manager.
+    pub sm: RefCell<SourceManager>,
+    /// Diagnostics.
+    pub diags: DiagnosticsEngine,
+}
+
+impl CompilerInstance {
+    /// Creates a fresh instance.
+    pub fn new(opts: Options) -> CompilerInstance {
+        CompilerInstance {
+            opts,
+            fm: FileManager::new(),
+            sm: RefCell::new(SourceManager::new()),
+            diags: DiagnosticsEngine::new(),
+        }
+    }
+
+    /// Parses `source` (registered under `name`) into an AST. On error
+    /// returns the rendered diagnostics.
+    pub fn parse_source(&mut self, name: &str, source: &str) -> Result<TranslationUnit, String> {
+        let buf = self.fm.add_virtual_file(name, source);
+        let file_id = self.sm.borrow_mut().add_file(buf).0;
+        let tokens = {
+            let mut sm = self.sm.borrow_mut();
+            let mut pp = Preprocessor::new(&mut sm, &mut self.fm, &self.diags, file_id);
+            pp.tokenize_all()
+        };
+        let mut sema = Sema::new(&self.diags, &self.sm, self.opts.codegen_mode, self.opts.openmp);
+        let tu = parse_translation_unit(tokens, &mut sema);
+        if self.diags.has_errors() {
+            return Err(self.render_diags());
+        }
+        Ok(tu)
+    }
+
+    /// Renders all collected diagnostics.
+    pub fn render_diags(&self) -> String {
+        self.diags.render(&self.sm.borrow())
+    }
+
+    /// Dumps the syntactic AST (`clang -ast-dump` style).
+    pub fn ast_dump(&self, tu: &TranslationUnit) -> String {
+        omplt_ast::dump_translation_unit(tu, DumpOptions::default())
+    }
+
+    /// Dumps the AST including shadow (transformed) subtrees.
+    pub fn ast_dump_transformed(&self, tu: &TranslationUnit) -> String {
+        omplt_ast::dump_translation_unit(tu, DumpOptions { show_transformed: true })
+    }
+
+    /// Lowers the AST to IR. On error returns rendered diagnostics.
+    pub fn codegen(&self, tu: &TranslationUnit) -> Result<Module, String> {
+        let r = codegen_translation_unit(
+            tu,
+            CodegenOptions { mode: self.opts.codegen_mode },
+            &self.diags,
+        );
+        if self.diags.has_errors() {
+            return Err(self.render_diags());
+        }
+        for f in &r.module.functions {
+            let errs = omplt_ir::verify_function(f);
+            if !errs.is_empty() {
+                return Err(format!(
+                    "internal error: IR verification failed for @{}:\n{}",
+                    f.name,
+                    errs.iter().map(|e| format!("  {e}")).collect::<Vec<_>>().join("\n")
+                ));
+            }
+        }
+        Ok(r.module)
+    }
+
+    /// Runs the mid-end pipeline (SimplifyCfg, ConstFold, LoopUnroll).
+    pub fn optimize(&self, module: &mut Module) -> omplt_midend::UnrollStats {
+        omplt_midend::run_default_pipeline(module)
+    }
+
+    /// Executes `main` in the interpreter.
+    pub fn run(&self, module: &Module) -> Result<RunResult, omplt_interp::ExecError> {
+        let cfg = RuntimeConfig {
+            num_threads: self.opts.num_threads,
+            max_steps: self.opts.max_steps,
+            serial: self.opts.serial,
+        };
+        Interpreter::new(module, cfg).run_main()
+    }
+
+    /// Convenience: parse + codegen + (optional optimize) + run.
+    pub fn compile_and_run(
+        &mut self,
+        name: &str,
+        source: &str,
+        optimize: bool,
+    ) -> Result<RunResult, String> {
+        let tu = self.parse_source(name, source)?;
+        let mut module = self.codegen(&tu)?;
+        if optimize {
+            self.optimize(&mut module);
+            for f in &module.functions {
+                let errs = omplt_ir::verify_function(f);
+                if !errs.is_empty() {
+                    return Err(format!("post-optimization verification failed for @{}", f.name));
+                }
+            }
+        }
+        self.run(&module).map_err(|e| format!("runtime error: {e}"))
+    }
+}

@@ -1,0 +1,44 @@
+//! # omplt — OpenMP loop transformations on a Clang-style AST, in Rust
+//!
+//! Reproduction of M. Kruse, *"Loop Transformations using Clang's Abstract
+//! Syntax Tree"* (ICPP Workshops 2021). This facade crate wires the layer
+//! crates into a [`CompilerInstance`] with the same user-visible workflow as
+//! the paper's Clang prototype:
+//!
+//! ```
+//! use omplt::{CompilerInstance, Options};
+//!
+//! let src = r#"
+//! void body(int i);
+//! void f(int n) {
+//!   #pragma omp unroll partial(2)
+//!   for (int i = 0; i < n; i += 1)
+//!     body(i);
+//! }
+//! "#;
+//! let mut ci = CompilerInstance::new(Options::default());
+//! let tu = ci.parse_source("demo.c", src).expect("parses");
+//! let dump = ci.ast_dump(&tu);
+//! assert!(dump.contains("OMPUnrollDirective"));
+//! ```
+//!
+//! See `DESIGN.md` for the complete system inventory and `EXPERIMENTS.md`
+//! for the paper-artifact ↔ reproduction map.
+
+pub mod compiler;
+pub mod pipeline;
+
+pub use compiler::{CompilerInstance, Options};
+pub use pipeline::{assert_matrix_output, run_matrix, run_source, run_source_with};
+pub use omplt_sema::OpenMpCodegenMode;
+
+pub use omplt_ast as ast;
+pub use omplt_codegen as codegen;
+pub use omplt_interp as interp;
+pub use omplt_ir as ir;
+pub use omplt_lex as lex;
+pub use omplt_midend as midend;
+pub use omplt_ompirb as ompirb;
+pub use omplt_parse as parse;
+pub use omplt_sema as sema;
+pub use omplt_source as source;

@@ -1,0 +1,127 @@
+//! Golden AST-dump fragments: multi-line, connector-exact excerpts matching
+//! the visual structure of the paper's listings (L3/L4/L7).
+
+use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+
+fn dump(src: &str, mode: OpenMpCodegenMode) -> String {
+    let mut ci = CompilerInstance::new(Options { codegen_mode: mode, ..Options::default() });
+    let tu = ci.parse_source("g.c", src).expect("parse");
+    ci.ast_dump(&tu)
+}
+
+/// Asserts that `golden`'s lines appear in `haystack` consecutively.
+fn assert_block(haystack: &str, golden: &str) {
+    let lines: Vec<&str> = golden.trim_matches('\n').lines().collect();
+    let hay: Vec<&str> = haystack.lines().collect();
+    let found = hay.windows(lines.len()).any(|w| w == lines.as_slice());
+    assert!(
+        found,
+        "golden block not found.\n--- golden ---\n{}\n--- dump ---\n{}",
+        golden, haystack
+    );
+}
+
+#[test]
+fn composed_unroll_golden() {
+    // Paper Fig. lst:astdump_shadowast(b), adapted to our (address-free)
+    // dump format.
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp unroll full\n  #pragma omp unroll partial(2)\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPUnrollDirective
+      |-OMPFullClause
+      `-OMPUnrollDirective
+        |-OMPPartialClause
+        | `-ConstantExpr 'int'
+        |   |-value: Int 2
+        |   `-IntegerLiteral 'int' 2
+        `-ForStmt
+          |-DeclStmt
+          | `-VarDecl used i 'int' cinit
+          |   `-IntegerLiteral 'int' 7
+          |-<<<NULL>>>
+"#,
+    );
+}
+
+#[test]
+fn for_loop_components_golden() {
+    let src = "void body(int i);\nvoid f(void) {\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    // ForStmt slots: init, (cond-var placeholder), cond, inc, body
+    assert_block(
+        &d,
+        r#"
+    `-ForStmt
+      |-DeclStmt
+      | `-VarDecl used i 'int' cinit
+      |   `-IntegerLiteral 'int' 7
+      |-<<<NULL>>>
+      |-BinaryOperator 'bool' '<'
+      | |-ImplicitCastExpr 'int' <LValueToRValue>
+      | | `-DeclRefExpr 'int' lvalue Var 'i' 'int'
+      | `-IntegerLiteral 'int' 17
+      |-CompoundAssignOperator 'int' '+='
+      | |-DeclRefExpr 'int' lvalue Var 'i' 'int'
+      | `-IntegerLiteral 'int' 3
+"#,
+    );
+}
+
+#[test]
+fn canonical_loop_golden() {
+    // Paper Fig. lst:ompcanonicalloop: OMPCanonicalLoop with ForStmt, two
+    // CapturedStmt helpers and the user-variable DeclRefExpr as children.
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp unroll partial(2)\n  for (int i = 0; i < 8; i += 1)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::IrBuilder);
+    // Children in order: ForStmt, distance CapturedStmt (assigning the
+    // unsigned Result), loop-value CapturedStmt (with the __i parameter),
+    // and the trailing user-variable DeclRefExpr at the wrapper's level.
+    assert_block(
+        &d,
+        r#"
+        |-CapturedStmt
+        | `-CapturedDecl nothrow
+        |   |-BinaryOperator 'unsigned int' '='
+        |   | |-DeclRefExpr 'unsigned int' lvalue Var 'Result' 'unsigned int'
+"#,
+    );
+    assert_block(
+        &d,
+        r#"
+        |   |-ImplicitParamDecl implicit Result 'int'
+        |   |-ImplicitParamDecl implicit __i 'unsigned int'
+        |   `-VarDecl used i 'int'
+        `-DeclRefExpr 'int' lvalue Var 'i' 'int'
+"#,
+    );
+    let cl = d.find("OMPCanonicalLoop").expect("canonical loop in dump");
+    let tail = &d[cl..];
+    assert!(tail.contains("|-ForStmt"), "loop child first:\n{tail}");
+}
+
+#[test]
+fn captured_parallel_for_golden() {
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp parallel for schedule(static)\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPParallelForDirective
+      |-OMPScheduleClause static
+      `-CapturedStmt
+        `-CapturedDecl nothrow
+"#,
+    );
+    // Implicit params follow the captured body, as in the paper's listing.
+    assert_block(
+        &d,
+        r#"
+          |-ImplicitParamDecl implicit .global_tid. 'int *'
+          |-ImplicitParamDecl implicit .bound_tid. 'int *'
+          `-ImplicitParamDecl implicit __context 'void *'
+"#,
+    );
+}

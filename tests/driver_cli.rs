@@ -1,0 +1,119 @@
+//! End-to-end tests of the `ompltc` driver binary (the clang-like CLI).
+
+use std::io::Write;
+use std::process::Command;
+
+fn ompltc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ompltc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("omplt-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const DEMO: &str = "void print_i64(long v);\nint main(void) {\n  #pragma omp unroll partial(2)\n  for (int i = 0; i < 5; i += 1)\n    print_i64(i);\n  return 0;\n}\n";
+
+#[test]
+fn ast_dump_shows_directive() {
+    let p = write_temp("dump.c", DEMO);
+    let out = ompltc().arg("--ast-dump").arg("--syntax-only").arg(&p).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OMPUnrollDirective"), "{text}");
+    assert!(text.contains("OMPPartialClause"), "{text}");
+    assert!(!text.contains("TransformedStmt"), "shadow AST hidden by default");
+}
+
+#[test]
+fn ast_dump_transformed_reveals_shadow_ast() {
+    let p = write_temp("dump2.c", DEMO);
+    let out = ompltc().arg("--ast-dump-transformed").arg("--syntax-only").arg(&p).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TransformedStmt"), "{text}");
+    assert!(text.contains(".unrolled.iv.i"), "{text}");
+}
+
+#[test]
+fn run_executes_the_program() {
+    let p = write_temp("run.c", DEMO);
+    let out = ompltc().arg("--run").arg(&p).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "0\n1\n2\n3\n4\n");
+}
+
+#[test]
+fn irbuilder_flag_switches_representation() {
+    let p = write_temp("irb.c", DEMO);
+    let classic = ompltc().arg("--emit-ir").arg(&p).output().unwrap();
+    let irb = ompltc().arg("--enable-irbuilder").arg("--emit-ir").arg(&p).output().unwrap();
+    let c = String::from_utf8_lossy(&classic.stdout).to_string();
+    let i = String::from_utf8_lossy(&irb.stdout).to_string();
+    assert!(c.contains("omp_hint"), "classic lowers via hint-metadata loop:\n{c}");
+    assert!(i.contains("omp_canonical"), "irbuilder lowers via createCanonicalLoop:\n{i}");
+    // Both still run identically.
+    let r1 = ompltc().arg("--run").arg(&p).output().unwrap();
+    let r2 = ompltc().arg("--enable-irbuilder").arg("--run").arg(&p).output().unwrap();
+    assert_eq!(r1.stdout, r2.stdout);
+}
+
+#[test]
+fn opt_flag_unrolls() {
+    let p = write_temp("opt.c", DEMO);
+    let out = ompltc().arg("--opt").arg("--emit-ir").arg(&p).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    // 5 iterations, factor 2 → main loop with 2 calls + remainder with 1
+    assert!(text.matches("call void @print_i64").count() >= 3, "{text}");
+    let run = ompltc().arg("--opt").arg("--run").arg(&p).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&run.stdout), "0\n1\n2\n3\n4\n");
+}
+
+#[test]
+fn exit_code_is_propagated() {
+    let p = write_temp("exit.c", "int main(void) { return 3; }\n");
+    let out = ompltc().arg("--run").arg(&p).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn diagnostics_printed_with_carets() {
+    let p = write_temp(
+        "bad.c",
+        "void f(int n) {\n  #pragma omp for\n  for (int i = 0; i < n; i *= 2)\n    ;\n}\n",
+    );
+    let out = ompltc().arg("--syntax-only").arg(&p).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("increment clause of OpenMP for loop"), "{err}");
+    assert!(err.contains('^'), "{err}");
+}
+
+#[test]
+fn threads_flag_sets_team_size() {
+    let p = write_temp(
+        "team.c",
+        "void print_i64(long v);\nint omp_get_num_threads(void);\nlong team;\nint main(void) {\n  #pragma omp parallel\n  {\n    team = omp_get_num_threads();\n  }\n  print_i64(team);\n  return 0;\n}\n",
+    );
+    let out = ompltc().arg("--run").arg("--threads").arg("6").arg(&p).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "6\n");
+}
+
+#[test]
+fn no_openmp_ignores_pragmas() {
+    let p = write_temp("noomp.c", DEMO);
+    let out = ompltc().arg("--no-openmp").arg("--ast-dump").arg("--syntax-only").arg(&p).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("OMPUnrollDirective"), "{text}");
+    let run = ompltc().arg("--no-openmp").arg("--run").arg(&p).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&run.stdout), "0\n1\n2\n3\n4\n");
+}
+
+#[test]
+fn unknown_option_is_rejected() {
+    let out = ompltc().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

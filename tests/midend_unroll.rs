@@ -1,0 +1,96 @@
+//! Experiment L2: structure of the mid-end `LoopUnroll` output — the
+//! paper's "Partial unrolling with remainder loop" figure — plus the
+//! pipeline-level interplay of front-end metadata and the pass.
+
+use omplt::{CompilerInstance, Options};
+use omplt_midend::{DomTree, LoopInfo};
+
+fn compile(src: &str, optimize: bool) -> (CompilerInstance, omplt::ir::Module) {
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source("m.c", src).expect("parse");
+    let mut module = ci.codegen(&tu).expect("codegen");
+    if optimize {
+        ci.optimize(&mut module);
+    }
+    (ci, module)
+}
+
+fn live_calls(module: &omplt::ir::Module, func: &str) -> usize {
+    let f = module.function(func).unwrap();
+    f.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|&&i| matches!(f.inst(i), omplt::ir::Inst::Call { .. }))
+        .count()
+}
+
+fn loop_count(module: &omplt::ir::Module, func: &str) -> usize {
+    let f = module.function(func).unwrap();
+    let dt = DomTree::compute(f);
+    LoopInfo::compute(f, &dt).loops.len()
+}
+
+#[test]
+fn partial_unroll_produces_main_plus_remainder_loop() {
+    // Runtime trip count: after the pass there are exactly two loops — the
+    // unrolled main loop and the remainder loop (paper Fig. lst:remainder).
+    let src = "void body(int i);\nvoid kernel(int n) {\n  #pragma omp unroll partial(4)\n  for (int i = 0; i < n; i += 1)\n    body(i);\n}\n";
+    let (_, before) = compile(src, false);
+    assert_eq!(loop_count(&before, "kernel"), 1, "front-end emits ONE loop (metadata only)");
+    let (_, after) = compile(src, true);
+    assert_eq!(loop_count(&after, "kernel"), 2, "pass produces main + remainder loop");
+    // The unrolled main loop calls body 4 times per iteration: count the
+    // calls still attached to blocks (the arena keeps dead entries).
+    assert_eq!(live_calls(&after, "kernel"), 5, "4 copies in the main loop + 1 in the remainder");
+}
+
+#[test]
+fn full_unroll_of_constant_loop_leaves_no_loop() {
+    let src = "void body(int i);\nvoid kernel(void) {\n  #pragma omp unroll full\n  for (int i = 0; i < 6; i += 1)\n    body(i);\n}\n";
+    let (_, after) = compile(src, true);
+    assert_eq!(loop_count(&after, "kernel"), 0);
+    assert_eq!(live_calls(&after, "kernel"), 6, "six materialized body copies");
+}
+
+#[test]
+fn heuristic_unroll_decides_per_shape() {
+    // Small constant loop → fully unrolled by the heuristic.
+    let small = "void body(int i);\nvoid kernel(void) {\n  #pragma omp unroll\n  for (int i = 0; i < 8; i += 1)\n    body(i);\n}\n";
+    let (_, after) = compile(small, true);
+    assert_eq!(loop_count(&after, "kernel"), 0, "small constant loops unroll fully");
+
+    // Runtime trip count → partial with remainder.
+    let runtime = "void body(int i);\nvoid kernel(int n) {\n  #pragma omp unroll\n  for (int i = 0; i < n; i += 1)\n    body(i);\n}\n";
+    let (_, after) = compile(runtime, true);
+    assert_eq!(loop_count(&after, "kernel"), 2, "runtime loops unroll partially");
+}
+
+#[test]
+fn classic_and_irbuilder_paths_feed_the_same_pass() {
+    // The same pragma reaches the LoopUnroll pass through different
+    // front-end routes; both must end up duplicated.
+    for mode in [omplt::OpenMpCodegenMode::Classic, omplt::OpenMpCodegenMode::IrBuilder] {
+        let mut ci = CompilerInstance::new(Options { codegen_mode: mode, ..Options::default() });
+        let tu = ci
+            .parse_source(
+                "m.c",
+                "void body(int i);\nvoid kernel(int n) {\n  #pragma omp unroll partial(2)\n  for (int i = 0; i < n; i += 1)\n    body(i);\n}\n",
+            )
+            .expect("parse");
+        let mut module = ci.codegen(&tu).expect("codegen");
+        let stats = ci.optimize(&mut module);
+        assert_eq!(stats.partial, 1, "mode {mode:?} must trigger one partial unroll");
+    }
+}
+
+#[test]
+fn unroll_pass_skips_already_disabled_loops() {
+    let src = "void body(int i);\nvoid kernel(int n) {\n  #pragma omp unroll partial(2)\n  for (int i = 0; i < n; i += 1)\n    body(i);\n}\n";
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source("m.c", src).expect("parse");
+    let mut module = ci.codegen(&tu).expect("codegen");
+    let first = ci.optimize(&mut module);
+    assert_eq!(first.partial, 1);
+    let second = ci.optimize(&mut module);
+    assert_eq!(second.partial, 0, "re-running must not re-unroll (unroll.disable)");
+}

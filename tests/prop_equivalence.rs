@@ -1,0 +1,136 @@
+//! Property-based semantic equivalence (EXPERIMENTS.md: C6): for randomized
+//! loop shapes (bounds, steps, directions) and transformation parameters,
+//! the transformed program must print the same sequence as the
+//! untransformed one, in both representations, optimized and not.
+
+use omplt::{run_matrix, run_source_with, Options};
+use proptest::prelude::*;
+
+const PROTO: &str = "void print_i64(long v);\n";
+
+/// Reference semantics of `for (i = lb; i <relop> ub; i +=/-= step)`.
+fn reference(lb: i64, ub: i64, step: i64, relop: &str, down: bool) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut i = lb;
+    let mut guard = 0;
+    loop {
+        let cont = match relop {
+            "<" => i < ub,
+            "<=" => i <= ub,
+            ">" => i > ub,
+            ">=" => i >= ub,
+            _ => unreachable!(),
+        };
+        if !cont || guard > 4000 {
+            break;
+        }
+        out.push(i);
+        if down {
+            i -= step;
+        } else {
+            i += step;
+        }
+        guard += 1;
+    }
+    out
+}
+
+fn loop_source(pragma: &str, lb: i64, ub: i64, step: i64, relop: &str, down: bool) -> String {
+    let inc = if down { format!("i -= {step}") } else { format!("i += {step}") };
+    format!(
+        "{PROTO}int main(void) {{\n  {pragma}\n  for (int i = {lb}; i {relop} {ub}; {inc})\n    print_i64(i);\n  return 0;\n}}\n"
+    )
+}
+
+fn expected_output(vals: &[i64]) -> String {
+    vals.iter().map(|v| format!("{v}\n")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn unroll_partial_equivalent_for_random_shapes(
+        lb in -20i64..20,
+        span in 0i64..40,
+        step in 1i64..5,
+        factor in 2u64..6,
+        incl in any::<bool>(),
+        down in any::<bool>(),
+    ) {
+        let (relop, ub) = if down {
+            (if incl { ">=" } else { ">" }, lb - span)
+        } else {
+            (if incl { "<=" } else { "<" }, lb + span)
+        };
+        let expect = expected_output(&reference(lb, ub, step, relop, down));
+        let pragma = format!("#pragma omp unroll partial({factor})");
+        let src = loop_source(&pragma, lb, ub, step, relop, down);
+        for (r, label) in run_matrix(&src).iter().zip(["classic","classic+opt","irbuilder","irbuilder+opt"]) {
+            prop_assert_eq!(&r.stdout, &expect, "configuration {} diverged", label);
+        }
+    }
+
+    #[test]
+    fn tile_equivalent_for_random_shapes(
+        lb in -10i64..10,
+        span in 0i64..30,
+        step in 1i64..4,
+        size in 1u64..9,
+    ) {
+        let ub = lb + span;
+        let expect = expected_output(&reference(lb, ub, step, "<", false));
+        let pragma = format!("#pragma omp tile sizes({size})");
+        let src = loop_source(&pragma, lb, ub, step, "<", false);
+        for (r, label) in run_matrix(&src).iter().zip(["classic","classic+opt","irbuilder","irbuilder+opt"]) {
+            prop_assert_eq!(&r.stdout, &expect, "configuration {} diverged", label);
+        }
+    }
+
+    #[test]
+    fn unroll_full_equivalent_for_random_constant_loops(
+        lb in -10i64..10,
+        span in 0i64..25,
+        step in 1i64..4,
+    ) {
+        let ub = lb + span;
+        let expect = expected_output(&reference(lb, ub, step, "<", false));
+        let src = loop_source("#pragma omp unroll full", lb, ub, step, "<", false);
+        for (r, label) in run_matrix(&src).iter().zip(["classic","classic+opt","irbuilder","irbuilder+opt"]) {
+            prop_assert_eq!(&r.stdout, &expect, "configuration {} diverged", label);
+        }
+    }
+
+    #[test]
+    fn workshared_sum_equivalent_for_random_threads(
+        n in 1i64..200,
+        threads in 1u32..8,
+        factor in 2u64..5,
+    ) {
+        let serial: i64 = (0..n).sum();
+        let src = format!(
+            "{PROTO}int main(void) {{\n  long sum = 0;\n  #pragma omp parallel for reduction(+: sum)\n  #pragma omp unroll partial({factor})\n  for (int i = 0; i < {n}; i += 1)\n    sum = sum + i;\n  print_i64(sum);\n  return 0;\n}}\n"
+        );
+        let r = run_source_with(&src, Options { num_threads: threads, ..Options::default() }, false);
+        prop_assert_eq!(r.stdout, format!("{serial}\n"));
+    }
+
+    #[test]
+    fn tile_2d_multiset_equivalent(
+        ni in 1i64..10,
+        nj in 1i64..10,
+        si in 1u64..5,
+        sj in 1u64..5,
+    ) {
+        let src = format!(
+            "{PROTO}int main(void) {{\n  #pragma omp tile sizes({si}, {sj})\n  for (int i = 0; i < {ni}; i += 1)\n    for (int j = 0; j < {nj}; j += 1)\n      print_i64(i * 100 + j);\n  return 0;\n}}\n"
+        );
+        let mut want: Vec<i64> = (0..ni).flat_map(|i| (0..nj).map(move |j| i * 100 + j)).collect();
+        want.sort_unstable();
+        for r in run_matrix(&src) {
+            let mut got: Vec<i64> = r.stdout.lines().map(|l| l.parse().unwrap()).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want);
+        }
+    }
+}

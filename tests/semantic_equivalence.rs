@@ -1,0 +1,206 @@
+//! End-to-end semantic equivalence (EXPERIMENTS.md: L1, C6): every loop
+//! transformation, in both representations, with and without the mid-end
+//! pipeline, must preserve program behaviour.
+
+use omplt::{assert_matrix_output, run_source, run_source_with, Options};
+
+/// Expected "print each iteration value" output.
+fn seq(vals: impl IntoIterator<Item = i64>) -> String {
+    vals.into_iter().map(|v| format!("{v}\n")).collect()
+}
+
+const PRINT_PROTO: &str = "void print_i64(long v);\n";
+
+#[test]
+fn plain_loop_baseline() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  for (int i = 7; i < 17; i += 3)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([7, 10, 13, 16]));
+}
+
+#[test]
+fn unroll_partial2_matches_manual_unroll() {
+    // The paper's §1 equivalence example (L1): `unroll partial(2)` vs the
+    // hand-unrolled version must behave identically.
+    let pragma_version = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll partial(2)\n  for (int i = 0; i < 9; i += 1)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    let manual_version = format!(
+        "{PRINT_PROTO}int main(void) {{\n  for (int i = 0; i < 9; i += 2) {{\n    print_i64(i);\n    if (i + 1 < 9) print_i64(i + 1);\n  }}\n  return 0;\n}}\n"
+    );
+    let expected = seq(0..9);
+    assert_matrix_output(&pragma_version, &expected);
+    let manual = run_source(&manual_version);
+    assert_eq!(manual.stdout, expected);
+}
+
+#[test]
+fn unroll_full_small_loop() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll full\n  for (int i = 0; i < 5; i += 1)\n    print_i64(i * 10);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([0, 10, 20, 30, 40]));
+}
+
+#[test]
+fn unroll_heuristic_mode() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll\n  for (int i = 0; i < 10; i += 1)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq(0..10));
+}
+
+#[test]
+fn unroll_factors_and_trip_counts() {
+    // Factor × trip-count matrix incl. non-divisible remainders.
+    for factor in [2u64, 3, 4, 8] {
+        for trip in [0i64, 1, 2, 5, 12, 17] {
+            let src = format!(
+                "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll partial({factor})\n  for (int i = 0; i < {trip}; i += 1)\n    print_i64(i);\n  return 0;\n}}\n"
+            );
+            assert_matrix_output(&src, &seq(0..trip));
+        }
+    }
+}
+
+#[test]
+fn unroll_nonunit_step_and_offset_bounds() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll partial(2)\n  for (int i = 7; i < 17; i += 3)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([7, 10, 13, 16]));
+}
+
+#[test]
+fn unroll_downward_loop() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll partial(4)\n  for (int i = 10; i > 0; i -= 1)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq((1..=10).rev()));
+}
+
+#[test]
+fn tile_single_loop() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp tile sizes(4)\n  for (int i = 0; i < 10; i += 1)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq(0..10));
+}
+
+#[test]
+fn tile_2d_changes_order_but_covers_all() {
+    // 2D tiling permutes the visit order deterministically: tiles iterate
+    // in row-major tile order.
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp tile sizes(2, 2)\n  for (int i = 0; i < 4; i += 1)\n    for (int j = 0; j < 4; j += 1)\n      print_i64(i * 10 + j);\n  return 0;\n}}\n"
+    );
+    // classic path (shadow AST): loops over floor tiles then in-tile.
+    let expected: Vec<i64> = vec![
+        0, 1, 10, 11, 2, 3, 12, 13, 20, 21, 30, 31, 22, 23, 32, 33,
+    ];
+    let r = run_source_with(&src, Options { serial: true, ..Options::default() }, false);
+    assert_eq!(r.stdout, seq(expected.iter().copied()), "classic tile order");
+    // and the multiset is complete for every configuration
+    for r in omplt::run_matrix(&src) {
+        let mut lines: Vec<i64> =
+            r.stdout.lines().map(|l| l.parse().unwrap()).collect();
+        lines.sort_unstable();
+        let mut want: Vec<i64> = (0..4).flat_map(|i| (0..4).map(move |j| i * 10 + j)).collect();
+        want.sort_unstable();
+        assert_eq!(lines, want);
+    }
+}
+
+#[test]
+fn tile_with_partial_tiles() {
+    // 10 not divisible by 4: partial tiles via min().
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  long sum = 0;\n  #pragma omp tile sizes(4)\n  for (int i = 0; i < 10; i += 1)\n    sum = sum + i;\n  print_i64(sum);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([45]));
+}
+
+#[test]
+fn composed_tile_over_unroll() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  long sum = 0;\n  #pragma omp tile sizes(4)\n  #pragma omp unroll partial(2)\n  for (int i = 0; i < 20; i += 1)\n    sum = sum + i;\n  print_i64(sum);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([190]));
+}
+
+#[test]
+fn composed_full_over_partial() {
+    // The paper's lst:astdump_shadowast composition: effectively complete
+    // unrolling.
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  #pragma omp unroll full\n  #pragma omp unroll partial(2)\n  for (int i = 7; i < 17; i += 3)\n    print_i64(i);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([7, 10, 13, 16]));
+}
+
+#[test]
+fn while_loops_and_conditionals_unaffected() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  int n = 5;\n  while (n > 0) {{\n    if (n == 3) {{ n = n - 1; continue; }}\n    print_i64(n);\n    n = n - 1;\n  }}\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([5, 4, 2, 1]));
+}
+
+#[test]
+fn range_based_for_executes() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  double data[5];\n  for (int i = 0; i < 5; i += 1)\n    data[i] = i * 2.0;\n  double sum = 0.0;\n  for (double &v : data)\n    sum = sum + v;\n  print_i64((long)sum);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([20]));
+}
+
+#[test]
+fn range_for_by_value_copies() {
+    // Writing through a by-value loop variable must NOT modify the array.
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  double data[3];\n  data[0] = 1.0; data[1] = 2.0; data[2] = 3.0;\n  for (double v : data)\n    v = 0.0;\n  print_i64((long)(data[0] + data[1] + data[2]));\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([6]));
+}
+
+#[test]
+fn range_for_by_ref_writes_through() {
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  double data[3];\n  data[0] = 1.0; data[1] = 2.0; data[2] = 3.0;\n  for (double &v : data)\n    v = v * 2.0;\n  print_i64((long)(data[0] + data[1] + data[2]));\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([12]));
+}
+
+#[test]
+fn unroll_of_range_for() {
+    // Transformation of a range-based for: the §3 motivation.
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  long data[7];\n  for (int i = 0; i < 7; i += 1)\n    data[i] = i + 100;\n  #pragma omp unroll partial(2)\n  for (long &v : data)\n    print_i64(v);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq(100..107));
+}
+
+#[test]
+fn functions_and_recursion() {
+    let src = format!(
+        "{PRINT_PROTO}long fib(int n) {{\n  if (n < 2) return n;\n  return fib(n - 1) + fib(n - 2);\n}}\nint main(void) {{\n  print_i64(fib(10));\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([55]));
+}
+
+#[test]
+fn exit_code_propagates() {
+    let r = run_source("int main(void) { return 42; }\n");
+    assert_eq!(r.exit_code, 42);
+}
+
+#[test]
+fn trip_count_type_extremes_i8() {
+    // C5 analogue scaled to i8: full range loop over char, counted in an
+    // unsigned logical counter.
+    let src = format!(
+        "{PRINT_PROTO}int main(void) {{\n  long n = 0;\n  #pragma omp unroll partial(4)\n  for (char c = -128; c < 127; c += 1)\n    n = n + 1;\n  print_i64(n);\n  return 0;\n}}\n"
+    );
+    assert_matrix_output(&src, &seq([255]));
+}
