@@ -1,0 +1,59 @@
+//! # omplt-analysis
+//!
+//! The static-analysis suite, spanning the compiler's two program
+//! representations:
+//!
+//! * at the **AST/Sema layer**, [`legality`] validates the OpenMP 5.1
+//!   preconditions of the loop-transformation directives that Sema's
+//!   transformation machinery silently tolerates (perfect nesting,
+//!   no escaping `return`), and [`race`] detects data races in
+//!   `#pragma omp parallel for` regions by classifying variable references
+//!   as private or shared;
+//! * at the **IR layer**, the canonical-loop skeleton verifier lives in
+//!   `omplt-midend` (re-exported here) so `--verify-each` can re-check the
+//!   skeleton invariants between passes and after every `OpenMPIRBuilder`
+//!   transformation.
+//!
+//! All AST passes report through the shared [`DiagnosticsEngine`], so their
+//! findings render Clang-style (or as JSON via `--diag-format=json`) next to
+//! Sema's own diagnostics.
+
+pub mod legality;
+pub mod nest;
+pub mod race;
+
+pub use omplt_ir::{verify_module, VerifyError};
+pub use omplt_midend::{verify_function_full, verify_loop_skeletons, verify_module_full};
+
+use omplt_ast::TranslationUnit;
+use omplt_source::{DiagnosticsEngine, Level};
+
+/// What [`run_analyses`] added to the diagnostics engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Error-level findings added by the analysis passes.
+    pub errors: usize,
+    /// Warning-level findings added by the analysis passes.
+    pub warnings: usize,
+}
+
+impl AnalysisReport {
+    /// Whether any finding was produced.
+    pub fn has_findings(&self) -> bool {
+        self.errors + self.warnings > 0
+    }
+}
+
+/// Runs every AST-level analysis pass over `tu`, reporting findings through
+/// `diags`. Returns how many errors/warnings the passes added (diagnostics
+/// already present — e.g. Sema warnings — are not counted).
+pub fn run_analyses(tu: &TranslationUnit, diags: &DiagnosticsEngine) -> AnalysisReport {
+    let count = |lvl: Level| diags.all().iter().filter(|d| d.level == lvl).count();
+    let (errors0, warnings0) = (count(Level::Error), count(Level::Warning));
+    legality::check_translation_unit(tu, diags);
+    race::check_translation_unit(tu, diags);
+    AnalysisReport {
+        errors: count(Level::Error) - errors0,
+        warnings: count(Level::Warning) - warnings0,
+    }
+}

@@ -1,0 +1,74 @@
+//! Literal-loop-nest resolution shared by the analysis passes.
+//!
+//! The passes run *after* Sema, so every canonical-loop analysis here is
+//! quiet: a loop Sema already rejected is simply skipped (returning `None`)
+//! instead of being diagnosed a second time.
+
+use omplt_ast::{ASTContext, Stmt, StmtKind, P};
+use omplt_sema::{analyze_canonical_loop, CanonicalLoopAnalysis};
+use omplt_source::DiagnosticsEngine;
+
+/// One level of a resolved literal loop nest.
+pub struct NestLevel {
+    /// Canonical-loop analysis of this level's loop.
+    pub analysis: CanonicalLoopAnalysis,
+    /// Statements sharing this level's enclosing block with the loop.
+    /// Non-empty only when the nest is imperfect at this level (level 0 is
+    /// the directive's associated statement itself and has no siblings).
+    pub intervening: Vec<P<Stmt>>,
+}
+
+/// Strips the wrappers Sema may have placed between a directive and its
+/// loops: attributes, `OMPCanonicalLoop` meta nodes, `CapturedStmt`
+/// outlining, singleton compounds, and nested transformation directives
+/// (followed through `get_transformed_stmt()`, exactly as a consuming
+/// directive would).
+fn peel(stmt: &P<Stmt>) -> Option<P<Stmt>> {
+    match &stmt.kind {
+        StmtKind::Attributed { sub, .. } => peel(sub),
+        StmtKind::OMPCanonicalLoop(cl) => peel(&cl.loop_stmt),
+        StmtKind::Captured(c) => peel(&c.decl.body),
+        StmtKind::Compound(ss) if ss.len() == 1 => peel(&ss[0]),
+        StmtKind::OMP(d) => d.get_transformed_stmt().and_then(peel),
+        _ => Some(P::clone(stmt)),
+    }
+}
+
+/// Whether `stmt` stands for a loop once wrappers are peeled.
+fn is_loop_like(stmt: &P<Stmt>) -> bool {
+    peel(stmt).is_some_and(|s| s.is_loop())
+}
+
+/// Resolves `depth` nested literal loops under `stmt`, analyzing each level
+/// quietly. Returns `None` when the nest cannot be resolved (malformed loop,
+/// missing level, or an unexpanded nested directive) — Sema has already
+/// reported those cases.
+pub fn resolve_literal_nest(stmt: &P<Stmt>, depth: usize) -> Option<Vec<NestLevel>> {
+    let ctx = ASTContext::new();
+    let quiet = DiagnosticsEngine::new();
+    let mut levels = Vec::with_capacity(depth);
+    let mut cur = P::clone(stmt);
+    for _ in 0..depth {
+        let peeled = peel(&cur)?;
+        let (intervening, loop_stmt) = match &peeled.kind {
+            StmtKind::Compound(ss) => {
+                let pos = ss.iter().position(is_loop_like)?;
+                let siblings = ss
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, s)| P::clone(s))
+                    .collect();
+                (siblings, peel(&ss[pos])?)
+            }
+            _ => (Vec::new(), peeled),
+        };
+        let analysis = analyze_canonical_loop(&ctx, &quiet, &loop_stmt, "loop analysis")?;
+        cur = P::clone(&analysis.body);
+        levels.push(NestLevel {
+            analysis,
+            intervening,
+        });
+    }
+    Some(levels)
+}

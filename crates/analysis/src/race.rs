@@ -1,0 +1,343 @@
+//! Data-race detection for `#pragma omp parallel for`.
+//!
+//! Variable references in the associated loop nest are classified as
+//! **private** (iteration variables, locally-declared variables, and
+//! `private`/`firstprivate` clause entries) or **shared** (everything else,
+//! matching OpenMP's default data-sharing for variables declared outside the
+//! construct). Two patterns are reported as `-Wrace` warnings:
+//!
+//! * a **write to a shared scalar** — every iteration races on the same
+//!   object (unless it is a `reduction` variable);
+//! * a **loop-carried array conflict** — a write to `a[i + c1]` combined
+//!   with any access to `a[i + c2]` (`c1 ≠ c2`), or a write through a
+//!   constant subscript, makes iterations touch each other's elements.
+//!
+//! Subscripts that are not affine in an iteration variable (`a[idx[i]]`,
+//! `a[i * 2]`, …) are conservatively ignored — no warning is better than a
+//! false one.
+
+use crate::nest::resolve_literal_nest;
+use omplt_ast::{
+    walk_expr, walk_stmt, BinOp, Decl, DeclId, Expr, ExprKind, OMPClauseKind, OMPDirective,
+    OMPDirectiveKind, Stmt, StmtKind, StmtVisitor, TranslationUnit, P,
+};
+use omplt_source::{Diagnostic, DiagnosticsEngine, Level, SourceLocation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks every `parallel for` in `tu`, reporting races to `diags`.
+pub fn check_translation_unit(tu: &TranslationUnit, diags: &DiagnosticsEngine) {
+    let mut v = RaceVisitor { diags };
+    for d in &tu.decls {
+        if let Decl::Function(f) = d {
+            if let Some(body) = f.body.borrow().as_ref() {
+                v.visit_stmt(body);
+            }
+        }
+    }
+}
+
+struct RaceVisitor<'d> {
+    diags: &'d DiagnosticsEngine,
+}
+
+impl StmtVisitor for RaceVisitor<'_> {
+    fn visit_stmt(&mut self, s: &P<Stmt>) {
+        if let StmtKind::OMP(d) = &s.kind {
+            if d.kind == OMPDirectiveKind::ParallelFor {
+                self.check_parallel_for(d);
+            }
+        }
+        walk_stmt(self, s);
+    }
+}
+
+/// Shape of an array subscript, as far as the detector can see.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Subscript {
+    /// `iv + offset` (offset may be 0 or negative).
+    Affine { iv: DeclId, offset: i128 },
+    /// A compile-time constant.
+    Constant(i128),
+    /// Anything else — conservatively not analyzed.
+    Other,
+}
+
+/// One read or write of a variable inside the loop body.
+struct Access {
+    loc: SourceLocation,
+    write: bool,
+    /// `None` for a scalar access, `Some` for an array-element access.
+    subscript: Option<Subscript>,
+}
+
+/// Collects per-variable accesses over a loop body.
+struct Collector {
+    ivs: BTreeSet<DeclId>,
+    locals: BTreeSet<DeclId>,
+    accesses: BTreeMap<DeclId, (String, Vec<Access>)>,
+}
+
+impl Collector {
+    fn push(&mut self, var: &omplt_ast::VarDecl, access: Access) {
+        self.accesses
+            .entry(var.id)
+            .or_insert_with(|| (var.name.clone(), Vec::new()))
+            .1
+            .push(access);
+    }
+
+    /// Records the variable (scalar or array element) designated by `e`.
+    fn record(&mut self, e: &P<Expr>, write: bool) {
+        let e = e.ignore_wrappers();
+        match &e.kind {
+            ExprKind::DeclRef(v) => {
+                self.push(
+                    v,
+                    Access {
+                        loc: e.loc,
+                        write,
+                        subscript: None,
+                    },
+                );
+            }
+            ExprKind::ArraySubscript(base, idx) => {
+                if let Some(v) = base.as_decl_ref() {
+                    let subscript = Some(self.classify(idx));
+                    let v = P::clone(v);
+                    self.push(
+                        &v,
+                        Access {
+                            loc: e.loc,
+                            write,
+                            subscript,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn classify(&self, idx: &P<Expr>) -> Subscript {
+        let idx = idx.ignore_wrappers();
+        if let Some(v) = idx.as_decl_ref() {
+            return if self.ivs.contains(&v.id) {
+                Subscript::Affine {
+                    iv: v.id,
+                    offset: 0,
+                }
+            } else {
+                Subscript::Other
+            };
+        }
+        if let Some(c) = idx.eval_const_int() {
+            return Subscript::Constant(c);
+        }
+        let affine = |v: &P<omplt_ast::VarDecl>, offset: i128| {
+            if self.ivs.contains(&v.id) {
+                Subscript::Affine { iv: v.id, offset }
+            } else {
+                Subscript::Other
+            }
+        };
+        match &idx.kind {
+            ExprKind::Binary(BinOp::Add, a, b) => match (a.as_decl_ref(), b.eval_const_int()) {
+                (Some(v), Some(c)) => affine(v, c),
+                _ => match (a.eval_const_int(), b.as_decl_ref()) {
+                    (Some(c), Some(v)) => affine(v, c),
+                    _ => Subscript::Other,
+                },
+            },
+            ExprKind::Binary(BinOp::Sub, a, b) => match (a.as_decl_ref(), b.eval_const_int()) {
+                (Some(v), Some(c)) => affine(v, -c),
+                _ => Subscript::Other,
+            },
+            _ => Subscript::Other,
+        }
+    }
+}
+
+impl StmtVisitor for Collector {
+    fn visit_stmt(&mut self, s: &P<Stmt>) {
+        if let StmtKind::Decl(decls) = &s.kind {
+            for d in decls {
+                if let Decl::Var(v) = d {
+                    self.locals.insert(v.id);
+                }
+            }
+        }
+        walk_stmt(self, s);
+    }
+
+    fn visit_expr(&mut self, e: &P<Expr>) {
+        match &e.kind {
+            ExprKind::Binary(op, lhs, rhs) if op.is_assignment() => {
+                self.record(lhs, true);
+                if *op != BinOp::Assign {
+                    self.record(lhs, false);
+                }
+                if let ExprKind::ArraySubscript(_, idx) = &lhs.ignore_wrappers().kind {
+                    self.visit_expr(idx);
+                }
+                self.visit_expr(rhs);
+            }
+            ExprKind::Unary(op, sub) if op.is_inc_dec() => {
+                self.record(sub, true);
+                self.record(sub, false);
+                if let ExprKind::ArraySubscript(_, idx) = &sub.ignore_wrappers().kind {
+                    self.visit_expr(idx);
+                }
+            }
+            ExprKind::DeclRef(_) => self.record(e, false),
+            ExprKind::ArraySubscript(_, idx) => {
+                self.record(e, false);
+                self.visit_expr(idx);
+            }
+            _ => walk_expr(self, e),
+        }
+    }
+}
+
+impl RaceVisitor<'_> {
+    fn check_parallel_for(&mut self, d: &P<OMPDirective>) {
+        let Some(assoc) = &d.associated else { return };
+        let Some(levels) = resolve_literal_nest(assoc, d.collapse_depth()) else {
+            return;
+        };
+        let pragma = d.pragma_text();
+
+        let mut privates: BTreeSet<DeclId> = BTreeSet::new();
+        let mut iv_names: BTreeMap<DeclId, String> = BTreeMap::new();
+        for l in &levels {
+            privates.insert(l.analysis.iter_var.id);
+            iv_names.insert(l.analysis.iter_var.id, l.analysis.iter_var.name.clone());
+        }
+        let mut reductions: BTreeSet<DeclId> = BTreeSet::new();
+        for c in &d.clauses {
+            match &c.kind {
+                OMPClauseKind::Private(vs) | OMPClauseKind::FirstPrivate(vs) => {
+                    for v in vs {
+                        if let Some(vd) = v.as_decl_ref() {
+                            privates.insert(vd.id);
+                        }
+                    }
+                }
+                OMPClauseKind::Reduction { vars, .. } => {
+                    for v in vars {
+                        if let Some(vd) = v.as_decl_ref() {
+                            reductions.insert(vd.id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut col = Collector {
+            ivs: iv_names.keys().copied().collect(),
+            locals: BTreeSet::new(),
+            accesses: BTreeMap::new(),
+        };
+        col.visit_stmt(&levels[0].analysis.body);
+
+        let fmt_sub = |s: Subscript| -> String {
+            match s {
+                Subscript::Affine { iv, offset } => {
+                    let name = iv_names.get(&iv).map_or("?", String::as_str);
+                    match offset {
+                        0 => name.to_string(),
+                        o if o > 0 => format!("{name} + {o}"),
+                        o => format!("{name} - {}", -o),
+                    }
+                }
+                Subscript::Constant(c) => c.to_string(),
+                Subscript::Other => "?".to_string(),
+            }
+        };
+
+        for (id, (name, accesses)) in &col.accesses {
+            if privates.contains(id) || col.locals.contains(id) || reductions.contains(id) {
+                continue;
+            }
+            let writes: Vec<&Access> = accesses.iter().filter(|a| a.write).collect();
+            if writes.is_empty() {
+                continue;
+            }
+            // Shared scalar written by every iteration.
+            if let Some(w) = writes.iter().find(|a| a.subscript.is_none()) {
+                let mut notes = Vec::new();
+                for a in accesses.iter().filter(|a| a.subscript.is_none()) {
+                    if std::ptr::eq::<Access>(a, *w) {
+                        continue;
+                    }
+                    let what = if a.write { "also written" } else { "read" };
+                    notes.push(Diagnostic::note(a.loc, format!("'{name}' {what} here")));
+                }
+                notes.push(Diagnostic::note(
+                    d.loc,
+                    format!(
+                        "'{name}' is shared by all threads of '{pragma}'; \
+                         consider a 'private({name})' or 'reduction(+: {name})' clause"
+                    ),
+                ));
+                self.diags.report_with_notes(
+                    Level::Warning,
+                    w.loc,
+                    format!(
+                        "writing to shared variable '{name}' inside '{pragma}' \
+                         is a data race [-Wrace]"
+                    ),
+                    notes,
+                );
+                continue;
+            }
+            // Loop-carried array conflicts.
+            'var: for w in &writes {
+                match w.subscript {
+                    Some(Subscript::Constant(c)) => {
+                        self.diags.report_with_notes(
+                            Level::Warning,
+                            w.loc,
+                            format!("all iterations of '{pragma}' write '{name}[{c}]' [-Wrace]"),
+                            vec![Diagnostic::note(
+                                d.loc,
+                                format!("iterations of '{pragma}' execute concurrently"),
+                            )],
+                        );
+                        break 'var;
+                    }
+                    Some(Subscript::Affine { iv, offset }) => {
+                        let conflict = accesses.iter().find(|a| match a.subscript {
+                            Some(Subscript::Affine {
+                                iv: iv2,
+                                offset: o2,
+                            }) => iv2 == iv && o2 != offset,
+                            Some(Subscript::Constant(_)) => true,
+                            _ => false,
+                        });
+                        if let Some(other) = conflict {
+                            let what = if other.write { "written" } else { "read" };
+                            self.diags.report_with_notes(
+                                Level::Warning,
+                                w.loc,
+                                format!(
+                                    "loop-carried access to shared array '{name}' in \
+                                     '{pragma}': '{name}[{}]' is written while '{name}[{}]' \
+                                     is {what} by a different iteration [-Wrace]",
+                                    fmt_sub(w.subscript.expect("write has a subscript")),
+                                    fmt_sub(other.subscript.expect("conflict has a subscript")),
+                                ),
+                                vec![Diagnostic::note(
+                                    other.loc,
+                                    format!("conflicting {what} here"),
+                                )],
+                            );
+                            break 'var;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

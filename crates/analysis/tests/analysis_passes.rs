@@ -1,0 +1,248 @@
+//! End-to-end tests for the AST-level analysis passes: parse + Sema a C
+//! source, run the suite, inspect the produced diagnostics.
+
+use omplt_analysis::{run_analyses, AnalysisReport};
+use omplt_ast::TranslationUnit;
+use omplt_lex::Preprocessor;
+use omplt_parse::parse_translation_unit;
+use omplt_sema::{OpenMpCodegenMode, Sema};
+use omplt_source::{Diagnostic, DiagnosticsEngine, FileManager, Level, SourceManager};
+use std::cell::RefCell;
+
+fn parse(src: &str) -> (TranslationUnit, DiagnosticsEngine) {
+    let mut fm = FileManager::new();
+    let buf = fm.add_virtual_file("t.c", src);
+    let sm = RefCell::new(SourceManager::new());
+    let file_id = sm.borrow_mut().add_file(buf).0;
+    let diags = DiagnosticsEngine::new();
+    let tokens = {
+        let mut smm = sm.borrow_mut();
+        let mut pp = Preprocessor::new(&mut smm, &mut fm, &diags, file_id);
+        pp.tokenize_all()
+    };
+    let mut sema = Sema::new(&diags, &sm, OpenMpCodegenMode::Classic, true);
+    let tu = parse_translation_unit(tokens, &mut sema);
+    assert!(
+        !diags.has_errors(),
+        "unexpected Sema errors: {:?}",
+        diags
+            .all()
+            .iter()
+            .map(|d| d.message.clone())
+            .collect::<Vec<_>>()
+    );
+    (tu, diags)
+}
+
+fn analyze(src: &str) -> (Vec<Diagnostic>, AnalysisReport) {
+    let (tu, diags) = parse(src);
+    let report = run_analyses(&tu, &diags);
+    (diags.all(), report)
+}
+
+fn messages(diags: &[Diagnostic], level: Level) -> Vec<String> {
+    diags
+        .iter()
+        .filter(|d| d.level == level)
+        .map(|d| d.message.clone())
+        .collect()
+}
+
+#[test]
+fn shared_scalar_write_is_a_race() {
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int sum = 0;\n\
+         \x20 int a[8];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   sum += a[i];\n\
+         \x20 return sum;\n\
+         }\n",
+    );
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    assert_eq!(report.errors, 0);
+    let warns = messages(&diags, Level::Warning);
+    assert!(warns[0].contains("shared variable 'sum'"), "{}", warns[0]);
+    assert!(warns[0].ends_with("[-Wrace]"), "{}", warns[0]);
+    // The fix-it style note suggests privatization clauses.
+    let w = diags.iter().find(|d| d.level == Level::Warning).unwrap();
+    assert!(
+        w.notes
+            .iter()
+            .any(|n| n.message.contains("reduction(+: sum)")),
+        "{:?}",
+        w.notes
+    );
+}
+
+#[test]
+fn reduction_clause_silences_the_race() {
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int sum = 0;\n\
+         \x20 int a[8];\n\
+         \x20 #pragma omp parallel for reduction(+: sum)\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   sum += a[i];\n\
+         \x20 return sum;\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn private_clause_and_locals_are_not_shared() {
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int t = 0;\n\
+         \x20 int a[8];\n\
+         \x20 #pragma omp parallel for private(t)\n\
+         \x20 for (int i = 0; i < 8; i += 1) {\n\
+         \x20   int u = i + 1;\n\
+         \x20   t = u * 2;\n\
+         \x20   a[i] = t + u;\n\
+         \x20 }\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn loop_carried_array_write_is_a_race() {
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[16];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 15; i += 1)\n\
+         \x20   a[i] = a[i + 1] + 1;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    let warns = messages(&diags, Level::Warning);
+    assert!(warns[0].contains("loop-carried"), "{}", warns[0]);
+    assert!(warns[0].contains("'a[i]' is written"), "{}", warns[0]);
+    assert!(warns[0].contains("'a[i + 1]' is read"), "{}", warns[0]);
+    assert!(warns[0].ends_with("[-Wrace]"), "{}", warns[0]);
+}
+
+#[test]
+fn disjoint_arrays_are_clean() {
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[16];\n\
+         \x20 int b[16];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 1; i < 15; i += 1)\n\
+         \x20   b[i] = a[i - 1] + a[i] + a[i + 1];\n\
+         \x20 return b[1];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn constant_subscript_write_is_a_race() {
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[8];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   a[0] = i;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    let warns = messages(&diags, Level::Warning);
+    assert!(warns[0].contains("write 'a[0]'"), "{}", warns[0]);
+}
+
+#[test]
+fn imperfect_tile_nest_is_an_error() {
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 #pragma omp tile sizes(4, 4)\n\
+         \x20 for (int i = 0; i < 8; i += 1) {\n\
+         \x20   int t = i * 8;\n\
+         \x20   for (int j = 0; j < 8; j += 1)\n\
+         \x20     a[t + j] = t;\n\
+         \x20 }\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(errs[0].contains("perfectly nested"), "{}", errs[0]);
+    assert!(
+        errs[0].contains("#pragma omp tile sizes(4, 4)"),
+        "{}",
+        errs[0]
+    );
+    let e = diags.iter().find(|d| d.level == Level::Error).unwrap();
+    assert!(
+        e.notes
+            .iter()
+            .any(|n| n.message.contains("2 perfectly nested loops")),
+        "{:?}",
+        e.notes
+    );
+}
+
+#[test]
+fn perfect_tile_nest_is_clean() {
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 #pragma omp tile sizes(4, 4)\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   for (int j = 0; j < 8; j += 1)\n\
+         \x20     a[i * 8 + j] = i + j;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn return_escaping_unroll_is_an_error() {
+    let (diags, report) = analyze(
+        "int f() {\n\
+         \x20 #pragma omp unroll partial(2)\n\
+         \x20 for (int i = 0; i < 8; i += 1) {\n\
+         \x20   if (i == 3) return 1;\n\
+         \x20 }\n\
+         \x20 return 0;\n\
+         }\n\
+         int main() { return f(); }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(errs[0].contains("cannot 'return'"), "{}", errs[0]);
+    assert!(
+        errs[0].contains("#pragma omp unroll partial(2)"),
+        "{}",
+        errs[0]
+    );
+}
+
+#[test]
+fn collapse_nest_accesses_both_ivs() {
+    // Writes are indexed by the collapsed i-loop IV; reading a j-shifted
+    // element of the same row is loop-carried across the j dimension.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 #pragma omp parallel for collapse(2)\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   for (int j = 0; j < 7; j += 1)\n\
+         \x20     a[j] = a[j + 1];\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    let warns = messages(&diags, Level::Warning);
+    assert!(warns[0].contains("'a[j]' is written"), "{}", warns[0]);
+}

@@ -233,7 +233,14 @@ impl ASTContext {
     }
 
     /// A binary arithmetic/comparison node with explicit result type.
-    pub fn binary(&self, op: BinOp, l: P<Expr>, r: P<Expr>, ty: P<Type>, loc: SourceLocation) -> P<Expr> {
+    pub fn binary(
+        &self,
+        op: BinOp,
+        l: P<Expr>,
+        r: P<Expr>,
+        ty: P<Type>,
+        loc: SourceLocation,
+    ) -> P<Expr> {
         Expr::rvalue(ExprKind::Binary(op, l, r), ty, loc)
     }
 
@@ -255,7 +262,11 @@ impl ASTContext {
             return e;
         }
         let loc = e.loc;
-        Expr::rvalue(ExprKind::ImplicitCast(CastKind::IntegralCast, e), P::clone(to), loc)
+        Expr::rvalue(
+            ExprKind::ImplicitCast(CastKind::IntegralCast, e),
+            P::clone(to),
+            loc,
+        )
     }
 
     /// `min(a, b)` built as `a < b ? a : b` (used by tile bounds).
@@ -287,8 +298,14 @@ mod tests {
     #[test]
     fn unsigned_of_same_width_rule() {
         let ctx = ASTContext::new();
-        assert_eq!(ctx.unsigned_of_same_width(&ctx.int()).spelling(), "unsigned int");
-        assert_eq!(ctx.unsigned_of_same_width(&ctx.long_ty()).spelling(), "unsigned long");
+        assert_eq!(
+            ctx.unsigned_of_same_width(&ctx.int()).spelling(),
+            "unsigned int"
+        );
+        assert_eq!(
+            ctx.unsigned_of_same_width(&ctx.long_ty()).spelling(),
+            "unsigned long"
+        );
         // pointers difference with size_t-width counter
         let p = ctx.pointer_to(ctx.double_ty());
         assert_eq!(ctx.unsigned_of_same_width(&p).spelling(), "unsigned long");
@@ -301,7 +318,10 @@ mod tests {
         assert!(!v.used.get());
         let r = ctx.read_var(&v, SourceLocation::INVALID);
         assert!(v.used.get());
-        assert!(matches!(r.kind, ExprKind::ImplicitCast(CastKind::LValueToRValue, _)));
+        assert!(matches!(
+            r.kind,
+            ExprKind::ImplicitCast(CastKind::LValueToRValue, _)
+        ));
     }
 
     #[test]
@@ -317,6 +337,9 @@ mod tests {
         let c = ctx.int_convert(P::clone(&e), &ctx.int());
         assert!(P::ptr_eq(&e, &c));
         let widened = ctx.int_convert(e, &ctx.long_ty());
-        assert!(matches!(widened.kind, ExprKind::ImplicitCast(CastKind::IntegralCast, _)));
+        assert!(matches!(
+            widened.kind,
+            ExprKind::ImplicitCast(CastKind::IntegralCast, _)
+        ));
     }
 }

@@ -31,11 +31,17 @@ struct DumpNode {
 
 impl DumpNode {
     fn leaf(label: impl Into<String>) -> DumpNode {
-        DumpNode { label: label.into(), children: Vec::new() }
+        DumpNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
     }
 
     fn new(label: impl Into<String>, children: Vec<DumpNode>) -> DumpNode {
-        DumpNode { label: label.into(), children }
+        DumpNode {
+            label: label.into(),
+            children,
+        }
     }
 
     fn render(&self, out: &mut String) {
@@ -102,12 +108,22 @@ fn function_node(f: &P<FunctionDecl>, opts: DumpOptions) -> DumpNode {
     let mut children: Vec<DumpNode> = f
         .params
         .iter()
-        .map(|p| DumpNode::leaf(format!("ParmVarDecl{} {} '{}'", used_marker(p), p.name, p.ty.spelling())))
+        .map(|p| {
+            DumpNode::leaf(format!(
+                "ParmVarDecl{} {} '{}'",
+                used_marker(p),
+                p.name,
+                p.ty.spelling()
+            ))
+        })
         .collect();
     if let Some(body) = f.body.borrow().as_ref() {
         children.push(stmt_node(body, opts));
     }
-    DumpNode::new(format!("FunctionDecl {} '{}'", f.name, f.ty.spelling()), children)
+    DumpNode::new(
+        format!("FunctionDecl {} '{}'", f.name, f.ty.spelling()),
+        children,
+    )
 }
 
 fn used_marker(v: &VarDecl) -> &'static str {
@@ -120,17 +136,28 @@ fn used_marker(v: &VarDecl) -> &'static str {
 
 fn var_decl_node(v: &P<VarDecl>, opts: DumpOptions) -> DumpNode {
     match v.kind {
-        VarKind::ImplicitParam => {
-            DumpNode::leaf(format!("ImplicitParamDecl implicit {} '{}'", v.name, v.ty.spelling()))
-        }
-        VarKind::Param => {
-            DumpNode::leaf(format!("ParmVarDecl{} {} '{}'", used_marker(v), v.name, v.ty.spelling()))
-        }
+        VarKind::ImplicitParam => DumpNode::leaf(format!(
+            "ImplicitParamDecl implicit {} '{}'",
+            v.name,
+            v.ty.spelling()
+        )),
+        VarKind::Param => DumpNode::leaf(format!(
+            "ParmVarDecl{} {} '{}'",
+            used_marker(v),
+            v.name,
+            v.ty.spelling()
+        )),
         _ => {
             let implicit = if v.implicit { " implicit" } else { "" };
             match &v.init {
                 Some(init) => DumpNode::new(
-                    format!("VarDecl{}{} {} '{}' cinit", implicit, used_marker(v), v.name, v.ty.spelling()),
+                    format!(
+                        "VarDecl{}{} {} '{}' cinit",
+                        implicit,
+                        used_marker(v),
+                        v.name,
+                        v.ty.spelling()
+                    ),
                     vec![expr_node(init, opts)],
                 ),
                 None => DumpNode::leaf(format!(
@@ -159,7 +186,13 @@ fn captured_stmt_node(c: &P<CapturedStmt>, opts: DumpOptions) -> DumpNode {
         )));
     }
     let nothrow = if c.decl.nothrow { " nothrow" } else { "" };
-    DumpNode::new("CapturedStmt", vec![DumpNode::new(format!("CapturedDecl{nothrow}"), decl_children)])
+    DumpNode::new(
+        "CapturedStmt",
+        vec![DumpNode::new(
+            format!("CapturedDecl{nothrow}"),
+            decl_children,
+        )],
+    )
 }
 
 fn null_placeholder() -> DumpNode {
@@ -168,12 +201,14 @@ fn null_placeholder() -> DumpNode {
 
 fn stmt_node(s: &P<Stmt>, opts: DumpOptions) -> DumpNode {
     match &s.kind {
-        StmtKind::Compound(stmts) => {
-            DumpNode::new("CompoundStmt", stmts.iter().map(|c| stmt_node(c, opts)).collect())
-        }
-        StmtKind::Decl(decls) => {
-            DumpNode::new("DeclStmt", decls.iter().map(|d| decl_node(d, opts)).collect())
-        }
+        StmtKind::Compound(stmts) => DumpNode::new(
+            "CompoundStmt",
+            stmts.iter().map(|c| stmt_node(c, opts)).collect(),
+        ),
+        StmtKind::Decl(decls) => DumpNode::new(
+            "DeclStmt",
+            decls.iter().map(|d| decl_node(d, opts)).collect(),
+        ),
         StmtKind::Expr(e) => expr_node(e, opts),
         StmtKind::If { cond, then, els } => {
             let mut ch = vec![expr_node(cond, opts), stmt_node(then, opts)];
@@ -182,21 +217,31 @@ fn stmt_node(s: &P<Stmt>, opts: DumpOptions) -> DumpNode {
             }
             DumpNode::new("IfStmt", ch)
         }
-        StmtKind::While { cond, body } => {
-            DumpNode::new("WhileStmt", vec![expr_node(cond, opts), stmt_node(body, opts)])
-        }
+        StmtKind::While { cond, body } => DumpNode::new(
+            "WhileStmt",
+            vec![expr_node(cond, opts), stmt_node(body, opts)],
+        ),
         StmtKind::DoWhile { body, cond } => {
             DumpNode::new("DoStmt", vec![stmt_node(body, opts), expr_node(cond, opts)])
         }
-        StmtKind::For { init, cond, inc, body } => {
-            let mut ch = Vec::new();
-            ch.push(init.as_ref().map_or_else(null_placeholder, |i| stmt_node(i, opts)));
-            // Clang's ForStmt has a second slot for the C99 condition
-            // declaration, always null in our subset.
-            ch.push(null_placeholder());
-            ch.push(cond.as_ref().map_or_else(null_placeholder, |c| expr_node(c, opts)));
-            ch.push(inc.as_ref().map_or_else(null_placeholder, |i| expr_node(i, opts)));
-            ch.push(stmt_node(body, opts));
+        StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } => {
+            let ch = vec![
+                init.as_ref()
+                    .map_or_else(null_placeholder, |i| stmt_node(i, opts)),
+                // Clang's ForStmt has a second slot for the C99 condition
+                // declaration, always null in our subset.
+                null_placeholder(),
+                cond.as_ref()
+                    .map_or_else(null_placeholder, |c| expr_node(c, opts)),
+                inc.as_ref()
+                    .map_or_else(null_placeholder, |i| expr_node(i, opts)),
+                stmt_node(body, opts),
+            ];
             DumpNode::new("ForStmt", ch)
         }
         StmtKind::CxxForRange(d) => DumpNode::new(
@@ -301,6 +346,7 @@ fn clause_node(c: &P<OMPClause>, opts: DumpOptions) -> DumpNode {
     DumpNode::new(c.kind.class_name(), ch)
 }
 
+#[allow(clippy::only_used_in_recursion)] // `opts` mirrors stmt_node's signature
 fn expr_node(e: &P<Expr>, opts: DumpOptions) -> DumpNode {
     let ty = e.ty.spelling();
     match &e.kind {
@@ -333,7 +379,10 @@ fn expr_node(e: &P<Expr>, opts: DumpOptions) -> DumpNode {
         }
         ExprKind::Call { callee, args } => {
             let mut ch = vec![DumpNode::new(
-                format!("ImplicitCastExpr '{} (*)' <FunctionToPointerDecay>", callee.ty.spelling()),
+                format!(
+                    "ImplicitCastExpr '{} (*)' <FunctionToPointerDecay>",
+                    callee.ty.spelling()
+                ),
                 vec![DumpNode::leaf(format!(
                     "DeclRefExpr '{}' Function '{}'",
                     callee.ty.spelling(),
@@ -345,12 +394,14 @@ fn expr_node(e: &P<Expr>, opts: DumpOptions) -> DumpNode {
             }
             DumpNode::new(format!("CallExpr '{ty}'"), ch)
         }
-        ExprKind::ImplicitCast(k, s) => {
-            DumpNode::new(format!("ImplicitCastExpr '{ty}' <{k:?}>"), vec![expr_node(s, opts)])
-        }
-        ExprKind::ExplicitCast(k, s) => {
-            DumpNode::new(format!("CStyleCastExpr '{ty}' <{k:?}>"), vec![expr_node(s, opts)])
-        }
+        ExprKind::ImplicitCast(k, s) => DumpNode::new(
+            format!("ImplicitCastExpr '{ty}' <{k:?}>"),
+            vec![expr_node(s, opts)],
+        ),
+        ExprKind::ExplicitCast(k, s) => DumpNode::new(
+            format!("CStyleCastExpr '{ty}' <{k:?}>"),
+            vec![expr_node(s, opts)],
+        ),
         ExprKind::Paren(s) => DumpNode::new(format!("ParenExpr '{ty}'"), vec![expr_node(s, opts)]),
         ExprKind::ArraySubscript(b, i) => DumpNode::new(
             format!("ArraySubscriptExpr '{ty}'"),
@@ -362,11 +413,15 @@ fn expr_node(e: &P<Expr>, opts: DumpOptions) -> DumpNode {
         ),
         ExprKind::ConstantExpr { value, sub } => DumpNode::new(
             format!("ConstantExpr '{ty}'"),
-            vec![DumpNode::leaf(format!("value: Int {value}")), expr_node(sub, opts)],
+            vec![
+                DumpNode::leaf(format!("value: Int {value}")),
+                expr_node(sub, opts),
+            ],
         ),
-        ExprKind::SizeOf(t) => {
-            DumpNode::leaf(format!("UnaryExprOrTypeTraitExpr '{ty}' sizeof '{}'", t.spelling()))
-        }
+        ExprKind::SizeOf(t) => DumpNode::leaf(format!(
+            "UnaryExprOrTypeTraitExpr '{ty}' sizeof '{}'",
+            t.spelling()
+        )),
     }
 }
 
@@ -445,7 +500,10 @@ mod tests {
         let shadow = ctx_loop(&ctx);
         let mut dir = OMPDirective::new(
             OMPDirectiveKind::Unroll,
-            vec![OMPClause::new(OMPClauseKind::Partial(None), SourceLocation::INVALID)],
+            vec![OMPClause::new(
+                OMPClauseKind::Partial(None),
+                SourceLocation::INVALID,
+            )],
             Some(assoc),
             SourceLocation::INVALID,
         );
@@ -457,7 +515,12 @@ mod tests {
         assert!(plain.contains("OMPPartialClause"));
         assert!(!plain.contains("TransformedStmt"), "{plain}");
 
-        let full = dump_stmt(&s, DumpOptions { show_transformed: true });
+        let full = dump_stmt(
+            &s,
+            DumpOptions {
+                show_transformed: true,
+            },
+        );
         assert!(full.contains("TransformedStmt"), "{full}");
     }
 
@@ -468,7 +531,11 @@ mod tests {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
         let lit = ctx.int_lit(2, ctx.int(), loc);
-        let ce = Expr::rvalue(ExprKind::ConstantExpr { value: 2, sub: lit }, ctx.int(), loc);
+        let ce = Expr::rvalue(
+            ExprKind::ConstantExpr { value: 2, sub: lit },
+            ctx.int(),
+            loc,
+        );
         let d = dump_expr(&ce, DumpOptions::default());
         assert!(d.starts_with("ConstantExpr 'int'\n"), "{d}");
         assert!(d.contains("|-value: Int 2"), "{d}");
@@ -487,7 +554,10 @@ mod tests {
         );
         let d = dump_stmt(&s, DumpOptions::default());
         assert!(d.starts_with("AttributedStmt\n"), "{d}");
-        assert!(d.contains("LoopHintAttr Implicit loop UnrollCount Numeric"), "{d}");
+        assert!(
+            d.contains("LoopHintAttr Implicit loop UnrollCount Numeric"),
+            "{d}"
+        );
         assert!(d.contains("IntegerLiteral 'int' 2"), "{d}");
     }
 }

@@ -46,7 +46,10 @@ impl UnOp {
 
     /// Whether the operator mutates its operand.
     pub fn is_inc_dec(self) -> bool {
-        matches!(self, UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec)
+        matches!(
+            self,
+            UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec
+        )
     }
 }
 
@@ -129,8 +132,17 @@ impl BinOp {
         use BinOp::*;
         matches!(
             self,
-            Assign | MulAssign | DivAssign | RemAssign | AddAssign | SubAssign | ShlAssign
-                | ShrAssign | AndAssign | XorAssign | OrAssign
+            Assign
+                | MulAssign
+                | DivAssign
+                | RemAssign
+                | AddAssign
+                | SubAssign
+                | ShlAssign
+                | ShrAssign
+                | AndAssign
+                | XorAssign
+                | OrAssign
         )
     }
 
@@ -250,12 +262,22 @@ pub struct Expr {
 impl Expr {
     /// Creates an rvalue expression node.
     pub fn rvalue(kind: ExprKind, ty: P<Type>, loc: SourceLocation) -> P<Expr> {
-        P::new(Expr { kind, ty, category: ValueCategory::RValue, loc })
+        P::new(Expr {
+            kind,
+            ty,
+            category: ValueCategory::RValue,
+            loc,
+        })
     }
 
     /// Creates an lvalue expression node.
     pub fn lvalue(kind: ExprKind, ty: P<Type>, loc: SourceLocation) -> P<Expr> {
-        P::new(Expr { kind, ty, category: ValueCategory::LValue, loc })
+        P::new(Expr {
+            kind,
+            ty,
+            category: ValueCategory::LValue,
+            loc,
+        })
     }
 
     /// True if this is an lvalue.
@@ -266,9 +288,9 @@ impl Expr {
     /// Strips `Paren`, `ImplicitCast` and `ConstantExpr` wrappers.
     pub fn ignore_wrappers(self: &P<Expr>) -> &P<Expr> {
         match &self.kind {
-            ExprKind::Paren(e) | ExprKind::ImplicitCast(_, e) | ExprKind::ConstantExpr { sub: e, .. } => {
-                e.ignore_wrappers()
-            }
+            ExprKind::Paren(e)
+            | ExprKind::ImplicitCast(_, e)
+            | ExprKind::ConstantExpr { sub: e, .. } => e.ignore_wrappers(),
             _ => self,
         }
     }
@@ -294,9 +316,7 @@ impl Expr {
             // are initialized once and never reassigned, so a reference to
             // one is as constant as its initializer. This lets `unroll full`
             // see through the generated loop of an inner transformation.
-            ExprKind::DeclRef(v) if v.implicit => {
-                v.init.as_ref().and_then(|i| i.eval_const_int())
-            }
+            ExprKind::DeclRef(v) if v.implicit => v.init.as_ref().and_then(|i| i.eval_const_int()),
             ExprKind::Paren(e) => e.eval_const_int(),
             // LValueToRValue folds iff the wrapped node itself is constant
             // (a DeclRef never is; TreeTransform substitution can leave a
@@ -352,7 +372,11 @@ pub fn truncate_to(v: i128, ty: &Type) -> i128 {
     match ty.kind {
         crate::ty::TypeKind::Int { width, signed } => {
             let bits = width.bits();
-            let mask = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+            let mask = if bits == 128 {
+                u128::MAX
+            } else {
+                (1u128 << bits) - 1
+            };
             let t = (v as u128) & mask;
             if signed && bits < 128 && (t >> (bits - 1)) & 1 == 1 {
                 (t as i128) - (1i128 << bits)
@@ -372,18 +396,33 @@ mod tests {
     use omplt_source::SourceLocation;
 
     fn int_ty() -> P<Type> {
-        Type::new(TypeKind::Int { width: IntWidth::W32, signed: true })
+        Type::new(TypeKind::Int {
+            width: IntWidth::W32,
+            signed: true,
+        })
     }
 
     fn lit(v: i128) -> P<Expr> {
-        Expr::rvalue(ExprKind::IntegerLiteral(v), int_ty(), SourceLocation::INVALID)
+        Expr::rvalue(
+            ExprKind::IntegerLiteral(v),
+            int_ty(),
+            SourceLocation::INVALID,
+        )
     }
 
     #[test]
     fn const_eval_arithmetic() {
-        let e = Expr::rvalue(ExprKind::Binary(BinOp::Add, lit(2), lit(3)), int_ty(), SourceLocation::INVALID);
+        let e = Expr::rvalue(
+            ExprKind::Binary(BinOp::Add, lit(2), lit(3)),
+            int_ty(),
+            SourceLocation::INVALID,
+        );
         assert_eq!(e.eval_const_int(), Some(5));
-        let m = Expr::rvalue(ExprKind::Binary(BinOp::Mul, lit(6), lit(7)), int_ty(), SourceLocation::INVALID);
+        let m = Expr::rvalue(
+            ExprKind::Binary(BinOp::Mul, lit(6), lit(7)),
+            int_ty(),
+            SourceLocation::INVALID,
+        );
         assert_eq!(m.eval_const_int(), Some(42));
     }
 
@@ -400,7 +439,11 @@ mod tests {
 
     #[test]
     fn const_eval_division_by_zero_fails() {
-        let e = Expr::rvalue(ExprKind::Binary(BinOp::Div, lit(1), lit(0)), int_ty(), SourceLocation::INVALID);
+        let e = Expr::rvalue(
+            ExprKind::Binary(BinOp::Div, lit(1), lit(0)),
+            int_ty(),
+            SourceLocation::INVALID,
+        );
         assert_eq!(e.eval_const_int(), None);
     }
 
@@ -409,23 +452,35 @@ mod tests {
         let inner = lit(9);
         let wrapped = Expr::rvalue(
             ExprKind::Paren(Expr::rvalue(
-                ExprKind::ConstantExpr { value: 9, sub: inner },
+                ExprKind::ConstantExpr {
+                    value: 9,
+                    sub: inner,
+                },
                 int_ty(),
                 SourceLocation::INVALID,
             )),
             int_ty(),
             SourceLocation::INVALID,
         );
-        assert!(matches!(wrapped.ignore_wrappers().kind, ExprKind::IntegerLiteral(9)));
+        assert!(matches!(
+            wrapped.ignore_wrappers().kind,
+            ExprKind::IntegerLiteral(9)
+        ));
         assert_eq!(wrapped.eval_const_int(), Some(9));
     }
 
     #[test]
     fn truncate_semantics() {
-        let u8t = Type::new(TypeKind::Int { width: IntWidth::W8, signed: false });
+        let u8t = Type::new(TypeKind::Int {
+            width: IntWidth::W8,
+            signed: false,
+        });
         assert_eq!(truncate_to(256, &u8t), 0);
         assert_eq!(truncate_to(-1, &u8t), 255);
-        let i8t = Type::new(TypeKind::Int { width: IntWidth::W8, signed: true });
+        let i8t = Type::new(TypeKind::Int {
+            width: IntWidth::W8,
+            signed: true,
+        });
         assert_eq!(truncate_to(128, &i8t), -128);
         assert_eq!(truncate_to(-129, &i8t), 127);
     }
@@ -442,7 +497,10 @@ mod tests {
     fn sizeof_evaluates() {
         let e = Expr::rvalue(
             ExprKind::SizeOf(Type::new(TypeKind::Double)),
-            Type::new(TypeKind::Int { width: IntWidth::W64, signed: false }),
+            Type::new(TypeKind::Int {
+                width: IntWidth::W64,
+                signed: false,
+            }),
             SourceLocation::INVALID,
         );
         assert_eq!(e.eval_const_int(), Some(8));

@@ -32,7 +32,9 @@ pub mod ty;
 pub mod visitor;
 
 pub use context::ASTContext;
-pub use decl::{CapturedDecl, Decl, DeclId, DeclKind, FunctionDecl, TranslationUnit, VarDecl, VarKind};
+pub use decl::{
+    CapturedDecl, Decl, DeclId, DeclKind, FunctionDecl, TranslationUnit, VarDecl, VarKind,
+};
 pub use dump::{dump_stmt, dump_transformed_only, dump_translation_unit, DumpOptions};
 pub use expr::{BinOp, CastKind, Expr, ExprKind, UnOp, ValueCategory};
 pub use omp::{
@@ -43,6 +45,9 @@ pub use printer::{print_expr, print_stmt, print_translation_unit};
 pub use stats::{stmt_stats, NodeStats};
 pub use stmt::{Attr, Capture, CaptureKind, CapturedStmt, CxxForRangeData, Stmt, StmtKind};
 pub use ty::{IntWidth, Type, TypeKind};
+pub use visitor::{
+    clause_exprs, walk_clauses, walk_expr, walk_stmt, OMPClauseVisitor, StmtVisitor,
+};
 
 /// Owning pointer for immutable AST subtrees (Clang uses raw pointers into an
 /// arena; we use `Rc` which also gives cheap structural sharing to

@@ -93,7 +93,10 @@ impl OMPDirectiveKind {
 
     /// Whether the directive forks a thread team.
     pub fn is_parallel(self) -> bool {
-        matches!(self, OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor)
+        matches!(
+            self,
+            OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor
+        )
     }
 
     /// Whether the directive workshares iterations across a team.
@@ -359,7 +362,14 @@ impl OMPDirective {
         associated: Option<P<Stmt>>,
         loc: SourceLocation,
     ) -> OMPDirective {
-        OMPDirective { kind, clauses, associated, loop_helpers: None, transformed: None, loc }
+        OMPDirective {
+            kind,
+            clauses,
+            associated,
+            loop_helpers: None,
+            transformed: None,
+            loc,
+        }
     }
 
     /// The semantically equivalent statement a consuming directive analyzes
@@ -377,24 +387,27 @@ impl OMPDirective {
 
     /// Whether a `full` clause is present.
     pub fn has_full_clause(&self) -> bool {
-        self.find_clause(|k| matches!(k, OMPClauseKind::Full)).is_some()
+        self.find_clause(|k| matches!(k, OMPClauseKind::Full))
+            .is_some()
     }
 
     /// The `partial` clause factor: `Some(None)` for bare `partial`,
     /// `Some(Some(e))` with the factor expression, `None` if absent.
     pub fn partial_clause(&self) -> Option<Option<&P<Expr>>> {
-        self.find_clause(|k| matches!(k, OMPClauseKind::Partial(_))).map(|c| match &c.kind {
-            OMPClauseKind::Partial(f) => f.as_ref(),
-            _ => unreachable!(),
-        })
+        self.find_clause(|k| matches!(k, OMPClauseKind::Partial(_)))
+            .map(|c| match &c.kind {
+                OMPClauseKind::Partial(f) => f.as_ref(),
+                _ => unreachable!(),
+            })
     }
 
     /// The `sizes` clause arguments, if present.
     pub fn sizes_clause(&self) -> Option<&[P<Expr>]> {
-        self.find_clause(|k| matches!(k, OMPClauseKind::Sizes(_))).map(|c| match &c.kind {
-            OMPClauseKind::Sizes(s) => s.as_slice(),
-            _ => unreachable!(),
-        })
+        self.find_clause(|k| matches!(k, OMPClauseKind::Sizes(_)))
+            .map(|c| match &c.kind {
+                OMPClauseKind::Sizes(s) => s.as_slice(),
+                _ => unreachable!(),
+            })
     }
 
     /// The `collapse(n)` value (constant-evaluated), defaulting to 1.
@@ -415,7 +428,10 @@ impl OMPDirective {
             s.push(' ');
             s.push_str(c.kind.name());
             match &c.kind {
-                OMPClauseKind::Partial(Some(e)) | OMPClauseKind::Collapse(e) | OMPClauseKind::NumThreads(e) | OMPClauseKind::Grainsize(e) => {
+                OMPClauseKind::Partial(Some(e))
+                | OMPClauseKind::Collapse(e)
+                | OMPClauseKind::NumThreads(e)
+                | OMPClauseKind::Grainsize(e) => {
                     if let Some(v) = e.eval_const_int() {
                         s.push_str(&format!("({v})"));
                     } else {
@@ -425,7 +441,10 @@ impl OMPDirective {
                 OMPClauseKind::Sizes(es) => {
                     let vals: Vec<String> = es
                         .iter()
-                        .map(|e| e.eval_const_int().map_or("...".to_string(), |v| v.to_string()))
+                        .map(|e| {
+                            e.eval_const_int()
+                                .map_or("...".to_string(), |v| v.to_string())
+                        })
                         .collect();
                     s.push_str(&format!("({})", vals.join(", ")));
                 }
@@ -485,7 +504,10 @@ impl OMPCanonicalLoop {
             loop_var_fn: mk_captured(),
             loop_var_ref: Expr::rvalue(
                 ExprKind::IntegerLiteral(0),
-                Type::new(TypeKind::Int { width: crate::ty::IntWidth::W32, signed: true }),
+                Type::new(TypeKind::Int {
+                    width: crate::ty::IntWidth::W32,
+                    signed: true,
+                }),
                 SourceLocation::INVALID,
             ),
         })
@@ -525,7 +547,10 @@ mod tests {
         assert_eq!(OMPDirectiveKind::Tile.class_name(), "OMPTileDirective");
         assert_eq!(OMPClauseKind::Full.class_name(), "OMPFullClause");
         assert_eq!(OMPClauseKind::Sizes(vec![]).class_name(), "OMPSizesClause");
-        assert_eq!(OMPClauseKind::Partial(None).class_name(), "OMPPartialClause");
+        assert_eq!(
+            OMPClauseKind::Partial(None).class_name(),
+            "OMPPartialClause"
+        );
     }
 
     #[test]
@@ -548,7 +573,10 @@ mod tests {
     fn clause_queries() {
         let d = OMPDirective::new(
             OMPDirectiveKind::Unroll,
-            vec![OMPClause::new(OMPClauseKind::Partial(None), SourceLocation::INVALID)],
+            vec![OMPClause::new(
+                OMPClauseKind::Partial(None),
+                SourceLocation::INVALID,
+            )],
             None,
             SourceLocation::INVALID,
         );

@@ -33,9 +33,18 @@ pub fn print_translation_unit(tu: &TranslationUnit) -> String {
                 p.out.push_str(";\n");
             }
             Decl::Function(f) => {
-                let params: Vec<String> =
-                    f.params.iter().map(|q| format!("{} {}", q.ty.spelling(), q.name)).collect();
-                let _ = write!(p.out, "{} {}({})", f.return_type().spelling(), f.name, params.join(", "));
+                let params: Vec<String> = f
+                    .params
+                    .iter()
+                    .map(|q| format!("{} {}", q.ty.spelling(), q.name))
+                    .collect();
+                let _ = write!(
+                    p.out,
+                    "{} {}({})",
+                    f.return_type().spelling(),
+                    f.name,
+                    params.join(", ")
+                );
                 match f.body.borrow().as_ref() {
                     Some(b) => {
                         p.out.push(' ');
@@ -97,7 +106,8 @@ impl Printer {
                     match d {
                         Decl::Var(v) => self.var_decl(v),
                         Decl::Function(f) => {
-                            let _ = write!(self.out, "{} {}(...)", f.return_type().spelling(), f.name);
+                            let _ =
+                                write!(self.out, "{} {}(...)", f.return_type().spelling(), f.name);
                         }
                     }
                 }
@@ -132,7 +142,12 @@ impl Printer {
                 self.expr(cond);
                 self.out.push_str(");\n");
             }
-            StmtKind::For { init, cond, inc, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => {
                 self.out.push_str("for (");
                 match init {
                     Some(i) => match &i.kind {
@@ -163,11 +178,16 @@ impl Printer {
                 if let Some(i) = inc {
                     self.expr(i);
                 }
-                self.out.push_str(")");
+                self.out.push(')');
                 self.block_or_line(body);
             }
             StmtKind::CxxForRange(d) => {
-                let _ = write!(self.out, "for ({} {} : ", d.loop_var.ty.spelling(), d.loop_var.name);
+                let _ = write!(
+                    self.out,
+                    "for ({} {} : ",
+                    d.loop_var.ty.spelling(),
+                    d.loop_var.name
+                );
                 // print the range initializer
                 if let StmtKind::Decl(decls) = &d.range_stmt.kind {
                     if let Some(Decl::Var(v)) = decls.first() {
@@ -176,7 +196,7 @@ impl Printer {
                         }
                     }
                 }
-                self.out.push_str(")");
+                self.out.push(')');
                 self.block_or_line(&d.body);
             }
             StmtKind::Return(e) => {
@@ -342,8 +362,20 @@ mod tests {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(0, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(10, ctx.int(), loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(10, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let s = Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -371,8 +403,20 @@ mod tests {
     fn prints_nested_binary_with_parens() {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
-        let inner = ctx.binary(BinOp::Add, ctx.int_lit(1, ctx.int(), loc), ctx.int_lit(2, ctx.int(), loc), ctx.int(), loc);
-        let outer = ctx.binary(BinOp::Mul, inner, ctx.int_lit(3, ctx.int(), loc), ctx.int(), loc);
+        let inner = ctx.binary(
+            BinOp::Add,
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int_lit(2, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
+        let outer = ctx.binary(
+            BinOp::Mul,
+            inner,
+            ctx.int_lit(3, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         assert_eq!(print_expr(&outer), "(1 + 2) * 3");
     }
 
@@ -382,7 +426,15 @@ mod tests {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
         let body = Stmt::new(StmtKind::Null, loc);
-        let lp = Stmt::new(StmtKind::For { init: None, cond: None, inc: None, body }, loc);
+        let lp = Stmt::new(
+            StmtKind::For {
+                init: None,
+                cond: None,
+                inc: None,
+                body,
+            },
+            loc,
+        );
         let d = OMPDirective::new(
             OMPDirectiveKind::Unroll,
             vec![OMPClause::new(

@@ -58,7 +58,9 @@ impl StmtVisitor for StatsVisitor {
 
 /// Counts the nodes in `s`.
 pub fn stmt_stats(s: &P<Stmt>) -> NodeStats {
-    let mut v = StatsVisitor { stats: NodeStats::default() };
+    let mut v = StatsVisitor {
+        stats: NodeStats::default(),
+    };
     v.visit_stmt(s);
     v.stats
 }
@@ -90,7 +92,12 @@ mod tests {
     fn null_loop() -> P<Stmt> {
         let loc = SourceLocation::INVALID;
         Stmt::new(
-            StmtKind::For { init: None, cond: None, inc: None, body: Stmt::new(StmtKind::Null, loc) },
+            StmtKind::For {
+                init: None,
+                cond: None,
+                inc: None,
+                body: Stmt::new(StmtKind::Null, loc),
+            },
             loc,
         )
     }
@@ -105,7 +112,12 @@ mod tests {
 
     #[test]
     fn transformed_subtree_counts_as_shadow() {
-        let mut d = OMPDirective::new(OMPDirectiveKind::Unroll, vec![], Some(null_loop()), SourceLocation::INVALID);
+        let mut d = OMPDirective::new(
+            OMPDirectiveKind::Unroll,
+            vec![],
+            Some(null_loop()),
+            SourceLocation::INVALID,
+        );
         d.transformed = Some(null_loop());
         let s = Stmt::new(StmtKind::OMP(P::new(d)), SourceLocation::INVALID);
         let st = stmt_stats(&s);

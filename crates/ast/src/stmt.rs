@@ -220,7 +220,12 @@ mod tests {
 
     fn for_stmt() -> P<Stmt> {
         Stmt::new(
-            StmtKind::For { init: None, cond: None, inc: None, body: null_stmt() },
+            StmtKind::For {
+                init: None,
+                cond: None,
+                inc: None,
+                body: null_stmt(),
+            },
             SourceLocation::INVALID,
         )
     }
@@ -234,7 +239,10 @@ mod tests {
     #[test]
     fn strip_through_attributes() {
         let attributed = Stmt::new(
-            StmtKind::Attributed { attrs: vec![Attr::LoopUnrollCount(2)], sub: for_stmt() },
+            StmtKind::Attributed {
+                attrs: vec![Attr::LoopUnrollCount(2)],
+                sub: for_stmt(),
+            },
             SourceLocation::INVALID,
         );
         assert!(attributed.strip_to_loop().is_loop());
@@ -254,6 +262,9 @@ mod tests {
     fn class_names_match_clang() {
         assert_eq!(for_stmt().class_name(), "ForStmt");
         assert_eq!(null_stmt().class_name(), "NullStmt");
-        assert_eq!(OMPDirectiveKind::ParallelFor.class_name(), "OMPParallelForDirective");
+        assert_eq!(
+            OMPDirectiveKind::ParallelFor.class_name(),
+            "OMPParallelForDirective"
+        );
     }
 }

@@ -172,14 +172,38 @@ impl Type {
         match &self.kind {
             TypeKind::Void => "void".into(),
             TypeKind::Bool => "bool".into(),
-            TypeKind::Int { width: IntWidth::W8, signed: true } => "char".into(),
-            TypeKind::Int { width: IntWidth::W8, signed: false } => "unsigned char".into(),
-            TypeKind::Int { width: IntWidth::W16, signed: true } => "short".into(),
-            TypeKind::Int { width: IntWidth::W16, signed: false } => "unsigned short".into(),
-            TypeKind::Int { width: IntWidth::W32, signed: true } => "int".into(),
-            TypeKind::Int { width: IntWidth::W32, signed: false } => "unsigned int".into(),
-            TypeKind::Int { width: IntWidth::W64, signed: true } => "long".into(),
-            TypeKind::Int { width: IntWidth::W64, signed: false } => "unsigned long".into(),
+            TypeKind::Int {
+                width: IntWidth::W8,
+                signed: true,
+            } => "char".into(),
+            TypeKind::Int {
+                width: IntWidth::W8,
+                signed: false,
+            } => "unsigned char".into(),
+            TypeKind::Int {
+                width: IntWidth::W16,
+                signed: true,
+            } => "short".into(),
+            TypeKind::Int {
+                width: IntWidth::W16,
+                signed: false,
+            } => "unsigned short".into(),
+            TypeKind::Int {
+                width: IntWidth::W32,
+                signed: true,
+            } => "int".into(),
+            TypeKind::Int {
+                width: IntWidth::W32,
+                signed: false,
+            } => "unsigned int".into(),
+            TypeKind::Int {
+                width: IntWidth::W64,
+                signed: true,
+            } => "long".into(),
+            TypeKind::Int {
+                width: IntWidth::W64,
+                signed: false,
+            } => "unsigned long".into(),
             TypeKind::Float => "float".into(),
             TypeKind::Double => "double".into(),
             TypeKind::Pointer(t) => format!("{} *", t.spelling()),
@@ -203,7 +227,10 @@ mod tests {
     use super::*;
 
     fn int() -> P<Type> {
-        Type::new(TypeKind::Int { width: IntWidth::W32, signed: true })
+        Type::new(TypeKind::Int {
+            width: IntWidth::W32,
+            signed: true,
+        })
     }
 
     #[test]
@@ -222,23 +249,42 @@ mod tests {
         assert_eq!(int().size_of(), 4);
         assert_eq!(Type::new(TypeKind::Pointer(int())).size_of(), 8);
         assert_eq!(Type::new(TypeKind::Array(int(), 10)).size_of(), 40);
-        assert_eq!(Type::new(TypeKind::Int { width: IntWidth::W64, signed: false }).size_of(), 8);
+        assert_eq!(
+            Type::new(TypeKind::Int {
+                width: IntWidth::W64,
+                signed: false
+            })
+            .size_of(),
+            8
+        );
         assert_eq!(Type::new(TypeKind::Bool).size_of(), 1);
     }
 
     #[test]
     fn spellings() {
         assert_eq!(int().spelling(), "int");
-        assert_eq!(Type::new(TypeKind::Pointer(Type::new(TypeKind::Double))).spelling(), "double *");
+        assert_eq!(
+            Type::new(TypeKind::Pointer(Type::new(TypeKind::Double))).spelling(),
+            "double *"
+        );
         assert_eq!(Type::new(TypeKind::Array(int(), 4)).spelling(), "int[4]");
-        let f = Type::new(TypeKind::Function { ret: Type::new(TypeKind::Void), params: vec![int()] });
+        let f = Type::new(TypeKind::Function {
+            ret: Type::new(TypeKind::Void),
+            params: vec![int()],
+        });
         assert_eq!(f.spelling(), "void (int)");
     }
 
     #[test]
     fn structural_equality() {
         assert_eq!(*int(), *int());
-        assert_ne!(*int(), *Type::new(TypeKind::Int { width: IntWidth::W32, signed: false }));
+        assert_ne!(
+            *int(),
+            *Type::new(TypeKind::Int {
+                width: IntWidth::W32,
+                signed: false
+            })
+        );
     }
 
     #[test]

@@ -67,7 +67,12 @@ pub fn walk_stmt<V: StmtVisitor + ?Sized>(v: &mut V, s: &P<Stmt>) {
             v.visit_stmt(body);
             v.visit_expr(cond);
         }
-        StmtKind::For { init, cond, inc, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } => {
             if let Some(i) = init {
                 v.visit_stmt(i);
             }
@@ -116,7 +121,10 @@ pub fn walk_stmt<V: StmtVisitor + ?Sized>(v: &mut V, s: &P<Stmt>) {
 /// it uniformly (the AST stores the helper lambdas as bare `CapturedStmt`s,
 /// exactly as `OMPCanonicalLoop` does in Clang).
 fn captured_as_stmt(c: &P<CapturedStmt>) -> P<Stmt> {
-    Stmt::new(StmtKind::Captured(P::clone(c)), omplt_source::SourceLocation::INVALID)
+    Stmt::new(
+        StmtKind::Captured(P::clone(c)),
+        omplt_source::SourceLocation::INVALID,
+    )
 }
 
 /// Recurses into the sub-expressions of `e`.
@@ -171,9 +179,9 @@ pub fn walk_clauses<V: OMPClauseVisitor + ?Sized>(v: &mut V, d: &OMPDirective) {
 pub fn clause_exprs(c: &OMPClause) -> Vec<&P<Expr>> {
     match &c.kind {
         OMPClauseKind::Schedule { chunk, .. } => chunk.iter().collect(),
-        OMPClauseKind::Collapse(e)
-        | OMPClauseKind::NumThreads(e)
-        | OMPClauseKind::Grainsize(e) => vec![e],
+        OMPClauseKind::Collapse(e) | OMPClauseKind::NumThreads(e) | OMPClauseKind::Grainsize(e) => {
+            vec![e]
+        }
         OMPClauseKind::Partial(f) => f.iter().collect(),
         OMPClauseKind::Sizes(es)
         | OMPClauseKind::Private(es)
@@ -188,7 +196,7 @@ pub fn clause_exprs(c: &OMPClause) -> Vec<&P<Expr>> {
 mod tests {
     use super::*;
     use crate::context::ASTContext;
-    use crate::omp::{OMPDirectiveKind};
+    use crate::omp::OMPDirectiveKind;
     use omplt_source::SourceLocation;
 
     /// Counts statements and expressions seen.
@@ -283,7 +291,10 @@ mod tests {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
         let c = OMPClause::new(
-            OMPClauseKind::Sizes(vec![ctx.int_lit(4, ctx.int(), loc), ctx.int_lit(8, ctx.int(), loc)]),
+            OMPClauseKind::Sizes(vec![
+                ctx.int_lit(4, ctx.int(), loc),
+                ctx.int_lit(8, ctx.int(), loc),
+            ]),
             loc,
         );
         assert_eq!(clause_exprs(&c).len(), 2);

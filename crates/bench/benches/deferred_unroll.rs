@@ -19,8 +19,12 @@ fn shadow_nodes(factor: u64) -> usize {
     let tu = ci.parse_source("d.c", &src(factor)).expect("parse");
     let f = tu.function("kernel").unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!() };
-    let StmtKind::OMP(d) = &stmts[0].kind else { panic!() };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!()
+    };
+    let StmtKind::OMP(d) = &stmts[0].kind else {
+        panic!()
+    };
     omplt_ast::stats::directive_shadow_count(d)
 }
 
@@ -30,7 +34,11 @@ fn bench_deferred(c: &mut Criterion) {
     // in the front-end).
     let n2 = shadow_nodes(2);
     for f in [4u64, 16, 64] {
-        assert_eq!(shadow_nodes(f), n2, "front-end duplication detected for factor {f}");
+        assert_eq!(
+            shadow_nodes(f),
+            n2,
+            "front-end duplication detected for factor {f}"
+        );
     }
     eprintln!("shadow-AST nodes per factor (constant): {n2}");
 
@@ -41,22 +49,30 @@ fn bench_deferred(c: &mut Criterion) {
 
     for factor in [2u64, 8, 32] {
         let source = src(factor);
-        g.bench_with_input(BenchmarkId::new("frontend_only", factor), &source, |b, s| {
-            b.iter(|| {
-                let mut ci = CompilerInstance::new(Options::default());
-                let tu = ci.parse_source("d.c", s).expect("parse");
-                ci.codegen(&tu).expect("codegen")
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("with_loop_unroll_pass", factor), &source, |b, s| {
-            b.iter(|| {
-                let mut ci = CompilerInstance::new(Options::default());
-                let tu = ci.parse_source("d.c", s).expect("parse");
-                let mut m = ci.codegen(&tu).expect("codegen");
-                ci.optimize(&mut m);
-                m
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("frontend_only", factor),
+            &source,
+            |b, s| {
+                b.iter(|| {
+                    let mut ci = CompilerInstance::new(Options::default());
+                    let tu = ci.parse_source("d.c", s).expect("parse");
+                    ci.codegen(&tu).expect("codegen")
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("with_loop_unroll_pass", factor),
+            &source,
+            |b, s| {
+                b.iter(|| {
+                    let mut ci = CompilerInstance::new(Options::default());
+                    let tu = ci.parse_source("d.c", s).expect("parse");
+                    let mut m = ci.codegen(&tu).expect("codegen");
+                    ci.optimize(&mut m);
+                    m
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -55,31 +55,39 @@ fn bench_transforms(c: &mut Criterion) {
     });
 
     for depth in [1usize, 2, 3] {
-        g.bench_with_input(BenchmarkId::new("tile_loops", depth), &depth, |b, &depth| {
-            b.iter_batched(
-                || build_nest(depth),
-                |(m, mut f, clis)| {
-                    let mut bld = IrBuilder::new(&mut f);
-                    let sizes: Vec<Value> = clis.iter().map(|_| Value::i64(4)).collect();
-                    let out = tile_loops(&mut bld, &clis, &sizes);
-                    (m, f, out)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tile_loops", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || build_nest(depth),
+                    |(m, mut f, clis)| {
+                        let mut bld = IrBuilder::new(&mut f);
+                        let sizes: Vec<Value> = clis.iter().map(|_| Value::i64(4)).collect();
+                        let out = tile_loops(&mut bld, &clis, &sizes);
+                        (m, f, out)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     for depth in [2usize, 3] {
-        g.bench_with_input(BenchmarkId::new("collapse_loops", depth), &depth, |b, &depth| {
-            b.iter_batched(
-                || build_nest(depth),
-                |(m, mut f, clis)| {
-                    let mut bld = IrBuilder::new(&mut f);
-                    let out = collapse_loops(&mut bld, &clis);
-                    (m, f, out)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("collapse_loops", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || build_nest(depth),
+                    |(m, mut f, clis)| {
+                        let mut bld = IrBuilder::new(&mut f);
+                        let out = collapse_loops(&mut bld, &clis);
+                        (m, f, out)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     g.bench_function("unroll_loop_partial_consumed", |b| {
         b.iter_batched(

@@ -27,18 +27,20 @@ fn bench_scaling(c: &mut Criterion) {
         ("irbuilder", OpenMpCodegenMode::IrBuilder),
     ] {
         for threads in [1u32, 2, 4, 8] {
-            let opts = Options { codegen_mode: mode, num_threads: threads, ..Options::default() };
+            let opts = Options {
+                codegen_mode: mode,
+                num_threads: threads,
+                ..Options::default()
+            };
             let mut ci = CompilerInstance::new(opts);
             let tu = ci.parse_source("w.c", &src).expect("parse");
             let module = ci.codegen(&tu).expect("codegen");
             // sanity: result is thread-count independent
             let expect = ci.run(&module).expect("run").stdout;
             assert!(!expect.is_empty());
-            g.bench_with_input(
-                BenchmarkId::new(label, threads),
-                &module,
-                |b, module| b.iter(|| ci.run(module).expect("run")),
-            );
+            g.bench_with_input(BenchmarkId::new(label, threads), &module, |b, module| {
+                b.iter(|| ci.run(module).expect("run"))
+            });
         }
     }
     g.finish();

@@ -14,9 +14,7 @@ pub fn nest_source(depth: usize, trip: u64, pragma: &str) -> String {
         s.push('\n');
     }
     for d in 0..depth {
-        s.push_str(&format!(
-            "  for (int i{d} = 0; i{d} < {trip}; i{d} += 1)\n"
-        ));
+        s.push_str(&format!("  for (int i{d} = 0; i{d} < {trip}; i{d} += 1)\n"));
     }
     s.push_str("    acc = acc + ");
     for d in 0..depth {

@@ -1,7 +1,7 @@
 //! Expression lowering.
 
 use crate::codegen::{ir_type, Binding, FnCodegen};
-use omplt_ast::{BinOp, CastKind, Expr, ExprKind, P, Type, TypeKind, UnOp};
+use omplt_ast::{BinOp, CastKind, Expr, ExprKind, Type, TypeKind, UnOp, P};
 use omplt_ir::{BinOpKind, CastOp, CmpPred, IrType, Value};
 
 impl FnCodegen<'_, '_> {
@@ -12,7 +12,9 @@ impl FnCodegen<'_, '_> {
                 let b = self.bindings.get(&v.id).copied().unwrap_or_else(|| {
                     // Unbound: a global, or a late-bound variable slot.
                     if let Some(&sym) = self.globals.get(&v.id) {
-                        Binding { addr: Value::Global(sym) }
+                        Binding {
+                            addr: Value::Global(sym),
+                        }
                     } else {
                         let addr = self.slot_for(v);
                         self.bindings.insert(v.id, Binding { addr });
@@ -37,7 +39,10 @@ impl FnCodegen<'_, '_> {
                 self.emit_lvalue(sub)
             }
             other => {
-                self.diags.error(e.loc, format!("expression is not an lvalue in codegen: {other:?}"));
+                self.diags.error(
+                    e.loc,
+                    format!("expression is not an lvalue in codegen: {other:?}"),
+                );
                 Value::Undef(IrType::Ptr)
             }
         }
@@ -50,7 +55,10 @@ impl FnCodegen<'_, '_> {
             ExprKind::BoolLiteral(b) => Value::bool(*b),
             ExprKind::FloatingLiteral(v) => Value::float(ir_type(&e.ty), *v),
             ExprKind::StringLiteral(_) => {
-                self.diags.error(e.loc, "string literals are only supported as unused arguments");
+                self.diags.error(
+                    e.loc,
+                    "string literals are only supported as unused arguments",
+                );
                 Value::Undef(IrType::Ptr)
             }
             ExprKind::DeclRef(_) => {
@@ -146,7 +154,15 @@ impl FnCodegen<'_, '_> {
                 let signed = sub.ty.is_signed_int();
                 let to_ty = ir_type(to);
                 self.with_builder(|b| {
-                    b.cast(if signed { CastOp::SiToFp } else { CastOp::UiToFp }, v, to_ty)
+                    b.cast(
+                        if signed {
+                            CastOp::SiToFp
+                        } else {
+                            CastOp::UiToFp
+                        },
+                        v,
+                        to_ty,
+                    )
                 })
             }
             CastKind::FloatingToIntegral => {
@@ -154,7 +170,15 @@ impl FnCodegen<'_, '_> {
                 let signed = to.is_signed_int();
                 let to_ty = ir_type(to);
                 self.with_builder(|b| {
-                    b.cast(if signed { CastOp::FpToSi } else { CastOp::FpToUi }, v, to_ty)
+                    b.cast(
+                        if signed {
+                            CastOp::FpToSi
+                        } else {
+                            CastOp::FpToUi
+                        },
+                        v,
+                        to_ty,
+                    )
                 })
             }
             CastKind::FloatingCast => {
@@ -217,7 +241,11 @@ impl FnCodegen<'_, '_> {
                 let elem = sub.ty.pointee().map_or(1, |p| p.size_of()).max(1);
                 self.with_builder(|b| {
                     let old = b.load(t, addr);
-                    let delta: i64 = if matches!(op, UnOp::PreInc | UnOp::PostInc) { 1 } else { -1 };
+                    let delta: i64 = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
+                        1
+                    } else {
+                        -1
+                    };
                     let new = if is_ptr {
                         b.gep(old, Value::i64(delta), elem)
                     } else if t.is_float() {
@@ -359,7 +387,8 @@ impl FnCodegen<'_, '_> {
                     });
                 }
                 _ => {
-                    self.diags.error(whole.loc, "unsupported pointer arithmetic");
+                    self.diags
+                        .error(whole.loc, "unsupported pointer arithmetic");
                     return Value::Undef(IrType::Ptr);
                 }
             }
@@ -386,7 +415,8 @@ impl FnCodegen<'_, '_> {
             (BinOp::BitOr, _, _) => BinOpKind::Or,
             (BinOp::BitXor, _, _) => BinOpKind::Xor,
             _ => {
-                self.diags.error(whole.loc, format!("unsupported operator {op:?} in codegen"));
+                self.diags
+                    .error(whole.loc, format!("unsupported operator {op:?} in codegen"));
                 return Value::Undef(IrType::I64);
             }
         };

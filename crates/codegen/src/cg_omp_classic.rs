@@ -7,8 +7,8 @@
 
 use crate::codegen::{ir_type, Binding, FnCodegen};
 use omplt_ast::{
-    DeclId, OMPClauseKind, OMPDirective, OMPDirectiveKind, P, ReductionOp, ScheduleKind, Stmt,
-    StmtKind,
+    DeclId, OMPClauseKind, OMPDirective, OMPDirectiveKind, ReductionOp, ScheduleKind, Stmt,
+    StmtKind, P,
 };
 use omplt_ir::{Function, IrType, LoopMetadata, UnrollHint, Value};
 
@@ -61,7 +61,9 @@ impl FnCodegen<'_, '_> {
         let md = if d.has_full_clause() {
             LoopMetadata::unroll(UnrollHint::Full)
         } else if let Some(f) = d.partial_clause() {
-            let factor = f.and_then(|e| e.eval_const_int()).map_or(2, |v| v.max(1) as u64);
+            let factor = f
+                .and_then(|e| e.eval_const_int())
+                .map_or(2, |v| v.max(1) as u64);
             LoopMetadata::unroll(UnrollHint::Count(factor))
         } else {
             // Heuristic mode: the pass chooses.
@@ -69,7 +71,9 @@ impl FnCodegen<'_, '_> {
         };
         // Resolve the associated loop, looking through wrappers and inner
         // transformation directives.
-        let Some(assoc) = d.associated.clone() else { return };
+        let Some(assoc) = d.associated.clone() else {
+            return;
+        };
         let (prologue, lp) = resolve_loop(&assoc);
         for p in &prologue {
             self.emit_stmt(p);
@@ -113,7 +117,7 @@ impl FnCodegen<'_, '_> {
         // void name(i32 gtid, i32 btid, ptr cap0, …)
         let name = self.outlined_name();
         let mut params = vec![IrType::I32, IrType::I32];
-        params.extend(std::iter::repeat(IrType::Ptr).take(cs.captures.len()));
+        params.extend(std::iter::repeat_n(IrType::Ptr, cs.captures.len()));
         let sub_fn = Function::new(&name, params, IrType::Void);
         {
             let mut sub = FnCodegen::new(
@@ -127,7 +131,12 @@ impl FnCodegen<'_, '_> {
             // Captured variables arrive by reference: the argument IS the
             // variable's address.
             for (i, cap) in cs.captures.iter().enumerate() {
-                sub.bindings.insert(cap.var.id, Binding { addr: Value::Arg(2 + i as u32) });
+                sub.bindings.insert(
+                    cap.var.id,
+                    Binding {
+                        addr: Value::Arg(2 + i as u32),
+                    },
+                );
             }
             let saved = sub.apply_data_sharing(d);
             match content {
@@ -184,7 +193,10 @@ impl FnCodegen<'_, '_> {
         omplt_ompirb::create_parallel(
             &mut b,
             self.module,
-            omplt_ompirb::OutlinedFn { sym: outlined_sym, num_captures: n },
+            omplt_ompirb::OutlinedFn {
+                sym: outlined_sym,
+                num_captures: n,
+            },
             cap_ptrs,
             num_threads,
         );
@@ -200,7 +212,9 @@ impl FnCodegen<'_, '_> {
             // No helpers (e.g. malformed loop already diagnosed).
             return;
         };
-        let Some((prologues, body)) = self.collect_nest_for_codegen(d) else { return };
+        let Some((prologues, body)) = self.collect_nest_for_codegen(d) else {
+            return;
+        };
         let (_sched, chunk) = schedule_of(d);
 
         // Prologues (inner transformed-AST capture declarations) first,
@@ -246,7 +260,9 @@ impl FnCodegen<'_, '_> {
         self.store_var(&h.is_last_iter_variable, Value::i32(0));
         let _ = n;
 
-        let gtid_fn = self.module.declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+        let gtid_fn = self
+            .module
+            .declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
         let init_fn = self.module.declare_extern(
             "__kmpc_for_static_init",
             vec![
@@ -262,7 +278,8 @@ impl FnCodegen<'_, '_> {
             IrType::Void,
         );
         let fini_fn =
-            self.module.declare_extern("__kmpc_for_static_fini", vec![IrType::I32], IrType::Void);
+            self.module
+                .declare_extern("__kmpc_for_static_fini", vec![IrType::I32], IrType::Void);
 
         let plast = self.bindings[&h.is_last_iter_variable.id].addr;
         let plb = self.bindings[&h.lower_bound.id].addr;
@@ -281,7 +298,16 @@ impl FnCodegen<'_, '_> {
             let gtid = b.call(gtid_fn, vec![], IrType::I32);
             b.call(
                 init_fn,
-                vec![gtid, sched_const, plast, plb, pub_, pstride, Value::i64(1), chunk_v],
+                vec![
+                    gtid,
+                    sched_const,
+                    plast,
+                    plb,
+                    pub_,
+                    pstride,
+                    Value::i64(1),
+                    chunk_v,
+                ],
                 IrType::Void,
             );
             gtid
@@ -349,8 +375,12 @@ impl FnCodegen<'_, '_> {
     /// Serial logical-IV loop used by `simd` (vectorize metadata) and
     /// `taskloop` (per-iteration task accounting).
     fn emit_logical_loop(&mut self, d: &P<OMPDirective>, flavor: LoopFlavor) {
-        let Some(h) = d.loop_helpers.clone() else { return };
-        let Some((prologues, body)) = self.collect_nest_for_codegen(d) else { return };
+        let Some(h) = d.loop_helpers.clone() else {
+            return;
+        };
+        let Some((prologues, body)) = self.collect_nest_for_codegen(d) else {
+            return;
+        };
         let saved = self.apply_data_sharing(d);
         for p in &prologues {
             self.emit_stmt(p);
@@ -364,7 +394,10 @@ impl FnCodegen<'_, '_> {
             self.bindings.insert(l.counter.id, Binding { addr: slot });
         }
         let task_fn = if flavor == LoopFlavor::Taskloop {
-            Some(self.module.declare_extern("__omplt_task_created", vec![], IrType::Void))
+            Some(
+                self.module
+                    .declare_extern("__omplt_task_created", vec![], IrType::Void),
+            )
         } else {
             None
         };
@@ -398,7 +431,10 @@ impl FnCodegen<'_, '_> {
         self.cur = inc_bb;
         self.emit_rvalue(&h.inc);
         let md = if flavor == LoopFlavor::Simd {
-            LoopMetadata { vectorize_enable: true, ..Default::default() }
+            LoopMetadata {
+                vectorize_enable: true,
+                ..Default::default()
+            }
         } else {
             LoopMetadata::default()
         };
@@ -457,9 +493,9 @@ impl FnCodegen<'_, '_> {
                         let Some(v) = ve.as_decl_ref() else { continue };
                         let v = P::clone(v);
                         let old = self.bindings.get(&v.id).copied();
-                        let old_addr = old.map(|b| b.addr).or_else(|| {
-                            self.globals.get(&v.id).map(|&s| Value::Global(s))
-                        });
+                        let old_addr = old
+                            .map(|b| b.addr)
+                            .or_else(|| self.globals.get(&v.id).map(|&s| Value::Global(s)));
                         let fresh = self.scratch(ir_type(&v.ty), &format!(".priv.{}", v.name));
                         if first {
                             if let Some(oa) = old_addr {
@@ -479,9 +515,9 @@ impl FnCodegen<'_, '_> {
                         let Some(v) = ve.as_decl_ref() else { continue };
                         let v = P::clone(v);
                         let old = self.bindings.get(&v.id).copied();
-                        let shared_addr = old.map(|b| b.addr).or_else(|| {
-                            self.globals.get(&v.id).map(|&s| Value::Global(s))
-                        });
+                        let shared_addr = old
+                            .map(|b| b.addr)
+                            .or_else(|| self.globals.get(&v.id).map(|&s| Value::Global(s)));
                         let fresh = self.scratch(ir_type(&v.ty), &format!(".red.{}", v.name));
                         let ty = ir_type(&v.ty);
                         let identity = match op {
@@ -548,7 +584,14 @@ impl FnCodegen<'_, '_> {
                 };
                 let f = self.module.declare_extern(
                     fname,
-                    vec![IrType::Ptr, if ity.is_float() { IrType::F64 } else { IrType::I64 }],
+                    vec![
+                        IrType::Ptr,
+                        if ity.is_float() {
+                            IrType::F64
+                        } else {
+                            IrType::I64
+                        },
+                    ],
                     IrType::Void,
                 );
                 self.with_builder(|b| {

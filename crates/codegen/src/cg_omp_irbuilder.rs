@@ -11,8 +11,7 @@
 
 use crate::codegen::{ir_type, Binding, FnCodegen};
 use omplt_ast::{
-    CaptureKind, OMPCanonicalLoop, OMPClauseKind, OMPDirective, OMPDirectiveKind, P, Stmt,
-    StmtKind,
+    CaptureKind, OMPCanonicalLoop, OMPClauseKind, OMPDirective, OMPDirectiveKind, Stmt, StmtKind, P,
 };
 use omplt_ir::{IrType, Value};
 use omplt_ompirb::{
@@ -21,6 +20,29 @@ use omplt_ompirb::{
 };
 
 impl FnCodegen<'_, '_> {
+    /// `--verify-each`: re-checks the canonical-skeleton invariants of the
+    /// handle(s) a transformation returned. A transformation that hands back
+    /// a malformed `CanonicalLoopInfo` would otherwise miscompile silently
+    /// when the next consumer trusts the handle.
+    fn verify_transformed(
+        &mut self,
+        what: &str,
+        loc: omplt_source::SourceLocation,
+        clis: &[CanonicalLoopInfo],
+    ) {
+        if !self.opts.verify_each {
+            return;
+        }
+        for cli in clis {
+            for msg in cli.check(&self.func) {
+                self.diags.error(
+                    loc,
+                    format!("loop produced by '{what}' violates the canonical skeleton: {msg}"),
+                );
+            }
+        }
+    }
+
     /// IrBuilder-mode directive dispatch.
     pub(crate) fn emit_omp_irbuilder(&mut self, d: &P<OMPDirective>) {
         match d.kind {
@@ -28,9 +50,13 @@ impl FnCodegen<'_, '_> {
             // paper notes IR-level outlining "may also become unnecessary
             // with further adaption of OpenMPIRBuilder"; like Clang today,
             // the front-end still outlines.
-            OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor => self.emit_omp_classic_parallel_shim(d),
+            OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor => {
+                self.emit_omp_classic_parallel_shim(d)
+            }
             OMPDirectiveKind::For => {
-                let Some(assoc) = d.associated.clone() else { return };
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
                 let body = match &assoc.kind {
                     StmtKind::Captured(cs) => P::clone(&cs.decl.body),
                     _ => assoc,
@@ -38,7 +64,9 @@ impl FnCodegen<'_, '_> {
                 self.emit_workshare_irbuilder(d, &body);
             }
             OMPDirectiveKind::Simd => {
-                let Some(assoc) = d.associated.clone() else { return };
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
                 let assoc = match &assoc.kind {
                     StmtKind::Captured(cs) => P::clone(&cs.decl.body),
                     _ => assoc,
@@ -51,13 +79,16 @@ impl FnCodegen<'_, '_> {
                 }
             }
             OMPDirectiveKind::Taskloop => {
-                let Some(assoc) = d.associated.clone() else { return };
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
                 let body = match &assoc.kind {
                     StmtKind::Captured(cs) => P::clone(&cs.decl.body),
                     _ => assoc,
                 };
                 let task_fn =
-                    self.module.declare_extern("__omplt_task_created", vec![], IrType::Void);
+                    self.module
+                        .declare_extern("__omplt_task_created", vec![], IrType::Void);
                 if let Some(cli) = self.emit_loop_construct(&body) {
                     // Account one task per logical iteration: the unroll
                     // factor is observable through this count (paper §2.2).
@@ -73,36 +104,49 @@ impl FnCodegen<'_, '_> {
                 }
             }
             OMPDirectiveKind::Unroll => {
-                let Some(assoc) = d.associated.clone() else { return };
-                let Some(cli) = self.emit_loop_construct(&assoc) else { return };
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
+                let Some(cli) = self.emit_loop_construct(&assoc) else {
+                    return;
+                };
                 self.cur = cli.after;
                 let mut b = omplt_ir::IrBuilder::new(&mut self.func);
                 b.set_insert_point(cli.after);
                 if d.has_full_clause() {
                     unroll_loop_full(&mut b, &cli);
                 } else if let Some(f) = d.partial_clause() {
-                    let factor = f.and_then(|e| e.eval_const_int()).map_or(2, |v| v.max(1) as u64);
+                    let factor = f
+                        .and_then(|e| e.eval_const_int())
+                        .map_or(2, |v| v.max(1) as u64);
                     // Not consumed here → defer entirely to the mid-end.
                     unroll_loop_partial(&mut b, &cli, factor, false);
                 } else {
                     unroll_loop_heuristic(&mut b, &cli);
                 }
+                self.verify_transformed("omp unroll", d.loc, &[cli]);
             }
             OMPDirectiveKind::Tile => {
                 let sizes: Vec<u64> = d
                     .sizes_clause()
                     .map(|es| {
-                        es.iter().filter_map(|e| e.eval_const_int()).map(|v| v.max(1) as u64).collect()
+                        es.iter()
+                            .filter_map(|e| e.eval_const_int())
+                            .map(|v| v.max(1) as u64)
+                            .collect()
                     })
                     .unwrap_or_default();
-                let Some(assoc) = d.associated.clone() else { return };
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
                 if sizes.len() == 1 {
                     if let Some(cli) = self.emit_loop_construct(&assoc) {
                         self.cur = cli.after;
                         let mut b = omplt_ir::IrBuilder::new(&mut self.func);
                         b.set_insert_point(cli.after);
-                        let _tiled =
+                        let tiled =
                             tile_loops(&mut b, &[cli], &[Value::int(cli.ty, sizes[0] as i64)]);
+                        self.verify_transformed("omp tile", d.loc, &tiled);
                     }
                 } else {
                     // Multi-loop nests: fall back to the shadow AST (the
@@ -154,6 +198,7 @@ impl FnCodegen<'_, '_> {
         b.set_insert_point(cli.after);
         let cont = create_static_workshare_loop(&mut b, self.module, &mut cli, scheme);
         self.cur = cont;
+        self.verify_transformed("omp for", d.loc, &[cli]);
         self.restore_data_sharing(d, saved);
     }
 
@@ -182,6 +227,7 @@ impl FnCodegen<'_, '_> {
                     // returning the loop unrolled via metadata.
                     let mut b = omplt_ir::IrBuilder::new(&mut self.func);
                     unroll_loop_full(&mut b, &inner);
+                    self.verify_transformed("omp unroll full", d.loc, &[inner]);
                     return Some(inner);
                 }
                 let factor = d
@@ -191,7 +237,11 @@ impl FnCodegen<'_, '_> {
                 let mut b = omplt_ir::IrBuilder::new(&mut self.func);
                 b.set_insert_point(inner.after);
                 // Consumed: a generated loop is required (paper §2.2/§3.2).
-                unroll_loop_partial(&mut b, &inner, factor, true)
+                let out = unroll_loop_partial(&mut b, &inner, factor, true);
+                if let Some(generated) = out {
+                    self.verify_transformed("omp unroll partial", d.loc, &[generated]);
+                }
+                out
             }
             StmtKind::OMP(d) if d.kind == OMPDirectiveKind::Tile => {
                 let d = P::clone(d);
@@ -199,7 +249,10 @@ impl FnCodegen<'_, '_> {
                 let sizes: Vec<u64> = d
                     .sizes_clause()
                     .map(|es| {
-                        es.iter().filter_map(|e| e.eval_const_int()).map(|v| v.max(1) as u64).collect()
+                        es.iter()
+                            .filter_map(|e| e.eval_const_int())
+                            .map(|v| v.max(1) as u64)
+                            .collect()
                     })
                     .unwrap_or_default();
                 if sizes.len() != 1 {
@@ -213,6 +266,7 @@ impl FnCodegen<'_, '_> {
                 let mut b = omplt_ir::IrBuilder::new(&mut self.func);
                 b.set_insert_point(inner.after);
                 let tiled = tile_loops(&mut b, &[inner], &[Value::int(inner.ty, size as i64)]);
+                self.verify_transformed("omp tile", d.loc, &tiled);
                 tiled.first().copied()
             }
             // A literal loop that Sema did not wrap (only possible when the
@@ -232,8 +286,11 @@ impl FnCodegen<'_, '_> {
                 }
             }
             StmtKind::CxxForRange(d) => {
-                let (r, b_, e) =
-                    (P::clone(&d.range_stmt), P::clone(&d.begin_stmt), P::clone(&d.end_stmt));
+                let (r, b_, e) = (
+                    P::clone(&d.range_stmt),
+                    P::clone(&d.begin_stmt),
+                    P::clone(&d.end_stmt),
+                );
                 self.emit_stmt(&r);
                 self.emit_stmt(&b_);
                 self.emit_stmt(&e);
@@ -259,7 +316,9 @@ impl FnCodegen<'_, '_> {
         //    scratch slot, emit the body, read the trip count.
         let dist_result = &cl.distance_fn.decl.params[0];
         let dist_slot = self.scratch(ir_type(&dist_result.ty), ".omp.distance");
-        let saved_binding = self.bindings.insert(dist_result.id, Binding { addr: dist_slot });
+        let saved_binding = self
+            .bindings
+            .insert(dist_result.id, Binding { addr: dist_slot });
         let dist_body = P::clone(&cl.distance_fn.decl.body);
         self.emit_stmt(&dist_body);
         match saved_binding {
@@ -296,7 +355,10 @@ impl FnCodegen<'_, '_> {
         // Result parameter → the user variable's storage.
         let saved_result = result_param.as_ref().map(|rp| {
             let user_addr = self.emit_lvalue(&cl.loop_var_ref);
-            (rp.id, self.bindings.insert(rp.id, Binding { addr: user_addr }))
+            (
+                rp.id,
+                self.bindings.insert(rp.id, Binding { addr: user_addr }),
+            )
         });
         // By-value snapshots shadow the live variables inside the lambda.
         let saved_snaps: Vec<_> = snapshots

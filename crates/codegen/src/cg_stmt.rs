@@ -2,7 +2,7 @@
 //! `cg_omp_classic` / `cg_omp_irbuilder`).
 
 use crate::codegen::{ir_type, Binding, FnCodegen};
-use omplt_ast::{Attr, CxxForRangeData, Decl, P, Stmt, StmtKind, VarDecl};
+use omplt_ast::{Attr, CxxForRangeData, Decl, Stmt, StmtKind, VarDecl, P};
 use omplt_ir::{IrType, LoopMetadata, UnrollHint, Value};
 use omplt_sema::OpenMpCodegenMode;
 
@@ -108,10 +108,10 @@ impl FnCodegen<'_, '_> {
             StmtKind::Attributed { attrs, sub } => {
                 // LoopHintAttr → llvm.loop.unroll.* metadata on the loop we
                 // are about to emit (paper §2.1).
-                let md = attrs.iter().find_map(|a| match a {
-                    Attr::LoopUnrollCount(n) => Some(LoopMetadata::unroll(UnrollHint::Count(*n))),
-                    Attr::LoopUnrollFull => Some(LoopMetadata::unroll(UnrollHint::Full)),
-                    Attr::LoopUnrollEnable => Some(LoopMetadata::unroll(UnrollHint::Enable)),
+                let md = attrs.first().map(|a| match a {
+                    Attr::LoopUnrollCount(n) => LoopMetadata::unroll(UnrollHint::Count(*n)),
+                    Attr::LoopUnrollFull => LoopMetadata::unroll(UnrollHint::Full),
+                    Attr::LoopUnrollEnable => LoopMetadata::unroll(UnrollHint::Enable),
                 });
                 match &sub.kind {
                     StmtKind::For { .. } => self.emit_for(sub, md),
@@ -136,7 +136,11 @@ impl FnCodegen<'_, '_> {
 
     /// Declares a variable: (re)uses its slot and stores the initializer.
     /// `overrides` supplies pre-bound storage (canonical-loop Result params).
-    pub(crate) fn emit_var_decl(&mut self, v: &P<VarDecl>, overrides: &[(omplt_ast::DeclId, Value)]) {
+    pub(crate) fn emit_var_decl(
+        &mut self,
+        v: &P<VarDecl>,
+        overrides: &[(omplt_ast::DeclId, Value)],
+    ) {
         if let Some((_, addr)) = overrides.iter().find(|(id, _)| *id == v.id) {
             self.bindings.insert(v.id, Binding { addr: *addr });
             return;
@@ -149,7 +153,8 @@ impl FnCodegen<'_, '_> {
                 let addr = self.emit_lvalue(init);
                 self.with_builder(|b| b.store(addr, slot));
             } else if v.ty.element().is_some() {
-                self.diags.error(v.loc, "array initializers are not supported");
+                self.diags
+                    .error(v.loc, "array initializers are not supported");
             } else {
                 let val = self.emit_rvalue(init);
                 self.with_builder(|b| b.store(val, slot));
@@ -178,7 +183,15 @@ impl FnCodegen<'_, '_> {
                 return;
             }
         }
-        let StmtKind::For { init, cond, inc, body } = &s.kind else { unreachable!() };
+        let StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } = &s.kind
+        else {
+            unreachable!()
+        };
         if let Some(i) = init {
             self.emit_stmt(i);
         }
@@ -227,7 +240,9 @@ impl FnCodegen<'_, '_> {
         let Some(a) = omplt_sema::analyze_canonical_loop(&ctx, &quiet, s, "loop hint") else {
             return false;
         };
-        let StmtKind::For { init, body, .. } = &s.kind else { return false };
+        let StmtKind::For { init, body, .. } = &s.kind else {
+            return false;
+        };
         if let Some(i) = init.clone() {
             self.emit_stmt(&i);
         }
@@ -255,9 +270,14 @@ impl FnCodegen<'_, '_> {
         let cli = {
             let mut b = omplt_ir::IrBuilder::new(&mut self.func);
             b.set_insert_point(self.cur);
-            let cli =
-                omplt_ompirb::create_canonical_loop_skeleton(&mut b, tc, "hint", true);
-            cli.set_metadata(b.func_mut(), LoopMetadata { is_canonical: true, ..md });
+            let cli = omplt_ompirb::create_canonical_loop_skeleton(&mut b, tc, "hint", true);
+            cli.set_metadata(
+                b.func_mut(),
+                LoopMetadata {
+                    is_canonical: true,
+                    ..md
+                },
+            );
             cli
         };
         self.cur = cli.body;
@@ -266,7 +286,11 @@ impl FnCodegen<'_, '_> {
             if is_ptr {
                 let iv64 = b.int_resize(cli.iv(), IrType::I64, false);
                 let scaled = b.mul(iv64, step);
-                let off = if down { b.sub(Value::i64(0), scaled) } else { scaled };
+                let off = if down {
+                    b.sub(Value::i64(0), scaled)
+                } else {
+                    scaled
+                };
                 b.gep(start, off, elem)
             } else {
                 let ivv = b.int_resize(cli.iv(), var_ir, false);
@@ -343,6 +367,13 @@ impl FnCodegen<'_, '_> {
     /// Allocates an anonymous scratch slot.
     pub(crate) fn scratch(&mut self, ty: IrType, name: &str) -> Value {
         let entry = self.func.entry();
-        self.func.push_inst(entry, omplt_ir::Inst::Alloca { ty, count: 1, name: name.to_string() })
+        self.func.push_inst(
+            entry,
+            omplt_ir::Inst::Alloca {
+                ty,
+                count: 1,
+                name: name.to_string(),
+            },
+        )
     }
 }

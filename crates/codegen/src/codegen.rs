@@ -1,6 +1,6 @@
 //! CodeGen driver: lowers a type-checked translation unit to `omplt-ir`.
 
-use omplt_ast::{Decl, DeclId, FunctionDecl, P, TranslationUnit, Type, TypeKind, VarDecl};
+use omplt_ast::{Decl, DeclId, FunctionDecl, TranslationUnit, Type, TypeKind, VarDecl, P};
 use omplt_ir::{Function, IrType, Module, SymbolId, Value};
 use omplt_sema::OpenMpCodegenMode;
 use omplt_source::DiagnosticsEngine;
@@ -11,6 +11,10 @@ use std::collections::HashMap;
 pub struct CodegenOptions {
     /// Which OpenMP lowering path to use (paper §2 vs §3).
     pub mode: OpenMpCodegenMode,
+    /// `--verify-each`: re-check the canonical-loop skeleton invariants
+    /// after every OpenMPIRBuilder transformation, reporting violations as
+    /// diagnostics instead of miscompiling silently.
+    pub verify_each: bool,
 }
 
 /// The produced module (plus bookkeeping for tests).
@@ -128,7 +132,10 @@ impl<'m, 'd> FnCodegen<'m, 'd> {
     }
 
     /// Runs `f` with a builder and keeps the insertion point in sync.
-    pub(crate) fn with_builder<R>(&mut self, f: impl FnOnce(&mut omplt_ir::IrBuilder<'_>) -> R) -> R {
+    pub(crate) fn with_builder<R>(
+        &mut self,
+        f: impl FnOnce(&mut omplt_ir::IrBuilder<'_>) -> R,
+    ) -> R {
         let mut b = omplt_ir::IrBuilder::new(&mut self.func);
         b.set_insert_point(self.cur);
         let r = f(&mut b);
@@ -151,7 +158,11 @@ impl<'m, 'd> FnCodegen<'m, 'd> {
         let entry = self.func.entry();
         let slot = self.func.push_inst(
             entry,
-            omplt_ir::Inst::Alloca { ty: elem_ty, count, name: v.name.clone() },
+            omplt_ir::Inst::Alloca {
+                ty: elem_ty,
+                count,
+                name: v.name.clone(),
+            },
         );
         self.var_slots.insert(v.id, slot);
         slot

@@ -176,7 +176,10 @@ impl<'m> Interpreter<'m> {
     }
 
     fn global_addr(&self, sym: u32) -> Option<u64> {
-        self.global_addrs.iter().find(|(s, _)| *s == sym).map(|(_, a)| *a)
+        self.global_addrs
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, a)| *a)
     }
 
     fn eval(&self, frame: &[Option<RtVal>], args: &[RtVal], v: Value) -> Result<RtVal, ExecError> {
@@ -231,10 +234,8 @@ impl<'m> Interpreter<'m> {
                         let from = prev.ok_or_else(|| {
                             ExecError::Malformed("phi in entry block".to_string())
                         })?;
-                        let (_, val) = incoming
-                            .iter()
-                            .find(|(b, _)| *b == from)
-                            .ok_or_else(|| {
+                        let (_, val) =
+                            incoming.iter().find(|(b, _)| *b == from).ok_or_else(|| {
                                 ExecError::Malformed(format!(
                                     "phi %{} has no edge for predecessor {}",
                                     iid.0, from.0
@@ -267,16 +268,20 @@ impl<'m> Interpreter<'m> {
             }
 
             // Phase 3: the terminator.
-            let term = block
-                .term
-                .as_ref()
-                .ok_or_else(|| ExecError::Malformed(format!("unterminated block {}", block.name)))?;
+            let term = block.term.as_ref().ok_or_else(|| {
+                ExecError::Malformed(format!("unterminated block {}", block.name))
+            })?;
             match term {
                 Terminator::Br { target, .. } => {
                     prev = Some(cur);
                     cur = *target;
                 }
-                Terminator::CondBr { cond, then_bb, else_bb, .. } => {
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                    ..
+                } => {
                     let c = self.eval(&frame, &args, *cond)?.as_i();
                     prev = Some(cur);
                     cur = if c != 0 { *then_bb } else { *else_bb };
@@ -307,7 +312,10 @@ impl<'m> Interpreter<'m> {
             }
             Inst::Load { ty, ptr } => {
                 let p = self.eval(frame, args, *ptr)?.as_p();
-                let raw = self.mem.load(p, ty.size()).map_err(|e| ExecError::Mem(e.what))?;
+                let raw = self
+                    .mem
+                    .load(p, ty.size())
+                    .map_err(|e| ExecError::Mem(e.what))?;
                 Some(decode_scalar(*ty, raw))
             }
             Inst::Store { val, ptr } => {
@@ -319,10 +327,16 @@ impl<'m> Interpreter<'m> {
                     .map_err(|e| ExecError::Mem(e.what))?;
                 None
             }
-            Inst::Gep { ptr, index, elem_size } => {
+            Inst::Gep {
+                ptr,
+                index,
+                elem_size,
+            } => {
                 let p = self.eval(frame, args, *ptr)?.as_p();
                 let i = self.eval(frame, args, *index)?.as_i();
-                Some(RtVal::P(p.wrapping_add((i as u64).wrapping_mul(*elem_size))))
+                Some(RtVal::P(
+                    p.wrapping_add((i as u64).wrapping_mul(*elem_size)),
+                ))
             }
             Inst::Bin { op, lhs, rhs } => {
                 let ty = f.value_type(*lhs);
@@ -345,7 +359,11 @@ impl<'m> Interpreter<'m> {
                 let c = self.eval(frame, args, *cond)?.as_i();
                 Some(self.eval(frame, args, if c != 0 { *t } else { *fv })?)
             }
-            Inst::Call { callee, args: call_args, ty } => {
+            Inst::Call {
+                callee,
+                args: call_args,
+                ty,
+            } => {
                 let name = self.module.symbol_name(callee.0).to_string();
                 let mut vs = Vec::with_capacity(call_args.len());
                 for a in call_args {
@@ -394,7 +412,11 @@ fn exec_bin(op: BinOpKind, ty: IrType, a: RtVal, b: RtVal) -> Result<RtVal, Exec
             FRem => x % y,
             _ => unreachable!(),
         };
-        return Ok(RtVal::F(if ty == IrType::F32 { (r as f32) as f64 } else { r }));
+        return Ok(RtVal::F(if ty == IrType::F32 {
+            (r as f32) as f64
+        } else {
+            r
+        }));
     }
     // Pointer arithmetic through add/sub keeps the pointer flavor.
     if ty == IrType::Ptr {
@@ -402,7 +424,11 @@ fn exec_bin(op: BinOpKind, ty: IrType, a: RtVal, b: RtVal) -> Result<RtVal, Exec
         let r = match op {
             Add => x.wrapping_add(y),
             Sub => x.wrapping_sub(y),
-            _ => return Err(ExecError::Malformed("non-additive pointer arithmetic".into())),
+            _ => {
+                return Err(ExecError::Malformed(
+                    "non-additive pointer arithmetic".into(),
+                ))
+            }
         };
         return Ok(RtVal::P(r));
     }
@@ -511,7 +537,9 @@ mod tests {
     use omplt_ir::IrBuilder;
 
     fn run(m: &Module) -> RunResult {
-        Interpreter::new(m, RuntimeConfig::default()).run_main().expect("run failed")
+        Interpreter::new(m, RuntimeConfig::default())
+            .run_main()
+            .expect("run failed")
     }
 
     #[test]
@@ -612,7 +640,10 @@ mod tests {
             b.br(spin);
         }
         m.add_function(f);
-        let cfg = RuntimeConfig { max_steps: 10_000, ..Default::default() };
+        let cfg = RuntimeConfig {
+            max_steps: 10_000,
+            ..Default::default()
+        };
         let r = Interpreter::new(&m, cfg).run_main();
         assert_eq!(r.unwrap_err(), ExecError::FuelExhausted);
     }
@@ -633,7 +664,10 @@ mod tests {
         }
         m.add_function(f);
         let out = run(&m).stdout;
-        assert!(out.starts_with("0.100000001"), "f32 rounding must be visible: {out}");
+        assert!(
+            out.starts_with("0.100000001"),
+            "f32 rounding must be visible: {out}"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl SegmentedArena {
             v.resize_with(cap, OnceLock::new);
             v.into_boxed_slice()
         });
-        slab[off].set(region).ok().expect("region slot written twice");
+        slab[off]
+            .set(region)
+            .ok()
+            .expect("region slot written twice");
         idx
     }
 
@@ -95,8 +98,13 @@ impl Default for Memory {
 impl Memory {
     /// Creates an address space with the null region reserved.
     pub fn new() -> Memory {
-        let m = Memory { regions: SegmentedArena::new() };
-        m.regions.push(Region { words: Box::new([]), size_bytes: 0 });
+        let m = Memory {
+            regions: SegmentedArena::new(),
+        };
+        m.regions.push(Region {
+            words: Box::new([]),
+            size_bytes: 0,
+        });
         m
     }
 
@@ -105,7 +113,10 @@ impl Memory {
         let words = bytes.div_ceil(8) as usize;
         let mut v = Vec::with_capacity(words);
         v.resize_with(words, || AtomicU64::new(0));
-        let idx = self.regions.push(Region { words: v.into_boxed_slice(), size_bytes: bytes });
+        let idx = self.regions.push(Region {
+            words: v.into_boxed_slice(),
+            size_bytes: bytes,
+        });
         assert!(idx < u32::MAX as u64, "guest region space exhausted");
         idx << 32
     }
@@ -122,12 +133,16 @@ impl Memory {
 
     fn check(&self, ptr: u64, len: u64) -> Result<(&Region, u64), MemError> {
         if ptr & FN_PTR_TAG != 0 {
-            return Err(MemError { what: format!("data access through function pointer {ptr:#x}") });
+            return Err(MemError {
+                what: format!("data access through function pointer {ptr:#x}"),
+            });
         }
         let region = (ptr >> 32) as u32;
         let offset = ptr & 0xFFFF_FFFF;
         if region == 0 {
-            return Err(MemError { what: "null pointer dereference".to_string() });
+            return Err(MemError {
+                what: "null pointer dereference".to_string(),
+            });
         }
         match self.regions.get(region as u64) {
             Some(reg) if offset + len <= reg.size_bytes => Ok((reg, offset)),
@@ -137,7 +152,9 @@ impl Memory {
                     reg.size_bytes
                 ),
             }),
-            None => Err(MemError { what: format!("dangling pointer {ptr:#x}") }),
+            None => Err(MemError {
+                what: format!("dangling pointer {ptr:#x}"),
+            }),
         }
     }
 
@@ -149,7 +166,11 @@ impl Memory {
         if in_word + len <= 8 {
             let w = reg.words[word_idx].load(Ordering::Relaxed);
             let shifted = w >> (in_word * 8);
-            Ok(if len == 8 { shifted } else { shifted & ((1u64 << (len * 8)) - 1) })
+            Ok(if len == 8 {
+                shifted
+            } else {
+                shifted & ((1u64 << (len * 8)) - 1)
+            })
         } else {
             // Straddles two words: assemble byte-wise.
             let mut out = 0u64;
@@ -173,7 +194,11 @@ impl Memory {
             return Ok(());
         }
         if in_word + len <= 8 {
-            let mask = if len == 8 { u64::MAX } else { ((1u64 << (len * 8)) - 1) << (in_word * 8) };
+            let mask = if len == 8 {
+                u64::MAX
+            } else {
+                ((1u64 << (len * 8)) - 1) << (in_word * 8)
+            };
             let bits = (val << (in_word * 8)) & mask;
             let cell = &reg.words[word_idx];
             // CAS read-modify-write keeps concurrent neighbors intact.
@@ -209,7 +234,9 @@ impl Memory {
     pub fn fetch_add_i64(&self, ptr: u64, add: i64) -> Result<i64, MemError> {
         let (reg, offset) = self.check(ptr, 8)?;
         if offset % 8 != 0 {
-            return Err(MemError { what: "unaligned atomic".to_string() });
+            return Err(MemError {
+                what: "unaligned atomic".to_string(),
+            });
         }
         let prev = reg.words[(offset / 8) as usize].fetch_add(add as u64, Ordering::Relaxed);
         Ok(prev as i64)

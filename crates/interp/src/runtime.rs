@@ -26,7 +26,11 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { num_threads: 4, max_steps: 500_000_000, serial: false }
+        RuntimeConfig {
+            num_threads: 4,
+            max_steps: 500_000_000,
+            serial: false,
+        }
     }
 }
 
@@ -45,11 +49,19 @@ pub struct ThreadCtx {
 impl ThreadCtx {
     /// The initial (serial-region) context.
     pub fn initial() -> ThreadCtx {
-        ThreadCtx { gtid: 0, team_size: 1, pending_num_threads: Cell::new(None) }
+        ThreadCtx {
+            gtid: 0,
+            team_size: 1,
+            pending_num_threads: Cell::new(None),
+        }
     }
 
     fn team_member(gtid: u32, team_size: u32) -> ThreadCtx {
-        ThreadCtx { gtid, team_size, pending_num_threads: Cell::new(None) }
+        ThreadCtx {
+            gtid,
+            team_size,
+            pending_num_threads: Cell::new(None),
+        }
     }
 }
 
@@ -67,9 +79,7 @@ pub fn dispatch(
     ctx: &ThreadCtx,
 ) -> Result<Option<RtVal>, ExecError> {
     match name {
-        "__kmpc_global_thread_num" | "omp_get_thread_num" => {
-            Ok(Some(RtVal::I(ctx.gtid as i64)))
-        }
+        "__kmpc_global_thread_num" | "omp_get_thread_num" => Ok(Some(RtVal::I(ctx.gtid as i64))),
         "omp_get_num_threads" => Ok(Some(RtVal::I(ctx.team_size as i64))),
         "__kmpc_push_num_threads" => {
             let n = args.first().map_or(0, |v| v.as_i()).max(1) as u32;
@@ -87,7 +97,9 @@ pub fn dispatch(
         "__omplt_atomic_add_i64" => {
             let p = args[0].as_p();
             let v = args[1].as_i();
-            it.mem.fetch_add_i64(p, v).map_err(|e| ExecError::Mem(e.what))?;
+            it.mem
+                .fetch_add_i64(p, v)
+                .map_err(|e| ExecError::Mem(e.what))?;
             Ok(None)
         }
         "print_i64" => {
@@ -132,7 +144,11 @@ fn fork_call(
         .ok_or_else(|| ExecError::Malformed("fork_call target is not a function".to_string()))?;
     let name = it.module.symbol_name(omplt_ir::SymbolId(sym)).to_string();
     let caps: Vec<RtVal> = args[2..].to_vec();
-    let team = ctx.pending_num_threads.take().unwrap_or(it.cfg.num_threads).max(1);
+    let team = ctx
+        .pending_num_threads
+        .take()
+        .unwrap_or(it.cfg.num_threads)
+        .max(1);
 
     if team == 1 || it.cfg.serial {
         for tid in 0..team {
@@ -186,7 +202,9 @@ fn for_static_init(
     ctx: &ThreadCtx,
 ) -> Result<Option<RtVal>, ExecError> {
     if args.len() < 8 {
-        return Err(ExecError::Malformed("for_static_init needs 8 arguments".to_string()));
+        return Err(ExecError::Malformed(
+            "for_static_init needs 8 arguments".to_string(),
+        ));
     }
     let sched = args[1].as_i();
     let plast = args[2].as_p();
@@ -248,7 +266,11 @@ mod tests {
         let push = m.intern("__kmpc_push_num_threads");
 
         // outlined(gtid, btid, ptr flags): flags[gtid] = gtid + 1
-        let mut o = Function::new("outlined", vec![IrType::I32, IrType::I32, IrType::Ptr], IrType::Void);
+        let mut o = Function::new(
+            "outlined",
+            vec![IrType::I32, IrType::I32, IrType::Ptr],
+            IrType::Void,
+        );
         {
             let mut b = IrBuilder::new(&mut o);
             let gtid64 = b.cast(omplt_ir::CastOp::SExt, Value::Arg(0), IrType::I64);
@@ -266,7 +288,11 @@ mod tests {
             b.call(push, vec![Value::i32(team as i32)], IrType::Void);
             b.call(
                 fork,
-                vec![Value::FuncRef(omplt_ir::SymbolId(outlined_sym.0)), Value::i32(1), flags],
+                vec![
+                    Value::FuncRef(omplt_ir::SymbolId(outlined_sym.0)),
+                    Value::i32(1),
+                    flags,
+                ],
                 IrType::Void,
             );
             // sum the flags: sum of (tid+1) over the team
@@ -297,10 +323,18 @@ mod tests {
     #[test]
     fn fork_call_serial_mode_matches_parallel() {
         let m = fork_module(4);
-        let serial = Interpreter::new(&m, RuntimeConfig { serial: true, ..Default::default() })
+        let serial = Interpreter::new(
+            &m,
+            RuntimeConfig {
+                serial: true,
+                ..Default::default()
+            },
+        )
+        .run_main()
+        .unwrap();
+        let parallel = Interpreter::new(&m, RuntimeConfig::default())
             .run_main()
             .unwrap();
-        let parallel = Interpreter::new(&m, RuntimeConfig::default()).run_main().unwrap();
         assert_eq!(serial.exit_code, parallel.exit_code);
     }
 

@@ -70,7 +70,11 @@ impl<'f> IrBuilder<'f> {
 
     /// Stack allocation.
     pub fn alloca(&mut self, ty: IrType, count: u64, name: &str) -> Value {
-        self.push(Inst::Alloca { ty, count, name: name.to_string() })
+        self.push(Inst::Alloca {
+            ty,
+            count,
+            name: name.to_string(),
+        })
     }
 
     /// Typed load.
@@ -88,7 +92,11 @@ impl<'f> IrBuilder<'f> {
         if index.is_zero_int() {
             return ptr;
         }
-        self.push(Inst::Gep { ptr, index, elem_size })
+        self.push(Inst::Gep {
+            ptr,
+            index,
+            elem_size,
+        })
     }
 
     // ---- arithmetic with on-the-fly folding ----
@@ -146,7 +154,12 @@ impl<'f> IrBuilder<'f> {
     /// Conversion with folding of constants and no-op casts.
     pub fn cast(&mut self, op: CastOp, val: Value, to: IrType) -> Value {
         let from = self.type_of(val);
-        if from == to && matches!(op, CastOp::Trunc | CastOp::ZExt | CastOp::SExt | CastOp::FpTrunc | CastOp::FpExt) {
+        if from == to
+            && matches!(
+                op,
+                CastOp::Trunc | CastOp::ZExt | CastOp::SExt | CastOp::FpTrunc | CastOp::FpExt
+            )
+        {
             return val;
         }
         if let Some(c) = val.as_const_int() {
@@ -202,7 +215,10 @@ impl<'f> IrBuilder<'f> {
 
     /// Creates an (initially empty) phi in the *current* block.
     pub fn phi(&mut self, ty: IrType) -> (Value, InstId) {
-        let v = self.push(Inst::Phi { ty, incoming: Vec::new() });
+        let v = self.push(Inst::Phi {
+            ty,
+            incoming: Vec::new(),
+        });
         match v {
             Value::Inst(id) => (v, id),
             _ => unreachable!(),
@@ -219,24 +235,39 @@ impl<'f> IrBuilder<'f> {
 
     /// Function call.
     pub fn call(&mut self, callee: SymbolId, args: Vec<Value>, ret: IrType) -> Value {
-        self.push(Inst::Call { callee: Callee(callee), args, ty: ret })
+        self.push(Inst::Call {
+            callee: Callee(callee),
+            args,
+            ty: ret,
+        })
     }
 
     // ---- terminators ----
 
     /// Unconditional branch.
     pub fn br(&mut self, target: BlockId) {
-        self.terminate(Terminator::Br { target, loop_md: None });
+        self.terminate(Terminator::Br {
+            target,
+            loop_md: None,
+        });
     }
 
     /// Unconditional branch carrying loop metadata (latch).
     pub fn br_with_md(&mut self, target: BlockId, md: LoopMetadata) {
-        self.terminate(Terminator::Br { target, loop_md: Some(md) });
+        self.terminate(Terminator::Br {
+            target,
+            loop_md: Some(md),
+        });
     }
 
     /// Conditional branch.
     pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
-        self.terminate(Terminator::CondBr { cond, then_bb, else_bb, loop_md: None });
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            loop_md: None,
+        });
     }
 
     /// Return.
@@ -304,20 +335,10 @@ pub fn fold_bin(op: BinOpKind, lhs: Value, rhs: Value, ty: IrType) -> Option<Val
                 return Some(lhs);
             }
         }
-        UDiv | SDiv => {
-            if rhs.is_one_int() {
-                return Some(lhs);
-            }
-        }
-        Shl | AShr | LShr => {
-            if rhs.is_zero_int() {
-                return Some(lhs);
-            }
-        }
-        And => {
-            if lhs.is_zero_int() || rhs.is_zero_int() {
-                return Some(Value::int(ty, 0));
-            }
+        UDiv | SDiv if rhs.is_one_int() => return Some(lhs),
+        Shl | AShr | LShr if rhs.is_zero_int() => return Some(lhs),
+        And if lhs.is_zero_int() || rhs.is_zero_int() => {
+            return Some(Value::int(ty, 0));
         }
         Or | Xor => {
             if rhs.is_zero_int() {
@@ -447,9 +468,11 @@ mod tests {
 
     #[test]
     fn cast_folding() {
-        let (v, _) = with_builder(|b| b.cast(CastOp::SExt, Value::int(IrType::I8, -1), IrType::I64));
+        let (v, _) =
+            with_builder(|b| b.cast(CastOp::SExt, Value::int(IrType::I8, -1), IrType::I64));
         assert_eq!(v, Value::i64(-1));
-        let (v, _) = with_builder(|b| b.cast(CastOp::ZExt, Value::int(IrType::I8, -1), IrType::I64));
+        let (v, _) =
+            with_builder(|b| b.cast(CastOp::ZExt, Value::int(IrType::I8, -1), IrType::I64));
         assert_eq!(v, Value::i64(255));
         let (v, _) = with_builder(|b| b.cast(CastOp::SiToFp, Value::i32(3), IrType::F64));
         assert_eq!(v.as_const_float(), Some(3.0));

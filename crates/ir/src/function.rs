@@ -48,7 +48,11 @@ impl Function {
             params,
             ret,
             insts: Vec::new(),
-            blocks: vec![BlockData { name: "entry".into(), insts: Vec::new(), term: None }],
+            blocks: vec![BlockData {
+                name: "entry".into(),
+                insts: Vec::new(),
+                term: None,
+            }],
         }
     }
 
@@ -60,7 +64,11 @@ impl Function {
     /// Appends a new empty block.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(BlockData { name: name.into(), insts: Vec::new(), term: None });
+        self.blocks.push(BlockData {
+            name: name.into(),
+            insts: Vec::new(),
+            term: None,
+        });
         id
     }
 
@@ -121,7 +129,10 @@ impl Function {
 
     /// Successors of a block (empty while unterminated).
     pub fn successors(&self, bb: BlockId) -> Vec<BlockId> {
-        self.block(bb).term.as_ref().map_or_else(Vec::new, |t| t.successors())
+        self.block(bb)
+            .term
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.successors())
     }
 
     /// Computes the predecessor lists of every block.
@@ -187,7 +198,10 @@ mod tests {
             else_bb: b,
             loop_md: None,
         });
-        f.block_mut(a).term = Some(Terminator::Br { target: b, loop_md: None });
+        f.block_mut(a).term = Some(Terminator::Br {
+            target: b,
+            loop_md: None,
+        });
         f.block_mut(b).term = Some(Terminator::Ret(Some(Value::i32(0))));
         f
     }
@@ -216,7 +230,14 @@ mod tests {
     fn value_types() {
         let mut f = Function::new("g", vec![IrType::I64], IrType::Void);
         let e = f.entry();
-        let v = f.push_inst(e, Inst::Bin { op: BinOpKind::Add, lhs: Value::Arg(0), rhs: Value::i64(1) });
+        let v = f.push_inst(
+            e,
+            Inst::Bin {
+                op: BinOpKind::Add,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
+        );
         assert_eq!(f.value_type(v), IrType::I64);
         assert_eq!(f.value_type(Value::Arg(0)), IrType::I64);
         assert_eq!(f.value_type(Value::bool(false)), IrType::I1);

@@ -56,7 +56,10 @@ impl BinOpKind {
 
     /// True for the floating-point ops.
     pub fn is_float(self) -> bool {
-        matches!(self, BinOpKind::FAdd | BinOpKind::FSub | BinOpKind::FMul | BinOpKind::FDiv | BinOpKind::FRem)
+        matches!(
+            self,
+            BinOpKind::FAdd | BinOpKind::FSub | BinOpKind::FMul | BinOpKind::FDiv | BinOpKind::FRem
+        )
     }
 }
 
@@ -107,7 +110,10 @@ impl CmpPred {
 
     /// True for the floating-point predicates.
     pub fn is_float(self) -> bool {
-        matches!(self, CmpPred::FEq | CmpPred::FNe | CmpPred::FLt | CmpPred::FLe | CmpPred::FGt | CmpPred::FGe)
+        matches!(
+            self,
+            CmpPred::FEq | CmpPred::FNe | CmpPred::FLt | CmpPred::FLe | CmpPred::FGt | CmpPred::FGe
+        )
     }
 }
 
@@ -342,7 +348,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br { target, .. } => vec![*target],
-            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) | Terminator::Unreachable => Vec::new(),
         }
     }
@@ -351,7 +359,9 @@ impl Terminator {
     pub fn map_blocks(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Br { target, .. } => *target = f(*target),
-            Terminator::CondBr { then_bb, else_bb, .. } => {
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -391,7 +401,10 @@ mod tests {
 
     #[test]
     fn successors() {
-        let b = Terminator::Br { target: BlockId(3), loop_md: None };
+        let b = Terminator::Br {
+            target: BlockId(3),
+            loop_md: None,
+        };
         assert_eq!(b.successors(), vec![BlockId(3)]);
         let c = Terminator::CondBr {
             cond: Value::bool(true),
@@ -405,7 +418,11 @@ mod tests {
 
     #[test]
     fn operand_mapping() {
-        let mut i = Inst::Bin { op: BinOpKind::Add, lhs: Value::i32(1), rhs: Value::i32(2) };
+        let mut i = Inst::Bin {
+            op: BinOpKind::Add,
+            lhs: Value::i32(1),
+            rhs: Value::i32(2),
+        };
         i.map_operands(|v| match v.as_const_int() {
             Some(n) => Value::i32(n as i32 * 10),
             None => v,
@@ -416,17 +433,40 @@ mod tests {
     #[test]
     fn result_types() {
         let vt = |_v: Value| IrType::I32;
-        assert_eq!(Inst::Cmp { pred: CmpPred::Ult, lhs: Value::i32(0), rhs: Value::i32(1) }.result_type(vt), IrType::I1);
         assert_eq!(
-            Inst::Alloca { ty: IrType::I32, count: 1, name: String::new() }.result_type(vt),
+            Inst::Cmp {
+                pred: CmpPred::Ult,
+                lhs: Value::i32(0),
+                rhs: Value::i32(1)
+            }
+            .result_type(vt),
+            IrType::I1
+        );
+        assert_eq!(
+            Inst::Alloca {
+                ty: IrType::I32,
+                count: 1,
+                name: String::new()
+            }
+            .result_type(vt),
             IrType::Ptr
         );
-        assert_eq!(Inst::Store { val: Value::i32(0), ptr: Value::Undef(IrType::Ptr) }.result_type(vt), IrType::Void);
+        assert_eq!(
+            Inst::Store {
+                val: Value::i32(0),
+                ptr: Value::Undef(IrType::Ptr)
+            }
+            .result_type(vt),
+            IrType::Void
+        );
     }
 
     #[test]
     fn terminator_metadata_slot() {
-        let mut t = Terminator::Br { target: BlockId(0), loop_md: None };
+        let mut t = Terminator::Br {
+            target: BlockId(0),
+            loop_md: None,
+        };
         *t.loop_md_mut().unwrap() = Some(LoopMetadata::unroll(crate::metadata::UnrollHint::Full));
         assert!(t.loop_md().unwrap().unroll.is_some());
         assert!(Terminator::Ret(None).loop_md().is_none());

@@ -30,4 +30,4 @@ pub use module::{ExternFn, GlobalVar, Module};
 pub use printer::{print_function, print_module};
 pub use types::IrType;
 pub use value::{SymbolId, Value};
-pub use verifier::{assert_verified, verify_function, VerifyError};
+pub use verifier::{assert_verified, verify_function, verify_module, VerifyError};

@@ -38,7 +38,10 @@ pub struct LoopMetadata {
 impl LoopMetadata {
     /// Metadata with only an unroll hint.
     pub fn unroll(hint: UnrollHint) -> LoopMetadata {
-        LoopMetadata { unroll: Some(hint), ..Default::default() }
+        LoopMetadata {
+            unroll: Some(hint),
+            ..Default::default()
+        }
     }
 
     /// Marks this loop as already-processed (the `LoopUnroll` pass calls
@@ -90,10 +93,16 @@ mod tests {
 
     #[test]
     fn print_forms() {
-        assert!(LoopMetadata::unroll(UnrollHint::Full).print().contains("llvm.loop.unroll.full"));
-        assert!(LoopMetadata::unroll(UnrollHint::Count(2)).print().contains("count\", i32 2"));
-        let mut v = LoopMetadata::default();
-        v.vectorize_enable = true;
+        assert!(LoopMetadata::unroll(UnrollHint::Full)
+            .print()
+            .contains("llvm.loop.unroll.full"));
+        assert!(LoopMetadata::unroll(UnrollHint::Count(2))
+            .print()
+            .contains("count\", i32 2"));
+        let v = LoopMetadata {
+            vectorize_enable: true,
+            ..LoopMetadata::default()
+        };
         assert!(v.print().contains("vectorize.enable"));
     }
 

@@ -98,7 +98,12 @@ impl Module {
     /// Adds a zero-initialized global of `size` bytes.
     pub fn add_global(&mut self, name: &str, ty: IrType, size: u64) -> SymbolId {
         let sym = self.intern(name);
-        self.globals.push(GlobalVar { sym, size, ty, init: Vec::new() });
+        self.globals.push(GlobalVar {
+            sym,
+            size,
+            ty,
+            init: Vec::new(),
+        });
         sym
     }
 

@@ -11,14 +11,25 @@ use std::fmt::Write as _;
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     for g in &m.globals {
-        let _ = writeln!(out, "@{} = global [{} x i8] zeroinitializer", m.symbol_name(g.sym), g.size);
+        let _ = writeln!(
+            out,
+            "@{} = global [{} x i8] zeroinitializer",
+            m.symbol_name(g.sym),
+            g.size
+        );
     }
     if !m.globals.is_empty() {
         out.push('\n');
     }
     for e in &m.externs {
         let ps: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
-        let _ = writeln!(out, "declare {} @{}({})", e.ret, m.symbol_name(e.sym), ps.join(", "));
+        let _ = writeln!(
+            out,
+            "declare {} @{}({})",
+            e.ret,
+            m.symbol_name(e.sym),
+            ps.join(", ")
+        );
     }
     if !m.externs.is_empty() {
         out.push('\n');
@@ -33,7 +44,12 @@ pub fn print_module(m: &Module) -> String {
 /// Prints one function.
 pub fn print_function(f: &Function, m: &Module) -> String {
     let mut out = String::new();
-    let ps: Vec<String> = f.params.iter().enumerate().map(|(i, t)| format!("{t} %arg{i}")).collect();
+    let ps: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
     let _ = writeln!(out, "define {} @{}({}) {{", f.ret, f.name, ps.join(", "));
     for (i, b) in f.blocks.iter().enumerate() {
         let id = BlockId(i as u32);
@@ -79,22 +95,40 @@ fn print_inst(f: &Function, m: &Module, id: InstId) -> String {
     let lhs = format!("%{}", id.0);
     match i {
         Inst::Alloca { ty, count, name } => {
-            let n = if name.is_empty() { String::new() } else { format!("  ; {name}") };
+            let n = if name.is_empty() {
+                String::new()
+            } else {
+                format!("  ; {name}")
+            };
             format!("{lhs} = alloca {ty}, i64 {count}{n}")
         }
         Inst::Load { ty, ptr } => format!("{lhs} = load {ty}, ptr {}", val(f, *ptr)),
         Inst::Store { val: v, ptr } => format!("store {}, ptr {}", tval(f, *v), val(f, *ptr)),
-        Inst::Gep { ptr, index, elem_size } => format!(
+        Inst::Gep {
+            ptr,
+            index,
+            elem_size,
+        } => format!(
             "{lhs} = getelementptr i8, ptr {}, {} x {elem_size}",
             val(f, *ptr),
             tval(f, *index)
         ),
         Inst::Bin { op, lhs: l, rhs } => {
-            format!("{lhs} = {} {}, {}", op.mnemonic(), tval(f, *l), val(f, *rhs))
+            format!(
+                "{lhs} = {} {}, {}",
+                op.mnemonic(),
+                tval(f, *l),
+                val(f, *rhs)
+            )
         }
         Inst::Cmp { pred, lhs: l, rhs } => {
             let kind = if pred.is_float() { "fcmp" } else { "icmp" };
-            format!("{lhs} = {kind} {} {}, {}", pred.mnemonic(), tval(f, *l), val(f, *rhs))
+            format!(
+                "{lhs} = {kind} {} {}, {}",
+                pred.mnemonic(),
+                tval(f, *l),
+                val(f, *rhs)
+            )
         }
         Inst::Cast { op, val: v, to } => {
             format!("{lhs} = {} {} to {to}", op.mnemonic(), tval(f, *v))
@@ -141,7 +175,12 @@ fn print_term(f: &Function, t: &Terminator) -> String {
                 .unwrap_or_default();
             format!("br label %{}{md}", block_label(f, *target))
         }
-        Terminator::CondBr { cond, then_bb, else_bb, loop_md } => {
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            loop_md,
+        } => {
             let md = loop_md
                 .filter(|m| m.is_interesting())
                 .map(|m| format!(", !llvm.loop {}", m.print()))

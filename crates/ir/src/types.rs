@@ -28,7 +28,10 @@ pub enum IrType {
 impl IrType {
     /// True for the integer types (including `i1`).
     pub fn is_int(self) -> bool {
-        matches!(self, IrType::I1 | IrType::I8 | IrType::I16 | IrType::I32 | IrType::I64)
+        matches!(
+            self,
+            IrType::I1 | IrType::I8 | IrType::I16 | IrType::I32 | IrType::I64
+        )
     }
 
     /// True for floating-point types.
@@ -144,7 +147,13 @@ mod tests {
 
     #[test]
     fn int_with_bits_round_trip() {
-        for t in [IrType::I1, IrType::I8, IrType::I16, IrType::I32, IrType::I64] {
+        for t in [
+            IrType::I1,
+            IrType::I8,
+            IrType::I16,
+            IrType::I32,
+            IrType::I64,
+        ] {
             assert_eq!(IrType::int_with_bits(t.bits()), t);
         }
     }

@@ -40,29 +40,44 @@ pub enum Value {
 impl Value {
     /// An `i32` constant.
     pub fn i32(v: i32) -> Value {
-        Value::ConstInt { ty: IrType::I32, val: v as i64 }
+        Value::ConstInt {
+            ty: IrType::I32,
+            val: v as i64,
+        }
     }
 
     /// An `i64` constant.
     pub fn i64(v: i64) -> Value {
-        Value::ConstInt { ty: IrType::I64, val: v }
+        Value::ConstInt {
+            ty: IrType::I64,
+            val: v,
+        }
     }
 
     /// An `i1` constant.
     pub fn bool(v: bool) -> Value {
-        Value::ConstInt { ty: IrType::I1, val: v as i64 }
+        Value::ConstInt {
+            ty: IrType::I1,
+            val: v as i64,
+        }
     }
 
     /// An integer constant of arbitrary integer type, wrapped to width.
     pub fn int(ty: IrType, v: i64) -> Value {
         debug_assert!(ty.is_int());
-        Value::ConstInt { ty, val: ty.wrap(v) }
+        Value::ConstInt {
+            ty,
+            val: ty.wrap(v),
+        }
     }
 
     /// A floating constant.
     pub fn float(ty: IrType, v: f64) -> Value {
         debug_assert!(ty.is_float());
-        Value::ConstFloat { ty, bits: v.to_bits() }
+        Value::ConstFloat {
+            ty,
+            bits: v.to_bits(),
+        }
     }
 
     /// The constant integer payload, if this is one.

@@ -33,12 +33,13 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
     }
 
     let check_val = |v: Value, ctx: &str, errs: &mut Vec<VerifyError>| match v {
-        Value::Inst(id) if id.0 >= ninsts => {
-            errs.push(VerifyError(format!("{ctx}: reference to out-of-range inst %{}", id.0)))
-        }
-        Value::Arg(i) if i as usize >= f.params.len() => {
-            errs.push(VerifyError(format!("{ctx}: reference to out-of-range arg {i}")))
-        }
+        Value::Inst(id) if id.0 >= ninsts => errs.push(VerifyError(format!(
+            "{ctx}: reference to out-of-range inst %{}",
+            id.0
+        ))),
+        Value::Arg(i) if i as usize >= f.params.len() => errs.push(VerifyError(format!(
+            "{ctx}: reference to out-of-range arg {i}"
+        ))),
         _ => {}
     };
 
@@ -47,7 +48,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
     for b in &f.blocks {
         for &i in &b.insts {
             if i.0 >= ninsts {
-                errs.push(VerifyError(format!("block {} lists out-of-range inst %{}", b.name, i.0)));
+                errs.push(VerifyError(format!(
+                    "block {} lists out-of-range inst %{}",
+                    b.name, i.0
+                )));
                 continue;
             }
             owner[i.0 as usize] += 1;
@@ -67,7 +71,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
             Some(t) => {
                 for s in t.successors() {
                     if s.0 >= nblocks {
-                        errs.push(VerifyError(format!("{ctx}: branch to out-of-range block {}", s.0)));
+                        errs.push(VerifyError(format!(
+                            "{ctx}: branch to out-of-range block {}",
+                            s.0
+                        )));
                     }
                 }
                 match t {
@@ -80,13 +87,13 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
                     Terminator::Ret(Some(v)) => {
                         check_val(*v, &ctx, &mut errs);
                         if f.ret == IrType::Void {
-                            errs.push(VerifyError(format!("{ctx}: ret with value in void function")));
+                            errs.push(VerifyError(format!(
+                                "{ctx}: ret with value in void function"
+                            )));
                         }
                     }
-                    Terminator::Ret(None) => {
-                        if f.ret != IrType::Void {
-                            errs.push(VerifyError(format!("{ctx}: bare ret in non-void function")));
-                        }
+                    Terminator::Ret(None) if f.ret != IrType::Void => {
+                        errs.push(VerifyError(format!("{ctx}: bare ret in non-void function")));
                     }
                     _ => {}
                 }
@@ -110,7 +117,9 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
                     // Each incoming edge must come from an actual predecessor.
                     for (from, _) in incoming {
                         if from.0 >= nblocks {
-                            errs.push(VerifyError(format!("{ictx}: phi edge from out-of-range block")));
+                            errs.push(VerifyError(format!(
+                                "{ictx}: phi edge from out-of-range block"
+                            )));
                         } else if bid.0 < nblocks && !preds[bi].contains(from) {
                             errs.push(VerifyError(format!(
                                 "{ictx}: phi edge from non-predecessor {}.{}",
@@ -130,13 +139,23 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
                         }
                     }
                 }
-                Inst::Store { val, .. } => {
-                    if f.value_type(*val) == IrType::Void {
-                        errs.push(VerifyError(format!("{ictx}: store of void value")));
-                    }
+                Inst::Store { val, .. } if f.value_type(*val) == IrType::Void => {
+                    errs.push(VerifyError(format!("{ictx}: store of void value")));
                 }
                 _ => {}
             }
+        }
+    }
+    errs
+}
+
+/// Verifies every function in `m`, prefixing each error with the function
+/// name so module-level reports stay attributable.
+pub fn verify_module(m: &crate::module::Module) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    for f in &m.functions {
+        for e in verify_function(f) {
+            errs.push(VerifyError(format!("@{}: {}", f.name, e.0)));
         }
     }
     errs
@@ -149,7 +168,10 @@ pub fn assert_verified(f: &Function) {
         errs.is_empty(),
         "IR verification failed for @{}:\n{}",
         f.name,
-        errs.iter().map(|e| format!("  - {e}")).collect::<Vec<_>>().join("\n")
+        errs.iter()
+            .map(|e| format!("  - {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
@@ -174,7 +196,10 @@ mod tests {
     fn rejects_missing_terminator() {
         let f = Function::new("bad", vec![], IrType::Void);
         let errs = verify_function(&f);
-        assert!(errs.iter().any(|e| e.0.contains("missing terminator")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.0.contains("missing terminator")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -199,13 +224,28 @@ mod tests {
         let e = f.entry();
         let b1 = f.add_block("b1");
         let b2 = f.add_block("b2");
-        f.block_mut(e).term = Some(Terminator::Br { target: b1, loop_md: None });
-        f.push_inst(b1, Inst::Phi { ty: IrType::I32, incoming: vec![(b2, Value::i32(0))] });
+        f.block_mut(e).term = Some(Terminator::Br {
+            target: b1,
+            loop_md: None,
+        });
+        f.push_inst(
+            b1,
+            Inst::Phi {
+                ty: IrType::I32,
+                incoming: vec![(b2, Value::i32(0))],
+            },
+        );
         f.block_mut(b1).term = Some(Terminator::Ret(None));
         f.block_mut(b2).term = Some(Terminator::Ret(None));
         let errs = verify_function(&f);
-        assert!(errs.iter().any(|e| e.0.contains("non-predecessor")), "{errs:?}");
-        assert!(errs.iter().any(|e| e.0.contains("missing edge")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.0.contains("non-predecessor")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.0.contains("missing edge")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over the file `file` registered in `sm`.
     pub fn new(sm: &SourceManager, file: FileId, diags: &'a DiagnosticsEngine) -> Self {
-        Lexer::from_buffer(Arc::clone(sm.buffer(file)), sm.loc_for_offset(file, 0), diags)
+        Lexer::from_buffer(
+            Arc::clone(sm.buffer(file)),
+            sm.loc_for_offset(file, 0),
+            diags,
+        )
     }
 
     /// Creates a lexer from a buffer whose first byte has location `base`.
@@ -34,7 +38,13 @@ impl<'a> Lexer<'a> {
         base: SourceLocation,
         diags: &'a DiagnosticsEngine,
     ) -> Self {
-        Lexer { buffer, base, diags, pos: 0, at_line_start: true }
+        Lexer {
+            buffer,
+            base,
+            diags,
+            pos: 0,
+            at_line_start: true,
+        }
     }
 
     fn peek(&self) -> u8 {
@@ -108,7 +118,11 @@ impl<'a> Lexer<'a> {
         let at_line_start = std::mem::replace(&mut self.at_line_start, false);
         let loc = self.loc();
         let kind = self.lex_kind();
-        Token { kind, loc, at_line_start }
+        Token {
+            kind,
+            loc,
+            at_line_start,
+        }
     }
 
     fn lex_kind(&mut self) -> TokenKind {
@@ -130,7 +144,7 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         let text = &self.buffer.data()[start..self.pos];
-        match Keyword::from_str(text) {
+        match Keyword::from_spelling(text) {
             Some(k) => TokenKind::Kw(k),
             None => TokenKind::Ident(text.to_string()),
         }
@@ -167,7 +181,8 @@ impl<'a> Lexer<'a> {
         }
         if (self.peek() | 0x20) == b'e'
             && (self.peek2().is_ascii_digit()
-                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+                || ((self.peek2() == b'+' || self.peek2() == b'-')
+                    && self.peek3().is_ascii_digit()))
         {
             is_float = true;
             self.pos += 1; // e
@@ -186,13 +201,15 @@ impl<'a> Lexer<'a> {
             match text.parse::<f64>() {
                 Ok(v) => TokenKind::FloatLit(v),
                 Err(_) => {
-                    self.diags.error(loc, format!("invalid floating literal '{text}'"));
+                    self.diags
+                        .error(loc, format!("invalid floating literal '{text}'"));
                     TokenKind::FloatLit(0.0)
                 }
             }
         } else {
             let value = text.parse::<u128>().unwrap_or_else(|_| {
-                self.diags.error(loc, format!("integer literal '{text}' is too large"));
+                self.diags
+                    .error(loc, format!("integer literal '{text}' is too large"));
                 0
             });
             let suffix = self.lex_int_suffix();
@@ -258,7 +275,8 @@ impl<'a> Lexer<'a> {
         if self.peek() == b'\'' {
             self.pos += 1;
         } else {
-            self.diags.error(loc, "expected closing ' in character literal");
+            self.diags
+                .error(loc, "expected closing ' in character literal");
         }
         TokenKind::CharLit(c)
     }
@@ -417,7 +435,8 @@ impl<'a> Lexer<'a> {
                 _ => Gt,
             },
             other => {
-                self.diags.error(loc, format!("unexpected character '{}'", other as char));
+                self.diags
+                    .error(loc, format!("unexpected character '{}'", other as char));
                 // Recover by treating it as a semicolon-like separator.
                 Semi
             }
@@ -467,7 +486,11 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<TokenKind> {
         let (toks, diags) = lex_all(src);
-        assert!(!diags.has_errors(), "unexpected lex errors:\n{:?}", diags.all());
+        assert!(
+            !diags.has_errors(),
+            "unexpected lex errors:\n{:?}",
+            diags.all()
+        );
         toks.into_iter().map(|t| t.kind).collect()
     }
 
@@ -491,9 +514,27 @@ mod tests {
             })
             .collect();
         assert_eq!(vals, vec![0, 42, 42, 7, 9, 10]);
-        assert!(matches!(k[3], TokenKind::IntLit { suffix: IntSuffix::Unsigned, .. }));
-        assert!(matches!(k[4], TokenKind::IntLit { suffix: IntSuffix::Long, .. }));
-        assert!(matches!(k[5], TokenKind::IntLit { suffix: IntSuffix::UnsignedLong, .. }));
+        assert!(matches!(
+            k[3],
+            TokenKind::IntLit {
+                suffix: IntSuffix::Unsigned,
+                ..
+            }
+        ));
+        assert!(matches!(
+            k[4],
+            TokenKind::IntLit {
+                suffix: IntSuffix::Long,
+                ..
+            }
+        ));
+        assert!(matches!(
+            k[5],
+            TokenKind::IntLit {
+                suffix: IntSuffix::UnsignedLong,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -528,7 +569,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(ps, vec![PlusAssign, PlusPlus, Plus, ShlAssign, Shl, Le, Lt, Arrow]);
+        assert_eq!(
+            ps,
+            vec![PlusAssign, PlusPlus, Plus, ShlAssign, Shl, Le, Lt, Arrow]
+        );
     }
 
     #[test]
@@ -548,7 +592,10 @@ mod tests {
     #[test]
     fn backslash_newline_continues_line() {
         let (toks, _) = lex_all("a \\\nb");
-        assert!(!toks[1].at_line_start, "continuation must not start a new line");
+        assert!(
+            !toks[1].at_line_start,
+            "continuation must not start a new line"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl<'a> Preprocessor<'a> {
             sm,
             fm,
             diags,
-            stack: vec![StackEntry { lexer, resume: None }],
+            stack: vec![StackEntry {
+                lexer,
+                resume: None,
+            }],
             macros: HashMap::new(),
             pending: std::collections::VecDeque::new(),
             lookahead: None,
@@ -65,7 +68,9 @@ impl<'a> Preprocessor<'a> {
     /// Defines an object-like macro programmatically (like `-D` on the
     /// command line). The replacement is lexed from `replacement`.
     pub fn define(&mut self, name: &str, replacement: &str) {
-        let buf = self.fm.add_virtual_file(format!("<define:{name}>"), replacement.to_string());
+        let buf = self
+            .fm
+            .add_virtual_file(format!("<define:{name}>"), replacement.to_string());
         let (_, start) = self.sm.add_file(buf.clone());
         let mut lx = Lexer::from_buffer(buf, start, self.diags);
         let mut toks = Vec::new();
@@ -86,7 +91,12 @@ impl<'a> Preprocessor<'a> {
             if let Some(t) = self.lookahead.take() {
                 return t;
             }
-            let t = self.stack.last_mut().expect("lexer stack never empty").lexer.next_token();
+            let t = self
+                .stack
+                .last_mut()
+                .expect("lexer stack never empty")
+                .lexer
+                .next_token();
             if matches!(t.kind, TokenKind::Eof) && self.stack.len() > 1 {
                 let entry = self.stack.pop().expect("checked non-empty");
                 self.lookahead = entry.resume;
@@ -172,7 +182,10 @@ impl<'a> Preprocessor<'a> {
             TokenKind::Ident(s) => s.clone(),
             TokenKind::Kw(k) => k.as_str().to_string(),
             other => {
-                self.diags.error(hash.loc, format!("expected directive name after '#', got {other:?}"));
+                self.diags.error(
+                    hash.loc,
+                    format!("expected directive name after '#', got {other:?}"),
+                );
                 self.rest_of_line();
                 return;
             }
@@ -182,7 +195,13 @@ impl<'a> Preprocessor<'a> {
             "define" => {
                 let line = self.rest_of_line();
                 match line.split_first() {
-                    Some((Token { kind: TokenKind::Ident(n), .. }, rest)) => {
+                    Some((
+                        Token {
+                            kind: TokenKind::Ident(n),
+                            ..
+                        },
+                        rest,
+                    )) => {
                         self.macros.insert(n.clone(), rest.to_vec());
                     }
                     _ => self.diags.error(hash.loc, "#define requires a macro name"),
@@ -191,7 +210,10 @@ impl<'a> Preprocessor<'a> {
             "undef" => {
                 let line = self.rest_of_line();
                 match line.first() {
-                    Some(Token { kind: TokenKind::Ident(n), .. }) => {
+                    Some(Token {
+                        kind: TokenKind::Ident(n),
+                        ..
+                    }) => {
                         self.macros.remove(n);
                     }
                     _ => self.diags.error(hash.loc, "#undef requires a macro name"),
@@ -200,7 +222,11 @@ impl<'a> Preprocessor<'a> {
             "include" => {
                 let line = self.rest_of_line();
                 match line.first() {
-                    Some(Token { kind: TokenKind::StrLit(path), loc, .. }) => {
+                    Some(Token {
+                        kind: TokenKind::StrLit(path),
+                        loc,
+                        ..
+                    }) => {
                         let path = path.clone();
                         let loc = *loc;
                         match self.fm.get_file(&path) {
@@ -227,7 +253,10 @@ impl<'a> Preprocessor<'a> {
                 }
             }
             other => {
-                self.diags.error(hash.loc, format!("unknown preprocessor directive '#{other}'"));
+                self.diags.error(
+                    hash.loc,
+                    format!("unknown preprocessor directive '#{other}'"),
+                );
                 self.rest_of_line();
             }
         }
@@ -241,8 +270,11 @@ impl<'a> Preprocessor<'a> {
                 .first()
                 .map(|t| t.describe())
                 .unwrap_or_else(|| "<empty>".to_string());
-            self.diags
-                .warning(line.first().map_or(omplt_source::SourceLocation::INVALID, |t| t.loc), format!("ignoring unsupported pragma starting with {what}"));
+            self.diags.warning(
+                line.first()
+                    .map_or(omplt_source::SourceLocation::INVALID, |t| t.loc),
+                format!("ignoring unsupported pragma starting with {what}"),
+            );
             return;
         }
         let start_loc = line[0].loc;
@@ -337,13 +369,19 @@ mod tests {
     fn object_macro_expansion() {
         let (toks, errs) = pp_all("#define N 100\nint a[N];");
         assert!(errs.is_empty(), "{errs}");
-        assert_eq!(spellings(&toks), vec!["int", "a", "[", "100", "]", ";", "<eof>"]);
+        assert_eq!(
+            spellings(&toks),
+            vec!["int", "a", "[", "100", "]", ";", "<eof>"]
+        );
     }
 
     #[test]
     fn multi_token_macro() {
         let (toks, _) = pp_all("#define EXPR (1 + 2)\nint x = EXPR;");
-        assert_eq!(spellings(&toks), vec!["int", "x", "=", "(", "1", "+", "2", ")", ";", "<eof>"]);
+        assert_eq!(
+            spellings(&toks),
+            vec!["int", "x", "=", "(", "1", "+", "2", ")", ";", "<eof>"]
+        );
     }
 
     #[test]
@@ -358,7 +396,10 @@ mod tests {
         assert!(errs.is_empty(), "{errs}");
         assert_eq!(
             spellings(&toks),
-            vec!["<omp>", "unroll", "partial", "(", "2", ")", "</omp>", "for", "(", ";", ";", ")", ";", "<eof>"]
+            vec![
+                "<omp>", "unroll", "partial", "(", "2", ")", "</omp>", "for", "(", ";", ";", ")",
+                ";", "<eof>"
+            ]
         );
     }
 
@@ -375,7 +416,10 @@ mod tests {
     fn non_omp_pragma_dropped_with_warning() {
         let (toks, rendered) = pp_all("#pragma once\nint x;");
         assert_eq!(spellings(&toks), vec!["int", "x", ";", "<eof>"]);
-        assert!(rendered.contains("warning: ignoring unsupported pragma"), "{rendered}");
+        assert!(
+            rendered.contains("warning: ignoring unsupported pragma"),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -387,7 +431,17 @@ mod tests {
         assert!(errs.is_empty(), "{errs}");
         assert_eq!(
             spellings(&toks),
-            vec!["int", "from_header", ";", "int", "x", "=", "5", ";", "<eof>"]
+            vec![
+                "int",
+                "from_header",
+                ";",
+                "int",
+                "x",
+                "=",
+                "5",
+                ";",
+                "<eof>"
+            ]
         );
     }
 
@@ -417,7 +471,10 @@ mod tests {
         let sp = spellings(&toks);
         assert_eq!(
             sp,
-            vec!["<omp>", "tile", "sizes", "(", "4", ",", "4", ")", "</omp>", "int", "x", ";", "<eof>"]
+            vec![
+                "<omp>", "tile", "sizes", "(", "4", ",", "4", ")", "</omp>", "int", "x", ";",
+                "<eof>"
+            ]
         );
     }
 
@@ -433,6 +490,9 @@ mod tests {
             pp.define("WIDTH", "32");
             pp.tokenize_all()
         };
-        assert_eq!(spellings(&toks), vec!["int", "a", "[", "32", "]", ";", "<eof>"]);
+        assert_eq!(
+            spellings(&toks),
+            vec!["int", "a", "[", "32", "]", ";", "<eof>"]
+        );
     }
 }

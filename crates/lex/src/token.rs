@@ -37,7 +37,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Maps an identifier spelling to a keyword, if reserved.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_spelling(s: &str) -> Option<Keyword> {
         Some(match s {
             "void" => Keyword::Void,
             "bool" | "_Bool" => Keyword::Bool,
@@ -314,11 +314,11 @@ mod tests {
     #[test]
     fn keyword_round_trip() {
         for kw in ["int", "for", "unsigned", "size_t", "return", "extern"] {
-            let k = Keyword::from_str(kw).unwrap();
+            let k = Keyword::from_spelling(kw).unwrap();
             assert_eq!(k.as_str(), kw);
         }
-        assert!(Keyword::from_str("omp").is_none());
-        assert!(Keyword::from_str("unroll").is_none());
+        assert!(Keyword::from_spelling("omp").is_none());
+        assert!(Keyword::from_spelling("unroll").is_none());
     }
 
     #[test]

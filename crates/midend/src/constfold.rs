@@ -3,7 +3,7 @@
 //! (unrolling in particular) substitute constants for induction variables
 //! *after* instructions were built, so a post-pass re-folds them.
 
-use omplt_ir::{fold_bin, eval_icmp, Function, Inst, InstId, Value};
+use omplt_ir::{eval_icmp, fold_bin, Function, Inst, InstId, Value};
 use std::collections::HashMap;
 
 /// Folds constants and removes dead instructions to a fixpoint.
@@ -124,12 +124,11 @@ fn dce_once(f: &mut Function) -> bool {
     for b in &mut f.blocks {
         let before = b.insts.len();
         b.insts.retain(|&iid| {
-            let keep = used[iid.0 as usize]
+            used[iid.0 as usize]
                 || matches!(
                     f.insts[iid.0 as usize],
                     Inst::Store { .. } | Inst::Call { .. }
-                );
-            keep
+                )
         });
         removed |= b.insts.len() != before;
     }
@@ -149,23 +148,32 @@ mod tests {
             // Build unfoldable insts via raw pushes (simulating post-unroll
             // constant substitution).
             let e = b.insert_block();
-            let v1 = b.func_mut().push_inst(e, Inst::Bin {
-                op: BinOpKind::Add,
-                lhs: Value::i64(2),
-                rhs: Value::i64(3),
-            });
-            let v2 = b.func_mut().push_inst(e, Inst::Bin {
-                op: BinOpKind::Mul,
-                lhs: v1,
-                rhs: Value::i64(4),
-            });
+            let v1 = b.func_mut().push_inst(
+                e,
+                Inst::Bin {
+                    op: BinOpKind::Add,
+                    lhs: Value::i64(2),
+                    rhs: Value::i64(3),
+                },
+            );
+            let v2 = b.func_mut().push_inst(
+                e,
+                Inst::Bin {
+                    op: BinOpKind::Mul,
+                    lhs: v1,
+                    rhs: Value::i64(4),
+                },
+            );
             b.ret(Some(v2));
         }
         assert!(constant_fold(&mut f));
         assert_eq!(f.num_insts(), 0);
         assert!(matches!(
             f.block(f.entry()).term,
-            Some(omplt_ir::Terminator::Ret(Some(Value::ConstInt { val: 20, .. })))
+            Some(omplt_ir::Terminator::Ret(Some(Value::ConstInt {
+                val: 20,
+                ..
+            })))
         ));
         assert_verified(&f);
     }
@@ -179,11 +187,14 @@ mod tests {
             b.store(Value::i64(1), p);
             // dead arithmetic
             let e = b.insert_block();
-            b.func_mut().push_inst(e, Inst::Bin {
-                op: BinOpKind::Add,
-                lhs: Value::i64(1),
-                rhs: Value::i64(1),
-            });
+            b.func_mut().push_inst(
+                e,
+                Inst::Bin {
+                    op: BinOpKind::Add,
+                    lhs: Value::i64(1),
+                    rhs: Value::i64(1),
+                },
+            );
             b.ret(None);
         }
         constant_fold(&mut f);
@@ -207,7 +218,10 @@ mod tests {
         constant_fold(&mut f);
         assert!(matches!(
             f.block(next).term,
-            Some(omplt_ir::Terminator::Ret(Some(Value::ConstInt { val: 9, .. })))
+            Some(omplt_ir::Terminator::Ret(Some(Value::ConstInt {
+                val: 9,
+                ..
+            })))
         ));
     }
 
@@ -219,6 +233,6 @@ mod tests {
             let v = b.add(Value::Arg(0), Value::i64(1));
             b.ret(Some(v));
         }
-        assert!(constant_fold(&mut f) == false);
+        assert!(!constant_fold(&mut f));
     }
 }

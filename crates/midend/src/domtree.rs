@@ -109,8 +109,14 @@ mod tests {
             else_bb: b,
             loop_md: None,
         });
-        f.block_mut(a).term = Some(Terminator::Br { target: join, loop_md: None });
-        f.block_mut(b).term = Some(Terminator::Br { target: join, loop_md: None });
+        f.block_mut(a).term = Some(Terminator::Br {
+            target: join,
+            loop_md: None,
+        });
+        f.block_mut(b).term = Some(Terminator::Br {
+            target: join,
+            loop_md: None,
+        });
         f.block_mut(join).term = Some(Terminator::Ret(None));
         (f, a, b, join)
     }
@@ -136,14 +142,20 @@ mod tests {
         let body = f.add_block("body");
         let exit = f.add_block("exit");
         let e = f.entry();
-        f.block_mut(e).term = Some(Terminator::Br { target: header, loop_md: None });
+        f.block_mut(e).term = Some(Terminator::Br {
+            target: header,
+            loop_md: None,
+        });
         f.block_mut(header).term = Some(Terminator::CondBr {
             cond: Value::bool(true),
             then_bb: body,
             else_bb: exit,
             loop_md: None,
         });
-        f.block_mut(body).term = Some(Terminator::Br { target: header, loop_md: None });
+        f.block_mut(body).term = Some(Terminator::Br {
+            target: header,
+            loop_md: None,
+        });
         f.block_mut(exit).term = Some(Terminator::Ret(None));
         let dt = DomTree::compute(&f);
         assert!(dt.dominates(header, body));

@@ -17,10 +17,12 @@ pub mod loop_info;
 pub mod loop_unroll;
 pub mod pass_manager;
 pub mod simplify_cfg;
+pub mod verify;
 
+pub use constfold::constant_fold;
 pub use domtree::DomTree;
 pub use loop_info::{match_skeleton, skeleton_body_region, LoopInfo, NaturalLoop, SkeletonLoop};
-pub use constfold::constant_fold;
 pub use loop_unroll::{loop_unroll, UnrollStats};
+pub use pass_manager::{run_default_pipeline, run_default_pipeline_verified, Pass, PassManager};
 pub use simplify_cfg::simplify_cfg;
-pub use pass_manager::{run_default_pipeline, Pass, PassManager};
+pub use verify::{verify_function_full, verify_loop_skeletons, verify_module_full};

@@ -53,7 +53,11 @@ impl LoopInfo {
                             stack.push(p);
                         }
                     }
-                    loops.push(NaturalLoop { header, latch: from, blocks });
+                    loops.push(NaturalLoop {
+                        header,
+                        latch: from,
+                        blocks,
+                    });
                 }
             }
         }
@@ -71,7 +75,7 @@ impl LoopInfo {
                 .term
                 .as_ref()
                 .and_then(|t| t.loop_md())
-                .is_some_and(|m| pred(m))
+                .is_some_and(&pred)
         })
     }
 }
@@ -105,7 +109,9 @@ pub fn match_skeleton(f: &Function, loop_: &NaturalLoop) -> Option<SkeletonLoop>
     // SimplifyCfg merged header+cond, the header itself holds the compare
     // and conditional branch.
     let iv_phi = *f.block(header).insts.first()?;
-    let Inst::Phi { incoming, .. } = f.inst(iv_phi) else { return None };
+    let Inst::Phi { incoming, .. } = f.inst(iv_phi) else {
+        return None;
+    };
     if incoming.len() != 2 || !incoming.iter().any(|(b, _)| *b == latch) {
         return None;
     }
@@ -121,16 +127,33 @@ pub fn match_skeleton(f: &Function, loop_: &NaturalLoop) -> Option<SkeletonLoop>
         .insts
         .iter()
         .find(|&&i| !matches!(f.inst(i), Inst::Phi { .. }))?;
-    let Inst::Cmp { pred: CmpPred::Ult, lhs, rhs } = f.inst(cmp_id) else { return None };
+    let Inst::Cmp {
+        pred: CmpPred::Ult,
+        lhs,
+        rhs,
+    } = f.inst(cmp_id)
+    else {
+        return None;
+    };
     if *lhs != Value::Inst(iv_phi) {
         return None;
     }
     let trip_count = *rhs;
     let (body, exit) = match f.block(cond).term.as_ref()? {
-        Terminator::CondBr { then_bb, else_bb, .. } => (*then_bb, *else_bb),
+        Terminator::CondBr {
+            then_bb, else_bb, ..
+        } => (*then_bb, *else_bb),
         _ => return None,
     };
-    Some(SkeletonLoop { header, cond, body, latch, exit, iv_phi, trip_count })
+    Some(SkeletonLoop {
+        header,
+        cond,
+        body,
+        latch,
+        exit,
+        iv_phi,
+        trip_count,
+    })
 }
 
 /// The body region of a recognized skeleton: blocks reachable from `body`
@@ -202,7 +225,11 @@ mod tests {
             b.br(after);
             b.set_insert_point(after);
             b.ret(None);
-            Cli { header, latch, iv: phi }
+            Cli {
+                header,
+                latch,
+                iv: phi,
+            }
         }
     }
 
@@ -216,7 +243,11 @@ mod tests {
         let l = &li.loops[0];
         assert_eq!(l.header, cli.header);
         assert_eq!(l.latch, cli.latch);
-        assert!(l.blocks.len() >= 4, "header, cond, body, latch: {:?}", l.blocks);
+        assert!(
+            l.blocks.len() >= 4,
+            "header, cond, body, latch: {:?}",
+            l.blocks
+        );
     }
 
     #[test]

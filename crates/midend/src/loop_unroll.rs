@@ -54,19 +54,18 @@ pub fn loop_unroll(f: &mut Function) -> UnrollStats {
     loop {
         let dt = DomTree::compute(f);
         let li = LoopInfo::compute(f, &dt);
-        let target = li
-            .loops
-            .iter()
-            .find_map(|l| {
-                let md = f.block(l.latch).term.as_ref()?.loop_md()?;
-                match md.unroll {
-                    Some(UnrollHint::Full) | Some(UnrollHint::Count(_)) | Some(UnrollHint::Enable) => {
-                        Some((l.clone(), md.unroll.unwrap()))
-                    }
-                    _ => None,
+        let target = li.loops.iter().find_map(|l| {
+            let md = f.block(l.latch).term.as_ref()?.loop_md()?;
+            match md.unroll {
+                Some(UnrollHint::Full) | Some(UnrollHint::Count(_)) | Some(UnrollHint::Enable) => {
+                    Some((l.clone(), md.unroll.unwrap()))
                 }
-            });
-        let Some((l, hint)) = target else { return stats };
+                _ => None,
+            }
+        });
+        let Some((l, hint)) = target else {
+            return stats;
+        };
 
         let Some(sk) = match_skeleton(f, &l) else {
             disable(f, l.latch);
@@ -91,7 +90,8 @@ pub fn loop_unroll(f: &mut Function) -> UnrollStats {
                     stats.skipped += 1;
                     continue;
                 };
-                if (tc.max(0) as u64).saturating_mul(body_size.max(1) as u64) > FULL_UNROLL_MAX_GROWTH
+                if (tc.max(0) as u64).saturating_mul(body_size.max(1) as u64)
+                    > FULL_UNROLL_MAX_GROWTH
                 {
                     // Too large to fully materialize: fall back to a factor.
                     partial_unroll(f, &sk, &region, 4);
@@ -150,7 +150,10 @@ fn disable(f: &mut Function, latch: BlockId) {
 
 fn region_has_phis(f: &Function, region: &[BlockId]) -> bool {
     region.iter().any(|&bb| {
-        f.block(bb).insts.iter().any(|&i| matches!(f.inst(i), Inst::Phi { .. }))
+        f.block(bb)
+            .insts
+            .iter()
+            .any(|&i| matches!(f.inst(i), Inst::Phi { .. }))
     })
 }
 
@@ -163,7 +166,10 @@ fn region_in_rpo(f: &Function, region: &[BlockId]) -> Vec<BlockId> {
         }
         v
     };
-    f.reverse_postorder().into_iter().filter(|b| set[b.0 as usize]).collect()
+    f.reverse_postorder()
+        .into_iter()
+        .filter(|b| set[b.0 as usize])
+        .collect()
 }
 
 /// Clones `region`, remapping values through `vmap` (seeded with the IV
@@ -239,8 +245,15 @@ fn full_unroll(f: &mut Function, sk: &SkeletonLoop, region: &[BlockId], tc: u64)
     let mut next_entry = sk.exit;
     for k in (0..tc).rev() {
         let seed = [(sk.iv_phi, Value::int(ty, k as i64))];
-        next_entry =
-            clone_region(f, &region_rpo, sk.body, &seed, sk.latch, next_entry, &format!("unroll{k}"));
+        next_entry = clone_region(
+            f,
+            &region_rpo,
+            sk.body,
+            &seed,
+            sk.latch,
+            next_entry,
+            &format!("unroll{k}"),
+        );
     }
     // The preheader now jumps straight into the first copy (or the exit for
     // a zero-trip loop); header/cond/body/latch become unreachable.
@@ -289,8 +302,9 @@ fn partial_unroll(f: &mut Function, sk: &SkeletonLoop, region: &[BlockId], k: u6
         let (g, g_phi) = b.phi(ty);
         b.add_phi_incoming(g_phi, preheader, Value::int(ty, 0));
         let base = b.mul(g, k_const);
-        let ivs: Vec<Value> =
-            (0..k).map(|j| b.add(base, Value::int(ty, j as i64))).collect();
+        let ivs: Vec<Value> = (0..k)
+            .map(|j| b.add(base, Value::int(ty, j as i64)))
+            .collect();
         b.br(mcond);
 
         b.set_insert_point(mcond);
@@ -500,7 +514,8 @@ mod tests {
         for n in [0i64, 1, 3, 7, 11] {
             let it = omplt_interp::Interpreter::new(&m, omplt_interp::RuntimeConfig::default());
             let ctx = omplt_interp::ThreadCtx::initial();
-            it.call_by_name("kernel", vec![omplt_interp::RtVal::I(n)], &ctx).unwrap();
+            it.call_by_name("kernel", vec![omplt_interp::RtVal::I(n)], &ctx)
+                .unwrap();
             let out = std::mem::take(&mut *it.out.lock().unwrap());
             assert_eq!(out, expected(n as u64), "n={n}");
         }

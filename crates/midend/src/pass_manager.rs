@@ -3,7 +3,8 @@
 use crate::constfold::constant_fold;
 use crate::loop_unroll::{loop_unroll, UnrollStats};
 use crate::simplify_cfg::simplify_cfg;
-use omplt_ir::{Function, Module};
+use crate::verify::verify_function_full;
+use omplt_ir::{Function, Module, VerifyError};
 
 /// Named function passes.
 pub enum Pass {
@@ -15,12 +16,28 @@ pub enum Pass {
     LoopUnroll,
 }
 
+impl Pass {
+    fn name(&self) -> &'static str {
+        match self {
+            Pass::SimplifyCfg => "simplify-cfg",
+            Pass::ConstFold => "const-fold",
+            Pass::LoopUnroll => "loop-unroll",
+        }
+    }
+}
+
 /// Runs passes over every function of a module.
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Pass>,
     /// Accumulated unroll statistics (for remarks/tests).
     pub unroll_stats: UnrollStats,
+    /// When set (`--verify-each`), the structural + canonical-skeleton
+    /// verifier runs after every pass; findings accumulate in
+    /// [`PassManager::verify_errors`] tagged with the offending pass.
+    pub verify_each: bool,
+    /// Errors collected by the between-pass verifier.
+    pub verify_errors: Vec<VerifyError>,
 }
 
 impl PassManager {
@@ -30,8 +47,14 @@ impl PassManager {
     }
 
     /// Appends a pass.
-    pub fn add(mut self, p: Pass) -> Self {
+    pub fn add_pass(mut self, p: Pass) -> Self {
         self.passes.push(p);
+        self
+    }
+
+    /// Enables between-pass verification (`--verify-each`).
+    pub fn verify_each(mut self, on: bool) -> Self {
+        self.verify_each = on;
         self
     }
 
@@ -53,6 +76,16 @@ impl PassManager {
                     self.unroll_stats.skipped += s.skipped;
                 }
             }
+            if self.verify_each {
+                for e in verify_function_full(f) {
+                    self.verify_errors.push(VerifyError(format!(
+                        "after {} on @{}: {}",
+                        p.name(),
+                        f.name,
+                        e.0
+                    )));
+                }
+            }
         }
     }
 
@@ -71,13 +104,28 @@ impl PassManager {
 /// constants the full-unroll path can see.
 pub fn run_default_pipeline(m: &mut Module) -> UnrollStats {
     let mut pm = PassManager::new()
-        .add(Pass::ConstFold)
-        .add(Pass::LoopUnroll)
-        .add(Pass::ConstFold)
-        .add(Pass::SimplifyCfg)
-        .add(Pass::ConstFold);
+        .add_pass(Pass::ConstFold)
+        .add_pass(Pass::LoopUnroll)
+        .add_pass(Pass::ConstFold)
+        .add_pass(Pass::SimplifyCfg)
+        .add_pass(Pass::ConstFold);
     pm.run(m);
     pm.unroll_stats
+}
+
+/// The default pipeline with `--verify-each` semantics: the full verifier
+/// (structural rules + canonical-skeleton invariants) runs after every
+/// pass, and any findings come back alongside the stats.
+pub fn run_default_pipeline_verified(m: &mut Module) -> (UnrollStats, Vec<VerifyError>) {
+    let mut pm = PassManager::new()
+        .add_pass(Pass::ConstFold)
+        .add_pass(Pass::LoopUnroll)
+        .add_pass(Pass::ConstFold)
+        .add_pass(Pass::SimplifyCfg)
+        .add_pass(Pass::ConstFold)
+        .verify_each(true);
+    pm.run(m);
+    (pm.unroll_stats, pm.verify_errors)
 }
 
 #[cfg(test)]
@@ -97,6 +145,64 @@ mod tests {
         let stats = run_default_pipeline(&mut m);
         assert_eq!(stats, UnrollStats::default());
         assert_verified(m.function("main").unwrap());
+    }
+
+    #[test]
+    fn verify_each_catches_corrupted_skeleton() {
+        use omplt_ir::{CmpPred, Inst, Terminator};
+        use omplt_ompirb::create_canonical_loop_skeleton;
+
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], IrType::Void);
+        let cli = {
+            let mut b = IrBuilder::new(&mut f);
+            let cli = create_canonical_loop_skeleton(&mut b, Value::i64(100), "k", true);
+            b.set_insert_point(cli.body);
+            b.br(cli.latch);
+            b.set_insert_point(cli.after);
+            b.ret(None);
+            cli
+        };
+        // Corrupt the canonical skeleton: flip the loop condition's compare
+        // predicate so the `is_canonical` loop no longer matches the shape.
+        let cmp_id = f.block(cli.cond).insts[0];
+        if let Inst::Cmp { pred, .. } = f.inst_mut(cmp_id) {
+            *pred = CmpPred::Sgt;
+        } else {
+            panic!("cond block must start with the compare");
+        }
+        // Sanity: the loop back edge stays intact so the loop is still found.
+        assert!(matches!(
+            f.block(cli.latch).term,
+            Some(Terminator::Br { target, .. }) if target == cli.header
+        ));
+        m.add_function(f);
+
+        let (_, errs) = run_default_pipeline_verified(&mut m);
+        assert!(
+            errs.iter().any(|e| e.0.contains("no longer matches")),
+            "verify-each must flag the corrupted skeleton: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn verify_each_is_quiet_on_valid_loops() {
+        use omplt_ompirb::create_canonical_loop;
+
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], IrType::Void);
+        {
+            let mut b = IrBuilder::new(&mut f);
+            create_canonical_loop(&mut b, Value::i64(16), "k", |_b, _iv| {});
+            b.ret(None);
+        }
+        m.add_function(f);
+        let (_, errs) = run_default_pipeline_verified(&mut m);
+        assert_eq!(
+            errs,
+            vec![],
+            "a pristine canonical loop must verify after every pass"
+        );
     }
 
     #[test]

@@ -24,12 +24,19 @@ pub fn simplify_cfg(f: &mut Function) -> bool {
 fn fold_const_branches(f: &mut Function) -> bool {
     let mut changed = false;
     for b in &mut f.blocks {
-        if let Some(Terminator::CondBr { cond, then_bb, else_bb, loop_md }) = &b.term {
-            if let Value::ConstInt { val, .. } = cond {
-                let target = if *val != 0 { *then_bb } else { *else_bb };
-                b.term = Some(Terminator::Br { target, loop_md: *loop_md });
-                changed = true;
-            }
+        if let Some(Terminator::CondBr {
+            cond: Value::ConstInt { val, .. },
+            then_bb,
+            else_bb,
+            loop_md,
+        }) = &b.term
+        {
+            let target = if *val != 0 { *then_bb } else { *else_bb };
+            b.term = Some(Terminator::Br {
+                target,
+                loop_md: *loop_md,
+            });
+            changed = true;
         }
     }
     changed
@@ -87,7 +94,10 @@ fn merge_chains(f: &mut Function) -> bool {
         let mut merged = false;
         for ai in 0..f.blocks.len() {
             let a = BlockId(ai as u32);
-            let Some(Terminator::Br { target: b, loop_md: None }) = f.blocks[ai].term.clone()
+            let Some(Terminator::Br {
+                target: b,
+                loop_md: None,
+            }) = f.blocks[ai].term.clone()
             else {
                 continue;
             };
@@ -109,8 +119,10 @@ fn merge_chains(f: &mut Function) -> bool {
             f.blocks[ai].insts.extend(b_insts);
             f.blocks[ai].term = b_term;
             // Phis in b's former successors must re-point their edges to a.
-            let succs: Vec<BlockId> =
-                f.blocks[ai].term.as_ref().map_or_else(Vec::new, |t| t.successors());
+            let succs: Vec<BlockId> = f.blocks[ai]
+                .term
+                .as_ref()
+                .map_or_else(Vec::new, |t| t.successors());
             for s in succs {
                 let insts = f.block(s).insts.clone();
                 for iid in insts {
@@ -165,7 +177,10 @@ mod tests {
         assert!(simplify_cfg(&mut f));
         // entry+taken merged, dead swept
         assert_eq!(f.blocks.len(), 1);
-        assert!(matches!(f.block(f.entry()).term, Some(Terminator::Ret(None))));
+        assert!(matches!(
+            f.block(f.entry()).term,
+            Some(Terminator::Ret(None))
+        ));
     }
 
     #[test]

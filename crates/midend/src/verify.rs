@@ -1,0 +1,213 @@
+//! Canonical-loop skeleton verifier.
+//!
+//! `omplt-ir`'s structural verifier checks generic well-formedness
+//! (terminators, phi coherence, operand ranges). This pass layers the
+//! paper's *loop-shape* invariants on top: every loop whose latch branch
+//! carries `is_canonical` metadata — i.e. every loop minted by
+//! `create_canonical_loop` — must still look like the canonical skeleton
+//! (header phi from 0, `icmp ult iv, tc` condition feeding a conditional
+//! branch into body/exit, latch incrementing by 1), and its trip count
+//! must be defined at a point dominating the compare that consumes it.
+//!
+//! Wired into [`crate::pass_manager::PassManager`] so `--verify-each`
+//! re-checks the invariants between every mid-end pass.
+
+use omplt_ir::{verify_function, BlockId, Function, InstId, Module, Value, VerifyError};
+
+use crate::domtree::DomTree;
+use crate::loop_info::{match_skeleton, LoopInfo};
+
+/// Finds the block owning `inst`, if any.
+fn owner_block(f: &Function, inst: InstId) -> Option<BlockId> {
+    f.blocks
+        .iter()
+        .position(|b| b.insts.contains(&inst))
+        .map(|i| BlockId(i as u32))
+}
+
+/// Checks the canonical-skeleton invariants of every loop marked
+/// `is_canonical`. A marked loop that no longer matches the skeleton is an
+/// error — a transformation restructured it without clearing the metadata.
+pub fn verify_loop_skeletons(f: &Function) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    let dt = DomTree::compute(f);
+    let li = LoopInfo::compute(f, &dt);
+    for nl in li.with_metadata(f, |md| md.is_canonical) {
+        let where_ = format!(
+            "canonical loop at {}.{}",
+            f.block(nl.header).name,
+            nl.header.0
+        );
+        let Some(sk) = match_skeleton(f, nl) else {
+            errs.push(VerifyError(format!(
+                "{where_}: marked `is_canonical` but no longer matches the \
+                 canonical skeleton (header phi / icmp ult / cond-br shape)"
+            )));
+            continue;
+        };
+        if sk.body == sk.exit {
+            errs.push(VerifyError(format!(
+                "{where_}: condition branch must distinguish body from exit"
+            )));
+        }
+        // The taken edge of `icmp ult iv, tc` must stay inside the loop and
+        // the fall-through edge must leave it — swapped edges invert the
+        // guard and execute the body exactly when it must not run.
+        if !nl.blocks.contains(&sk.body) {
+            errs.push(VerifyError(format!(
+                "{where_}: condition true edge must enter the loop body, \
+                 but {}.{} is outside the loop",
+                f.block(sk.body).name,
+                sk.body.0
+            )));
+        }
+        if nl.blocks.contains(&sk.exit) {
+            errs.push(VerifyError(format!(
+                "{where_}: condition false edge must leave the loop, \
+                 but {}.{} is inside it",
+                f.block(sk.exit).name,
+                sk.exit.0
+            )));
+        }
+        // (Entering at IV = 0 is only guaranteed at creation time —
+        // `CanonicalLoopInfo::check` enforces it in `omplt-ompirb`; the
+        // partial-unroll remainder loop legitimately restarts mid-range.)
+        // The trip count must dominate the compare that consumes it; a
+        // transformation that sank or cloned the bound computation into the
+        // loop would execute it per-iteration (or worse, use a stale copy).
+        if let Value::Inst(tc) = sk.trip_count {
+            match owner_block(f, tc) {
+                Some(def_bb) => {
+                    if !dt.dominates(def_bb, sk.cond) {
+                        errs.push(VerifyError(format!(
+                            "{where_}: trip count %{} defined in {}.{} does not \
+                             dominate the loop condition {}.{}",
+                            tc.0,
+                            f.block(def_bb).name,
+                            def_bb.0,
+                            f.block(sk.cond).name,
+                            sk.cond.0
+                        )));
+                    }
+                }
+                None => errs.push(VerifyError(format!(
+                    "{where_}: trip count %{} is not attached to any block",
+                    tc.0
+                ))),
+            }
+        }
+    }
+    errs
+}
+
+/// Full per-function verification: structural rules plus skeleton
+/// invariants. This is what `--verify-each` runs between passes.
+pub fn verify_function_full(f: &Function) -> Vec<VerifyError> {
+    let mut errs = verify_function(f);
+    errs.extend(verify_loop_skeletons(f));
+    errs
+}
+
+/// Module-level wrapper prefixing each error with the offending function.
+pub fn verify_module_full(m: &Module) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    for f in &m.functions {
+        for e in verify_function_full(f) {
+            errs.push(VerifyError(format!("@{}: {}", f.name, e.0)));
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::{CmpPred, Inst, IrBuilder, IrType, Terminator};
+    use omplt_ompirb::create_canonical_loop_skeleton;
+
+    fn skeleton_fn() -> (Function, omplt_ompirb::CanonicalLoopInfo) {
+        let mut f = Function::new("t", vec![], IrType::Void);
+        let cli = {
+            let mut b = IrBuilder::new(&mut f);
+            let cli = create_canonical_loop_skeleton(&mut b, Value::i64(8), "test", true);
+            b.set_insert_point(cli.body);
+            b.br(cli.latch);
+            b.set_insert_point(cli.after);
+            b.ret(None);
+            cli
+        };
+        (f, cli)
+    }
+
+    #[test]
+    fn accepts_pristine_skeleton() {
+        let (f, _) = skeleton_fn();
+        assert_eq!(verify_function_full(&f), vec![]);
+    }
+
+    #[test]
+    fn rejects_swapped_condition_edges() {
+        let (mut f, cli) = skeleton_fn();
+        // Deliberately corrupt the skeleton: swap the body/exit edges of the
+        // loop condition so the `icmp ult` guards the wrong way.
+        let term = f.block_mut(cli.cond).term.take();
+        if let Some(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            loop_md,
+        }) = term
+        {
+            f.block_mut(cli.cond).term = Some(Terminator::CondBr {
+                cond,
+                then_bb: else_bb,
+                else_bb: then_bb,
+                loop_md,
+            });
+        } else {
+            panic!("cond block must end in CondBr");
+        }
+        let errs = verify_loop_skeletons(&f);
+        assert!(
+            errs.iter()
+                .any(|e| e.0.contains("true edge") || e.0.contains("false edge")),
+            "swapped edges must be flagged: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_compare_predicate() {
+        let (mut f, cli) = skeleton_fn();
+        let cmp_id = f.block(cli.cond).insts[0];
+        if let Inst::Cmp { pred, .. } = f.inst_mut(cmp_id) {
+            *pred = CmpPred::Sgt;
+        }
+        let errs = verify_loop_skeletons(&f);
+        assert!(!errs.is_empty(), "non-ult compare must be rejected");
+    }
+
+    #[test]
+    fn rejects_trip_count_defined_inside_loop() {
+        let (mut f, cli) = skeleton_fn();
+        // Move the trip count into the body: compute it per-iteration and
+        // rewrite the compare to use the sunk value.
+        let sunk = f.push_inst(
+            cli.body,
+            Inst::Bin {
+                op: omplt_ir::BinOpKind::Add,
+                lhs: Value::i64(4),
+                rhs: Value::i64(4),
+            },
+        );
+        // keep inst order: push_inst appends after the existing Br-less insts
+        let cmp_id = f.block(cli.cond).insts[0];
+        if let Inst::Cmp { rhs, .. } = f.inst_mut(cmp_id) {
+            *rhs = sunk;
+        }
+        let errs = verify_loop_skeletons(&f);
+        assert!(
+            errs.iter().any(|e| e.0.contains("dominate")),
+            "sunk trip count must violate dominance: {errs:?}"
+        );
+    }
+}

@@ -43,15 +43,21 @@ pub fn collapse_loops(b: &mut IrBuilder<'_>, loops: &[CanonicalLoopInfo]) -> Can
     // Stitch: preheader of the nest → collapsed loop. The original `after`
     // (still the unterminated continuation point) becomes the collapsed
     // loop's `after`.
-    b.func_mut().block_mut(outermost.preheader).term =
-        Some(Terminator::Br { target: collapsed.preheader, loop_md: None });
+    b.func_mut().block_mut(outermost.preheader).term = Some(Terminator::Br {
+        target: collapsed.preheader,
+        loop_md: None,
+    });
     let orphan_after = collapsed.after;
     b.func_mut().block_mut(orphan_after).term = Some(Terminator::Unreachable);
     collapsed.after = outermost.after;
-    b.func_mut().block_mut(collapsed.exit).term =
-        Some(Terminator::Br { target: outermost.after, loop_md: None });
-    b.func_mut().block_mut(collapsed.body).term =
-        Some(Terminator::Br { target: orig_body_entry, loop_md: None });
+    b.func_mut().block_mut(collapsed.exit).term = Some(Terminator::Br {
+        target: outermost.after,
+        loop_md: None,
+    });
+    b.func_mut().block_mut(collapsed.body).term = Some(Terminator::Br {
+        target: orig_body_entry,
+        loop_md: None,
+    });
     retarget_region_exits(b, &orig_region, orig_latch, collapsed.latch);
 
     // Recover original IVs: iterating row-major, the innermost varies
@@ -60,7 +66,11 @@ pub fn collapse_loops(b: &mut IrBuilder<'_>, loops: &[CanonicalLoopInfo]) -> Can
     let mut replacements = Vec::with_capacity(n);
     let mut rest = collapsed.iv();
     for i in (0..n).rev() {
-        let wide_iv = if i == 0 { rest } else { b.urem(rest, wide_tcs[i]) };
+        let wide_iv = if i == 0 {
+            rest
+        } else {
+            b.urem(rest, wide_tcs[i])
+        };
         let narrow = b.int_resize(wide_iv, loops[i].ty, false);
         replacements.push((loops[i].iv(), narrow));
         if i != 0 {
@@ -132,8 +142,24 @@ mod tests {
             collapse_loops(&mut b, &[outer, inner])
         };
         let insts = &f.block(coll.body).insts;
-        let has_rem = insts.iter().any(|&i| matches!(f.inst(i), Inst::Bin { op: omplt_ir::BinOpKind::URem, .. }));
-        let has_div = insts.iter().any(|&i| matches!(f.inst(i), Inst::Bin { op: omplt_ir::BinOpKind::UDiv, .. }));
+        let has_rem = insts.iter().any(|&i| {
+            matches!(
+                f.inst(i),
+                Inst::Bin {
+                    op: omplt_ir::BinOpKind::URem,
+                    ..
+                }
+            )
+        });
+        let has_div = insts.iter().any(|&i| {
+            matches!(
+                f.inst(i),
+                Inst::Bin {
+                    op: omplt_ir::BinOpKind::UDiv,
+                    ..
+                }
+            )
+        });
         assert!(has_rem && has_div);
     }
 

@@ -32,7 +32,9 @@ pub mod tile;
 pub mod unroll;
 pub mod workshare;
 
-pub use canonical_loop::{create_canonical_loop, create_canonical_loop_skeleton, CanonicalLoopInfo};
+pub use canonical_loop::{
+    create_canonical_loop, create_canonical_loop_skeleton, CanonicalLoopInfo,
+};
 pub use collapse::collapse_loops;
 pub use parallel::{create_parallel, OutlinedFn};
 pub use tile::tile_loops;

@@ -43,7 +43,10 @@ pub fn create_parallel(
         vec![IrType::Ptr, IrType::I32],
         IrType::Void,
     );
-    let mut args = vec![Value::FuncRef(outlined.sym), Value::i32(capture_ptrs.len() as i32)];
+    let mut args = vec![
+        Value::FuncRef(outlined.sym),
+        Value::i32(capture_ptrs.len() as i32),
+    ];
     args.extend(capture_ptrs);
     b.call(fork, args, IrType::Void);
 }
@@ -64,7 +67,10 @@ mod tests {
             create_parallel(
                 &mut b,
                 &mut m,
-                OutlinedFn { sym: outlined_sym, num_captures: 1 },
+                OutlinedFn {
+                    sym: outlined_sym,
+                    num_captures: 1,
+                },
                 vec![cap],
                 None,
             );
@@ -91,7 +97,10 @@ mod tests {
             create_parallel(
                 &mut b,
                 &mut m,
-                OutlinedFn { sym: outlined_sym, num_captures: 0 },
+                OutlinedFn {
+                    sym: outlined_sym,
+                    num_captures: 0,
+                },
                 vec![],
                 Some(Value::i32(3)),
             );
@@ -117,6 +126,15 @@ mod tests {
         let sym = m.intern("o");
         let mut f = Function::new("main", vec![], IrType::Void);
         let mut b = IrBuilder::new(&mut f);
-        create_parallel(&mut b, &mut m, OutlinedFn { sym, num_captures: 2 }, vec![], None);
+        create_parallel(
+            &mut b,
+            &mut m,
+            OutlinedFn {
+                sym,
+                num_captures: 2,
+            },
+            vec![],
+            None,
+        );
     }
 }

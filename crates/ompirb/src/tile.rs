@@ -62,7 +62,12 @@ pub fn tile_loops(
     // 2. Create the 2N free-floating skeletons.
     let mut chain: Vec<CanonicalLoopInfo> = Vec::with_capacity(2 * n);
     for (i, &ftc) in floor_tcs.iter().enumerate() {
-        chain.push(create_canonical_loop_skeleton(b, ftc, &format!("floor{i}"), false));
+        chain.push(create_canonical_loop_skeleton(
+            b,
+            ftc,
+            &format!("floor{i}"),
+            false,
+        ));
     }
     for i in 0..n {
         // Placeholder trip count; patched below once the floor IV exists.
@@ -86,29 +91,39 @@ pub fn tile_loops(
     //    `after` returns to the enclosing latch.
     for k in 0..2 * n - 1 {
         let (a, c) = (chain[k], chain[k + 1]);
-        b.func_mut().block_mut(a.body).term =
-            Some(Terminator::Br { target: c.preheader, loop_md: None });
-        b.func_mut().block_mut(c.after).term =
-            Some(Terminator::Br { target: a.latch, loop_md: None });
+        b.func_mut().block_mut(a.body).term = Some(Terminator::Br {
+            target: c.preheader,
+            loop_md: None,
+        });
+        b.func_mut().block_mut(c.after).term = Some(Terminator::Br {
+            target: a.latch,
+            loop_md: None,
+        });
     }
 
     // 4. Splice the original body region into the innermost tile loop.
     let tile_last = chain[2 * n - 1];
-    b.func_mut().block_mut(tile_last.body).term =
-        Some(Terminator::Br { target: orig_body_entry, loop_md: None });
+    b.func_mut().block_mut(tile_last.body).term = Some(Terminator::Br {
+        target: orig_body_entry,
+        loop_md: None,
+    });
     retarget_region_exits(b, &orig_region, orig_latch, tile_last.latch);
 
     // 5. Entry and exit edges: the outermost original preheader now feeds
     //    the first floor loop. The original `after` block — still the
     //    *unterminated continuation point* of the whole construct — becomes
     //    the first floor loop's `after`, so consumers keep emitting there.
-    b.func_mut().block_mut(outermost.preheader).term =
-        Some(Terminator::Br { target: chain[0].preheader, loop_md: None });
+    b.func_mut().block_mut(outermost.preheader).term = Some(Terminator::Br {
+        target: chain[0].preheader,
+        loop_md: None,
+    });
     let orphan_after = chain[0].after;
     b.func_mut().block_mut(orphan_after).term = Some(Terminator::Unreachable);
     chain[0].after = outermost.after;
-    b.func_mut().block_mut(chain[0].exit).term =
-        Some(Terminator::Br { target: outermost.after, loop_md: None });
+    b.func_mut().block_mut(chain[0].exit).term = Some(Terminator::Br {
+        target: outermost.after,
+        loop_md: None,
+    });
 
     // 6. Rewrite uses of the original IVs inside the body region:
     //    iv_i := floor_iv_i * size_i + tile_iv_i
@@ -200,7 +215,11 @@ mod tests {
             let mut b = IrBuilder::new(&mut f);
             tile_loops(&mut b, &[outer, inner], &[Value::i64(4), Value::i64(4)])
         };
-        assert_eq!(tiled.len(), 4, "tiling N loops generates twice as many (paper §1.1)");
+        assert_eq!(
+            tiled.len(),
+            4,
+            "tiling N loops generates twice as many (paper §1.1)"
+        );
         for cli in &tiled {
             cli.assert_ok(&f);
         }
@@ -252,7 +271,10 @@ mod tests {
                 .insts
                 .iter()
                 .any(|&i| matches!(f.inst(i), Inst::Select { .. }));
-            assert!(has_select, "tile preheader must compute min(size, remainder)");
+            assert!(
+                has_select,
+                "tile preheader must compute min(size, remainder)"
+            );
         }
     }
 
@@ -294,7 +316,13 @@ mod tests {
         // ceildiv computations landed in the outermost preheader
         assert!(f.block(pre).insts.len() > before);
         let has_div = f.block(pre).insts.iter().any(|&i| {
-            matches!(f.inst(i), Inst::Bin { op: BinOpKind::UDiv, .. })
+            matches!(
+                f.inst(i),
+                Inst::Bin {
+                    op: BinOpKind::UDiv,
+                    ..
+                }
+            )
         });
         assert!(has_div, "floor trip count must divide by the tile size");
     }

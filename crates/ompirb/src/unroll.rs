@@ -87,7 +87,11 @@ mod tests {
             let mut b = IrBuilder::new(&mut f);
             unroll_loop_full(&mut b, &cli);
         }
-        assert_eq!(f.blocks.len(), nblocks, "full unroll must not restructure the IR");
+        assert_eq!(
+            f.blocks.len(),
+            nblocks,
+            "full unroll must not restructure the IR"
+        );
         assert_eq!(cli.metadata(&f).unwrap().unroll, Some(UnrollHint::Full));
         cli.assert_ok(&f);
     }
@@ -115,7 +119,11 @@ mod tests {
             unroll_loop_partial(&mut b, &cli, 4, false)
         };
         assert!(r.is_none());
-        assert_eq!(f.blocks.len(), nblocks, "deferred partial unroll must not tile");
+        assert_eq!(
+            f.blocks.len(),
+            nblocks,
+            "deferred partial unroll must not tile"
+        );
         assert_eq!(cli.metadata(&f).unwrap().unroll, Some(UnrollHint::Count(4)));
     }
 
@@ -133,6 +141,6 @@ mod tests {
         assert_verified(&f);
         // The floor loop itself carries no unroll metadata; the inner tile
         // loop (reached through the floor body) does.
-        assert!(floor.metadata(&f).map_or(true, |m| m.unroll.is_none()));
+        assert!(floor.metadata(&f).is_none_or(|m| m.unroll.is_none()));
     }
 }

@@ -6,9 +6,7 @@
 //! construct" on a `CanonicalLoopInfo` handle).
 
 use crate::canonical_loop::{create_canonical_loop_skeleton, CanonicalLoopInfo};
-use omplt_ir::{
-    BlockId, Inst, IrBuilder, IrType, Module, Terminator, Value,
-};
+use omplt_ir::{BlockId, Inst, IrBuilder, IrType, Module, Terminator, Value};
 
 /// Which worksharing scheme to apply.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -53,9 +51,7 @@ pub fn create_static_workshare_loop(
     let fini_fn = m.declare_extern("__kmpc_for_static_fini", vec![IrType::I32], IrType::Void);
 
     match scheme {
-        WorksharingScheme::StaticUnchunked => {
-            apply_unchunked(b, cli, gtid_fn, init_fn, fini_fn)
-        }
+        WorksharingScheme::StaticUnchunked => apply_unchunked(b, cli, gtid_fn, init_fn, fini_fn),
         WorksharingScheme::StaticChunked(chunk) => {
             apply_chunked(b, cli, chunk, gtid_fn, init_fn, fini_fn)
         }
@@ -86,7 +82,16 @@ fn emit_static_init(
     let chunk64 = b.int_resize(chunk, IrType::I64, false);
     b.call(
         init_fn,
-        vec![gtid, Value::i32(sched as i32), plast, plb, pub_, pstride, Value::i64(1), chunk64],
+        vec![
+            gtid,
+            Value::i32(sched as i32),
+            plast,
+            plb,
+            pub_,
+            pstride,
+            Value::i64(1),
+            chunk64,
+        ],
         IrType::Void,
     );
     let lb = b.load(IrType::I64, plb);
@@ -103,7 +108,11 @@ fn shift_body_iv(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo, offset: Value) 
     let func = b.func_mut();
     let shifted = func.prepend_inst(
         cli.body,
-        Inst::Bin { op: omplt_ir::BinOpKind::Add, lhs: cli.iv(), rhs: offset },
+        Inst::Bin {
+            op: omplt_ir::BinOpKind::Add,
+            lhs: cli.iv(),
+            rhs: offset,
+        },
     );
     let shifted_id = match shifted {
         Value::Inst(id) => id,
@@ -115,7 +124,8 @@ fn shift_body_iv(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo, offset: Value) 
             if iid == shifted_id {
                 continue;
             }
-            func.inst_mut(iid).map_operands(|v| if v == cli.iv() { shifted } else { v });
+            func.inst_mut(iid)
+                .map_operands(|v| if v == cli.iv() { shifted } else { v });
         }
         if let Some(t) = func.block_mut(bb).term.as_mut() {
             t.map_operands(|v| if v == cli.iv() { shifted } else { v });
@@ -192,7 +202,10 @@ fn apply_chunked(
 
     // Outer chunk loop wrapping the canonical loop.
     let outer = create_canonical_loop_skeleton(b, n_chunks, "ws_chunks", false);
-    b.func_mut().block_mut(setup).term = Some(Terminator::Br { target: outer.preheader, loop_md: None });
+    b.func_mut().block_mut(setup).term = Some(Terminator::Br {
+        target: outer.preheader,
+        loop_md: None,
+    });
 
     // Per-chunk bounds in the outer body, then enter the original loop.
     b.set_insert_point(outer.body);
@@ -202,11 +215,17 @@ fn apply_chunked(
     let span64 = b.umin(chunk64, left);
     let span = b.int_resize(span64, cli.ty, false);
     cli.set_trip_count(b.func_mut(), span);
-    b.func_mut().block_mut(outer.body).term = Some(Terminator::Br { target: pre, loop_md: None });
+    b.func_mut().block_mut(outer.body).term = Some(Terminator::Br {
+        target: pre,
+        loop_md: None,
+    });
 
     // The loop's after returns to the chunk latch; execution continues at
     // the outer after.
-    b.func_mut().block_mut(cli.after).term = Some(Terminator::Br { target: outer.latch, loop_md: None });
+    b.func_mut().block_mut(cli.after).term = Some(Terminator::Br {
+        target: outer.latch,
+        loop_md: None,
+    });
 
     let start_n = b.int_resize(chunk_start, cli.ty, false);
     shift_body_iv(b, cli, start_n);
@@ -227,10 +246,9 @@ mod tests {
     fn one_loop(f: &mut Function, m: &mut Module) -> CanonicalLoopInfo {
         let sink = m.intern("sink");
         let mut b = IrBuilder::new(f);
-        let cli = create_canonical_loop(&mut b, Value::Arg(0), "i", |b, i| {
+        create_canonical_loop(&mut b, Value::Arg(0), "i", |b, i| {
             b.call(sink, vec![i], IrType::Void);
-        });
-        cli
+        })
     }
 
     #[test]
@@ -262,7 +280,10 @@ mod tests {
                 .iter()
                 .any(|&i| matches!(f.inst(i), Inst::Call { callee, .. } if callee.0 == sym))
         };
-        assert!(calls(cli.preheader, init), "init call must be in the preheader");
+        assert!(
+            calls(cli.preheader, init),
+            "init call must be in the preheader"
+        );
         assert!(calls(cli.exit, fini), "fini call must be in the exit");
     }
 
@@ -275,9 +296,17 @@ mod tests {
         {
             let mut b = IrBuilder::new(&mut f);
             b.set_insert_point(cli.after);
-            create_static_workshare_loop(&mut b, &mut m, &mut cli, WorksharingScheme::StaticUnchunked);
+            create_static_workshare_loop(
+                &mut b,
+                &mut m,
+                &mut cli,
+                WorksharingScheme::StaticUnchunked,
+            );
         }
-        assert_ne!(cli.trip_count, orig_tc, "trip count must become the thread's span");
+        assert_ne!(
+            cli.trip_count, orig_tc,
+            "trip count must become the thread's span"
+        );
     }
 
     #[test]
@@ -288,7 +317,12 @@ mod tests {
         {
             let mut b = IrBuilder::new(&mut f);
             b.set_insert_point(cli.after);
-            create_static_workshare_loop(&mut b, &mut m, &mut cli, WorksharingScheme::StaticUnchunked);
+            create_static_workshare_loop(
+                &mut b,
+                &mut m,
+                &mut cli,
+                WorksharingScheme::StaticUnchunked,
+            );
         }
         // The sink call must use the shifted value, not the raw phi.
         let first = f.block(cli.body).insts[0];
@@ -321,7 +355,10 @@ mod tests {
             b.ret(None);
             cont
         };
-        assert_ne!(cont, cli.after, "chunked scheme must return a new continuation");
+        assert_ne!(
+            cont, cli.after,
+            "chunked scheme must return a new continuation"
+        );
         cli.assert_ok(&f);
         assert_verified(&f);
     }

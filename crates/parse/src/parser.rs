@@ -4,7 +4,9 @@
 //! is, it is pushed to Sema to create an AST node for it").
 
 use crate::pragma::parse_omp_directive;
-use omplt_ast::{BinOp, Decl, Expr, ExprKind, IntWidth, P, Stmt, StmtKind, TranslationUnit, Type, TypeKind, UnOp};
+use omplt_ast::{
+    BinOp, Decl, Expr, ExprKind, IntWidth, Stmt, StmtKind, TranslationUnit, Type, TypeKind, UnOp, P,
+};
 use omplt_lex::{Keyword, Punct, Token, TokenKind};
 use omplt_sema::Sema;
 use omplt_source::SourceLocation;
@@ -80,7 +82,10 @@ impl<'s, 'a> Parser<'s, 'a> {
     pub(crate) fn expect_punct(&mut self, p: Punct) {
         if !self.eat_punct(p) {
             let d = self.peek().describe();
-            self.sema.diags.error(self.loc(), format!("expected '{}', found {}", p.as_str(), d));
+            self.sema.diags.error(
+                self.loc(),
+                format!("expected '{}', found {}", p.as_str(), d),
+            );
         }
     }
 
@@ -137,11 +142,7 @@ impl<'s, 'a> Parser<'s, 'a> {
         let mut longs = 0u8;
         let mut is_auto = false;
         let mut any = false;
-        loop {
-            let k = match &self.peek().kind {
-                TokenKind::Kw(k) => *k,
-                _ => break,
-            };
+        while let TokenKind::Kw(k) = self.peek().kind {
             match k {
                 Keyword::Const => {
                     self.next();
@@ -265,7 +266,10 @@ impl<'s, 'a> Parser<'s, 'a> {
             // extern/static storage specifiers are accepted and ignored.
             while self.eat_kw(Keyword::Extern) || self.eat_kw(Keyword::Static) {}
             let Some(ty) = self.parse_type() else {
-                self.error_here(format!("expected declaration, found {}", self.peek().describe()));
+                self.error_here(format!(
+                    "expected declaration, found {}",
+                    self.peek().describe()
+                ));
                 self.recover();
                 continue;
             };
@@ -307,7 +311,9 @@ impl<'s, 'a> Parser<'s, 'a> {
             let n = match e.eval_const_int() {
                 Some(v) if v > 0 => v as u64,
                 _ => {
-                    self.sema.diags.error(loc, "array size must be a positive constant");
+                    self.sema
+                        .diags
+                        .error(loc, "array size must be a positive constant");
                     1
                 }
             };
@@ -391,7 +397,11 @@ impl<'s, 'a> Parser<'s, 'a> {
                 let cond = self.sema.to_bool(cond);
                 self.expect_punct(Punct::RParen);
                 let then = self.parse_stmt();
-                let els = if self.eat_kw(Keyword::Else) { Some(self.parse_stmt()) } else { None };
+                let els = if self.eat_kw(Keyword::Else) {
+                    Some(self.parse_stmt())
+                } else {
+                    None
+                };
                 Stmt::new(StmtKind::If { cond, then, els }, loc)
             }
             TokenKind::Kw(Keyword::While) => {
@@ -419,7 +429,11 @@ impl<'s, 'a> Parser<'s, 'a> {
             TokenKind::Kw(Keyword::For) => self.parse_for_stmt(),
             TokenKind::Kw(Keyword::Return) => {
                 self.next();
-                let e = if self.at_punct(Punct::Semi) { None } else { Some(self.parse_expr()) };
+                let e = if self.at_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr())
+                };
                 self.expect_punct(Punct::Semi);
                 self.sema.act_on_return(e, loc)
             }
@@ -484,7 +498,9 @@ impl<'s, 'a> Parser<'s, 'a> {
             } else {
                 None
             };
-            decls.push(Decl::Var(self.sema.act_on_var_decl(&name, ty, init, false, name_loc)));
+            decls.push(Decl::Var(
+                self.sema.act_on_var_decl(&name, ty, init, false, name_loc),
+            ));
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -510,7 +526,10 @@ impl<'s, 'a> Parser<'s, 'a> {
                     self.next(); // :
                     let range = self.parse_expr();
                     self.expect_punct(Punct::RParen);
-                    match self.sema.act_on_range_for_begin(&name, elem_ty, by_ref, range, loc) {
+                    match self
+                        .sema
+                        .act_on_range_for_begin(&name, elem_ty, by_ref, range, loc)
+                    {
                         Some(parts) => {
                             let body = self.parse_stmt();
                             return self.sema.act_on_range_for_end(parts, body);
@@ -542,11 +561,23 @@ impl<'s, 'a> Parser<'s, 'a> {
             Some(self.parse_expr())
         };
         self.expect_punct(Punct::Semi);
-        let inc = if self.at_punct(Punct::RParen) { None } else { Some(self.parse_expr()) };
+        let inc = if self.at_punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.parse_expr())
+        };
         self.expect_punct(Punct::RParen);
         let body = self.parse_stmt();
         self.sema.scopes.pop();
-        Stmt::new(StmtKind::For { init, cond, inc, body }, loc)
+        Stmt::new(
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            },
+            loc,
+        )
     }
 
     // ---------------- expressions ----------------
@@ -729,7 +760,10 @@ impl<'s, 'a> Parser<'s, 'a> {
             TokenKind::FloatLit(v) => {
                 Expr::rvalue(ExprKind::FloatingLiteral(v), self.sema.ctx.double_ty(), loc)
             }
-            TokenKind::CharLit(c) => self.sema.ctx.int_lit(c as i128, self.sema.ctx.char_ty(), loc),
+            TokenKind::CharLit(c) => self
+                .sema
+                .ctx
+                .int_lit(c as i128, self.sema.ctx.char_ty(), loc),
             TokenKind::StrLit(s) => Expr::rvalue(
                 ExprKind::StringLiteral(s),
                 self.sema.ctx.pointer_to(self.sema.ctx.char_ty()),
@@ -764,7 +798,12 @@ impl<'s, 'a> Parser<'s, 'a> {
                 self.expect_punct(Punct::RParen);
                 let ty = P::clone(&e.ty);
                 let cat = e.category;
-                P::new(Expr { kind: ExprKind::Paren(e), ty, category: cat, loc })
+                P::new(Expr {
+                    kind: ExprKind::Paren(e),
+                    ty,
+                    category: cat,
+                    loc,
+                })
             }
             other => {
                 self.sema

@@ -4,7 +4,7 @@
 //! is the base-language keyword).
 
 use crate::parser::Parser;
-use omplt_ast::{OMPClause, OMPClauseKind, OMPDirectiveKind, P, ReductionOp, ScheduleKind, Stmt};
+use omplt_ast::{OMPClause, OMPClauseKind, OMPDirectiveKind, ReductionOp, ScheduleKind, Stmt, P};
 use omplt_lex::{Keyword, Punct, TokenKind};
 
 /// Parses one OpenMP directive (pragma line + associated statement).
@@ -46,7 +46,8 @@ pub fn parse_omp_directive(p: &mut Parser<'_, '_>) -> P<Stmt> {
 
     // ---- associated statement ----
     let associated = p.parse_stmt();
-    p.sema.act_on_omp_directive(kind, clauses, Some(associated), loc)
+    p.sema
+        .act_on_omp_directive(kind, clauses, Some(associated), loc)
 }
 
 fn parse_directive_name(p: &mut Parser<'_, '_>) -> Option<OMPDirectiveKind> {
@@ -93,9 +94,10 @@ fn parse_clause(p: &mut Parser<'_, '_>) -> Option<P<OMPClause>> {
     let name = match &p.peek().kind {
         TokenKind::Ident(n) => n.clone(),
         other => {
-            p.sema
-                .diags
-                .error(loc, format!("expected an OpenMP clause name, found {other:?}"));
+            p.sema.diags.error(
+                loc,
+                format!("expected an OpenMP clause name, found {other:?}"),
+            );
             return None;
         }
     };
@@ -155,14 +157,18 @@ fn parse_clause(p: &mut Parser<'_, '_>) -> Option<P<OMPClause>> {
                     "auto" => ScheduleKind::Auto,
                     "runtime" => ScheduleKind::Runtime,
                     other => {
-                        p.sema.diags.error(kloc, format!("unknown schedule kind '{other}'"));
+                        p.sema
+                            .diags
+                            .error(kloc, format!("unknown schedule kind '{other}'"));
                         ScheduleKind::Static
                     }
                 },
                 TokenKind::Kw(Keyword::Auto) => ScheduleKind::Auto,
                 TokenKind::Kw(Keyword::Static) => ScheduleKind::Static,
                 other => {
-                    p.sema.diags.error(kloc, format!("expected schedule kind, found {other:?}"));
+                    p.sema
+                        .diags
+                        .error(kloc, format!("expected schedule kind, found {other:?}"));
                     ScheduleKind::Static
                 }
             };
@@ -233,11 +239,15 @@ fn parse_clause(p: &mut Parser<'_, '_>) -> Option<P<OMPClause>> {
             OMPClauseKind::Reduction { op, vars }
         }
         other => {
-            p.sema.diags.error(loc, format!("unknown OpenMP clause '{other}'"));
+            p.sema
+                .diags
+                .error(loc, format!("unknown OpenMP clause '{other}'"));
             // Skip a parenthesized argument if present.
             if p.eat_punct(Punct::LParen) {
                 let mut depth = 1;
-                while depth > 0 && !matches!(p.peek().kind, TokenKind::Eof | TokenKind::PragmaOmpEnd) {
+                while depth > 0
+                    && !matches!(p.peek().kind, TokenKind::Eof | TokenKind::PragmaOmpEnd)
+                {
                     match &p.next().kind {
                         TokenKind::Punct(Punct::LParen) => depth += 1,
                         TokenKind::Punct(Punct::RParen) => depth -= 1,

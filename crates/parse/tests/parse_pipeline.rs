@@ -33,7 +33,10 @@ fn parse(src: &str) -> (TranslationUnit, String, String) {
 
 fn parse_ok(src: &str) -> (TranslationUnit, String) {
     let (tu, dump, errs) = parse(src);
-    assert!(errs.is_empty(), "unexpected diagnostics:\n{errs}\ndump:\n{dump}");
+    assert!(
+        errs.is_empty(),
+        "unexpected diagnostics:\n{errs}\ndump:\n{dump}"
+    );
     (tu, dump)
 }
 
@@ -48,12 +51,14 @@ fn minimal_function() {
 
 #[test]
 fn locals_arrays_and_subscripts() {
-    let (_, dump) = parse_ok(
-        "void f(void) {\n  double a[10];\n  a[3] = 1.5;\n  double x = a[3] * 2.0;\n}\n",
-    );
+    let (_, dump) =
+        parse_ok("void f(void) {\n  double a[10];\n  a[3] = 1.5;\n  double x = a[3] * 2.0;\n}\n");
     assert!(dump.contains("VarDecl used a 'double[10]'"), "{dump}");
     assert!(dump.contains("ArraySubscriptExpr 'double'"), "{dump}");
-    assert!(dump.contains("ImplicitCastExpr 'double *' <ArrayToPointerDecay>"), "{dump}");
+    assert!(
+        dump.contains("ImplicitCastExpr 'double *' <ArrayToPointerDecay>"),
+        "{dump}"
+    );
 }
 
 #[test]
@@ -78,9 +83,18 @@ fn paper_listing_parallel_for_schedule_static() {
     assert!(dump.contains("ForStmt"), "{dump}");
     assert!(dump.contains("VarDecl used i 'int' cinit"), "{dump}");
     assert!(dump.contains("IntegerLiteral 'int' 7"), "{dump}");
-    assert!(dump.contains("ImplicitParamDecl implicit .global_tid."), "{dump}");
-    assert!(dump.contains("ImplicitParamDecl implicit .bound_tid."), "{dump}");
-    assert!(dump.contains("ImplicitParamDecl implicit __context"), "{dump}");
+    assert!(
+        dump.contains("ImplicitParamDecl implicit .global_tid."),
+        "{dump}"
+    );
+    assert!(
+        dump.contains("ImplicitParamDecl implicit .bound_tid."),
+        "{dump}"
+    );
+    assert!(
+        dump.contains("ImplicitParamDecl implicit __context"),
+        "{dump}"
+    );
     assert!(dump.contains("CallExpr 'void'"), "{dump}");
 }
 
@@ -94,13 +108,19 @@ fn paper_listing_composed_unroll() {
     // inner carrying ConstantExpr 'int' value: Int 2.
     let outer_pos = dump.find("OMPUnrollDirective").unwrap();
     let rest = &dump[outer_pos + 1..];
-    assert!(rest.contains("OMPUnrollDirective"), "directives must nest:\n{dump}");
+    assert!(
+        rest.contains("OMPUnrollDirective"),
+        "directives must nest:\n{dump}"
+    );
     assert!(dump.contains("OMPFullClause"), "{dump}");
     assert!(dump.contains("OMPPartialClause"), "{dump}");
     assert!(dump.contains("ConstantExpr 'int'"), "{dump}");
     assert!(dump.contains("value: Int 2"), "{dump}");
     // The inner directive's loop is NOT captured (paper §2.1).
-    assert!(!dump.contains("CapturedStmt"), "transformations must not capture:\n{dump}");
+    assert!(
+        !dump.contains("CapturedStmt"),
+        "transformations must not capture:\n{dump}"
+    );
 
     // The default dump hides the shadow AST...
     assert!(!dump.contains("TransformedStmt"), "{dump}");
@@ -109,11 +129,16 @@ fn paper_listing_composed_unroll() {
     let body = f.body.borrow();
     let full_dump = omplt_ast::dump_stmt(
         body.as_ref().unwrap(),
-        DumpOptions { show_transformed: true },
+        DumpOptions {
+            show_transformed: true,
+        },
     );
     assert!(full_dump.contains("TransformedStmt"), "{full_dump}");
     assert!(full_dump.contains(".unrolled.iv.i"), "{full_dump}");
-    assert!(full_dump.contains("LoopHintAttr Implicit loop UnrollCount Numeric"), "{full_dump}");
+    assert!(
+        full_dump.contains("LoopHintAttr Implicit loop UnrollCount Numeric"),
+        "{full_dump}"
+    );
 }
 
 #[test]
@@ -125,7 +150,10 @@ fn canonical_loop_dump_in_irbuilder_mode() {
     assert!(dump.contains("OMPUnrollDirective"), "{dump}");
     assert!(dump.contains("OMPCanonicalLoop"), "{dump}");
     // children: ForStmt + two CapturedStmt lambdas + DeclRefExpr
-    assert!(dump.contains("DeclRefExpr 'int' lvalue Var 'i' 'int'"), "{dump}");
+    assert!(
+        dump.contains("DeclRefExpr 'int' lvalue Var 'i' 'int'"),
+        "{dump}"
+    );
     let cl_pos = dump.find("OMPCanonicalLoop").unwrap();
     let after = &dump[cl_pos..];
     assert!(after.matches("CapturedStmt").count() >= 2, "{dump}");
@@ -140,8 +168,12 @@ fn tile_directive_with_sizes() {
     // shadow AST holds 4 generated loops
     let f = tu.function("f").unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!() };
-    let StmtKind::OMP(d) = &stmts[0].kind else { panic!("{dump}") };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!()
+    };
+    let StmtKind::OMP(d) = &stmts[0].kind else {
+        panic!("{dump}")
+    };
     let t = d.get_transformed_stmt().expect("tile builds a shadow AST");
     assert_eq!(omplt_sema::count_generated_loops(t), 4);
 }
@@ -163,8 +195,12 @@ fn preprocessor_macro_feeds_pragma() {
     let (tu, _) = parse_ok(src);
     let f = tu.function("f").unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!() };
-    let StmtKind::OMP(d) = &stmts[0].kind else { panic!() };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!()
+    };
+    let StmtKind::OMP(d) = &stmts[0].kind else {
+        panic!()
+    };
     match d.partial_clause() {
         Some(Some(e)) => assert_eq!(e.eval_const_int(), Some(4)),
         other => panic!("expected partial(4), got {other:?}"),
@@ -175,8 +211,14 @@ fn preprocessor_macro_feeds_pragma() {
 fn non_canonical_loop_diagnosed_with_caret() {
     let src = "void f(int n) {\n  #pragma omp for\n  for (int i = 0; i != n; i *= 2)\n    ;\n}\n";
     let (_, _, errs) = parse(src);
-    assert!(errs.contains("increment clause of OpenMP for loop is not in canonical form"), "{errs}");
-    assert!(errs.contains("test.c:3"), "diagnostic must point at the loop:\n{errs}");
+    assert!(
+        errs.contains("increment clause of OpenMP for loop is not in canonical form"),
+        "{errs}"
+    );
+    assert!(
+        errs.contains("test.c:3"),
+        "diagnostic must point at the loop:\n{errs}"
+    );
     assert!(errs.contains('^'), "caret rendering expected:\n{errs}");
 }
 
@@ -216,7 +258,10 @@ fn includes_and_prototypes() {
     // Via the virtual FS: include provides a prototype used by main file.
     let mut fm = FileManager::new();
     fm.add_virtual_file("lib.h", "void helper(int x);\n");
-    let main = fm.add_virtual_file("main.c", "#include \"lib.h\"\nvoid f(void) { helper(3); }\n");
+    let main = fm.add_virtual_file(
+        "main.c",
+        "#include \"lib.h\"\nvoid f(void) { helper(3); }\n",
+    );
     let sm = RefCell::new(SourceManager::new());
     let file_id = sm.borrow_mut().add_file(main).0;
     let diags = DiagnosticsEngine::new();
@@ -238,8 +283,12 @@ fn collapse_clause_collects_nest() {
     let (tu, _) = parse_ok(src);
     let f = tu.function("f").unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!() };
-    let StmtKind::OMP(d) = &stmts[0].kind else { panic!() };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!()
+    };
+    let StmtKind::OMP(d) = &stmts[0].kind else {
+        panic!()
+    };
     let h = d.loop_helpers.as_ref().expect("classic helpers");
     assert_eq!(h.loops.len(), 2, "collapse(2) → per-loop helpers for both");
     assert_eq!(h.node_count(), 17 + 12);
@@ -252,8 +301,12 @@ fn pragma_composition_order_is_reverse_source_order() {
     let (tu, dump) = parse_ok(src);
     let f = tu.function("f").unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!("{dump}") };
-    let StmtKind::OMP(tile) = &stmts[0].kind else { panic!("{dump}") };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!("{dump}")
+    };
+    let StmtKind::OMP(tile) = &stmts[0].kind else {
+        panic!("{dump}")
+    };
     assert_eq!(tile.kind, omplt_ast::OMPDirectiveKind::Tile);
     // tile's transformed AST: 2 loops generated by the tile itself, plus the
     // strip-mined inner loop inherited from the consumed unroll's body.
@@ -263,7 +316,9 @@ fn pragma_composition_order_is_reverse_source_order() {
     assert!(t_dump.contains(".floor.iv"), "{t_dump}");
     assert!(t_dump.contains(".unroll_inner.iv"), "{t_dump}");
     // its associated statement is the unroll directive
-    let StmtKind::OMP(unroll) = &tile.associated.as_ref().unwrap().kind else { panic!("{dump}") };
+    let StmtKind::OMP(unroll) = &tile.associated.as_ref().unwrap().kind else {
+        panic!("{dump}")
+    };
     assert_eq!(unroll.kind, omplt_ast::OMPDirectiveKind::Unroll);
 }
 
@@ -273,8 +328,14 @@ fn sizeof_and_casts() {
         "void f(void) {\n  size_t s = sizeof(double);\n  int x = (int)(3.7);\n  double d = (double)x;\n}\n",
     );
     assert!(dump.contains("UnaryExprOrTypeTraitExpr"), "{dump}");
-    assert!(dump.contains("CStyleCastExpr 'int' <FloatingToIntegral>"), "{dump}");
-    assert!(dump.contains("CStyleCastExpr 'double' <IntegralToFloating>"), "{dump}");
+    assert!(
+        dump.contains("CStyleCastExpr 'int' <FloatingToIntegral>"),
+        "{dump}"
+    );
+    assert!(
+        dump.contains("CStyleCastExpr 'double' <IntegralToFloating>"),
+        "{dump}"
+    );
 }
 
 #[test]

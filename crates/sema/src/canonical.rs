@@ -5,9 +5,7 @@
 
 use crate::capture::build_helper_lambda;
 use crate::loop_analysis::{analyze_canonical_loop, CanonicalLoopAnalysis};
-use omplt_ast::{
-    ASTContext, Decl, Expr, ExprKind, OMPCanonicalLoop, P, Stmt, StmtKind, UnOp,
-};
+use omplt_ast::{ASTContext, Decl, Expr, ExprKind, OMPCanonicalLoop, Stmt, StmtKind, UnOp, P};
 use omplt_source::DiagnosticsEngine;
 
 /// Wraps `loop_stmt` in an `OMPCanonicalLoop` node, verifying canonical
@@ -29,7 +27,11 @@ pub fn build_canonical_loop(
     // --- distance function: [&](logical_ty &Result) { Result = <distance>; }
     let dist_result = ctx.make_implicit_param("Result", P::clone(&logical_ty));
     let dist_body = {
-        let assign = ctx.assign(ctx.decl_ref(&dist_result, loc), analysis.distance_expr(ctx), loc);
+        let assign = ctx.assign(
+            ctx.decl_ref(&dist_result, loc),
+            analysis.distance_expr(ctx),
+            loc,
+        );
         Stmt::new(StmtKind::Expr(assign), loc)
     };
     // Captured by reference; evaluated before the loop body runs, so the
@@ -126,8 +128,20 @@ mod tests {
     fn literal_loop(ctx: &ASTContext) -> P<Stmt> {
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(7, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(17, ctx.int(), loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(3, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(17, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(3, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -149,7 +163,10 @@ mod tests {
         assert!(!diags.has_errors());
         assert_eq!(analysis.const_trip_count(), Some(4));
         // the wrapped loop is losslessly recoverable
-        let s = Stmt::new(StmtKind::OMPCanonicalLoop(P::clone(&node)), SourceLocation::INVALID);
+        let s = Stmt::new(
+            StmtKind::OMPCanonicalLoop(P::clone(&node)),
+            SourceLocation::INVALID,
+        );
         assert!(s.strip_to_loop().is_loop());
         // user variable reference points at the iteration variable
         assert_eq!(node.loop_var_ref.as_decl_ref().unwrap().name, "i");
@@ -183,7 +200,10 @@ mod tests {
         assert!(d.starts_with("OMPCanonicalLoop\n"), "{d}");
         assert!(d.contains("|-ForStmt"), "{d}");
         assert_eq!(d.matches("CapturedStmt").count(), 2, "{d}");
-        assert!(d.contains("`-DeclRefExpr 'int' lvalue Var 'i' 'int'"), "{d}");
+        assert!(
+            d.contains("`-DeclRefExpr 'int' lvalue Var 'i' 'int'"),
+            "{d}"
+        );
     }
 
     #[test]

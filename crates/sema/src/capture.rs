@@ -3,11 +3,11 @@
 //! inside the CapturedStmt to become parameters of the outlined function"
 //! (paper §1.2).
 
+use omplt_ast::visitor::{walk_expr, walk_stmt, StmtVisitor};
 use omplt_ast::{
     ASTContext, Capture, CaptureKind, CapturedDecl, CapturedStmt, Decl, DeclId, Expr, ExprKind,
-    P, Stmt, StmtKind, VarDecl,
+    Stmt, StmtKind, VarDecl, P,
 };
-use omplt_ast::visitor::{walk_expr, walk_stmt, StmtVisitor};
 use std::collections::HashSet;
 
 /// Collects the free variables of `stmt`: `DeclRef`s to variables not
@@ -39,7 +39,10 @@ pub fn free_variables(stmt: &P<Stmt>) -> Vec<P<VarDecl>> {
                         self.visit_stmt(i);
                     }
                     // walk_stmt would re-visit init; visit the rest by hand
-                    if let StmtKind::For { cond, inc, body, .. } = &s.kind {
+                    if let StmtKind::For {
+                        cond, inc, body, ..
+                    } = &s.kind
+                    {
                         if let Some(c) = cond {
                             self.visit_expr(c);
                         }
@@ -67,7 +70,11 @@ pub fn free_variables(stmt: &P<Stmt>) -> Vec<P<VarDecl>> {
             walk_expr(self, e);
         }
     }
-    let mut c = Collector { declared: HashSet::new(), seen: HashSet::new(), free: Vec::new() };
+    let mut c = Collector {
+        declared: HashSet::new(),
+        seen: HashSet::new(),
+        free: Vec::new(),
+    };
     c.visit_stmt(stmt);
     c.free
 }
@@ -79,7 +86,10 @@ pub fn free_variables(stmt: &P<Stmt>) -> Vec<P<VarDecl>> {
 pub fn build_omp_captured_stmt(ctx: &ASTContext, body: P<Stmt>) -> P<CapturedStmt> {
     let captures: Vec<Capture> = free_variables(&body)
         .into_iter()
-        .map(|var| Capture { kind: CaptureKind::ByRef, var })
+        .map(|var| Capture {
+            kind: CaptureKind::ByRef,
+            var,
+        })
         .collect();
     let int_ptr = ctx.pointer_to(ctx.int());
     let params = vec![
@@ -88,7 +98,11 @@ pub fn build_omp_captured_stmt(ctx: &ASTContext, body: P<Stmt>) -> P<CapturedStm
         ctx.make_implicit_param("__context", ctx.pointer_to(ctx.void())),
     ];
     P::new(CapturedStmt {
-        decl: P::new(CapturedDecl { params, body, nothrow: true }),
+        decl: P::new(CapturedDecl {
+            params,
+            body,
+            nothrow: true,
+        }),
         captures,
     })
 }
@@ -105,11 +119,22 @@ pub fn build_helper_lambda(
         .into_iter()
         .filter(|v| !param_ids.contains(&v.id))
         .map(|var| Capture {
-            kind: if by_value.contains(&var.id) { CaptureKind::ByValue } else { CaptureKind::ByRef },
+            kind: if by_value.contains(&var.id) {
+                CaptureKind::ByValue
+            } else {
+                CaptureKind::ByRef
+            },
             var,
         })
         .collect();
-    P::new(CapturedStmt { decl: P::new(CapturedDecl { params, body, nothrow: true }), captures })
+    P::new(CapturedStmt {
+        decl: P::new(CapturedDecl {
+            params,
+            body,
+            nothrow: true,
+        }),
+        captures,
+    })
 }
 
 #[cfg(test)]
@@ -128,7 +153,13 @@ mod tests {
         let assign = ctx.binary(
             BinOp::Assign,
             ctx.decl_ref(&local, loc),
-            ctx.binary(BinOp::Add, ctx.read_var(&local, loc), ctx.read_var(&outer, loc), ctx.int(), loc),
+            ctx.binary(
+                BinOp::Add,
+                ctx.read_var(&local, loc),
+                ctx.read_var(&outer, loc),
+                ctx.int(),
+                loc,
+            ),
             ctx.int(),
             loc,
         );
@@ -150,8 +181,20 @@ mod tests {
         let loc = SourceLocation::INVALID;
         let n = ctx.make_var("n", ctx.int(), None, loc);
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(0, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.read_var(&n, loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.read_var(&n, loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let s = Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -183,11 +226,20 @@ mod tests {
         let loc = SourceLocation::INVALID;
         let a = ctx.make_var("a", ctx.int(), None, loc);
         let b = ctx.make_var("b", ctx.int(), None, loc);
-        let sum = ctx.binary(BinOp::Add, ctx.read_var(&a, loc), ctx.read_var(&b, loc), ctx.int(), loc);
+        let sum = ctx.binary(
+            BinOp::Add,
+            ctx.read_var(&a, loc),
+            ctx.read_var(&b, loc),
+            ctx.int(),
+            loc,
+        );
         let body = Stmt::new(StmtKind::Expr(sum), loc);
         let cs = build_helper_lambda(vec![], body, &[a.id]);
-        let kinds: Vec<(String, CaptureKind)> =
-            cs.captures.iter().map(|c| (c.var.name.clone(), c.kind)).collect();
+        let kinds: Vec<(String, CaptureKind)> = cs
+            .captures
+            .iter()
+            .map(|c| (c.var.name.clone(), c.kind))
+            .collect();
         assert!(kinds.contains(&("a".to_string(), CaptureKind::ByValue)));
         assert!(kinds.contains(&("b".to_string(), CaptureKind::ByRef)));
     }

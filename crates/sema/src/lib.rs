@@ -27,9 +27,11 @@ pub mod sema;
 pub mod transform;
 pub mod tree_transform;
 
-pub use loop_analysis::{analyze_canonical_loop, CanonicalLoopAnalysis, LoopDirection};
 pub use canonical::build_canonical_loop;
 pub use capture::{build_omp_captured_stmt, free_variables};
+pub use loop_analysis::{
+    analyze_canonical_loop, find_nonrectangular_ref, CanonicalLoopAnalysis, LoopDirection,
+};
+pub use sema::{OpenMpCodegenMode, Sema};
 pub use transform::{count_generated_loops, split_prologue, LoopNestLevel};
 pub use tree_transform::TreeTransform;
-pub use sema::{OpenMpCodegenMode, Sema};

@@ -17,7 +17,7 @@
 //! logical iteration number back to the user variable's value.
 
 use omplt_ast::{
-    ASTContext, BinOp, CastKind, Decl, Expr, ExprKind, P, Stmt, StmtKind, Type, UnOp, VarDecl,
+    ASTContext, BinOp, CastKind, Decl, Expr, ExprKind, Stmt, StmtKind, Type, UnOp, VarDecl, P,
 };
 use omplt_source::{DiagnosticsEngine, SourceLocation};
 
@@ -98,11 +98,21 @@ impl CanonicalLoopAnalysis {
         // `raw - 1 + 1 = raw` (exclusive) vs `raw + 1` (inclusive):
         //   iterations = (raw - (strict ? 1 : 0)) / step + 1
         // Pointer difference yields ptrdiff_t (element count, C semantics).
-        let diff_ty = if var_ty.is_pointer() { ctx.ptrdiff_t() } else { P::clone(&var_ty) };
+        let diff_ty = if var_ty.is_pointer() {
+            ctx.ptrdiff_t()
+        } else {
+            P::clone(&var_ty)
+        };
         let diff = ctx.binary(BinOp::Sub, hi, lo, diff_ty, loc);
         let raw = to_unsigned(ctx, diff, &uty);
         let adjusted = if strict {
-            ctx.binary(BinOp::Sub, raw, ctx.int_lit(1, P::clone(&uty), loc), P::clone(&uty), loc)
+            ctx.binary(
+                BinOp::Sub,
+                raw,
+                ctx.int_lit(1, P::clone(&uty), loc),
+                P::clone(&uty),
+                loc,
+            )
         } else {
             raw
         };
@@ -129,19 +139,18 @@ impl CanonicalLoopAnalysis {
     /// of the logical type), given `start` — the by-value-captured start
     /// value (paper §3.1: `__begin` is "captured by-value so at any time it
     /// will contain the start value").
-    pub fn user_value_expr(
-        &self,
-        ctx: &ASTContext,
-        start: P<Expr>,
-        logical: P<Expr>,
-    ) -> P<Expr> {
+    pub fn user_value_expr(&self, ctx: &ASTContext, start: P<Expr>, logical: P<Expr>) -> P<Expr> {
         let loc = self.loc;
         let var_ty = P::clone(&self.iter_var.ty);
         // offset = logical * step. For integer variables the multiply
         // happens in the variable's type; for pointer variables (iterator
         // loops) it stays in the logical type and `ptr + n` scales by the
         // element size (C semantics, implemented by codegen).
-        let mul_ty = if var_ty.is_pointer() { P::clone(&self.logical_ty) } else { P::clone(&var_ty) };
+        let mul_ty = if var_ty.is_pointer() {
+            P::clone(&self.logical_ty)
+        } else {
+            P::clone(&var_ty)
+        };
         let step_in = ctx.int_convert(P::clone(&self.step), &mul_ty);
         let logical_in = ctx.int_convert(logical, &mul_ty);
         let offset = ctx.binary(BinOp::Mul, logical_in, step_in, mul_ty, loc);
@@ -194,7 +203,12 @@ pub fn analyze_canonical_loop(
 ) -> Option<CanonicalLoopAnalysis> {
     let stmt = stmt.strip_to_loop();
     match &stmt.kind {
-        StmtKind::For { init, cond, inc, body } => analyze_for(
+        StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } => analyze_for(
             ctx,
             diags,
             stmt.loc,
@@ -252,9 +266,11 @@ fn analyze_for(
     let (iter_var, lb, declares_var) = match init {
         Some(s) => match &s.kind {
             StmtKind::Decl(decls) => match decls.as_slice() {
-                [Decl::Var(v)] if v.init.is_some() => {
-                    (P::clone(v), v.init.clone().expect("guard checked init"), true)
-                }
+                [Decl::Var(v)] if v.init.is_some() => (
+                    P::clone(v),
+                    v.init.clone().expect("guard checked init"),
+                    true,
+                ),
                 _ => {
                     diags.error(
                         s.loc,
@@ -282,12 +298,18 @@ fn analyze_for(
                 }
             },
             _ => {
-                diags.error(s.loc, "initialization clause of OpenMP for loop is not in canonical form");
+                diags.error(
+                    s.loc,
+                    "initialization clause of OpenMP for loop is not in canonical form",
+                );
                 return None;
             }
         },
         None => {
-            diags.error(loc, format!("'{directive_name}' loop requires an init clause"));
+            diags.error(
+                loc,
+                format!("'{directive_name}' loop requires an init clause"),
+            );
             return None;
         }
     };
@@ -325,7 +347,10 @@ fn analyze_for(
             }
         }
         _ => {
-            diags.error(cond.loc, "condition of OpenMP for loop is not in canonical form");
+            diags.error(
+                cond.loc,
+                "condition of OpenMP for loop is not in canonical form",
+            );
             return None;
         }
     };
@@ -342,13 +367,19 @@ fn analyze_for(
         }
     };
     if refers_to_anywhere(&ub, &iter_var) {
-        diags.error(cond.loc, "loop bound must be invariant in the iteration variable");
+        diags.error(
+            cond.loc,
+            "loop bound must be invariant in the iteration variable",
+        );
         return None;
     }
 
     // ---- incr-expr ----
     let Some(inc) = inc else {
-        diags.error(loc, format!("'{directive_name}' loop requires an increment"));
+        diags.error(
+            loc,
+            format!("'{directive_name}' loop requires an increment"),
+        );
         return None;
     };
     let (step, step_negative) = match &inc.ignore_wrappers().kind {
@@ -361,7 +392,10 @@ fn analyze_for(
                     (ctx.int_lit(1, P::clone(&iter_var.ty), inc.loc), true)
                 }
                 _ => {
-                    diags.error(inc.loc, "increment clause of OpenMP for loop is not in canonical form");
+                    diags.error(
+                        inc.loc,
+                        "increment clause of OpenMP for loop is not in canonical form",
+                    );
                     return None;
                 }
             }
@@ -383,7 +417,10 @@ fn analyze_for(
                     } else if refers_to(b, &iter_var) {
                         (P::clone(a), false)
                     } else {
-                        diags.error(inc.loc, "increment clause of OpenMP for loop is not in canonical form");
+                        diags.error(
+                            inc.loc,
+                            "increment clause of OpenMP for loop is not in canonical form",
+                        );
                         return None;
                     }
                 }
@@ -391,26 +428,36 @@ fn analyze_for(
                     (P::clone(b), true)
                 }
                 _ => {
-                    diags.error(inc.loc, "increment clause of OpenMP for loop is not in canonical form");
+                    diags.error(
+                        inc.loc,
+                        "increment clause of OpenMP for loop is not in canonical form",
+                    );
                     return None;
                 }
             }
         }
         _ => {
-            diags.error(inc.loc, "increment clause of OpenMP for loop is not in canonical form");
+            diags.error(
+                inc.loc,
+                "increment clause of OpenMP for loop is not in canonical form",
+            );
             return None;
         }
     };
     if refers_to_anywhere(&step, &iter_var) {
-        diags.error(inc.loc, "loop step must be invariant in the iteration variable");
+        diags.error(
+            inc.loc,
+            "loop step must be invariant in the iteration variable",
+        );
         return None;
     }
 
     // Fold the sign: a negative constant step flips the direction.
     let (step, step_negative) = match step.eval_const_int() {
-        Some(v) if v < 0 => {
-            (ctx.int_lit(-v, P::clone(&step.ty), step.loc), !step_negative)
-        }
+        Some(v) if v < 0 => (
+            ctx.int_lit(-v, P::clone(&step.ty), step.loc),
+            !step_negative,
+        ),
         Some(0) => {
             diags.error(inc.loc, "loop step must be non-zero");
             return None;
@@ -434,7 +481,10 @@ fn analyze_for(
 
     // ---- structured block: no break out of the loop ----
     if has_loop_break(body) {
-        diags.error(body.loc, "break statement cannot be used in an OpenMP for loop");
+        diags.error(
+            body.loc,
+            "break statement cannot be used in an OpenMP for loop",
+        );
         return None;
     }
 
@@ -490,7 +540,9 @@ fn has_loop_break(body: &P<Stmt>) -> bool {
         fn visit_stmt(&mut self, s: &P<Stmt>) {
             match &s.kind {
                 StmtKind::Break if self.depth == 0 => self.found = true,
-                StmtKind::For { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+                StmtKind::For { .. }
+                | StmtKind::While { .. }
+                | StmtKind::DoWhile { .. }
                 | StmtKind::CxxForRange(_) => {
                     self.depth += 1;
                     omplt_ast::visitor::walk_stmt(self, s);
@@ -500,29 +552,85 @@ fn has_loop_break(body: &P<Stmt>) -> bool {
             }
         }
     }
-    let mut f = Finder { found: false, depth: 0 };
+    let mut f = Finder {
+        found: false,
+        depth: 0,
+    };
     omplt_ast::visitor::StmtVisitor::visit_stmt(&mut f, body);
     f.found
+}
+
+/// Searches the loop-control expressions of `analysis` (lower bound, upper
+/// bound, step) for a reference to one of `outer_ivs`, returning the
+/// referenced variable and the location of the offending reference.
+///
+/// Loop nests consumed by `tile` and `collapse` must be **rectangular**
+/// (OpenMP 5.1 §4.4.2: `tile` is not defined for non-rectangular nests):
+/// the trip count of every loop is evaluated *before* the nest runs, so an
+/// inner bound depending on an outer iteration variable would read the
+/// variable out of scope and silently miscompile.
+pub fn find_nonrectangular_ref(
+    analysis: &CanonicalLoopAnalysis,
+    outer_ivs: &[P<VarDecl>],
+) -> Option<(P<VarDecl>, SourceLocation)> {
+    struct Finder<'a> {
+        outer: &'a [P<VarDecl>],
+        hit: Option<(P<VarDecl>, SourceLocation)>,
+    }
+    impl omplt_ast::StmtVisitor for Finder<'_> {
+        fn visit_expr(&mut self, e: &P<Expr>) {
+            if self.hit.is_some() {
+                return;
+            }
+            if let Some(v) = e.as_decl_ref() {
+                if let Some(o) = self.outer.iter().find(|o| o.id == v.id) {
+                    self.hit = Some((P::clone(o), e.loc));
+                    return;
+                }
+            }
+            omplt_ast::walk_expr(self, e);
+        }
+    }
+    let mut f = Finder {
+        outer: outer_ivs,
+        hit: None,
+    };
+    for e in [&analysis.lb, &analysis.ub, &analysis.step] {
+        omplt_ast::StmtVisitor::visit_expr(&mut f, e);
+    }
+    f.hit
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn ctx_loop(
-        ctx: &ASTContext,
-        lb: i128,
-        ub: i128,
-        step: i128,
-        relop: BinOp,
-    ) -> P<Stmt> {
+    fn ctx_loop(ctx: &ASTContext, lb: i128, ub: i128, step: i128, relop: BinOp) -> P<Stmt> {
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(lb, ctx.int(), loc)), loc);
-        let cond = ctx.binary(relop, ctx.read_var(&i, loc), ctx.int_lit(ub, ctx.int(), loc), ctx.bool_ty(), loc);
+        let cond = ctx.binary(
+            relop,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(ub, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
         let inc = if step >= 0 {
-            ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(step, ctx.int(), loc), ctx.int(), loc)
+            ctx.binary(
+                BinOp::AddAssign,
+                ctx.decl_ref(&i, loc),
+                ctx.int_lit(step, ctx.int(), loc),
+                ctx.int(),
+                loc,
+            )
         } else {
-            ctx.binary(BinOp::SubAssign, ctx.decl_ref(&i, loc), ctx.int_lit(-step, ctx.int(), loc), ctx.int(), loc)
+            ctx.binary(
+                BinOp::SubAssign,
+                ctx.decl_ref(&i, loc),
+                ctx.int_lit(-step, ctx.int(), loc),
+                ctx.int(),
+                loc,
+            )
         };
         Stmt::new(
             StmtKind::For {
@@ -613,8 +721,20 @@ mod tests {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(0, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(9, ctx.int(), loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(9, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let s = Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -642,8 +762,20 @@ mod tests {
             loc,
         );
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(0, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(9, ctx.int(), loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(9, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let s = Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -678,9 +810,21 @@ mod tests {
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(0, ctx.int(), loc)), loc);
         // i < i + 4
-        let bound = ctx.binary(BinOp::Add, ctx.read_var(&i, loc), ctx.int_lit(4, ctx.int(), loc), ctx.int(), loc);
+        let bound = ctx.binary(
+            BinOp::Add,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(4, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), bound, ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let s = Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),

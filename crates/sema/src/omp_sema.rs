@@ -6,14 +6,12 @@
 
 use crate::canonical::build_canonical_loop;
 use crate::capture::build_omp_captured_stmt;
-use crate::loop_analysis::analyze_canonical_loop;
+use crate::loop_analysis::{analyze_canonical_loop, find_nonrectangular_ref};
 use crate::sema::{OpenMpCodegenMode, Sema};
-use crate::transform::{
-    split_prologue, transform_tile, transform_unroll_partial, LoopNestLevel,
-};
+use crate::transform::{split_prologue, transform_tile, transform_unroll_partial, LoopNestLevel};
 use omplt_ast::{
-    BinOp, Expr, LoopDirectiveHelpers, OMPClause, OMPClauseKind, OMPDirective,
-    OMPDirectiveKind, P, PerLoopHelpers, ScheduleKind, Stmt, StmtKind,
+    BinOp, Expr, LoopDirectiveHelpers, OMPClause, OMPClauseKind, OMPDirective, OMPDirectiveKind,
+    PerLoopHelpers, ScheduleKind, Stmt, StmtKind, P,
 };
 use omplt_source::SourceLocation;
 
@@ -34,7 +32,13 @@ impl Sema<'_> {
         self.check_clauses(kind, &clauses, loc);
 
         let Some(associated) = associated else {
-            self.diags.error(loc, format!("'#pragma omp {}' requires an associated statement", kind.name()));
+            self.diags.error(
+                loc,
+                format!(
+                    "'#pragma omp {}' requires an associated statement",
+                    kind.name()
+                ),
+            );
             return Stmt::new(StmtKind::Null, loc);
         };
 
@@ -52,13 +56,20 @@ impl Sema<'_> {
             OMPDirectiveKind::For
             | OMPDirectiveKind::ParallelFor
             | OMPDirectiveKind::Simd
-            | OMPDirectiveKind::Taskloop => self.act_on_loop_directive(kind, clauses, associated, loc),
+            | OMPDirectiveKind::Taskloop => {
+                self.act_on_loop_directive(kind, clauses, associated, loc)
+            }
         }
     }
 
     // ---------------- clause validation ----------------
 
-    fn check_clauses(&self, kind: OMPDirectiveKind, clauses: &[P<OMPClause>], _loc: SourceLocation) {
+    fn check_clauses(
+        &self,
+        kind: OMPDirectiveKind,
+        clauses: &[P<OMPClause>],
+        _loc: SourceLocation,
+    ) {
         for c in clauses {
             let ok = match &c.kind {
                 OMPClauseKind::Full | OMPClauseKind::Partial(_) => kind == OMPDirectiveKind::Unroll,
@@ -86,7 +97,10 @@ impl Sema<'_> {
                 if *sk != ScheduleKind::Static {
                     self.diags.warning(
                         c.loc,
-                        format!("schedule kind '{}' is not implemented; using 'static'", sk.name()),
+                        format!(
+                            "schedule kind '{}' is not implemented; using 'static'",
+                            sk.name()
+                        ),
                     );
                 }
             }
@@ -98,12 +112,15 @@ impl Sema<'_> {
         match e.eval_const_int() {
             Some(v) if v > 0 => Some(v as u64),
             Some(_) => {
-                self.diags.error(e.loc, format!("argument to '{what}' must be positive"));
+                self.diags
+                    .error(e.loc, format!("argument to '{what}' must be positive"));
                 None
             }
             None => {
-                self.diags
-                    .error(e.loc, format!("argument to '{what}' must be a constant expression"));
+                self.diags.error(
+                    e.loc,
+                    format!("argument to '{what}' must be a constant expression"),
+                );
                 None
             }
         }
@@ -115,11 +132,7 @@ impl Sema<'_> {
     /// attributes, `OMPCanonicalLoop` wrappers, transformed-AST compounds,
     /// and — crucially — transformation directives standing in for their
     /// generated loop (paper §2: `getTransformedStmt()`).
-    fn resolve_level(
-        &self,
-        stmt: &P<Stmt>,
-        consumer: &str,
-    ) -> Option<(Vec<P<Stmt>>, P<Stmt>)> {
+    fn resolve_level(&self, stmt: &P<Stmt>, consumer: &str) -> Option<(Vec<P<Stmt>>, P<Stmt>)> {
         let mut prologue = Vec::new();
         let mut cur = P::clone(stmt);
         loop {
@@ -162,8 +175,10 @@ impl Sema<'_> {
                     return Some((prologue, cur));
                 }
                 _ => {
-                    self.diags
-                        .error(cur.loc, format!("statement after '{consumer}' must be a for loop"));
+                    self.diags.error(
+                        cur.loc,
+                        format!("statement after '{consumer}' must be a for loop"),
+                    );
                     return None;
                 }
             }
@@ -182,6 +197,31 @@ impl Sema<'_> {
         for lvl in 0..depth {
             let (prologue, lp) = self.resolve_level(&cur, consumer)?;
             let analysis = analyze_canonical_loop(&self.ctx, self.diags, &lp, consumer)?;
+            // Rectangularity (OpenMP 5.1 §4.4.2): bounds of inner loops must
+            // be invariant in outer iteration variables — the nest's trip
+            // counts are all evaluated before the nest runs, so a dependent
+            // bound would read the outer variable out of scope.
+            let outer: Vec<_> = levels
+                .iter()
+                .map(|l: &LoopNestLevel| P::clone(&l.analysis.iter_var))
+                .collect();
+            if let Some((var, ref_loc)) = find_nonrectangular_ref(&analysis, &outer) {
+                self.diags.report_with_notes(
+                    omplt_source::Level::Error,
+                    ref_loc,
+                    format!(
+                        "loop nest associated with '{consumer}' must be rectangular: \
+                         bound of loop {} depends on iteration variable '{}'",
+                        lvl + 1,
+                        var.name
+                    ),
+                    vec![omplt_source::Diagnostic::note(
+                        var.loc,
+                        format!("iteration variable '{}' declared here", var.name),
+                    )],
+                );
+                return None;
+            }
             let next = P::clone(&analysis.body);
             levels.push(LoopNestLevel { prologue, analysis });
             if lvl + 1 < depth {
@@ -200,13 +240,15 @@ impl Sema<'_> {
         associated: P<Stmt>,
         loc: SourceLocation,
     ) -> P<Stmt> {
-        let pragma = OMPDirective::new(OMPDirectiveKind::Unroll, clauses.clone(), None, loc).pragma_text();
+        let pragma =
+            OMPDirective::new(OMPDirectiveKind::Unroll, clauses.clone(), None, loc).pragma_text();
         let mut d = OMPDirective::new(OMPDirectiveKind::Unroll, clauses, None, loc);
 
         let has_full = d.has_full_clause();
         let partial = d.partial_clause().map(|f| f.cloned());
         if has_full && partial.is_some() {
-            self.diags.error(loc, "'full' and 'partial' clauses are mutually exclusive");
+            self.diags
+                .error(loc, "'full' and 'partial' clauses are mutually exclusive");
         }
 
         let levels = self.collect_loop_nest(&associated, 1, "#pragma omp unroll");
@@ -250,10 +292,12 @@ impl Sema<'_> {
         associated: P<Stmt>,
         loc: SourceLocation,
     ) -> P<Stmt> {
-        let pragma = OMPDirective::new(OMPDirectiveKind::Tile, clauses.clone(), None, loc).pragma_text();
+        let pragma =
+            OMPDirective::new(OMPDirectiveKind::Tile, clauses.clone(), None, loc).pragma_text();
         let mut d = OMPDirective::new(OMPDirectiveKind::Tile, clauses, None, loc);
         let Some(size_exprs) = d.sizes_clause().map(<[_]>::to_vec) else {
-            self.diags.error(loc, "'#pragma omp tile' requires a 'sizes' clause");
+            self.diags
+                .error(loc, "'#pragma omp tile' requires a 'sizes' clause");
             d.associated = Some(associated);
             return Stmt::new(StmtKind::OMP(P::new(d)), loc);
         };
@@ -313,7 +357,10 @@ impl Sema<'_> {
         // Worksharing and taskloop regions are outlined → CapturedStmt
         // (loop transformations must NOT capture; paper §2.1).
         let associated = if kind.captures_associated() {
-            Stmt::new(StmtKind::Captured(build_omp_captured_stmt(&self.ctx, associated)), loc)
+            Stmt::new(
+                StmtKind::Captured(build_omp_captured_stmt(&self.ctx, associated)),
+                loc,
+            )
         } else {
             associated
         };
@@ -360,7 +407,9 @@ impl Sema<'_> {
         // diagnostics example) and the total iteration space.
         let mut capture_decls = Vec::with_capacity(levels.len());
         for l in levels {
-            let tc = l.analysis.distance_expr_with_start(ctx, P::clone(&l.analysis.lb));
+            let tc = l
+                .analysis
+                .distance_expr_with_start(ctx, P::clone(&l.analysis.lb));
             let tc = ctx.int_convert(tc, &szt);
             capture_decls.push(ctx.make_implicit_var(
                 ctx.fresh_name(".capture_expr."),
@@ -371,8 +420,13 @@ impl Sema<'_> {
         }
         let mut num_iterations = ctx.read_var(&capture_decls[0], loc);
         for cd in &capture_decls[1..] {
-            num_iterations =
-                ctx.binary(BinOp::Mul, num_iterations, ctx.read_var(cd, loc), P::clone(&szt), loc);
+            num_iterations = ctx.binary(
+                BinOp::Mul,
+                num_iterations,
+                ctx.read_var(cd, loc),
+                P::clone(&szt),
+                loc,
+            );
         }
 
         let iv = ctx.make_implicit_var(".omp.iv", P::clone(&szt), None, loc);
@@ -381,8 +435,20 @@ impl Sema<'_> {
         let stride = ctx.make_implicit_var(".omp.stride", P::clone(&szt), None, loc);
         let is_last = ctx.make_implicit_var(".omp.is_last", ctx.int(), None, loc);
 
-        let last_iteration = ctx.binary(BinOp::Sub, P::clone(&num_iterations), lit(1), P::clone(&szt), loc);
-        let precondition = ctx.binary(BinOp::Lt, lit(0), P::clone(&num_iterations), ctx.bool_ty(), loc);
+        let last_iteration = ctx.binary(
+            BinOp::Sub,
+            P::clone(&num_iterations),
+            lit(1),
+            P::clone(&szt),
+            loc,
+        );
+        let precondition = ctx.binary(
+            BinOp::Lt,
+            lit(0),
+            P::clone(&num_iterations),
+            ctx.bool_ty(),
+            loc,
+        );
         let init = ctx.assign(ctx.decl_ref(&iv, loc), lit(0), loc);
         let cond = ctx.binary(
             BinOp::Lt,
@@ -393,25 +459,53 @@ impl Sema<'_> {
         );
         let inc = ctx.assign(
             ctx.decl_ref(&iv, loc),
-            ctx.binary(BinOp::Add, ctx.read_var(&iv, loc), lit(1), P::clone(&szt), loc),
+            ctx.binary(
+                BinOp::Add,
+                ctx.read_var(&iv, loc),
+                lit(1),
+                P::clone(&szt),
+                loc,
+            ),
             loc,
         );
         let workshare_init = ctx.assign(ctx.decl_ref(&iv, loc), ctx.read_var(&lb, loc), loc);
-        let workshare_cond =
-            ctx.binary(BinOp::Le, ctx.read_var(&iv, loc), ctx.read_var(&ub, loc), ctx.bool_ty(), loc);
+        let workshare_cond = ctx.binary(
+            BinOp::Le,
+            ctx.read_var(&iv, loc),
+            ctx.read_var(&ub, loc),
+            ctx.bool_ty(),
+            loc,
+        );
         let ensure_upper_bound = ctx.assign(
             ctx.decl_ref(&ub, loc),
-            ctx.min_expr(ctx.read_var(&ub, loc), P::clone(&last_iteration), P::clone(&szt), loc),
+            ctx.min_expr(
+                ctx.read_var(&ub, loc),
+                P::clone(&last_iteration),
+                P::clone(&szt),
+                loc,
+            ),
             loc,
         );
         let next_lower_bound = ctx.assign(
             ctx.decl_ref(&lb, loc),
-            ctx.binary(BinOp::Add, ctx.read_var(&lb, loc), ctx.read_var(&stride, loc), P::clone(&szt), loc),
+            ctx.binary(
+                BinOp::Add,
+                ctx.read_var(&lb, loc),
+                ctx.read_var(&stride, loc),
+                P::clone(&szt),
+                loc,
+            ),
             loc,
         );
         let next_upper_bound = ctx.assign(
             ctx.decl_ref(&ub, loc),
-            ctx.binary(BinOp::Add, ctx.read_var(&ub, loc), ctx.read_var(&stride, loc), P::clone(&szt), loc),
+            ctx.binary(
+                BinOp::Add,
+                ctx.read_var(&ub, loc),
+                ctx.read_var(&stride, loc),
+                P::clone(&szt),
+                loc,
+            ),
             loc,
         );
 
@@ -432,7 +526,13 @@ impl Sema<'_> {
             if let Some(d) = divisor {
                 idx = ctx.binary(BinOp::Div, idx, d, P::clone(&szt), loc);
             }
-            idx = ctx.binary(BinOp::Rem, idx, ctx.read_var(&capture_decls[k], loc), P::clone(&szt), loc);
+            idx = ctx.binary(
+                BinOp::Rem,
+                idx,
+                ctx.read_var(&capture_decls[k], loc),
+                P::clone(&szt),
+                loc,
+            );
             let update_val = a.user_value_expr(ctx, P::clone(&a.lb), idx);
             let update = ctx.assign(ctx.decl_ref(&a.iter_var, loc), update_val, loc);
 
@@ -519,8 +619,20 @@ mod tests {
         let ctx = &s.ctx;
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(lb, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(ub, ctx.int(), loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(step, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(ub, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(step, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -555,11 +667,21 @@ mod tests {
         let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
             let lp = mk_loop(s, 0, 10, 1, None);
             let c = unroll_clause(s, Some(2));
-            s.act_on_omp_directive(OMPDirectiveKind::Unroll, vec![c], Some(lp), SourceLocation::INVALID)
+            s.act_on_omp_directive(
+                OMPDirectiveKind::Unroll,
+                vec![c],
+                Some(lp),
+                SourceLocation::INVALID,
+            )
         });
         assert!(msgs.is_empty(), "{msgs:?}");
-        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
-        assert!(d.get_transformed_stmt().is_some(), "partial unroll must build shadow AST");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        assert!(
+            d.get_transformed_stmt().is_some(),
+            "partial unroll must build shadow AST"
+        );
     }
 
     #[test]
@@ -567,11 +689,21 @@ mod tests {
         let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
             let lp = mk_loop(s, 0, 10, 1, None);
             let c = OMPClause::new(OMPClauseKind::Full, SourceLocation::INVALID);
-            s.act_on_omp_directive(OMPDirectiveKind::Unroll, vec![c], Some(lp), SourceLocation::INVALID)
+            s.act_on_omp_directive(
+                OMPDirectiveKind::Unroll,
+                vec![c],
+                Some(lp),
+                SourceLocation::INVALID,
+            )
         });
         assert!(msgs.is_empty(), "{msgs:?}");
-        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
-        assert!(d.get_transformed_stmt().is_none(), "full unroll leaves no generated loop");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        assert!(
+            d.get_transformed_stmt().is_none(),
+            "full unroll leaves no generated loop"
+        );
     }
 
     #[test]
@@ -586,7 +718,12 @@ mod tests {
                 Some(lp),
                 SourceLocation::INVALID,
             );
-            s.act_on_omp_directive(OMPDirectiveKind::For, vec![], Some(inner), SourceLocation::INVALID)
+            s.act_on_omp_directive(
+                OMPDirectiveKind::For,
+                vec![],
+                Some(inner),
+                SourceLocation::INVALID,
+            )
         });
         assert!(
             msgs.iter().any(|m| m.contains("does not generate a loop")),
@@ -613,8 +750,13 @@ mod tests {
             )
         });
         assert!(msgs.is_empty(), "{msgs:?}");
-        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
-        assert!(d.loop_helpers.is_some(), "classic mode builds the helper bundle");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        assert!(
+            d.loop_helpers.is_some(),
+            "classic mode builds the helper bundle"
+        );
         // associated is CapturedStmt wrapping the inner unroll directive
         let StmtKind::Captured(_) = &d.associated.as_ref().unwrap().kind else {
             panic!("worksharing must capture its region");
@@ -625,9 +767,17 @@ mod tests {
     fn tile_requires_sizes() {
         let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
             let lp = mk_loop(s, 0, 10, 1, None);
-            s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![], Some(lp), SourceLocation::INVALID)
+            s.act_on_omp_directive(
+                OMPDirectiveKind::Tile,
+                vec![],
+                Some(lp),
+                SourceLocation::INVALID,
+            )
         });
-        assert!(msgs.iter().any(|m| m.contains("requires a 'sizes'")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("requires a 'sizes'")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
@@ -646,7 +796,9 @@ mod tests {
             s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![sizes], Some(outer), loc)
         });
         assert!(msgs.is_empty(), "{msgs:?}");
-        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
         let t = d.get_transformed_stmt().unwrap();
         assert_eq!(crate::transform::count_generated_loops(t), 4);
     }
@@ -665,19 +817,32 @@ mod tests {
             );
             s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![sizes], Some(lp), loc)
         });
-        assert!(msgs.iter().any(|m| m.contains("must be a for loop")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("must be a for loop")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
     fn irbuilder_mode_wraps_canonical_loop() {
         let (stmt, msgs) = with_sema(OpenMpCodegenMode::IrBuilder, |s| {
             let lp = mk_loop(s, 0, 10, 1, None);
-            s.act_on_omp_directive(OMPDirectiveKind::Unroll, vec![unroll_clause(s, Some(2))], Some(lp), SourceLocation::INVALID)
+            s.act_on_omp_directive(
+                OMPDirectiveKind::Unroll,
+                vec![unroll_clause(s, Some(2))],
+                Some(lp),
+                SourceLocation::INVALID,
+            )
         });
         assert!(msgs.is_empty(), "{msgs:?}");
-        let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
         assert!(
-            matches!(d.associated.as_ref().unwrap().kind, StmtKind::OMPCanonicalLoop(_)),
+            matches!(
+                d.associated.as_ref().unwrap().kind,
+                StmtKind::OMPCanonicalLoop(_)
+            ),
             "IrBuilder mode must wrap the literal loop"
         );
     }
@@ -694,7 +859,9 @@ mod tests {
                 Some(lp),
                 SourceLocation::INVALID,
             );
-            let StmtKind::OMP(d) = &stmt.kind else { panic!() };
+            let StmtKind::OMP(d) = &stmt.kind else {
+                panic!()
+            };
             d.loop_helpers.as_ref().unwrap().node_count()
         });
         assert_eq!(count, 17 + 6, "one loop: nest-wide 17 + 6 per-loop helpers");
@@ -706,7 +873,10 @@ mod tests {
         let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
             let lp = mk_loop(s, 0, 10, 1, None);
             let loc = SourceLocation::INVALID;
-            let sizes = OMPClause::new(OMPClauseKind::Sizes(vec![s.ctx.int_lit(4, s.ctx.int(), loc)]), loc);
+            let sizes = OMPClause::new(
+                OMPClauseKind::Sizes(vec![s.ctx.int_lit(4, s.ctx.int(), loc)]),
+                loc,
+            );
             s.act_on_omp_directive(OMPDirectiveKind::For, vec![sizes], Some(lp), loc)
         });
         assert!(msgs.iter().any(|m| m.contains("not valid on")), "{msgs:?}");
@@ -725,6 +895,9 @@ mod tests {
             Some(P::clone(&lp)),
             SourceLocation::INVALID,
         );
-        assert!(P::ptr_eq(&r, &lp), "disabled OpenMP must return the bare statement");
+        assert!(
+            P::ptr_eq(&r, &lp),
+            "disabled OpenMP must return the bare statement"
+        );
     }
 }

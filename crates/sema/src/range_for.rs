@@ -6,8 +6,8 @@
 
 use crate::sema::Sema;
 use omplt_ast::{
-    BinOp, CastKind, CxxForRangeData, Decl, Expr, ExprKind, P, Stmt, StmtKind, Type, TypeKind,
-    UnOp, VarDecl, VarKind,
+    BinOp, CastKind, CxxForRangeData, Decl, Expr, ExprKind, Stmt, StmtKind, Type, TypeKind, UnOp,
+    VarDecl, VarKind, P,
 };
 use omplt_source::SourceLocation;
 
@@ -30,7 +30,10 @@ impl Sema<'_> {
         let TypeKind::Array(arr_elem, len) = &range.ty.kind else {
             self.diags.error(
                 range.loc,
-                format!("cannot iterate over non-array type '{}'", range.ty.spelling()),
+                format!(
+                    "cannot iterate over non-array type '{}'",
+                    range.ty.spelling()
+                ),
             );
             return None;
         };
@@ -56,7 +59,8 @@ impl Sema<'_> {
             loc,
         );
         let range_var =
-            self.ctx.make_implicit_var("__range", P::clone(&ptr_ty), Some(decayed), loc);
+            self.ctx
+                .make_implicit_var("__range", P::clone(&ptr_ty), Some(decayed), loc);
         // auto __begin = std::begin(__range);
         let begin_var = self.ctx.make_implicit_var(
             "__begin",
@@ -72,7 +76,9 @@ impl Sema<'_> {
             P::clone(&ptr_ty),
             loc,
         );
-        let end_var = self.ctx.make_implicit_var("__end", P::clone(&ptr_ty), Some(end_init), loc);
+        let end_var = self
+            .ctx
+            .make_implicit_var("__end", P::clone(&ptr_ty), Some(end_init), loc);
 
         // __begin != __end
         let cond = self.ctx.binary(
@@ -101,7 +107,11 @@ impl Sema<'_> {
         } else {
             // by-value copies the element
             let t = P::clone(&arr_elem);
-            Expr::rvalue(ExprKind::ImplicitCast(CastKind::LValueToRValue, deref), t, loc)
+            Expr::rvalue(
+                ExprKind::ImplicitCast(CastKind::LValueToRValue, deref),
+                t,
+                loc,
+            )
         };
         let loop_var = P::new(VarDecl {
             id: self.ctx.fresh_decl_id(),
@@ -116,7 +126,15 @@ impl Sema<'_> {
         });
         self.scopes.push();
         self.scopes.declare(Decl::Var(P::clone(&loop_var)));
-        Some(RangeForParts { range_var, begin_var, end_var, cond, inc, loop_var, loc })
+        Some(RangeForParts {
+            range_var,
+            begin_var,
+            end_var,
+            cond,
+            inc,
+            loop_var,
+            loc,
+        })
     }
 
     /// Completes the range-for once the body is parsed (pops the loop-var
@@ -165,7 +183,11 @@ impl Sema<'_> {
             _ => {
                 self.diags.error(
                     loc,
-                    format!("invalid cast from '{}' to '{}'", e.ty.spelling(), to.spelling()),
+                    format!(
+                        "invalid cast from '{}' to '{}'",
+                        e.ty.spelling(),
+                        to.spelling()
+                    ),
                 );
                 CastKind::NoOp
             }
@@ -216,7 +238,9 @@ mod tests {
         let body = Stmt::new(StmtKind::Expr(body_ref), loc);
         let stmt = s.act_on_range_for_end(parts, body);
         assert!(!diags.has_errors(), "{:?}", diags.all());
-        let StmtKind::CxxForRange(d) = &stmt.kind else { panic!() };
+        let StmtKind::CxxForRange(d) = &stmt.kind else {
+            panic!()
+        };
         assert_eq!(d.begin_var.name, "__begin");
         assert_eq!(d.end_var.name, "__end");
         assert!(d.loop_var.by_ref);
@@ -254,7 +278,9 @@ mod tests {
         let loc = SourceLocation::INVALID;
         let x = s.act_on_var_decl("x", s.ctx.int(), None, false, loc);
         let range = s.ctx.decl_ref(&x, loc);
-        assert!(s.act_on_range_for_begin("v", None, false, range, loc).is_none());
+        assert!(s
+            .act_on_range_for_begin("v", None, false, range, loc)
+            .is_none());
         assert!(diags.has_errors());
     }
 }

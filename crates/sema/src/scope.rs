@@ -1,6 +1,6 @@
 //! Lexical scopes for name lookup.
 
-use omplt_ast::{Decl, P, FunctionDecl, VarDecl};
+use omplt_ast::{Decl, FunctionDecl, VarDecl, P};
 use std::collections::HashMap;
 
 /// One lexical scope level.
@@ -18,7 +18,9 @@ pub struct ScopeStack {
 impl ScopeStack {
     /// Creates the stack with the translation-unit scope.
     pub fn new() -> ScopeStack {
-        ScopeStack { scopes: vec![Scope::default()] }
+        ScopeStack {
+            scopes: vec![Scope::default()],
+        }
     }
 
     /// Enters a nested scope.
@@ -28,7 +30,10 @@ impl ScopeStack {
 
     /// Leaves the innermost scope.
     pub fn pop(&mut self) {
-        assert!(self.scopes.len() > 1, "cannot pop the translation-unit scope");
+        assert!(
+            self.scopes.len() > 1,
+            "cannot pop the translation-unit scope"
+        );
         self.scopes.pop();
     }
 

@@ -6,8 +6,8 @@
 
 use crate::scope::ScopeStack;
 use omplt_ast::{
-    ASTContext, BinOp, CastKind, Decl, Expr, ExprKind, FunctionDecl, P, Stmt, StmtKind, Type,
-    TypeKind, UnOp, VarDecl, VarKind,
+    ASTContext, BinOp, CastKind, Decl, Expr, ExprKind, FunctionDecl, Stmt, StmtKind, Type,
+    TypeKind, UnOp, VarDecl, VarKind, P,
 };
 use omplt_source::{DiagnosticsEngine, SourceLocation, SourceManager};
 use std::cell::RefCell;
@@ -91,7 +91,11 @@ impl<'a> Sema<'a> {
             ty,
             init,
             loc,
-            kind: if self.scopes.depth() == 1 { VarKind::Global } else { VarKind::Local },
+            kind: if self.scopes.depth() == 1 {
+                VarKind::Global
+            } else {
+                VarKind::Local
+            },
             implicit: false,
             by_ref,
             used: std::cell::Cell::new(false),
@@ -133,7 +137,8 @@ impl<'a> Sema<'a> {
         // Re-declaration with a body is a definition of a prior prototype.
         let func = if let Some(prev) = self.scopes.lookup_fn(name).cloned() {
             if *prev.ty != *fn_ty {
-                self.diags.error(loc, format!("conflicting types for '{name}'"));
+                self.diags
+                    .error(loc, format!("conflicting types for '{name}'"));
             }
             prev
         } else {
@@ -160,7 +165,8 @@ impl<'a> Sema<'a> {
     pub fn act_on_function_end(&mut self, func: &P<FunctionDecl>, body: Option<P<Stmt>>) {
         if let Some(b) = body {
             if func.is_definition() {
-                self.diags.error(func.loc, format!("redefinition of '{}'", func.name));
+                self.diags
+                    .error(func.loc, format!("redefinition of '{}'", func.name));
             }
             *func.body.borrow_mut() = Some(b);
         }
@@ -176,7 +182,8 @@ impl<'a> Sema<'a> {
         match self.scopes.lookup_var(name) {
             Some(v) => self.ctx.decl_ref(&P::clone(v), loc),
             None => {
-                self.diags.error(loc, format!("use of undeclared identifier '{name}'"));
+                self.diags
+                    .error(loc, format!("use of undeclared identifier '{name}'"));
                 self.error_expr(loc)
             }
         }
@@ -188,7 +195,11 @@ impl<'a> Sema<'a> {
         let loc = e.loc;
         if let TypeKind::Array(elem, _) = &e.ty.kind {
             let pty = self.ctx.pointer_to(P::clone(elem));
-            return Expr::rvalue(ExprKind::ImplicitCast(CastKind::ArrayToPointerDecay, e), pty, loc);
+            return Expr::rvalue(
+                ExprKind::ImplicitCast(CastKind::ArrayToPointerDecay, e),
+                pty,
+                loc,
+            );
         }
         if e.is_lvalue() {
             let ty = P::clone(&e.ty);
@@ -227,7 +238,11 @@ impl<'a> Sema<'a> {
             _ => {
                 self.diags.error(
                     loc,
-                    format!("cannot convert '{}' to '{}'", e.ty.spelling(), to.spelling()),
+                    format!(
+                        "cannot convert '{}' to '{}'",
+                        e.ty.spelling(),
+                        to.spelling()
+                    ),
                 );
                 CastKind::NoOp
             }
@@ -328,7 +343,12 @@ impl<'a> Sema<'a> {
         }
     }
 
-    fn arith_operands(&mut self, lhs: P<Expr>, rhs: P<Expr>, loc: SourceLocation) -> (P<Expr>, P<Expr>) {
+    fn arith_operands(
+        &mut self,
+        lhs: P<Expr>,
+        rhs: P<Expr>,
+        loc: SourceLocation,
+    ) -> (P<Expr>, P<Expr>) {
         let l = self.rvalue(lhs);
         let r = self.rvalue(rhs);
         if l.ty.is_pointer() || r.ty.is_pointer() {
@@ -345,12 +365,17 @@ impl<'a> Sema<'a> {
         loc: SourceLocation,
     ) -> (P<Expr>, P<Expr>, P<Type>) {
         if !l.ty.is_arithmetic() || !r.ty.is_arithmetic() {
-            self.diags.error(loc, "invalid operands to binary expression");
+            self.diags
+                .error(loc, "invalid operands to binary expression");
             let ty = self.ctx.int();
             return (self.error_expr(loc), self.error_expr(loc), ty);
         }
         let ty = self.common_arith_type(&l.ty, &r.ty);
-        (self.implicit_convert(l, &ty), self.implicit_convert(r, &ty), ty)
+        (
+            self.implicit_convert(l, &ty),
+            self.implicit_convert(r, &ty),
+            ty,
+        )
     }
 
     /// Converts a controlling expression to `bool`.
@@ -378,14 +403,16 @@ impl<'a> Sema<'a> {
                         Expr::lvalue(ExprKind::Unary(op, sub), pty, loc)
                     }
                     None => {
-                        self.diags.error(loc, "indirection requires pointer operand");
+                        self.diags
+                            .error(loc, "indirection requires pointer operand");
                         self.error_expr(loc)
                     }
                 }
             }
             UnOp::AddrOf => {
                 if !sub.is_lvalue() {
-                    self.diags.error(loc, "cannot take the address of an rvalue");
+                    self.diags
+                        .error(loc, "cannot take the address of an rvalue");
                     return self.error_expr(loc);
                 }
                 let ty = self.ctx.pointer_to(P::clone(&sub.ty));
@@ -411,10 +438,13 @@ impl<'a> Sema<'a> {
     /// Builds a type-checked call.
     pub fn act_on_call(&mut self, name: &str, args: Vec<P<Expr>>, loc: SourceLocation) -> P<Expr> {
         let Some(callee) = self.scopes.lookup_fn(name).cloned() else {
-            self.diags.error(loc, format!("call to undeclared function '{name}'"));
+            self.diags
+                .error(loc, format!("call to undeclared function '{name}'"));
             return self.error_expr(loc);
         };
-        let TypeKind::Function { ret, params } = &callee.ty.kind else { unreachable!() };
+        let TypeKind::Function { ret, params } = &callee.ty.kind else {
+            unreachable!()
+        };
         let (ret, params) = (P::clone(ret), params.clone());
         if args.len() != params.len() {
             self.diags.error(
@@ -445,7 +475,8 @@ impl<'a> Sema<'a> {
         let base = self.rvalue(base); // decays arrays
         let index = self.rvalue(index);
         let Some(elem) = base.ty.pointee().map(P::clone) else {
-            self.diags.error(loc, "subscripted value is not an array or pointer");
+            self.diags
+                .error(loc, "subscripted value is not an array or pointer");
             return self.error_expr(loc);
         };
         if !index.ty.is_integral_or_bool() {
@@ -471,7 +502,8 @@ impl<'a> Sema<'a> {
         } else if t.ty.is_arithmetic() && f.ty.is_arithmetic() {
             self.common_arith_type(&t.ty, &f.ty)
         } else {
-            self.diags.error(loc, "incompatible operand types in conditional expression");
+            self.diags
+                .error(loc, "incompatible operand types in conditional expression");
             self.ctx.int()
         };
         let t = self.implicit_convert(t, &ty);
@@ -490,12 +522,14 @@ impl<'a> Sema<'a> {
         let e = match (e, ret_ty) {
             (Some(e), Some(rt)) if !rt.is_void() => Some(self.convert_for_init(e, &rt)),
             (Some(e), _) => {
-                self.diags.error(loc, "void function should not return a value");
+                self.diags
+                    .error(loc, "void function should not return a value");
                 let _ = e;
                 None
             }
             (None, Some(rt)) if !rt.is_void() => {
-                self.diags.error(loc, "non-void function should return a value");
+                self.diags
+                    .error(loc, "non-void function should return a value");
                 None
             }
             (None, _) => None,
@@ -615,7 +649,12 @@ mod tests {
     fn call_arity_checked() {
         let (_, errs) = with_sema(|s| {
             let loc = SourceLocation::INVALID;
-            let f = s.act_on_function_start("f", s.ctx.void(), vec![("x".into(), s.ctx.int(), loc)], loc);
+            let f = s.act_on_function_start(
+                "f",
+                s.ctx.void(),
+                vec![("x".into(), s.ctx.int(), loc)],
+                loc,
+            );
             s.act_on_function_end(&f, None);
             s.act_on_call("f", vec![], loc)
         });

@@ -20,9 +20,7 @@
 //! the literal loop, so diagnostics attribute to the right source (§2).
 
 use crate::loop_analysis::CanonicalLoopAnalysis;
-use omplt_ast::{
-    ASTContext, Attr, BinOp, Decl, Expr, P, Stmt, StmtKind, UnOp, VarDecl,
-};
+use omplt_ast::{ASTContext, Attr, BinOp, Decl, Expr, Stmt, StmtKind, UnOp, VarDecl, P};
 use omplt_source::{SourceLocation, SourceManager};
 
 /// One level of a collected (possibly already-transformed) loop nest.
@@ -145,7 +143,13 @@ pub fn transform_unroll_partial(
         P::clone(&uty),
         loc,
     );
-    let in_group = ctx.binary(BinOp::Lt, ctx.read_var(&inner_iv, loc), group_end, ctx.bool_ty(), loc);
+    let in_group = ctx.binary(
+        BinOp::Lt,
+        ctx.read_var(&inner_iv, loc),
+        group_end,
+        ctx.bool_ty(),
+        loc,
+    );
     let in_range = ctx.binary(
         BinOp::Lt,
         ctx.read_var(&inner_iv, loc),
@@ -154,7 +158,12 @@ pub fn transform_unroll_partial(
         loc,
     );
     let inner_cond = ctx.binary(BinOp::LAnd, in_group, in_range, ctx.bool_ty(), loc);
-    let inner_inc = ctx.unary(UnOp::PreInc, ctx.decl_ref(&inner_iv, loc), P::clone(&uty), loc);
+    let inner_inc = ctx.unary(
+        UnOp::PreInc,
+        ctx.decl_ref(&inner_iv, loc),
+        P::clone(&uty),
+        loc,
+    );
     let inner_body = Stmt::new(
         StmtKind::Compound(vec![
             materialize_user_var(ctx, a, ctx.read_var(&inner_iv, loc), loc),
@@ -164,7 +173,10 @@ pub fn transform_unroll_partial(
     );
     let inner_loop = make_loop(inner_iv, inner_cond, inner_inc, inner_body, loc);
     let hinted = Stmt::new(
-        StmtKind::Attributed { attrs: vec![Attr::LoopUnrollCount(factor)], sub: inner_loop },
+        StmtKind::Attributed {
+            attrs: vec![Attr::LoopUnrollCount(factor)],
+            sub: inner_loop,
+        },
         loc,
     );
 
@@ -254,7 +266,12 @@ pub fn transform_tile(
     // Innermost body: materialize every original variable, then the body.
     let mut body_stmts: Vec<P<Stmt>> = Vec::with_capacity(n + 1);
     for (l, tiv) in levels.iter().zip(&tile_ivs) {
-        body_stmts.push(materialize_user_var(ctx, &l.analysis, ctx.read_var(tiv, loc), loc));
+        body_stmts.push(materialize_user_var(
+            ctx,
+            &l.analysis,
+            ctx.read_var(tiv, loc),
+            loc,
+        ));
     }
     body_stmts.push(P::clone(&levels[n - 1].analysis.body));
     let mut current = Stmt::new(StmtKind::Compound(body_stmts), loc);
@@ -271,8 +288,19 @@ pub fn transform_tile(
             P::clone(&uty),
             loc,
         );
-        let bound = ctx.min_expr(ctx.read_var(&tc_vars[k], loc), tile_end, P::clone(&uty), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&tile_ivs[k], loc), bound, ctx.bool_ty(), loc);
+        let bound = ctx.min_expr(
+            ctx.read_var(&tc_vars[k], loc),
+            tile_end,
+            P::clone(&uty),
+            loc,
+        );
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&tile_ivs[k], loc),
+            bound,
+            ctx.bool_ty(),
+            loc,
+        );
         let inc = ctx.unary(UnOp::PreInc, ctx.decl_ref(&tile_ivs[k], loc), uty, loc);
         current = make_loop(P::clone(&tile_ivs[k]), cond, inc, current, loc);
     }
@@ -307,7 +335,9 @@ pub fn split_prologue(stmt: &P<Stmt>) -> Option<(Vec<P<Stmt>>, P<Stmt>)> {
     match &stmt.kind {
         StmtKind::Compound(stmts) => {
             let (last, rest) = stmts.split_last()?;
-            if last.strip_to_loop().is_loop() && rest.iter().all(|s| matches!(s.kind, StmtKind::Decl(_))) {
+            if last.strip_to_loop().is_loop()
+                && rest.iter().all(|s| matches!(s.kind, StmtKind::Decl(_)))
+            {
                 Some((rest.to_vec(), P::clone(last)))
             } else {
                 None
@@ -345,8 +375,20 @@ mod tests {
     fn analysis_for(ctx: &ASTContext, lb: i128, ub: i128, step: i128) -> CanonicalLoopAnalysis {
         let loc = SourceLocation::INVALID;
         let i = ctx.make_var("i", ctx.int(), Some(ctx.int_lit(lb, ctx.int(), loc)), loc);
-        let cond = ctx.binary(BinOp::Lt, ctx.read_var(&i, loc), ctx.int_lit(ub, ctx.int(), loc), ctx.bool_ty(), loc);
-        let inc = ctx.binary(BinOp::AddAssign, ctx.decl_ref(&i, loc), ctx.int_lit(step, ctx.int(), loc), ctx.int(), loc);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&i, loc),
+            ctx.int_lit(ub, ctx.int(), loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.binary(
+            BinOp::AddAssign,
+            ctx.decl_ref(&i, loc),
+            ctx.int_lit(step, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let s = Stmt::new(
             StmtKind::For {
                 init: Some(Stmt::new(StmtKind::Decl(vec![Decl::Var(i)]), loc)),
@@ -375,7 +417,10 @@ mod tests {
         assert!(d.contains(".unrolled.iv.i"), "{d}");
         // inner loop kept, annotated with LoopHintAttr UnrollCount
         assert!(d.contains("AttributedStmt"), "{d}");
-        assert!(d.contains("LoopHintAttr Implicit loop UnrollCount Numeric"), "{d}");
+        assert!(
+            d.contains("LoopHintAttr Implicit loop UnrollCount Numeric"),
+            "{d}"
+        );
         assert!(d.contains(".unroll_inner.iv.i"), "{d}");
         // trip-count capture with the infamous internal name
         assert!(d.contains(".capture_expr."), "{d}");
@@ -412,8 +457,14 @@ mod tests {
             &ctx,
             &mut sm,
             &[
-                LoopNestLevel { prologue: vec![], analysis: outer },
-                LoopNestLevel { prologue: vec![], analysis: inner },
+                LoopNestLevel {
+                    prologue: vec![],
+                    analysis: outer,
+                },
+                LoopNestLevel {
+                    prologue: vec![],
+                    analysis: inner,
+                },
             ],
             &[4, 8],
             "#pragma omp tile sizes(4, 8)",
@@ -434,7 +485,10 @@ mod tests {
         let t = transform_tile(
             &ctx,
             &mut sm,
-            &[LoopNestLevel { prologue: vec![], analysis: a }],
+            &[LoopNestLevel {
+                prologue: vec![],
+                analysis: a,
+            }],
             &[4],
             "#pragma omp tile sizes(4)",
         );
@@ -462,7 +516,12 @@ mod tests {
         let _ = &ctx;
         let loc = SourceLocation::INVALID;
         let lp = Stmt::new(
-            StmtKind::For { init: None, cond: None, inc: None, body: Stmt::new(StmtKind::Null, loc) },
+            StmtKind::For {
+                init: None,
+                cond: None,
+                inc: None,
+                body: Stmt::new(StmtKind::Null, loc),
+            },
             loc,
         );
         let (pro, l) = split_prologue(&lp).unwrap();

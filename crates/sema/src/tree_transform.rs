@@ -6,9 +6,7 @@
 //! Because the AST is immutable (`Rc` subtrees), untouched branches are
 //! shared rather than copied.
 
-use omplt_ast::{
-    CxxForRangeData, Decl, DeclId, Expr, ExprKind, P, Stmt, StmtKind, VarDecl,
-};
+use omplt_ast::{CxxForRangeData, Decl, DeclId, Expr, ExprKind, Stmt, StmtKind, VarDecl, P};
 use std::collections::HashMap;
 
 /// Rebuilds trees substituting variable references.
@@ -63,11 +61,17 @@ impl TreeTransform {
                 self.transform_expr(t),
                 self.transform_expr(f),
             ),
-            ExprKind::ConstantExpr { value, sub } => {
-                ExprKind::ConstantExpr { value: *value, sub: self.transform_expr(sub) }
-            }
+            ExprKind::ConstantExpr { value, sub } => ExprKind::ConstantExpr {
+                value: *value,
+                sub: self.transform_expr(sub),
+            },
         };
-        P::new(Expr { kind, ty: P::clone(&e.ty), category: e.category, loc: e.loc })
+        P::new(Expr {
+            kind,
+            ty: P::clone(&e.ty),
+            category: e.category,
+            loc: e.loc,
+        })
     }
 
     /// Rebuilds a statement.
@@ -99,7 +103,12 @@ impl TreeTransform {
                 body: self.transform_stmt(body),
                 cond: self.transform_expr(cond),
             },
-            StmtKind::For { init, cond, inc, body } => StmtKind::For {
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => StmtKind::For {
                 init: init.as_ref().map(|i| self.transform_stmt(i)),
                 cond: cond.as_ref().map(|c| self.transform_expr(c)),
                 inc: inc.as_ref().map(|i| self.transform_expr(i)),
@@ -169,7 +178,13 @@ mod tests {
         let ctx = ASTContext::new();
         let loc = SourceLocation::INVALID;
         let x = ctx.make_var("x", ctx.int(), None, loc);
-        let e = ctx.binary(BinOp::Add, ctx.read_var(&x, loc), ctx.int_lit(1, ctx.int(), loc), ctx.int(), loc);
+        let e = ctx.binary(
+            BinOp::Add,
+            ctx.read_var(&x, loc),
+            ctx.int_lit(1, ctx.int(), loc),
+            ctx.int(),
+            loc,
+        );
         let tt = TreeTransform::substituting(&x, ctx.int_lit(41, ctx.int(), loc));
         let t = tt.transform_expr(&e);
         assert_eq!(t.eval_const_int(), Some(42));
@@ -183,7 +198,10 @@ mod tests {
         let lit = ctx.int_lit(5, ctx.int(), loc);
         let tt = TreeTransform::substituting(&x, ctx.int_lit(0, ctx.int(), loc));
         let t = tt.transform_expr(&lit);
-        assert!(P::ptr_eq(&t, &lit), "unchanged nodes must be shared, not cloned");
+        assert!(
+            P::ptr_eq(&t, &lit),
+            "unchanged nodes must be shared, not cloned"
+        );
     }
 
     #[test]
@@ -204,8 +222,12 @@ mod tests {
         let s = Stmt::new(StmtKind::Compound(vec![body]), loc);
         let tt = TreeTransform::substituting(&x, ctx.int_lit(3, ctx.int(), loc));
         let t = tt.transform_stmt(&s);
-        let StmtKind::Compound(inner) = &t.kind else { panic!() };
-        let StmtKind::Expr(e) = &inner[0].kind else { panic!() };
+        let StmtKind::Compound(inner) = &t.kind else {
+            panic!()
+        };
+        let StmtKind::Expr(e) = &inner[0].kind else {
+            panic!()
+        };
         assert_eq!(e.eval_const_int(), Some(6));
     }
 }

@@ -23,7 +23,10 @@ pub struct MemoryBuffer {
 impl MemoryBuffer {
     /// Creates a buffer from a name and its contents.
     pub fn new(name: impl Into<String>, data: impl Into<String>) -> Self {
-        MemoryBuffer { name: name.into(), data: data.into() }
+        MemoryBuffer {
+            name: name.into(),
+            data: data.into(),
+        }
     }
 
     /// The buffer identifier (usually a file path).

@@ -43,7 +43,11 @@ impl SourceLocation {
     /// produced for shadow-AST nodes; the `SourceManager` maps them back to a
     /// representative literal-loop location for diagnostics (paper §2).
     pub fn synthetic(idx: u32) -> Self {
-        SourceLocation(SYNTHETIC_BASE.checked_add(idx).expect("synthetic location overflow"))
+        SourceLocation(
+            SYNTHETIC_BASE
+                .checked_add(idx)
+                .expect("synthetic location overflow"),
+        )
     }
 
     /// Whether this is a synthetic (compiler-generated) location.
@@ -93,7 +97,10 @@ impl SourceRange {
 
     /// A zero-width range at `loc`.
     pub fn at(loc: SourceLocation) -> Self {
-        SourceRange { begin: loc, end: loc }
+        SourceRange {
+            begin: loc,
+            end: loc,
+        }
     }
 
     /// True when both endpoints are valid.
@@ -142,7 +149,10 @@ mod tests {
     #[test]
     fn debug_formatting() {
         assert_eq!(format!("{:?}", SourceLocation::INVALID), "<invalid loc>");
-        assert_eq!(format!("{:?}", SourceLocation::synthetic(7)), "<synthetic #7>");
+        assert_eq!(
+            format!("{:?}", SourceLocation::synthetic(7)),
+            "<synthetic #7>"
+        );
         assert_eq!(format!("{:?}", SourceLocation::from_raw(12)), "loc(12)");
     }
 }

@@ -46,7 +46,12 @@ impl SourceManager {
     /// Creates an empty source manager. Offset 0 is reserved for the invalid
     /// location, so the first file starts at offset 1.
     pub fn new() -> Self {
-        SourceManager { files: Vec::new(), next_offset: 1, transformed: HashMap::new(), next_synthetic: 0 }
+        SourceManager {
+            files: Vec::new(),
+            next_offset: 1,
+            transformed: HashMap::new(),
+            next_synthetic: 0,
+        }
     }
 
     /// Registers `buffer` and returns its id plus the location of its first
@@ -59,7 +64,11 @@ impl SourceManager {
             .and_then(|o| o.checked_add(1)) // +1: a location one past the end is representable
             .expect("source location space exhausted");
         let id = FileId(self.files.len() as u32);
-        self.files.push(FileEntry { buffer, base_offset: base, line_starts: std::cell::OnceCell::new() });
+        self.files.push(FileEntry {
+            buffer,
+            base_offset: base,
+            line_starts: std::cell::OnceCell::new(),
+        });
         (id, SourceLocation::from_raw(base))
     }
 
@@ -99,7 +108,11 @@ impl SourceManager {
     /// Decodes `loc` into file/line/column. Synthetic locations are first
     /// mapped through [`SourceManager::map_transformed`].
     pub fn presumed_loc(&self, loc: SourceLocation) -> Option<PresumedLoc> {
-        let loc = if loc.is_synthetic() { self.map_transformed(loc)?.0 } else { loc };
+        let loc = if loc.is_synthetic() {
+            self.map_transformed(loc)?.0
+        } else {
+            loc
+        };
         let file = self.file_of(loc)?;
         let entry = &self.files[file.0 as usize];
         let off = loc.raw() - entry.base_offset;
@@ -123,7 +136,11 @@ impl SourceManager {
     /// The full text of the line containing `loc` (without trailing newline),
     /// for caret diagnostics.
     pub fn line_text(&self, loc: SourceLocation) -> Option<String> {
-        let loc = if loc.is_synthetic() { self.map_transformed(loc)?.0 } else { loc };
+        let loc = if loc.is_synthetic() {
+            self.map_transformed(loc)?.0
+        } else {
+            loc
+        };
         let file = self.file_of(loc)?;
         let entry = &self.files[file.0 as usize];
         let data = entry.buffer.data();
@@ -145,7 +162,8 @@ impl SourceManager {
     ) -> SourceLocation {
         let idx = self.next_synthetic;
         self.next_synthetic += 1;
-        self.transformed.insert(idx, (representative, origin.into()));
+        self.transformed
+            .insert(idx, (representative, origin.into()));
         SourceLocation::synthetic(idx)
     }
 
@@ -188,9 +206,23 @@ mod tests {
     fn presumed_loc_lines_and_cols() {
         let (sm, id, _) = sm_with("int x;\nint y;\n");
         let l = sm.loc_for_offset(id, 0);
-        assert_eq!(sm.presumed_loc(l).unwrap(), PresumedLoc { file: "t.c".into(), line: 1, col: 1 });
+        assert_eq!(
+            sm.presumed_loc(l).unwrap(),
+            PresumedLoc {
+                file: "t.c".into(),
+                line: 1,
+                col: 1
+            }
+        );
         let l = sm.loc_for_offset(id, 7); // 'i' of "int y;"
-        assert_eq!(sm.presumed_loc(l).unwrap(), PresumedLoc { file: "t.c".into(), line: 2, col: 1 });
+        assert_eq!(
+            sm.presumed_loc(l).unwrap(),
+            PresumedLoc {
+                file: "t.c".into(),
+                line: 2,
+                col: 1
+            }
+        );
         let l = sm.loc_for_offset(id, 11); // 'y'
         let p = sm.presumed_loc(l).unwrap();
         assert_eq!((p.line, p.col), (2, 5));

@@ -53,7 +53,9 @@ fn main() {
 
     // Same semantics through the classic path.
     let mut classic = CompilerInstance::new(Options::default());
-    let r2 = classic.compile_and_run("range.c", SOURCE, true).expect("classic pipeline");
+    let r2 = classic
+        .compile_and_run("range.c", SOURCE, true)
+        .expect("classic pipeline");
     assert_eq!(r.stdout, r2.stdout);
     println!("classic and canonical paths agree on the iterator loop ✓");
 }

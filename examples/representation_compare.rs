@@ -22,15 +22,22 @@ fn source(depth: usize) -> String {
 fn directive(tu: &ast::TranslationUnit) -> ast::P<ast::OMPDirective> {
     let f = tu.function("f").unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!() };
-    let StmtKind::OMP(d) = &stmts[0].kind else { panic!() };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!()
+    };
+    let StmtKind::OMP(d) = &stmts[0].kind else {
+        panic!()
+    };
     ast::P::clone(d)
 }
 
 fn main() {
     println!("Sema-resolved helper nodes per representation (paper §3: \"reduced");
     println!("from the 36 shadow AST nodes required by OMPLoopDirective\" to 3):\n");
-    println!("{:<10} {:>28} {:>26}", "collapse", "classic OMPLoopDirective", "OMPCanonicalLoop items");
+    println!(
+        "{:<10} {:>28} {:>26}",
+        "collapse", "classic OMPLoopDirective", "OMPCanonicalLoop items"
+    );
     println!("{:-<66}", "");
     for depth in 1..=4usize {
         let src = source(depth);

@@ -47,9 +47,7 @@ fn main() {
             // system (paper §1.1: "easier to experiment with different
             // optimizations to find the best-performing").
             let src = saxpy_source().replace("FACTOR", &factor.to_string());
-            let r = ci
-                .compile_and_run("saxpy.c", &src, true)
-                .expect("pipeline");
+            let r = ci.compile_and_run("saxpy.c", &src, true).expect("pipeline");
             println!(
                 "factor {factor}, {threads} thread(s): checksum = {}, tasks/steps ok",
                 r.stdout.trim()

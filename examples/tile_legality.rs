@@ -1,0 +1,61 @@
+//! Transformation legality: `#pragma omp tile sizes(4, 4)` requires a
+//! perfectly nested loop nest of depth 2 (OpenMP 5.1 §4.4.2). This example
+//! runs the `--analyze` legality pass over a *negative* case — a statement
+//! between the two loops that depends on the outer iteration variable — and
+//! over the corrected perfectly nested version.
+//!
+//! ```text
+//! cargo run --example tile_legality
+//! ```
+
+use omplt::{CompilerInstance, Options};
+
+/// `int t = i * 8;` sits between the loops. Sema's transformation machinery
+/// would hoist it out of the nest, but `t` depends on `i`, so the hoisted
+/// value would be stale for every tile except the first — the legality pass
+/// rejects the nest instead.
+const IMPERFECT: &str = r#"
+int main(void) {
+  int a[64];
+  #pragma omp tile sizes(4, 4)
+  for (int i = 0; i < 8; i += 1) {
+    int t = i * 8;
+    for (int j = 0; j < 8; j += 1)
+      a[t + j] = t;
+  }
+  return 0;
+}
+"#;
+
+/// The same computation with the intervening statement folded into the
+/// innermost body — a perfectly nested, tileable nest.
+const PERFECT: &str = r#"
+int main(void) {
+  int a[64];
+  #pragma omp tile sizes(4, 4)
+  for (int i = 0; i < 8; i += 1)
+    for (int j = 0; j < 8; j += 1)
+      a[i * 8 + j] = i * 8;
+  return 0;
+}
+"#;
+
+fn analyze(name: &str, source: &str) {
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source(name, source).expect("parse");
+    let report = ci.analyze(&tu);
+    if report.has_findings() {
+        println!("{} error(s):\n", report.errors);
+        print!("{}", ci.render_diags());
+    } else {
+        println!("no findings — the nest is legal to tile ✓");
+    }
+}
+
+fn main() {
+    println!("=== imperfect nest (rejected) ===\n{IMPERFECT}");
+    analyze("imperfect.c", IMPERFECT);
+
+    println!("\n=== perfectly nested (accepted) ===\n{PERFECT}");
+    analyze("perfect.c", PERFECT);
+}

@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! ompltc [OPTIONS] <file.c>
+//!   --analyze                run the static-analysis suite (legality + -Wrace)
+//!                            and exit; non-zero exit on any finding
 //!   --ast-dump               print the syntactic AST (clang -ast-dump style)
 //!   --ast-dump-transformed   additionally show shadow (transformed) subtrees
+//!   --diag-format=FMT        diagnostics output format: text (default) | json
 //!   --emit-ir                print generated IR
 //!   --enable-irbuilder       use the OpenMPIRBuilder / OMPCanonicalLoop path
 //!   --no-openmp              parse pragmas but ignore them
@@ -11,24 +14,40 @@
 //!   --opt                    run the mid-end pipeline (incl. LoopUnroll) first
 //!   --syntax-only            stop after semantic analysis
 //!   --threads N              thread-team size for `parallel` regions (default 4)
+//!   --verify-each            re-verify IR (incl. canonical-loop skeletons)
+//!                            after every transformation and mid-end pass
 //! ```
 
 use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
 use std::process::ExitCode;
 
+fn emit_diags(ci: &CompilerInstance, json: bool) {
+    if ci.diags.is_empty() {
+        return;
+    }
+    if json {
+        eprint!("{}", ci.render_diags_json());
+    } else {
+        eprint!("{}", ci.render_diags());
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Options::default();
     let mut file = None;
+    let mut analyze = false;
     let mut ast_dump = false;
     let mut ast_dump_transformed = false;
     let mut emit_ir = false;
     let mut run = false;
     let mut optimize = false;
     let mut syntax_only = false;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--analyze" => analyze = true,
             "--ast-dump" => ast_dump = true,
             "--ast-dump-transformed" => ast_dump_transformed = true,
             "--emit-ir" => emit_ir = true,
@@ -37,9 +56,32 @@ fn main() -> ExitCode {
             "--run" => run = true,
             "--opt" => optimize = true,
             "--syntax-only" => syntax_only = true,
+            "--verify-each" => opts.verify_each = true,
             "--threads" => {
-                let n = it.next().expect("--threads needs a value");
-                opts.num_threads = n.parse().expect("--threads needs an integer");
+                let Some(n) = it.next() else {
+                    eprintln!("ompltc: '--threads' requires a value");
+                    return ExitCode::from(2);
+                };
+                match n.parse::<u32>() {
+                    Ok(v) if v > 0 => opts.num_threads = v,
+                    _ => {
+                        eprintln!(
+                            "ompltc: invalid value '{n}' for '--threads': \
+                             expected a positive integer"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if other.starts_with("--diag-format=") => {
+                match &other["--diag-format=".len()..] {
+                    "json" => json = true,
+                    "text" => json = false,
+                    fmt => {
+                        eprintln!("ompltc: unknown diagnostics format '{fmt}' (text|json)");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => {
@@ -49,7 +91,11 @@ fn main() -> ExitCode {
         }
     }
     let Some(file) = file else {
-        eprintln!("usage: ompltc [--ast-dump] [--ast-dump-transformed] [--emit-ir] [--enable-irbuilder] [--opt] [--run] [--threads N] <file.c>");
+        eprintln!(
+            "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
+             [--diag-format=text|json] [--emit-ir] [--enable-irbuilder] [--opt] [--run] \
+             [--syntax-only] [--threads N] [--verify-each] <file.c>"
+        );
         return ExitCode::from(2);
     };
 
@@ -63,32 +109,60 @@ fn main() -> ExitCode {
     };
     let tu = match ci.parse_source(&file, &source) {
         Ok(tu) => tu,
-        Err(diags) => {
-            eprint!("{diags}");
+        Err(_) => {
+            emit_diags(&ci, json);
             return ExitCode::from(1);
         }
     };
 
+    if analyze {
+        let report = ci.analyze(&tu);
+        emit_diags(&ci, json);
+        return if report.has_findings() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     if ast_dump || ast_dump_transformed {
-        print!("{}", if ast_dump_transformed { ci.ast_dump_transformed(&tu) } else { ci.ast_dump(&tu) });
+        print!(
+            "{}",
+            if ast_dump_transformed {
+                ci.ast_dump_transformed(&tu)
+            } else {
+                ci.ast_dump(&tu)
+            }
+        );
     }
     if syntax_only {
+        emit_diags(&ci, json);
         return ExitCode::SUCCESS;
     }
 
     let mut module = match ci.codegen(&tu) {
         Ok(m) => m,
-        Err(diags) => {
-            eprint!("{diags}");
+        Err(rendered) => {
+            if ci.diags.is_empty() {
+                // Internal verifier failures are not diagnostics.
+                eprint!("{rendered}");
+            } else {
+                emit_diags(&ci, json);
+            }
             return ExitCode::from(1);
         }
     };
     if optimize {
         ci.optimize(&mut module);
+        if ci.diags.has_errors() {
+            emit_diags(&ci, json);
+            return ExitCode::from(1);
+        }
     }
     if emit_ir {
         print!("{}", omplt::ir::print_module(&module));
     }
+    emit_diags(&ci, json);
     if run {
         match ci.run(&module) {
             Ok(result) => {

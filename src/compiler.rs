@@ -24,6 +24,10 @@ pub struct Options {
     pub serial: bool,
     /// Interpreter step budget.
     pub max_steps: u64,
+    /// `--verify-each` — re-check IR (including the canonical-loop skeleton
+    /// invariants) after every `OpenMPIRBuilder` transformation and between
+    /// every mid-end pass.
+    pub verify_each: bool,
 }
 
 impl Default for Options {
@@ -34,6 +38,7 @@ impl Default for Options {
             num_threads: 4,
             serial: false,
             max_steps: 500_000_000,
+            verify_each: false,
         }
     }
 }
@@ -71,7 +76,12 @@ impl CompilerInstance {
             let mut pp = Preprocessor::new(&mut sm, &mut self.fm, &self.diags, file_id);
             pp.tokenize_all()
         };
-        let mut sema = Sema::new(&self.diags, &self.sm, self.opts.codegen_mode, self.opts.openmp);
+        let mut sema = Sema::new(
+            &self.diags,
+            &self.sm,
+            self.opts.codegen_mode,
+            self.opts.openmp,
+        );
         let tu = parse_translation_unit(tokens, &mut sema);
         if self.diags.has_errors() {
             return Err(self.render_diags());
@@ -84,6 +94,19 @@ impl CompilerInstance {
         self.diags.render(&self.sm.borrow())
     }
 
+    /// Renders all collected diagnostics as JSON (`--diag-format=json`).
+    pub fn render_diags_json(&self) -> String {
+        self.diags.render_json(&self.sm.borrow())
+    }
+
+    /// Runs the static-analysis suite (`--analyze`): transformation legality
+    /// and `parallel for` race detection. Findings are reported through
+    /// [`CompilerInstance::diags`]; the returned report counts what the
+    /// analyses added.
+    pub fn analyze(&self, tu: &TranslationUnit) -> omplt_analysis::AnalysisReport {
+        omplt_analysis::run_analyses(tu, &self.diags)
+    }
+
     /// Dumps the syntactic AST (`clang -ast-dump` style).
     pub fn ast_dump(&self, tu: &TranslationUnit) -> String {
         omplt_ast::dump_translation_unit(tu, DumpOptions::default())
@@ -91,14 +114,22 @@ impl CompilerInstance {
 
     /// Dumps the AST including shadow (transformed) subtrees.
     pub fn ast_dump_transformed(&self, tu: &TranslationUnit) -> String {
-        omplt_ast::dump_translation_unit(tu, DumpOptions { show_transformed: true })
+        omplt_ast::dump_translation_unit(
+            tu,
+            DumpOptions {
+                show_transformed: true,
+            },
+        )
     }
 
     /// Lowers the AST to IR. On error returns rendered diagnostics.
     pub fn codegen(&self, tu: &TranslationUnit) -> Result<Module, String> {
         let r = codegen_translation_unit(
             tu,
-            CodegenOptions { mode: self.opts.codegen_mode },
+            CodegenOptions {
+                mode: self.opts.codegen_mode,
+                verify_each: self.opts.verify_each,
+            },
             &self.diags,
         );
         if self.diags.has_errors() {
@@ -110,16 +141,33 @@ impl CompilerInstance {
                 return Err(format!(
                     "internal error: IR verification failed for @{}:\n{}",
                     f.name,
-                    errs.iter().map(|e| format!("  {e}")).collect::<Vec<_>>().join("\n")
+                    errs.iter()
+                        .map(|e| format!("  {e}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
                 ));
             }
         }
         Ok(r.module)
     }
 
-    /// Runs the mid-end pipeline (SimplifyCfg, ConstFold, LoopUnroll).
+    /// Runs the mid-end pipeline (SimplifyCfg, ConstFold, LoopUnroll). With
+    /// `verify_each` set, the full verifier (structural + canonical-loop
+    /// skeleton invariants) re-checks every function after every pass and
+    /// reports violations as error diagnostics.
     pub fn optimize(&self, module: &mut Module) -> omplt_midend::UnrollStats {
-        omplt_midend::run_default_pipeline(module)
+        if self.opts.verify_each {
+            let (stats, errs) = omplt_midend::run_default_pipeline_verified(module);
+            for e in errs {
+                self.diags.error(
+                    omplt_source::SourceLocation::INVALID,
+                    format!("--verify-each: {e}"),
+                );
+            }
+            stats
+        } else {
+            omplt_midend::run_default_pipeline(module)
+        }
     }
 
     /// Executes `main` in the interpreter.
@@ -146,7 +194,10 @@ impl CompilerInstance {
             for f in &module.functions {
                 let errs = omplt_ir::verify_function(f);
                 if !errs.is_empty() {
-                    return Err(format!("post-optimization verification failed for @{}", f.name));
+                    return Err(format!(
+                        "post-optimization verification failed for @{}",
+                        f.name
+                    ));
                 }
             }
         }

@@ -29,9 +29,11 @@ pub mod compiler;
 pub mod pipeline;
 
 pub use compiler::{CompilerInstance, Options};
-pub use pipeline::{assert_matrix_output, run_matrix, run_source, run_source_with};
+pub use omplt_analysis::AnalysisReport;
 pub use omplt_sema::OpenMpCodegenMode;
+pub use pipeline::{assert_matrix_output, run_matrix, run_source, run_source_with};
 
+pub use omplt_analysis as analysis;
 pub use omplt_ast as ast;
 pub use omplt_codegen as codegen;
 pub use omplt_interp as interp;

@@ -27,7 +27,11 @@ pub fn run_matrix(source: &str) -> [RunResult; 4] {
     let mk = |mode: OpenMpCodegenMode, opt: bool| {
         run_source_with(
             source,
-            Options { codegen_mode: mode, serial: true, ..Options::default() },
+            Options {
+                codegen_mode: mode,
+                serial: true,
+                ..Options::default()
+            },
             opt,
         )
     };

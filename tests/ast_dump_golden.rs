@@ -4,7 +4,10 @@
 use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
 
 fn dump(src: &str, mode: OpenMpCodegenMode) -> String {
-    let mut ci = CompilerInstance::new(Options { codegen_mode: mode, ..Options::default() });
+    let mut ci = CompilerInstance::new(Options {
+        codegen_mode: mode,
+        ..Options::default()
+    });
     let tu = ci.parse_source("g.c", src).expect("parse");
     ci.ast_dump(&tu)
 }
@@ -48,7 +51,8 @@ fn composed_unroll_golden() {
 
 #[test]
 fn for_loop_components_golden() {
-    let src = "void body(int i);\nvoid f(void) {\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
+    let src =
+        "void body(int i);\nvoid f(void) {\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
     let d = dump(src, OpenMpCodegenMode::Classic);
     // ForStmt slots: init, (cond-var placeholder), cond, inc, body
     assert_block(

@@ -1,0 +1,112 @@
+//! Golden tests for `DiagnosticsEngine::render` over analysis findings: the
+//! exact Clang-style text (level, `file:line:col`, carets, attached notes)
+//! is part of the user interface and must not drift.
+
+use omplt::{CompilerInstance, Options};
+
+fn analyze_and_render(name: &str, src: &str) -> String {
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source(name, src).expect("source parses cleanly");
+    ci.analyze(&tu);
+    ci.render_diags()
+}
+
+#[test]
+fn race_warning_renders_exactly() {
+    let src = "\
+int main(void) {
+  int sum = 0;
+  int a[8];
+  #pragma omp parallel for
+  for (int i = 0; i < 8; i += 1)
+    sum += a[i];
+  return sum;
+}
+";
+    let expected = "\
+race.c:6:5: warning: writing to shared variable 'sum' inside '#pragma omp parallel for' is a data race [-Wrace]
+    sum += a[i];
+    ^
+race.c:6:5: note: 'sum' read here
+    sum += a[i];
+    ^
+race.c:4:11: note: 'sum' is shared by all threads of '#pragma omp parallel for'; consider a 'private(sum)' or 'reduction(+: sum)' clause
+  #pragma omp parallel for
+          ^
+";
+    assert_eq!(analyze_and_render("race.c", src), expected);
+}
+
+#[test]
+fn legality_error_renders_exactly() {
+    let src = "\
+int main(void) {
+  int a[64];
+  #pragma omp tile sizes(4, 4)
+  for (int i = 0; i < 8; i += 1) {
+    int t = i * 8;
+    for (int j = 0; j < 8; j += 1)
+      a[t + j] = t;
+  }
+  return 0;
+}
+";
+    let expected = "\
+tile.c:5:5: error: loop nest after '#pragma omp tile sizes(4, 4)' must be perfectly nested: statement is not part of the loop at depth 2
+    int t = i * 8;
+    ^
+tile.c:3:11: note: '#pragma omp tile sizes(4, 4)' requires 2 perfectly nested loops here
+  #pragma omp tile sizes(4, 4)
+          ^
+";
+    assert_eq!(analyze_and_render("tile.c", src), expected);
+}
+
+#[test]
+fn loop_carried_warning_renders_exactly() {
+    let src = "\
+int main(void) {
+  int a[16];
+  #pragma omp parallel for
+  for (int i = 0; i < 15; i += 1)
+    a[i] = a[i + 1] + 1;
+  return 0;
+}
+";
+    let expected = "\
+carried.c:5:6: warning: loop-carried access to shared array 'a' in '#pragma omp parallel for': 'a[i]' is written while 'a[i + 1]' is read by a different iteration [-Wrace]
+    a[i] = a[i + 1] + 1;
+     ^
+carried.c:5:13: note: conflicting read here
+    a[i] = a[i + 1] + 1;
+            ^
+";
+    assert_eq!(analyze_and_render("carried.c", src), expected);
+}
+
+#[test]
+fn json_rendering_matches_text_locations() {
+    let src = "\
+int main(void) {
+  int s = 0;
+  #pragma omp parallel for
+  for (int i = 0; i < 8; i += 1)
+    s = i;
+  return s;
+}
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source("j.c", src).expect("parses");
+    let report = ci.analyze(&tu);
+    assert_eq!((report.errors, report.warnings), (0, 1));
+    let json = ci.render_diags_json();
+    assert!(
+        json.starts_with("[{\"level\":\"warning\",\"message\":\"writing to shared variable 's'"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"file\":\"j.c\",\"line\":5,\"column\":5"),
+        "{json}"
+    );
+    assert!(json.ends_with("]\n"), "{json}");
+}

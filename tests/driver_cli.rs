@@ -21,18 +21,35 @@ const DEMO: &str = "void print_i64(long v);\nint main(void) {\n  #pragma omp unr
 #[test]
 fn ast_dump_shows_directive() {
     let p = write_temp("dump.c", DEMO);
-    let out = ompltc().arg("--ast-dump").arg("--syntax-only").arg(&p).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = ompltc()
+        .arg("--ast-dump")
+        .arg("--syntax-only")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("OMPUnrollDirective"), "{text}");
     assert!(text.contains("OMPPartialClause"), "{text}");
-    assert!(!text.contains("TransformedStmt"), "shadow AST hidden by default");
+    assert!(
+        !text.contains("TransformedStmt"),
+        "shadow AST hidden by default"
+    );
 }
 
 #[test]
 fn ast_dump_transformed_reveals_shadow_ast() {
     let p = write_temp("dump2.c", DEMO);
-    let out = ompltc().arg("--ast-dump-transformed").arg("--syntax-only").arg(&p).output().unwrap();
+    let out = ompltc()
+        .arg("--ast-dump-transformed")
+        .arg("--syntax-only")
+        .arg(&p)
+        .output()
+        .unwrap();
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("TransformedStmt"), "{text}");
     assert!(text.contains(".unrolled.iv.i"), "{text}");
@@ -50,21 +67,42 @@ fn run_executes_the_program() {
 fn irbuilder_flag_switches_representation() {
     let p = write_temp("irb.c", DEMO);
     let classic = ompltc().arg("--emit-ir").arg(&p).output().unwrap();
-    let irb = ompltc().arg("--enable-irbuilder").arg("--emit-ir").arg(&p).output().unwrap();
+    let irb = ompltc()
+        .arg("--enable-irbuilder")
+        .arg("--emit-ir")
+        .arg(&p)
+        .output()
+        .unwrap();
     let c = String::from_utf8_lossy(&classic.stdout).to_string();
     let i = String::from_utf8_lossy(&irb.stdout).to_string();
-    assert!(c.contains("omp_hint"), "classic lowers via hint-metadata loop:\n{c}");
-    assert!(i.contains("omp_canonical"), "irbuilder lowers via createCanonicalLoop:\n{i}");
+    assert!(
+        c.contains("omp_hint"),
+        "classic lowers via hint-metadata loop:\n{c}"
+    );
+    assert!(
+        i.contains("omp_canonical"),
+        "irbuilder lowers via createCanonicalLoop:\n{i}"
+    );
     // Both still run identically.
     let r1 = ompltc().arg("--run").arg(&p).output().unwrap();
-    let r2 = ompltc().arg("--enable-irbuilder").arg("--run").arg(&p).output().unwrap();
+    let r2 = ompltc()
+        .arg("--enable-irbuilder")
+        .arg("--run")
+        .arg(&p)
+        .output()
+        .unwrap();
     assert_eq!(r1.stdout, r2.stdout);
 }
 
 #[test]
 fn opt_flag_unrolls() {
     let p = write_temp("opt.c", DEMO);
-    let out = ompltc().arg("--opt").arg("--emit-ir").arg(&p).output().unwrap();
+    let out = ompltc()
+        .arg("--opt")
+        .arg("--emit-ir")
+        .arg(&p)
+        .output()
+        .unwrap();
     let text = String::from_utf8_lossy(&out.stdout);
     // 5 iterations, factor 2 → main loop with 2 calls + remainder with 1
     assert!(text.matches("call void @print_i64").count() >= 3, "{text}");
@@ -98,17 +136,34 @@ fn threads_flag_sets_team_size() {
         "team.c",
         "void print_i64(long v);\nint omp_get_num_threads(void);\nlong team;\nint main(void) {\n  #pragma omp parallel\n  {\n    team = omp_get_num_threads();\n  }\n  print_i64(team);\n  return 0;\n}\n",
     );
-    let out = ompltc().arg("--run").arg("--threads").arg("6").arg(&p).output().unwrap();
+    let out = ompltc()
+        .arg("--run")
+        .arg("--threads")
+        .arg("6")
+        .arg(&p)
+        .output()
+        .unwrap();
     assert_eq!(String::from_utf8_lossy(&out.stdout), "6\n");
 }
 
 #[test]
 fn no_openmp_ignores_pragmas() {
     let p = write_temp("noomp.c", DEMO);
-    let out = ompltc().arg("--no-openmp").arg("--ast-dump").arg("--syntax-only").arg(&p).output().unwrap();
+    let out = ompltc()
+        .arg("--no-openmp")
+        .arg("--ast-dump")
+        .arg("--syntax-only")
+        .arg(&p)
+        .output()
+        .unwrap();
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(!text.contains("OMPUnrollDirective"), "{text}");
-    let run = ompltc().arg("--no-openmp").arg("--run").arg(&p).output().unwrap();
+    let run = ompltc()
+        .arg("--no-openmp")
+        .arg("--run")
+        .arg(&p)
+        .output()
+        .unwrap();
     assert_eq!(String::from_utf8_lossy(&run.stdout), "0\n1\n2\n3\n4\n");
 }
 
@@ -116,4 +171,96 @@ fn no_openmp_ignores_pragmas() {
 fn unknown_option_is_rejected() {
     let out = ompltc().arg("--frobnicate").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+const RACY: &str = "int main(void) {\n  int sum = 0;\n  int a[8];\n  #pragma omp parallel for\n  for (int i = 0; i < 8; i += 1)\n    sum += a[i];\n  return sum;\n}\n";
+
+const CLEAN: &str = "int main(void) {\n  int a[16];\n  int b[16];\n  #pragma omp parallel for\n  for (int i = 1; i < 15; i += 1)\n    b[i] = a[i - 1] + a[i + 1];\n  return 0;\n}\n";
+
+#[test]
+fn analyze_reports_race_with_nonzero_exit() {
+    let p = write_temp("analyze_racy.c", RACY);
+    let out = ompltc().arg("--analyze").arg(&p).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[-Wrace]"), "{err}");
+    assert!(err.contains("shared variable 'sum'"), "{err}");
+    assert!(err.contains("note:"), "{err}");
+}
+
+#[test]
+fn analyze_accepts_clean_program() {
+    let p = write_temp("analyze_clean.c", CLEAN);
+    let out = ompltc().arg("--analyze").arg(&p).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn analyze_rejects_imperfect_tile_nest() {
+    let p = write_temp(
+        "analyze_tile.c",
+        "int main(void) {\n  int a[64];\n  #pragma omp tile sizes(4, 4)\n  for (int i = 0; i < 8; i += 1) {\n    int t = i * 8;\n    for (int j = 0; j < 8; j += 1)\n      a[t + j] = t;\n  }\n  return 0;\n}\n",
+    );
+    let out = ompltc().arg("--analyze").arg(&p).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("perfectly nested"), "{err}");
+}
+
+#[test]
+fn diag_format_json_renders_machine_readable() {
+    let p = write_temp("analyze_json.c", RACY);
+    let out = ompltc()
+        .arg("--analyze")
+        .arg("--diag-format=json")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with('['), "{err}");
+    assert!(err.contains("\"level\":\"warning\""), "{err}");
+    assert!(err.contains("\"line\":6"), "{err}");
+    assert!(err.contains("\"notes\":["), "{err}");
+}
+
+#[test]
+fn bad_threads_value_is_a_usage_error() {
+    let p = write_temp("threads_bad.c", CLEAN);
+    let out = ompltc()
+        .arg("--threads")
+        .arg("bogus")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads"), "{err}");
+    // Missing value is also a usage error, not a panic.
+    let out = ompltc().arg(&p).arg("--threads").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn verify_each_passes_on_valid_transformations() {
+    let p = write_temp("verify_each.c", DEMO);
+    for mode in [
+        &["--verify-each", "--opt", "--run"][..],
+        &["--verify-each", "--enable-irbuilder", "--opt", "--run"][..],
+    ] {
+        let out = ompltc().args(mode).arg(&p).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(String::from_utf8_lossy(&out.stdout), "0\n1\n2\n3\n4\n");
+    }
 }

@@ -36,12 +36,24 @@ fn partial_unroll_produces_main_plus_remainder_loop() {
     // unrolled main loop and the remainder loop (paper Fig. lst:remainder).
     let src = "void body(int i);\nvoid kernel(int n) {\n  #pragma omp unroll partial(4)\n  for (int i = 0; i < n; i += 1)\n    body(i);\n}\n";
     let (_, before) = compile(src, false);
-    assert_eq!(loop_count(&before, "kernel"), 1, "front-end emits ONE loop (metadata only)");
+    assert_eq!(
+        loop_count(&before, "kernel"),
+        1,
+        "front-end emits ONE loop (metadata only)"
+    );
     let (_, after) = compile(src, true);
-    assert_eq!(loop_count(&after, "kernel"), 2, "pass produces main + remainder loop");
+    assert_eq!(
+        loop_count(&after, "kernel"),
+        2,
+        "pass produces main + remainder loop"
+    );
     // The unrolled main loop calls body 4 times per iteration: count the
     // calls still attached to blocks (the arena keeps dead entries).
-    assert_eq!(live_calls(&after, "kernel"), 5, "4 copies in the main loop + 1 in the remainder");
+    assert_eq!(
+        live_calls(&after, "kernel"),
+        5,
+        "4 copies in the main loop + 1 in the remainder"
+    );
 }
 
 #[test]
@@ -49,7 +61,11 @@ fn full_unroll_of_constant_loop_leaves_no_loop() {
     let src = "void body(int i);\nvoid kernel(void) {\n  #pragma omp unroll full\n  for (int i = 0; i < 6; i += 1)\n    body(i);\n}\n";
     let (_, after) = compile(src, true);
     assert_eq!(loop_count(&after, "kernel"), 0);
-    assert_eq!(live_calls(&after, "kernel"), 6, "six materialized body copies");
+    assert_eq!(
+        live_calls(&after, "kernel"),
+        6,
+        "six materialized body copies"
+    );
 }
 
 #[test]
@@ -57,20 +73,34 @@ fn heuristic_unroll_decides_per_shape() {
     // Small constant loop → fully unrolled by the heuristic.
     let small = "void body(int i);\nvoid kernel(void) {\n  #pragma omp unroll\n  for (int i = 0; i < 8; i += 1)\n    body(i);\n}\n";
     let (_, after) = compile(small, true);
-    assert_eq!(loop_count(&after, "kernel"), 0, "small constant loops unroll fully");
+    assert_eq!(
+        loop_count(&after, "kernel"),
+        0,
+        "small constant loops unroll fully"
+    );
 
     // Runtime trip count → partial with remainder.
     let runtime = "void body(int i);\nvoid kernel(int n) {\n  #pragma omp unroll\n  for (int i = 0; i < n; i += 1)\n    body(i);\n}\n";
     let (_, after) = compile(runtime, true);
-    assert_eq!(loop_count(&after, "kernel"), 2, "runtime loops unroll partially");
+    assert_eq!(
+        loop_count(&after, "kernel"),
+        2,
+        "runtime loops unroll partially"
+    );
 }
 
 #[test]
 fn classic_and_irbuilder_paths_feed_the_same_pass() {
     // The same pragma reaches the LoopUnroll pass through different
     // front-end routes; both must end up duplicated.
-    for mode in [omplt::OpenMpCodegenMode::Classic, omplt::OpenMpCodegenMode::IrBuilder] {
-        let mut ci = CompilerInstance::new(Options { codegen_mode: mode, ..Options::default() });
+    for mode in [
+        omplt::OpenMpCodegenMode::Classic,
+        omplt::OpenMpCodegenMode::IrBuilder,
+    ] {
+        let mut ci = CompilerInstance::new(Options {
+            codegen_mode: mode,
+            ..Options::default()
+        });
         let tu = ci
             .parse_source(
                 "m.c",
@@ -79,7 +109,10 @@ fn classic_and_irbuilder_paths_feed_the_same_pass() {
             .expect("parse");
         let mut module = ci.codegen(&tu).expect("codegen");
         let stats = ci.optimize(&mut module);
-        assert_eq!(stats.partial, 1, "mode {mode:?} must trigger one partial unroll");
+        assert_eq!(
+            stats.partial, 1,
+            "mode {mode:?} must trigger one partial unroll"
+        );
     }
 }
 
@@ -92,5 +125,8 @@ fn unroll_pass_skips_already_disabled_loops() {
     let first = ci.optimize(&mut module);
     assert_eq!(first.partial, 1);
     let second = ci.optimize(&mut module);
-    assert_eq!(second.partial, 0, "re-running must not re-unroll (unroll.disable)");
+    assert_eq!(
+        second.partial, 0,
+        "re-running must not re-unroll (unroll.disable)"
+    );
 }

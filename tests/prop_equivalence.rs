@@ -1,12 +1,38 @@
-//! Property-based semantic equivalence (EXPERIMENTS.md: C6): for randomized
+//! Property-style semantic equivalence (EXPERIMENTS.md: C6): for randomized
 //! loop shapes (bounds, steps, directions) and transformation parameters,
 //! the transformed program must print the same sequence as the
 //! untransformed one, in both representations, optimized and not.
+//!
+//! Formerly written with `proptest`; rewritten as deterministic fixed-seed
+//! sweeps so the workspace builds without registry access.
 
 use omplt::{run_matrix, run_source_with, Options};
-use proptest::prelude::*;
 
 const PROTO: &str = "void print_i64(long v);\n";
+
+/// Minimal deterministic PRNG (xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 /// Reference semantics of `for (i = lb; i <relop> ub; i +=/-= step)`.
 fn reference(lb: i64, ub: i64, step: i64, relop: &str, down: bool) -> Vec<i64> {
@@ -36,7 +62,11 @@ fn reference(lb: i64, ub: i64, step: i64, relop: &str, down: bool) -> Vec<i64> {
 }
 
 fn loop_source(pragma: &str, lb: i64, ub: i64, step: i64, relop: &str, down: bool) -> String {
-    let inc = if down { format!("i -= {step}") } else { format!("i += {step}") };
+    let inc = if down {
+        format!("i -= {step}")
+    } else {
+        format!("i += {step}")
+    };
     format!(
         "{PROTO}int main(void) {{\n  {pragma}\n  for (int i = {lb}; i {relop} {ub}; {inc})\n    print_i64(i);\n  return 0;\n}}\n"
     )
@@ -46,18 +76,17 @@ fn expected_output(vals: &[i64]) -> String {
     vals.iter().map(|v| format!("{v}\n")).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+const LABELS: [&str; 4] = ["classic", "classic+opt", "irbuilder", "irbuilder+opt"];
 
-    #[test]
-    fn unroll_partial_equivalent_for_random_shapes(
-        lb in -20i64..20,
-        span in 0i64..40,
-        step in 1i64..5,
-        factor in 2u64..6,
-        incl in any::<bool>(),
-        down in any::<bool>(),
-    ) {
+#[test]
+fn unroll_partial_equivalent_for_random_shapes() {
+    let mut rng = Rng::new(0x0DD_0DD);
+    for _ in 0..24 {
+        let lb = rng.range(-20, 20);
+        let span = rng.range(0, 40);
+        let step = rng.range(1, 5);
+        let factor = rng.range(2, 6) as u64;
+        let (incl, down) = (rng.bool(), rng.bool());
         let (relop, ub) = if down {
             (if incl { ">=" } else { ">" }, lb - span)
         } else {
@@ -66,71 +95,101 @@ proptest! {
         let expect = expected_output(&reference(lb, ub, step, relop, down));
         let pragma = format!("#pragma omp unroll partial({factor})");
         let src = loop_source(&pragma, lb, ub, step, relop, down);
-        for (r, label) in run_matrix(&src).iter().zip(["classic","classic+opt","irbuilder","irbuilder+opt"]) {
-            prop_assert_eq!(&r.stdout, &expect, "configuration {} diverged", label);
+        for (r, label) in run_matrix(&src).iter().zip(LABELS) {
+            assert_eq!(
+                &r.stdout, &expect,
+                "configuration {label} diverged: lb {lb} ub {ub} step {step} factor {factor} relop {relop}"
+            );
         }
     }
+}
 
-    #[test]
-    fn tile_equivalent_for_random_shapes(
-        lb in -10i64..10,
-        span in 0i64..30,
-        step in 1i64..4,
-        size in 1u64..9,
-    ) {
+#[test]
+fn tile_equivalent_for_random_shapes() {
+    let mut rng = Rng::new(0x711E5);
+    for _ in 0..24 {
+        let lb = rng.range(-10, 10);
+        let span = rng.range(0, 30);
+        let step = rng.range(1, 4);
+        let size = rng.range(1, 9) as u64;
         let ub = lb + span;
         let expect = expected_output(&reference(lb, ub, step, "<", false));
         let pragma = format!("#pragma omp tile sizes({size})");
         let src = loop_source(&pragma, lb, ub, step, "<", false);
-        for (r, label) in run_matrix(&src).iter().zip(["classic","classic+opt","irbuilder","irbuilder+opt"]) {
-            prop_assert_eq!(&r.stdout, &expect, "configuration {} diverged", label);
+        for (r, label) in run_matrix(&src).iter().zip(LABELS) {
+            assert_eq!(
+                &r.stdout, &expect,
+                "configuration {label} diverged: lb {lb} ub {ub} step {step} size {size}"
+            );
         }
     }
+}
 
-    #[test]
-    fn unroll_full_equivalent_for_random_constant_loops(
-        lb in -10i64..10,
-        span in 0i64..25,
-        step in 1i64..4,
-    ) {
+#[test]
+fn unroll_full_equivalent_for_random_constant_loops() {
+    let mut rng = Rng::new(0xF0_11_FF);
+    for _ in 0..24 {
+        let lb = rng.range(-10, 10);
+        let span = rng.range(0, 25);
+        let step = rng.range(1, 4);
         let ub = lb + span;
         let expect = expected_output(&reference(lb, ub, step, "<", false));
         let src = loop_source("#pragma omp unroll full", lb, ub, step, "<", false);
-        for (r, label) in run_matrix(&src).iter().zip(["classic","classic+opt","irbuilder","irbuilder+opt"]) {
-            prop_assert_eq!(&r.stdout, &expect, "configuration {} diverged", label);
+        for (r, label) in run_matrix(&src).iter().zip(LABELS) {
+            assert_eq!(
+                &r.stdout, &expect,
+                "configuration {label} diverged: lb {lb} ub {ub} step {step}"
+            );
         }
     }
+}
 
-    #[test]
-    fn workshared_sum_equivalent_for_random_threads(
-        n in 1i64..200,
-        threads in 1u32..8,
-        factor in 2u64..5,
-    ) {
+#[test]
+fn workshared_sum_equivalent_for_random_threads() {
+    let mut rng = Rng::new(0x57CA1E);
+    for _ in 0..24 {
+        let n = rng.range(1, 200);
+        let threads = rng.range(1, 8) as u32;
+        let factor = rng.range(2, 5) as u64;
         let serial: i64 = (0..n).sum();
         let src = format!(
             "{PROTO}int main(void) {{\n  long sum = 0;\n  #pragma omp parallel for reduction(+: sum)\n  #pragma omp unroll partial({factor})\n  for (int i = 0; i < {n}; i += 1)\n    sum = sum + i;\n  print_i64(sum);\n  return 0;\n}}\n"
         );
-        let r = run_source_with(&src, Options { num_threads: threads, ..Options::default() }, false);
-        prop_assert_eq!(r.stdout, format!("{serial}\n"));
+        let r = run_source_with(
+            &src,
+            Options {
+                num_threads: threads,
+                ..Options::default()
+            },
+            false,
+        );
+        assert_eq!(
+            r.stdout,
+            format!("{serial}\n"),
+            "n {n} threads {threads} factor {factor}"
+        );
     }
+}
 
-    #[test]
-    fn tile_2d_multiset_equivalent(
-        ni in 1i64..10,
-        nj in 1i64..10,
-        si in 1u64..5,
-        sj in 1u64..5,
-    ) {
+#[test]
+fn tile_2d_multiset_equivalent() {
+    let mut rng = Rng::new(0x2D_2D);
+    for _ in 0..24 {
+        let ni = rng.range(1, 10);
+        let nj = rng.range(1, 10);
+        let si = rng.range(1, 5) as u64;
+        let sj = rng.range(1, 5) as u64;
         let src = format!(
             "{PROTO}int main(void) {{\n  #pragma omp tile sizes({si}, {sj})\n  for (int i = 0; i < {ni}; i += 1)\n    for (int j = 0; j < {nj}; j += 1)\n      print_i64(i * 100 + j);\n  return 0;\n}}\n"
         );
-        let mut want: Vec<i64> = (0..ni).flat_map(|i| (0..nj).map(move |j| i * 100 + j)).collect();
+        let mut want: Vec<i64> = (0..ni)
+            .flat_map(|i| (0..nj).map(move |j| i * 100 + j))
+            .collect();
         want.sort_unstable();
         for r in run_matrix(&src) {
             let mut got: Vec<i64> = r.stdout.lines().map(|l| l.parse().unwrap()).collect();
             got.sort_unstable();
-            prop_assert_eq!(&got, &want);
+            assert_eq!(&got, &want, "ni {ni} nj {nj} si {si} sj {sj}");
         }
     }
 }

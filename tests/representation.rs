@@ -6,7 +6,10 @@ use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
 use omplt_ast::{OMPCanonicalLoop, OMPDirectiveKind, StmtKind};
 
 fn parse(src: &str, mode: OpenMpCodegenMode) -> (CompilerInstance, omplt_ast::TranslationUnit) {
-    let mut ci = CompilerInstance::new(Options { codegen_mode: mode, ..Options::default() });
+    let mut ci = CompilerInstance::new(Options {
+        codegen_mode: mode,
+        ..Options::default()
+    });
     let tu = ci.parse_source("t.c", src).expect("parse");
     (ci, tu)
 }
@@ -18,7 +21,9 @@ fn first_directive(
 ) -> omplt_ast::P<omplt_ast::OMPDirective> {
     let f = tu.function(func).unwrap();
     let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else { panic!() };
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!()
+    };
     for s in stmts {
         if let StmtKind::OMP(d) = &s.kind {
             return omplt_ast::P::clone(d);
@@ -34,12 +39,19 @@ fn c1_classic_helper_nodes_vs_canonical_meta_items() {
     // Classic mode: the OMPLoopDirective helper bundle.
     let (_, tu) = parse(WS_SRC, OpenMpCodegenMode::Classic);
     let d = first_directive(&tu, "f");
-    let classic_nodes = d.loop_helpers.as_ref().expect("classic helpers").node_count();
+    let classic_nodes = d
+        .loop_helpers
+        .as_ref()
+        .expect("classic helpers")
+        .node_count();
 
     // IrBuilder mode: OMPCanonicalLoop meta items.
     let (_, tu2) = parse(WS_SRC, OpenMpCodegenMode::IrBuilder);
     let d2 = first_directive(&tu2, "f");
-    assert!(d2.loop_helpers.is_none(), "IrBuilder mode must not build the helper bundle");
+    assert!(
+        d2.loop_helpers.is_none(),
+        "IrBuilder mode must not build the helper bundle"
+    );
     let canonical_items = OMPCanonicalLoop::META_NODE_COUNT;
 
     // The paper's headline: "reduced from the 36 shadow AST nodes required
@@ -48,7 +60,10 @@ fn c1_classic_helper_nodes_vs_canonical_meta_items() {
     // Clang's ~36 are distribute/doacross-only helpers; DESIGN.md §7).
     assert_eq!(classic_nodes, 23);
     assert_eq!(canonical_items, 3);
-    assert!(classic_nodes >= 7 * canonical_items, "~an order of magnitude more Sema nodes");
+    assert!(
+        classic_nodes >= 7 * canonical_items,
+        "~an order of magnitude more Sema nodes"
+    );
 }
 
 #[test]
@@ -83,10 +98,17 @@ fn l5_transformed_ast_shape_of_partial_unroll() {
     let dump = omplt_ast::dump_stmt(t, omplt_ast::DumpOptions::default());
     assert!(dump.contains(".unrolled.iv.i"), "{dump}");
     assert!(dump.contains(".unroll_inner.iv.i"), "{dump}");
-    assert!(dump.contains("LoopHintAttr Implicit loop UnrollCount Numeric"), "{dump}");
+    assert!(
+        dump.contains("LoopHintAttr Implicit loop UnrollCount Numeric"),
+        "{dump}"
+    );
     // exactly two for-loops — the body is NOT duplicated at the AST level
     assert_eq!(omplt_sema::count_generated_loops(t), 2);
-    assert_eq!(dump.matches("CallExpr").count(), 1, "body must appear exactly once:\n{dump}");
+    assert_eq!(
+        dump.matches("CallExpr").count(),
+        1,
+        "body must appear exactly once:\n{dump}"
+    );
 }
 
 #[test]
@@ -109,7 +131,8 @@ fn c2_tile_generates_2n_loops_at_ast_level() {
         assert_eq!(
             omplt_sema::count_generated_loops(t),
             2 * depth,
-            "tiling {depth} loops generates {0} loops", 2 * depth
+            "tiling {depth} loops generates {0} loops",
+            2 * depth
         );
     }
 }
@@ -122,14 +145,26 @@ fn f3_loop_skeleton_blocks_in_emitted_ir() {
     let (ci, tu) = parse(src, OpenMpCodegenMode::IrBuilder);
     let module = ci.codegen(&tu).expect("codegen");
     let ir = omplt::ir::print_module(&module);
-    for role in ["preheader", "header", "cond", "body", "inc", "exit", "after"] {
+    for role in [
+        "preheader",
+        "header",
+        "cond",
+        "body",
+        "inc",
+        "exit",
+        "after",
+    ] {
         assert!(
-            ir.contains(&format!("omp_canonical.{role}")) || ir.contains(&format!("canonical.{role}")),
+            ir.contains(&format!("omp_canonical.{role}"))
+                || ir.contains(&format!("canonical.{role}")),
             "missing skeleton block '{role}':\n{ir}"
         );
     }
     assert!(ir.contains("phi"), "identifiable IV phi:\n{ir}");
-    assert!(ir.contains("icmp ult"), "unsigned logical-IV compare:\n{ir}");
+    assert!(
+        ir.contains("icmp ult"),
+        "unsigned logical-IV compare:\n{ir}"
+    );
 }
 
 #[test]
@@ -177,7 +212,10 @@ fn shadow_ast_invisible_in_children_but_counted_in_stats() {
     let f = tu.function("f").unwrap();
     let body = f.body.borrow();
     let stats = omplt_ast::stmt_stats(body.as_ref().unwrap());
-    assert!(stats.shadow_nodes > 0, "transformed subtree must count as shadow: {stats:?}");
+    assert!(
+        stats.shadow_nodes > 0,
+        "transformed subtree must count as shadow: {stats:?}"
+    );
     // The default dump (children() view) hides it:
     let dump = omplt_ast::dump_stmt(body.as_ref().unwrap(), omplt_ast::DumpOptions::default());
     assert!(!dump.contains(".unrolled.iv"), "{dump}");

@@ -96,17 +96,27 @@ fn tile_2d_changes_order_but_covers_all() {
         "{PRINT_PROTO}int main(void) {{\n  #pragma omp tile sizes(2, 2)\n  for (int i = 0; i < 4; i += 1)\n    for (int j = 0; j < 4; j += 1)\n      print_i64(i * 10 + j);\n  return 0;\n}}\n"
     );
     // classic path (shadow AST): loops over floor tiles then in-tile.
-    let expected: Vec<i64> = vec![
-        0, 1, 10, 11, 2, 3, 12, 13, 20, 21, 30, 31, 22, 23, 32, 33,
-    ];
-    let r = run_source_with(&src, Options { serial: true, ..Options::default() }, false);
-    assert_eq!(r.stdout, seq(expected.iter().copied()), "classic tile order");
+    let expected: Vec<i64> = vec![0, 1, 10, 11, 2, 3, 12, 13, 20, 21, 30, 31, 22, 23, 32, 33];
+    let r = run_source_with(
+        &src,
+        Options {
+            serial: true,
+            ..Options::default()
+        },
+        false,
+    );
+    assert_eq!(
+        r.stdout,
+        seq(expected.iter().copied()),
+        "classic tile order"
+    );
     // and the multiset is complete for every configuration
     for r in omplt::run_matrix(&src) {
-        let mut lines: Vec<i64> =
-            r.stdout.lines().map(|l| l.parse().unwrap()).collect();
+        let mut lines: Vec<i64> = r.stdout.lines().map(|l| l.parse().unwrap()).collect();
         lines.sort_unstable();
-        let mut want: Vec<i64> = (0..4).flat_map(|i| (0..4).map(move |j| i * 10 + j)).collect();
+        let mut want: Vec<i64> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| i * 10 + j))
+            .collect();
         want.sort_unstable();
         assert_eq!(lines, want);
     }

@@ -7,7 +7,11 @@ use omplt::{run_source_with, OpenMpCodegenMode, Options};
 const PROTO: &str = "void print_i64(long v);\n";
 
 fn opts(mode: OpenMpCodegenMode, threads: u32) -> Options {
-    Options { codegen_mode: mode, num_threads: threads, ..Options::default() }
+    Options {
+        codegen_mode: mode,
+        num_threads: threads,
+        ..Options::default()
+    }
 }
 
 const MODES: [OpenMpCodegenMode; 2] = [OpenMpCodegenMode::Classic, OpenMpCodegenMode::IrBuilder];
@@ -19,7 +23,10 @@ fn coverage_kernel(n: usize, threads: u32, mode: OpenMpCodegenMode, extra: &str)
         "{PROTO}long flags[{n}];\nint omp_get_thread_num(void);\nint main(void) {{\n  #pragma omp parallel for{extra}\n  for (int i = 0; i < {n}; i += 1)\n    flags[i] = flags[i] * 1000 + omp_get_thread_num() + 1;\n  for (int i = 0; i < {n}; i += 1)\n    print_i64(flags[i]);\n  return 0;\n}}\n"
     );
     let r = run_source_with(&src, opts(mode, threads), false);
-    r.stdout.lines().map(|l| l.parse::<i64>().unwrap()).collect()
+    r.stdout
+        .lines()
+        .map(|l| l.parse::<i64>().unwrap())
+        .collect()
 }
 
 #[test]
@@ -50,7 +57,10 @@ fn static_schedule_is_contiguous_blocks() {
         let owners: Vec<i64> = flags.clone();
         let mut sorted = owners.clone();
         sorted.sort_unstable();
-        assert_eq!(owners, sorted, "static spans must be contiguous ({mode:?}): {flags:?}");
+        assert_eq!(
+            owners, sorted,
+            "static spans must be contiguous ({mode:?}): {flags:?}"
+        );
         // with 16 iterations and 4 threads every thread gets exactly 4
         for t in 1..=4i64 {
             assert_eq!(owners.iter().filter(|&&o| o == t).count(), 4, "{mode:?}");
@@ -198,7 +208,12 @@ fn nested_parallel_regions() {
         // serial mode: deterministic 4 increments
         let r = run_source_with(
             &src,
-            Options { codegen_mode: mode, serial: true, num_threads: 2, ..Options::default() },
+            Options {
+                codegen_mode: mode,
+                serial: true,
+                num_threads: 2,
+                ..Options::default()
+            },
             false,
         );
         assert_eq!(r.stdout, "4\n", "mode {mode:?}");
