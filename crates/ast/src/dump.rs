@@ -309,10 +309,7 @@ fn clause_node(c: &P<OMPClause>, opts: DumpOptions) -> DumpNode {
     let mut ch = Vec::new();
     match &c.kind {
         OMPClauseKind::Schedule { kind, chunk } => {
-            let mut label = format!("OMPScheduleClause {}", kind.name());
-            if chunk.is_none() {
-                label = format!("OMPScheduleClause {}", kind.name());
-            }
+            let label = format!("OMPScheduleClause {}", kind.name());
             if let Some(e) = chunk {
                 ch.push(expr_node(e, opts));
             }

@@ -2,6 +2,12 @@
 //! wall-clock of an embarrassingly parallel kernel for team sizes 1..8.
 //! The shape to observe: time decreases with the team size until the
 //! interpreter's per-thread overhead dominates.
+//!
+//! The second group runs a triangular (imbalanced) body under each schedule
+//! kind: iteration `i` costs O(i), so static's contiguous halves leave one
+//! thread with ~3/4 of the work while `dynamic`/`guided` rebalance through
+//! the dispatch queue. The shape to observe: dynamic ≥ static throughput on
+//! the imbalanced body.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
@@ -11,6 +17,15 @@ const N: u64 = 100_000;
 fn kernel_src() -> String {
     format!(
         "void print_i64(long v);\nlong partial[32];\nint omp_get_thread_num(void);\nint main(void) {{\n  long sum = 0;\n  #pragma omp parallel for reduction(+: sum)\n  for (int i = 0; i < {N}; i += 1)\n    sum = sum + (i % 7) * (i % 13);\n  print_i64(sum);\n  return 0;\n}}\n"
+    )
+}
+
+const TRI_N: u64 = 600;
+
+/// Triangular body: the inner loop makes iteration `i` cost O(i).
+fn triangular_src(schedule: &str) -> String {
+    format!(
+        "void print_i64(long v);\nint main(void) {{\n  long sum = 0;\n  #pragma omp parallel for reduction(+: sum) schedule({schedule})\n  for (int i = 0; i < {TRI_N}; i += 1)\n    for (int j = 0; j < i; j += 1)\n      sum = sum + (j % 7);\n  print_i64(sum);\n  return 0;\n}}\n"
     )
 }
 
@@ -46,5 +61,37 @@ fn bench_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+fn bench_imbalanced(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workshare_imbalanced");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, mode) in [
+        ("classic", OpenMpCodegenMode::Classic),
+        ("irbuilder", OpenMpCodegenMode::IrBuilder),
+    ] {
+        for schedule in ["static", "dynamic, 16", "guided"] {
+            let src = triangular_src(schedule);
+            let opts = Options {
+                codegen_mode: mode,
+                num_threads: 4,
+                ..Options::default()
+            };
+            let mut ci = CompilerInstance::new(opts);
+            let tu = ci.parse_source("t.c", &src).expect("parse");
+            let module = ci.codegen(&tu).expect("codegen");
+            // sanity: result is schedule independent
+            let expect = ci.run(&module).expect("run").stdout;
+            assert!(!expect.is_empty());
+            let id = BenchmarkId::new(label, schedule.replace(", ", ""));
+            g.bench_with_input(id, &module, |b, module| {
+                b.iter(|| ci.run(module).expect("run"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_imbalanced);
 criterion_main!(benches);

@@ -204,9 +204,11 @@ impl FnCodegen<'_, '_> {
     }
 
     /// Emits the workshared loop from the directive's shadow helper bundle
-    /// (classic `EmitOMPWorksharingLoop`). Handles both unchunked and
-    /// chunked static schedules through the chunk loop built from
-    /// `next_lower_bound`/`next_upper_bound`.
+    /// (classic `EmitOMPWorksharingLoop`). Static schedules (chunked or
+    /// not) go through `__kmpc_for_static_init` and the chunk loop built
+    /// from `next_lower_bound`/`next_upper_bound`; dynamic, guided, and
+    /// runtime schedules go through the `__kmpc_dispatch_*` protocol
+    /// (init → while(next) → inner chunk loop → fini).
     pub(crate) fn emit_workshared_loop(&mut self, d: &P<OMPDirective>) {
         let Some(h) = d.loop_helpers.clone() else {
             // No helpers (e.g. malformed loop already diagnosed).
@@ -215,7 +217,13 @@ impl FnCodegen<'_, '_> {
         let Some((prologues, body)) = self.collect_nest_for_codegen(d) else {
             return;
         };
-        let (_sched, chunk) = schedule_of(d);
+        let (sched, chunk) = schedule_of(d);
+        // `auto` is implementation-defined; we pick static. Everything else
+        // non-static is served by the dispatch runtime.
+        let dispatch = matches!(
+            sched,
+            ScheduleKind::Dynamic | ScheduleKind::Guided | ScheduleKind::Runtime
+        );
 
         // Prologues (inner transformed-AST capture declarations) first,
         // then the helper bundle's own capture declarations.
@@ -243,6 +251,13 @@ impl FnCodegen<'_, '_> {
         let n = self.emit_rvalue(&h.num_iterations);
         let last = self.emit_rvalue(&h.last_iteration);
 
+        let gtid_fn = self
+            .module
+            .declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+        // gtid is computed before the precondition guard so the
+        // end-of-construct barrier (in the merge block) can use it.
+        let gtid = self.with_builder(|b| b.call(gtid_fn, vec![], IrType::I32));
+
         // Precondition guard: skip everything when there are no iterations.
         let pre = self.emit_rvalue(&h.precondition);
         let (work_bb, done_bb) = self.with_builder(|b| {
@@ -253,16 +268,82 @@ impl FnCodegen<'_, '_> {
         });
         self.cur = work_bb;
 
-        // lb = 0; ub = last; stride = 1; is_last = 0; __kmpc_for_static_init
+        // lb = 0; ub = last; stride = 1; is_last = 0
         self.store_var(&h.lower_bound, Value::i64(0));
         self.store_var(&h.upper_bound, last);
         self.store_var(&h.stride, Value::i64(1));
         self.store_var(&h.is_last_iter_variable, Value::i32(0));
         let _ = n;
 
-        let gtid_fn = self
-            .module
-            .declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+        let plast = self.bindings[&h.is_last_iter_variable.id].addr;
+        let plb = self.bindings[&h.lower_bound.id].addr;
+        let pub_ = self.bindings[&h.upper_bound.id].addr;
+        let pstride = self.bindings[&h.stride.id].addr;
+        let chunk_v = match &chunk {
+            Some(e) => {
+                let e = P::clone(e);
+                let v = self.emit_rvalue(&e);
+                self.with_builder(|b| b.int_resize(v, IrType::I64, true))
+            }
+            // Dispatch defaults: chunk 1 for dynamic/guided; runtime gets
+            // its chunk from OMP_SCHEDULE (argument is ignored).
+            None if dispatch => Value::i64(if sched == ScheduleKind::Runtime { 0 } else { 1 }),
+            None => Value::i64(0),
+        };
+
+        if dispatch {
+            self.emit_dispatch_workshare(
+                &h, &body, gtid, last, chunk_v, sched, plast, plb, pub_, pstride,
+            );
+        } else {
+            self.emit_static_workshare(
+                &h,
+                &body,
+                gtid,
+                last,
+                chunk_v,
+                chunk.is_some(),
+                plast,
+                plb,
+                pub_,
+                pstride,
+            );
+        }
+
+        self.branch_if_open(done_bb);
+        self.cur = done_bb;
+
+        // Implicit end-of-construct barrier (outside the precondition guard
+        // so every team member reaches it), elided by `nowait`.
+        let nowait = d
+            .find_clause(|k| matches!(k, OMPClauseKind::Nowait))
+            .is_some();
+        if !nowait {
+            let barrier_fn =
+                self.module
+                    .declare_extern("__kmpc_barrier", vec![IrType::I32], IrType::Void);
+            self.with_builder(|b| {
+                b.call(barrier_fn, vec![gtid], IrType::Void);
+            });
+        }
+    }
+
+    /// Static-schedule body of [`FnCodegen::emit_workshared_loop`]:
+    /// `__kmpc_for_static_init` + the chunk loop.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_static_workshare(
+        &mut self,
+        h: &P<omplt_ast::LoopDirectiveHelpers>,
+        body: &P<Stmt>,
+        gtid: Value,
+        last: Value,
+        chunk_v: Value,
+        chunked: bool,
+        plast: Value,
+        plb: Value,
+        pub_: Value,
+        pstride: Value,
+    ) {
         let init_fn = self.module.declare_extern(
             "__kmpc_for_static_init",
             vec![
@@ -281,21 +362,8 @@ impl FnCodegen<'_, '_> {
             self.module
                 .declare_extern("__kmpc_for_static_fini", vec![IrType::I32], IrType::Void);
 
-        let plast = self.bindings[&h.is_last_iter_variable.id].addr;
-        let plb = self.bindings[&h.lower_bound.id].addr;
-        let pub_ = self.bindings[&h.upper_bound.id].addr;
-        let pstride = self.bindings[&h.stride.id].addr;
-        let chunk_v = match &chunk {
-            Some(e) => {
-                let e = P::clone(e);
-                let v = self.emit_rvalue(&e);
-                self.with_builder(|b| b.int_resize(v, IrType::I64, true))
-            }
-            None => Value::i64(0),
-        };
-        let sched_const = Value::i32(if chunk.is_some() { 33 } else { 34 });
-        let gtid = self.with_builder(|b| {
-            let gtid = b.call(gtid_fn, vec![], IrType::I32);
+        let sched_const = Value::i32(if chunked { 33 } else { 34 });
+        self.with_builder(|b| {
             b.call(
                 init_fn,
                 vec![
@@ -310,7 +378,6 @@ impl FnCodegen<'_, '_> {
                 ],
                 IrType::Void,
             );
-            gtid
         });
 
         // Chunk loop (executes once for unchunked: stride == trip count):
@@ -352,7 +419,7 @@ impl FnCodegen<'_, '_> {
             self.emit_rvalue(&l.update);
         }
         self.loop_stack.push((chunk_end, ws_inc));
-        self.emit_stmt(&body);
+        self.emit_stmt(body);
         self.loop_stack.pop();
         self.branch_if_open(ws_inc);
         self.cur = ws_inc;
@@ -368,8 +435,126 @@ impl FnCodegen<'_, '_> {
         self.with_builder(|b| {
             b.call(fini_fn, vec![gtid], IrType::Void);
         });
-        self.branch_if_open(done_bb);
-        self.cur = done_bb;
+    }
+
+    /// Dispatch-schedule body of [`FnCodegen::emit_workshared_loop`]:
+    ///
+    /// ```text
+    ///   __kmpc_dispatch_init_8(gtid, sched, 0, last, 1, chunk)
+    /// omp.dispatch.cond:
+    ///   while (__kmpc_dispatch_next_8(gtid, &last?, &lb, &ub, &stride)) {
+    /// omp.dispatch.body:
+    ///     for (iv = lb; iv <= ub; ++iv) { counters; body }   // inner chunk
+    ///   }
+    /// omp.dispatch.end:
+    ///   __kmpc_dispatch_fini_8(gtid)
+    /// ```
+    #[allow(clippy::too_many_arguments)]
+    fn emit_dispatch_workshare(
+        &mut self,
+        h: &P<omplt_ast::LoopDirectiveHelpers>,
+        body: &P<Stmt>,
+        gtid: Value,
+        last: Value,
+        chunk_v: Value,
+        sched: ScheduleKind,
+        plast: Value,
+        plb: Value,
+        pub_: Value,
+        pstride: Value,
+    ) {
+        let init_fn = self.module.declare_extern(
+            "__kmpc_dispatch_init_8",
+            vec![
+                IrType::I32,
+                IrType::I32,
+                IrType::I64,
+                IrType::I64,
+                IrType::I64,
+                IrType::I64,
+            ],
+            IrType::Void,
+        );
+        let next_fn = self.module.declare_extern(
+            "__kmpc_dispatch_next_8",
+            vec![
+                IrType::I32,
+                IrType::Ptr,
+                IrType::Ptr,
+                IrType::Ptr,
+                IrType::Ptr,
+            ],
+            IrType::I32,
+        );
+        let fini_fn =
+            self.module
+                .declare_extern("__kmpc_dispatch_fini_8", vec![IrType::I32], IrType::Void);
+
+        let sched_const = Value::i32(match sched {
+            ScheduleKind::Dynamic => 35,
+            ScheduleKind::Guided => 36,
+            _ => 37, // runtime
+        });
+        self.with_builder(|b| {
+            b.call(
+                init_fn,
+                vec![
+                    gtid,
+                    sched_const,
+                    Value::i64(0),
+                    last,
+                    Value::i64(1),
+                    chunk_v,
+                ],
+                IrType::Void,
+            );
+        });
+
+        let (disp_cond, disp_body, disp_end) = self.with_builder(|b| {
+            (
+                b.create_block("omp.dispatch.cond"),
+                b.create_block("omp.dispatch.body"),
+                b.create_block("omp.dispatch.end"),
+            )
+        });
+        self.branch_if_open(disp_cond);
+        self.cur = disp_cond;
+        self.with_builder(|b| {
+            let got = b.call(next_fn, vec![gtid, plast, plb, pub_, pstride], IrType::I32);
+            let more = b.cmp(omplt_ir::CmpPred::Ne, got, Value::i32(0));
+            b.cond_br(more, disp_body, disp_end);
+        });
+
+        self.cur = disp_body;
+        // Inner chunk loop over the claimed [lb, ub] span.
+        self.emit_rvalue(&h.workshare_init);
+        let (ws_cond, ws_body, ws_inc) = self.with_builder(|b| {
+            (
+                b.create_block("omp.inner.for.cond"),
+                b.create_block("omp.inner.for.body"),
+                b.create_block("omp.inner.for.inc"),
+            )
+        });
+        self.branch_if_open(ws_cond);
+        self.cur = ws_cond;
+        let c = self.emit_rvalue(&h.workshare_cond);
+        self.with_builder(|b| b.cond_br(c, ws_body, disp_cond));
+        self.cur = ws_body;
+        for l in &h.loops {
+            self.emit_rvalue(&l.update);
+        }
+        self.loop_stack.push((disp_end, ws_inc));
+        self.emit_stmt(body);
+        self.loop_stack.pop();
+        self.branch_if_open(ws_inc);
+        self.cur = ws_inc;
+        self.emit_rvalue(&h.inc);
+        self.with_builder(|b| b.br(ws_cond));
+
+        self.cur = disp_end;
+        self.with_builder(|b| {
+            b.call(fini_fn, vec![gtid], IrType::Void);
+        });
     }
 
     /// Serial logical-IV loop used by `simd` (vectorize metadata) and

@@ -11,12 +11,14 @@
 
 use crate::codegen::{ir_type, Binding, FnCodegen};
 use omplt_ast::{
-    CaptureKind, OMPCanonicalLoop, OMPClauseKind, OMPDirective, OMPDirectiveKind, Stmt, StmtKind, P,
+    CaptureKind, OMPCanonicalLoop, OMPClauseKind, OMPDirective, OMPDirectiveKind, ScheduleKind,
+    Stmt, StmtKind, P,
 };
 use omplt_ir::{IrType, Value};
 use omplt_ompirb::{
-    create_canonical_loop_skeleton, create_static_workshare_loop, tile_loops, unroll_loop_full,
-    unroll_loop_heuristic, unroll_loop_partial, CanonicalLoopInfo, WorksharingScheme,
+    create_canonical_loop_skeleton, create_dynamic_workshare_loop, create_static_workshare_loop,
+    tile_loops, unroll_loop_full, unroll_loop_heuristic, unroll_loop_partial, CanonicalLoopInfo,
+    DispatchLoopInfo, WorksharingScheme,
 };
 
 impl FnCodegen<'_, '_> {
@@ -170,35 +172,101 @@ impl FnCodegen<'_, '_> {
         self.emit_omp_classic_parallel(d);
     }
 
-    /// Emits a worksharing loop via `create_static_workshare_loop`.
+    /// `--verify-each` hook for dispatch worksharing loops, mirroring
+    /// [`FnCodegen::verify_transformed`] for [`DispatchLoopInfo`].
+    fn verify_dispatch(
+        &mut self,
+        what: &str,
+        loc: omplt_source::SourceLocation,
+        dli: &DispatchLoopInfo,
+    ) {
+        if !self.opts.verify_each {
+            return;
+        }
+        for msg in dli.check(&self.func) {
+            self.diags.error(
+                loc,
+                format!("dispatch loop produced by '{what}' violates the dispatch skeleton: {msg}"),
+            );
+        }
+    }
+
+    /// Emits a worksharing loop: static schedules via
+    /// `create_static_workshare_loop`, dispatch schedules (dynamic, guided,
+    /// runtime) via `create_dynamic_workshare_loop` — both applied to the
+    /// `CanonicalLoopInfo`, composing after tile/unroll (paper §3.2).
     pub(crate) fn emit_workshare_irbuilder(&mut self, d: &P<OMPDirective>, body: &P<Stmt>) {
         let saved = self.apply_data_sharing(d);
+        let (sched, chunk_expr) = d
+            .clauses
+            .iter()
+            .find_map(|c| match &c.kind {
+                OMPClauseKind::Schedule { kind, chunk } => Some((*kind, chunk.clone())),
+                _ => None,
+            })
+            .unwrap_or((ScheduleKind::Static, None));
+        // Chunk values must dominate the whole construct — including the
+        // dispatch/chunked setup block, which takes over the loop's incoming
+        // edges — so evaluate them before emitting the loop.
+        let chunk_v = chunk_expr.map(|e| {
+            let v = self.emit_rvalue(&e);
+            self.with_builder(|b| b.int_resize(v, IrType::I64, true))
+        });
         let Some(mut cli) = self.emit_loop_construct(body) else {
             self.restore_data_sharing(d, saved);
             return;
         };
-        let chunk = d.clauses.iter().find_map(|c| match &c.kind {
-            OMPClauseKind::Schedule { chunk: Some(e), .. } => Some(P::clone(e)),
-            _ => None,
-        });
-        let scheme = match chunk {
-            Some(e) => {
-                // Chunk values must dominate the loop: evaluate in the
-                // loop's preheader.
-                let save_cur = self.cur;
-                self.cur = cli.preheader;
-                let v = self.emit_rvalue(&e);
-                let v64 = self.with_builder(|b| b.int_resize(v, IrType::I64, true));
-                self.cur = save_cur;
-                WorksharingScheme::StaticChunked(v64)
+        let dispatch = matches!(
+            sched,
+            ScheduleKind::Dynamic | ScheduleKind::Guided | ScheduleKind::Runtime
+        );
+        let dli = {
+            let mut b = omplt_ir::IrBuilder::new(&mut self.func);
+            b.set_insert_point(cli.after);
+            if dispatch {
+                let scheme = match sched {
+                    ScheduleKind::Dynamic => {
+                        WorksharingScheme::DynamicChunked(chunk_v.unwrap_or(Value::i64(1)))
+                    }
+                    ScheduleKind::Guided => {
+                        WorksharingScheme::GuidedChunked(chunk_v.unwrap_or(Value::i64(1)))
+                    }
+                    _ => WorksharingScheme::Runtime,
+                };
+                let dli = create_dynamic_workshare_loop(&mut b, self.module, &mut cli, scheme);
+                self.cur = dli.after;
+                Some(dli)
+            } else {
+                let scheme = match chunk_v {
+                    Some(v) => WorksharingScheme::StaticChunked(v),
+                    None => WorksharingScheme::StaticUnchunked,
+                };
+                let cont = create_static_workshare_loop(&mut b, self.module, &mut cli, scheme);
+                self.cur = cont;
+                None
             }
-            None => WorksharingScheme::StaticUnchunked,
         };
-        let mut b = omplt_ir::IrBuilder::new(&mut self.func);
-        b.set_insert_point(cli.after);
-        let cont = create_static_workshare_loop(&mut b, self.module, &mut cli, scheme);
-        self.cur = cont;
         self.verify_transformed("omp for", d.loc, &[cli]);
+        if let Some(dli) = &dli {
+            self.verify_dispatch("omp for", d.loc, dli);
+        }
+
+        // Implicit end-of-construct barrier, elided by `nowait`.
+        let nowait = d
+            .find_clause(|k| matches!(k, OMPClauseKind::Nowait))
+            .is_some();
+        if !nowait {
+            let gtid_fn =
+                self.module
+                    .declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+            let barrier_fn =
+                self.module
+                    .declare_extern("__kmpc_barrier", vec![IrType::I32], IrType::Void);
+            self.with_builder(|b| {
+                let gtid = b.call(gtid_fn, vec![], IrType::I32);
+                b.call(barrier_fn, vec![gtid], IrType::Void);
+            });
+        }
         self.restore_data_sharing(d, saved);
     }
 

@@ -10,7 +10,45 @@
 
 use std::fmt;
 use std::hint::black_box as hint_black_box;
+use std::io::Write;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Where `--save-json <path>` results accumulate (one JSON object per line,
+/// appended — `cargo bench` runs each bench binary as its own process against
+/// the same file).
+static JSON_PATH: OnceLock<Option<String>> = OnceLock::new();
+
+/// Extracts the `--save-json <path>` argument, if present.
+fn save_json_arg(mut args: impl Iterator<Item = String>) -> Option<String> {
+    while let Some(a) = args.next() {
+        if a == "--save-json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--save-json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// One result as a JSON object (durations in nanoseconds, sorted samples).
+fn json_line(name: &str, samples: &[Duration]) -> String {
+    let esc: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{esc}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+        samples[samples.len() / 2].as_nanos(),
+        samples[0].as_nanos(),
+        samples[samples.len() - 1].as_nanos(),
+        samples.len()
+    )
+}
 
 /// Opaque value barrier, re-exported so benches can `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -136,6 +174,17 @@ fn report(group: &str, id: &BenchmarkId, samples: &mut [Duration]) {
         max,
         samples.len()
     );
+    if let Some(Some(path)) = JSON_PATH.get() {
+        let line = json_line(&name, samples);
+        let w = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = w {
+            eprintln!("warning: could not append to {path}: {e}");
+        }
+    }
 }
 
 /// A named collection of related benchmarks sharing configuration.
@@ -212,9 +261,11 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Accepts (and ignores) criterion-style CLI arguments such as
-    /// `--bench`, which cargo passes to bench binaries.
+    /// Accepts criterion-style CLI arguments. `--bench` (which cargo passes
+    /// to bench binaries) is ignored; `--save-json <path>` appends each
+    /// result as a JSON line to `path` (the CI bench artifact).
     pub fn configure_from_args(self) -> Self {
+        let _ = JSON_PATH.set(save_json_arg(std::env::args()));
         self
     }
 
@@ -303,6 +354,33 @@ mod tests {
         assert_eq!(
             BenchmarkId::from_parameter("classic").to_string(),
             "classic"
+        );
+    }
+
+    #[test]
+    fn save_json_arg_parses_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            save_json_arg(args(&["bin", "--bench", "--save-json", "out.json"]).into_iter()),
+            Some("out.json".into())
+        );
+        assert_eq!(
+            save_json_arg(args(&["bin", "--save-json=b.json"]).into_iter()),
+            Some("b.json".into())
+        );
+        assert_eq!(save_json_arg(args(&["bin", "--bench"]).into_iter()), None);
+    }
+
+    #[test]
+    fn json_line_escapes_and_reports_nanos() {
+        let samples = [
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+            Duration::from_nanos(30),
+        ];
+        assert_eq!(
+            json_line("g/a\"b", &samples),
+            "{\"name\":\"g/a\\\"b\",\"median_ns\":20,\"min_ns\":10,\"max_ns\":30,\"samples\":3}"
         );
     }
 

@@ -13,8 +13,12 @@
 //!   calls).
 //! * [`runtime`] — the OpenMP runtime shim: `__kmpc_fork_call` spawns a
 //!   thread team via `std::thread::scope`, `__kmpc_for_static_init`
-//!   implements the static worksharing schedule, plus `omp_get_thread_num`,
-//!   `omp_get_num_threads`, and task bookkeeping for `taskloop`.
+//!   implements the static worksharing schedule, `__kmpc_dispatch_init_8`/
+//!   `__kmpc_dispatch_next_8`/`__kmpc_dispatch_fini_8` serve the dynamic,
+//!   guided, and runtime (`OMP_SCHEDULE`) schedules from a per-team work
+//!   queue, `__kmpc_barrier` is a real team barrier, plus
+//!   `omp_get_thread_num`, `omp_get_num_threads`, and task bookkeeping for
+//!   `taskloop`.
 
 pub mod exec;
 pub mod memory;
@@ -22,4 +26,4 @@ pub mod runtime;
 
 pub use exec::{ExecError, Interpreter, RtVal, RunResult};
 pub use memory::Memory;
-pub use runtime::{RuntimeConfig, ThreadCtx};
+pub use runtime::{DispatchKind, RuntimeConfig, RuntimeSchedule, TeamState, ThreadCtx};

@@ -4,13 +4,70 @@
 //! (paper §1): `__kmpc_fork_call` spawns a real thread team with
 //! `std::thread::scope`, `__kmpc_for_static_init` computes static-schedule
 //! chunk bounds (types 34 = static, 33 = static-chunked, exactly the libomp
-//! constants), and `omp_get_thread_num`/`omp_get_num_threads` expose the
-//! team context.
+//! constants), `__kmpc_dispatch_init_8`/`__kmpc_dispatch_next_8`/
+//! `__kmpc_dispatch_fini_8` serve the non-static schedules (35 = dynamic,
+//! 36 = guided, 37 = runtime, resolved through `OMP_SCHEDULE`) from a
+//! per-team shared work queue, `__kmpc_barrier` synchronizes the team, and
+//! `omp_get_thread_num`/`omp_get_num_threads` expose the team context.
 
 use crate::exec::{ExecError, Interpreter, RtVal};
 use crate::memory::Memory;
-use std::cell::Cell;
-use std::sync::atomic::Ordering;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// How a dispatch (non-static) worksharing loop doles out iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// Fixed-size chunks served first-come-first-served (also what
+    /// `schedule(runtime)` resolves to for `OMP_SCHEDULE=static`).
+    Static,
+    /// `schedule(dynamic[, chunk])`: fixed-size chunks, greedy claiming.
+    Dynamic,
+    /// `schedule(guided[, chunk])`: exponentially shrinking chunks with
+    /// `chunk` as the floor.
+    Guided,
+}
+
+/// The schedule `schedule(runtime)` resolves to (`OMP_SCHEDULE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeSchedule {
+    /// Dispatch policy.
+    pub kind: DispatchKind,
+    /// Requested chunk; `<= 0` means "pick a balanced default".
+    pub chunk: i64,
+}
+
+impl RuntimeSchedule {
+    /// Parses an `OMP_SCHEDULE` value: `kind[,chunk]`.
+    pub fn parse(s: &str) -> Option<RuntimeSchedule> {
+        let mut parts = s.splitn(2, ',');
+        let kind = match parts.next()?.trim().to_ascii_lowercase().as_str() {
+            "static" | "auto" => DispatchKind::Static,
+            "dynamic" => DispatchKind::Dynamic,
+            "guided" => DispatchKind::Guided,
+            _ => return None,
+        };
+        let chunk = parts
+            .next()
+            .and_then(|c| c.trim().parse::<i64>().ok())
+            .unwrap_or(0);
+        Some(RuntimeSchedule { kind, chunk })
+    }
+
+    /// Reads `OMP_SCHEDULE`; falls back to balanced static chunks (the
+    /// libomp default for an unset variable).
+    pub fn from_env() -> RuntimeSchedule {
+        std::env::var("OMP_SCHEDULE")
+            .ok()
+            .and_then(|s| RuntimeSchedule::parse(&s))
+            .unwrap_or(RuntimeSchedule {
+                kind: DispatchKind::Static,
+                chunk: 0,
+            })
+    }
+}
 
 /// Per-run configuration.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +79,9 @@ pub struct RuntimeConfig {
     /// When true, `parallel` regions execute sequentially (tid 0..n in
     /// order) — useful for deterministic golden tests.
     pub serial: bool,
+    /// What `schedule(runtime)` resolves to; `None` reads `OMP_SCHEDULE`
+    /// at dispatch time.
+    pub runtime_schedule: Option<RuntimeSchedule>,
 }
 
 impl Default for RuntimeConfig {
@@ -30,6 +90,104 @@ impl Default for RuntimeConfig {
             num_threads: 4,
             max_steps: 500_000_000,
             serial: false,
+            runtime_schedule: None,
+        }
+    }
+}
+
+/// One in-flight dispatch worksharing loop: the shared work queue every
+/// team member claims chunks from.
+#[derive(Debug)]
+pub struct DispatchLoop {
+    kind: DispatchKind,
+    /// Inclusive upper bound of the iteration space.
+    ub: i64,
+    /// Minimum (dynamic: exact) chunk size, normalized to >= 1.
+    chunk: i64,
+    team: i64,
+    /// Next unclaimed iteration.
+    next: Mutex<i64>,
+    /// Team members that have observed exhaustion (queue retires when all
+    /// have).
+    drained: AtomicU32,
+}
+
+impl DispatchLoop {
+    fn new(kind: DispatchKind, lb: i64, ub: i64, chunk: i64, team: u32) -> DispatchLoop {
+        let team = team.max(1) as i64;
+        let trip = (ub - lb + 1).max(0);
+        let chunk = if chunk >= 1 {
+            chunk
+        } else {
+            // Balanced default (static without a chunk): ceil(trip/team).
+            ((trip + team - 1) / team).max(1)
+        };
+        DispatchLoop {
+            kind,
+            ub,
+            chunk,
+            team,
+            next: Mutex::new(lb),
+            drained: AtomicU32::new(0),
+        }
+    }
+
+    /// Claims the next chunk: `Some((lb, ub, is_last))`, or `None` when the
+    /// queue is exhausted.
+    fn grab(&self) -> Option<(i64, i64, bool)> {
+        let mut next = self.next.lock().expect("dispatch lock");
+        let remaining = self.ub - *next + 1;
+        if remaining <= 0 {
+            return None;
+        }
+        let size = match self.kind {
+            DispatchKind::Static | DispatchKind::Dynamic => self.chunk,
+            DispatchKind::Guided => {
+                // Exponentially shrinking: ceil(remaining / (2 * team)),
+                // floored at the requested chunk.
+                let per = (remaining + 2 * self.team - 1) / (2 * self.team);
+                per.max(self.chunk)
+            }
+        }
+        .min(remaining);
+        let lo = *next;
+        let hi = lo + size - 1;
+        *next = hi + 1;
+        Some((lo, hi, hi == self.ub))
+    }
+}
+
+/// State shared by all members of one thread team: the barrier and the
+/// dispatch queues of in-flight worksharing loops, keyed by each thread's
+/// worksharing-construct sequence number (so `nowait` loops can overlap).
+#[derive(Debug)]
+pub struct TeamState {
+    size: u32,
+    /// `None` when the team executes sequentially (team of 1, or
+    /// `RuntimeConfig::serial`): a real barrier would self-deadlock and
+    /// completion order already synchronizes.
+    barrier: Option<Barrier>,
+    queues: Mutex<HashMap<u64, Arc<DispatchLoop>>>,
+}
+
+impl TeamState {
+    /// Creates team state; `concurrent` teams get a real barrier.
+    pub fn new(size: u32, concurrent: bool) -> Arc<TeamState> {
+        Arc::new(TeamState {
+            size,
+            barrier: if concurrent && size > 1 {
+                Some(Barrier::new(size as usize))
+            } else {
+                None
+            },
+            queues: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Blocks until every team member arrives (no-op for sequential teams).
+    pub fn barrier_wait(&self) {
+        if let Some(b) = &self.barrier {
+            b.wait();
         }
     }
 }
@@ -44,31 +202,41 @@ pub struct ThreadCtx {
     /// `num_threads(n)` request for the *next* fork
     /// (`__kmpc_push_num_threads`).
     pub pending_num_threads: Cell<Option<u32>>,
+    /// Shared team state (barrier + dispatch queues).
+    pub team: Arc<TeamState>,
+    /// This thread's worksharing-construct sequence number: identifies
+    /// which shared queue a `dispatch_init` joins.
+    dispatch_seq: Cell<u64>,
+    /// The dispatch loop this thread currently draws from, with its queue
+    /// key (released at `dispatch_fini`).
+    cur_dispatch: RefCell<Option<(u64, Arc<DispatchLoop>)>>,
 }
 
 impl ThreadCtx {
     /// The initial (serial-region) context.
     pub fn initial() -> ThreadCtx {
-        ThreadCtx {
-            gtid: 0,
-            team_size: 1,
-            pending_num_threads: Cell::new(None),
-        }
+        ThreadCtx::team_member(0, 1, TeamState::new(1, false))
     }
 
-    fn team_member(gtid: u32, team_size: u32) -> ThreadCtx {
+    /// A member of a forked team.
+    pub fn team_member(gtid: u32, team_size: u32, team: Arc<TeamState>) -> ThreadCtx {
         ThreadCtx {
             gtid,
             team_size,
             pending_num_threads: Cell::new(None),
+            team,
+            dispatch_seq: Cell::new(0),
+            cur_dispatch: RefCell::new(None),
         }
     }
 }
 
 /// libomp schedule-type constants (subset).
 const SCHED_STATIC_CHUNKED: i64 = 33;
-#[cfg(test)]
 const SCHED_STATIC: i64 = 34;
+const SCHED_DYNAMIC_CHUNKED: i64 = 35;
+const SCHED_GUIDED_CHUNKED: i64 = 36;
+const SCHED_RUNTIME: i64 = 37;
 
 /// Dispatches a call to a runtime function. Returns
 /// `Err(UnknownFunction)` for unrecognized names.
@@ -89,7 +257,16 @@ pub fn dispatch(
         "__kmpc_fork_call" => fork_call(it, args, ctx),
         "__kmpc_for_static_init" => for_static_init(it, args, ctx),
         "__kmpc_for_static_fini" => Ok(None),
-        "__kmpc_barrier" => Ok(None), // fork/join already synchronizes teams
+        "__kmpc_dispatch_init_8" => dispatch_init(it, args, ctx),
+        "__kmpc_dispatch_next_8" => dispatch_next(it, args, ctx),
+        "__kmpc_dispatch_fini_8" => {
+            ctx.cur_dispatch.borrow_mut().take();
+            Ok(None)
+        }
+        "__kmpc_barrier" => {
+            ctx.team.barrier_wait();
+            Ok(None)
+        }
         "__omplt_task_created" => {
             it.tasks.fetch_add(1, Ordering::Relaxed);
             Ok(None)
@@ -151,8 +328,9 @@ fn fork_call(
         .max(1);
 
     if team == 1 || it.cfg.serial {
+        let state = TeamState::new(team, false);
         for tid in 0..team {
-            let child = ThreadCtx::team_member(tid, team);
+            let child = ThreadCtx::team_member(tid, team, Arc::clone(&state));
             let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
             a.extend(caps.iter().copied());
             it.call_by_name(&name, a, &child)?;
@@ -162,14 +340,16 @@ fn fork_call(
 
     // Real thread team: the interpreter is Sync (module is immutable, memory
     // is atomic, output is mutexed), so scoped threads can share it.
+    let state = TeamState::new(team, true);
     let mut first_err: Option<ExecError> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..team)
             .map(|tid| {
                 let name = name.clone();
                 let caps = caps.clone();
+                let state = Arc::clone(&state);
                 s.spawn(move || {
-                    let child = ThreadCtx::team_member(tid, team);
+                    let child = ThreadCtx::team_member(tid, team, state);
                     let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
                     a.extend(caps);
                     it.call_by_name(&name, a, &child).map(|_| ())
@@ -249,6 +429,102 @@ fn for_static_init(
     it.mem.store(pstride, 8, stride as u64).map_err(mem)?;
     it.mem.store(plast, 4, is_last as u64).map_err(mem)?;
     Ok(None)
+}
+
+/// `__kmpc_dispatch_init_8(gtid, sched, lb, ub, st, chunk)` — registers a
+/// dispatch (dynamic/guided/runtime) worksharing loop with the team. The
+/// first team member to arrive creates the shared queue; the rest join it.
+fn dispatch_init(
+    it: &Interpreter<'_>,
+    args: Vec<RtVal>,
+    ctx: &ThreadCtx,
+) -> Result<Option<RtVal>, ExecError> {
+    if args.len() < 6 {
+        return Err(ExecError::Malformed(
+            "dispatch_init needs 6 arguments".to_string(),
+        ));
+    }
+    let sched = args[1].as_i();
+    let lb = args[2].as_i();
+    let ub = args[3].as_i();
+    let chunk = args[5].as_i();
+
+    let (kind, chunk) = match sched {
+        SCHED_STATIC => (DispatchKind::Static, 0),
+        SCHED_STATIC_CHUNKED => (DispatchKind::Static, chunk),
+        SCHED_DYNAMIC_CHUNKED => (DispatchKind::Dynamic, chunk),
+        SCHED_GUIDED_CHUNKED => (DispatchKind::Guided, chunk),
+        SCHED_RUNTIME => {
+            let rs = it
+                .cfg
+                .runtime_schedule
+                .unwrap_or_else(RuntimeSchedule::from_env);
+            (rs.kind, rs.chunk)
+        }
+        other => {
+            return Err(ExecError::Malformed(format!(
+                "unknown dispatch schedule type {other}"
+            )))
+        }
+    };
+
+    // All team members pass identical bounds (OpenMP requires every thread
+    // to encounter the same worksharing constructs in the same order), so
+    // the per-thread sequence number identifies the shared queue.
+    let seq = ctx.dispatch_seq.get();
+    ctx.dispatch_seq.set(seq + 1);
+    let dl = {
+        let mut queues = ctx.team.queues.lock().expect("team queues");
+        Arc::clone(
+            queues
+                .entry(seq)
+                .or_insert_with(|| Arc::new(DispatchLoop::new(kind, lb, ub, chunk, ctx.team.size))),
+        )
+    };
+    *ctx.cur_dispatch.borrow_mut() = Some((seq, dl));
+    Ok(None)
+}
+
+/// `__kmpc_dispatch_next_8(gtid, plast, plb, pub, pstride)` — claims the
+/// next chunk from the shared queue. Returns 1 with `[*plb, *pub]` filled
+/// in, or 0 when the iteration space is exhausted.
+fn dispatch_next(
+    it: &Interpreter<'_>,
+    args: Vec<RtVal>,
+    ctx: &ThreadCtx,
+) -> Result<Option<RtVal>, ExecError> {
+    if args.len() < 5 {
+        return Err(ExecError::Malformed(
+            "dispatch_next needs 5 arguments".to_string(),
+        ));
+    }
+    let plast = args[1].as_p();
+    let plb = args[2].as_p();
+    let pub_ = args[3].as_p();
+    let pstride = args[4].as_p();
+
+    let cur = ctx.cur_dispatch.borrow();
+    let (seq, dl) = cur
+        .as_ref()
+        .ok_or_else(|| ExecError::Malformed("dispatch_next without dispatch_init".to_string()))?;
+    match dl.grab() {
+        Some((lo, hi, last)) => {
+            let mem = |e: crate::memory::MemError| ExecError::Mem(e.what);
+            it.mem.store(plb, 8, lo as u64).map_err(mem)?;
+            it.mem.store(pub_, 8, hi as u64).map_err(mem)?;
+            it.mem.store(pstride, 8, 1).map_err(mem)?;
+            it.mem.store(plast, 4, last as u64).map_err(mem)?;
+            Ok(Some(RtVal::I(1)))
+        }
+        None => {
+            // Retire the queue once every member has observed exhaustion
+            // (each observes it exactly once: the dispatch loop exits on 0).
+            if dl.drained.fetch_add(1, Ordering::AcqRel) + 1 == ctx.team.size {
+                ctx.team.queues.lock().expect("team queues").remove(seq);
+            }
+            Ok(Some(RtVal::I(0)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,8 +619,9 @@ mod tests {
         let m = Module::new();
         let it = Interpreter::new(&m, RuntimeConfig::default());
         let mut out = Vec::new();
+        let state = TeamState::new(team, false);
         for tid in 0..team {
-            let ctx = ThreadCtx::team_member(tid, team);
+            let ctx = ThreadCtx::team_member(tid, team, Arc::clone(&state));
             let plast = it.mem.alloc(4);
             let plb = it.mem.alloc(8);
             let pub_ = it.mem.alloc(8);
@@ -441,5 +718,350 @@ mod tests {
             dispatch(&it, "__omplt_task_created", vec![], &ctx).unwrap();
         }
         assert_eq!(it.tasks.load(Ordering::Relaxed), 5);
+    }
+
+    /// Drives `__kmpc_dispatch_init_8`/`next_8`/`fini_8` from `team` real
+    /// threads sharing one `TeamState`; returns each thread's claimed
+    /// chunks as `(lb, ub)` pairs.
+    fn dispatch_drive(
+        cfg: RuntimeConfig,
+        sched: i64,
+        trip: i64,
+        team: u32,
+        chunk: i64,
+    ) -> Vec<Vec<(i64, i64)>> {
+        let m = Module::new();
+        let it = Interpreter::new(&m, cfg);
+        let state = TeamState::new(team, true);
+        let mut out: Vec<Vec<(i64, i64)>> = (0..team).map(|_| Vec::new()).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..team)
+                .map(|tid| {
+                    let it = &it;
+                    let state = Arc::clone(&state);
+                    s.spawn(move || {
+                        let ctx = ThreadCtx::team_member(tid, team, state);
+                        let plast = it.mem.alloc(4);
+                        let plb = it.mem.alloc(8);
+                        let pub_ = it.mem.alloc(8);
+                        let pstride = it.mem.alloc(8);
+                        dispatch(
+                            it,
+                            "__kmpc_dispatch_init_8",
+                            vec![
+                                RtVal::I(tid as i64),
+                                RtVal::I(sched),
+                                RtVal::I(0),
+                                RtVal::I(trip - 1),
+                                RtVal::I(1),
+                                RtVal::I(chunk),
+                            ],
+                            &ctx,
+                        )
+                        .unwrap();
+                        let mut chunks = Vec::new();
+                        loop {
+                            let got = dispatch(
+                                it,
+                                "__kmpc_dispatch_next_8",
+                                vec![
+                                    RtVal::I(tid as i64),
+                                    RtVal::P(plast),
+                                    RtVal::P(plb),
+                                    RtVal::P(pub_),
+                                    RtVal::P(pstride),
+                                ],
+                                &ctx,
+                            )
+                            .unwrap()
+                            .unwrap()
+                            .as_i();
+                            if got == 0 {
+                                break;
+                            }
+                            let lo = it.mem.load(plb, 8).unwrap() as i64;
+                            let hi = it.mem.load(pub_, 8).unwrap() as i64;
+                            assert_eq!(it.mem.load(pstride, 8).unwrap() as i64, 1);
+                            chunks.push((lo, hi));
+                        }
+                        dispatch(
+                            it,
+                            "__kmpc_dispatch_fini_8",
+                            vec![RtVal::I(tid as i64)],
+                            &ctx,
+                        )
+                        .unwrap();
+                        chunks
+                    })
+                })
+                .collect();
+            for (tid, h) in handles.into_iter().enumerate() {
+                out[tid] = h.join().expect("dispatch thread");
+            }
+        });
+        out
+    }
+
+    fn assert_dispatch_laws(parts: &[Vec<(i64, i64)>], trip: i64, max_chunk: Option<i64>) {
+        let mut seen = HashSet::new();
+        for p in parts {
+            for &(lo, hi) in p {
+                assert!(lo <= hi, "empty chunk [{lo}, {hi}] served");
+                if let Some(mc) = max_chunk {
+                    assert!(hi - lo < mc, "chunk [{lo}, {hi}] exceeds size {mc}");
+                }
+                for i in lo..=hi {
+                    assert!(i >= 0 && i < trip, "iteration {i} out of range");
+                    assert!(seen.insert(i), "iteration {i} assigned twice");
+                }
+            }
+        }
+        assert_eq!(seen.len() as i64, trip, "not all iterations covered");
+    }
+
+    #[test]
+    fn dynamic_dispatch_covers_every_iteration_exactly_once() {
+        // Adversarial trip counts around the chunk size: 0, 1, chunk-1,
+        // chunk, chunk+1, and larger non-divisible spans.
+        for chunk in [1i64, 2, 3, 5] {
+            for trip in [0i64, 1, chunk - 1, chunk, chunk + 1, 4 * chunk + 1, 97] {
+                if trip < 0 {
+                    continue;
+                }
+                for team in [1u32, 2, 4, 7] {
+                    let parts = dispatch_drive(
+                        RuntimeConfig::default(),
+                        SCHED_DYNAMIC_CHUNKED,
+                        trip,
+                        team,
+                        chunk,
+                    );
+                    assert_dispatch_laws(&parts, trip, Some(chunk));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guided_dispatch_covers_every_iteration_exactly_once() {
+        for chunk in [1i64, 3] {
+            for trip in [0i64, 1, chunk - 1, chunk, chunk + 1, 50, 97] {
+                if trip < 0 {
+                    continue;
+                }
+                for team in [1u32, 2, 3, 7] {
+                    let parts = dispatch_drive(
+                        RuntimeConfig::default(),
+                        SCHED_GUIDED_CHUNKED,
+                        trip,
+                        team,
+                        chunk,
+                    );
+                    // Guided chunks may exceed `chunk` (it is a floor).
+                    assert_dispatch_laws(&parts, trip, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guided_chunks_shrink_and_respect_floor() {
+        // Single thread drains the whole queue, so the chunk sequence is
+        // deterministic: ceil(remaining / (2 * team)) floored at `chunk`.
+        let parts = dispatch_drive(RuntimeConfig::default(), SCHED_GUIDED_CHUNKED, 100, 1, 2);
+        let sizes: Vec<i64> = parts[0].iter().map(|&(lo, hi)| hi - lo + 1).collect();
+        assert_eq!(sizes[0], 50, "first guided chunk is ceil(100/2)");
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "guided chunks must not grow: {sizes:?}");
+        }
+        assert!(
+            sizes[..sizes.len() - 1].iter().all(|&s| s >= 2),
+            "floor chunk violated: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_schedule_resolves_from_config() {
+        let cfg = RuntimeConfig {
+            runtime_schedule: Some(RuntimeSchedule {
+                kind: DispatchKind::Dynamic,
+                chunk: 3,
+            }),
+            ..Default::default()
+        };
+        let parts = dispatch_drive(cfg, SCHED_RUNTIME, 10, 2, 0);
+        // The chunk argument (0) is ignored; the resolved schedule wins.
+        assert_dispatch_laws(&parts, 10, Some(3));
+        let all: Vec<i64> = parts
+            .iter()
+            .flatten()
+            .map(|&(lo, hi)| hi - lo + 1)
+            .collect();
+        assert!(all.contains(&3), "expected chunk size 3: {all:?}");
+    }
+
+    #[test]
+    fn runtime_schedule_default_is_balanced_static() {
+        // No override and (in this test) no env: one chunk per thread.
+        let cfg = RuntimeConfig {
+            runtime_schedule: Some(RuntimeSchedule {
+                kind: DispatchKind::Static,
+                chunk: 0,
+            }),
+            ..Default::default()
+        };
+        let parts = dispatch_drive(cfg, SCHED_RUNTIME, 16, 4, 0);
+        assert_dispatch_laws(&parts, 16, Some(4));
+        let total_chunks: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(
+            total_chunks, 4,
+            "balanced static serves ceil(trip/team) blocks"
+        );
+    }
+
+    #[test]
+    fn omp_schedule_parsing() {
+        assert_eq!(
+            RuntimeSchedule::parse("dynamic,4"),
+            Some(RuntimeSchedule {
+                kind: DispatchKind::Dynamic,
+                chunk: 4
+            })
+        );
+        assert_eq!(
+            RuntimeSchedule::parse("  GUIDED , 8 "),
+            Some(RuntimeSchedule {
+                kind: DispatchKind::Guided,
+                chunk: 8
+            })
+        );
+        assert_eq!(
+            RuntimeSchedule::parse("static"),
+            Some(RuntimeSchedule {
+                kind: DispatchKind::Static,
+                chunk: 0
+            })
+        );
+        assert_eq!(
+            RuntimeSchedule::parse("auto"),
+            Some(RuntimeSchedule {
+                kind: DispatchKind::Static,
+                chunk: 0
+            })
+        );
+        assert_eq!(RuntimeSchedule::parse("fifo,2"), None);
+        assert_eq!(RuntimeSchedule::parse(""), None);
+    }
+
+    #[test]
+    fn dispatch_queue_retires_after_all_threads_drain() {
+        // Two back-to-back dispatch loops on one shared TeamState: the
+        // second init must get a fresh queue (seq 1), and the first queue
+        // must have been removed once every member drained it.
+        let m = Module::new();
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        let state = TeamState::new(1, false);
+        let ctx = ThreadCtx::team_member(0, 1, Arc::clone(&state));
+        let bufs = [
+            it.mem.alloc(4),
+            it.mem.alloc(8),
+            it.mem.alloc(8),
+            it.mem.alloc(8),
+        ];
+        for round in 0..2 {
+            dispatch(
+                &it,
+                "__kmpc_dispatch_init_8",
+                vec![
+                    RtVal::I(0),
+                    RtVal::I(SCHED_DYNAMIC_CHUNKED),
+                    RtVal::I(0),
+                    RtVal::I(3),
+                    RtVal::I(1),
+                    RtVal::I(2),
+                ],
+                &ctx,
+            )
+            .unwrap();
+            let mut served = 0;
+            loop {
+                let got = dispatch(
+                    &it,
+                    "__kmpc_dispatch_next_8",
+                    vec![
+                        RtVal::I(0),
+                        RtVal::P(bufs[0]),
+                        RtVal::P(bufs[1]),
+                        RtVal::P(bufs[2]),
+                        RtVal::P(bufs[3]),
+                    ],
+                    &ctx,
+                )
+                .unwrap()
+                .unwrap()
+                .as_i();
+                if got == 0 {
+                    break;
+                }
+                served += it.mem.load(bufs[2], 8).unwrap() as i64
+                    - it.mem.load(bufs[1], 8).unwrap() as i64
+                    + 1;
+            }
+            dispatch(&it, "__kmpc_dispatch_fini_8", vec![RtVal::I(0)], &ctx).unwrap();
+            assert_eq!(served, 4, "round {round} served the full span");
+            assert!(
+                state.queues.lock().unwrap().is_empty(),
+                "round {round} queue not retired"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_makes_prior_writes_visible() {
+        // Each thread stores flags[tid], hits the barrier, then asserts it
+        // can see *every* other thread's store. Without a real barrier this
+        // fails (flakily) because nothing orders the stores before the reads.
+        let team = 8u32;
+        let m = Module::new();
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        let flags = it.mem.alloc(8 * team as u64);
+        let state = TeamState::new(team, true);
+        std::thread::scope(|s| {
+            for tid in 0..team {
+                let it = &it;
+                let state = Arc::clone(&state);
+                s.spawn(move || {
+                    let ctx = ThreadCtx::team_member(tid, team, state);
+                    it.mem
+                        .store(flags + 8 * tid as u64, 8, (tid + 1) as u64)
+                        .unwrap();
+                    dispatch(it, "__kmpc_barrier", vec![RtVal::I(tid as i64)], &ctx).unwrap();
+                    for other in 0..team {
+                        let v = it.mem.load(flags + 8 * other as u64, 8).unwrap();
+                        assert_eq!(
+                            v,
+                            (other + 1) as u64,
+                            "thread {tid} missed write of {other}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_is_noop_for_solo_and_serial_teams() {
+        let m = Module::new();
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        // Solo team (initial context): must not block.
+        let ctx = ThreadCtx::initial();
+        dispatch(&it, "__kmpc_barrier", vec![RtVal::I(0)], &ctx).unwrap();
+        // Serial team of 4: each member runs to completion alone, so the
+        // barrier must not wait for peers that haven't started yet.
+        let state = TeamState::new(4, false);
+        for tid in 0..4 {
+            let ctx = ThreadCtx::team_member(tid, 4, Arc::clone(&state));
+            dispatch(&it, "__kmpc_barrier", vec![RtVal::I(tid as i64)], &ctx).unwrap();
+        }
     }
 }

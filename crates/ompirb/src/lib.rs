@@ -22,6 +22,11 @@
 //! * [`create_static_workshare_loop`] — applies a `schedule(static)`
 //!   worksharing scheme by bounding the loop with `__kmpc_for_static_init`
 //!   chunk bounds.
+//! * [`create_dynamic_workshare_loop`] — applies a dispatch schedule
+//!   (`dynamic` / `guided` / `runtime`) by wrapping the loop in the
+//!   `__kmpc_dispatch_init_8` → `while (__kmpc_dispatch_next_8)` →
+//!   `__kmpc_dispatch_fini_8` protocol; [`DispatchLoopInfo::check`]
+//!   re-validates the wrapper's invariants under `--verify-each`.
 //! * [`create_parallel`] — outlining-based `parallel` region construction via
 //!   `__kmpc_fork_call`.
 
@@ -39,4 +44,7 @@ pub use collapse::collapse_loops;
 pub use parallel::{create_parallel, OutlinedFn};
 pub use tile::tile_loops;
 pub use unroll::{unroll_loop_full, unroll_loop_heuristic, unroll_loop_partial};
-pub use workshare::{create_static_workshare_loop, WorksharingScheme};
+pub use workshare::{
+    create_dynamic_workshare_loop, create_static_workshare_loop, DispatchLoopInfo,
+    WorksharingScheme,
+};

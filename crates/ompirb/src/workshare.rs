@@ -1,12 +1,18 @@
-//! `create_static_workshare_loop` — applies the worksharing-loop construct
-//! (`schedule(static[, chunk])`) to a canonical loop by bracketing it with
-//! `__kmpc_for_static_init` / `__kmpc_for_static_fini` runtime calls and
-//! re-bounding the logical iteration space to the calling thread's chunk
-//! (paper §3.2: "`createWorkshareLoop` … implements the worksharing-loop
-//! construct" on a `CanonicalLoopInfo` handle).
+//! `create_static_workshare_loop` / `create_dynamic_workshare_loop` — apply
+//! the worksharing-loop construct to a canonical loop (paper §3.2:
+//! "`createWorkshareLoop` … implements the worksharing-loop construct" on a
+//! `CanonicalLoopInfo` handle).
+//!
+//! Static schedules bracket the loop with `__kmpc_for_static_init` /
+//! `__kmpc_for_static_fini` and re-bound the logical iteration space to the
+//! calling thread's chunk. Dynamic, guided, and runtime schedules wrap the
+//! loop in the dispatch protocol: `__kmpc_dispatch_init_8`, a `while
+//! (__kmpc_dispatch_next_8(…))` head that re-bounds the canonical loop to
+//! each claimed chunk, and `__kmpc_dispatch_fini_8` on exhaustion. Both
+//! compose after tile/unroll because they only consume the skeleton handle.
 
 use crate::canonical_loop::{create_canonical_loop_skeleton, CanonicalLoopInfo};
-use omplt_ir::{BlockId, Inst, IrBuilder, IrType, Module, Terminator, Value};
+use omplt_ir::{BlockId, CmpPred, Function, Inst, IrBuilder, IrType, Module, Terminator, Value};
 
 /// Which worksharing scheme to apply.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -15,11 +21,20 @@ pub enum WorksharingScheme {
     StaticUnchunked,
     /// `schedule(static, chunk)` — round-robin chunks of the given size.
     StaticChunked(Value),
+    /// `schedule(dynamic[, chunk])` — first-come-first-served chunks.
+    DynamicChunked(Value),
+    /// `schedule(guided[, chunk])` — exponentially shrinking chunks.
+    GuidedChunked(Value),
+    /// `schedule(runtime)` — resolved from `OMP_SCHEDULE` by the runtime.
+    Runtime,
 }
 
 /// kmp schedule-type constants (subset).
 const SCHED_STATIC: i64 = 34;
 const SCHED_STATIC_CHUNKED: i64 = 33;
+const SCHED_DYNAMIC_CHUNKED: i64 = 35;
+const SCHED_GUIDED_CHUNKED: i64 = 36;
+const SCHED_RUNTIME: i64 = 37;
 
 /// Applies static worksharing to `cli`.
 ///
@@ -54,6 +69,11 @@ pub fn create_static_workshare_loop(
         WorksharingScheme::StaticUnchunked => apply_unchunked(b, cli, gtid_fn, init_fn, fini_fn),
         WorksharingScheme::StaticChunked(chunk) => {
             apply_chunked(b, cli, chunk, gtid_fn, init_fn, fini_fn)
+        }
+        WorksharingScheme::DynamicChunked(_)
+        | WorksharingScheme::GuidedChunked(_)
+        | WorksharingScheme::Runtime => {
+            panic!("dispatch schedules go through create_dynamic_workshare_loop")
         }
     }
 }
@@ -237,6 +257,248 @@ fn apply_chunked(
     outer.after
 }
 
+/// Handle to a dispatch (dynamic/guided/runtime) worksharing loop: the
+/// blocks of the `init → while(next) → chunk → fini` protocol wrapped
+/// around the canonical loop, plus the wrapped loop's entry/continuation so
+/// [`DispatchLoopInfo::check`] can verify the stitching.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchLoopInfo {
+    /// Takes over the canonical loop's incoming edges; calls
+    /// `__kmpc_dispatch_init_8`.
+    pub setup: BlockId,
+    /// Dispatch head: calls `__kmpc_dispatch_next_8` and branches to
+    /// `chunk_setup` (got a chunk) or `fini` (exhausted).
+    pub head: BlockId,
+    /// Loads the claimed bounds, re-bounds the canonical loop, and enters
+    /// its preheader.
+    pub chunk_setup: BlockId,
+    /// Calls `__kmpc_dispatch_fini_8`; leaves to `after`.
+    pub fini: BlockId,
+    /// Continuation: code after the construct is emitted here.
+    pub after: BlockId,
+    /// The wrapped canonical loop's preheader (entered from `chunk_setup`).
+    pub inner_preheader: BlockId,
+    /// The wrapped canonical loop's after block (branches back to `head`).
+    pub inner_after: BlockId,
+    init_sym: omplt_ir::SymbolId,
+    next_sym: omplt_ir::SymbolId,
+    fini_sym: omplt_ir::SymbolId,
+}
+
+impl DispatchLoopInfo {
+    /// Re-validates the dispatch-loop skeleton invariants, returning one
+    /// message per violation (the `--verify-each` hook for dispatch loops,
+    /// mirroring [`CanonicalLoopInfo::check`]).
+    pub fn check(&self, func: &Function) -> Vec<String> {
+        let mut errs = Vec::new();
+        let calls = |bb: BlockId, sym: omplt_ir::SymbolId| {
+            func.block(bb)
+                .insts
+                .iter()
+                .any(|&i| matches!(func.inst(i), Inst::Call { callee, .. } if callee.0 == sym))
+        };
+        if !calls(self.setup, self.init_sym) {
+            errs.push("setup must call __kmpc_dispatch_init_8".into());
+        }
+        match &func.block(self.setup).term {
+            Some(Terminator::Br { target, .. }) if *target == self.head => {}
+            other => errs.push(format!("setup must branch to the head, got {other:?}")),
+        }
+        if !calls(self.head, self.next_sym) {
+            errs.push("head must call __kmpc_dispatch_next_8".into());
+        }
+        match &func.block(self.head).term {
+            Some(Terminator::CondBr {
+                then_bb, else_bb, ..
+            }) => {
+                if *then_bb != self.chunk_setup {
+                    errs.push(format!(
+                        "head true edge must enter chunk setup, goes to {then_bb:?}"
+                    ));
+                }
+                if *else_bb != self.fini {
+                    errs.push(format!(
+                        "head false edge must leave to fini, goes to {else_bb:?}"
+                    ));
+                }
+            }
+            other => errs.push(format!(
+                "head must end in a conditional branch, got {other:?}"
+            )),
+        }
+        match &func.block(self.chunk_setup).term {
+            Some(Terminator::Br { target, .. }) if *target == self.inner_preheader => {}
+            other => errs.push(format!(
+                "chunk setup must enter the wrapped loop's preheader, got {other:?}"
+            )),
+        }
+        match &func.block(self.inner_after).term {
+            Some(Terminator::Br { target, .. }) if *target == self.head => {}
+            other => errs.push(format!(
+                "wrapped loop's after must branch back to the head, got {other:?}"
+            )),
+        }
+        if !calls(self.fini, self.fini_sym) {
+            errs.push("fini must call __kmpc_dispatch_fini_8".into());
+        }
+        match &func.block(self.fini).term {
+            Some(Terminator::Br { target, .. }) if *target == self.after => {}
+            other => errs.push(format!("fini must branch to after, got {other:?}")),
+        }
+        errs
+    }
+
+    /// Panicking wrapper around [`DispatchLoopInfo::check`].
+    pub fn assert_ok(&self, func: &Function) {
+        let errs = self.check(func);
+        assert!(
+            errs.is_empty(),
+            "dispatch loop '{:?}' violates skeleton invariants:\n  {}",
+            self.head,
+            errs.join("\n  ")
+        );
+    }
+}
+
+/// Applies a dispatch schedule (dynamic/guided/runtime) to `cli`:
+///
+/// ```text
+///  setup:        __kmpc_dispatch_init_8(gtid, sched, 0, tc-1, 1, chunk)
+///  head:         while (__kmpc_dispatch_next_8(gtid, &last?, &lb, &ub, &st))
+///  chunk_setup:    re-bound the canonical loop to [lb, ub], shift its IV
+///                  <canonical loop runs, then returns to head>
+///  fini:         __kmpc_dispatch_fini_8(gtid)
+///  after:        continuation
+/// ```
+///
+/// Same calling convention as [`create_static_workshare_loop`]: apply while
+/// `cli.after` is still empty; code after the construct goes to the returned
+/// info's `after` block. Composes after tile/unroll (§3.2) because only the
+/// skeleton handle is consumed.
+pub fn create_dynamic_workshare_loop(
+    b: &mut IrBuilder<'_>,
+    m: &mut Module,
+    cli: &mut CanonicalLoopInfo,
+    scheme: WorksharingScheme,
+) -> DispatchLoopInfo {
+    let (sched, chunk) = match scheme {
+        WorksharingScheme::DynamicChunked(c) => (SCHED_DYNAMIC_CHUNKED, c),
+        WorksharingScheme::GuidedChunked(c) => (SCHED_GUIDED_CHUNKED, c),
+        // The runtime reads OMP_SCHEDULE; the chunk argument is ignored.
+        WorksharingScheme::Runtime => (SCHED_RUNTIME, Value::i64(0)),
+        WorksharingScheme::StaticUnchunked | WorksharingScheme::StaticChunked(_) => {
+            panic!("static schedules go through create_static_workshare_loop")
+        }
+    };
+    let gtid_fn = m.declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
+    let init_fn = m.declare_extern(
+        "__kmpc_dispatch_init_8",
+        vec![
+            IrType::I32, // gtid
+            IrType::I32, // schedule type
+            IrType::I64, // lower bound
+            IrType::I64, // upper bound (inclusive)
+            IrType::I64, // stride
+            IrType::I64, // chunk
+        ],
+        IrType::Void,
+    );
+    let next_fn = m.declare_extern(
+        "__kmpc_dispatch_next_8",
+        vec![
+            IrType::I32,
+            IrType::Ptr,
+            IrType::Ptr,
+            IrType::Ptr,
+            IrType::Ptr,
+        ],
+        IrType::I32,
+    );
+    let fini_fn = m.declare_extern("__kmpc_dispatch_fini_8", vec![IrType::I32], IrType::Void);
+
+    // The setup block takes over every edge into the loop's preheader.
+    let setup = b.create_block("omp_ws.dispatch.setup");
+    let pre = cli.preheader;
+    let nblocks = b.func().blocks.len();
+    for i in 0..nblocks {
+        let bb = BlockId(i as u32);
+        if bb == setup {
+            continue;
+        }
+        if let Some(t) = b.func_mut().block_mut(bb).term.as_mut() {
+            t.map_blocks(|x| if x == pre { setup } else { x });
+        }
+    }
+    let head = b.create_block("omp_ws.dispatch.head");
+    let chunk_setup = b.create_block("omp_ws.dispatch.chunk");
+    let fini = b.create_block("omp_ws.dispatch.fini");
+    let after = b.create_block("omp_ws.dispatch.after");
+
+    b.set_insert_point(setup);
+    let gtid = b.call(gtid_fn, vec![], IrType::I32);
+    let plast = b.alloca(IrType::I32, 1, ".omp.is_last");
+    let plb = b.alloca(IrType::I64, 1, ".omp.lb");
+    let pub_ = b.alloca(IrType::I64, 1, ".omp.ub");
+    let pstride = b.alloca(IrType::I64, 1, ".omp.stride");
+    let tc64 = b.int_resize(cli.trip_count, IrType::I64, false);
+    let last = b.sub(tc64, Value::i64(1));
+    let chunk64 = b.int_resize(chunk, IrType::I64, false);
+    b.call(
+        init_fn,
+        vec![
+            gtid,
+            Value::i32(sched as i32),
+            Value::i64(0),
+            last,
+            Value::i64(1),
+            chunk64,
+        ],
+        IrType::Void,
+    );
+    b.br(head);
+
+    b.set_insert_point(head);
+    let got = b.call(next_fn, vec![gtid, plast, plb, pub_, pstride], IrType::I32);
+    let more = b.cmp(CmpPred::Ne, got, Value::i32(0));
+    b.cond_br(more, chunk_setup, fini);
+
+    // Re-bound the canonical loop to the claimed chunk [lb, ub].
+    b.set_insert_point(chunk_setup);
+    let lb = b.load(IrType::I64, plb);
+    let ub = b.load(IrType::I64, pub_);
+    let ubp1 = b.add(ub, Value::i64(1));
+    let span = b.sub(ubp1, lb);
+    let span_n = b.int_resize(span, cli.ty, false);
+    let lb_n = b.int_resize(lb, cli.ty, false);
+    cli.set_trip_count(b.func_mut(), span_n);
+    b.br(pre);
+    shift_body_iv(b, cli, lb_n);
+
+    // The canonical loop's continuation loops back for the next chunk.
+    b.func_mut().block_mut(cli.after).term = Some(Terminator::Br {
+        target: head,
+        loop_md: None,
+    });
+
+    b.set_insert_point(fini);
+    b.call(fini_fn, vec![gtid], IrType::Void);
+    b.br(after);
+
+    b.set_insert_point(after);
+    DispatchLoopInfo {
+        setup,
+        head,
+        chunk_setup,
+        fini,
+        after,
+        inner_preheader: pre,
+        inner_after: cli.after,
+        init_sym: init_fn,
+        next_sym: next_fn,
+        fini_sym: fini_fn,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,5 +623,68 @@ mod tests {
         );
         cli.assert_ok(&f);
         assert_verified(&f);
+    }
+
+    fn dispatch_over_one_loop(scheme: WorksharingScheme) -> (Module, Function, DispatchLoopInfo) {
+        let mut m = Module::new();
+        let mut f = Function::new("k", vec![IrType::I64], IrType::Void);
+        let mut cli = one_loop(&mut f, &mut m);
+        let dli = {
+            let mut b = IrBuilder::new(&mut f);
+            b.set_insert_point(cli.after);
+            let dli = create_dynamic_workshare_loop(&mut b, &mut m, &mut cli, scheme);
+            b.ret(None);
+            dli
+        };
+        cli.assert_ok(&f);
+        assert_verified(&f);
+        (m, f, dli)
+    }
+
+    #[test]
+    fn dynamic_builds_the_dispatch_skeleton() {
+        for scheme in [
+            WorksharingScheme::DynamicChunked(Value::i64(2)),
+            WorksharingScheme::GuidedChunked(Value::i64(1)),
+            WorksharingScheme::Runtime,
+        ] {
+            let (_m, f, dli) = dispatch_over_one_loop(scheme);
+            dli.assert_ok(&f);
+        }
+    }
+
+    #[test]
+    fn dispatch_setup_takes_over_entry_edges() {
+        // All edges that used to reach the loop's preheader must now go
+        // through the dispatch setup block, so init runs before any chunk.
+        let (_m, f, dli) = dispatch_over_one_loop(WorksharingScheme::DynamicChunked(Value::i64(4)));
+        for (i, data) in f.blocks.iter().enumerate() {
+            let bb = BlockId(i as u32);
+            if bb == dli.chunk_setup {
+                continue; // the one legitimate edge into the re-bound loop
+            }
+            if let Some(t) = &data.term {
+                assert!(
+                    !t.successors().contains(&dli.inner_preheader),
+                    "stray edge from {bb:?} into the inner preheader bypasses dispatch init"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_check_reports_broken_back_edge() {
+        let (_m, mut f, dli) = dispatch_over_one_loop(WorksharingScheme::Runtime);
+        assert!(dli.check(&f).is_empty());
+        // Sever the chunk-exhausted back edge: the loop would run one chunk.
+        f.block_mut(dli.inner_after).term = Some(Terminator::Br {
+            target: dli.fini,
+            loop_md: None,
+        });
+        let errs = dli.check(&f);
+        assert!(
+            errs.iter().any(|e| e.contains("head")),
+            "check must flag the missing back edge to the head, got {errs:?}"
+        );
     }
 }

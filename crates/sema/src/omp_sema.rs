@@ -93,14 +93,23 @@ impl Sema<'_> {
                     ),
                 );
             }
-            if let OMPClauseKind::Schedule { kind: sk, .. } = &c.kind {
-                if *sk != ScheduleKind::Static {
-                    self.diags.warning(
+            if let OMPClauseKind::Schedule { kind: sk, chunk } = &c.kind {
+                // A chunk expression must be a positive integer (OpenMP 5.1
+                // §11.5.3); a compile-time-known violation is an error.
+                if let Some(chunk) = chunk {
+                    if let Some(v) = chunk.eval_const_int() {
+                        if v <= 0 {
+                            self.diags.error(
+                                chunk.loc,
+                                "chunk size of 'schedule' clause must be positive",
+                            );
+                        }
+                    }
+                }
+                if matches!(sk, ScheduleKind::Runtime | ScheduleKind::Auto) && chunk.is_some() {
+                    self.diags.error(
                         c.loc,
-                        format!(
-                            "schedule kind '{}' is not implemented; using 'static'",
-                            sk.name()
-                        ),
+                        format!("schedule kind '{}' does not take a chunk size", sk.name()),
                     );
                 }
             }

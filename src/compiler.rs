@@ -28,6 +28,9 @@ pub struct Options {
     /// invariants) after every `OpenMPIRBuilder` transformation and between
     /// every mid-end pass.
     pub verify_each: bool,
+    /// What `schedule(runtime)` resolves to; `None` defers to the
+    /// `OMP_SCHEDULE` environment variable at dispatch time.
+    pub runtime_schedule: Option<omplt_interp::RuntimeSchedule>,
 }
 
 impl Default for Options {
@@ -39,6 +42,7 @@ impl Default for Options {
             serial: false,
             max_steps: 500_000_000,
             verify_each: false,
+            runtime_schedule: None,
         }
     }
 }
@@ -176,6 +180,7 @@ impl CompilerInstance {
             num_threads: self.opts.num_threads,
             max_steps: self.opts.max_steps,
             serial: self.opts.serial,
+            runtime_schedule: self.opts.runtime_schedule,
         };
         Interpreter::new(module, cfg).run_main()
     }

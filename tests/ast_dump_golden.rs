@@ -107,6 +107,39 @@ fn canonical_loop_golden() {
 }
 
 #[test]
+fn dispatch_schedule_clauses_golden() {
+    // The three dispatch schedule kinds print their kind keyword; a chunk
+    // expression, when present, hangs off the clause node.
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp parallel for schedule(dynamic, 4)\n  for (int i = 0; i < 16; i += 1)\n    body(i);\n}\nvoid g(void) {\n  #pragma omp parallel for schedule(guided)\n  for (int i = 0; i < 16; i += 1)\n    body(i);\n}\nvoid h(void) {\n  #pragma omp parallel for schedule(runtime)\n  for (int i = 0; i < 16; i += 1)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+|   `-OMPParallelForDirective
+|     |-OMPScheduleClause dynamic
+|     | `-IntegerLiteral 'int' 4
+|     `-CapturedStmt
+"#,
+    );
+    assert_block(
+        &d,
+        r#"
+|   `-OMPParallelForDirective
+|     |-OMPScheduleClause guided
+|     `-CapturedStmt
+"#,
+    );
+    assert_block(
+        &d,
+        r#"
+    `-OMPParallelForDirective
+      |-OMPScheduleClause runtime
+      `-CapturedStmt
+"#,
+    );
+}
+
+#[test]
 fn captured_parallel_for_golden() {
     let src = "void body(int i);\nvoid f(void) {\n  #pragma omp parallel for schedule(static)\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
     let d = dump(src, OpenMpCodegenMode::Classic);

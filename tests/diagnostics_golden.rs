@@ -85,6 +85,75 @@ carried.c:5:13: note: conflicting read here
 }
 
 #[test]
+fn malformed_schedule_chunk_renders_exactly() {
+    let src = "\
+void body(int i);
+void f(void) {
+  #pragma omp parallel for schedule(dynamic, 0)
+  for (int i = 0; i < 8; i += 1)
+    body(i);
+}
+";
+    let expected = "\
+chunk.c:3:46: error: chunk size of 'schedule' clause must be positive
+  #pragma omp parallel for schedule(dynamic, 0)
+                                             ^
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    let err = ci
+        .parse_source("chunk.c", src)
+        .expect_err("non-positive chunk must be rejected");
+    assert_eq!(err, expected);
+}
+
+#[test]
+fn chunk_on_runtime_schedule_renders_exactly() {
+    let src = "\
+void body(int i);
+void f(void) {
+  #pragma omp parallel for schedule(runtime, 2)
+  for (int i = 0; i < 8; i += 1)
+    body(i);
+}
+";
+    let expected = "\
+rt.c:3:28: error: schedule kind 'runtime' does not take a chunk size
+  #pragma omp parallel for schedule(runtime, 2)
+                           ^
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    let err = ci
+        .parse_source("rt.c", src)
+        .expect_err("chunked runtime schedule must be rejected");
+    assert_eq!(err, expected);
+}
+
+#[test]
+fn malformed_schedule_chunk_json_golden() {
+    let src = "\
+void f(void) {
+  #pragma omp parallel for schedule(guided, -3)
+  for (int i = 0; i < 8; i += 1)
+    ;
+}
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    ci.parse_source("cj.c", src)
+        .expect_err("negative chunk must be rejected");
+    let json = ci.render_diags_json();
+    assert!(
+        json.starts_with(
+            "[{\"level\":\"error\",\"message\":\"chunk size of 'schedule' clause must be positive\""
+        ),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"file\":\"cj.c\",\"line\":2,\"column\":45"),
+        "{json}"
+    );
+}
+
+#[test]
 fn json_rendering_matches_text_locations() {
     let src = "\
 int main(void) {

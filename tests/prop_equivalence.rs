@@ -6,7 +6,8 @@
 //! Formerly written with `proptest`; rewritten as deterministic fixed-seed
 //! sweeps so the workspace builds without registry access.
 
-use omplt::{run_matrix, run_source_with, Options};
+use omplt::interp::RuntimeSchedule;
+use omplt::{run_matrix, run_source_with, OpenMpCodegenMode, Options};
 
 const PROTO: &str = "void print_i64(long v);\n";
 
@@ -168,6 +169,79 @@ fn workshared_sum_equivalent_for_random_threads() {
             format!("{serial}\n"),
             "n {n} threads {threads} factor {factor}"
         );
+    }
+}
+
+/// The full worksharing matrix (ISSUE: schedule kinds × loop transformations
+/// × team sizes): every schedule in both representations, optimized and not,
+/// must execute exactly the sequential multiset of iterations. `runtime` is
+/// pinned through [`Options::runtime_schedule`] rather than `OMP_SCHEDULE`
+/// so concurrently running tests cannot race on the environment.
+#[test]
+fn schedule_transform_thread_matrix_multiset_equivalent() {
+    const SCHEDULES: [&str; 6] = [
+        "schedule(static)",
+        "schedule(static, 3)",
+        "schedule(dynamic)",
+        "schedule(dynamic, 2)",
+        "schedule(guided)",
+        "schedule(runtime)",
+    ];
+    const TRANSFORMS: [&str; 4] = ["none", "unroll", "tile", "collapse"];
+    const MODES: [OpenMpCodegenMode; 2] =
+        [OpenMpCodegenMode::Classic, OpenMpCodegenMode::IrBuilder];
+    let n = 23i64;
+    for sched in SCHEDULES {
+        for transform in TRANSFORMS {
+            let (src, mut want): (String, Vec<i64>) = match transform {
+                "collapse" => (
+                    format!(
+                        "{PROTO}int main(void) {{\n  #pragma omp parallel for {sched} collapse(2)\n  for (int i = 0; i < 5; i += 1)\n    for (int j = 0; j < 5; j += 1)\n      print_i64(i * 100 + j);\n  return 0;\n}}\n"
+                    ),
+                    (0..5).flat_map(|i| (0..5).map(move |j| i * 100 + j)).collect(),
+                ),
+                _ => {
+                    let extra = match transform {
+                        "none" => String::new(),
+                        "unroll" => "  #pragma omp unroll partial(2)\n".into(),
+                        "tile" => "  #pragma omp tile sizes(4)\n".into(),
+                        _ => unreachable!(),
+                    };
+                    (
+                        format!(
+                            "{PROTO}int main(void) {{\n  #pragma omp parallel for {sched}\n{extra}  for (int i = 0; i < {n}; i += 1)\n    print_i64(i);\n  return 0;\n}}\n"
+                        ),
+                        (0..n).collect(),
+                    )
+                }
+            };
+            want.sort_unstable();
+            for threads in [1u32, 2, 4, 7] {
+                for mode in MODES {
+                    for opt in [false, true] {
+                        let r = run_source_with(
+                            &src,
+                            Options {
+                                codegen_mode: mode,
+                                num_threads: threads,
+                                runtime_schedule: Some(
+                                    RuntimeSchedule::parse("dynamic,3").unwrap(),
+                                ),
+                                ..Options::default()
+                            },
+                            opt,
+                        );
+                        let mut got: Vec<i64> =
+                            r.stdout.lines().map(|l| l.parse().unwrap()).collect();
+                        got.sort_unstable();
+                        assert_eq!(
+                            got, want,
+                            "{sched} + {transform} diverged (mode {mode:?}, {threads} threads, opt {opt})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -219,3 +219,66 @@ fn nested_parallel_regions() {
         assert_eq!(r.stdout, "4\n", "mode {mode:?}");
     }
 }
+
+#[test]
+fn dispatch_schedules_cover_every_iteration_exactly_once() {
+    // The dispatch protocol (`__kmpc_dispatch_*`) must claim each iteration
+    // exactly once for any (schedule, team, trip) — including trips smaller
+    // than the team and trips not divisible by the chunk.
+    for mode in MODES {
+        for sched in [
+            " schedule(dynamic)",
+            " schedule(dynamic, 3)",
+            " schedule(guided)",
+            " schedule(guided, 2)",
+        ] {
+            for threads in [1u32, 2, 4, 7] {
+                for n in [1usize, 5, 16, 61] {
+                    let flags = coverage_kernel(n, threads, mode, sched);
+                    assert_eq!(flags.len(), n);
+                    for (i, &f) in flags.iter().enumerate() {
+                        assert!(
+                            f >= 1 && f <= threads as i64,
+                            "iteration {i} ran {f} times-ish (mode {mode:?},{sched}, {threads} threads, n={n})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn barrier_orders_back_to_back_worksharing_loops() {
+    // Regression test for the implicit end-of-construct barrier: the second
+    // loop reads `a[]` in *reverse*, so almost every read crosses thread
+    // boundaries. Without the `__kmpc_barrier` between the loops, a thread
+    // that reaches loop 2 early reads a slot another thread has not yet
+    // written (dynamic scheduling makes the overlap window wide).
+    for mode in MODES {
+        for sched in ["", " schedule(dynamic, 1)", " schedule(guided)"] {
+            for _round in 0..8 {
+                let src = format!(
+                    "{PROTO}long a[32];\nlong b[32];\nint main(void) {{\n  #pragma omp parallel num_threads(4)\n  {{\n    #pragma omp for{sched}\n    for (int i = 0; i < 32; i += 1)\n      a[i] = i + 1;\n    #pragma omp for{sched}\n    for (int i = 0; i < 32; i += 1)\n      b[i] = a[31 - i];\n  }}\n  for (int i = 0; i < 32; i += 1)\n    print_i64(b[i]);\n  return 0;\n}}\n"
+                );
+                let r = run_source_with(&src, opts(mode, 4), false);
+                let got: Vec<i64> = r.stdout.lines().map(|l| l.parse().unwrap()).collect();
+                let want: Vec<i64> = (0..32).map(|i| 32 - i).collect();
+                assert_eq!(got, want, "mode {mode:?}, sched '{sched}'");
+            }
+        }
+    }
+}
+
+#[test]
+fn nowait_worksharing_loop_still_correct() {
+    // `nowait` elides the end-of-construct barrier; with independent loops
+    // the result must be unchanged.
+    for mode in MODES {
+        let src = format!(
+            "{PROTO}long a[16];\nlong b[16];\nint main(void) {{\n  #pragma omp parallel num_threads(4)\n  {{\n    #pragma omp for nowait\n    for (int i = 0; i < 16; i += 1)\n      a[i] = i;\n    #pragma omp for\n    for (int i = 0; i < 16; i += 1)\n      b[i] = 10 * i;\n  }}\n  long sum = 0;\n  for (int i = 0; i < 16; i += 1)\n    sum = sum + a[i] + b[i];\n  print_i64(sum);\n  return 0;\n}}\n"
+        );
+        let r = run_source_with(&src, opts(mode, 4), false);
+        assert_eq!(r.stdout, "1320\n", "mode {mode:?}");
+    }
+}
