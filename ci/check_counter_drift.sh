@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Counter-drift guard for experiment C1: the shadow-AST node counts the
+# pipeline reports through `ompltc --counters-json` (23-node classic helper
+# bundle vs 3 canonical meta items) must not change silently. CI runs this
+# against every example in the corpus; a legitimate representation change
+# must update ci/expected-counters/ in the same commit, with the PR
+# explaining why the counts moved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ompltc=${OMPLTC:-target/release/ompltc}
+if [ ! -x "$ompltc" ]; then
+  echo "error: $ompltc not built (run 'cargo build --release' first)" >&2
+  exit 2
+fi
+
+status=0
+for src in examples/c/*.c; do
+  base=$(basename "$src" .c)
+  for mode in classic irbuilder; do
+    flags=(--counters-json --syntax-only)
+    if [ "$mode" = irbuilder ]; then
+      flags+=(--enable-irbuilder)
+    fi
+    expected="ci/expected-counters/$base.$mode.txt"
+    got=$("$ompltc" "${flags[@]}" "$src" 2>/dev/null \
+      | grep -o '"sema\.[^"]*":[0-9]*' | sort)
+    if [ ! -f "$expected" ]; then
+      echo "missing $expected; expected contents:" >&2
+      printf '%s\n' "$got" >&2
+      status=1
+    elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
+      echo "counter drift in $src ($mode): update $expected if intentional" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" = 0 ]; then
+  echo "shadow-AST node counters match ci/expected-counters/"
+fi
+exit $status

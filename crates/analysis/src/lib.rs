@@ -50,8 +50,14 @@ impl AnalysisReport {
 pub fn run_analyses(tu: &TranslationUnit, diags: &DiagnosticsEngine) -> AnalysisReport {
     let count = |lvl: Level| diags.all().iter().filter(|d| d.level == lvl).count();
     let (errors0, warnings0) = (count(Level::Error), count(Level::Warning));
-    legality::check_translation_unit(tu, diags);
-    race::check_translation_unit(tu, diags);
+    {
+        let _span = omplt_trace::span_detail("analysis.pass", "legality");
+        legality::check_translation_unit(tu, diags);
+    }
+    {
+        let _span = omplt_trace::span_detail("analysis.pass", "race");
+        race::check_translation_unit(tu, diags);
+    }
     AnalysisReport {
         errors: count(Level::Error) - errors0,
         warnings: count(Level::Warning) - warnings0,

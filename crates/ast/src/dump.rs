@@ -80,6 +80,7 @@ pub fn dump_expr(e: &P<Expr>, opts: DumpOptions) -> String {
 
 /// Dumps a whole translation unit.
 pub fn dump_translation_unit(tu: &TranslationUnit, opts: DumpOptions) -> String {
+    let _span = omplt_trace::span("ast.dump");
     let mut children = Vec::new();
     for d in &tu.decls {
         children.push(decl_node(d, opts));

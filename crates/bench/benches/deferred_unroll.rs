@@ -6,7 +6,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omplt::{CompilerInstance, Options};
-use omplt_ast::StmtKind;
 
 fn src(factor: u64) -> String {
     format!(
@@ -14,18 +13,14 @@ fn src(factor: u64) -> String {
     )
 }
 
-fn shadow_nodes(factor: u64) -> usize {
-    let mut ci = CompilerInstance::new(Options::default());
-    let tu = ci.parse_source("d.c", &src(factor)).expect("parse");
-    let f = tu.function("kernel").unwrap();
-    let body = f.body.borrow();
-    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
-        panic!()
-    };
-    let StmtKind::OMP(d) = &stmts[0].kind else {
-        panic!()
-    };
-    omplt_ast::stats::directive_shadow_count(d)
+/// Shadow-AST size for one factor, read from the `sema.shadow.*` counters
+/// the pipeline bumps while building the representation — the same numbers
+/// `ompltc --counters-json` reports.
+fn shadow_nodes(factor: u64) -> u64 {
+    let counters = omplt_bench::pipeline_counters(&src(factor), omplt::OpenMpCodegenMode::Classic);
+    *counters
+        .get("sema.shadow.transformed_nodes")
+        .expect("Sema must count the transformed subtree")
 }
 
 fn bench_deferred(c: &mut Criterion) {

@@ -17,6 +17,27 @@ fn nest_source(depth: usize) -> String {
 }
 
 fn bench_representations(c: &mut Criterion) {
+    // The structural half of B1, asserted before timing and sourced from
+    // the pipeline's own counters (no test-side AST walking): the classic
+    // helper bundle starts at 23 nodes and grows by 6 per collapsed loop,
+    // while the canonical path stays at 3 meta items per directive at
+    // every depth.
+    for depth in [1usize, 2, 3] {
+        let src = nest_source(depth);
+        let classic = omplt_bench::pipeline_counters(&src, OpenMpCodegenMode::Classic);
+        assert_eq!(
+            classic.get("sema.shadow.helper_nodes").copied(),
+            Some(23 + 6 * (depth as u64 - 1)),
+            "helper-bundle node count at collapse depth {depth}"
+        );
+        let irb = omplt_bench::pipeline_counters(&src, OpenMpCodegenMode::IrBuilder);
+        assert_eq!(
+            irb.get("sema.canonical.meta_items").copied(),
+            Some(3),
+            "canonical meta items at collapse depth {depth}"
+        );
+    }
+
     let mut g = c.benchmark_group("representation_cost");
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(200));

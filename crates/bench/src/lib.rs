@@ -27,6 +27,24 @@ pub fn nest_source(depth: usize, trip: u64, pragma: &str) -> String {
     s
 }
 
+/// Compiles `src` under `mode` inside a fresh trace session and returns the
+/// named counters the pipeline bumped. This is the instrumentation-sourced
+/// ground truth the B1/B2 node-count claims read from — no test-side AST
+/// walking.
+pub fn pipeline_counters(
+    src: &str,
+    mode: omplt::OpenMpCodegenMode,
+) -> std::collections::BTreeMap<String, u64> {
+    let session = omplt_trace::Session::begin();
+    let mut ci = omplt::CompilerInstance::new(omplt::Options {
+        codegen_mode: mode,
+        ..omplt::Options::default()
+    });
+    let tu = ci.parse_source("bench.c", src).expect("parse");
+    ci.codegen(&tu).expect("codegen");
+    session.finish().counters
+}
+
 /// Generates a saxpy-style workshared kernel over `n` elements.
 pub fn saxpy_source(n: u64, pragma: &str) -> String {
     format!(

@@ -29,6 +29,13 @@ pub fn codegen_translation_unit(
     opts: CodegenOptions,
     diags: &DiagnosticsEngine,
 ) -> CodegenResult {
+    let _span = omplt_trace::span_detail(
+        "codegen",
+        match opts.mode {
+            OpenMpCodegenMode::Classic => "classic",
+            OpenMpCodegenMode::IrBuilder => "irbuilder",
+        },
+    );
     let mut module = Module::new();
     let mut globals: HashMap<DeclId, SymbolId> = HashMap::new();
     // Globals first (zero-initialized; constant initializers applied).

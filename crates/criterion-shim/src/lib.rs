@@ -1,7 +1,8 @@
-//! A dependency-free stand-in for the subset of the `criterion` API used by
-//! `crates/bench`. The real crate lives on crates.io; this workspace must
-//! build and bench with **no registry access**, so the benches depend on this
-//! shim through a Cargo rename (`criterion = { package = "omplt-criterion-shim" }`).
+//! A registry-free stand-in for the subset of the `criterion` API used by
+//! `crates/bench` (its only dependency is the workspace-local `omplt-trace`).
+//! The real crate lives on crates.io; this workspace must build and bench
+//! with **no registry access**, so the benches depend on this shim through a
+//! Cargo rename (`criterion = { package = "omplt-criterion-shim" }`).
 //!
 //! The statistics are intentionally simple — per-sample wall-clock timing via
 //! `std::time::Instant`, reported as min/median/max — but the programming
@@ -159,6 +160,12 @@ fn report(group: &str, id: &BenchmarkId, samples: &mut [Duration]) {
     } else {
         format!("{group}/{}", id.id)
     };
+    // When a trace session is active (a bench harness wrapping itself in
+    // `omplt_trace::Session`), record the sample count so counter-driven
+    // experiment rows can cross-check bench coverage.
+    if omplt_trace::active() {
+        omplt_trace::count(&format!("bench.samples.{name}"), samples.len() as u64);
+    }
     if samples.is_empty() {
         println!("{name:<48} (no samples)");
         return;

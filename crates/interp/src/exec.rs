@@ -141,6 +141,7 @@ impl<'m> Interpreter<'m> {
 
     /// Runs `main` and collects results.
     pub fn run_main(&self) -> Result<RunResult, ExecError> {
+        let _span = omplt_trace::span("interp.run");
         let ctx = ThreadCtx::initial();
         let ret = self.call_by_name("main", vec![], &ctx)?;
         Ok(RunResult {

@@ -41,31 +41,74 @@ pub struct RuntimeSchedule {
 
 impl RuntimeSchedule {
     /// Parses an `OMP_SCHEDULE` value: `kind[,chunk]`.
-    pub fn parse(s: &str) -> Option<RuntimeSchedule> {
+    ///
+    /// Malformed values (`fifo,2`, `dynamic,abc`, `dynamic,0`, `guided,-4`)
+    /// are rejected with a message suitable for a driver warning. Sema
+    /// already enforces positive chunks for compile-time `schedule` clauses
+    /// (OpenMP 5.1 §11.5.3); the runtime-resolved schedule must hold itself
+    /// to the same rule instead of silently absorbing garbage into the
+    /// balanced-static default.
+    pub fn parse(s: &str) -> Result<RuntimeSchedule, String> {
         let mut parts = s.splitn(2, ',');
-        let kind = match parts.next()?.trim().to_ascii_lowercase().as_str() {
+        let kind_text = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        let kind = match kind_text.as_str() {
             "static" | "auto" => DispatchKind::Static,
             "dynamic" => DispatchKind::Dynamic,
             "guided" => DispatchKind::Guided,
-            _ => return None,
+            "" => return Err("missing schedule kind".to_string()),
+            other => return Err(format!("unknown schedule kind '{other}'")),
         };
-        let chunk = parts
-            .next()
-            .and_then(|c| c.trim().parse::<i64>().ok())
-            .unwrap_or(0);
-        Some(RuntimeSchedule { kind, chunk })
+        let chunk = match parts.next() {
+            None => 0,
+            Some(c) => {
+                let c = c.trim();
+                match c.parse::<i64>() {
+                    Ok(v) if v >= 1 => v,
+                    Ok(v) => return Err(format!("chunk size must be positive, got {v}")),
+                    Err(_) => return Err(format!("invalid chunk size '{c}'")),
+                }
+            }
+        };
+        Ok(RuntimeSchedule { kind, chunk })
+    }
+
+    /// The balanced-static default — what libomp uses when `OMP_SCHEDULE`
+    /// is unset.
+    pub fn default_static() -> RuntimeSchedule {
+        RuntimeSchedule {
+            kind: DispatchKind::Static,
+            chunk: 0,
+        }
+    }
+
+    /// Resolves an optional `OMP_SCHEDULE` value to a schedule plus an
+    /// optional warning. A malformed value falls back to
+    /// [`RuntimeSchedule::default_static`] *explicitly*: the warning message
+    /// names the rejected value and the reason so the driver can surface it
+    /// as a diagnostic instead of the old silent swallow.
+    pub fn resolve(env: Option<&str>) -> (RuntimeSchedule, Option<String>) {
+        match env {
+            None => (Self::default_static(), None),
+            Some(s) => match Self::parse(s) {
+                Ok(rs) => (rs, None),
+                Err(why) => (
+                    Self::default_static(),
+                    Some(format!(
+                        "ignoring malformed OMP_SCHEDULE value '{s}' ({why}); \
+                         falling back to balanced static schedule"
+                    )),
+                ),
+            },
+        }
     }
 
     /// Reads `OMP_SCHEDULE`; falls back to balanced static chunks (the
-    /// libomp default for an unset variable).
+    /// libomp default for an unset variable). The fallback is silent here —
+    /// drivers should resolve the variable up front via
+    /// [`RuntimeSchedule::resolve`] so the user sees the warning.
     pub fn from_env() -> RuntimeSchedule {
-        std::env::var("OMP_SCHEDULE")
-            .ok()
-            .and_then(|s| RuntimeSchedule::parse(&s))
-            .unwrap_or(RuntimeSchedule {
-                kind: DispatchKind::Static,
-                chunk: 0,
-            })
+        let var = std::env::var("OMP_SCHEDULE").ok();
+        Self::resolve(var.as_deref()).0
     }
 }
 
@@ -264,6 +307,7 @@ pub fn dispatch(
             Ok(None)
         }
         "__kmpc_barrier" => {
+            omplt_trace::count("interp.barrier.waits", 1);
             ctx.team.barrier_wait();
             Ok(None)
         }
@@ -342,13 +386,18 @@ fn fork_call(
     // is atomic, output is mutexed), so scoped threads can share it.
     let state = TeamState::new(team, true);
     let mut first_err: Option<ExecError> = None;
+    // Team members inherit the forking thread's trace session (if any), so
+    // runtime counters and spans from worker threads land in the same trace.
+    let trace = omplt_trace::handle();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..team)
             .map(|tid| {
                 let name = name.clone();
                 let caps = caps.clone();
                 let state = Arc::clone(&state);
+                let trace = trace.clone();
                 s.spawn(move || {
+                    let _trace = trace.as_ref().map(omplt_trace::Handle::attach);
                     let child = ThreadCtx::team_member(tid, team, state);
                     let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
                     a.extend(caps);
@@ -396,34 +445,69 @@ fn for_static_init(
     let mem = |e: crate::memory::MemError| ExecError::Mem(e.what);
     let lb = it.mem.load(plb, 8).map_err(mem)? as i64;
     let ub = it.mem.load(pub_, 8).map_err(mem)? as i64;
-    let tid = ctx.gtid as i64;
-    let team = ctx.team_size as i64;
-    let trip = ub - lb + 1; // may be ≤ 0 for empty loops
+    let tid = ctx.gtid as i128;
+    let team = ctx.team_size as i128;
+    // All bound arithmetic runs in i128: near `i64::MAX`, `my_lb + chunk - 1`
+    // overflows i64 and wraps to a huge negative upper bound (or, on the
+    // unchunked path, loses the thread's final iterations through the
+    // post-wrap `.min(ub)`). The 8-byte `__kmpc` protocol itself cannot
+    // express values outside i64, so results saturate on the way out.
+    let lb128 = lb as i128;
+    let ub128 = ub as i128;
+    let trip = ub128 - lb128 + 1; // exact; may be ≤ 0 for empty loops
+    let sat = |v: i128| -> i64 { v.clamp(i64::MIN as i128, i64::MAX as i128) as i64 };
+    // Encodes an empty per-thread range as `my_ub < my_lb` without wrapping:
+    // an anchor of `i64::MIN` must not produce `my_ub == i64::MAX`.
+    let empty = |anchor: i64| -> (i64, i64) {
+        if anchor > i64::MIN {
+            (anchor, anchor - 1)
+        } else {
+            (anchor + 1, anchor)
+        }
+    };
 
     let (my_lb, my_ub, stride, is_last) = if trip <= 0 {
-        (lb, lb - 1, 1, false)
+        let (l, u) = empty(lb);
+        (l, u, 1, false)
     } else {
         match sched {
             SCHED_STATIC_CHUNKED => {
-                let my_lb = lb + tid * chunk;
-                let my_ub = my_lb + chunk - 1;
-                let stride = chunk * team;
+                let chunk128 = chunk as i128;
+                let my_lb = lb128 + tid * chunk128;
+                let stride = sat(chunk128 * team);
                 // last chunk owner: thread holding the final iteration's chunk
-                let last_owner = ((trip - 1) / chunk) % team;
-                (my_lb, my_ub, stride, tid == last_owner)
+                let last_owner = ((trip - 1) / chunk128) % team;
+                if my_lb > ub128 {
+                    let (l, u) = empty(sat(my_lb));
+                    (l, u, stride, false)
+                } else {
+                    // Clamp against the loop bound. Only a thread's *final*
+                    // chunk can be partial, so clamping the first chunk here
+                    // never interferes with the generated chunk loop's
+                    // per-round re-clamp (`ub = min(ub, last)`).
+                    let my_ub = (my_lb + chunk128 - 1).min(ub128);
+                    (sat(my_lb), sat(my_ub), stride, tid == last_owner)
+                }
             }
             _ => {
                 // SCHED_STATIC (34): one contiguous span per thread,
                 // ceil-divided, exactly like libomp's static_balanced-greedy.
                 let per = (trip + team - 1) / team;
-                let my_lb = lb + tid * per;
-                let my_ub = (my_lb + per - 1).min(ub);
-                let is_last = my_lb <= ub && my_ub == ub;
-                (my_lb, my_ub.max(my_lb - 1), trip, is_last)
+                let my_lb = lb128 + tid * per;
+                if my_lb > ub128 {
+                    let (l, u) = empty(sat(my_lb));
+                    (l, u, sat(trip), false)
+                } else {
+                    let my_ub = (my_lb + per - 1).min(ub128);
+                    (sat(my_lb), sat(my_ub), sat(trip), my_ub == ub128)
+                }
             }
         }
     };
 
+    if omplt_trace::active() {
+        omplt_trace::count(&format!("interp.chunks.static.t{}", ctx.gtid), 1);
+    }
     it.mem.store(plb, 8, my_lb as u64).map_err(mem)?;
     it.mem.store(pub_, 8, my_ub as u64).map_err(mem)?;
     it.mem.store(pstride, 8, stride as u64).map_err(mem)?;
@@ -509,6 +593,14 @@ fn dispatch_next(
         .ok_or_else(|| ExecError::Malformed("dispatch_next without dispatch_init".to_string()))?;
     match dl.grab() {
         Some((lo, hi, last)) => {
+            if omplt_trace::active() {
+                let kind = match dl.kind {
+                    DispatchKind::Static => "static",
+                    DispatchKind::Dynamic => "dynamic",
+                    DispatchKind::Guided => "guided",
+                };
+                omplt_trace::count(&format!("interp.chunks.{kind}.t{}", ctx.gtid), 1);
+            }
             let mem = |e: crate::memory::MemError| ExecError::Mem(e.what);
             it.mem.store(plb, 8, lo as u64).map_err(mem)?;
             it.mem.store(pub_, 8, hi as u64).map_err(mem)?;
@@ -696,6 +788,122 @@ mod tests {
                 for chunk in [1i64, 2, 5] {
                     let parts = partition(SCHED_STATIC_CHUNKED, trip, team, chunk);
                     assert_partition_laws(&parts, trip);
+                }
+            }
+        }
+    }
+
+    /// Drives `for_static_init` with raw (possibly extreme) bounds; returns
+    /// each thread's stored `(my_lb, my_ub, stride)`.
+    fn static_init_raw(
+        sched: i64,
+        lb: i64,
+        ub: i64,
+        team: u32,
+        chunk: i64,
+    ) -> Vec<(i64, i64, i64)> {
+        let m = Module::new();
+        let it = Interpreter::new(&m, RuntimeConfig::default());
+        let state = TeamState::new(team, false);
+        let mut out = Vec::new();
+        for tid in 0..team {
+            let ctx = ThreadCtx::team_member(tid, team, Arc::clone(&state));
+            let plast = it.mem.alloc(4);
+            let plb = it.mem.alloc(8);
+            let pub_ = it.mem.alloc(8);
+            let pstride = it.mem.alloc(8);
+            it.mem.store(plb, 8, lb as u64).unwrap();
+            it.mem.store(pub_, 8, ub as u64).unwrap();
+            it.mem.store(pstride, 8, 1).unwrap();
+            dispatch(
+                &it,
+                "__kmpc_for_static_init",
+                vec![
+                    RtVal::I(tid as i64),
+                    RtVal::I(sched),
+                    RtVal::P(plast),
+                    RtVal::P(plb),
+                    RtVal::P(pub_),
+                    RtVal::P(pstride),
+                    RtVal::I(1),
+                    RtVal::I(chunk),
+                ],
+                &ctx,
+            )
+            .unwrap();
+            out.push((
+                it.mem.load(plb, 8).unwrap() as i64,
+                it.mem.load(pub_, 8).unwrap() as i64,
+                it.mem.load(pstride, 8).unwrap() as i64,
+            ));
+        }
+        out
+    }
+
+    /// Regression (adversarial bounds): with the span ending one below
+    /// `i64::MAX`, the last thread's `my_lb + per - 1` used to wrap past
+    /// `i64::MAX`, and the post-wrap `.min(ub)` silently *dropped* that
+    /// thread's iterations.
+    #[test]
+    fn static_init_near_i64_max_does_not_wrap() {
+        let ub = i64::MAX - 1;
+        let lb = ub - 9; // 10 iterations, team of 4 → per = 3
+        let parts = static_init_raw(SCHED_STATIC, lb, ub, 4, 0);
+        let mut spans = Vec::new();
+        for (tid, &(my_lb, my_ub, _)) in parts.iter().enumerate() {
+            if my_lb <= my_ub {
+                assert!(
+                    my_lb >= lb && my_ub <= ub,
+                    "thread {tid} range [{my_lb}, {my_ub}] escapes [{lb}, {ub}]"
+                );
+                spans.push((my_lb, my_ub));
+            }
+        }
+        spans.sort_unstable();
+        let mut next = lb;
+        for (l, u) in spans {
+            assert_eq!(l, next, "gap or overlap at {next}");
+            next = u + 1;
+        }
+        assert_eq!(next, ub + 1, "iterations near i64::MAX lost");
+    }
+
+    /// Regression (adversarial bounds, chunked): the final partial chunk's
+    /// `my_lb + chunk - 1` used to wrap to a huge negative upper bound
+    /// instead of clamping to `ub`.
+    #[test]
+    fn static_chunked_near_i64_max_clamps_upper_bound() {
+        let ub = i64::MAX - 1;
+        let lb = ub - 9; // 10 iterations, chunk 3, team 4
+        let parts = static_init_raw(SCHED_STATIC_CHUNKED, lb, ub, 4, 3);
+        for (tid, &(my_lb, my_ub, stride)) in parts.iter().enumerate() {
+            assert!(stride > 0, "thread {tid} stride {stride}");
+            if my_lb <= my_ub {
+                assert!(
+                    my_lb >= lb && my_ub <= ub,
+                    "thread {tid} chunk [{my_lb}, {my_ub}] escapes [{lb}, {ub}]"
+                );
+            }
+        }
+        // Thread 3 owns exactly the final, partial chunk [lb+9, ub].
+        assert_eq!(
+            (parts[3].0, parts[3].1),
+            (lb + 9, ub),
+            "final partial chunk must clamp to ub"
+        );
+    }
+
+    /// Empty loops keep the `my_ub < my_lb` encoding under extreme anchors
+    /// (no wrap to `i64::MAX`).
+    #[test]
+    fn static_init_empty_trip_is_empty_for_every_thread() {
+        for sched in [SCHED_STATIC, SCHED_STATIC_CHUNKED] {
+            for (lb, ub) in [(5i64, 4i64), (i64::MAX, i64::MIN), (0, -1)] {
+                for &(my_lb, my_ub, _) in &static_init_raw(sched, lb, ub, 4, 2) {
+                    assert!(
+                        my_ub < my_lb,
+                        "sched {sched} [{lb}, {ub}] produced non-empty [{my_lb}, {my_ub}]"
+                    );
                 }
             }
         }
@@ -923,34 +1131,89 @@ mod tests {
     fn omp_schedule_parsing() {
         assert_eq!(
             RuntimeSchedule::parse("dynamic,4"),
-            Some(RuntimeSchedule {
+            Ok(RuntimeSchedule {
                 kind: DispatchKind::Dynamic,
                 chunk: 4
             })
         );
         assert_eq!(
             RuntimeSchedule::parse("  GUIDED , 8 "),
-            Some(RuntimeSchedule {
+            Ok(RuntimeSchedule {
                 kind: DispatchKind::Guided,
                 chunk: 8
             })
         );
         assert_eq!(
             RuntimeSchedule::parse("static"),
-            Some(RuntimeSchedule {
+            Ok(RuntimeSchedule {
                 kind: DispatchKind::Static,
                 chunk: 0
             })
         );
         assert_eq!(
             RuntimeSchedule::parse("auto"),
-            Some(RuntimeSchedule {
+            Ok(RuntimeSchedule {
                 kind: DispatchKind::Static,
                 chunk: 0
             })
         );
-        assert_eq!(RuntimeSchedule::parse("fifo,2"), None);
-        assert_eq!(RuntimeSchedule::parse(""), None);
+        assert!(RuntimeSchedule::parse("fifo,2").is_err());
+        assert!(RuntimeSchedule::parse("").is_err());
+    }
+
+    /// Regression: these malformed values were silently absorbed into the
+    /// balanced-static default before the `parse` API returned `Result`.
+    #[test]
+    fn omp_schedule_rejects_malformed_values_with_reasons() {
+        let err = |s: &str| RuntimeSchedule::parse(s).unwrap_err();
+        assert!(
+            err("dynamic,0").contains("must be positive"),
+            "{}",
+            err("dynamic,0")
+        );
+        assert!(
+            err("guided,-4").contains("must be positive"),
+            "{}",
+            err("guided,-4")
+        );
+        assert!(
+            err("dynamic,abc").contains("invalid chunk size"),
+            "{}",
+            err("dynamic,abc")
+        );
+        assert!(
+            err("fifo,2").contains("unknown schedule kind"),
+            "{}",
+            err("fifo,2")
+        );
+        assert!(err("").contains("missing schedule kind"), "{}", err(""));
+        assert!(err(",4").contains("missing schedule kind"), "{}", err(",4"));
+    }
+
+    #[test]
+    fn omp_schedule_resolve_warns_and_falls_back_explicitly() {
+        // Unset: the libomp default, no warning.
+        assert_eq!(
+            RuntimeSchedule::resolve(None),
+            (RuntimeSchedule::default_static(), None)
+        );
+        // Well-formed: no warning.
+        let (rs, warn) = RuntimeSchedule::resolve(Some("guided,2"));
+        assert_eq!(
+            rs,
+            RuntimeSchedule {
+                kind: DispatchKind::Guided,
+                chunk: 2
+            }
+        );
+        assert_eq!(warn, None);
+        // Malformed: explicit fallback plus a warning naming the value.
+        let (rs, warn) = RuntimeSchedule::resolve(Some("dynamic,0"));
+        assert_eq!(rs, RuntimeSchedule::default_static());
+        let warn = warn.expect("malformed OMP_SCHEDULE must warn");
+        assert!(warn.contains("OMP_SCHEDULE"), "{warn}");
+        assert!(warn.contains("'dynamic,0'"), "{warn}");
+        assert!(warn.contains("balanced static"), "{warn}");
     }
 
     #[test]

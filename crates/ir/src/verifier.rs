@@ -20,6 +20,7 @@ impl std::fmt::Display for VerifyError {
 
 /// Verifies one function; returns all problems found.
 pub fn verify_function(f: &Function) -> Vec<VerifyError> {
+    omplt_trace::count("ir.verify.functions", 1);
     let mut errs = Vec::new();
     let nblocks = f.blocks.len() as u32;
     let ninsts = f.insts.len() as u32;
@@ -152,6 +153,7 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
 /// Verifies every function in `m`, prefixing each error with the function
 /// name so module-level reports stay attributable.
 pub fn verify_module(m: &crate::module::Module) -> Vec<VerifyError> {
+    let _span = omplt_trace::span("ir.verify");
     let mut errs = Vec::new();
     for f in &m.functions {
         for e in verify_function(f) {

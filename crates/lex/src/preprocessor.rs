@@ -149,12 +149,14 @@ impl<'a> Preprocessor<'a> {
     /// Collects every remaining token including the final `Eof` — the
     /// convenience entry point used by the parser and tests.
     pub fn tokenize_all(&mut self) -> Vec<Token> {
+        let _span = omplt_trace::span("lex.tokenize");
         let mut out = Vec::new();
         loop {
             let t = self.next_token();
             let eof = matches!(t.kind, TokenKind::Eof);
             out.push(t);
             if eof {
+                omplt_trace::count("lex.tokens", out.len() as u64);
                 return out;
             }
         }

@@ -61,22 +61,28 @@ impl PassManager {
     /// Runs the pipeline on one function.
     pub fn run_on_function(&mut self, f: &mut Function) {
         for p in &self.passes {
-            match p {
-                Pass::SimplifyCfg => {
-                    simplify_cfg(f);
-                }
-                Pass::ConstFold => {
-                    constant_fold(f);
-                }
-                Pass::LoopUnroll => {
-                    let s = loop_unroll(f);
-                    self.unroll_stats.full += s.full;
-                    self.unroll_stats.partial += s.partial;
-                    self.unroll_stats.declined += s.declined;
-                    self.unroll_stats.skipped += s.skipped;
+            {
+                let _span = omplt_trace::span_detail("midend.pass", p.name());
+                omplt_trace::count(&format!("midend.pass.{}.runs", p.name()), 1);
+                match p {
+                    Pass::SimplifyCfg => {
+                        simplify_cfg(f);
+                    }
+                    Pass::ConstFold => {
+                        constant_fold(f);
+                    }
+                    Pass::LoopUnroll => {
+                        let s = loop_unroll(f);
+                        self.unroll_stats.full += s.full;
+                        self.unroll_stats.partial += s.partial;
+                        self.unroll_stats.declined += s.declined;
+                        self.unroll_stats.skipped += s.skipped;
+                    }
                 }
             }
             if self.verify_each {
+                let _span = omplt_trace::span_detail("midend.verify-each", p.name());
+                omplt_trace::count("midend.verify_each.checks", 1);
                 for e in verify_function_full(f) {
                     self.verify_errors.push(VerifyError(format!(
                         "after {} on @{}: {}",

@@ -14,6 +14,7 @@ use omplt_ir::{IrBuilder, IrType, Terminator, Value};
 /// induction variables are recovered inside the body via division/remainder
 /// chains, exactly as the OpenMP runtime numbers logical iterations.
 pub fn collapse_loops(b: &mut IrBuilder<'_>, loops: &[CanonicalLoopInfo]) -> CanonicalLoopInfo {
+    omplt_trace::count("ompirb.collapse", 1);
     let n = loops.len();
     assert!(n >= 1, "collapse_loops requires at least one loop");
     if n == 1 {

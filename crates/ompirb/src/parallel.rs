@@ -28,6 +28,7 @@ pub fn create_parallel(
     capture_ptrs: Vec<Value>,
     num_threads: Option<Value>,
 ) {
+    omplt_trace::count("ompirb.parallel", 1);
     assert_eq!(
         outlined.num_captures,
         capture_ptrs.len(),

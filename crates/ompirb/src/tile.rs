@@ -29,6 +29,7 @@ pub fn tile_loops(
     loops: &[CanonicalLoopInfo],
     sizes: &[Value],
 ) -> Vec<CanonicalLoopInfo> {
+    omplt_trace::count("ompirb.tile", 1);
     let n = loops.len();
     assert!(n >= 1, "tile_loops requires at least one loop");
     assert_eq!(n, sizes.len(), "one tile size per loop");

@@ -22,6 +22,7 @@ use omplt_ir::{IrBuilder, UnrollHint, Value};
 
 /// Fully unrolls `cli` (deferred to the mid-end pass via metadata).
 pub fn unroll_loop_full(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo) {
+    omplt_trace::count("ompirb.unroll", 1);
     let mut md = cli.metadata(b.func()).unwrap_or_default();
     md.unroll = Some(UnrollHint::Full);
     cli.set_metadata(b.func_mut(), md);
@@ -29,6 +30,7 @@ pub fn unroll_loop_full(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo) {
 
 /// Lets the mid-end decide whether/how much to unroll.
 pub fn unroll_loop_heuristic(b: &mut IrBuilder<'_>, cli: &CanonicalLoopInfo) {
+    omplt_trace::count("ompirb.unroll", 1);
     let mut md = cli.metadata(b.func()).unwrap_or_default();
     md.unroll = Some(UnrollHint::Enable);
     cli.set_metadata(b.func_mut(), md);
@@ -45,6 +47,7 @@ pub fn unroll_loop_partial(
     factor: u64,
     need_unrolled_cli: bool,
 ) -> Option<CanonicalLoopInfo> {
+    omplt_trace::count("ompirb.unroll", 1);
     assert!(factor >= 1, "unroll factor must be positive");
     if !need_unrolled_cli {
         let mut md = cli.metadata(b.func()).unwrap_or_default();

@@ -48,6 +48,7 @@ pub fn create_static_workshare_loop(
     cli: &mut CanonicalLoopInfo,
     scheme: WorksharingScheme,
 ) -> BlockId {
+    omplt_trace::count("ompirb.workshare.static", 1);
     let gtid_fn = m.declare_extern("__kmpc_global_thread_num", vec![], IrType::I32);
     let init_fn = m.declare_extern(
         "__kmpc_for_static_init",
@@ -381,6 +382,7 @@ pub fn create_dynamic_workshare_loop(
     cli: &mut CanonicalLoopInfo,
     scheme: WorksharingScheme,
 ) -> DispatchLoopInfo {
+    omplt_trace::count("ompirb.workshare.dynamic", 1);
     let (sched, chunk) = match scheme {
         WorksharingScheme::DynamicChunked(c) => (SCHED_DYNAMIC_CHUNKED, c),
         WorksharingScheme::GuidedChunked(c) => (SCHED_GUIDED_CHUNKED, c),

@@ -13,6 +13,7 @@ use omplt_source::SourceLocation;
 
 /// Parses a preprocessed token stream into a translation unit.
 pub fn parse_translation_unit(tokens: Vec<Token>, sema: &mut Sema<'_>) -> TranslationUnit {
+    let _span = omplt_trace::span("parse");
     let mut p = Parser::new(tokens, sema);
     p.parse_tu()
 }

@@ -162,20 +162,37 @@ impl CanonicalLoopAnalysis {
     }
 
     /// Constant trip count, when lb/ub/step are all constants.
+    ///
+    /// The count is computed in **checked unsigned arithmetic**, mirroring
+    /// the paper's rule (§3.1, claim C5) that the logical iteration counter
+    /// is *unsigned*: the full `i64` range (`lb = i64::MIN`, `ub = i64::MAX`,
+    /// strict, step 1) yields `u64::MAX` exactly, while a count that does
+    /// not fit `u64` (the same range inclusive) returns `None` rather than
+    /// truncating. A non-positive step also returns `None`: `analyze_for`
+    /// rejects constant zero steps and folds negative ones into the loop
+    /// direction, so such a value only reaches here through a hand-built
+    /// analysis — refusing is safer than fabricating a count from a clamp.
     pub fn const_trip_count(&self) -> Option<u64> {
         let lb = self.lb.eval_const_int()?;
         let ub = self.ub.eval_const_int()?;
-        let step = self.step.eval_const_int()?.max(1);
+        let step = self.step.eval_const_int()?;
+        if step <= 0 {
+            return None;
+        }
         let strict = matches!(self.relop, BinOp::Lt | BinOp::Gt | BinOp::Ne);
         let (hi, lo) = match self.direction {
             LoopDirection::Up => (ub, lb),
             LoopDirection::Down => (lb, ub),
         };
-        let span = hi - lo + if strict { 0 } else { 1 };
-        if span <= 0 {
+        // `eval_const_int` values are arbitrary i128; the subtraction itself
+        // must be checked before moving to unsigned math.
+        let diff = hi.checked_sub(lo)?;
+        if diff < 0 || (strict && diff == 0) {
             return Some(0);
         }
-        Some(((span - 1) / step + 1) as u64)
+        let span = (diff as u128) + u128::from(!strict);
+        let count = (span - 1) / (step as u128) + 1;
+        u64::try_from(count).ok()
     }
 }
 
@@ -802,6 +819,68 @@ mod tests {
         let a = analyze(&ctx, &s).unwrap();
         assert_eq!(a.const_trip_count(), Some(u32::MAX as u64));
         assert!(a.logical_ty.is_unsigned_int());
+    }
+
+    /// A hand-built analysis (the fields are `pub`) with the given constant
+    /// bounds/step — the only way to reach `const_trip_count` with a
+    /// non-positive step, since `analyze_for` rejects zero and folds
+    /// negative steps into the direction.
+    fn raw_analysis(lb: i128, ub: i128, step: i128, relop: BinOp) -> CanonicalLoopAnalysis {
+        let ctx = ASTContext::new();
+        let loc = SourceLocation::INVALID;
+        let ty = ctx.long_ty();
+        let i = ctx.make_var("i", P::clone(&ty), None, loc);
+        CanonicalLoopAnalysis {
+            iter_var: i,
+            declares_var: true,
+            lb: ctx.int_lit(lb, P::clone(&ty), loc),
+            ub: ctx.int_lit(ub, P::clone(&ty), loc),
+            relop,
+            step: ctx.int_lit(step, P::clone(&ty), loc),
+            direction: LoopDirection::Up,
+            body: Stmt::new(StmtKind::Null, loc),
+            loc,
+            logical_ty: ty,
+        }
+    }
+
+    /// Regression: a zero or negative constant step used to be silently
+    /// clamped to 1 (`.max(1)`), fabricating a trip count for a loop whose
+    /// step the analysis cannot vouch for.
+    #[test]
+    fn zero_or_negative_step_yields_no_trip_count() {
+        assert_eq!(raw_analysis(0, 10, 0, BinOp::Lt).const_trip_count(), None);
+        assert_eq!(raw_analysis(0, 10, -3, BinOp::Lt).const_trip_count(), None);
+        // Positive steps keep working through the same constructor.
+        assert_eq!(
+            raw_analysis(0, 10, 2, BinOp::Lt).const_trip_count(),
+            Some(5)
+        );
+    }
+
+    /// Regression at the i64 extremes (checked unsigned arithmetic, claim
+    /// C5): the full exclusive range is exactly `u64::MAX`; the inclusive
+    /// range (2^64 iterations) exceeds u64 and must be `None`, not a
+    /// truncated `Some(0)`.
+    #[test]
+    fn int64_extremes_use_checked_unsigned_arithmetic() {
+        let lo = i64::MIN as i128;
+        let hi = i64::MAX as i128;
+        assert_eq!(
+            raw_analysis(lo, hi, 1, BinOp::Lt).const_trip_count(),
+            Some(u64::MAX)
+        );
+        assert_eq!(raw_analysis(lo, hi, 1, BinOp::Le).const_trip_count(), None);
+        // One below the overflow point: inclusive up to MAX-1 fits again.
+        assert_eq!(
+            raw_analysis(lo, hi - 1, 1, BinOp::Le).const_trip_count(),
+            Some(u64::MAX)
+        );
+        // Large steps divide the extreme span correctly.
+        assert_eq!(
+            raw_analysis(lo, hi, 1 << 32, BinOp::Lt).const_trip_count(),
+            Some(1 << 32)
+        );
     }
 
     #[test]

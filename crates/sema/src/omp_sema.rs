@@ -29,6 +29,9 @@ impl Sema<'_> {
             // stands alone.
             return associated.unwrap_or_else(|| Stmt::new(StmtKind::Null, loc));
         }
+        // One observability span per directive: the paper's shadow-AST
+        // construction cost (§2 vs §3) is exactly the time spent here.
+        let _span = omplt_trace::span_detail("sema.directive", kind.name());
         self.check_clauses(kind, &clauses, loc);
 
         let Some(associated) = associated else {
@@ -285,7 +288,9 @@ impl Sema<'_> {
                     transform_unroll_partial(&self.ctx, &mut sm, analysis, factor, &pragma)
                 };
                 // Prologue of an inner transformed loop must stay in front.
-                d.transformed = Some(wrap_with_prologue(&levels[0].prologue, transformed, loc));
+                let transformed = wrap_with_prologue(&levels[0].prologue, transformed, loc);
+                count_transformed_nodes(&transformed);
+                d.transformed = Some(transformed);
             }
         }
 
@@ -324,6 +329,7 @@ impl Sema<'_> {
                 };
                 // Tile always stands in for its generated nest (it may
                 // always be consumed).
+                count_transformed_nodes(&transformed);
                 d.transformed = Some(transformed);
             }
         }
@@ -355,7 +361,9 @@ impl Sema<'_> {
         let levels = self.collect_loop_nest(&associated, depth, &consumer);
         if let Some(levels) = &levels {
             if self.mode == OpenMpCodegenMode::Classic {
-                d.loop_helpers = Some(self.build_loop_helpers(levels, loc));
+                let helpers = self.build_loop_helpers(levels, loc);
+                omplt_trace::count("sema.shadow.helper_nodes", helpers.node_count() as u64);
+                d.loop_helpers = Some(helpers);
             }
         }
 
@@ -388,6 +396,10 @@ impl Sema<'_> {
             StmtKind::For { .. } | StmtKind::CxxForRange(_) => {
                 match build_canonical_loop(&self.ctx, self.diags, &stmt, consumer) {
                     Some((node, _)) => {
+                        omplt_trace::count(
+                            "sema.canonical.meta_items",
+                            omplt_ast::OMPCanonicalLoop::META_NODE_COUNT as u64,
+                        );
                         let loc = stmt.loc;
                         Stmt::new(StmtKind::OMPCanonicalLoop(node), loc)
                     }
@@ -598,6 +610,19 @@ fn peel_singleton_compound(s: &P<Stmt>) -> P<Stmt> {
 }
 
 /// Re-wraps a transformed statement with a leading prologue.
+/// Records the size of a freshly built transformed (shadow) subtree — the
+/// other half of the paper's §2 representation cost next to the helper
+/// bundle counted in `act_on_loop_directive`.
+fn count_transformed_nodes(t: &P<Stmt>) {
+    if omplt_trace::active() {
+        let s = omplt_ast::stmt_stats(t);
+        omplt_trace::count(
+            "sema.shadow.transformed_nodes",
+            (s.visible_stmts + s.visible_exprs) as u64,
+        );
+    }
+}
+
 fn wrap_with_prologue(prologue: &[P<Stmt>], t: P<Stmt>, loc: SourceLocation) -> P<Stmt> {
     if prologue.is_empty() {
         return t;

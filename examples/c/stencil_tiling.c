@@ -1,0 +1,30 @@
+/* 2D 5-point stencil (Jacobi sweep), tiled with `#pragma omp tile` and
+ * distributed over a thread team with `#pragma omp parallel for` — the
+ * driver-corpus twin of `examples/stencil_tiling.rs`.
+ *
+ *   ompltc --opt --run examples/c/stencil_tiling.c
+ *   ompltc --time-trace=stencil.json --opt --run examples/c/stencil_tiling.c
+ */
+void print_i64(long v);
+double grid[16][16];
+double next[16][16];
+
+int main(void) {
+  for (int i = 0; i < 16; i += 1)
+    for (int j = 0; j < 16; j += 1)
+      grid[i][j] = (i * 31 + j * 17) % 97;
+
+  #pragma omp parallel for
+  #pragma omp tile sizes(4, 4)
+  for (int i = 1; i < 15; i += 1)
+    for (int j = 1; j < 15; j += 1)
+      next[i][j] = 0.25 * (grid[i - 1][j] + grid[i + 1][j]
+                         + grid[i][j - 1] + grid[i][j + 1]);
+
+  double checksum = 0.0;
+  for (int i = 0; i < 16; i += 1)
+    for (int j = 0; j < 16; j += 1)
+      checksum = checksum + next[i][j] * (i + 2 * j + 1);
+  print_i64((long)checksum);
+  return 0;
+}

@@ -6,6 +6,8 @@
 //!                            and exit; non-zero exit on any finding
 //!   --ast-dump               print the syntactic AST (clang -ast-dump style)
 //!   --ast-dump-transformed   additionally show shadow (transformed) subtrees
+//!   --counters-json[=FILE]   dump the pipeline's named counters as JSON
+//!                            (stdout unless FILE is given)
 //!   --diag-format=FMT        diagnostics output format: text (default) | json
 //!   --emit-ir                print generated IR
 //!   --enable-irbuilder       use the OpenMPIRBuilder / OMPCanonicalLoop path
@@ -14,9 +16,21 @@
 //!   --opt                    run the mid-end pipeline (incl. LoopUnroll) first
 //!   --syntax-only            stop after semantic analysis
 //!   --threads N              thread-team size for `parallel` regions (default 4)
+//!   --time-report            print a per-stage wall-time table to stderr,
+//!                            like clang's `-ftime-report`
+//!   --time-trace[=FILE]      emit a Chrome trace-event JSON profile of the
+//!                            whole pipeline, like clang's `-ftime-trace`
+//!                            (stdout unless FILE is given)
 //!   --verify-each            re-verify IR (incl. canonical-loop skeletons)
 //!                            after every transformation and mid-end pass
 //! ```
+//!
+//! The three observability flags share one trace session: spans cover every
+//! stage (lex, parse, sema per-directive, codegen, mid-end passes, verifier
+//! re-checks, the interpreter run) and counters record what each stage did
+//! (shadow-AST helper nodes built, chunks claimed per schedule kind per
+//! thread, barrier waits, ...). Output is written after the pipeline exits,
+//! even when it exits early on an error.
 
 use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
 use std::process::ExitCode;
@@ -32,8 +46,36 @@ fn emit_diags(ci: &CompilerInstance, json: bool) {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Everything the pipeline needs, parsed out of `argv`.
+struct Cli {
+    opts: Options,
+    file: String,
+    analyze: bool,
+    ast_dump: bool,
+    ast_dump_transformed: bool,
+    emit_ir: bool,
+    run: bool,
+    optimize: bool,
+    syntax_only: bool,
+    json: bool,
+    /// `--time-trace` destination: `Some(None)` = stdout, `Some(Some(f))` = file.
+    time_trace: Option<Option<String>>,
+    time_report: bool,
+    /// `--counters-json` destination, same encoding as `time_trace`.
+    counters_json: Option<Option<String>>,
+}
+
+fn usage() -> u8 {
+    eprintln!(
+        "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
+         [--counters-json[=FILE]] [--diag-format=text|json] [--emit-ir] \
+         [--enable-irbuilder] [--opt] [--run] [--syntax-only] [--threads N] \
+         [--time-report] [--time-trace[=FILE]] [--verify-each] <file.c>"
+    );
+    2
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let mut opts = Options::default();
     let mut file = None;
     let mut analyze = false;
@@ -44,23 +86,29 @@ fn main() -> ExitCode {
     let mut optimize = false;
     let mut syntax_only = false;
     let mut json = false;
+    let mut time_trace = None;
+    let mut time_report = false;
+    let mut counters_json = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--analyze" => analyze = true,
             "--ast-dump" => ast_dump = true,
             "--ast-dump-transformed" => ast_dump_transformed = true,
+            "--counters-json" => counters_json = Some(None),
             "--emit-ir" => emit_ir = true,
             "--enable-irbuilder" => opts.codegen_mode = OpenMpCodegenMode::IrBuilder,
             "--no-openmp" => opts.openmp = false,
             "--run" => run = true,
             "--opt" => optimize = true,
             "--syntax-only" => syntax_only = true,
+            "--time-report" => time_report = true,
+            "--time-trace" => time_trace = Some(None),
             "--verify-each" => opts.verify_each = true,
             "--threads" => {
                 let Some(n) = it.next() else {
                     eprintln!("ompltc: '--threads' requires a value");
-                    return ExitCode::from(2);
+                    return Err(2);
                 };
                 match n.parse::<u32>() {
                     Ok(v) if v > 0 => opts.num_threads = v,
@@ -69,9 +117,15 @@ fn main() -> ExitCode {
                             "ompltc: invalid value '{n}' for '--threads': \
                              expected a positive integer"
                         );
-                        return ExitCode::from(2);
+                        return Err(2);
                     }
                 }
+            }
+            other if other.starts_with("--counters-json=") => {
+                counters_json = Some(Some(other["--counters-json=".len()..].to_string()));
+            }
+            other if other.starts_with("--time-trace=") => {
+                time_trace = Some(Some(other["--time-trace=".len()..].to_string()));
             }
             other if other.starts_with("--diag-format=") => {
                 match &other["--diag-format=".len()..] {
@@ -79,65 +133,76 @@ fn main() -> ExitCode {
                     "text" => json = false,
                     fmt => {
                         eprintln!("ompltc: unknown diagnostics format '{fmt}' (text|json)");
-                        return ExitCode::from(2);
+                        return Err(2);
                     }
                 }
             }
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => {
                 eprintln!("ompltc: unknown option '{other}'");
-                return ExitCode::from(2);
+                return Err(2);
             }
         }
     }
     let Some(file) = file else {
-        eprintln!(
-            "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
-             [--diag-format=text|json] [--emit-ir] [--enable-irbuilder] [--opt] [--run] \
-             [--syntax-only] [--threads N] [--verify-each] <file.c>"
-        );
-        return ExitCode::from(2);
+        return Err(usage());
     };
+    Ok(Cli {
+        opts,
+        file,
+        analyze,
+        ast_dump,
+        ast_dump_transformed,
+        emit_ir,
+        run,
+        optimize,
+        syntax_only,
+        json,
+        time_trace,
+        time_report,
+        counters_json,
+    })
+}
 
-    let mut ci = CompilerInstance::new(opts);
-    let source = match std::fs::read_to_string(&file) {
+/// The pipeline proper. Factored out of `main` so every early `return` still
+/// lands back in `main`, where the trace session is finished and flushed.
+fn drive(cli: &Cli) -> u8 {
+    let json = cli.json;
+    let mut ci = CompilerInstance::new(cli.opts);
+    let source = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("ompltc: cannot read '{file}': {e}");
-            return ExitCode::from(1);
+            eprintln!("ompltc: cannot read '{}': {e}", cli.file);
+            return 1;
         }
     };
-    let tu = match ci.parse_source(&file, &source) {
+    let tu = match ci.parse_source(&cli.file, &source) {
         Ok(tu) => tu,
         Err(_) => {
             emit_diags(&ci, json);
-            return ExitCode::from(1);
+            return 1;
         }
     };
 
-    if analyze {
+    if cli.analyze {
         let report = ci.analyze(&tu);
         emit_diags(&ci, json);
-        return if report.has_findings() {
-            ExitCode::from(1)
-        } else {
-            ExitCode::SUCCESS
-        };
+        return u8::from(report.has_findings());
     }
 
-    if ast_dump || ast_dump_transformed {
+    if cli.ast_dump || cli.ast_dump_transformed {
         print!(
             "{}",
-            if ast_dump_transformed {
+            if cli.ast_dump_transformed {
                 ci.ast_dump_transformed(&tu)
             } else {
                 ci.ast_dump(&tu)
             }
         );
     }
-    if syntax_only {
+    if cli.syntax_only {
         emit_diags(&ci, json);
-        return ExitCode::SUCCESS;
+        return 0;
     }
 
     let mut module = match ci.codegen(&tu) {
@@ -149,31 +214,94 @@ fn main() -> ExitCode {
             } else {
                 emit_diags(&ci, json);
             }
-            return ExitCode::from(1);
+            return 1;
         }
     };
-    if optimize {
+    if cli.optimize {
         ci.optimize(&mut module);
         if ci.diags.has_errors() {
             emit_diags(&ci, json);
-            return ExitCode::from(1);
+            return 1;
         }
     }
-    if emit_ir {
+    if cli.emit_ir {
         print!("{}", omplt::ir::print_module(&module));
     }
+    if cli.run && ci.opts.runtime_schedule.is_none() {
+        // Resolve OMP_SCHEDULE up front so a malformed value is diagnosed
+        // where the user can see it, instead of being silently swallowed at
+        // dispatch time.
+        let env = std::env::var("OMP_SCHEDULE").ok();
+        let (sched, warning) = omplt::interp::RuntimeSchedule::resolve(env.as_deref());
+        if let Some(msg) = warning {
+            ci.diags
+                .warning(omplt::source::SourceLocation::INVALID, msg);
+        }
+        ci.opts.runtime_schedule = Some(sched);
+    }
     emit_diags(&ci, json);
-    if run {
+    if cli.run {
         match ci.run(&module) {
             Ok(result) => {
                 print!("{}", result.stdout);
-                return ExitCode::from(result.exit_code as u8);
+                return result.exit_code as u8;
             }
             Err(e) => {
                 eprintln!("ompltc: runtime error: {e}");
-                return ExitCode::from(1);
+                return 1;
             }
         }
     }
-    ExitCode::SUCCESS
+    0
+}
+
+/// Writes `content` to `dest` (`None` = stdout). Returns false on I/O error.
+fn write_output(dest: &Option<String>, content: &str, what: &str) -> bool {
+    match dest {
+        None => {
+            print!("{content}");
+            true
+        }
+        Some(path) => match std::fs::write(path, content) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("ompltc: cannot write {what} to '{path}': {e}");
+                false
+            }
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(code) => return ExitCode::from(code),
+    };
+
+    let tracing = cli.time_trace.is_some() || cli.time_report || cli.counters_json.is_some();
+    let session = tracing.then(omplt::trace::Session::begin);
+    let mut code = {
+        // The root span; everything the pipeline does nests under it. Scoped
+        // so it is closed before the session is finished below.
+        let _root = omplt::trace::span("ompltc");
+        drive(&cli)
+    };
+    if let Some(session) = session {
+        let data = session.finish();
+        if let Some(dest) = &cli.time_trace {
+            if !write_output(dest, &data.to_chrome_json(), "time trace") && code == 0 {
+                code = 1;
+            }
+        }
+        if let Some(dest) = &cli.counters_json {
+            if !write_output(dest, &data.to_counters_json(), "counters") && code == 0 {
+                code = 1;
+            }
+        }
+        if cli.time_report {
+            eprint!("{}", data.time_report());
+        }
+    }
+    ExitCode::from(code)
 }

@@ -73,6 +73,7 @@ impl CompilerInstance {
     /// Parses `source` (registered under `name`) into an AST. On error
     /// returns the rendered diagnostics.
     pub fn parse_source(&mut self, name: &str, source: &str) -> Result<TranslationUnit, String> {
+        let _span = omplt_trace::span_detail("frontend", name);
         let buf = self.fm.add_virtual_file(name, source);
         let file_id = self.sm.borrow_mut().add_file(buf).0;
         let tokens = {
@@ -160,6 +161,7 @@ impl CompilerInstance {
     /// skeleton invariants) re-checks every function after every pass and
     /// reports violations as error diagnostics.
     pub fn optimize(&self, module: &mut Module) -> omplt_midend::UnrollStats {
+        let _span = omplt_trace::span("midend");
         if self.opts.verify_each {
             let (stats, errs) = omplt_midend::run_default_pipeline_verified(module);
             for e in errs {

@@ -44,3 +44,4 @@ pub use omplt_ompirb as ompirb;
 pub use omplt_parse as parse;
 pub use omplt_sema as sema;
 pub use omplt_source as source;
+pub use omplt_trace as trace;

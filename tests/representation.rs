@@ -36,23 +36,33 @@ const WS_SRC: &str = "void body(int i);\nvoid f(void) {\n  #pragma omp for\n  fo
 
 #[test]
 fn c1_classic_helper_nodes_vs_canonical_meta_items() {
-    // Classic mode: the OMPLoopDirective helper bundle.
+    // Both node counts are sourced from the observability counters Sema
+    // bumps while building the representation (`--counters-json` exposes
+    // the same numbers from the driver) — not from test-side AST walking.
+    let session = omplt::trace::Session::begin();
     let (_, tu) = parse(WS_SRC, OpenMpCodegenMode::Classic);
     let d = first_directive(&tu, "f");
-    let classic_nodes = d
-        .loop_helpers
-        .as_ref()
-        .expect("classic helpers")
-        .node_count();
+    assert!(d.loop_helpers.is_some(), "classic helpers must exist");
+    let classic = session.finish().counters;
+    let classic_nodes = *classic
+        .get("sema.shadow.helper_nodes")
+        .expect("classic Sema must count its helper bundle") as usize;
+    assert!(!classic.contains_key("sema.canonical.meta_items"));
 
     // IrBuilder mode: OMPCanonicalLoop meta items.
+    let session = omplt::trace::Session::begin();
     let (_, tu2) = parse(WS_SRC, OpenMpCodegenMode::IrBuilder);
     let d2 = first_directive(&tu2, "f");
     assert!(
         d2.loop_helpers.is_none(),
         "IrBuilder mode must not build the helper bundle"
     );
-    let canonical_items = OMPCanonicalLoop::META_NODE_COUNT;
+    let irb = session.finish().counters;
+    let canonical_items = *irb
+        .get("sema.canonical.meta_items")
+        .expect("irbuilder Sema must count its meta items") as usize;
+    assert!(!irb.contains_key("sema.shadow.helper_nodes"));
+    assert_eq!(canonical_items, OMPCanonicalLoop::META_NODE_COUNT);
 
     // The paper's headline: "reduced from the 36 shadow AST nodes required
     // by OMPLoopDirective" to 3 meta-information items. Our bundle models
