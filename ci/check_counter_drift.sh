@@ -36,7 +36,33 @@ for src in examples/c/*.c; do
   done
 done
 
+# Execution-backend drift guard: the number of ops each backend retires
+# running an example is deterministic (the default team size is fixed, static
+# chunk assignment is a pure function of it), so a silent change means either
+# the lowering, the bytecode peephole pipeline, or the scheduler moved.
+# Legitimate optimizer improvements update these files in the same commit.
+for src in examples/c/*.c; do
+  base=$(basename "$src" .c)
+  for backend in interp vm; do
+    flags=(--counters-json --run)
+    if [ "$backend" = vm ]; then
+      flags+=(--backend=vm)
+    fi
+    expected="ci/expected-counters/$base.$backend.ops.txt"
+    got=$("$ompltc" "${flags[@]}" "$src" 2>/dev/null | tail -1 \
+      | grep -o "\"$backend\.ops\.retired\":[0-9]*")
+    if [ ! -f "$expected" ]; then
+      echo "missing $expected; expected contents:" >&2
+      printf '%s\n' "$got" >&2
+      status=1
+    elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
+      echo "retired-op drift in $src ($backend): update $expected if intentional" >&2
+      status=1
+    fi
+  done
+done
+
 if [ "$status" = 0 ]; then
-  echo "shadow-AST node counters match ci/expected-counters/"
+  echo "shadow-AST node counters and retired-op counts match ci/expected-counters/"
 fi
 exit $status

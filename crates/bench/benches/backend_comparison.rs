@@ -1,0 +1,139 @@
+//! Backend comparison: the register-based bytecode VM against the
+//! tree-walking interpreter on the same modules.
+//!
+//! The headline workload is the triangular (imbalanced) reduction from the
+//! worksharing experiments: iteration `i` costs O(i), so it exercises the
+//! dispatch queue under load while the body itself is pure arithmetic — the
+//! part where walking the IR tree per step hurts the most. The ISSUE's
+//! acceptance target is a ≥5× VM speedup on this workload; the measured
+//! ratio lands in `EXPERIMENTS.md` and the bench JSON in CI.
+//!
+//! Bytecode compilation happens *outside* the timed region (mirroring how
+//! `--backend=vm` compiles once per process), so both sides measure pure
+//! execution. A third group times `compile_bytecode` itself to show the
+//! translation cost is amortizable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt::interp::{Interpreter, RuntimeConfig};
+use omplt::vm::VmEngine;
+use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+use omplt_ir::Module;
+
+const TRI_N: u64 = 600;
+
+/// Triangular body: iteration `i` of the worksharing loop costs O(i).
+fn triangular_src(schedule: &str) -> String {
+    format!(
+        "void print_i64(long v);\nint main(void) {{\n  long sum = 0;\n  #pragma omp parallel for reduction(+: sum) schedule({schedule})\n  for (int i = 0; i < {TRI_N}; i += 1)\n    for (int j = 0; j < i; j += 1)\n      sum = sum + (j % 7);\n  print_i64(sum);\n  return 0;\n}}\n"
+    )
+}
+
+/// Serial dense kernel: pure arithmetic, no runtime calls — the widest gap.
+fn dense_src() -> String {
+    "void print_i64(long v);\nint main(void) {\n  long sum = 0;\n  for (int i = 0; i < 200000; i += 1)\n    sum = sum + (i % 7) * (i % 13) - (i % 3);\n  print_i64(sum);\n  return 0;\n}\n"
+        .to_string()
+}
+
+fn compile(src: &str, threads: u32) -> (CompilerInstance, Module) {
+    let opts = Options {
+        codegen_mode: OpenMpCodegenMode::Classic,
+        num_threads: threads,
+        ..Options::default()
+    };
+    let mut ci = CompilerInstance::new(opts);
+    let tu = ci.parse_source("b.c", src).expect("parse");
+    let module = ci.codegen(&tu).expect("codegen");
+    (ci, module)
+}
+
+fn rt_cfg(threads: u32) -> RuntimeConfig {
+    RuntimeConfig {
+        num_threads: threads,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn bench_triangular(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_comparison");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for schedule in ["static", "dynamic, 16", "guided"] {
+        let src = triangular_src(schedule);
+        let (ci, module) = compile(&src, 4);
+        let code = ci.compile_bytecode(&module).expect("bytecode");
+        // Sanity: both backends produce the same answer before timing them.
+        let want = Interpreter::new(&module, rt_cfg(4))
+            .run_main()
+            .expect("interp")
+            .stdout;
+        let got = VmEngine::new(&module, &code, rt_cfg(4))
+            .expect("vm init")
+            .run_main()
+            .expect("vm")
+            .stdout;
+        assert_eq!(want, got, "backends disagree on schedule({schedule})");
+
+        let tag = schedule.replace(", ", "");
+        g.bench_with_input(BenchmarkId::new("interp", &tag), &module, |b, module| {
+            b.iter(|| Interpreter::new(module, rt_cfg(4)).run_main().expect("run"))
+        });
+        g.bench_with_input(BenchmarkId::new("vm", &tag), &module, |b, module| {
+            b.iter(|| {
+                VmEngine::new(module, &code, rt_cfg(4))
+                    .expect("vm init")
+                    .run_main()
+                    .expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dense_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_comparison_dense");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let src = dense_src();
+    let (ci, module) = compile(&src, 1);
+    let code = ci.compile_bytecode(&module).expect("bytecode");
+    g.bench_with_input(BenchmarkId::new("interp", 1), &module, |b, module| {
+        b.iter(|| Interpreter::new(module, rt_cfg(1)).run_main().expect("run"))
+    });
+    g.bench_with_input(BenchmarkId::new("vm", 1), &module, |b, module| {
+        b.iter(|| {
+            VmEngine::new(module, &code, rt_cfg(1))
+                .expect("vm init")
+                .run_main()
+                .expect("run")
+        })
+    });
+    g.finish();
+}
+
+fn bench_bytecode_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_comparison_compile");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_secs(1));
+
+    let src = triangular_src("dynamic, 16");
+    let (ci, module) = compile(&src, 4);
+    g.bench_with_input(
+        BenchmarkId::new("compile_bytecode", TRI_N),
+        &module,
+        |b, module| b.iter(|| ci.compile_bytecode(module).expect("bytecode")),
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_triangular,
+    bench_dense_serial,
+    bench_bytecode_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! The [`Engine`] abstraction: what the OpenMP runtime shim needs from an
+//! execution backend.
+//!
+//! [`crate::runtime`] implements the `__kmpc_*` protocol (fork, static init,
+//! dispatch queues, barriers) once, generically over `Engine`, so the tree-
+//! walking interpreter ([`crate::Interpreter`]) and the bytecode VM
+//! (`omplt-vm`) execute *exactly* the same worksharing semantics — chunk
+//! boundaries, barrier placement, `nowait` overlap — and differential tests
+//! can hold the two backends to bit-identical schedule logs.
+
+use crate::exec::{ExecError, RtVal};
+use crate::memory::Memory;
+use crate::runtime::{RuntimeConfig, ThreadCtx};
+use omplt_ir::Module;
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+/// An execution backend, as seen by the shared OpenMP runtime.
+///
+/// `Sync` is part of the contract: `__kmpc_fork_call` shares `&self` across
+/// the scoped threads of a team.
+pub trait Engine: Sync {
+    /// The module being executed (symbol names, globals).
+    fn module(&self) -> &Module;
+
+    /// Guest memory.
+    fn mem(&self) -> &Memory;
+
+    /// Collected stdout (the `print_*` shims append here).
+    fn out(&self) -> &Mutex<String>;
+
+    /// Task counter (`__omplt_task_created`).
+    fn tasks(&self) -> &AtomicU64;
+
+    /// Runtime configuration.
+    fn cfg(&self) -> &RuntimeConfig;
+
+    /// Where schedule chunks are recorded, when chunk logging is enabled.
+    fn chunk_log(&self) -> Option<&ChunkLog>;
+
+    /// Trace-counter prefix for runtime events (`"interp"` / `"vm"`), so a
+    /// trace names which backend claimed chunks and hit barriers.
+    fn trace_prefix(&self) -> &'static str;
+
+    /// Calls a function by name: module definitions first, then the runtime
+    /// shims (the outlined bodies of `__kmpc_fork_call` re-enter here).
+    fn call_by_name(
+        &self,
+        name: &str,
+        args: Vec<RtVal>,
+        ctx: &ThreadCtx,
+    ) -> Result<Option<RtVal>, ExecError>;
+}
+
+/// Which runtime entry point served a chunk.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum ChunkKind {
+    /// `__kmpc_for_static_init` (the per-thread span; for chunked-static the
+    /// first chunk — later rounds advance by stride without re-entering the
+    /// runtime).
+    StaticInit,
+    /// `__kmpc_dispatch_next_8` serving a static-resolved queue.
+    Static,
+    /// `__kmpc_dispatch_next_8`, dynamic schedule.
+    Dynamic,
+    /// `__kmpc_dispatch_next_8`, guided schedule.
+    Guided,
+}
+
+/// One chunk of iterations handed to some team member.
+///
+/// Thread identity is deliberately *not* recorded: which thread claims a
+/// dynamic chunk is a race, but the chunk *boundaries* are deterministic, so
+/// sorted records compare bit-identically across backends and runs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct ChunkRecord {
+    /// Serving entry point.
+    pub kind: ChunkKind,
+    /// First iteration of the chunk (inclusive).
+    pub lo: i64,
+    /// Last iteration of the chunk (inclusive).
+    pub hi: i64,
+}
+
+/// A concurrent log of every schedule chunk served during a run.
+#[derive(Debug, Default)]
+pub struct ChunkLog {
+    records: Mutex<Vec<ChunkRecord>>,
+}
+
+impl ChunkLog {
+    /// Creates an empty log.
+    pub fn new() -> ChunkLog {
+        ChunkLog::default()
+    }
+
+    /// Records one served chunk.
+    pub fn record(&self, kind: ChunkKind, lo: i64, hi: i64) {
+        self.records
+            .lock()
+            .expect("chunk log lock")
+            .push(ChunkRecord { kind, lo, hi });
+    }
+
+    /// Drains the log, sorted (claim order is nondeterministic under real
+    /// threads; the sorted multiset is the comparable artifact).
+    pub fn take_sorted(&self) -> Vec<ChunkRecord> {
+        let mut v = std::mem::take(&mut *self.records.lock().expect("chunk log lock"));
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Allocates and initializes every module global in `mem`; returns the guest
+/// address of each, by symbol index. Shared by both backends so global
+/// layout — and therefore every pointer a guest derives from one — matches.
+pub fn materialize_globals(module: &Module, mem: &Memory) -> Vec<(u32, u64)> {
+    let mut global_addrs = Vec::new();
+    for g in &module.globals {
+        let addr = mem.alloc(g.size.max(1));
+        for (i, w) in g.init.iter().enumerate() {
+            let sz = g.ty.size().max(1);
+            let _ = mem.store(addr + i as u64 * sz, sz, *w as u64);
+        }
+        global_addrs.push((g.sym.0, addr));
+    }
+    global_addrs
+}
+
+/// Snapshots the final byte contents of every module global — the
+/// "observable memory state" differential tests compare across backends.
+pub fn snapshot_globals(
+    module: &Module,
+    mem: &Memory,
+    global_addrs: &[(u32, u64)],
+) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for g in &module.globals {
+        let Some(&(_, addr)) = global_addrs.iter().find(|(s, _)| *s == g.sym.0) else {
+            continue;
+        };
+        let mut bytes = Vec::with_capacity(g.size as usize);
+        for i in 0..g.size {
+            bytes.push(mem.load(addr + i, 1).map_or(0, |b| b as u8));
+        }
+        out.push((module.symbol_name(g.sym).to_string(), bytes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omplt_ir::IrType;
+
+    #[test]
+    fn chunk_log_sorts_on_take() {
+        let log = ChunkLog::new();
+        log.record(ChunkKind::Dynamic, 4, 7);
+        log.record(ChunkKind::Dynamic, 0, 3);
+        log.record(ChunkKind::StaticInit, 0, 9);
+        let got = log.take_sorted();
+        assert_eq!(
+            got,
+            vec![
+                ChunkRecord {
+                    kind: ChunkKind::StaticInit,
+                    lo: 0,
+                    hi: 9
+                },
+                ChunkRecord {
+                    kind: ChunkKind::Dynamic,
+                    lo: 0,
+                    hi: 3
+                },
+                ChunkRecord {
+                    kind: ChunkKind::Dynamic,
+                    lo: 4,
+                    hi: 7
+                },
+            ]
+        );
+        assert!(log.take_sorted().is_empty(), "take drains the log");
+    }
+
+    #[test]
+    fn globals_round_trip_through_snapshot() {
+        let mut m = Module::new();
+        m.add_global("grid", IrType::I64, 16);
+        let mem = Memory::new();
+        let addrs = materialize_globals(&m, &mem);
+        assert_eq!(addrs.len(), 1);
+        mem.store(addrs[0].1 + 8, 8, 0x0102030405060708).unwrap();
+        let snap = snapshot_globals(&m, &mem, &addrs);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "grid");
+        assert_eq!(
+            snap[0].1,
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 8, 7, 6, 5, 4, 3, 2, 1],
+            "little-endian byte image"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! The IR interpreter: executes `omplt-ir` modules, dispatching runtime
 //! calls (OpenMP + I/O shims) to [`crate::runtime`].
 
+use crate::engine::{self, ChunkLog, ChunkRecord, Engine};
 use crate::memory::Memory;
 use crate::runtime::{self, RuntimeConfig, ThreadCtx};
 use omplt_ir::{
@@ -94,6 +95,12 @@ pub struct RunResult {
     /// Number of tasks created by `taskloop` constructs — the paper notes
     /// the unroll factor becomes *observable* through this count.
     pub tasks_created: u64,
+    /// Every schedule chunk served during the run, sorted. Empty unless
+    /// [`RuntimeConfig::log_chunks`] was set.
+    pub chunk_log: Vec<ChunkRecord>,
+    /// Final byte contents of every module global, by name — the observable
+    /// memory state differential tests compare across backends.
+    pub final_globals: Vec<(String, Vec<u8>)>,
 }
 
 /// Shared interpreter state (one per run; `Sync`, shared across team
@@ -113,21 +120,15 @@ pub struct Interpreter<'m> {
     pub cfg: RuntimeConfig,
     /// Guest addresses of module globals, by symbol index.
     pub global_addrs: Vec<(u32, u64)>,
+    /// Served schedule chunks (recorded when `cfg.log_chunks` is set).
+    pub chunk_log: ChunkLog,
 }
 
 impl<'m> Interpreter<'m> {
     /// Creates an interpreter and materializes module globals.
     pub fn new(module: &'m Module, cfg: RuntimeConfig) -> Interpreter<'m> {
         let mem = Arc::new(Memory::new());
-        let mut global_addrs = Vec::new();
-        for g in &module.globals {
-            let addr = mem.alloc(g.size.max(1));
-            for (i, w) in g.init.iter().enumerate() {
-                let sz = g.ty.size().max(1);
-                let _ = mem.store(addr + i as u64 * sz, sz, *w as u64);
-            }
-            global_addrs.push((g.sym.0, addr));
-        }
+        let global_addrs = engine::materialize_globals(module, &mem);
         Interpreter {
             module,
             mem,
@@ -136,6 +137,17 @@ impl<'m> Interpreter<'m> {
             fuel: AtomicU64::new(cfg.max_steps),
             cfg,
             global_addrs,
+            chunk_log: ChunkLog::new(),
+        }
+    }
+
+    fn finish(&self, ret: Option<RtVal>) -> RunResult {
+        RunResult {
+            stdout: std::mem::take(&mut *self.out.lock().expect("out lock")),
+            exit_code: ret.map_or(0, |v| v.as_i()),
+            tasks_created: self.tasks.load(Ordering::Relaxed),
+            chunk_log: self.chunk_log.take_sorted(),
+            final_globals: engine::snapshot_globals(self.module, &self.mem, &self.global_addrs),
         }
     }
 
@@ -144,22 +156,14 @@ impl<'m> Interpreter<'m> {
         let _span = omplt_trace::span("interp.run");
         let ctx = ThreadCtx::initial();
         let ret = self.call_by_name("main", vec![], &ctx)?;
-        Ok(RunResult {
-            stdout: std::mem::take(&mut *self.out.lock().expect("out lock")),
-            exit_code: ret.map_or(0, |v| v.as_i()),
-            tasks_created: self.tasks.load(Ordering::Relaxed),
-        })
+        Ok(self.finish(ret))
     }
 
     /// Runs an arbitrary void/intret function (for kernels without `main`).
     pub fn run_function(&self, name: &str, args: Vec<RtVal>) -> Result<RunResult, ExecError> {
         let ctx = ThreadCtx::initial();
         let ret = self.call_by_name(name, args, &ctx)?;
-        Ok(RunResult {
-            stdout: std::mem::take(&mut *self.out.lock().expect("out lock")),
-            exit_code: ret.map_or(0, |v| v.as_i()),
-            tasks_created: self.tasks.load(Ordering::Relaxed),
-        })
+        Ok(self.finish(ret))
     }
 
     /// Calls a function by name: module definitions first, then runtime
@@ -214,6 +218,21 @@ impl<'m> Interpreter<'m> {
         args: Vec<RtVal>,
         ctx: &ThreadCtx,
     ) -> Result<Option<RtVal>, ExecError> {
+        let mut retired = 0u64;
+        let r = self.exec_function_inner(f, args, ctx, &mut retired);
+        if omplt_trace::active() {
+            omplt_trace::count("interp.ops.retired", retired);
+        }
+        r
+    }
+
+    fn exec_function_inner(
+        &self,
+        f: &Function,
+        args: Vec<RtVal>,
+        ctx: &ThreadCtx,
+        retired: &mut u64,
+    ) -> Result<Option<RtVal>, ExecError> {
         let mut frame: Vec<Option<RtVal>> = vec![None; f.insts.len()];
         let mut cur = f.entry();
         let mut prev: Option<BlockId> = None;
@@ -264,6 +283,7 @@ impl<'m> Interpreter<'m> {
                     local_fuel = FUEL_BATCH;
                 }
                 local_fuel -= 1;
+                *retired += 1;
                 let result = self.exec_inst(f, &frame, &args, f.inst(iid), ctx)?;
                 frame[iid.0 as usize] = result;
             }
@@ -381,7 +401,47 @@ impl<'m> Interpreter<'m> {
     }
 }
 
+impl Engine for Interpreter<'_> {
+    fn module(&self) -> &Module {
+        self.module
+    }
+
+    fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    fn out(&self) -> &Mutex<String> {
+        &self.out
+    }
+
+    fn tasks(&self) -> &AtomicU64 {
+        &self.tasks
+    }
+
+    fn cfg(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    fn chunk_log(&self) -> Option<&ChunkLog> {
+        self.cfg.log_chunks.then_some(&self.chunk_log)
+    }
+
+    fn trace_prefix(&self) -> &'static str {
+        "interp"
+    }
+
+    fn call_by_name(
+        &self,
+        name: &str,
+        args: Vec<RtVal>,
+        ctx: &ThreadCtx,
+    ) -> Result<Option<RtVal>, ExecError> {
+        Interpreter::call_by_name(self, name, args, ctx)
+    }
+}
+
 /// Converts raw loaded bits into a typed value.
+#[inline]
 pub fn decode_scalar(ty: IrType, raw: u64) -> RtVal {
     match ty {
         IrType::F32 => RtVal::F(f32::from_bits(raw as u32) as f64),
@@ -392,6 +452,7 @@ pub fn decode_scalar(ty: IrType, raw: u64) -> RtVal {
 }
 
 /// Converts a typed value into raw storable bits.
+#[inline]
 pub fn encode_scalar(ty: IrType, v: RtVal) -> u64 {
     match ty {
         IrType::F32 => (v.as_f() as f32).to_bits() as u64,
@@ -401,7 +462,11 @@ pub fn encode_scalar(ty: IrType, v: RtVal) -> u64 {
     }
 }
 
-fn exec_bin(op: BinOpKind, ty: IrType, a: RtVal, b: RtVal) -> Result<RtVal, ExecError> {
+/// Executes one binary operation. Public so the bytecode VM shares *exactly*
+/// these semantics (wrapping, pointer flavor, division checks) — differential
+/// tests require bit-identical arithmetic between backends.
+#[inline]
+pub fn exec_bin(op: BinOpKind, ty: IrType, a: RtVal, b: RtVal) -> Result<RtVal, ExecError> {
     use BinOpKind::*;
     if op.is_float() {
         let (x, y) = (a.as_f(), b.as_f());
@@ -474,7 +539,9 @@ fn exec_bin(op: BinOpKind, ty: IrType, a: RtVal, b: RtVal) -> Result<RtVal, Exec
     Ok(RtVal::I(ty.wrap(r)))
 }
 
-fn exec_cmp(pred: CmpPred, ty: IrType, a: RtVal, b: RtVal) -> bool {
+/// Executes one comparison (shared with the bytecode VM, see [`exec_bin`]).
+#[inline]
+pub fn exec_cmp(pred: CmpPred, ty: IrType, a: RtVal, b: RtVal) -> bool {
     use CmpPred::*;
     if pred.is_float() {
         let (x, y) = (a.as_f(), b.as_f());
@@ -509,7 +576,9 @@ fn exec_cmp(pred: CmpPred, ty: IrType, a: RtVal, b: RtVal) -> bool {
     }
 }
 
-fn exec_cast(op: CastOp, from: IrType, to: IrType, v: RtVal) -> RtVal {
+/// Executes one conversion (shared with the bytecode VM, see [`exec_bin`]).
+#[inline]
+pub fn exec_cast(op: CastOp, from: IrType, to: IrType, v: RtVal) -> RtVal {
     match op {
         CastOp::Trunc => RtVal::I(to.wrap(v.as_i())),
         CastOp::SExt => RtVal::I(v.as_i()),

@@ -20,10 +20,12 @@
 //!   `omp_get_thread_num`, `omp_get_num_threads`, and task bookkeeping for
 //!   `taskloop`.
 
+pub mod engine;
 pub mod exec;
 pub mod memory;
 pub mod runtime;
 
+pub use engine::{ChunkKind, ChunkLog, ChunkRecord, Engine};
 pub use exec::{ExecError, Interpreter, RtVal, RunResult};
 pub use memory::Memory;
 pub use runtime::{DispatchKind, RuntimeConfig, RuntimeSchedule, TeamState, ThreadCtx};

@@ -10,7 +10,8 @@
 //! per-team shared work queue, `__kmpc_barrier` synchronizes the team, and
 //! `omp_get_thread_num`/`omp_get_num_threads` expose the team context.
 
-use crate::exec::{ExecError, Interpreter, RtVal};
+use crate::engine::{ChunkKind, Engine};
+use crate::exec::{ExecError, RtVal};
 use crate::memory::Memory;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -125,6 +126,9 @@ pub struct RuntimeConfig {
     /// What `schedule(runtime)` resolves to; `None` reads `OMP_SCHEDULE`
     /// at dispatch time.
     pub runtime_schedule: Option<RuntimeSchedule>,
+    /// Record every served schedule chunk in the engine's
+    /// [`crate::engine::ChunkLog`] (differential-testing aid).
+    pub log_chunks: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -134,6 +138,7 @@ impl Default for RuntimeConfig {
             max_steps: 500_000_000,
             serial: false,
             runtime_schedule: None,
+            log_chunks: false,
         }
     }
 }
@@ -283,8 +288,12 @@ const SCHED_RUNTIME: i64 = 37;
 
 /// Dispatches a call to a runtime function. Returns
 /// `Err(UnknownFunction)` for unrecognized names.
-pub fn dispatch(
-    it: &Interpreter<'_>,
+///
+/// Generic over [`Engine`]: the interpreter and the bytecode VM share this
+/// single implementation of the OpenMP protocol, so schedule semantics
+/// cannot drift between backends.
+pub fn dispatch<E: Engine>(
+    e: &E,
     name: &str,
     args: Vec<RtVal>,
     ctx: &ThreadCtx,
@@ -297,35 +306,40 @@ pub fn dispatch(
             ctx.pending_num_threads.set(Some(n));
             Ok(None)
         }
-        "__kmpc_fork_call" => fork_call(it, args, ctx),
-        "__kmpc_for_static_init" => for_static_init(it, args, ctx),
+        "__kmpc_fork_call" => fork_call(e, args, ctx),
+        "__kmpc_for_static_init" => for_static_init(e, args, ctx),
         "__kmpc_for_static_fini" => Ok(None),
-        "__kmpc_dispatch_init_8" => dispatch_init(it, args, ctx),
-        "__kmpc_dispatch_next_8" => dispatch_next(it, args, ctx),
+        "__kmpc_dispatch_init_8" => dispatch_init(e, args, ctx),
+        "__kmpc_dispatch_next_8" => dispatch_next(e, args, ctx),
         "__kmpc_dispatch_fini_8" => {
             ctx.cur_dispatch.borrow_mut().take();
             Ok(None)
         }
         "__kmpc_barrier" => {
-            omplt_trace::count("interp.barrier.waits", 1);
+            if omplt_trace::active() {
+                omplt_trace::count(&format!("{}.barrier.waits", e.trace_prefix()), 1);
+            }
             ctx.team.barrier_wait();
             Ok(None)
         }
         "__omplt_task_created" => {
-            it.tasks.fetch_add(1, Ordering::Relaxed);
+            e.tasks().fetch_add(1, Ordering::Relaxed);
             Ok(None)
         }
         "__omplt_atomic_add_i64" => {
             let p = args[0].as_p();
             let v = args[1].as_i();
-            it.mem
+            e.mem()
                 .fetch_add_i64(p, v)
-                .map_err(|e| ExecError::Mem(e.what))?;
+                .map_err(|err| ExecError::Mem(err.what))?;
             Ok(None)
         }
         "print_i64" => {
             let v = args.first().map_or(0, |v| v.as_i());
-            it.out.lock().expect("out lock").push_str(&format!("{v}\n"));
+            e.out()
+                .lock()
+                .expect("out lock")
+                .push_str(&format!("{v}\n"));
             Ok(None)
         }
         "print_f64" => {
@@ -335,25 +349,25 @@ pub fn dispatch(
             } else {
                 format!("{v}\n")
             };
-            it.out.lock().expect("out lock").push_str(&s);
+            e.out().lock().expect("out lock").push_str(&s);
             Ok(None)
         }
         "print_char" => {
             let v = args.first().map_or(0, |v| v.as_i());
-            it.out
+            e.out()
                 .lock()
                 .expect("out lock")
                 .push(char::from_u32((v as u32) & 0x7F).unwrap_or('?'));
             Ok(None)
         }
-        "omp_get_max_threads" => Ok(Some(RtVal::I(it.cfg.num_threads as i64))),
+        "omp_get_max_threads" => Ok(Some(RtVal::I(e.cfg().num_threads as i64))),
         other => Err(ExecError::UnknownFunction(other.to_string())),
     }
 }
 
 /// `__kmpc_fork_call(fnptr, nargs, cap0, cap1, …)` — spawns the team.
-fn fork_call(
-    it: &Interpreter<'_>,
+fn fork_call<E: Engine>(
+    e: &E,
     args: Vec<RtVal>,
     ctx: &ThreadCtx,
 ) -> Result<Option<RtVal>, ExecError> {
@@ -363,27 +377,28 @@ fn fork_call(
         .as_p();
     let sym = Memory::decode_fn_ptr(fnptr)
         .ok_or_else(|| ExecError::Malformed("fork_call target is not a function".to_string()))?;
-    let name = it.module.symbol_name(omplt_ir::SymbolId(sym)).to_string();
+    let name = e.module().symbol_name(omplt_ir::SymbolId(sym)).to_string();
     let caps: Vec<RtVal> = args[2..].to_vec();
     let team = ctx
         .pending_num_threads
         .take()
-        .unwrap_or(it.cfg.num_threads)
+        .unwrap_or(e.cfg().num_threads)
         .max(1);
 
-    if team == 1 || it.cfg.serial {
+    if team == 1 || e.cfg().serial {
         let state = TeamState::new(team, false);
         for tid in 0..team {
             let child = ThreadCtx::team_member(tid, team, Arc::clone(&state));
             let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
             a.extend(caps.iter().copied());
-            it.call_by_name(&name, a, &child)?;
+            e.call_by_name(&name, a, &child)?;
         }
         return Ok(None);
     }
 
-    // Real thread team: the interpreter is Sync (module is immutable, memory
-    // is atomic, output is mutexed), so scoped threads can share it.
+    // Real thread team: an `Engine` is Sync by contract (module is
+    // immutable, memory is atomic, output is mutexed), so scoped threads
+    // can share it.
     let state = TeamState::new(team, true);
     let mut first_err: Option<ExecError> = None;
     // Team members inherit the forking thread's trace session (if any), so
@@ -401,7 +416,7 @@ fn fork_call(
                     let child = ThreadCtx::team_member(tid, team, state);
                     let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
                     a.extend(caps);
-                    it.call_by_name(&name, a, &child).map(|_| ())
+                    e.call_by_name(&name, a, &child).map(|_| ())
                 })
             })
             .collect();
@@ -425,8 +440,8 @@ fn fork_call(
 
 /// `__kmpc_for_static_init(gtid, sched, plast, plb, pub, pstride, incr,
 /// chunk)` with i64 bounds — the static worksharing schedule.
-fn for_static_init(
-    it: &Interpreter<'_>,
+fn for_static_init<E: Engine>(
+    e: &E,
     args: Vec<RtVal>,
     ctx: &ThreadCtx,
 ) -> Result<Option<RtVal>, ExecError> {
@@ -442,9 +457,9 @@ fn for_static_init(
     let pstride = args[5].as_p();
     let chunk = args[7].as_i().max(1);
 
-    let mem = |e: crate::memory::MemError| ExecError::Mem(e.what);
-    let lb = it.mem.load(plb, 8).map_err(mem)? as i64;
-    let ub = it.mem.load(pub_, 8).map_err(mem)? as i64;
+    let mem = |err: crate::memory::MemError| ExecError::Mem(err.what);
+    let lb = e.mem().load(plb, 8).map_err(mem)? as i64;
+    let ub = e.mem().load(pub_, 8).map_err(mem)? as i64;
     let tid = ctx.gtid as i128;
     let team = ctx.team_size as i128;
     // All bound arithmetic runs in i128: near `i64::MAX`, `my_lb + chunk - 1`
@@ -506,20 +521,28 @@ fn for_static_init(
     };
 
     if omplt_trace::active() {
-        omplt_trace::count(&format!("interp.chunks.static.t{}", ctx.gtid), 1);
+        omplt_trace::count(
+            &format!("{}.chunks.static.t{}", e.trace_prefix(), ctx.gtid),
+            1,
+        );
     }
-    it.mem.store(plb, 8, my_lb as u64).map_err(mem)?;
-    it.mem.store(pub_, 8, my_ub as u64).map_err(mem)?;
-    it.mem.store(pstride, 8, stride as u64).map_err(mem)?;
-    it.mem.store(plast, 4, is_last as u64).map_err(mem)?;
+    if let Some(log) = e.chunk_log() {
+        if my_lb <= my_ub {
+            log.record(ChunkKind::StaticInit, my_lb, my_ub);
+        }
+    }
+    e.mem().store(plb, 8, my_lb as u64).map_err(mem)?;
+    e.mem().store(pub_, 8, my_ub as u64).map_err(mem)?;
+    e.mem().store(pstride, 8, stride as u64).map_err(mem)?;
+    e.mem().store(plast, 4, is_last as u64).map_err(mem)?;
     Ok(None)
 }
 
 /// `__kmpc_dispatch_init_8(gtid, sched, lb, ub, st, chunk)` — registers a
 /// dispatch (dynamic/guided/runtime) worksharing loop with the team. The
 /// first team member to arrive creates the shared queue; the rest join it.
-fn dispatch_init(
-    it: &Interpreter<'_>,
+fn dispatch_init<E: Engine>(
+    e: &E,
     args: Vec<RtVal>,
     ctx: &ThreadCtx,
 ) -> Result<Option<RtVal>, ExecError> {
@@ -539,8 +562,8 @@ fn dispatch_init(
         SCHED_DYNAMIC_CHUNKED => (DispatchKind::Dynamic, chunk),
         SCHED_GUIDED_CHUNKED => (DispatchKind::Guided, chunk),
         SCHED_RUNTIME => {
-            let rs = it
-                .cfg
+            let rs = e
+                .cfg()
                 .runtime_schedule
                 .unwrap_or_else(RuntimeSchedule::from_env);
             (rs.kind, rs.chunk)
@@ -572,8 +595,8 @@ fn dispatch_init(
 /// `__kmpc_dispatch_next_8(gtid, plast, plb, pub, pstride)` — claims the
 /// next chunk from the shared queue. Returns 1 with `[*plb, *pub]` filled
 /// in, or 0 when the iteration space is exhausted.
-fn dispatch_next(
-    it: &Interpreter<'_>,
+fn dispatch_next<E: Engine>(
+    e: &E,
     args: Vec<RtVal>,
     ctx: &ThreadCtx,
 ) -> Result<Option<RtVal>, ExecError> {
@@ -599,13 +622,24 @@ fn dispatch_next(
                     DispatchKind::Dynamic => "dynamic",
                     DispatchKind::Guided => "guided",
                 };
-                omplt_trace::count(&format!("interp.chunks.{kind}.t{}", ctx.gtid), 1);
+                omplt_trace::count(
+                    &format!("{}.chunks.{kind}.t{}", e.trace_prefix(), ctx.gtid),
+                    1,
+                );
             }
-            let mem = |e: crate::memory::MemError| ExecError::Mem(e.what);
-            it.mem.store(plb, 8, lo as u64).map_err(mem)?;
-            it.mem.store(pub_, 8, hi as u64).map_err(mem)?;
-            it.mem.store(pstride, 8, 1).map_err(mem)?;
-            it.mem.store(plast, 4, last as u64).map_err(mem)?;
+            if let Some(log) = e.chunk_log() {
+                let kind = match dl.kind {
+                    DispatchKind::Static => ChunkKind::Static,
+                    DispatchKind::Dynamic => ChunkKind::Dynamic,
+                    DispatchKind::Guided => ChunkKind::Guided,
+                };
+                log.record(kind, lo, hi);
+            }
+            let mem = |err: crate::memory::MemError| ExecError::Mem(err.what);
+            e.mem().store(plb, 8, lo as u64).map_err(mem)?;
+            e.mem().store(pub_, 8, hi as u64).map_err(mem)?;
+            e.mem().store(pstride, 8, 1).map_err(mem)?;
+            e.mem().store(plast, 4, last as u64).map_err(mem)?;
             Ok(Some(RtVal::I(1)))
         }
         None => {
@@ -622,6 +656,7 @@ fn dispatch_next(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Interpreter;
     use omplt_ir::{Function, IrBuilder, IrType, Module, Value};
     use std::collections::HashSet;
 

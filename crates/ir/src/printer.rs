@@ -51,9 +51,25 @@ pub fn print_function(f: &Function, m: &Module) -> String {
         .map(|(i, t)| format!("{t} %arg{i}"))
         .collect();
     let _ = writeln!(out, "define {} @{}({}) {{", f.ret, f.name, ps.join(", "));
+    let preds = f.predecessors();
     for (i, b) in f.blocks.iter().enumerate() {
         let id = BlockId(i as u32);
-        let _ = writeln!(out, "{}:", block_label(f, id));
+        // Every label carries a predecessor comment (LLVM `-print-after-all`
+        // style), normalized so dumps diff cleanly: the entry block is bare,
+        // any other predecessor-less block says so explicitly.
+        let _ = write!(out, "{}:", block_label(f, id));
+        if i != 0 {
+            if preds[i].is_empty() {
+                out.push_str("    ; no predecessors");
+            } else {
+                let ps: Vec<String> = preds[i]
+                    .iter()
+                    .map(|p| format!("%{}", block_label(f, *p)))
+                    .collect();
+                let _ = write!(out, "    ; preds = {}", ps.join(", "));
+            }
+        }
+        out.push('\n');
         for &inst in &b.insts {
             let _ = writeln!(out, "  {}", print_inst(f, m, inst));
         }
@@ -225,6 +241,33 @@ mod tests {
         assert!(text.contains("store i64 42"), "{text}");
         assert!(text.contains("call void @print_i64"), "{text}");
         assert!(text.contains("ret i32 0"), "{text}");
+    }
+
+    #[test]
+    fn block_labels_carry_normalized_pred_comments() {
+        let mut m = Module::new();
+        let mut f = Function::new("g", vec![IrType::I64], IrType::Void);
+        let orphan;
+        {
+            let mut b = IrBuilder::new(&mut f);
+            let exit = b.create_block("exit");
+            orphan = b.create_block("orphan");
+            b.br(exit);
+            b.set_insert_point(exit);
+            b.ret(None);
+            b.set_insert_point(orphan);
+            b.ret(None);
+        }
+        let _ = orphan;
+        m.add_function(f);
+        let text = print_module(&m);
+        // Entry: bare label, no comment (it has no predecessors by design).
+        assert!(text.contains("entry.0:\n"), "{text}");
+        // Reachable non-entry block: explicit preds list.
+        assert!(text.contains("exit.1:    ; preds = %entry.0\n"), "{text}");
+        // Unreachable non-entry block: explicit "no predecessors" marker
+        // rather than silently looking like the entry.
+        assert!(text.contains("orphan.2:    ; no predecessors\n"), "{text}");
     }
 
     #[test]

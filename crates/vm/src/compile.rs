@@ -1,0 +1,713 @@
+//! IR → bytecode lowering.
+//!
+//! The interpreter's per-instruction overheads — `Option<RtVal>` frame slots,
+//! operand re-`match`ing, recursive `value_type` queries, per-block phi
+//! scans — are all paid at *compile* time here instead:
+//!
+//! * Blocks are linearized in reverse-postorder; branch targets become
+//!   instruction offsets.
+//! * Every SSA value gets a virtual register; phis are eliminated into edge
+//!   copies (with parallel-copy temporaries on multi-phi edges, and critical
+//!   edges from conditional branches split via trampoline blocks).
+//! * Non-escaping scalar `alloca` slots — the locals C frontends emit for
+//!   every variable — are promoted to registers (mem2reg-style), turning the
+//!   hottest loads/stores into register moves.
+//! * Distinct constants are loaded once in an entry prologue, not per use.
+//! * A peephole pass ([`crate::peephole`]) then propagates copies, deletes
+//!   dead ops, and fuses compare/branch pairs, and a linear-scan pass
+//!   ([`crate::regalloc`]) compacts the register file.
+
+use crate::ops::{CallTarget, Op, PoolConst, Reg, RegClass, VmFunction, VmModule};
+use crate::peephole;
+use crate::regalloc;
+use omplt_interp::RtVal;
+use omplt_ir::{BlockId, Function, Inst, InstId, IrType, Module, Terminator, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Why a function could not be lowered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The function needs more than `u16::MAX` registers.
+    TooManyRegs {
+        /// Function name.
+        func: String,
+    },
+    /// Some table exceeded its encoding width (op stream, constant pool,
+    /// call-target table, allocation size, GEP element size).
+    TooLarge {
+        /// Function name.
+        func: String,
+        /// Which table overflowed.
+        what: String,
+    },
+    /// Structurally invalid IR reached the lowerer (the IR verifier should
+    /// have rejected it earlier).
+    Malformed {
+        /// Function name.
+        func: String,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TooManyRegs { func } => {
+                write!(f, "@{func}: register file exceeds 65535 registers")
+            }
+            CompileError::TooLarge { func, what } => {
+                write!(f, "@{func}: {what} exceeds its encoding width")
+            }
+            CompileError::Malformed { func, what } => write!(f, "@{func}: malformed IR: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles every function of `m` to bytecode. Function order (and therefore
+/// [`CallTarget::Bytecode`] indices) follows module order, and call
+/// resolution uses the same precedence as the interpreter: module-defined
+/// functions first, then runtime shims.
+pub fn compile_module(m: &Module) -> Result<VmModule, CompileError> {
+    let _span = omplt_trace::span("vm.compile");
+    // First name occurrence wins, matching `Module::function`.
+    let mut fn_index: HashMap<&str, u32> = HashMap::new();
+    for (i, f) in m.functions.iter().enumerate() {
+        fn_index.entry(f.name.as_str()).or_insert(i as u32);
+    }
+    let mut funcs = Vec::with_capacity(m.functions.len());
+    let mut promoted_total = 0u64;
+    let mut removed_total = 0u64;
+    for f in &m.functions {
+        let (vf, promoted, removed) = compile_function(m, f, &fn_index)?;
+        promoted_total += promoted as u64;
+        removed_total += removed as u64;
+        funcs.push(vf);
+    }
+    let vm = VmModule { funcs };
+    if omplt_trace::active() {
+        omplt_trace::count("vm.compile.functions", vm.funcs.len() as u64);
+        omplt_trace::count("vm.compile.ops", vm.num_ops() as u64);
+        omplt_trace::count("vm.compile.promoted", promoted_total);
+        omplt_trace::count("vm.compile.peephole.removed", removed_total);
+    }
+    Ok(vm)
+}
+
+/// Dedup key for constant-pool entries (`RtVal` holds an `f64`, so the pool
+/// itself cannot be a hash key; floats key by bit pattern).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum ConstKey {
+    Int(i64),
+    Float(u64),
+    PtrZero,
+    Global(u32),
+    Fn(u32),
+}
+
+/// Maps a constant-like [`Value`] to its dedup key and pool entry. `Undef`
+/// lowers to the zero of its class — same observable behaviour as the
+/// interpreter (`F(0.0)` for floats, zero bits otherwise).
+fn const_of(v: Value) -> Option<(ConstKey, PoolConst)> {
+    match v {
+        Value::Inst(_) | Value::Arg(_) => None,
+        Value::ConstInt { val, .. } => Some((ConstKey::Int(val), PoolConst::Val(RtVal::I(val)))),
+        Value::ConstFloat { bits, .. } => Some((
+            ConstKey::Float(bits),
+            PoolConst::Val(RtVal::F(f64::from_bits(bits))),
+        )),
+        Value::Global(s) => Some((ConstKey::Global(s.0), PoolConst::Global(s))),
+        Value::FuncRef(s) => Some((ConstKey::Fn(s.0), PoolConst::FnPtr(s))),
+        Value::Undef(ty) => Some(if ty.is_float() {
+            (
+                ConstKey::Float(0f64.to_bits()),
+                PoolConst::Val(RtVal::F(0.0)),
+            )
+        } else if ty == IrType::Ptr {
+            (ConstKey::PtrZero, PoolConst::Val(RtVal::P(0)))
+        } else {
+            (ConstKey::Int(0), PoolConst::Val(RtVal::I(0)))
+        }),
+    }
+}
+
+/// Finds the scalar `alloca`s that can live in a register: one element, word
+/// or smaller, and used *only* as the direct address of same-typed loads and
+/// stores (never as a stored value, call argument, GEP base, or any other
+/// operand — those escape the slot and force it to stay in guest memory).
+fn promotable_allocas(f: &Function, rpo: &[BlockId]) -> HashSet<InstId> {
+    let mut candidates: HashMap<InstId, IrType> = HashMap::new();
+    for &bb in rpo {
+        for &iid in &f.block(bb).insts {
+            if let Inst::Alloca { ty, count: 1, .. } = f.inst(iid) {
+                if *ty != IrType::Void && (1..=8).contains(&ty.size()) {
+                    candidates.insert(iid, *ty);
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return HashSet::new();
+    }
+    let disqualify = |candidates: &mut HashMap<InstId, IrType>, v: Value| {
+        if let Value::Inst(id) = v {
+            candidates.remove(&id);
+        }
+    };
+    for &bb in rpo {
+        for &iid in &f.block(bb).insts {
+            match f.inst(iid) {
+                Inst::Load { ty, ptr } => {
+                    if let Value::Inst(a) = ptr {
+                        if candidates.get(a).is_some_and(|aty| aty != ty) {
+                            candidates.remove(a);
+                        }
+                    }
+                }
+                Inst::Store { val, ptr } => {
+                    disqualify(&mut candidates, *val);
+                    if let Value::Inst(a) = ptr {
+                        if candidates
+                            .get(a)
+                            .is_some_and(|aty| *aty != f.value_type(*val))
+                        {
+                            candidates.remove(a);
+                        }
+                    }
+                }
+                other => {
+                    for v in other.operands() {
+                        disqualify(&mut candidates, v);
+                    }
+                }
+            }
+        }
+        if let Some(t) = &f.block(bb).term {
+            match t {
+                Terminator::CondBr { cond, .. } => disqualify(&mut candidates, *cond),
+                Terminator::Ret(Some(v)) => disqualify(&mut candidates, *v),
+                _ => {}
+            }
+        }
+    }
+    candidates.into_keys().collect()
+}
+
+/// Jump-target placeholder, patched once every block offset is known.
+enum Fixup {
+    /// `Jmp` at this op index targets the given IR block.
+    Jmp(usize, BlockId),
+    /// `Br` at this op index: the true (`then`) or false arm targets the
+    /// given IR block directly (no trampoline needed).
+    BrArm(usize, bool, BlockId),
+}
+
+struct FuncCompiler<'a> {
+    m: &'a Module,
+    f: &'a Function,
+    fn_index: &'a HashMap<&'a str, u32>,
+    promoted: HashMap<InstId, Reg>,
+    vreg_class: Vec<RegClass>,
+    inst_reg: HashMap<InstId, Reg>,
+    const_reg: HashMap<ConstKey, Reg>,
+    pool: Vec<PoolConst>,
+    pool_idx: HashMap<ConstKey, u16>,
+    ops: Vec<Op>,
+    call_args: Vec<Reg>,
+    call_targets: Vec<CallTarget>,
+    target_idx: HashMap<CallTarget, u16>,
+    block_starts: Vec<u32>,
+    block_off: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+}
+
+impl<'a> FuncCompiler<'a> {
+    fn err_large(&self, what: &str) -> CompileError {
+        CompileError::TooLarge {
+            func: self.f.name.clone(),
+            what: what.to_string(),
+        }
+    }
+
+    fn new_vreg(&mut self, class: RegClass) -> Result<Reg, CompileError> {
+        if self.vreg_class.len() >= u16::MAX as usize {
+            return Err(CompileError::TooManyRegs {
+                func: self.f.name.clone(),
+            });
+        }
+        let r = self.vreg_class.len() as Reg;
+        self.vreg_class.push(class);
+        Ok(r)
+    }
+
+    /// Interns a constant: pool entry plus the prologue-loaded register.
+    fn const_vreg(&mut self, key: ConstKey, entry: PoolConst) -> Result<Reg, CompileError> {
+        if let Some(&r) = self.const_reg.get(&key) {
+            return Ok(r);
+        }
+        if self.pool.len() >= u16::MAX as usize {
+            return Err(self.err_large("constant pool"));
+        }
+        let idx = self.pool.len() as u16;
+        self.pool.push(entry);
+        self.pool_idx.insert(key, idx);
+        let r = self.new_vreg(entry.class())?;
+        self.const_reg.insert(key, r);
+        Ok(r)
+    }
+
+    /// The register holding `v` (instruction result, argument, or
+    /// prologue-loaded constant).
+    fn reg_of(&mut self, v: Value) -> Result<Reg, CompileError> {
+        match v {
+            Value::Inst(id) => {
+                self.inst_reg
+                    .get(&id)
+                    .copied()
+                    .ok_or_else(|| CompileError::Malformed {
+                        func: self.f.name.clone(),
+                        what: format!("use of void or promoted value %{}", id.0),
+                    })
+            }
+            Value::Arg(i) => {
+                if (i as usize) < self.f.params.len() {
+                    Ok(i as Reg)
+                } else {
+                    Err(CompileError::Malformed {
+                        func: self.f.name.clone(),
+                        what: format!("argument {i} out of range"),
+                    })
+                }
+            }
+            other => {
+                let (key, entry) = const_of(other).expect("non-ssa value is a constant");
+                self.const_vreg(key, entry)
+            }
+        }
+    }
+
+    fn mark_block_start(&mut self) {
+        self.block_starts.push(self.ops.len() as u32);
+    }
+
+    /// The phi copies needed on the edge `pred → succ`:
+    /// `(phi register, source value)` pairs, in phi order.
+    fn edge_pairs(
+        &mut self,
+        pred: BlockId,
+        succ: BlockId,
+    ) -> Result<Vec<(Reg, Reg)>, CompileError> {
+        let mut pairs = Vec::new();
+        for &iid in &self.f.block(succ).insts {
+            let Inst::Phi { incoming, .. } = self.f.inst(iid) else {
+                break;
+            };
+            let Some((_, val)) = incoming.iter().find(|(b, _)| *b == pred) else {
+                return Err(CompileError::Malformed {
+                    func: self.f.name.clone(),
+                    what: format!("phi %{} has no edge for predecessor {}", iid.0, pred.0),
+                });
+            };
+            let val = *val;
+            let dst = self.inst_reg[&iid];
+            let src = self.reg_of(val)?;
+            pairs.push((dst, src));
+        }
+        Ok(pairs)
+    }
+
+    /// Emits the copies for one edge with simultaneous-assignment semantics:
+    /// multi-phi edges go through fresh temporaries (a phi source may itself
+    /// be another phi's destination), single copies move directly.
+    fn emit_edge_moves(&mut self, pairs: &[(Reg, Reg)]) -> Result<(), CompileError> {
+        match pairs {
+            [] => {}
+            &[(dst, src)] => {
+                if dst != src {
+                    self.ops.push(Op::Mov { dst, src });
+                }
+            }
+            many => {
+                let mut temps = Vec::with_capacity(many.len());
+                for &(dst, src) in many {
+                    let t = self.new_vreg(self.vreg_class[dst as usize])?;
+                    self.ops.push(Op::Mov { dst: t, src });
+                    temps.push((dst, t));
+                }
+                for (dst, t) in temps {
+                    self.ops.push(Op::Mov { dst, src: t });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_inst(&mut self, iid: InstId, inst: &Inst) -> Result<(), CompileError> {
+        match inst {
+            Inst::Phi { .. } => {} // eliminated into edge copies
+            Inst::Alloca { ty, count, .. } => {
+                if let Some(&slot) = self.promoted.get(&iid) {
+                    // A fresh alloca is zero-initialized; re-executing the
+                    // op (alloca inside a loop) must reset the slot too.
+                    let (key, entry) = const_of(Value::Undef(*ty)).expect("undef is a constant");
+                    let src = self.const_vreg(key, entry)?;
+                    self.ops.push(Op::Mov { dst: slot, src });
+                } else {
+                    let bytes = ty.size().max(1) * (*count).max(1);
+                    let bytes = u32::try_from(bytes).map_err(|_| self.err_large("alloca size"))?;
+                    let dst = self.inst_reg[&iid];
+                    self.ops.push(Op::Alloca { dst, bytes });
+                }
+            }
+            Inst::Load { ty, ptr } => {
+                let dst = self.inst_reg[&iid];
+                if let Value::Inst(a) = ptr {
+                    if let Some(&slot) = self.promoted.get(a) {
+                        self.ops.push(Op::Mov { dst, src: slot });
+                        return Ok(());
+                    }
+                }
+                let addr = self.reg_of(*ptr)?;
+                self.ops.push(Op::Load { dst, addr, ty: *ty });
+            }
+            Inst::Store { val, ptr } => {
+                let src = self.reg_of(*val)?;
+                if let Value::Inst(a) = ptr {
+                    if let Some(&slot) = self.promoted.get(a) {
+                        self.ops.push(Op::Mov { dst: slot, src });
+                        return Ok(());
+                    }
+                }
+                let ty = self.f.value_type(*val);
+                let addr = self.reg_of(*ptr)?;
+                self.ops.push(Op::Store { src, addr, ty });
+            }
+            Inst::Gep {
+                ptr,
+                index,
+                elem_size,
+            } => {
+                let elem_size =
+                    u32::try_from(*elem_size).map_err(|_| self.err_large("gep element size"))?;
+                let dst = self.inst_reg[&iid];
+                let base = self.reg_of(*ptr)?;
+                let index = self.reg_of(*index)?;
+                self.ops.push(Op::Gep {
+                    dst,
+                    base,
+                    index,
+                    elem_size,
+                });
+            }
+            Inst::Bin { op, lhs, rhs } => {
+                let ty = self.f.value_type(*lhs);
+                let dst = self.inst_reg[&iid];
+                let lhs = self.reg_of(*lhs)?;
+                let rhs = self.reg_of(*rhs)?;
+                self.ops.push(Op::Bin {
+                    op: *op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                });
+            }
+            Inst::Cmp { pred, lhs, rhs } => {
+                let ty = self.f.value_type(*lhs);
+                let dst = self.inst_reg[&iid];
+                let lhs = self.reg_of(*lhs)?;
+                let rhs = self.reg_of(*rhs)?;
+                self.ops.push(Op::Cmp {
+                    pred: *pred,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                });
+            }
+            Inst::Cast { op, val, to } => {
+                let from = self.f.value_type(*val);
+                let dst = self.inst_reg[&iid];
+                let src = self.reg_of(*val)?;
+                self.ops.push(Op::Cast {
+                    op: *op,
+                    from,
+                    to: *to,
+                    dst,
+                    src,
+                });
+            }
+            Inst::Select { cond, t, f: fv } => {
+                let dst = self.inst_reg[&iid];
+                let cond = self.reg_of(*cond)?;
+                let t = self.reg_of(*t)?;
+                let fv = self.reg_of(*fv)?;
+                self.ops.push(Op::Select {
+                    dst,
+                    cond,
+                    t,
+                    f: fv,
+                });
+            }
+            Inst::Call { callee, args, ty } => {
+                // Same precedence as the interpreter: module functions
+                // shadow runtime shims, resolved once here.
+                let name = self.m.symbol_name(callee.0);
+                let target = match self.fn_index.get(name) {
+                    Some(&i) => CallTarget::Bytecode(i),
+                    None => CallTarget::Runtime(callee.0),
+                };
+                let target = match self.target_idx.get(&target) {
+                    Some(&i) => i,
+                    None => {
+                        if self.call_targets.len() >= u16::MAX as usize {
+                            return Err(self.err_large("call-target table"));
+                        }
+                        let i = self.call_targets.len() as u16;
+                        self.call_targets.push(target);
+                        self.target_idx.insert(target, i);
+                        i
+                    }
+                };
+                let args_at = u32::try_from(self.call_args.len())
+                    .map_err(|_| self.err_large("call-argument pool"))?;
+                let nargs =
+                    u16::try_from(args.len()).map_err(|_| self.err_large("argument count"))?;
+                for a in args {
+                    let r = self.reg_of(*a)?;
+                    self.call_args.push(r);
+                }
+                let dst = if *ty == IrType::Void {
+                    None
+                } else {
+                    Some(self.inst_reg[&iid])
+                };
+                self.ops.push(Op::Call {
+                    target,
+                    args_at,
+                    nargs,
+                    ret: *ty,
+                    dst,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_terminator(&mut self, bb: BlockId, term: &Terminator) -> Result<(), CompileError> {
+        match term {
+            Terminator::Br { target, .. } => {
+                let pairs = self.edge_pairs(bb, *target)?;
+                self.emit_edge_moves(&pairs)?;
+                self.fixups.push(Fixup::Jmp(self.ops.len(), *target));
+                self.ops.push(Op::Jmp { target: 0 });
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+                ..
+            } => {
+                let cond = self.reg_of(*cond)?;
+                let then_pairs = self.edge_pairs(bb, *then_bb)?;
+                let else_pairs = self.edge_pairs(bb, *else_bb)?;
+                let br_at = self.ops.len();
+                self.ops.push(Op::Br {
+                    cond,
+                    then_t: 0,
+                    else_t: 0,
+                });
+                // Critical-edge split: an edge that needs copies gets a
+                // trampoline block right after the branch.
+                for (is_then, succ, pairs) in
+                    [(true, *then_bb, then_pairs), (false, *else_bb, else_pairs)]
+                {
+                    if pairs.is_empty() {
+                        self.fixups.push(Fixup::BrArm(br_at, is_then, succ));
+                    } else {
+                        let tramp = self.ops.len() as u32;
+                        self.mark_block_start();
+                        self.emit_edge_moves(&pairs)?;
+                        self.fixups.push(Fixup::Jmp(self.ops.len(), succ));
+                        self.ops.push(Op::Jmp { target: 0 });
+                        if let Op::Br { then_t, else_t, .. } = &mut self.ops[br_at] {
+                            if is_then {
+                                *then_t = tramp;
+                            } else {
+                                *else_t = tramp;
+                            }
+                        }
+                    }
+                }
+            }
+            Terminator::Ret(v) => {
+                let src = match v {
+                    Some(v) => Some(self.reg_of(*v)?),
+                    None => None,
+                };
+                self.ops.push(Op::Ret { src });
+            }
+            Terminator::Unreachable => self.ops.push(Op::Unreachable),
+        }
+        Ok(())
+    }
+
+    fn patch_fixups(&mut self) -> Result<(), CompileError> {
+        for fix in std::mem::take(&mut self.fixups) {
+            let (at, block) = match fix {
+                Fixup::Jmp(at, b) | Fixup::BrArm(at, _, b) => (at, b),
+            };
+            let off = self.block_off[block.0 as usize].ok_or_else(|| CompileError::Malformed {
+                func: self.f.name.clone(),
+                what: format!("branch to unreachable block {}", block.0),
+            })?;
+            match (&mut self.ops[at], fix) {
+                (Op::Jmp { target }, Fixup::Jmp(..)) => *target = off,
+                (Op::Br { then_t, .. }, Fixup::BrArm(_, true, _)) => *then_t = off,
+                (Op::Br { else_t, .. }, Fixup::BrArm(_, false, _)) => *else_t = off,
+                _ => unreachable!("fixup does not match its op"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers one function; returns the compiled body plus the numbers of
+/// promoted `alloca` slots and peephole-removed ops (for the
+/// `vm.compile.promoted` / `vm.compile.peephole.removed` counters).
+fn compile_function(
+    m: &Module,
+    f: &Function,
+    fn_index: &HashMap<&str, u32>,
+) -> Result<(VmFunction, usize, usize), CompileError> {
+    let rpo = f.reverse_postorder();
+    let promoted_set = promotable_allocas(f, &rpo);
+    let mut c = FuncCompiler {
+        m,
+        f,
+        fn_index,
+        promoted: HashMap::new(),
+        vreg_class: Vec::new(),
+        inst_reg: HashMap::new(),
+        const_reg: HashMap::new(),
+        pool: Vec::new(),
+        pool_idx: HashMap::new(),
+        ops: Vec::new(),
+        call_args: Vec::new(),
+        call_targets: Vec::new(),
+        target_idx: HashMap::new(),
+        block_starts: Vec::new(),
+        block_off: vec![None; f.blocks.len()],
+        fixups: Vec::new(),
+    };
+
+    // Virtual registers: arguments first (frame entry copies them in).
+    for &p in &f.params {
+        c.new_vreg(RegClass::of(p))?;
+    }
+    let params: Vec<Reg> = (0..f.params.len() as u16).collect();
+
+    // Then one per SSA value (promoted allocas get their slot register; the
+    // pointer they used to produce never materializes).
+    for &bb in &rpo {
+        for &iid in &f.block(bb).insts {
+            let inst = f.inst(iid);
+            if let Inst::Alloca { ty, .. } = inst {
+                if promoted_set.contains(&iid) {
+                    let slot = c.new_vreg(RegClass::of(*ty))?;
+                    c.promoted.insert(iid, slot);
+                    continue;
+                }
+            }
+            let ty = inst.result_type(|v| f.value_type(v));
+            if ty != IrType::Void {
+                let r = c.new_vreg(RegClass::of(ty))?;
+                c.inst_reg.insert(iid, r);
+            }
+        }
+    }
+
+    // Pre-intern every constant any reachable instruction, phi edge, or
+    // terminator mentions, so the prologue can be emitted *first* (as the
+    // head of the entry block) and no offsets ever need shifting.
+    for &bb in &rpo {
+        for &iid in &f.block(bb).insts {
+            if c.promoted.contains_key(&iid) {
+                // Promoted alloca re-zeroing needs the zero of its class.
+                if let Inst::Alloca { ty, .. } = f.inst(iid) {
+                    let (key, entry) = const_of(Value::Undef(*ty)).expect("undef is a constant");
+                    c.const_vreg(key, entry)?;
+                }
+                continue;
+            }
+            for v in f.inst(iid).operands() {
+                if let Some((key, entry)) = const_of(v) {
+                    c.const_vreg(key, entry)?;
+                }
+            }
+        }
+        let term_val = match &f.block(bb).term {
+            Some(Terminator::CondBr { cond, .. }) => Some(*cond),
+            Some(Terminator::Ret(Some(v))) => Some(*v),
+            _ => None,
+        };
+        if let Some((key, entry)) = term_val.and_then(const_of) {
+            c.const_vreg(key, entry)?;
+        }
+    }
+
+    // Emission. The prologue belongs to the entry block: block offset 0
+    // covers it, so a backedge into the entry re-runs the (idempotent)
+    // constant loads — liveness-based intervals keep those registers from
+    // being reused across any such edge.
+    for (i, &bb) in rpo.iter().enumerate() {
+        c.block_off[bb.0 as usize] = Some(c.ops.len() as u32);
+        c.mark_block_start();
+        if i == 0 {
+            let mut loads: Vec<(u16, Reg)> = c
+                .const_reg
+                .iter()
+                .map(|(key, &reg)| (c.pool_idx[key], reg))
+                .collect();
+            loads.sort_unstable();
+            for (idx, dst) in loads {
+                c.ops.push(Op::Const { dst, idx });
+            }
+        }
+        for &iid in &f.block(bb).insts {
+            c.emit_inst(iid, f.inst(iid))?;
+        }
+        let term = f
+            .block(bb)
+            .term
+            .as_ref()
+            .ok_or_else(|| CompileError::Malformed {
+                func: f.name.clone(),
+                what: format!("unterminated block {}", f.block(bb).name),
+            })?;
+        c.emit_terminator(bb, term)?;
+    }
+    c.patch_fixups()?;
+
+    if c.ops.len() > u32::MAX as usize {
+        return Err(c.err_large("op stream"));
+    }
+
+    let mut vf = VmFunction {
+        name: f.name.clone(),
+        params,
+        num_regs: c.vreg_class.len() as u16,
+        reg_class: c.vreg_class,
+        ops: c.ops,
+        consts: c.pool,
+        call_args: c.call_args,
+        call_targets: c.call_targets,
+        block_starts: c.block_starts,
+        ret: f.ret,
+    };
+    let removed = peephole::optimize(&mut vf);
+    regalloc::allocate(&mut vf);
+    Ok((vf, c.promoted.len(), removed))
+}

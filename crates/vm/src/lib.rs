@@ -1,0 +1,39 @@
+//! # omplt-vm
+//!
+//! A register-based bytecode execution backend for `omplt-ir`, selected with
+//! `ompltc --backend=vm` (the tree-walking interpreter in `omplt-interp`
+//! stays the default and serves as the semantic oracle).
+//!
+//! Three layers:
+//!
+//! * [`compile`] — lowers a verified IR [`omplt_ir::Module`] to flat
+//!   bytecode: blocks are linearized in reverse-postorder, SSA values get
+//!   virtual registers (phis become edge copies, hot scalar `alloca` slots
+//!   are promoted to registers mem2reg-style), a peephole pass
+//!   ([`peephole`]) propagates copies, deletes dead ops, and fuses
+//!   compare/branch pairs, and a linear-scan pass compacts the register
+//!   file.
+//! * [`verify`] — a load-time bytecode verifier (register def-before-use,
+//!   in-bounds jump targets, type-class-consistent operands) that runs on
+//!   every compiled module and again under `--verify-each`.
+//! * [`vm`] — the execution engine: a `pc` loop over a dense `#[repr(u8)]`
+//!   opcode `match`, unsafe-free, sharing the interpreter's [`omplt_interp::Memory`]
+//!   and — via the [`omplt_interp::Engine`] trait — its entire OpenMP runtime
+//!   (`__kmpc_fork_call` thread teams, every worksharing schedule, barriers),
+//!   so tile/unroll/`nowait` behave identically on both backends.
+//!
+//! Arithmetic reuses the interpreter's `exec_bin`/`exec_cmp`/`exec_cast`
+//! helpers, so results are bit-identical by construction and differential
+//! tests can compare observable memory state across backends exactly.
+
+pub mod compile;
+pub mod ops;
+pub mod peephole;
+pub mod regalloc;
+pub mod verify;
+pub mod vm;
+
+pub use compile::{compile_module, CompileError};
+pub use ops::{disasm, CallTarget, Op, PoolConst, Reg, RegClass, VmFunction, VmModule};
+pub use verify::{verify_function, verify_module, VerifyError};
+pub use vm::VmEngine;

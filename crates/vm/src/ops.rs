@@ -1,0 +1,704 @@
+//! The bytecode format: a register machine over [`RtVal`] values.
+//!
+//! Each function is one flat `Vec<Op>` — the CFG is linearized in
+//! reverse-postorder and branch targets are instruction offsets, so the hot
+//! execution loop is `pc`-increment plus one `match` on a dense `#[repr(u8)]`
+//! opcode (no block lookups, no phi scans, no operand re-matching).
+//!
+//! Registers are virtual (`u16` indices into a per-frame register file),
+//! typed by coarse [`RegClass`]; constants live in a per-function pool
+//! (globals and function references are pool entries resolved once per run,
+//! not per use).
+
+use omplt_interp::RtVal;
+use omplt_ir::{BinOpKind, CastOp, CmpPred, IrType, SymbolId};
+
+/// A virtual register index within one frame.
+pub type Reg = u16;
+
+/// Coarse register type class — enough to verify operand compatibility
+/// (the fine-grained `IrType` rides on the ops that need width information).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RegClass {
+    /// Integers of any width (sign-extended into `i64` storage).
+    Int,
+    /// `f32`/`f64` (stored as `f64`).
+    Float,
+    /// Guest pointers.
+    Ptr,
+}
+
+impl RegClass {
+    /// The class a value of IR type `ty` lives in.
+    pub fn of(ty: IrType) -> RegClass {
+        if ty.is_float() {
+            RegClass::Float
+        } else if ty == IrType::Ptr {
+            RegClass::Ptr
+        } else {
+            RegClass::Int
+        }
+    }
+
+    /// Display letter (`i`/`f`/`p`) for the disassembler and diagnostics.
+    pub fn letter(self) -> char {
+        match self {
+            RegClass::Int => 'i',
+            RegClass::Float => 'f',
+            RegClass::Ptr => 'p',
+        }
+    }
+}
+
+impl std::fmt::Display for RegClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("int"),
+            RegClass::Float => f.write_str("float"),
+            RegClass::Ptr => f.write_str("ptr"),
+        }
+    }
+}
+
+/// A constant-pool entry. `Global` and `FnPtr` are *symbolic*: their guest
+/// addresses exist only once an engine has materialized the module, so the
+/// engine resolves the pool to flat [`RtVal`]s at construction time.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PoolConst {
+    /// An immediate value.
+    Val(RtVal),
+    /// Address of a module global (resolved at engine startup).
+    Global(SymbolId),
+    /// Tagged function pointer (for `__kmpc_fork_call` targets).
+    FnPtr(SymbolId),
+}
+
+impl PoolConst {
+    /// The register class a load of this constant produces.
+    pub fn class(self) -> RegClass {
+        match self {
+            PoolConst::Val(RtVal::I(_)) => RegClass::Int,
+            PoolConst::Val(RtVal::F(_)) => RegClass::Float,
+            PoolConst::Val(RtVal::P(_)) | PoolConst::Global(_) | PoolConst::FnPtr(_) => {
+                RegClass::Ptr
+            }
+        }
+    }
+}
+
+/// Who a `Call` op targets: another bytecode function, or a name served by
+/// the shared OpenMP/IO runtime (resolution happens at compile time — the
+/// module-functions-first precedence is baked into the bytecode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CallTarget {
+    /// Index into [`VmModule::funcs`].
+    Bytecode(u32),
+    /// Runtime shim, dispatched by interned name.
+    Runtime(SymbolId),
+}
+
+/// One bytecode instruction.
+///
+/// `#[repr(u8)]` keeps the discriminant a single dense byte, so the
+/// dispatch `match` compiles to a jump table.
+#[repr(u8)]
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Op {
+    /// `dst = consts[idx]`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant-pool index.
+        idx: u16,
+    },
+    /// `dst = src` (phi-edge copies, promoted-slot reads/writes).
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = alloc(bytes)` — fresh zeroed guest allocation.
+    Alloca {
+        /// Destination (pointer) register.
+        dst: Reg,
+        /// Allocation size in bytes (≥ 1).
+        bytes: u32,
+    },
+    /// `dst = *(ty*)addr`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Loaded type (width + decode).
+        ty: IrType,
+    },
+    /// `*(ty*)addr = src`.
+    Store {
+        /// Value register.
+        src: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Stored type (width + encode).
+        ty: IrType,
+    },
+    /// `dst = base + index * elem_size` (byte-scaled GEP).
+    Gep {
+        /// Destination (pointer) register.
+        dst: Reg,
+        /// Base pointer register.
+        base: Reg,
+        /// Index register (sign-extended).
+        index: Reg,
+        /// Element size in bytes.
+        elem_size: u32,
+    },
+    /// `dst = lhs <op> rhs` at width `ty`.
+    Bin {
+        /// Operation.
+        op: BinOpKind,
+        /// Operand type (wrapping width / pointer flavor).
+        ty: IrType,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = lhs <pred> rhs` (yields 0/1).
+    Cmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Operand type.
+        ty: IrType,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = cast<op>(src)`.
+    Cast {
+        /// Conversion.
+        op: CastOp,
+        /// Source type.
+        from: IrType,
+        /// Destination type.
+        to: IrType,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = cond ? t : f`.
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Condition register (0 = false).
+        cond: Reg,
+        /// Value if true.
+        t: Reg,
+        /// Value if false.
+        f: Reg,
+    },
+    /// Call `call_targets[target]` with `call_args[args_at .. args_at+nargs]`.
+    Call {
+        /// Index into [`VmFunction::call_targets`].
+        target: u16,
+        /// Start of the argument-register run in [`VmFunction::call_args`].
+        args_at: u32,
+        /// Number of argument registers.
+        nargs: u16,
+        /// Callee return type (`Void` ⇒ `dst` is `None`).
+        ret: IrType,
+        /// Where the return value lands.
+        dst: Option<Reg>,
+    },
+    /// Unconditional jump to an instruction offset.
+    Jmp {
+        /// Target offset (must be a block start).
+        target: u32,
+    },
+    /// Conditional jump: `cond != 0` ⇒ `then_t`, else `else_t`.
+    Br {
+        /// Condition register.
+        cond: Reg,
+        /// Offset when true.
+        then_t: u32,
+        /// Offset when false.
+        else_t: u32,
+    },
+    /// Fused `dst = lhs <op> rhs; jmp target` — the loop-latch increment
+    /// plus backedge, fused by the peephole pass.
+    BinJmp {
+        /// Operation.
+        op: BinOpKind,
+        /// Operand type.
+        ty: IrType,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+        /// Jump target (must be a block start).
+        target: u32,
+    },
+    /// Fused compare-and-branch: `lhs <pred> rhs` ⇒ `then_t`, else `else_t`.
+    /// Produced by the peephole pass from a `Cmp` whose only consumer is the
+    /// block-ending `Br` — the hot loop-latch pattern.
+    CmpBr {
+        /// Predicate.
+        pred: CmpPred,
+        /// Operand type.
+        ty: IrType,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+        /// Offset when the comparison holds.
+        then_t: u32,
+        /// Offset when it does not.
+        else_t: u32,
+    },
+    /// Return from the frame.
+    Ret {
+        /// Returned register (`None` for void).
+        src: Option<Reg>,
+    },
+    /// `unreachable` executed — aborts the run.
+    Unreachable,
+}
+
+impl Op {
+    /// The register this op defines, if any.
+    pub fn def(self) -> Option<Reg> {
+        match self {
+            Op::Const { dst, .. }
+            | Op::Mov { dst, .. }
+            | Op::Alloca { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::Gep { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Cmp { dst, .. }
+            | Op::Cast { dst, .. }
+            | Op::Select { dst, .. }
+            | Op::BinJmp { dst, .. } => Some(dst),
+            Op::Call { dst, .. } => dst,
+            _ => None,
+        }
+    }
+
+    /// Visits every register this op *reads*. Call arguments live in the
+    /// shared `call_args` pool, hence the extra parameter.
+    pub fn for_each_use(self, call_args: &[Reg], mut f: impl FnMut(Reg)) {
+        match self {
+            Op::Const { .. } | Op::Alloca { .. } | Op::Jmp { .. } | Op::Unreachable => {}
+            Op::Mov { src, .. } => f(src),
+            Op::Load { addr, .. } => f(addr),
+            Op::Store { src, addr, .. } => {
+                f(src);
+                f(addr);
+            }
+            Op::Gep { base, index, .. } => {
+                f(base);
+                f(index);
+            }
+            Op::Bin { lhs, rhs, .. }
+            | Op::Cmp { lhs, rhs, .. }
+            | Op::BinJmp { lhs, rhs, .. }
+            | Op::CmpBr { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Op::Cast { src, .. } => f(src),
+            Op::Select { cond, t, f: fv, .. } => {
+                f(cond);
+                f(t);
+                f(fv);
+            }
+            Op::Call { args_at, nargs, .. } => {
+                for &r in &call_args[args_at as usize..args_at as usize + nargs as usize] {
+                    f(r);
+                }
+            }
+            Op::Br { cond, .. } => f(cond),
+            Op::Ret { src } => {
+                if let Some(r) = src {
+                    f(r);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every register through `f` (register-allocation renaming).
+    /// Call-argument registers are renamed separately on the shared pool.
+    pub fn map_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Op::Const { dst, .. } | Op::Alloca { dst, .. } => *dst = f(*dst),
+            Op::Mov { dst, src } => {
+                *dst = f(*dst);
+                *src = f(*src);
+            }
+            Op::Load { dst, addr, .. } => {
+                *dst = f(*dst);
+                *addr = f(*addr);
+            }
+            Op::Store { src, addr, .. } => {
+                *src = f(*src);
+                *addr = f(*addr);
+            }
+            Op::Gep {
+                dst, base, index, ..
+            } => {
+                *dst = f(*dst);
+                *base = f(*base);
+                *index = f(*index);
+            }
+            Op::Bin { dst, lhs, rhs, .. }
+            | Op::Cmp { dst, lhs, rhs, .. }
+            | Op::BinJmp { dst, lhs, rhs, .. } => {
+                *dst = f(*dst);
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::CmpBr { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::Cast { dst, src, .. } => {
+                *dst = f(*dst);
+                *src = f(*src);
+            }
+            Op::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
+                *dst = f(*dst);
+                *cond = f(*cond);
+                *t = f(*t);
+                *fv = f(*fv);
+            }
+            Op::Call { dst, .. } => {
+                if let Some(d) = dst {
+                    *d = f(*d);
+                }
+            }
+            Op::Br { cond, .. } => *cond = f(*cond),
+            Op::Ret { src } => {
+                if let Some(r) = src {
+                    *r = f(*r);
+                }
+            }
+            Op::Jmp { .. } | Op::Unreachable => {}
+        }
+    }
+
+    /// Overwrites the destination register (def-coalescing in the peephole
+    /// pass). No-op for ops without one.
+    pub fn set_def(&mut self, r: Reg) {
+        match self {
+            Op::Const { dst, .. }
+            | Op::Mov { dst, .. }
+            | Op::Alloca { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::Gep { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Cmp { dst, .. }
+            | Op::Cast { dst, .. }
+            | Op::Select { dst, .. }
+            | Op::BinJmp { dst, .. } => *dst = r,
+            Op::Call { dst: Some(d), .. } => *d = r,
+            _ => {}
+        }
+    }
+
+    /// Rewrites only the registers this op *reads* (copy propagation must
+    /// not touch defs — a `Mov` destination can be a live copy-map key).
+    /// A `Call` rewrites its own (never shared) slice of `call_args`.
+    pub fn map_uses(&mut self, call_args: &mut [Reg], mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Op::Const { .. } | Op::Alloca { .. } | Op::Jmp { .. } | Op::Unreachable => {}
+            Op::Mov { src, .. } => *src = f(*src),
+            Op::Load { addr, .. } => *addr = f(*addr),
+            Op::Store { src, addr, .. } => {
+                *src = f(*src);
+                *addr = f(*addr);
+            }
+            Op::Gep { base, index, .. } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            Op::Bin { lhs, rhs, .. }
+            | Op::Cmp { lhs, rhs, .. }
+            | Op::BinJmp { lhs, rhs, .. }
+            | Op::CmpBr { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::Cast { src, .. } => *src = f(*src),
+            Op::Select { cond, t, f: fv, .. } => {
+                *cond = f(*cond);
+                *t = f(*t);
+                *fv = f(*fv);
+            }
+            Op::Call { args_at, nargs, .. } => {
+                let lo = *args_at as usize;
+                for r in &mut call_args[lo..lo + *nargs as usize] {
+                    *r = f(*r);
+                }
+            }
+            Op::Br { cond, .. } => *cond = f(*cond),
+            Op::Ret { src } => {
+                if let Some(r) = src {
+                    *r = f(*r);
+                }
+            }
+        }
+    }
+
+    /// True for ops that end a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Op::Jmp { .. }
+                | Op::Br { .. }
+                | Op::BinJmp { .. }
+                | Op::CmpBr { .. }
+                | Op::Ret { .. }
+                | Op::Unreachable
+        )
+    }
+}
+
+/// One compiled function.
+#[derive(Clone, Debug)]
+pub struct VmFunction {
+    /// Symbol name (module interner string).
+    pub name: String,
+    /// Register receiving the `i`-th argument at frame entry.
+    pub params: Vec<Reg>,
+    /// Size of the register file.
+    pub num_regs: u16,
+    /// Class of each register (indexed by register number).
+    pub reg_class: Vec<RegClass>,
+    /// The flat instruction stream.
+    pub ops: Vec<Op>,
+    /// Constant pool (deduplicated).
+    pub consts: Vec<PoolConst>,
+    /// Flattened call-argument register runs (see [`Op::Call`]).
+    pub call_args: Vec<Reg>,
+    /// Call-target table (deduplicated).
+    pub call_targets: Vec<CallTarget>,
+    /// Sorted instruction offsets that begin a basic block (branch targets
+    /// must land here; also drives liveness and the disassembler).
+    pub block_starts: Vec<u32>,
+    /// Return type.
+    pub ret: IrType,
+}
+
+impl VmFunction {
+    /// The ops of the block starting at offset `start` (up to the next block
+    /// start or the end of the stream).
+    pub fn block_range(&self, start: u32) -> std::ops::Range<usize> {
+        let end = match self.block_starts.binary_search(&start) {
+            Ok(i) if i + 1 < self.block_starts.len() => self.block_starts[i + 1] as usize,
+            _ => self.ops.len(),
+        };
+        start as usize..end
+    }
+}
+
+/// A compiled module: functions plus a name index.
+#[derive(Clone, Debug, Default)]
+pub struct VmModule {
+    /// Compiled functions.
+    pub funcs: Vec<VmFunction>,
+}
+
+impl VmModule {
+    /// Finds a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<u32> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Total op count across all functions (size metric).
+    pub fn num_ops(&self) -> usize {
+        self.funcs.iter().map(|f| f.ops.len()).sum()
+    }
+}
+
+/// Renders one function as readable assembly (debug dumps and goldens).
+pub fn disasm(f: &VmFunction) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let params: Vec<String> = f.params.iter().map(|r| format!("r{r}")).collect();
+    let _ = writeln!(
+        out,
+        "func @{}({}) regs={} ret={}",
+        f.name,
+        params.join(", "),
+        f.num_regs,
+        f.ret
+    );
+    for (pc, op) in f.ops.iter().enumerate() {
+        if f.block_starts.binary_search(&(pc as u32)).is_ok() {
+            let _ = writeln!(out, "L{pc}:");
+        }
+        let text = match *op {
+            Op::Const { dst, idx } => format!("r{dst} = const {:?}", f.consts[idx as usize]),
+            Op::Mov { dst, src } => format!("r{dst} = mov r{src}"),
+            Op::Alloca { dst, bytes } => format!("r{dst} = alloca {bytes}"),
+            Op::Load { dst, addr, ty } => format!("r{dst} = load.{ty} [r{addr}]"),
+            Op::Store { src, addr, ty } => format!("store.{ty} [r{addr}], r{src}"),
+            Op::Gep {
+                dst,
+                base,
+                index,
+                elem_size,
+            } => format!("r{dst} = gep r{base} + r{index}*{elem_size}"),
+            Op::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => format!("r{dst} = {}.{ty} r{lhs}, r{rhs}", op.mnemonic()),
+            Op::Cmp {
+                pred,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => format!("r{dst} = cmp.{}.{ty} r{lhs}, r{rhs}", pred.mnemonic()),
+            Op::Cast {
+                op,
+                from,
+                to,
+                dst,
+                src,
+            } => format!("r{dst} = {}.{from}.{to} r{src}", op.mnemonic()),
+            Op::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
+                format!("r{dst} = select r{cond}, r{t}, r{fv}")
+            }
+            Op::Call {
+                target,
+                args_at,
+                nargs,
+                dst,
+                ..
+            } => {
+                let args: Vec<String> = f.call_args
+                    [args_at as usize..args_at as usize + nargs as usize]
+                    .iter()
+                    .map(|r| format!("r{r}"))
+                    .collect();
+                let callee = match f.call_targets[target as usize] {
+                    CallTarget::Bytecode(i) => format!("fn#{i}"),
+                    CallTarget::Runtime(s) => format!("rt#{}", s.0),
+                };
+                match dst {
+                    Some(d) => format!("r{d} = call {callee}({})", args.join(", ")),
+                    None => format!("call {callee}({})", args.join(", ")),
+                }
+            }
+            Op::Jmp { target } => format!("jmp L{target}"),
+            Op::Br {
+                cond,
+                then_t,
+                else_t,
+            } => format!("br r{cond}, L{then_t}, L{else_t}"),
+            Op::BinJmp {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+                target,
+            } => format!(
+                "r{dst} = {}jmp.{ty} r{lhs}, r{rhs}, L{target}",
+                op.mnemonic()
+            ),
+            Op::CmpBr {
+                pred,
+                ty,
+                lhs,
+                rhs,
+                then_t,
+                else_t,
+            } => format!(
+                "cmpbr.{}.{ty} r{lhs}, r{rhs}, L{then_t}, L{else_t}",
+                pred.mnemonic()
+            ),
+            Op::Ret { src } => match src {
+                Some(r) => format!("ret r{r}"),
+                None => "ret".to_string(),
+            },
+            Op::Unreachable => "unreachable".to_string(),
+        };
+        let _ = writeln!(out, "  {pc:4}  {text}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stays_small() {
+        // The dispatch loop streams these; keep them cache-friendly.
+        assert!(
+            std::mem::size_of::<Op>() <= 16,
+            "Op grew to {} bytes",
+            std::mem::size_of::<Op>()
+        );
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let op = Op::Bin {
+            op: BinOpKind::Add,
+            ty: IrType::I64,
+            dst: 2,
+            lhs: 0,
+            rhs: 1,
+        };
+        assert_eq!(op.def(), Some(2));
+        let mut uses = Vec::new();
+        op.for_each_use(&[], |r| uses.push(r));
+        assert_eq!(uses, vec![0, 1]);
+
+        let call = Op::Call {
+            target: 0,
+            args_at: 1,
+            nargs: 2,
+            ret: IrType::Void,
+            dst: None,
+        };
+        let mut uses = Vec::new();
+        call.for_each_use(&[9, 4, 5, 9], |r| uses.push(r));
+        assert_eq!(uses, vec![4, 5], "call reads its slice of the arg pool");
+    }
+
+    #[test]
+    fn pool_const_classes() {
+        assert_eq!(PoolConst::Val(RtVal::I(3)).class(), RegClass::Int);
+        assert_eq!(PoolConst::Val(RtVal::F(1.5)).class(), RegClass::Float);
+        assert_eq!(PoolConst::Global(SymbolId(0)).class(), RegClass::Ptr);
+        assert_eq!(PoolConst::FnPtr(SymbolId(1)).class(), RegClass::Ptr);
+    }
+}

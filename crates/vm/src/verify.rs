@@ -1,0 +1,710 @@
+//! Load-time bytecode verification.
+//!
+//! Compiled bytecode is checked before the first op executes (and again
+//! under `--verify-each`, after the driver's IR-level passes): the dispatch
+//! loop indexes registers, pools, and jump targets without bounds anxiety
+//! *because* this pass already proved them in-bounds, every register is
+//! written before it is read on every path, and operand register classes
+//! match each opcode's contract.
+//!
+//! Three phases, mirroring how a JVM-style verifier is layered:
+//!
+//! 1. **Structure** — indices in range, jump targets land on block starts,
+//!    every block ends in exactly one terminator. Later phases assume this,
+//!    so structural errors short-circuit.
+//! 2. **Types** — coarse [`RegClass`] consistency per op (a float add reads
+//!    float registers, a load's address register is a pointer, …).
+//! 3. **Definite initialization** — forward must-be-defined dataflow over
+//!    the block graph: a register read before any write on some path is an
+//!    error, not a zero.
+
+use crate::ops::{CallTarget, Op, RegClass, VmFunction, VmModule};
+use omplt_ir::IrType;
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Op index the error is anchored to.
+    pub at: usize,
+    /// What is wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}: op {}: {}", self.func, self.at, self.what)
+    }
+}
+
+/// Verifies every function; returns all errors found.
+pub fn verify_module(m: &VmModule) -> Vec<VerifyError> {
+    if omplt_trace::active() {
+        omplt_trace::count("vm.verify.functions", m.funcs.len() as u64);
+    }
+    let mut errs = Vec::new();
+    for f in &m.funcs {
+        errs.extend(verify_function(f, m.funcs.len()));
+    }
+    errs
+}
+
+/// Verifies one function. `num_funcs` bounds [`CallTarget::Bytecode`]
+/// indices (module-level information the function cannot carry itself).
+pub fn verify_function(f: &VmFunction, num_funcs: usize) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    structural(f, num_funcs, &mut errs);
+    if !errs.is_empty() {
+        // Type and dataflow phases index tables this phase just rejected.
+        return errs;
+    }
+    types(f, &mut errs);
+    definite_init(f, &mut errs);
+    errs
+}
+
+fn err(errs: &mut Vec<VerifyError>, f: &VmFunction, at: usize, what: String) {
+    errs.push(VerifyError {
+        func: f.name.clone(),
+        at,
+        what,
+    });
+}
+
+fn structural(f: &VmFunction, num_funcs: usize, errs: &mut Vec<VerifyError>) {
+    if f.ops.is_empty() {
+        err(errs, f, 0, "empty function body".to_string());
+        return;
+    }
+    if f.reg_class.len() != f.num_regs as usize {
+        err(
+            errs,
+            f,
+            0,
+            format!(
+                "register class table has {} entries for {} registers",
+                f.reg_class.len(),
+                f.num_regs
+            ),
+        );
+        return;
+    }
+    if f.block_starts.first() != Some(&0) {
+        err(errs, f, 0, "first block does not start at op 0".to_string());
+    }
+    if !f.block_starts.windows(2).all(|w| w[0] < w[1]) {
+        err(
+            errs,
+            f,
+            0,
+            "block starts are not strictly increasing".to_string(),
+        );
+    }
+    if let Some(&last) = f.block_starts.last() {
+        if last as usize >= f.ops.len() {
+            err(errs, f, 0, format!("block start {last} out of bounds"));
+        }
+    }
+    if !errs.is_empty() {
+        return;
+    }
+    for &p in &f.params {
+        if p >= f.num_regs {
+            err(errs, f, 0, format!("parameter register r{p} out of range"));
+        }
+    }
+    for (pc, op) in f.ops.iter().enumerate() {
+        let check_reg = |errs: &mut Vec<VerifyError>, r: u16| {
+            if r >= f.num_regs {
+                err(errs, f, pc, format!("register r{r} out of range"));
+            }
+        };
+        if let Some(d) = op.def() {
+            check_reg(errs, d);
+        }
+        // Argument-pool ranges are validated on the Call op itself; reading
+        // the pool for use-collection is guarded below.
+        match *op {
+            Op::Const { idx, .. } if idx as usize >= f.consts.len() => {
+                err(errs, f, pc, format!("constant index {idx} out of range"));
+            }
+            Op::Call {
+                target,
+                args_at,
+                nargs,
+                ..
+            } => {
+                if target as usize >= f.call_targets.len() {
+                    err(errs, f, pc, format!("call target {target} out of range"));
+                } else if let CallTarget::Bytecode(i) = f.call_targets[target as usize] {
+                    if i as usize >= num_funcs {
+                        err(errs, f, pc, format!("call to nonexistent function #{i}"));
+                    }
+                }
+                let lo = args_at as usize;
+                let hi = lo + nargs as usize;
+                if hi > f.call_args.len() {
+                    err(
+                        errs,
+                        f,
+                        pc,
+                        format!("call arguments {lo}..{hi} out of range"),
+                    );
+                } else {
+                    for &r in &f.call_args[lo..hi] {
+                        check_reg(errs, r);
+                    }
+                }
+            }
+            Op::Jmp { target } | Op::BinJmp { target, .. } => check_jump(f, pc, target, errs),
+            Op::Br { then_t, else_t, .. } | Op::CmpBr { then_t, else_t, .. } => {
+                check_jump(f, pc, then_t, errs);
+                check_jump(f, pc, else_t, errs);
+            }
+            _ => {}
+        }
+        match *op {
+            Op::Call { .. } => {} // argument registers checked above
+            other => other.for_each_use(&[], |r| {
+                if r >= f.num_regs {
+                    err(errs, f, pc, format!("register r{r} out of range"));
+                }
+            }),
+        }
+    }
+    if !errs.is_empty() {
+        return;
+    }
+    // Every block must end in a terminator, and terminators may appear
+    // nowhere else (the dataflow phase walks blocks on that assumption).
+    for (b, &s) in f.block_starts.iter().enumerate() {
+        let range = f.block_range(s);
+        let last = range.end - 1;
+        if !f.ops[last].is_terminator() {
+            err(
+                errs,
+                f,
+                last,
+                format!("block {b} does not end in a terminator"),
+            );
+        }
+        for pc in range.start..last {
+            if f.ops[pc].is_terminator() {
+                err(
+                    errs,
+                    f,
+                    pc,
+                    format!("terminator in the middle of block {b}"),
+                );
+            }
+        }
+    }
+}
+
+fn check_jump(f: &VmFunction, pc: usize, target: u32, errs: &mut Vec<VerifyError>) {
+    if target as usize >= f.ops.len() {
+        err(errs, f, pc, format!("jump target {target} out of bounds"));
+    } else if f.block_starts.binary_search(&target).is_err() {
+        err(
+            errs,
+            f,
+            pc,
+            format!("jump target {target} is not a block start"),
+        );
+    }
+}
+
+fn class_name(c: RegClass) -> &'static str {
+    match c {
+        RegClass::Int => "int",
+        RegClass::Float => "float",
+        RegClass::Ptr => "ptr",
+    }
+}
+
+fn types(f: &VmFunction, errs: &mut Vec<VerifyError>) {
+    let cls = |r: u16| f.reg_class[r as usize];
+    let mismatch = |errs: &mut Vec<VerifyError>, pc: usize, what: String| {
+        err(errs, f, pc, format!("type mismatch: {what}"));
+    };
+    for (pc, op) in f.ops.iter().enumerate() {
+        match *op {
+            Op::Const { dst, idx } => {
+                let want = f.consts[idx as usize].class();
+                if cls(dst) != want {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "constant is {} but destination r{dst} is {}",
+                            class_name(want),
+                            class_name(cls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::Mov { dst, src } => {
+                if cls(dst) != cls(src) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "mov from {} r{src} to {} r{dst}",
+                            class_name(cls(src)),
+                            class_name(cls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::Alloca { dst, .. } => {
+                if cls(dst) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("alloca destination r{dst} is not ptr"));
+                }
+            }
+            Op::Load { dst, addr, ty } => {
+                if ty == IrType::Void {
+                    mismatch(errs, pc, "load of void".to_string());
+                } else if cls(dst) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("load of {ty} into {} r{dst}", class_name(cls(dst))),
+                    );
+                }
+                if cls(addr) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("load address r{addr} is not ptr"));
+                }
+            }
+            Op::Store { src, addr, ty } => {
+                if ty == IrType::Void {
+                    mismatch(errs, pc, "store of void".to_string());
+                } else if cls(src) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("store of {ty} from {} r{src}", class_name(cls(src))),
+                    );
+                }
+                if cls(addr) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("store address r{addr} is not ptr"));
+                }
+            }
+            Op::Gep {
+                dst, base, index, ..
+            } => {
+                if cls(dst) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("gep destination r{dst} is not ptr"));
+                }
+                if cls(base) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("gep base r{base} is not ptr"));
+                }
+                if cls(index) != RegClass::Int {
+                    mismatch(errs, pc, format!("gep index r{index} is not int"));
+                }
+            }
+            Op::Bin {
+                op: bop,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            }
+            | Op::BinJmp {
+                op: bop,
+                ty,
+                dst,
+                lhs,
+                rhs,
+                ..
+            } => {
+                if bop.is_float() {
+                    if !ty.is_float() {
+                        mismatch(
+                            errs,
+                            pc,
+                            format!("float op {} at type {ty}", bop.mnemonic()),
+                        );
+                    }
+                    for (role, r) in [("destination", dst), ("lhs", lhs), ("rhs", rhs)] {
+                        if cls(r) != RegClass::Float {
+                            mismatch(
+                                errs,
+                                pc,
+                                format!(
+                                    "float op {} with {} {role} r{r}",
+                                    bop.mnemonic(),
+                                    class_name(cls(r))
+                                ),
+                            );
+                        }
+                    }
+                } else if ty == IrType::Ptr {
+                    // Pointer arithmetic: ptr ± offset.
+                    if cls(dst) != RegClass::Ptr || cls(lhs) != RegClass::Ptr {
+                        mismatch(
+                            errs,
+                            pc,
+                            "pointer arithmetic on non-ptr registers".to_string(),
+                        );
+                    }
+                    if cls(rhs) == RegClass::Float {
+                        mismatch(errs, pc, "pointer arithmetic with float offset".to_string());
+                    }
+                } else {
+                    if ty.is_float() {
+                        mismatch(
+                            errs,
+                            pc,
+                            format!("integer op {} at type {ty}", bop.mnemonic()),
+                        );
+                    }
+                    for (role, r) in [("destination", dst), ("lhs", lhs), ("rhs", rhs)] {
+                        if cls(r) != RegClass::Int {
+                            mismatch(
+                                errs,
+                                pc,
+                                format!(
+                                    "integer op {} with {} {role} r{r}",
+                                    bop.mnemonic(),
+                                    class_name(cls(r))
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Cmp {
+                pred,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                if cls(dst) != RegClass::Int {
+                    mismatch(errs, pc, format!("compare result r{dst} is not int"));
+                }
+                let want = if pred.is_float() {
+                    if !ty.is_float() {
+                        mismatch(errs, pc, format!("float compare at type {ty}"));
+                    }
+                    RegClass::Float
+                } else if ty == IrType::Ptr {
+                    RegClass::Ptr
+                } else {
+                    if ty.is_float() {
+                        mismatch(errs, pc, format!("integer compare at type {ty}"));
+                    }
+                    RegClass::Int
+                };
+                for (role, r) in [("lhs", lhs), ("rhs", rhs)] {
+                    if cls(r) != want {
+                        mismatch(
+                            errs,
+                            pc,
+                            format!(
+                                "compare {role} r{r} is {} (expected {})",
+                                class_name(cls(r)),
+                                class_name(want)
+                            ),
+                        );
+                    }
+                }
+            }
+            Op::Cast {
+                from, to, dst, src, ..
+            } => {
+                if cls(src) != RegClass::of(from) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "cast source r{src} is {} but operand type is {from}",
+                            class_name(cls(src))
+                        ),
+                    );
+                }
+                if cls(dst) != RegClass::of(to) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "cast destination r{dst} is {} but result type is {to}",
+                            class_name(cls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
+                if cls(cond) != RegClass::Int {
+                    mismatch(errs, pc, format!("select condition r{cond} is not int"));
+                }
+                if cls(t) != cls(dst) || cls(fv) != cls(dst) {
+                    mismatch(
+                        errs,
+                        pc,
+                        "select arms disagree with destination".to_string(),
+                    );
+                }
+            }
+            Op::Call { ret, dst, .. } => match (ret, dst) {
+                (IrType::Void, Some(d)) => {
+                    mismatch(errs, pc, format!("void call writes r{d}"));
+                }
+                (ret, Some(d)) if cls(d) != RegClass::of(ret) => {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("call returning {ret} into {} r{d}", class_name(cls(d))),
+                    );
+                }
+                _ => {}
+            },
+            Op::Br { cond, .. } => {
+                if cls(cond) != RegClass::Int {
+                    mismatch(errs, pc, format!("branch condition r{cond} is not int"));
+                }
+            }
+            Op::CmpBr {
+                pred, ty, lhs, rhs, ..
+            } => {
+                let want = if pred.is_float() {
+                    if !ty.is_float() {
+                        mismatch(errs, pc, format!("float compare at type {ty}"));
+                    }
+                    RegClass::Float
+                } else if ty == IrType::Ptr {
+                    RegClass::Ptr
+                } else {
+                    if ty.is_float() {
+                        mismatch(errs, pc, format!("integer compare at type {ty}"));
+                    }
+                    RegClass::Int
+                };
+                for (role, r) in [("lhs", lhs), ("rhs", rhs)] {
+                    if cls(r) != want {
+                        mismatch(
+                            errs,
+                            pc,
+                            format!(
+                                "compare {role} r{r} is {} (expected {})",
+                                class_name(cls(r)),
+                                class_name(want)
+                            ),
+                        );
+                    }
+                }
+            }
+            Op::Ret { src: Some(r) } => {
+                if f.ret != IrType::Void && cls(r) != RegClass::of(f.ret) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "return of {} r{r} from function returning {}",
+                            class_name(cls(r)),
+                            f.ret
+                        ),
+                    );
+                }
+            }
+            Op::Ret { src: None } | Op::Jmp { .. } | Op::Unreachable => {}
+        }
+    }
+}
+
+/// Forward "definitely assigned" dataflow: a register may only be read if
+/// every path from entry wrote it first.
+fn definite_init(f: &VmFunction, errs: &mut Vec<VerifyError>) {
+    let n = f.num_regs as usize;
+    let words = n.div_ceil(64).max(1);
+    let nb = f.block_starts.len();
+    let block_of = |off: u32| -> usize {
+        match f.block_starts.binary_search(&off) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    };
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for (b, &s) in f.block_starts.iter().enumerate() {
+        let range = f.block_range(s);
+        match f.ops[range.end - 1] {
+            Op::Jmp { target } | Op::BinJmp { target, .. } => preds[block_of(target)].push(b),
+            Op::Br { then_t, else_t, .. } | Op::CmpBr { then_t, else_t, .. } => {
+                preds[block_of(then_t)].push(b);
+                preds[block_of(else_t)].push(b);
+            }
+            _ => {}
+        }
+    }
+
+    let top = vec![u64::MAX; words];
+    let mut entry_set = vec![0u64; words];
+    for &p in &f.params {
+        entry_set[p as usize / 64] |= 1 << (p as usize % 64);
+    }
+    // in[b] = (params if entry) ∩ over preds out[p]; out[b] = in[b] ∪ defs.
+    let mut in_set: Vec<Vec<u64>> = vec![top.clone(); nb];
+    in_set[0] = entry_set.clone();
+    let mut out_set: Vec<Vec<u64>> = vec![top.clone(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            // Entry starts with exactly the parameters (a backedge into the
+            // entry can only add registers already defined on every path, so
+            // joining it would be a no-op). Unreachable blocks keep ⊤ and
+            // are skipped by the report pass.
+            let inn = if b == 0 {
+                entry_set.clone()
+            } else if preds[b].is_empty() {
+                top.clone()
+            } else {
+                let mut inn = top.clone();
+                for &p in &preds[b] {
+                    for (w, &o) in inn.iter_mut().zip(&out_set[p]) {
+                        *w &= o;
+                    }
+                }
+                inn
+            };
+            let mut out = inn.clone();
+            let range = f.block_range(f.block_starts[b]);
+            for op in &f.ops[range.clone()] {
+                if let Some(d) = op.def() {
+                    out[d as usize / 64] |= 1 << (d as usize % 64);
+                }
+            }
+            if inn != in_set[b] {
+                in_set[b] = inn;
+                changed = true;
+            }
+            if out != out_set[b] {
+                out_set[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Report: re-walk each reachable block with its settled in-set.
+    for (b, &s) in f.block_starts.iter().enumerate() {
+        if b != 0 && preds[b].is_empty() {
+            continue; // unreachable code is not checked
+        }
+        let mut defined = in_set[b].clone();
+        let range = f.block_range(s);
+        for pc in range {
+            let op = f.ops[pc];
+            op.for_each_use(&f.call_args, |r| {
+                if defined[r as usize / 64] & (1 << (r as usize % 64)) == 0 {
+                    err(
+                        errs,
+                        f,
+                        pc,
+                        format!("read of register r{r} before any write"),
+                    );
+                }
+            });
+            if let Some(d) = op.def() {
+                defined[d as usize / 64] |= 1 << (d as usize % 64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::PoolConst;
+    use omplt_interp::RtVal;
+
+    fn tiny() -> VmFunction {
+        VmFunction {
+            name: "t".into(),
+            params: vec![],
+            num_regs: 2,
+            reg_class: vec![RegClass::Int, RegClass::Int],
+            ops: vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::Mov { dst: 1, src: 0 },
+                Op::Ret { src: Some(1) },
+            ],
+            consts: vec![PoolConst::Val(RtVal::I(7))],
+            call_args: vec![],
+            call_targets: vec![],
+            block_starts: vec![0],
+            ret: IrType::I64,
+        }
+    }
+
+    #[test]
+    fn clean_function_verifies() {
+        assert!(verify_function(&tiny(), 1).is_empty());
+    }
+
+    #[test]
+    fn undefined_register_is_reported() {
+        let mut f = tiny();
+        f.ops[1] = Op::Mov { dst: 1, src: 1 }; // r1 read before any write
+        let errs = verify_function(&f, 1);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0]
+            .what
+            .contains("read of register r1 before any write"));
+    }
+
+    #[test]
+    fn out_of_bounds_jump_is_reported() {
+        let mut f = tiny();
+        f.ops[2] = Op::Jmp { target: 99 };
+        let errs = verify_function(&f, 1);
+        assert!(errs
+            .iter()
+            .any(|e| e.what.contains("jump target 99 out of bounds")));
+    }
+
+    #[test]
+    fn class_mismatch_is_reported() {
+        let mut f = tiny();
+        f.reg_class[1] = RegClass::Float;
+        let errs = verify_function(&f, 1);
+        assert!(errs.iter().any(|e| e.what.contains("type mismatch")));
+    }
+
+    #[test]
+    fn diverging_paths_must_both_define() {
+        // entry: br r0 ? L3 : L4 — only the then-path defines r1; the join
+        // reads it.
+        let f = VmFunction {
+            name: "t".into(),
+            params: vec![0],
+            num_regs: 2,
+            reg_class: vec![RegClass::Int, RegClass::Int],
+            ops: vec![
+                Op::Br {
+                    cond: 0,
+                    then_t: 1,
+                    else_t: 3,
+                },
+                Op::Const { dst: 1, idx: 0 },
+                Op::Jmp { target: 3 },
+                Op::Ret { src: Some(1) },
+            ],
+            consts: vec![PoolConst::Val(RtVal::I(7))],
+            call_args: vec![],
+            call_targets: vec![],
+            block_starts: vec![0, 1, 3],
+            ret: IrType::I64,
+        };
+        let errs = verify_function(&f, 1);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0]
+            .what
+            .contains("read of register r1 before any write"));
+    }
+}

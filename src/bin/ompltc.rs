@@ -6,9 +6,12 @@
 //!                            and exit; non-zero exit on any finding
 //!   --ast-dump               print the syntactic AST (clang -ast-dump style)
 //!   --ast-dump-transformed   additionally show shadow (transformed) subtrees
+//!   --backend=B              execution engine for --run: interp (default,
+//!                            tree-walking oracle) | vm (bytecode VM)
 //!   --counters-json[=FILE]   dump the pipeline's named counters as JSON
 //!                            (stdout unless FILE is given)
 //!   --diag-format=FMT        diagnostics output format: text (default) | json
+//!   --emit-bytecode          print the VM bytecode disassembly
 //!   --emit-ir                print generated IR
 //!   --enable-irbuilder       use the OpenMPIRBuilder / OMPCanonicalLoop path
 //!   --no-openmp              parse pragmas but ignore them
@@ -54,6 +57,7 @@ struct Cli {
     ast_dump: bool,
     ast_dump_transformed: bool,
     emit_ir: bool,
+    emit_bytecode: bool,
     run: bool,
     optimize: bool,
     syntax_only: bool,
@@ -68,20 +72,51 @@ struct Cli {
 fn usage() -> u8 {
     eprintln!(
         "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
-         [--counters-json[=FILE]] [--diag-format=text|json] [--emit-ir] \
+         [--backend=interp|vm] [--counters-json[=FILE]] \
+         [--diag-format=text|json] [--emit-bytecode] [--emit-ir] \
          [--enable-irbuilder] [--opt] [--run] [--syntax-only] [--threads N] \
          [--time-report] [--time-trace[=FILE]] [--verify-each] <file.c>"
     );
     2
 }
 
+/// Diagnoses an unknown `--backend` value on stderr — as a JSON diagnostic
+/// array when `--diag-format=json` is in effect (driver errors happen before
+/// a `CompilerInstance` exists, so the array is rendered here in the same
+/// shape `DiagnosticsEngine::render_json` produces) — and returns exit code 2.
+fn bad_backend(value: &str, json: bool) -> u8 {
+    let msg = format!("unknown backend '{value}' for '--backend': expected 'interp' or 'vm'");
+    if json {
+        let escaped: String = msg
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c => vec![c],
+            })
+            .collect();
+        eprintln!("[{{\"level\":\"error\",\"message\":\"{escaped}\",\"file\":null,\"notes\":[]}}]");
+    } else {
+        eprintln!("ompltc: {msg}");
+    }
+    2
+}
+
 fn parse_cli(args: &[String]) -> Result<Cli, u8> {
+    // Driver errors must honor `--diag-format=json` wherever it appears on
+    // the command line, so resolve the format before the main scan.
+    let json_diags = args
+        .iter()
+        .filter_map(|a| a.strip_prefix("--diag-format="))
+        .next_back()
+        == Some("json");
     let mut opts = Options::default();
     let mut file = None;
     let mut analyze = false;
     let mut ast_dump = false;
     let mut ast_dump_transformed = false;
     let mut emit_ir = false;
+    let mut emit_bytecode = false;
     let mut run = false;
     let mut optimize = false;
     let mut syntax_only = false;
@@ -96,6 +131,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             "--ast-dump" => ast_dump = true,
             "--ast-dump-transformed" => ast_dump_transformed = true,
             "--counters-json" => counters_json = Some(None),
+            "--emit-bytecode" => emit_bytecode = true,
             "--emit-ir" => emit_ir = true,
             "--enable-irbuilder" => opts.codegen_mode = OpenMpCodegenMode::IrBuilder,
             "--no-openmp" => opts.openmp = false,
@@ -105,6 +141,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             "--time-report" => time_report = true,
             "--time-trace" => time_trace = Some(None),
             "--verify-each" => opts.verify_each = true,
+            "--backend" => {
+                let Some(v) = it.next() else {
+                    eprintln!("ompltc: '--backend' requires a value");
+                    return Err(2);
+                };
+                match omplt::Backend::parse(v) {
+                    Some(b) => opts.backend = b,
+                    None => return Err(bad_backend(v, json_diags)),
+                }
+            }
             "--threads" => {
                 let Some(n) = it.next() else {
                     eprintln!("ompltc: '--threads' requires a value");
@@ -119,6 +165,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                         );
                         return Err(2);
                     }
+                }
+            }
+            other if other.starts_with("--backend=") => {
+                let v = &other["--backend=".len()..];
+                match omplt::Backend::parse(v) {
+                    Some(b) => opts.backend = b,
+                    None => return Err(bad_backend(v, json_diags)),
                 }
             }
             other if other.starts_with("--counters-json=") => {
@@ -154,6 +207,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         ast_dump,
         ast_dump_transformed,
         emit_ir,
+        emit_bytecode,
         run,
         optimize,
         syntax_only,
@@ -226,6 +280,19 @@ fn drive(cli: &Cli) -> u8 {
     }
     if cli.emit_ir {
         print!("{}", omplt::ir::print_module(&module));
+    }
+    if cli.emit_bytecode {
+        match ci.compile_bytecode(&module) {
+            Ok(code) => {
+                for f in &code.funcs {
+                    print!("{}", omplt::vm::disasm(f));
+                }
+            }
+            Err(e) => {
+                eprintln!("ompltc: {e}");
+                return 1;
+            }
+        }
     }
     if cli.run && ci.opts.runtime_schedule.is_none() {
         // Resolve OMP_SCHEDULE up front so a malformed value is diagnosed

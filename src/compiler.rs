@@ -11,6 +11,40 @@ use omplt_sema::{OpenMpCodegenMode, Sema};
 use omplt_source::{DiagnosticsEngine, FileManager, SourceManager};
 use std::cell::RefCell;
 
+/// Which execution engine `--run` uses (`ompltc --backend=...`).
+///
+/// The tree-walking interpreter is the default and the semantic oracle; the
+/// bytecode VM is the fast path. Both share guest memory, arithmetic helpers,
+/// and the whole OpenMP runtime, so observable behaviour is identical — the
+/// differential test suite (`tests/backend_differential.rs`) enforces it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Tree-walking IR interpreter (`omplt-interp`).
+    #[default]
+    Interp,
+    /// Register-based bytecode VM (`omplt-vm`).
+    Vm,
+}
+
+impl Backend {
+    /// Parses a `--backend=` value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "interp" => Some(Backend::Interp),
+            "vm" => Some(Backend::Vm),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`interp` / `vm`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Vm => "vm",
+        }
+    }
+}
+
 /// Pipeline options (the interesting subset of `clang`'s flags).
 #[derive(Clone, Copy, Debug)]
 pub struct Options {
@@ -31,6 +65,10 @@ pub struct Options {
     /// What `schedule(runtime)` resolves to; `None` defers to the
     /// `OMP_SCHEDULE` environment variable at dispatch time.
     pub runtime_schedule: Option<omplt_interp::RuntimeSchedule>,
+    /// `--backend=interp|vm` — which engine executes `--run`.
+    pub backend: Backend,
+    /// Record every worksharing chunk served (for differential testing).
+    pub log_chunks: bool,
 }
 
 impl Default for Options {
@@ -43,6 +81,8 @@ impl Default for Options {
             max_steps: 500_000_000,
             verify_each: false,
             runtime_schedule: None,
+            backend: Backend::Interp,
+            log_chunks: false,
         }
     }
 }
@@ -176,15 +216,47 @@ impl CompilerInstance {
         }
     }
 
-    /// Executes `main` in the interpreter.
+    /// Executes `main` on the selected backend (`--backend=interp|vm`).
     pub fn run(&self, module: &Module) -> Result<RunResult, omplt_interp::ExecError> {
         let cfg = RuntimeConfig {
             num_threads: self.opts.num_threads,
             max_steps: self.opts.max_steps,
             serial: self.opts.serial,
             runtime_schedule: self.opts.runtime_schedule,
+            log_chunks: self.opts.log_chunks,
         };
-        Interpreter::new(module, cfg).run_main()
+        match self.opts.backend {
+            Backend::Interp => Interpreter::new(module, cfg).run_main(),
+            Backend::Vm => {
+                let code = self.compile_bytecode(module)?;
+                omplt_vm::VmEngine::new(module, &code, cfg)?.run_main()
+            }
+        }
+    }
+
+    /// Lowers `module` to bytecode and runs the bytecode verifier over the
+    /// result (always once at load time; a second time under `--verify-each`,
+    /// mirroring the IR verifier's re-check discipline).
+    pub fn compile_bytecode(
+        &self,
+        module: &Module,
+    ) -> Result<omplt_vm::VmModule, omplt_interp::ExecError> {
+        let code = omplt_vm::compile_module(module)
+            .map_err(|e| omplt_interp::ExecError::Malformed(format!("bytecode compile: {e}")))?;
+        let passes = if self.opts.verify_each { 2 } else { 1 };
+        for _ in 0..passes {
+            let errs = omplt_vm::verify_module(&code);
+            if !errs.is_empty() {
+                return Err(omplt_interp::ExecError::Malformed(format!(
+                    "bytecode verification failed:\n{}",
+                    errs.iter()
+                        .map(|e| format!("  {e}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                )));
+            }
+        }
+        Ok(code)
     }
 
     /// Convenience: parse + codegen + (optional optimize) + run.

@@ -28,7 +28,7 @@
 pub mod compiler;
 pub mod pipeline;
 
-pub use compiler::{CompilerInstance, Options};
+pub use compiler::{Backend, CompilerInstance, Options};
 pub use omplt_analysis::AnalysisReport;
 pub use omplt_sema::OpenMpCodegenMode;
 pub use pipeline::{assert_matrix_output, run_matrix, run_source, run_source_with};
@@ -45,3 +45,4 @@ pub use omplt_parse as parse;
 pub use omplt_sema as sema;
 pub use omplt_source as source;
 pub use omplt_trace as trace;
+pub use omplt_vm as vm;

@@ -328,6 +328,149 @@ fn omp_schedule_env_drives_schedule_runtime() {
 }
 
 #[test]
+fn vm_backend_runs_identically_to_interp() {
+    let p = write_temp("backend_demo.c", DEMO);
+    for extra in [&[][..], &["--opt"][..], &["--enable-irbuilder"][..]] {
+        let interp = ompltc().arg("--run").args(extra).arg(&p).output().unwrap();
+        let vm = ompltc()
+            .arg("--run")
+            .arg("--backend=vm")
+            .args(extra)
+            .arg(&p)
+            .output()
+            .unwrap();
+        assert!(
+            vm.status.success(),
+            "{}",
+            String::from_utf8_lossy(&vm.stderr)
+        );
+        assert_eq!(interp.stdout, vm.stdout, "extra args {extra:?}");
+        assert_eq!(interp.status.code(), vm.status.code());
+    }
+    // Threaded triangular dynamic schedule: same multiset on the VM.
+    let tri = write_temp("backend_tri.c", TRIANGULAR);
+    let out = ompltc()
+        .args(["--run", "--threads", "4", "--backend=vm"])
+        .arg(&tri)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut got: Vec<i64> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    got.sort_unstable();
+    let mut want: Vec<i64> = (0..24i64)
+        .flat_map(|i| (0..=i).map(move |j| i * 100 + j))
+        .collect();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn backend_interp_is_accepted_explicitly() {
+    let p = write_temp("backend_interp.c", DEMO);
+    // Both spellings: `--backend=interp` and `--backend interp`.
+    for args in [
+        &["--run", "--backend=interp"][..],
+        &["--run", "--backend", "interp"][..],
+    ] {
+        let out = ompltc().args(args).arg(&p).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(String::from_utf8_lossy(&out.stdout), "0\n1\n2\n3\n4\n");
+    }
+}
+
+#[test]
+fn unknown_backend_is_a_usage_error() {
+    let p = write_temp("backend_bad.c", CLEAN);
+    for args in [&["--backend=jit"][..], &["--backend", "jit"][..]] {
+        let out = ompltc().args(args).arg(&p).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown backend 'jit' for '--backend': expected 'interp' or 'vm'"),
+            "{err}"
+        );
+    }
+    // Missing value is also a usage error, not a panic.
+    let out = ompltc().arg(&p).arg("--backend").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_backend_diag_is_json_under_diag_format_json() {
+    let p = write_temp("backend_bad_json.c", CLEAN);
+    let out = ompltc()
+        .args(["--backend=jit", "--diag-format=json"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with('['), "{err}");
+    assert!(err.contains("\"level\":\"error\""), "{err}");
+    assert!(err.contains("unknown backend 'jit'"), "{err}");
+    assert!(err.contains("\"file\":null"), "{err}");
+    // The flag order must not matter: format resolved before validation.
+    let out = ompltc()
+        .args(["--diag-format=json", "--backend=jit"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).starts_with('['),
+        "format must apply regardless of order"
+    );
+}
+
+#[test]
+fn emit_bytecode_prints_disassembly() {
+    let p = write_temp("backend_disasm.c", DEMO);
+    let out = ompltc().arg("--emit-bytecode").arg(&p).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("func @main"), "{text}");
+    assert!(text.contains("call"), "{text}");
+    assert!(text.contains("ret"), "{text}");
+}
+
+#[test]
+fn vm_backend_honors_verify_each_and_verifier_flags() {
+    let tri = write_temp("backend_verify.c", TRIANGULAR);
+    let out = ompltc()
+        .args([
+            "--run",
+            "--threads",
+            "4",
+            "--backend=vm",
+            "--verify-each",
+            "--opt",
+        ])
+        .arg(&tri)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn verify_each_passes_on_valid_transformations() {
     let p = write_temp("verify_each.c", DEMO);
     for mode in [
