@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Crash-resistance smoke fuzz for the fault-containment layer: random byte
+# mutations of the example corpus must never escape the ICE boundary. For
+# every mutant, `ompltc` must (a) terminate within the per-case timeout and
+# (b) exit with one of the contract codes — 0 ok, 1 findings/runtime
+# failure, 2 usage, 3 contained ICE. A raw panic (101), an abort (signal),
+# or a hang is a bug; the offending mutant is saved and a crash-report
+# bundle is captured for the CI artifact upload.
+#
+# Budget: ~60 seconds (override with FUZZ_SECONDS). Deterministic per seed:
+# FUZZ_SEED pins the mutation stream so failures replay exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ompltc=${OMPLTC:-target/release/ompltc}
+if [ ! -x "$ompltc" ]; then
+  echo "error: $ompltc not built (run 'cargo build --release' first)" >&2
+  exit 2
+fi
+
+budget=${FUZZ_SECONDS:-60}
+seed=${FUZZ_SEED:-20260806}
+outdir=${FUZZ_OUTDIR:-target/fuzz-smoke}
+per_case_timeout=10
+mkdir -p "$outdir"
+rm -f "$outdir"/failure-*
+
+# Seed corpus: every example, plus hand-picked seeds covering the pragma
+# parser and the runtime (worksharing + barrier), so mutations reach deep
+# stages rather than dying in the lexer.
+corpus=("$outdir/seed-parallel.c" "$outdir/seed-transform.c")
+for src in examples/c/*.c; do
+  corpus+=("$src")
+done
+cat > "$outdir/seed-parallel.c" <<'EOF'
+long acc[32];
+int main(void) {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(dynamic, 2)
+    for (int i = 0; i < 32; i += 1)
+      acc[i] = i * 3;
+  }
+  long sum = 0;
+  for (int k = 0; k < 32; k += 1)
+    sum += acc[k];
+  return sum % 251;
+}
+EOF
+cat > "$outdir/seed-transform.c" <<'EOF'
+void print_i64(long v);
+int main(void) {
+  #pragma omp tile sizes(4)
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < 16; i += 1)
+    print_i64(i);
+  return 0;
+}
+EOF
+
+# xorshift-style deterministic PRNG (bash arithmetic, 2^31 modulus).
+rng=$seed
+rand() {
+  rng=$(((rng * 1103515245 + 12345) % 2147483648))
+  echo $((rng % $1))
+}
+
+mode_flags() {
+  case $1 in
+    0) echo "--syntax-only" ;;
+    1) echo "--opt --run --serial" ;;
+    2) echo "--opt --run --backend=vm --serial" ;;
+    3) echo "--analyze" ;;
+  esac
+}
+
+deadline=$((SECONDS + budget))
+cases=0
+failures=0
+while [ "$SECONDS" -lt "$deadline" ]; do
+  src=${corpus[$(rand ${#corpus[@]})]}
+  size=$(wc -c < "$src")
+  mutant="$outdir/mutant.c"
+  cp "$src" "$mutant"
+  # 1-8 random single-byte substitutions across the whole byte range, so
+  # both "still parses" and "binary garbage" shapes are exercised.
+  edits=$(($(rand 8) + 1))
+  for _ in $(seq "$edits"); do
+    off=$(rand "$size")
+    byte=$(rand 256)
+    printf "$(printf '\\x%02x' "$byte")" \
+      | dd of="$mutant" bs=1 seek="$off" conv=notrunc status=none
+  done
+  flags=$(mode_flags "$(rand 4)")
+  cases=$((cases + 1))
+
+  set +e
+  # shellcheck disable=SC2086  # flags is intentionally word-split
+  timeout "$per_case_timeout" "$ompltc" $flags \
+    --fuel=2000000 --exec-timeout=5000 "$mutant" >/dev/null 2>&1
+  code=$?
+  set -e
+
+  case $code in
+    0 | 1 | 2 | 3) ;; # the exit-code contract
+    124)
+      failures=$((failures + 1))
+      cp "$mutant" "$outdir/failure-$failures.c"
+      echo "HANG (case $cases, flags: $flags): mutant saved to $outdir/failure-$failures.c" >&2
+      ;;
+    *)
+      failures=$((failures + 1))
+      cp "$mutant" "$outdir/failure-$failures.c"
+      echo "UNCONTAINED exit $code (case $cases, flags: $flags): mutant saved to $outdir/failure-$failures.c" >&2
+      # Re-run with --crash-report so CI archives the bundle.
+      set +e
+      timeout "$per_case_timeout" "$ompltc" $flags \
+        --crash-report="$outdir/failure-$failures.report" \
+        --fuel=2000000 --exec-timeout=5000 "$mutant" >/dev/null 2>&1
+      set -e
+      ;;
+  esac
+done
+
+echo "fuzz smoke: $cases cases in ${budget}s (seed $seed), $failures uncontained"
+if [ "$failures" -gt 0 ]; then
+  exit 1
+fi

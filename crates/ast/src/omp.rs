@@ -411,13 +411,15 @@ impl OMPDirective {
     }
 
     /// The `collapse(n)` value (constant-evaluated), defaulting to 1.
+    /// Non-positive values clamp to 1: sema diagnoses them separately, and
+    /// every consumer needs at least one loop level to stay well-formed.
     pub fn collapse_depth(&self) -> usize {
         self.find_clause(|k| matches!(k, OMPClauseKind::Collapse(_)))
             .and_then(|c| match &c.kind {
                 OMPClauseKind::Collapse(e) => e.eval_const_int(),
                 _ => None,
             })
-            .map_or(1, |v| usize::try_from(v).unwrap_or(1))
+            .map_or(1, |v| usize::try_from(v).unwrap_or(1).max(1))
     }
 
     /// A source-like rendering of the pragma line, used for the

@@ -36,6 +36,7 @@ pub fn codegen_translation_unit(
             OpenMpCodegenMode::IrBuilder => "irbuilder",
         },
     );
+    omplt_fault::panic_if_armed("codegen.panic");
     let mut module = Module::new();
     let mut globals: HashMap<DeclId, SymbolId> = HashMap::new();
     // Globals first (zero-initialized; constant initializers applied).

@@ -1,0 +1,202 @@
+//! Deterministic fault injection for the omplt pipeline.
+//!
+//! Every pipeline stage registers one or more *fault sites* — named points
+//! where a test (via `ompltc --inject-fault=SITE[:COUNT]`) can force a
+//! failure: an internal panic, a bytecode-verifier rejection, immediate fuel
+//! exhaustion, or a team thread that vanishes before the barrier. The
+//! registry is process-global and one-shot: arming `SITE:3` makes the third
+//! call to [`fire`] for that site trigger, after which the site disarms.
+//!
+//! The crate also tracks the *current pipeline stage* so the ICE boundary in
+//! the driver can name where a panic (injected or genuine) originated.
+
+use std::sync::Mutex;
+
+/// Every registered fault site, with the failure it forces. The driver uses
+/// this list to validate `--inject-fault` and to render the site catalog in
+/// usage errors; keep it in sync with the `fire` calls in each crate.
+pub const SITES: &[(&str, &str)] = &[
+    ("lex.panic", "panic while lexing the next token"),
+    ("parse.panic", "panic while parsing a top-level declaration"),
+    ("sema.panic", "panic while acting on an OpenMP directive"),
+    ("codegen.panic", "panic while lowering a function to IR"),
+    ("midend.panic", "panic while running a mid-end pass"),
+    ("vm.panic", "panic while compiling IR to bytecode"),
+    (
+        "vm.verify.reject",
+        "force the bytecode verifier to reject the module",
+    ),
+    (
+        "runtime.fuel",
+        "exhaust the cooperative fuel budget at run start",
+    ),
+    (
+        "runtime.lost-thread",
+        "highest-numbered team thread exits without reaching the barrier",
+    ),
+];
+
+struct Armed {
+    site: &'static str,
+    /// Remaining [`fire`] calls before the site triggers; 1 = next call.
+    remaining: u64,
+}
+
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+static STAGE: Mutex<&'static str> = Mutex::new("startup");
+
+/// Returns `true` when `name` is a registered fault site.
+pub fn is_known_site(name: &str) -> bool {
+    SITES.iter().any(|(s, _)| *s == name)
+}
+
+/// Renders the site catalog for usage errors: `"lex.panic, parse.panic, ..."`.
+pub fn site_catalog() -> String {
+    SITES.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(", ")
+}
+
+/// Arms a fault from a `SITE[:COUNT]` spec. COUNT is the 1-based hit at
+/// which the site triggers (default 1). Only one site is armed at a time;
+/// arming replaces any previous armament.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let (name, count) = match spec.split_once(':') {
+        Some((name, count)) => {
+            let n: u64 = count.parse().map_err(|_| {
+                format!("invalid fault count '{count}': expected a positive integer")
+            })?;
+            if n == 0 {
+                return Err(format!(
+                    "invalid fault count '{count}': expected a positive integer"
+                ));
+            }
+            (name, n)
+        }
+        None => (spec, 1),
+    };
+    let site = SITES
+        .iter()
+        .map(|(s, _)| *s)
+        .find(|s| *s == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown fault site '{name}': known sites are {}",
+                site_catalog()
+            )
+        })?;
+    *ARMED.lock().unwrap() = Some(Armed {
+        site,
+        remaining: count,
+    });
+    Ok(())
+}
+
+/// Disarms any armed fault and resets the stage. Tests that arm faults
+/// in-process must call this before returning.
+pub fn reset() {
+    *ARMED.lock().unwrap() = None;
+    *STAGE.lock().unwrap() = "startup";
+}
+
+/// Called at an injection point. Returns `true` when the armed countdown for
+/// `site` reaches zero; the site then disarms so recovery paths (e.g. the
+/// interpreter fallback after a forced verifier rejection) run clean. Bumps
+/// the `fault.fired.<site>` trace counter when it triggers.
+pub fn fire(site: &str) -> bool {
+    let mut armed = ARMED.lock().unwrap();
+    let Some(a) = armed.as_mut() else {
+        return false;
+    };
+    if a.site != site {
+        return false;
+    }
+    a.remaining -= 1;
+    if a.remaining > 0 {
+        return false;
+    }
+    *armed = None;
+    drop(armed);
+    omplt_trace::count(&format!("fault.fired.{site}"), 1);
+    true
+}
+
+/// One-line helper for `*.panic` sites: panics with a recognizable message
+/// when the armed countdown for `site` triggers. The site's stage prefix is
+/// recorded first so the ICE boundary names where the panic originated.
+pub fn panic_if_armed(site: &'static str) {
+    if fire(site) {
+        set_stage(site.split('.').next().unwrap_or(site));
+        panic!("injected fault at site '{site}'");
+    }
+}
+
+/// Records the pipeline stage now executing. The ICE boundary reads this to
+/// name where a panic originated; stages are coarse ("parse", "sema",
+/// "codegen", "midend", "vm", "runtime").
+pub fn set_stage(stage: &'static str) {
+    *STAGE.lock().unwrap() = stage;
+}
+
+/// The most recently recorded pipeline stage.
+pub fn current_stage() -> &'static str {
+    *STAGE.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; serialize tests that touch it.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn fires_once_at_the_armed_count() {
+        let _g = lock();
+        arm("sema.panic:3").unwrap();
+        assert!(!fire("sema.panic"));
+        assert!(!fire("lex.panic"), "other sites never fire");
+        assert!(!fire("sema.panic"));
+        assert!(fire("sema.panic"), "third matching hit triggers");
+        assert!(!fire("sema.panic"), "one-shot: disarmed after firing");
+        reset();
+    }
+
+    #[test]
+    fn default_count_is_the_first_hit() {
+        let _g = lock();
+        arm("vm.verify.reject").unwrap();
+        assert!(fire("vm.verify.reject"));
+        reset();
+    }
+
+    #[test]
+    fn rejects_unknown_sites_and_bad_counts() {
+        let _g = lock();
+        assert!(arm("nope").unwrap_err().contains("unknown fault site"));
+        assert!(arm("lex.panic:0").unwrap_err().contains("positive"));
+        assert!(arm("lex.panic:x").unwrap_err().contains("positive"));
+        reset();
+    }
+
+    #[test]
+    fn stage_tracking_round_trips() {
+        let _g = lock();
+        set_stage("midend");
+        assert_eq!(current_stage(), "midend");
+        reset();
+        assert_eq!(current_stage(), "startup");
+    }
+
+    #[test]
+    fn every_site_is_unique_and_catalogued() {
+        let mut names: Vec<_> = SITES.iter().map(|(s, _)| *s).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate site names");
+        assert!(site_catalog().contains("runtime.lost-thread"));
+    }
+}

@@ -67,6 +67,15 @@ pub enum ExecError {
     Malformed(String),
     /// A spawned team thread panicked.
     ThreadPanic,
+    /// The barrier watchdog detected a team member that can never arrive
+    /// (it exited or panicked) while others wait. The message names the
+    /// lost and stuck threads.
+    BarrierDeadlock(String),
+    /// Internal marker for the `runtime.lost-thread` fault injection: the
+    /// carrying thread unwinds out of the parallel region without reaching
+    /// the barrier. `fork_call` converts it to a watchdog diagnostic; it
+    /// never escapes to users.
+    LostThread(u32),
 }
 
 impl std::fmt::Display for ExecError {
@@ -79,6 +88,10 @@ impl std::fmt::Display for ExecError {
             ExecError::UnknownFunction(n) => write!(f, "call to unknown function '{n}'"),
             ExecError::Malformed(m) => write!(f, "malformed IR: {m}"),
             ExecError::ThreadPanic => write!(f, "a team thread panicked"),
+            ExecError::BarrierDeadlock(m) => write!(f, "{m}"),
+            ExecError::LostThread(g) => {
+                write!(f, "team thread {g} was lost before reaching the barrier")
+            }
         }
     }
 }

@@ -16,7 +16,8 @@ use crate::memory::Memory;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// How a dispatch (non-static) worksharing loop doles out iterations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,6 +206,118 @@ impl DispatchLoop {
     }
 }
 
+/// Watchdog poll interval: the deadline within which a barrier deadlock is
+/// reported even if a departure notification is somehow missed.
+const WATCHDOG_POLL: Duration = Duration::from_millis(100);
+
+/// A team barrier with deadlock detection. A correct team releases the
+/// barrier when all `size` members arrive; if any member *departs* first
+/// (finishes the parallel region, panics, or is deliberately lost by fault
+/// injection), that release can never happen. The watchdog notices —
+/// eagerly on the departure notification, and within [`WATCHDOG_POLL`] as a
+/// backstop — poisons the barrier, and every waiter returns
+/// [`ExecError::BarrierDeadlock`] naming the lost and stuck threads instead
+/// of hanging the process.
+#[derive(Debug)]
+struct WatchdogBarrier {
+    size: u32,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    /// gtids waiting at the current generation.
+    arrived: Vec<u32>,
+    /// gtids that left the parallel region for good.
+    departed: Vec<u32>,
+    generation: u64,
+    /// The watchdog diagnostic, once deadlock is detected. Sticky: every
+    /// subsequent wait fails immediately.
+    poisoned: Option<String>,
+}
+
+fn gtid_list(gtids: &[u32]) -> String {
+    let mut v: Vec<u32> = gtids.to_vec();
+    v.sort_unstable();
+    v.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+}
+
+impl WatchdogBarrier {
+    fn new(size: u32) -> WatchdogBarrier {
+        WatchdogBarrier {
+            size,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// True when the barrier can never release: someone departed, someone
+    /// waits, and nobody is left running to change either fact.
+    fn is_deadlocked(st: &BarrierState, size: u32) -> bool {
+        !st.departed.is_empty()
+            && !st.arrived.is_empty()
+            && st.arrived.len() + st.departed.len() >= size as usize
+    }
+
+    fn poison(st: &mut BarrierState, size: u32) -> String {
+        let msg = format!(
+            "watchdog: barrier deadlock in team of {size}: thread(s) {} exited without \
+             reaching '__kmpc_barrier' while thread(s) {} wait at it",
+            gtid_list(&st.departed),
+            gtid_list(&st.arrived),
+        );
+        st.poisoned = Some(msg.clone());
+        msg
+    }
+
+    fn wait(&self, gtid: u32) -> Result<(), ExecError> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(msg) = &st.poisoned {
+            return Err(ExecError::BarrierDeadlock(msg.clone()));
+        }
+        st.arrived.push(gtid);
+        if st.departed.is_empty() && st.arrived.len() as u32 == self.size {
+            st.arrived.clear();
+            st.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        if Self::is_deadlocked(&st, self.size) {
+            let msg = Self::poison(&mut st, self.size);
+            self.cv.notify_all();
+            return Err(ExecError::BarrierDeadlock(msg));
+        }
+        let gen = st.generation;
+        loop {
+            let (guard, _) = self.cv.wait_timeout(st, WATCHDOG_POLL).unwrap();
+            st = guard;
+            if let Some(msg) = &st.poisoned {
+                return Err(ExecError::BarrierDeadlock(msg.clone()));
+            }
+            if st.generation != gen {
+                return Ok(());
+            }
+            if Self::is_deadlocked(&st, self.size) {
+                let msg = Self::poison(&mut st, self.size);
+                self.cv.notify_all();
+                return Err(ExecError::BarrierDeadlock(msg));
+            }
+        }
+    }
+
+    /// Records that `gtid` left the parallel region; wakes waiters so the
+    /// deadlock check re-runs immediately.
+    fn depart(&self, gtid: u32) {
+        let mut st = self.state.lock().unwrap();
+        st.departed.push(gtid);
+        if st.poisoned.is_none() && Self::is_deadlocked(&st, self.size) {
+            Self::poison(&mut st, self.size);
+        }
+        self.cv.notify_all();
+    }
+}
+
 /// State shared by all members of one thread team: the barrier and the
 /// dispatch queues of in-flight worksharing loops, keyed by each thread's
 /// worksharing-construct sequence number (so `nowait` loops can overlap).
@@ -214,7 +327,7 @@ pub struct TeamState {
     /// `None` when the team executes sequentially (team of 1, or
     /// `RuntimeConfig::serial`): a real barrier would self-deadlock and
     /// completion order already synchronizes.
-    barrier: Option<Barrier>,
+    barrier: Option<WatchdogBarrier>,
     queues: Mutex<HashMap<u64, Arc<DispatchLoop>>>,
 }
 
@@ -224,7 +337,7 @@ impl TeamState {
         Arc::new(TeamState {
             size,
             barrier: if concurrent && size > 1 {
-                Some(Barrier::new(size as usize))
+                Some(WatchdogBarrier::new(size))
             } else {
                 None
             },
@@ -233,10 +346,34 @@ impl TeamState {
     }
 
     /// Blocks until every team member arrives (no-op for sequential teams).
-    pub fn barrier_wait(&self) {
-        if let Some(b) = &self.barrier {
-            b.wait();
+    /// Fails with [`ExecError::BarrierDeadlock`] when the watchdog proves a
+    /// member can never arrive.
+    pub fn barrier_wait(&self, gtid: u32) -> Result<(), ExecError> {
+        match &self.barrier {
+            Some(b) => b.wait(gtid),
+            None => Ok(()),
         }
+    }
+
+    /// Marks `gtid` as gone for good (region end, panic, or lost by fault
+    /// injection), feeding the barrier watchdog.
+    fn depart(&self, gtid: u32) {
+        if let Some(b) = &self.barrier {
+            b.depart(gtid);
+        }
+    }
+}
+
+/// Registers a team member's departure when dropped — including on panic
+/// unwind, so a crashed thread still feeds the watchdog.
+struct DepartureGuard<'a> {
+    team: &'a TeamState,
+    gtid: u32,
+}
+
+impl Drop for DepartureGuard<'_> {
+    fn drop(&mut self) {
+        self.team.depart(self.gtid);
     }
 }
 
@@ -319,7 +456,13 @@ pub fn dispatch<E: Engine>(
             if omplt_trace::active() {
                 omplt_trace::count(&format!("{}.barrier.waits", e.trace_prefix()), 1);
             }
-            ctx.team.barrier_wait();
+            if omplt_fault::fire("runtime.lost-thread") {
+                // The injected "lost" member unwinds out of the region
+                // instead of arriving; its departure guard feeds the
+                // watchdog, which frees any teammates stuck here.
+                return Err(ExecError::LostThread(ctx.gtid));
+            }
+            ctx.team.barrier_wait(ctx.gtid)?;
             Ok(None)
         }
         "__omplt_task_created" => {
@@ -391,7 +534,14 @@ fn fork_call<E: Engine>(
             let child = ThreadCtx::team_member(tid, team, Arc::clone(&state));
             let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
             a.extend(caps.iter().copied());
-            e.call_by_name(&name, a, &child)?;
+            match e.call_by_name(&name, a, &child) {
+                Ok(_) => {}
+                // Sequential teams have no waiters to free, but the lost
+                // member must still surface as a watchdog diagnostic, not
+                // vanish silently.
+                Err(ExecError::LostThread(g)) => return Err(lost_without_waiters(g, team)),
+                Err(err) => return Err(err),
+            }
         }
         return Ok(None);
     }
@@ -401,6 +551,7 @@ fn fork_call<E: Engine>(
     // can share it.
     let state = TeamState::new(team, true);
     let mut first_err: Option<ExecError> = None;
+    let mut lost: Option<u32> = None;
     // Team members inherit the forking thread's trace session (if any), so
     // runtime counters and spans from worker threads land in the same trace.
     let trace = omplt_trace::handle();
@@ -413,7 +564,13 @@ fn fork_call<E: Engine>(
                 let trace = trace.clone();
                 s.spawn(move || {
                     let _trace = trace.as_ref().map(omplt_trace::Handle::attach);
-                    let child = ThreadCtx::team_member(tid, team, state);
+                    // Feeds the watchdog on every exit path out of the
+                    // region, panic unwind included.
+                    let _departure = DepartureGuard {
+                        team: &state,
+                        gtid: tid,
+                    };
+                    let child = ThreadCtx::team_member(tid, team, Arc::clone(&state));
                     let mut a = vec![RtVal::I(tid as i64), RtVal::I(tid as i64)];
                     a.extend(caps);
                     e.call_by_name(&name, a, &child).map(|_| ())
@@ -423,6 +580,7 @@ fn fork_call<E: Engine>(
         for h in handles {
             match h.join() {
                 Ok(Ok(())) => {}
+                Ok(Err(ExecError::LostThread(g))) => lost = Some(g),
                 Ok(Err(e)) => {
                     first_err.get_or_insert(e);
                 }
@@ -432,10 +590,22 @@ fn fork_call<E: Engine>(
             }
         }
     });
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(None),
+    match (first_err, lost) {
+        // Waiters report the richer poisoned-barrier diagnostic when the
+        // watchdog caught them mid-wait.
+        (Some(e), _) => Err(e),
+        // The member was lost but nobody happened to be waiting (e.g. the
+        // region had no further barrier): still a watchdog finding.
+        (None, Some(g)) => Err(lost_without_waiters(g, team)),
+        (None, None) => Ok(None),
     }
+}
+
+/// The watchdog diagnostic for a lost team member that stranded no waiters.
+fn lost_without_waiters(gtid: u32, team: u32) -> ExecError {
+    ExecError::BarrierDeadlock(format!(
+        "watchdog: thread {gtid} of team of {team} exited without reaching '__kmpc_barrier'"
+    ))
 }
 
 /// `__kmpc_for_static_init(gtid, sched, plast, plb, pub, pstride, incr,
@@ -659,6 +829,60 @@ mod tests {
     use crate::exec::Interpreter;
     use omplt_ir::{Function, IrBuilder, IrType, Module, Value};
     use std::collections::HashSet;
+
+    /// A full team releases the watchdog barrier normally, repeatedly.
+    #[test]
+    fn watchdog_barrier_releases_full_team() {
+        let b = Arc::new(WatchdogBarrier::new(4));
+        std::thread::scope(|s| {
+            for gtid in 0..4u32 {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        b.wait(gtid).expect("barrier releases");
+                    }
+                });
+            }
+        });
+    }
+
+    /// A departed member poisons the barrier: every waiter gets a
+    /// BarrierDeadlock naming both sides, promptly, instead of hanging.
+    #[test]
+    fn watchdog_barrier_detects_departed_member() {
+        for team in [2u32, 4, 8] {
+            let b = Arc::new(WatchdogBarrier::new(team));
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for gtid in 0..team - 1 {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        let err = b.wait(gtid).expect_err("deadlock detected");
+                        let msg = err.to_string();
+                        assert!(msg.contains("watchdog"), "{msg}");
+                        assert!(msg.contains(&format!("thread(s) {}", team - 1)), "{msg}");
+                    });
+                }
+                // The highest gtid never arrives.
+                b.depart(team - 1);
+            });
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog must fire well within the deadline (team of {team})"
+            );
+        }
+    }
+
+    /// All members departing without waiting (a region with no barrier) is
+    /// not a deadlock.
+    #[test]
+    fn watchdog_barrier_ignores_clean_departures() {
+        let b = WatchdogBarrier::new(4);
+        for gtid in 0..4 {
+            b.depart(gtid);
+        }
+        assert!(b.state.lock().unwrap().poisoned.is_none());
+    }
 
     /// Builds a module whose outlined function marks `covered[tid-span]` and
     /// forks a team of `team` threads.

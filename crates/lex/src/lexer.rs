@@ -435,8 +435,18 @@ impl<'a> Lexer<'a> {
                 _ => Gt,
             },
             other => {
-                self.diags
-                    .error(loc, format!("unexpected character '{}'", other as char));
+                if other >= 0x80 {
+                    // Consume the remaining bytes of the UTF-8 sequence so a
+                    // multi-byte character yields one diagnostic, not one per
+                    // continuation byte.
+                    while (0x80..0xC0).contains(&self.peek()) {
+                        self.pos += 1;
+                    }
+                    self.diags.error(loc, "unexpected non-ASCII character");
+                } else {
+                    self.diags
+                        .error(loc, format!("unexpected character '{}'", other as char));
+                }
                 // Recover by treating it as a semicolon-like separator.
                 Semi
             }

@@ -152,6 +152,8 @@ impl<'a> Preprocessor<'a> {
         let _span = omplt_trace::span("lex.tokenize");
         let mut out = Vec::new();
         loop {
+            // Fault site: COUNT selects which token's lexing panics.
+            omplt_fault::panic_if_armed("lex.panic");
             let t = self.next_token();
             let eof = matches!(t.kind, TokenKind::Eof);
             out.push(t);

@@ -97,7 +97,9 @@ impl PassManager {
 
     /// Runs the pipeline on every function.
     pub fn run(&mut self, m: &mut Module) {
+        // Fault site: COUNT selects which function's pipeline panics.
         for f in &mut m.functions {
+            omplt_fault::panic_if_armed("midend.panic");
             self.run_on_function(f);
         }
     }

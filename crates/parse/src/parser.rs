@@ -14,6 +14,7 @@ use omplt_source::SourceLocation;
 /// Parses a preprocessed token stream into a translation unit.
 pub fn parse_translation_unit(tokens: Vec<Token>, sema: &mut Sema<'_>) -> TranslationUnit {
     let _span = omplt_trace::span("parse");
+    omplt_fault::panic_if_armed("parse.panic");
     let mut p = Parser::new(tokens, sema);
     p.parse_tu()
 }

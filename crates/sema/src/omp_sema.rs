@@ -32,6 +32,8 @@ impl Sema<'_> {
         // One observability span per directive: the paper's shadow-AST
         // construction cost (§2 vs §3) is exactly the time spent here.
         let _span = omplt_trace::span_detail("sema.directive", kind.name());
+        // Fault site: COUNT selects which directive's analysis panics.
+        omplt_fault::panic_if_armed("sema.panic");
         self.check_clauses(kind, &clauses, loc);
 
         let Some(associated) = associated else {

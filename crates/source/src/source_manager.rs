@@ -144,8 +144,13 @@ impl SourceManager {
         let file = self.file_of(loc)?;
         let entry = &self.files[file.0 as usize];
         let data = entry.buffer.data();
-        let off = (loc.raw() - entry.base_offset) as usize;
-        let begin = data[..off.min(data.len())].rfind('\n').map_or(0, |i| i + 1);
+        let mut off = ((loc.raw() - entry.base_offset) as usize).min(data.len());
+        // The lexer scans bytes, so a diagnostic location can land inside a
+        // multi-byte character; snap back to a boundary before slicing.
+        while off > 0 && !data.is_char_boundary(off) {
+            off -= 1;
+        }
+        let begin = data[..off].rfind('\n').map_or(0, |i| i + 1);
         let end = data[begin..].find('\n').map_or(data.len(), |i| begin + i);
         Some(data[begin..end].to_string())
     }

@@ -72,6 +72,7 @@ impl std::error::Error for CompileError {}
 /// functions first, then runtime shims.
 pub fn compile_module(m: &Module) -> Result<VmModule, CompileError> {
     let _span = omplt_trace::span("vm.compile");
+    omplt_fault::panic_if_armed("vm.panic");
     // First name occurrence wins, matching `Module::function`.
     let mut fn_index: HashMap<&str, u32> = HashMap::new();
     for (i, f) in m.functions.iter().enumerate() {

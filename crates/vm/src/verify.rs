@@ -44,6 +44,16 @@ pub fn verify_module(m: &VmModule) -> Vec<VerifyError> {
         omplt_trace::count("vm.verify.functions", m.funcs.len() as u64);
     }
     let mut errs = Vec::new();
+    if omplt_fault::fire("vm.verify.reject") {
+        errs.push(VerifyError {
+            func: m
+                .funcs
+                .first()
+                .map_or_else(|| "<empty>".to_string(), |f| f.name.clone()),
+            at: 0,
+            what: "injected verification failure (fault site 'vm.verify.reject')".to_string(),
+        });
+    }
     for f in &m.funcs {
         errs.extend(verify_function(f, m.funcs.len()));
     }

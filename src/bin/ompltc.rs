@@ -7,13 +7,28 @@
 //!   --ast-dump               print the syntactic AST (clang -ast-dump style)
 //!   --ast-dump-transformed   additionally show shadow (transformed) subtrees
 //!   --backend=B              execution engine for --run: interp (default,
-//!                            tree-walking oracle) | vm (bytecode VM)
+//!                            tree-walking oracle) | vm (bytecode VM; falls
+//!                            back to the interpreter with a warning if
+//!                            bytecode compile/verify fails) | vm:strict
+//!                            (VM with the fallback disabled)
 //!   --counters-json[=FILE]   dump the pipeline's named counters as JSON
 //!                            (stdout unless FILE is given)
+//!   --crash-report=DIR       on an internal compiler error, write a crash
+//!                            bundle (input source, pipeline stage, panic
+//!                            backtrace, counters snapshot) into DIR
 //!   --diag-format=FMT        diagnostics output format: text (default) | json
 //!   --emit-bytecode          print the VM bytecode disassembly
 //!   --emit-ir                print generated IR
 //!   --enable-irbuilder       use the OpenMPIRBuilder / OMPCanonicalLoop path
+//!   --exec-timeout=MS        hard wall-clock deadline for the whole
+//!                            invocation; on expiry the process exits 1 with
+//!                            a diagnostic instead of hanging
+//!   --fuel=N                 cooperative op budget shared by the interpreter
+//!                            and the VM (exhaustion is a runtime error, not
+//!                            a hang)
+//!   --inject-fault=SITE[:N]  deterministic fault injection: force a failure
+//!                            at a registered pipeline site on its N-th hit
+//!                            (default 1); see `omplt-fault` for the catalog
 //!   --no-openmp              parse pragmas but ignore them
 //!   --run [args...]          interpret the module (calls `main`)
 //!   --opt                    run the mid-end pipeline (incl. LoopUnroll) first
@@ -28,15 +43,28 @@
 //!                            after every transformation and mid-end pass
 //! ```
 //!
+//! Exit codes: 0 success, 1 findings/compile errors/runtime failures,
+//! 2 usage errors, 3 internal compiler error (ICE).
+//!
+//! The driver is a fault boundary: any internal panic is caught by a
+//! `catch_unwind` wall around the pipeline and converted into a structured
+//! "internal compiler error" diagnostic (honoring `--diag-format=json`) plus
+//! an optional `--crash-report` bundle — a compile request can fail, but it
+//! cannot take the process down with a raw panic or hang it (barrier
+//! deadlocks are caught by the runtime watchdog, runaway loops by `--fuel`,
+//! and everything else by `--exec-timeout`).
+//!
 //! The three observability flags share one trace session: spans cover every
 //! stage (lex, parse, sema per-directive, codegen, mid-end passes, verifier
 //! re-checks, the interpreter run) and counters record what each stage did
 //! (shadow-AST helper nodes built, chunks claimed per schedule kind per
 //! thread, barrier waits, ...). Output is written after the pipeline exits,
-//! even when it exits early on an error.
+//! even when it exits early on an error or an ICE.
 
 use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+use std::panic::AssertUnwindSafe;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 fn emit_diags(ci: &CompilerInstance, json: bool) {
     if ci.diags.is_empty() {
@@ -67,35 +95,63 @@ struct Cli {
     time_report: bool,
     /// `--counters-json` destination, same encoding as `time_trace`.
     counters_json: Option<Option<String>>,
+    /// `--exec-timeout` wall-clock deadline in milliseconds.
+    exec_timeout_ms: Option<u64>,
+    /// `--crash-report` bundle directory.
+    crash_report: Option<String>,
 }
 
 fn usage() -> u8 {
     eprintln!(
         "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
-         [--backend=interp|vm] [--counters-json[=FILE]] \
-         [--diag-format=text|json] [--emit-bytecode] [--emit-ir] \
-         [--enable-irbuilder] [--opt] [--run] [--syntax-only] [--threads N] \
-         [--time-report] [--time-trace[=FILE]] [--verify-each] <file.c>"
+         [--backend=interp|vm|vm:strict] [--counters-json[=FILE]] \
+         [--crash-report=DIR] [--diag-format=text|json] [--emit-bytecode] \
+         [--emit-ir] [--enable-irbuilder] [--exec-timeout=MS] [--fuel=N] \
+         [--inject-fault=SITE[:COUNT]] [--opt] [--run] [--syntax-only] \
+         [--threads N] [--time-report] [--time-trace[=FILE]] [--verify-each] \
+         <file.c>"
     );
     2
 }
 
-/// Diagnoses an unknown `--backend` value on stderr — as a JSON diagnostic
-/// array when `--diag-format=json` is in effect (driver errors happen before
-/// a `CompilerInstance` exists, so the array is rendered here in the same
-/// shape `DiagnosticsEngine::render_json` produces) — and returns exit code 2.
-fn bad_backend(value: &str, json: bool) -> u8 {
-    let msg = format!("unknown backend '{value}' for '--backend': expected 'interp' or 'vm'");
+/// Minimal JSON string escaping for driver-rendered diagnostics (quotes,
+/// backslashes, newlines) — driver errors happen before/around a
+/// `CompilerInstance`, so the array is rendered here in the same shape
+/// `DiagnosticsEngine::render_json` produces.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One file-less diagnostic object in `render_json`'s shape.
+fn json_diag_object(level: &str, msg: &str, notes: &[String]) -> String {
+    let notes = notes
+        .iter()
+        .map(|n| json_diag_object("note", n, &[]))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"level\":\"{level}\",\"message\":\"{}\",\"file\":null,\"notes\":[{notes}]}}",
+        json_escape(msg)
+    )
+}
+
+/// Diagnoses a driver-level error on stderr — as a JSON diagnostic array
+/// when `--diag-format=json` is in effect — and returns exit code 2.
+fn driver_error(msg: &str, json: bool) -> u8 {
     if json {
-        let escaped: String = msg
-            .chars()
-            .flat_map(|c| match c {
-                '"' => vec!['\\', '"'],
-                '\\' => vec!['\\', '\\'],
-                c => vec![c],
-            })
-            .collect();
-        eprintln!("[{{\"level\":\"error\",\"message\":\"{escaped}\",\"file\":null,\"notes\":[]}}]");
+        eprintln!("[{}]", json_diag_object("error", msg, &[]));
     } else {
         eprintln!("ompltc: {msg}");
     }
@@ -124,6 +180,48 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let mut time_trace = None;
     let mut time_report = false;
     let mut counters_json = None;
+    let mut exec_timeout_ms = None;
+    let mut crash_report = None;
+
+    let bad_backend = |v: &str| {
+        driver_error(
+            &format!(
+                "unknown backend '{v}' for '--backend': expected 'interp', 'vm', or 'vm:strict'"
+            ),
+            json_diags,
+        )
+    };
+    let set_fuel = |opts: &mut Options, v: &str| -> Result<(), u8> {
+        match v.parse::<u64>() {
+            Ok(n) => {
+                opts.max_steps = n;
+                Ok(())
+            }
+            Err(_) => Err(driver_error(
+                &format!("invalid value '{v}' for '--fuel': expected a non-negative integer"),
+                json_diags,
+            )),
+        }
+    };
+    let set_timeout = |slot: &mut Option<u64>, v: &str| -> Result<(), u8> {
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => {
+                *slot = Some(n);
+                Ok(())
+            }
+            _ => Err(driver_error(
+                &format!(
+                    "invalid value '{v}' for '--exec-timeout': expected a positive number of \
+                     milliseconds"
+                ),
+                json_diags,
+            )),
+        }
+    };
+    let arm_fault = |spec: &str| -> Result<(), u8> {
+        omplt::fault::arm(spec).map_err(|msg| driver_error(&msg, json_diags))
+    };
+
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -148,7 +246,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                 };
                 match omplt::Backend::parse(v) {
                     Some(b) => opts.backend = b,
-                    None => return Err(bad_backend(v, json_diags)),
+                    None => return Err(bad_backend(v)),
                 }
             }
             "--threads" => {
@@ -167,12 +265,52 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                     }
                 }
             }
+            "--fuel" => {
+                let Some(v) = it.next() else {
+                    eprintln!("ompltc: '--fuel' requires a value");
+                    return Err(2);
+                };
+                set_fuel(&mut opts, v)?;
+            }
+            "--exec-timeout" => {
+                let Some(v) = it.next() else {
+                    eprintln!("ompltc: '--exec-timeout' requires a value");
+                    return Err(2);
+                };
+                set_timeout(&mut exec_timeout_ms, v)?;
+            }
+            "--inject-fault" => {
+                let Some(v) = it.next() else {
+                    eprintln!("ompltc: '--inject-fault' requires a value");
+                    return Err(2);
+                };
+                arm_fault(v)?;
+            }
+            "--crash-report" => {
+                let Some(v) = it.next() else {
+                    eprintln!("ompltc: '--crash-report' requires a value");
+                    return Err(2);
+                };
+                crash_report = Some(v.to_string());
+            }
             other if other.starts_with("--backend=") => {
                 let v = &other["--backend=".len()..];
                 match omplt::Backend::parse(v) {
                     Some(b) => opts.backend = b,
-                    None => return Err(bad_backend(v, json_diags)),
+                    None => return Err(bad_backend(v)),
                 }
+            }
+            other if other.starts_with("--fuel=") => {
+                set_fuel(&mut opts, &other["--fuel=".len()..])?;
+            }
+            other if other.starts_with("--exec-timeout=") => {
+                set_timeout(&mut exec_timeout_ms, &other["--exec-timeout=".len()..])?;
+            }
+            other if other.starts_with("--inject-fault=") => {
+                arm_fault(&other["--inject-fault=".len()..])?;
+            }
+            other if other.starts_with("--crash-report=") => {
+                crash_report = Some(other["--crash-report=".len()..].to_string());
             }
             other if other.starts_with("--counters-json=") => {
                 counters_json = Some(Some(other["--counters-json=".len()..].to_string()));
@@ -215,19 +353,21 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         time_trace,
         time_report,
         counters_json,
+        exec_timeout_ms,
+        crash_report,
     })
 }
 
 /// The pipeline proper. Factored out of `main` so every early `return` still
-/// lands back in `main`, where the trace session is finished and flushed.
+/// lands back in `main`, where the trace session is finished and flushed —
+/// and so `main`'s `catch_unwind` wall encloses the whole pipeline.
 fn drive(cli: &Cli) -> u8 {
     let json = cli.json;
     let mut ci = CompilerInstance::new(cli.opts);
     let source = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("ompltc: cannot read '{}': {e}", cli.file);
-            return 1;
+            return driver_error(&format!("cannot read '{}': {e}", cli.file), json);
         }
     };
     let tu = match ci.parse_source(&cli.file, &source) {
@@ -306,20 +446,126 @@ fn drive(cli: &Cli) -> u8 {
         }
         ci.opts.runtime_schedule = Some(sched);
     }
-    emit_diags(&ci, json);
     if cli.run {
-        match ci.run(&module) {
+        // Diagnostics are emitted after the run so warnings produced during
+        // it (e.g. the vm→interp fallback notice) are included; stdout is
+        // buffered in the result, so the user still sees them first.
+        let outcome = ci.run(&module);
+        emit_diags(&ci, json);
+        return match outcome {
             Ok(result) => {
                 print!("{}", result.stdout);
-                return result.exit_code as u8;
+                result.exit_code as u8
             }
             Err(e) => {
-                eprintln!("ompltc: runtime error: {e}");
-                return 1;
+                if json {
+                    eprintln!(
+                        "[{}]",
+                        json_diag_object("error", &format!("runtime error: {e}"), &[])
+                    );
+                } else {
+                    eprintln!("ompltc: runtime error: {e}");
+                }
+                1
             }
+        };
+    }
+    emit_diags(&ci, json);
+    0
+}
+
+/// The panic captured by the ICE hook: (message [with source location],
+/// backtrace). Last panic wins — that is the one escaping to the boundary.
+static PANIC_INFO: Mutex<Option<(String, String)>> = Mutex::new(None);
+
+/// Replaces the default panic hook: instead of spewing raw panic output to
+/// stderr, record the message and a backtrace for the ICE report. Worker
+/// (team) thread panics also land here; those are converted to runtime
+/// errors by `fork_call` and never reach the ICE boundary.
+fn install_ice_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        let msg = match info.location() {
+            Some(l) => format!("{msg} [at {}:{}:{}]", l.file(), l.line(), l.column()),
+            None => msg,
+        };
+        let bt = std::backtrace::Backtrace::force_capture().to_string();
+        *PANIC_INFO.lock().unwrap() = Some((msg, bt));
+    }));
+}
+
+/// Writes the `--crash-report` bundle: the input source, a report naming the
+/// pipeline stage and panic with its backtrace, and a counters snapshot.
+fn write_crash_report(
+    dir: &str,
+    cli: &Cli,
+    stage: &str,
+    msg: &str,
+    backtrace: &str,
+    data: Option<&omplt::trace::TraceData>,
+) -> std::io::Result<()> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)?;
+    if let Ok(src) = std::fs::read_to_string(&cli.file) {
+        std::fs::write(dir.join("input.c"), src)?;
+    }
+    let argv: Vec<String> = std::env::args().collect();
+    std::fs::write(
+        dir.join("report.txt"),
+        format!(
+            "ompltc crash report\n\
+             ===================\n\
+             argv: {argv:?}\n\
+             input: {}\n\
+             stage: {stage}\n\
+             panic: {msg}\n\
+             \n\
+             backtrace:\n{backtrace}\n",
+            cli.file
+        ),
+    )?;
+    if let Some(data) = data {
+        std::fs::write(dir.join("counters.json"), data.to_counters_json())?;
+    }
+    Ok(())
+}
+
+/// The ICE boundary's reporter: renders the structured "internal compiler
+/// error" diagnostic (text or JSON), writes the optional crash bundle, and
+/// returns exit code 3.
+fn report_ice(cli: &Cli, data: Option<&omplt::trace::TraceData>) -> u8 {
+    let stage = omplt::fault::current_stage();
+    let (msg, backtrace) = PANIC_INFO
+        .lock()
+        .unwrap()
+        .take()
+        .unwrap_or_else(|| ("<panic details unavailable>".to_string(), String::new()));
+    let headline = format!("internal compiler error in stage '{stage}': {msg}");
+    let mut notes = vec![
+        "this is a bug in ompltc, not in your source file".to_string(),
+        "the request was contained: the process is exiting cleanly with code 3".to_string(),
+    ];
+    if let Some(dir) = &cli.crash_report {
+        match write_crash_report(dir, cli, stage, &msg, &backtrace, data) {
+            Ok(()) => notes.push(format!("crash report written to '{dir}'")),
+            Err(e) => notes.push(format!("failed to write crash report to '{dir}': {e}")),
         }
     }
-    0
+    if cli.json {
+        eprintln!("[{}]", json_diag_object("error", &headline, &notes));
+    } else {
+        eprintln!("ompltc: {headline}");
+        for n in &notes {
+            eprintln!("ompltc: note: {n}");
+        }
+    }
+    3
 }
 
 /// Writes `content` to `dest` (`None` = stdout). Returns false on I/O error.
@@ -345,17 +591,48 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(code) => return ExitCode::from(code),
     };
+    install_ice_hook();
 
-    let tracing = cli.time_trace.is_some() || cli.time_report || cli.counters_json.is_some();
+    if let Some(ms) = cli.exec_timeout_ms {
+        // Detached wall-clock watchdog: if the pipeline (or the program it
+        // runs) outlives the deadline, terminate with a diagnostic instead
+        // of hanging whatever invoked us. Normal completion simply exits
+        // first and takes this thread with it.
+        let json = cli.json;
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            let msg = format!("wall-clock deadline of {ms} ms exceeded ('--exec-timeout')");
+            if json {
+                eprintln!("[{}]", json_diag_object("error", &msg, &[]));
+            } else {
+                eprintln!("ompltc: error: {msg}");
+            }
+            std::process::exit(1);
+        });
+    }
+
+    // `--crash-report` forces a trace session so the bundle always carries a
+    // counters snapshot of how far the pipeline got.
+    let tracing = cli.time_trace.is_some()
+        || cli.time_report
+        || cli.counters_json.is_some()
+        || cli.crash_report.is_some();
     let session = tracing.then(omplt::trace::Session::begin);
-    let mut code = {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         // The root span; everything the pipeline does nests under it. Scoped
         // so it is closed before the session is finished below.
         let _root = omplt::trace::span("ompltc");
         drive(&cli)
+    }));
+    if outcome.is_err() {
+        omplt::trace::count("ice", 1);
+    }
+    let data = session.map(omplt::trace::Session::finish);
+    let mut code = match outcome {
+        Ok(code) => code,
+        Err(_) => report_ice(&cli, data.as_ref()),
     };
-    if let Some(session) = session {
-        let data = session.finish();
+    if let Some(data) = &data {
         if let Some(dest) = &cli.time_trace {
             if !write_output(dest, &data.to_chrome_json(), "time trace") && code == 0 {
                 code = 1;

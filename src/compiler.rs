@@ -22,8 +22,13 @@ pub enum Backend {
     /// Tree-walking IR interpreter (`omplt-interp`).
     #[default]
     Interp,
-    /// Register-based bytecode VM (`omplt-vm`).
+    /// Register-based bytecode VM (`omplt-vm`). If bytecode compilation or
+    /// verification fails, the run degrades gracefully: a warning is
+    /// emitted and the interpreter executes the module instead.
     Vm,
+    /// The VM with fallback disabled: any bytecode compile/verify failure
+    /// is fatal (`--backend=vm:strict`).
+    VmStrict,
 }
 
 impl Backend {
@@ -32,15 +37,17 @@ impl Backend {
         match s {
             "interp" => Some(Backend::Interp),
             "vm" => Some(Backend::Vm),
+            "vm:strict" => Some(Backend::VmStrict),
             _ => None,
         }
     }
 
-    /// The flag spelling (`interp` / `vm`).
+    /// The flag spelling (`interp` / `vm` / `vm:strict`).
     pub fn name(self) -> &'static str {
         match self {
             Backend::Interp => "interp",
             Backend::Vm => "vm",
+            Backend::VmStrict => "vm:strict",
         }
     }
 }
@@ -114,6 +121,7 @@ impl CompilerInstance {
     /// returns the rendered diagnostics.
     pub fn parse_source(&mut self, name: &str, source: &str) -> Result<TranslationUnit, String> {
         let _span = omplt_trace::span_detail("frontend", name);
+        omplt_fault::set_stage("parse");
         let buf = self.fm.add_virtual_file(name, source);
         let file_id = self.sm.borrow_mut().add_file(buf).0;
         let tokens = {
@@ -169,6 +177,7 @@ impl CompilerInstance {
 
     /// Lowers the AST to IR. On error returns rendered diagnostics.
     pub fn codegen(&self, tu: &TranslationUnit) -> Result<Module, String> {
+        omplt_fault::set_stage("codegen");
         let r = codegen_translation_unit(
             tu,
             CodegenOptions {
@@ -202,6 +211,7 @@ impl CompilerInstance {
     /// reports violations as error diagnostics.
     pub fn optimize(&self, module: &mut Module) -> omplt_midend::UnrollStats {
         let _span = omplt_trace::span("midend");
+        omplt_fault::set_stage("midend");
         if self.opts.verify_each {
             let (stats, errs) = omplt_midend::run_default_pipeline_verified(module);
             for e in errs {
@@ -216,22 +226,66 @@ impl CompilerInstance {
         }
     }
 
-    /// Executes `main` on the selected backend (`--backend=interp|vm`).
+    /// Executes `main` on the selected backend (`--backend=interp|vm|vm:strict`).
     pub fn run(&self, module: &Module) -> Result<RunResult, omplt_interp::ExecError> {
-        let cfg = RuntimeConfig {
+        omplt_fault::set_stage("runtime");
+        let mut cfg = RuntimeConfig {
             num_threads: self.opts.num_threads,
             max_steps: self.opts.max_steps,
             serial: self.opts.serial,
             runtime_schedule: self.opts.runtime_schedule,
             log_chunks: self.opts.log_chunks,
         };
+        if omplt_fault::fire("runtime.fuel") {
+            // Zero budget: the first batch refill in either backend fails
+            // with `ExecError::FuelExhausted`.
+            cfg.max_steps = 0;
+        }
         match self.opts.backend {
             Backend::Interp => Interpreter::new(module, cfg).run_main(),
-            Backend::Vm => {
+            Backend::Vm => match self.compile_bytecode(module) {
+                Ok(code) => match omplt_vm::VmEngine::new(module, &code, cfg) {
+                    Ok(engine) => engine.run_main(),
+                    Err(e) => self.run_interp_fallback(module, cfg, &e),
+                },
+                Err(e) => self.run_interp_fallback(module, cfg, &e),
+            },
+            Backend::VmStrict => {
                 let code = self.compile_bytecode(module)?;
                 omplt_vm::VmEngine::new(module, &code, cfg)?.run_main()
             }
         }
+    }
+
+    /// Graceful degradation for `--backend=vm`: warns that the bytecode
+    /// path is unavailable and runs the interpreter oracle instead. The
+    /// interpreter shares the exact `RuntimeConfig`, so the fallback run is
+    /// observably identical to a clean interpreter run.
+    fn run_interp_fallback(
+        &self,
+        module: &Module,
+        cfg: RuntimeConfig,
+        err: &omplt_interp::ExecError,
+    ) -> Result<RunResult, omplt_interp::ExecError> {
+        let reason: String = err
+            .to_string()
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect::<Vec<_>>()
+            .join("; ");
+        self.diags.warning(
+            omplt_source::SourceLocation::INVALID,
+            format!(
+                "bytecode backend unavailable ({reason}); falling back to the interpreter \
+                 ['--backend=vm:strict' keeps this fatal]"
+            ),
+        );
+        if omplt_trace::active() {
+            omplt_trace::count("backend.fallback", 1);
+        }
+        let _span = omplt_trace::span("fallback");
+        Interpreter::new(module, cfg).run_main()
     }
 
     /// Lowers `module` to bytecode and runs the bytecode verifier over the
@@ -241,6 +295,7 @@ impl CompilerInstance {
         &self,
         module: &Module,
     ) -> Result<omplt_vm::VmModule, omplt_interp::ExecError> {
+        omplt_fault::set_stage("vm");
         let code = omplt_vm::compile_module(module)
             .map_err(|e| omplt_interp::ExecError::Malformed(format!("bytecode compile: {e}")))?;
         let passes = if self.opts.verify_each { 2 } else { 1 };

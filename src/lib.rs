@@ -36,6 +36,7 @@ pub use pipeline::{assert_matrix_output, run_matrix, run_source, run_source_with
 pub use omplt_analysis as analysis;
 pub use omplt_ast as ast;
 pub use omplt_codegen as codegen;
+pub use omplt_fault as fault;
 pub use omplt_interp as interp;
 pub use omplt_ir as ir;
 pub use omplt_lex as lex;

@@ -153,6 +153,54 @@ void f(void) {
     );
 }
 
+/// Regression: `collapse(0)` used to drive `build_loop_helpers` with an
+/// empty loop-nest and panic (`index out of bounds` in omp_sema). It must be
+/// an ordinary diagnostic.
+#[test]
+fn collapse_zero_is_a_diagnostic_not_a_panic() {
+    let src = "\
+int main(void) {
+  int a[8];
+  #pragma omp for collapse(0)
+  for (int i = 0; i < 8; i += 1)
+    a[i] = i;
+  return 0;
+}
+";
+    let expected = "\
+c0.c:3:28: error: argument to 'collapse' must be positive
+  #pragma omp for collapse(0)
+                           ^
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    let err = ci
+        .parse_source("c0.c", src)
+        .expect_err("collapse(0) must be rejected");
+    assert_eq!(err, expected);
+}
+
+/// Regression: a multi-byte UTF-8 character in the source used to panic the
+/// caret renderer ("not a char boundary" in `SourceManager::line_text`) and
+/// produced one error per continuation byte. It must be a single diagnostic
+/// with the offending line echoed intact.
+#[test]
+fn non_ascii_character_is_a_diagnostic_not_a_panic() {
+    let src = "int \u{2014};\n";
+    let mut ci = CompilerInstance::new(Options::default());
+    let err = ci
+        .parse_source("u8.c", src)
+        .expect_err("non-ASCII identifier must be rejected");
+    assert!(
+        err.starts_with("u8.c:1:5: error: unexpected non-ASCII character\nint \u{2014};\n"),
+        "{err}"
+    );
+    assert_eq!(
+        err.matches("unexpected non-ASCII").count(),
+        1,
+        "one diagnostic per character, not per byte:\n{err}"
+    );
+}
+
 #[test]
 fn json_rendering_matches_text_locations() {
     let src = "\

@@ -397,7 +397,9 @@ fn unknown_backend_is_a_usage_error() {
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(
-            err.contains("unknown backend 'jit' for '--backend': expected 'interp' or 'vm'"),
+            err.contains(
+                "unknown backend 'jit' for '--backend': expected 'interp', 'vm', or 'vm:strict'"
+            ),
             "{err}"
         );
     }
