@@ -1,0 +1,9 @@
+/* `a[i * i]` is not affine in `i`: the dependence tests cannot model it,
+ * and the pass must say so instead of guessing either way. */
+int main(void) {
+  int a[64];
+  #pragma omp reverse
+  for (int i = 0; i < 8; i += 1)
+    a[i * i] = i;
+  return 0;
+}

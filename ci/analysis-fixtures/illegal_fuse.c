@@ -1,0 +1,12 @@
+/* The second loop reads elements the first loop writes only in *later*
+ * iterations (distance -4): fusing them would read stale values. */
+int main(void) {
+  int a[20];
+  int b[16];
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 20; i += 1) a[i] = i * 3;
+    for (int j = 0; j < 16; j += 1) b[j] = a[j + 4];
+  }
+  return b[0];
+}

@@ -1,0 +1,10 @@
+/* Wavefront stencil: the flow dependence on `a` has direction (<, >), so
+ * swapping the loops would run the sink before its source. */
+int main(void) {
+  int a[9][9];
+  #pragma omp interchange
+  for (int i = 1; i < 8; i += 1)
+    for (int j = 1; j < 8; j += 1)
+      a[i][j] = a[i - 1][j + 1] + 1;
+  return 0;
+}

@@ -1,0 +1,10 @@
+/* Recurrence: iteration i reads the value iteration i-1 wrote, so the loop
+ * carries a flow dependence and cannot run backwards. */
+int main(void) {
+  int a[16];
+  a[0] = 1;
+  #pragma omp reverse
+  for (int i = 1; i < 16; i += 1)
+    a[i] = a[i - 1] + i;
+  return a[15];
+}

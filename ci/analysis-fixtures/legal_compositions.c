@@ -1,0 +1,17 @@
+/* Independent nest under every new transformation: all direction vectors
+ * are (=, =), so interchange, reverse and fuse are all legal — the analysis
+ * must stay silent. */
+int main(void) {
+  int a[72];
+  int b[9];
+  #pragma omp interchange permutation(2, 1)
+  for (int i = 0; i < 8; i += 1)
+    for (int j = 0; j < 9; j += 1)
+      a[i * 9 + j] = i + j;
+  #pragma omp fuse
+  {
+    for (int k = 0; k < 9; k += 1) b[k] = k;
+    for (int m = 0; m < 9; m += 1) a[m * 8] = b[m] * 2;
+  }
+  return 0;
+}

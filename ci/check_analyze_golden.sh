@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Golden guard for the --analyze dependence diagnostics: every fixture in
+# ci/analysis-fixtures/ is analyzed with machine-readable output and compared
+# byte-for-byte against its checked-in .json twin. The illegal-transformation
+# fixtures double as the exit-code contract: any finding (error or warning)
+# must yield exit 1, a silent analysis exit 0. A legitimate diagnostics
+# change must update the goldens in the same commit, with the PR explaining
+# why the wording, locations or vectors moved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ompltc=${OMPLTC:-target/release/ompltc}
+if [ ! -x "$ompltc" ]; then
+  echo "error: $ompltc not built (run 'cargo build --release' first)" >&2
+  exit 2
+fi
+
+status=0
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+for src in ci/analysis-fixtures/*.c; do
+  base=${src%.c}
+  expected="$base.json"
+  rc=0
+  "$ompltc" --analyze --diag-format=json "$src" 2>"$tmp" >/dev/null || rc=$?
+  if [ ! -f "$expected" ]; then
+    echo "missing $expected; expected contents:" >&2
+    cat "$tmp" >&2
+    status=1
+    continue
+  fi
+  want_rc=0
+  [ -s "$expected" ] && want_rc=1
+  if [ "$rc" != "$want_rc" ]; then
+    echo "exit code for $src: got $rc, want $want_rc" >&2
+    status=1
+  fi
+  if ! diff -u "$expected" "$tmp"; then
+    echo "analysis diagnostics drift in $src: update $expected if intentional" >&2
+    status=1
+  fi
+done
+
+if [ "$status" = 0 ]; then
+  echo "--analyze diagnostics match ci/analysis-fixtures/ goldens"
+fi
+exit $status

@@ -36,6 +36,27 @@ for src in examples/c/*.c; do
   done
 done
 
+# Dependence-analysis drift guard: the number of dependence graphs the
+# --analyze pass builds, the dependences it finds and the accesses it gives
+# up on are structural properties of each example — a silent change means
+# the subscript tests or the gating moved.
+for src in examples/c/*.c; do
+  base=$(basename "$src" .c)
+  expected="ci/expected-counters/$base.analyze.txt"
+  # `grep` finds nothing for examples without transformation directives —
+  # that (an empty file) is itself the guarded expectation.
+  got=$("$ompltc" --counters-json --analyze "$src" 2>/dev/null \
+    | { grep -o '"analysis\.[^"]*":[0-9]*' || true; } | sort)
+  if [ ! -f "$expected" ]; then
+    echo "missing $expected; expected contents:" >&2
+    printf '%s\n' "$got" >&2
+    status=1
+  elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
+    echo "analysis counter drift in $src: update $expected if intentional" >&2
+    status=1
+  fi
+done
+
 # Execution-backend drift guard: the number of ops each backend retires
 # running an example is deterministic (the default team size is fixed, static
 # chunk assignment is a pure function of it), so a silent change means either

@@ -48,7 +48,8 @@ impl LegalityVisitor<'_> {
     fn check_directive(&mut self, d: &P<OMPDirective>) {
         let depth = match d.kind {
             OMPDirectiveKind::Tile => d.sizes_clause().map_or(0, <[_]>::len),
-            OMPDirectiveKind::Unroll => 1,
+            OMPDirectiveKind::Unroll | OMPDirectiveKind::Reverse | OMPDirectiveKind::Fuse => 1,
+            OMPDirectiveKind::Interchange => d.permutation_clause().map_or(2, <[_]>::len).max(2),
             k if k.is_loop_directive() => d.collapse_depth(),
             _ => 0,
         };
@@ -62,6 +63,20 @@ impl LegalityVisitor<'_> {
             return;
         }
         let Some(levels) = resolve_literal_nest(assoc, depth) else {
+            // Sema has already rejected malformed loops with a hard error;
+            // anything else (a non-literal nest, a level hidden behind an
+            // unexpanded construct) is beyond this pass, and silence would
+            // read as a clean bill of health.
+            if !self.diags.has_errors() {
+                self.diags.report(
+                    Level::Warning,
+                    d.loc,
+                    format!(
+                        "cannot verify that '{pragma}' is associated with {depth} \
+                         perfectly nested loops [-Wanalysis-limit]"
+                    ),
+                );
+            }
             return;
         };
         for (lvl, level) in levels.iter().enumerate().skip(1) {

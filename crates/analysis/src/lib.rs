@@ -6,7 +6,9 @@
 //! * at the **AST/Sema layer**, [`legality`] validates the OpenMP 5.1
 //!   preconditions of the loop-transformation directives that Sema's
 //!   transformation machinery silently tolerates (perfect nesting,
-//!   no escaping `return`), and [`race`] detects data races in
+//!   no escaping `return`), [`depend`] computes per-nest distance/direction
+//!   vectors from affine array subscripts and gates `interchange`,
+//!   `reverse` and `fuse` on them, and [`race`] detects data races in
 //!   `#pragma omp parallel for` regions by classifying variable references
 //!   as private or shared;
 //! * at the **IR layer**, the canonical-loop skeleton verifier lives in
@@ -18,9 +20,12 @@
 //! findings render Clang-style (or as JSON via `--diag-format=json`) next to
 //! Sema's own diagnostics.
 
+pub mod depend;
 pub mod legality;
 pub mod nest;
 pub mod race;
+
+pub use depend::{DepKind, Dependence, DependenceGraph, Direction};
 
 pub use omplt_ir::{verify_module, VerifyError};
 pub use omplt_midend::{verify_function_full, verify_loop_skeletons, verify_module_full};
@@ -53,6 +58,10 @@ pub fn run_analyses(tu: &TranslationUnit, diags: &DiagnosticsEngine) -> Analysis
     {
         let _span = omplt_trace::span_detail("analysis.pass", "legality");
         legality::check_translation_unit(tu, diags);
+    }
+    {
+        let _span = omplt_trace::span_detail("analysis.pass", "depend");
+        depend::check_translation_unit(tu, diags);
     }
     {
         let _span = omplt_trace::span_detail("analysis.pass", "race");

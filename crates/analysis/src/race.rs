@@ -8,18 +8,21 @@
 //!
 //! * a **write to a shared scalar** — every iteration races on the same
 //!   object (unless it is a `reduction` variable);
-//! * a **loop-carried array conflict** — a write to `a[i + c1]` combined
-//!   with any access to `a[i + c2]` (`c1 ≠ c2`), or a write through a
-//!   constant subscript, makes iterations touch each other's elements.
+//! * a **loop-carried array conflict** — a write to `a[c1*i + o1]` combined
+//!   with any access to `a[c2*i + o2]` that a different iteration can reach
+//!   (two scaled-affine subscripts collide when `gcd(c1, c2)` divides
+//!   `o2 - o1`), or a write through a constant subscript, makes iterations
+//!   touch each other's elements.
 //!
 //! Subscripts that are not affine in an iteration variable (`a[idx[i]]`,
-//! `a[i * 2]`, …) are conservatively ignored — no warning is better than a
+//! `a[i * j]`, …) are conservatively ignored — no warning is better than a
 //! false one.
 
+use crate::depend::{element_strides, gcd, subscript_chain};
 use crate::nest::resolve_literal_nest;
 use omplt_ast::{
     walk_expr, walk_stmt, BinOp, Decl, DeclId, Expr, ExprKind, OMPClauseKind, OMPDirective,
-    OMPDirectiveKind, Stmt, StmtKind, StmtVisitor, TranslationUnit, P,
+    OMPDirectiveKind, Stmt, StmtKind, StmtVisitor, TranslationUnit, UnOp, P,
 };
 use omplt_source::{Diagnostic, DiagnosticsEngine, Level, SourceLocation};
 use std::collections::{BTreeMap, BTreeSet};
@@ -54,8 +57,13 @@ impl StmtVisitor for RaceVisitor<'_> {
 /// Shape of an array subscript, as far as the detector can see.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Subscript {
-    /// `iv + offset` (offset may be 0 or negative).
-    Affine { iv: DeclId, offset: i128 },
+    /// `coef * iv + offset` (coef is nonzero; either may be negative, so
+    /// `a[2*i]`, `a[c - i]` and `a[i - 1]` are all analyzed).
+    Affine {
+        iv: DeclId,
+        coef: i128,
+        offset: i128,
+    },
     /// A compile-time constant.
     Constant(i128),
     /// Anything else — conservatively not analyzed.
@@ -100,9 +108,13 @@ impl Collector {
                     },
                 );
             }
-            ExprKind::ArraySubscript(base, idx) => {
+            ExprKind::ArraySubscript(..) => {
+                let (base, idxs) = subscript_chain(e);
                 if let Some(v) = base.as_decl_ref() {
-                    let subscript = Some(self.classify(idx));
+                    let subscript = Some(match element_strides(&v.ty, idxs.len()) {
+                        Some(strides) => self.classify_chain(&idxs, &strides),
+                        None => Subscript::Other,
+                    });
                     let v = P::clone(v);
                     self.push(
                         &v,
@@ -118,41 +130,83 @@ impl Collector {
         }
     }
 
-    fn classify(&self, idx: &P<Expr>) -> Subscript {
-        let idx = idx.ignore_wrappers();
-        if let Some(v) = idx.as_decl_ref() {
-            return if self.ivs.contains(&v.id) {
-                Subscript::Affine {
-                    iv: v.id,
-                    offset: 0,
-                }
-            } else {
-                Subscript::Other
+    /// Classifies a (possibly multi-dimensional) subscript chain as one
+    /// scaled-affine form, weighting each dimension's index by its
+    /// element-count stride.
+    fn classify_chain(&self, idxs: &[&P<Expr>], strides: &[i128]) -> Subscript {
+        let mut term: Option<(DeclId, i128)> = None;
+        let mut offset = 0i128;
+        for (idx, &stride) in idxs.iter().zip(strides) {
+            let Some((t, c)) = self.linear(idx) else {
+                return Subscript::Other;
             };
-        }
-        if let Some(c) = idx.eval_const_int() {
-            return Subscript::Constant(c);
-        }
-        let affine = |v: &P<omplt_ast::VarDecl>, offset: i128| {
-            if self.ivs.contains(&v.id) {
-                Subscript::Affine { iv: v.id, offset }
-            } else {
-                Subscript::Other
+            offset += stride * c;
+            match (term, t.map(|(iv, k)| (iv, stride * k))) {
+                (cur, None) => term = cur,
+                (None, t2) => term = t2,
+                (Some((iv1, c1)), Some((iv2, c2))) if iv1 == iv2 => {
+                    term = Some((iv1, c1 + c2)).filter(|t| t.1 != 0);
+                }
+                _ => return Subscript::Other, // two different iteration variables
             }
-        };
-        match &idx.kind {
-            ExprKind::Binary(BinOp::Add, a, b) => match (a.as_decl_ref(), b.eval_const_int()) {
-                (Some(v), Some(c)) => affine(v, c),
-                _ => match (a.eval_const_int(), b.as_decl_ref()) {
-                    (Some(c), Some(v)) => affine(v, c),
-                    _ => Subscript::Other,
-                },
-            },
-            ExprKind::Binary(BinOp::Sub, a, b) => match (a.as_decl_ref(), b.eval_const_int()) {
-                (Some(v), Some(c)) => affine(v, -c),
-                _ => Subscript::Other,
-            },
-            _ => Subscript::Other,
+        }
+        match term {
+            Some((iv, coef)) => Subscript::Affine { iv, coef, offset },
+            None => Subscript::Constant(offset),
+        }
+    }
+
+    /// Linearizes `e` as `coef * iv + offset` over at most one iteration
+    /// variable. Returns `(iv term, constant)`; `None` when the expression
+    /// is not scaled-affine (unknown variable, two variables multiplied,
+    /// two different iteration variables mixed).
+    fn linear(&self, e: &P<Expr>) -> Option<(Option<(DeclId, i128)>, i128)> {
+        let e = e.ignore_wrappers();
+        if let Some(c) = e.eval_const_int() {
+            return Some((None, c));
+        }
+        if let Some(v) = e.as_decl_ref() {
+            return self.ivs.contains(&v.id).then_some((Some((v.id, 1)), 0));
+        }
+        let combine =
+            |x: Option<(DeclId, i128)>, y: Option<(DeclId, i128)>, sign: i128| match (x, y) {
+                (t, None) => Some(t),
+                (None, Some((iv, c))) => Some(Some((iv, sign * c))),
+                (Some((iv1, c1)), Some((iv2, c2))) if iv1 == iv2 => {
+                    Some(Some((iv1, c1 + sign * c2)).filter(|t| t.1 != 0))
+                }
+                _ => None, // two different iteration variables
+            };
+        match &e.kind {
+            ExprKind::Unary(UnOp::Plus, s) => self.linear(s),
+            ExprKind::Unary(UnOp::Minus, s) => {
+                let (t, c) = self.linear(s)?;
+                Some((t.map(|(iv, k)| (iv, -k)), -c))
+            }
+            ExprKind::Binary(BinOp::Add, a, b) => {
+                let (ta, ca) = self.linear(a)?;
+                let (tb, cb) = self.linear(b)?;
+                Some((combine(ta, tb, 1)?, ca + cb))
+            }
+            ExprKind::Binary(BinOp::Sub, a, b) => {
+                let (ta, ca) = self.linear(a)?;
+                let (tb, cb) = self.linear(b)?;
+                Some((combine(ta, tb, -1)?, ca - cb))
+            }
+            ExprKind::Binary(BinOp::Mul, a, b) => {
+                let (ta, ca) = self.linear(a)?;
+                let (tb, cb) = self.linear(b)?;
+                match (ta, tb) {
+                    (None, t) => {
+                        Some((t.map(|(iv, k)| (iv, k * ca)).filter(|t| t.1 != 0), ca * cb))
+                    }
+                    (t, None) => {
+                        Some((t.map(|(iv, k)| (iv, k * cb)).filter(|t| t.1 != 0), ca * cb))
+                    }
+                    _ => None, // iv * iv is not affine
+                }
+            }
+            _ => None,
         }
     }
 }
@@ -176,7 +230,7 @@ impl StmtVisitor for Collector {
                 if *op != BinOp::Assign {
                     self.record(lhs, false);
                 }
-                if let ExprKind::ArraySubscript(_, idx) = &lhs.ignore_wrappers().kind {
+                for idx in subscript_chain(lhs).1 {
                     self.visit_expr(idx);
                 }
                 self.visit_expr(rhs);
@@ -184,14 +238,16 @@ impl StmtVisitor for Collector {
             ExprKind::Unary(op, sub) if op.is_inc_dec() => {
                 self.record(sub, true);
                 self.record(sub, false);
-                if let ExprKind::ArraySubscript(_, idx) = &sub.ignore_wrappers().kind {
+                for idx in subscript_chain(sub).1 {
                     self.visit_expr(idx);
                 }
             }
             ExprKind::DeclRef(_) => self.record(e, false),
-            ExprKind::ArraySubscript(_, idx) => {
+            ExprKind::ArraySubscript(..) => {
                 self.record(e, false);
-                self.visit_expr(idx);
+                for idx in subscript_chain(e).1 {
+                    self.visit_expr(idx);
+                }
             }
             _ => walk_expr(self, e),
         }
@@ -242,12 +298,22 @@ impl RaceVisitor<'_> {
 
         let fmt_sub = |s: Subscript| -> String {
             match s {
-                Subscript::Affine { iv, offset } => {
+                Subscript::Affine { iv, coef, offset } => {
                     let name = iv_names.get(&iv).map_or("?", String::as_str);
-                    match offset {
-                        0 => name.to_string(),
-                        o if o > 0 => format!("{name} + {o}"),
-                        o => format!("{name} - {}", -o),
+                    let term = match coef {
+                        1 => name.to_string(),
+                        -1 => format!("-{name}"),
+                        c => format!("{c}*{name}"),
+                    };
+                    match (coef, offset) {
+                        (_, 0) => term,
+                        // `c - i` reads better than `-i + c`.
+                        (c, o) if c < 0 && o > 0 => match c {
+                            -1 => format!("{o} - {name}"),
+                            c => format!("{o} - {}*{name}", -c),
+                        },
+                        (_, o) if o > 0 => format!("{term} + {o}"),
+                        (_, o) => format!("{term} - {}", -o),
                     }
                 }
                 Subscript::Constant(c) => c.to_string(),
@@ -306,13 +372,26 @@ impl RaceVisitor<'_> {
                         );
                         break 'var;
                     }
-                    Some(Subscript::Affine { iv, offset }) => {
+                    Some(Subscript::Affine { iv, coef, offset }) => {
                         let conflict = accesses.iter().find(|a| match a.subscript {
+                            // Two scaled-affine accesses of the same IV touch
+                            // a common element from *different* iterations
+                            // when `coef*i + offset == c2*i' + o2` has a
+                            // solution with `i != i'`.
                             Some(Subscript::Affine {
                                 iv: iv2,
+                                coef: c2,
                                 offset: o2,
-                            }) => iv2 == iv && o2 != offset,
-                            Some(Subscript::Constant(_)) => true,
+                            }) if iv2 == iv => {
+                                if coef == c2 {
+                                    o2 != offset && (o2 - offset) % coef == 0
+                                } else {
+                                    (o2 - offset) % gcd(coef, c2) == 0
+                                }
+                            }
+                            // A constant subscript collides with the
+                            // iteration that reaches the same element.
+                            Some(Subscript::Constant(c)) => (c - offset) % coef == 0,
                             _ => false,
                         });
                         if let Some(other) = conflict {

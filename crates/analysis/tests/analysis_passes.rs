@@ -246,3 +246,468 @@ fn collapse_nest_accesses_both_ivs() {
     let warns = messages(&diags, Level::Warning);
     assert!(warns[0].contains("'a[j]' is written"), "{}", warns[0]);
 }
+
+// ---------------------------------------------------------------------------
+// Scaled-affine -Wrace subscripts (a[2*i], a[c - i], …)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scaled_affine_stride_conflict_is_a_race() {
+    // a[2*i] and a[2*i + 2] are one iteration apart; before the detector
+    // understood coefficients both were dropped as "Other" and this raced
+    // silently.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[32];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 15; i += 1)\n\
+         \x20   a[2 * i] = a[2 * i + 2] + 1;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    let warns = messages(&diags, Level::Warning);
+    assert!(warns[0].contains("'a[2*i]' is written"), "{}", warns[0]);
+    assert!(warns[0].contains("'a[2*i + 2]' is read"), "{}", warns[0]);
+}
+
+#[test]
+fn scaled_affine_parity_disjoint_is_clean() {
+    // a[2*i] (even) never collides with a[2*i + 1] (odd).
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[32];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 15; i += 1)\n\
+         \x20   a[2 * i] = a[2 * i + 1] + 1;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn reversed_index_conflict_is_a_race() {
+    // a[14 - i] crosses a[i] midway through the iteration space.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[16];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 15; i += 1)\n\
+         \x20   a[14 - i] = a[i] + 1;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    let warns = messages(&diags, Level::Warning);
+    assert!(warns[0].contains("'a[14 - i]' is written"), "{}", warns[0]);
+}
+
+#[test]
+fn constant_outside_stride_lattice_is_clean() {
+    // The write a[2*i] never reaches the odd element a[5].
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[32];\n\
+         \x20 int x = 0;\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 15; i += 1)\n\
+         \x20   a[2 * i] = i + x;\n\
+         \x20 return a[0];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+// ---------------------------------------------------------------------------
+// Dependence-gated interchange / reverse / fuse
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interchange_reversing_a_dependence_is_an_error() {
+    // Linearized stencil with dependence (1, -1): direction vector (<, >)
+    // becomes (>, <) under the swap — the textbook illegal interchange.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 #pragma omp interchange\n\
+         \x20 for (int i = 1; i < 8; i += 1)\n\
+         \x20   for (int j = 0; j < 7; j += 1)\n\
+         \x20     a[i * 8 + j] = a[(i - 1) * 8 + (j + 1)];\n\
+         \x20 return a[9];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(
+        errs[0].contains("'#pragma omp interchange' is illegal"),
+        "{}",
+        errs[0]
+    );
+    assert!(errs[0].contains("direction vector (<, >)"), "{}", errs[0]);
+    let e = diags.iter().find(|d| d.level == Level::Error).unwrap();
+    assert!(
+        e.notes
+            .iter()
+            .any(|n| n.message.contains("distance vector (1, -1)")),
+        "{:?}",
+        e.notes
+    );
+}
+
+#[test]
+fn interchange_of_an_outer_carried_dependence_is_clean() {
+    // Dependence (1, 0): direction (<, =) permutes to (=, <) — legal.
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 #pragma omp interchange\n\
+         \x20 for (int i = 1; i < 8; i += 1)\n\
+         \x20   for (int j = 0; j < 8; j += 1)\n\
+         \x20     a[i * 8 + j] = a[(i - 1) * 8 + j] + 1;\n\
+         \x20 return a[9];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn interchange_permutation_clause_is_checked() {
+    // Rotating (i, j, k) -> (k, i, j) moves the j-carried (=, <, >)
+    // dependence to (>, =, <): illegal.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[512];\n\
+         \x20 #pragma omp interchange permutation(3, 1, 2)\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   for (int j = 1; j < 8; j += 1)\n\
+         \x20     for (int k = 0; k < 7; k += 1)\n\
+         \x20       a[i * 64 + j * 8 + k] = a[i * 64 + (j - 1) * 8 + k + 1];\n\
+         \x20 return a[9];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(
+        errs[0].contains("direction vector (=, <, >)"),
+        "{}",
+        errs[0]
+    );
+}
+
+#[test]
+fn reverse_of_a_carried_dependence_is_an_error() {
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 a[0] = 1;\n\
+         \x20 #pragma omp reverse\n\
+         \x20 for (int i = 1; i < 64; i += 1)\n\
+         \x20   a[i] = a[i - 1] + 1;\n\
+         \x20 return a[9];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(
+        errs[0].contains("'#pragma omp reverse' is illegal"),
+        "{}",
+        errs[0]
+    );
+    assert!(
+        errs[0].contains("carries a flow dependence on 'a'"),
+        "{}",
+        errs[0]
+    );
+}
+
+#[test]
+fn reverse_of_an_independent_loop_is_clean() {
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 int b[64];\n\
+         \x20 #pragma omp reverse\n\
+         \x20 for (int i = 0; i < 64; i += 1)\n\
+         \x20   b[i] = a[i] * 2 + b[i];\n\
+         \x20 return b[9];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn reverse_of_a_scalar_accumulation_is_an_error() {
+    // `s` is live across iterations: classical dependence analysis cannot
+    // prove the reversed reassociation safe.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 int s = 0;\n\
+         \x20 #pragma omp reverse\n\
+         \x20 for (int i = 0; i < 64; i += 1)\n\
+         \x20   s = s - a[i];\n\
+         \x20 return s;\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(errs[0].contains("dependence on 's'"), "{}", errs[0]);
+}
+
+#[test]
+fn fuse_with_a_negative_distance_dependence_is_an_error() {
+    // Loop 2 writes a[j + 4], which iteration j + 4 of loop 1 already read:
+    // fused, the write moves before the read.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[70];\n\
+         \x20 int b[64];\n\
+         \x20 #pragma omp fuse\n\
+         \x20 {\n\
+         \x20   for (int i = 0; i < 64; i += 1) b[i] = a[i] * 2;\n\
+         \x20   for (int j = 0; j < 64; j += 1) a[j + 4] = j;\n\
+         \x20 }\n\
+         \x20 return b[9];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(
+        errs[0].contains("'#pragma omp fuse' is illegal"),
+        "{}",
+        errs[0]
+    );
+    assert!(
+        errs[0].contains("negative-distance anti dependence"),
+        "{}",
+        errs[0]
+    );
+    assert!(errs[0].contains("(distance -4)"), "{}", errs[0]);
+}
+
+#[test]
+fn fuse_of_a_forward_producer_consumer_is_clean() {
+    // Loop 2 reads what loop 1 wrote in the *same* iteration: distance 0.
+    let (_, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 int b[64];\n\
+         \x20 #pragma omp fuse\n\
+         \x20 {\n\
+         \x20   for (int i = 0; i < 64; i += 1) a[i] = i * 3;\n\
+         \x20   for (int j = 0; j < 64; j += 1) b[j] = a[j] + 1;\n\
+         \x20 }\n\
+         \x20 return b[9];\n\
+         }\n",
+    );
+    assert_eq!(report, AnalysisReport::default());
+}
+
+#[test]
+fn fuse_over_a_shared_element_is_an_error() {
+    // Loop 1 writes a[0] on every iteration; loop 2 reads it. Originally
+    // every read sees the final write — fused, early reads see early writes.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[4];\n\
+         \x20 int b[64];\n\
+         \x20 #pragma omp fuse\n\
+         \x20 {\n\
+         \x20   for (int i = 0; i < 64; i += 1) a[0] = i;\n\
+         \x20   for (int j = 0; j < 64; j += 1) b[j] = a[0];\n\
+         \x20 }\n\
+         \x20 return b[9];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 1, "{diags:?}");
+    let errs = messages(&diags, Level::Error);
+    assert!(errs[0].contains("(distance *)"), "{}", errs[0]);
+}
+
+#[test]
+fn unanalyzable_subscript_is_an_analysis_limit_note() {
+    // Indirect subscript: the pass must say it cannot verify, not guess.
+    let (diags, report) = analyze(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 int idx[64];\n\
+         \x20 #pragma omp reverse\n\
+         \x20 for (int i = 0; i < 64; i += 1)\n\
+         \x20   a[idx[i]] = i;\n\
+         \x20 return a[9];\n\
+         }\n",
+    );
+    assert_eq!(report.errors, 0, "{diags:?}");
+    assert_eq!(report.warnings, 1, "{diags:?}");
+    let warns = messages(&diags, Level::Warning);
+    assert!(
+        warns[0].contains("cannot verify the legality"),
+        "{}",
+        warns[0]
+    );
+    assert!(warns[0].ends_with("[-Wanalysis-limit]"), "{}", warns[0]);
+    let w = diags.iter().find(|d| d.level == Level::Warning).unwrap();
+    assert!(
+        w.notes.iter().any(|n| n.message.contains("not affine")),
+        "{:?}",
+        w.notes
+    );
+}
+
+#[test]
+fn dependence_graph_api_reports_vectors() {
+    use omplt_analysis::{depend::DependenceGraph, Direction};
+    use omplt_ast::{Decl, StmtKind};
+
+    let (tu, _) = parse(
+        "int main() {\n\
+         \x20 int a[64];\n\
+         \x20 for (int i = 1; i < 8; i += 1)\n\
+         \x20   for (int j = 0; j < 7; j += 1)\n\
+         \x20     a[i * 8 + j] = a[(i - 1) * 8 + (j + 1)];\n\
+         \x20 return a[9];\n\
+         }\n",
+    );
+    let Some(Decl::Function(f)) = tu.decls.first() else {
+        panic!("no function");
+    };
+    let body = f.body.borrow();
+    let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+        panic!("no body");
+    };
+    let nest = stmts
+        .iter()
+        .find(|s| matches!(s.kind, StmtKind::For { .. }))
+        .expect("nest");
+    let levels = omplt_analysis::nest::resolve_literal_nest(nest, 2).expect("resolved");
+    let graph = DependenceGraph::compute(&levels);
+    assert!(graph.is_complete(), "{:?}", graph.limits);
+    assert_eq!(graph.depth, 2);
+    assert_eq!(graph.deps.len(), 1, "{:?}", graph.deps);
+    let dep = &graph.deps[0];
+    assert_eq!(dep.directions, vec![Direction::Lt, Direction::Gt]);
+    assert_eq!(dep.distances, vec![Some(1), Some(-1)]);
+    assert_eq!(dep.direction_vector(), "(<, >)");
+    assert_eq!(dep.distance_vector(), "(1, -1)");
+    assert_eq!(dep.carried_level(), Some(0));
+    assert!(graph.carried_at(0).is_some());
+    assert!(graph.interchange_violation(&[1, 0]).is_some());
+    assert!(graph.interchange_violation(&[0, 1]).is_none());
+}
+
+#[test]
+fn unresolvable_nest_warns_analysis_limit() {
+    use omplt_ast::{Decl, OMPDirective, Stmt, StmtKind, P};
+
+    // Sema hard-errors on every *surface* program whose nest
+    // `resolve_literal_nest` cannot resolve, so through the driver the
+    // legality pass always either resolves the nest or sits behind an
+    // error. API consumers are not so constrained: a pipeline that rebuilds
+    // a directive (here: with a non-loop associated statement) must get the
+    // explicit -Wanalysis-limit abstention, not silence that reads as a
+    // clean bill of health.
+    let (tu, diags) = parse(
+        "int main() {\n\
+         \x20 int x = 0;\n\
+         \x20 #pragma omp tile sizes(4, 4)\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   for (int j = 0; j < 8; j += 1)\n\
+         \x20     x += i + j;\n\
+         \x20 return x;\n\
+         }\n",
+    );
+    let Some(Decl::Function(f)) = tu.decls.first() else {
+        panic!("no function");
+    };
+    let rebuilt = {
+        let body = f.body.borrow();
+        let StmtKind::Compound(stmts) = &body.as_ref().unwrap().kind else {
+            panic!("no body");
+        };
+        let decl_stmt = stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::Decl(_)))
+            .expect("decl stmt");
+        let omp = stmts
+            .iter()
+            .find_map(|s| match &s.kind {
+                StmtKind::OMP(d) => Some(d),
+                _ => None,
+            })
+            .expect("tile directive");
+        let d = OMPDirective::new(
+            omp.kind,
+            omp.clauses.iter().map(P::clone).collect(),
+            Some(P::clone(decl_stmt)),
+            omp.loc,
+        );
+        Stmt::new(
+            StmtKind::Compound(vec![Stmt::new(StmtKind::OMP(P::new(d)), omp.loc)]),
+            omp.loc,
+        )
+    };
+    f.body.replace(Some(rebuilt));
+    run_analyses(&tu, &diags);
+    let warns = messages(&diags.all(), Level::Warning);
+    assert!(
+        warns.iter().any(|m| m
+            == "cannot verify that '#pragma omp tile sizes(4, 4)' is associated with 2 \
+                perfectly nested loops [-Wanalysis-limit]"),
+        "{warns:?}"
+    );
+}
+
+#[test]
+fn multidim_subscripts_are_linearized_for_dependence() {
+    // `a[i][j] = a[i-1][j+1]` carries a (<, >) flow dependence; the chain
+    // must be folded to `9*i + j` against the array's dimensions, exactly
+    // like the hand-linearized form.
+    let (diags, _) = analyze(
+        "int main() {\n\
+         \x20 int a[9][9];\n\
+         \x20 #pragma omp interchange\n\
+         \x20 for (int i = 1; i < 8; i += 1)\n\
+         \x20   for (int j = 1; j < 8; j += 1)\n\
+         \x20     a[i][j] = a[i - 1][j + 1] + 1;\n\
+         \x20 return a[4][4];\n\
+         }\n",
+    );
+    let errors = messages(&diags, Level::Error);
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(
+        errors[0].contains("interchange") && errors[0].contains("(<, >)"),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn multidim_subscripts_are_linearized_for_races() {
+    // Every iteration writes the same 2D element: a provable race.
+    let (diags, _) = analyze(
+        "int main() {\n\
+         \x20 int a[8][8];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   a[3][2] += i;\n\
+         \x20 return 0;\n\
+         }\n",
+    );
+    let warnings = messages(&diags, Level::Warning);
+    assert!(
+        warnings.iter().any(|m| m.contains("-Wrace")),
+        "{warnings:?}"
+    );
+
+    // Distinct rows per iteration: no race, no warning.
+    let (diags, _) = analyze(
+        "int main() {\n\
+         \x20 int a[8][8];\n\
+         \x20 #pragma omp parallel for\n\
+         \x20 for (int i = 0; i < 8; i += 1)\n\
+         \x20   a[i][3] = i;\n\
+         \x20 return 0;\n\
+         }\n",
+    );
+    assert!(messages(&diags, Level::Warning).is_empty(), "{diags:?}");
+}

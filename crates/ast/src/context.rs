@@ -274,6 +274,12 @@ impl ASTContext {
         let cond = self.binary(BinOp::Lt, P::clone(&a), P::clone(&b), self.bool_ty(), loc);
         Expr::rvalue(ExprKind::Conditional(cond, a, b), ty, loc)
     }
+
+    /// `max(a, b)` built as `a < b ? b : a` (used by fuse bounds).
+    pub fn max_expr(&self, a: P<Expr>, b: P<Expr>, ty: P<Type>, loc: SourceLocation) -> P<Expr> {
+        let cond = self.binary(BinOp::Lt, P::clone(&a), P::clone(&b), self.bool_ty(), loc);
+        Expr::rvalue(ExprKind::Conditional(cond, b, a), ty, loc)
+    }
 }
 
 #[cfg(test)]

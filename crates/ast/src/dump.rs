@@ -325,6 +325,7 @@ fn clause_node(c: &P<OMPClause>, opts: DumpOptions) -> DumpNode {
             }
         }
         OMPClauseKind::Sizes(es)
+        | OMPClauseKind::Permutation(es)
         | OMPClauseKind::Private(es)
         | OMPClauseKind::FirstPrivate(es)
         | OMPClauseKind::Shared(es) => {

@@ -33,6 +33,13 @@ pub enum OMPDirectiveKind {
     Unroll,
     /// `#pragma omp tile` (loop transformation, OpenMP 5.1).
     Tile,
+    /// `#pragma omp interchange` (loop transformation, OpenMP 6.0
+    /// candidate; Kruse & Finkel's loop-transformation proposal).
+    Interchange,
+    /// `#pragma omp reverse` (loop transformation, OpenMP 6.0 candidate).
+    Reverse,
+    /// `#pragma omp fuse` (loop transformation, OpenMP 6.0 candidate).
+    Fuse,
 }
 
 impl OMPDirectiveKind {
@@ -46,6 +53,9 @@ impl OMPDirectiveKind {
             OMPDirectiveKind::Taskloop => "taskloop",
             OMPDirectiveKind::Unroll => "unroll",
             OMPDirectiveKind::Tile => "tile",
+            OMPDirectiveKind::Interchange => "interchange",
+            OMPDirectiveKind::Reverse => "reverse",
+            OMPDirectiveKind::Fuse => "fuse",
         }
     }
 
@@ -59,6 +69,9 @@ impl OMPDirectiveKind {
             OMPDirectiveKind::Taskloop => "OMPTaskLoopDirective",
             OMPDirectiveKind::Unroll => "OMPUnrollDirective",
             OMPDirectiveKind::Tile => "OMPTileDirective",
+            OMPDirectiveKind::Interchange => "OMPInterchangeDirective",
+            OMPDirectiveKind::Reverse => "OMPReverseDirective",
+            OMPDirectiveKind::Fuse => "OMPFuseDirective",
         }
     }
 
@@ -79,9 +92,18 @@ impl OMPDirectiveKind {
         )
     }
 
-    /// One of the OpenMP 5.1 loop transformation directives.
+    /// One of the loop transformation directives (`unroll`/`tile` from
+    /// OpenMP 5.1, `interchange`/`reverse`/`fuse` from the 6.0 candidate
+    /// set).
     pub fn is_loop_transformation(self) -> bool {
-        matches!(self, OMPDirectiveKind::Unroll | OMPDirectiveKind::Tile)
+        matches!(
+            self,
+            OMPDirectiveKind::Unroll
+                | OMPDirectiveKind::Tile
+                | OMPDirectiveKind::Interchange
+                | OMPDirectiveKind::Reverse
+                | OMPDirectiveKind::Fuse
+        )
     }
 
     /// Whether the associated region is outlined into a `CapturedStmt`.
@@ -190,6 +212,8 @@ pub enum OMPClauseKind {
     Nowait,
     /// `grainsize(n)` for `taskloop`.
     Grainsize(P<Expr>),
+    /// `permutation(p1, p2, …)` for `interchange` (1-based loop levels).
+    Permutation(Vec<P<Expr>>),
 }
 
 impl OMPClauseKind {
@@ -208,6 +232,7 @@ impl OMPClauseKind {
             OMPClauseKind::Reduction { .. } => "OMPReductionClause",
             OMPClauseKind::Nowait => "OMPNowaitClause",
             OMPClauseKind::Grainsize(_) => "OMPGrainsizeClause",
+            OMPClauseKind::Permutation(_) => "OMPPermutationClause",
         }
     }
 
@@ -226,6 +251,7 @@ impl OMPClauseKind {
             OMPClauseKind::Reduction { .. } => "reduction",
             OMPClauseKind::Nowait => "nowait",
             OMPClauseKind::Grainsize(_) => "grainsize",
+            OMPClauseKind::Permutation(_) => "permutation",
         }
     }
 }
@@ -410,6 +436,15 @@ impl OMPDirective {
             })
     }
 
+    /// The `permutation` clause arguments, if present.
+    pub fn permutation_clause(&self) -> Option<&[P<Expr>]> {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Permutation(_)))
+            .map(|c| match &c.kind {
+                OMPClauseKind::Permutation(p) => p.as_slice(),
+                _ => unreachable!(),
+            })
+    }
+
     /// The `collapse(n)` value (constant-evaluated), defaulting to 1.
     /// Non-positive values clamp to 1: sema diagnoses them separately, and
     /// every consumer needs at least one loop level to stay well-formed.
@@ -440,7 +475,7 @@ impl OMPDirective {
                         s.push_str("(...)");
                     }
                 }
-                OMPClauseKind::Sizes(es) => {
+                OMPClauseKind::Sizes(es) | OMPClauseKind::Permutation(es) => {
                     let vals: Vec<String> = es
                         .iter()
                         .map(|e| {
@@ -528,6 +563,12 @@ mod tests {
         assert!(Unroll.is_loop_based() && !Unroll.is_loop_directive());
         assert!(Tile.is_loop_based() && !Tile.is_loop_directive());
         assert!(Unroll.is_loop_transformation() && Tile.is_loop_transformation());
+        // The 6.0-candidate transformations share the hierarchy position.
+        for k in [Interchange, Reverse, Fuse] {
+            assert!(k.is_loop_based() && !k.is_loop_directive());
+            assert!(k.is_loop_transformation());
+            assert!(!k.is_parallel() && !k.is_worksharing());
+        }
         // Classic loop directives are both.
         assert!(For.is_loop_based() && For.is_loop_directive());
         assert!(ParallelFor.is_loop_based() && ParallelFor.is_loop_directive());
@@ -540,6 +581,9 @@ mod tests {
     fn transformations_do_not_capture() {
         assert!(!OMPDirectiveKind::Unroll.captures_associated());
         assert!(!OMPDirectiveKind::Tile.captures_associated());
+        assert!(!OMPDirectiveKind::Interchange.captures_associated());
+        assert!(!OMPDirectiveKind::Reverse.captures_associated());
+        assert!(!OMPDirectiveKind::Fuse.captures_associated());
         assert!(OMPDirectiveKind::ParallelFor.captures_associated());
         assert!(OMPDirectiveKind::Parallel.captures_associated());
     }
@@ -547,6 +591,19 @@ mod tests {
     #[test]
     fn class_names() {
         assert_eq!(OMPDirectiveKind::Tile.class_name(), "OMPTileDirective");
+        assert_eq!(
+            OMPDirectiveKind::Interchange.class_name(),
+            "OMPInterchangeDirective"
+        );
+        assert_eq!(
+            OMPDirectiveKind::Reverse.class_name(),
+            "OMPReverseDirective"
+        );
+        assert_eq!(OMPDirectiveKind::Fuse.class_name(), "OMPFuseDirective");
+        assert_eq!(
+            OMPClauseKind::Permutation(vec![]).class_name(),
+            "OMPPermutationClause"
+        );
         assert_eq!(OMPClauseKind::Full.class_name(), "OMPFullClause");
         assert_eq!(OMPClauseKind::Sizes(vec![]).class_name(), "OMPSizesClause");
         assert_eq!(

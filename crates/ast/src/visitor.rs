@@ -184,6 +184,7 @@ pub fn clause_exprs(c: &OMPClause) -> Vec<&P<Expr>> {
         }
         OMPClauseKind::Partial(f) => f.iter().collect(),
         OMPClauseKind::Sizes(es)
+        | OMPClauseKind::Permutation(es)
         | OMPClauseKind::Private(es)
         | OMPClauseKind::FirstPrivate(es)
         | OMPClauseKind::Shared(es) => es.iter().collect(),

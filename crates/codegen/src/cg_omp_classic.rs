@@ -34,9 +34,15 @@ impl FnCodegen<'_, '_> {
             OMPDirectiveKind::Simd => self.emit_logical_loop(d, LoopFlavor::Simd),
             OMPDirectiveKind::Taskloop => self.emit_logical_loop(d, LoopFlavor::Taskloop),
             OMPDirectiveKind::Unroll => self.emit_unroll_classic(d),
-            OMPDirectiveKind::Tile => {
+            OMPDirectiveKind::Tile
+            | OMPDirectiveKind::Interchange
+            | OMPDirectiveKind::Reverse
+            | OMPDirectiveKind::Fuse => {
                 // "If encountering a non-associated tile construct, CodeGen
                 // will simply emit the transformed AST in its place" (§2.2).
+                // Interchange/reverse/fuse follow the same rule; an illegal
+                // use is rejected by the dependence analysis, never lowered
+                // differently here.
                 match d.get_transformed_stmt() {
                     Some(t) => {
                         let t = P::clone(t);
@@ -823,17 +829,17 @@ pub(crate) fn resolve_loop(stmt: &P<Stmt>) -> (Vec<P<Stmt>>, P<Stmt>) {
                 None => return (prologue, cur),
             },
             StmtKind::OMPCanonicalLoop(cl) => P::clone(&cl.loop_stmt),
-            StmtKind::Compound(stmts) if !stmts.is_empty() => {
-                let (last, rest) = stmts.split_last().expect("non-empty");
-                if last.strip_to_loop().is_loop()
-                    && rest.iter().all(|s| matches!(s.kind, StmtKind::Decl(_)))
-                {
-                    prologue.extend(rest.iter().cloned());
-                    P::clone(last)
-                } else {
-                    return (prologue, cur);
+            // Delegate to Sema's splitter so the two sides can never
+            // disagree about which `{ decls…; loop }` shapes (including
+            // nested blocks spliced from stacked transformations) count
+            // as a prologue.
+            StmtKind::Compound(_) => match omplt_sema::transform::split_prologue(&cur) {
+                Some((pro, lp)) => {
+                    prologue.extend(pro);
+                    lp
                 }
-            }
+                None => return (prologue, cur),
+            },
             _ => return (prologue, cur),
         };
         cur = next;

@@ -17,8 +17,8 @@ use omplt_ast::{
 use omplt_ir::{IrType, Value};
 use omplt_ompirb::{
     create_canonical_loop_skeleton, create_dynamic_workshare_loop, create_static_workshare_loop,
-    tile_loops, unroll_loop_full, unroll_loop_heuristic, unroll_loop_partial, CanonicalLoopInfo,
-    DispatchLoopInfo, WorksharingScheme,
+    reverse_loop, tile_loops, unroll_loop_full, unroll_loop_heuristic, unroll_loop_partial,
+    CanonicalLoopInfo, DispatchLoopInfo, WorksharingScheme,
 };
 
 impl FnCodegen<'_, '_> {
@@ -160,6 +160,47 @@ impl FnCodegen<'_, '_> {
                         }
                         None => self.emit_stmt(&assoc),
                     }
+                }
+            }
+            OMPDirectiveKind::Reverse => {
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
+                match self.emit_loop_construct(&assoc) {
+                    Some(cli) => {
+                        self.cur = cli.after;
+                        let mut b = omplt_ir::IrBuilder::new(&mut self.func);
+                        b.set_insert_point(cli.after);
+                        let rev = reverse_loop(&mut b, &cli);
+                        self.verify_transformed("omp reverse", d.loc, &[rev]);
+                    }
+                    // The associated statement was not a wrapped literal
+                    // loop (e.g. a nested transformation): emit the shadow
+                    // AST, which Sema always builds for reverse.
+                    None => match d.get_transformed_stmt() {
+                        Some(t) => {
+                            let t = P::clone(t);
+                            self.emit_stmt(&t);
+                        }
+                        None => self.emit_stmt(&assoc),
+                    },
+                }
+            }
+            OMPDirectiveKind::Interchange | OMPDirectiveKind::Fuse => {
+                // Multi-loop constructs: like multi-size tile, the directive
+                // falls back to the shadow AST (the paper reports "missing
+                // implementations for … loop nests with more than one loop"
+                // on the IrBuilder path). The CanonicalLoopInfo operations
+                // themselves live in omplt-ompirb for nests built directly.
+                let Some(assoc) = d.associated.clone() else {
+                    return;
+                };
+                match d.get_transformed_stmt() {
+                    Some(t) => {
+                        let t = P::clone(t);
+                        self.emit_stmt(&t);
+                    }
+                    None => self.emit_stmt(&assoc),
                 }
             }
         }
@@ -336,6 +377,32 @@ impl FnCodegen<'_, '_> {
                 let tiled = tile_loops(&mut b, &[inner], &[Value::int(inner.ty, size as i64)]);
                 self.verify_transformed("omp tile", d.loc, &tiled);
                 tiled.first().copied()
+            }
+            StmtKind::OMP(d) if d.kind.is_loop_transformation() => {
+                // Interchange / reverse / fuse consumed by an outer
+                // directive: Sema wrapped the trailing loop of the shadow
+                // AST in `OMPCanonicalLoop`, so the generated loop is
+                // reached by emitting the compound's prologue and recursing
+                // into its tail.
+                let d = P::clone(d);
+                match d.get_transformed_stmt() {
+                    Some(t) => {
+                        let t = P::clone(t);
+                        self.emit_loop_construct(&t)
+                    }
+                    None => None,
+                }
+            }
+            StmtKind::Compound(stmts) if !stmts.is_empty() => {
+                // A transformed shadow compound (or a `{ decls…; loop }`
+                // prologue): run the leading statements, the loop is last.
+                let stmts = stmts.clone();
+                let (last, lead) = stmts.split_last().unwrap();
+                for s in lead {
+                    self.emit_stmt(s);
+                }
+                let last = P::clone(last);
+                self.emit_loop_construct(&last)
             }
             // A literal loop that Sema did not wrap (only possible when the
             // directive stack was malformed): nothing to hand back.

@@ -15,6 +15,11 @@
 //!   front-end for the body ("callback-ception").
 //! * [`tile_loops`] — tiles a perfect nest of N canonical loops into 2N.
 //! * [`collapse_loops`] — fuses a nest into a single canonical loop.
+//! * [`interchange_loops`] — permutes a perfect nest of canonical loops.
+//! * [`reverse_loop`] — runs one canonical loop's iterations in the
+//!   opposite order by mirroring the logical IV.
+//! * [`fuse_loops`] — fuses a sequence of *sibling* canonical loops into
+//!   one, guarding each body for unequal trip counts.
 //! * [`unroll_loop_full`] / [`unroll_loop_partial`] / [`unroll_loop_heuristic`]
 //!   — the three modes of the `unroll` directive; partial unrolling tiles by
 //!   the factor and annotates the inner loop with unroll metadata, deferring
@@ -32,7 +37,10 @@
 
 pub mod canonical_loop;
 pub mod collapse;
+pub mod fuse;
+pub mod interchange;
 pub mod parallel;
+pub mod reverse;
 pub mod tile;
 pub mod unroll;
 pub mod workshare;
@@ -41,7 +49,10 @@ pub use canonical_loop::{
     create_canonical_loop, create_canonical_loop_skeleton, CanonicalLoopInfo,
 };
 pub use collapse::collapse_loops;
+pub use fuse::fuse_loops;
+pub use interchange::interchange_loops;
 pub use parallel::{create_parallel, OutlinedFn};
+pub use reverse::reverse_loop;
 pub use tile::tile_loops;
 pub use unroll::{unroll_loop_full, unroll_loop_heuristic, unroll_loop_partial};
 pub use workshare::{

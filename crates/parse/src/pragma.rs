@@ -51,7 +51,8 @@ pub fn parse_omp_directive(p: &mut Parser<'_, '_>) -> P<Stmt> {
 }
 
 fn parse_directive_name(p: &mut Parser<'_, '_>) -> Option<OMPDirectiveKind> {
-    // `parallel [for]`, `for`, `simd`, `taskloop`, `unroll`, `tile`
+    // `parallel [for]`, `for`, `simd`, `taskloop`, `unroll`, `tile`,
+    // `interchange`, `reverse`, `fuse`
     match &p.peek().kind {
         TokenKind::Kw(Keyword::For) => {
             p.next();
@@ -82,6 +83,18 @@ fn parse_directive_name(p: &mut Parser<'_, '_>) -> Option<OMPDirectiveKind> {
             "tile" => {
                 p.next();
                 Some(OMPDirectiveKind::Tile)
+            }
+            "interchange" => {
+                p.next();
+                Some(OMPDirectiveKind::Interchange)
+            }
+            "reverse" => {
+                p.next();
+                Some(OMPDirectiveKind::Reverse)
+            }
+            "fuse" => {
+                p.next();
+                Some(OMPDirectiveKind::Fuse)
             }
             _ => None,
         },
@@ -127,6 +140,19 @@ fn parse_clause(p: &mut Parser<'_, '_>) -> Option<P<OMPClause>> {
             }
             p.expect_punct(Punct::RParen);
             OMPClauseKind::Sizes(sizes)
+        }
+        "permutation" => {
+            p.expect_punct(Punct::LParen);
+            let mut perm = Vec::new();
+            loop {
+                let e = p.parse_assignment_expr();
+                perm.push(wrap_constant(p, e));
+                if !p.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Permutation(perm)
         }
         "collapse" => {
             p.expect_punct(Punct::LParen);

@@ -8,7 +8,10 @@ use crate::canonical::build_canonical_loop;
 use crate::capture::build_omp_captured_stmt;
 use crate::loop_analysis::{analyze_canonical_loop, find_nonrectangular_ref};
 use crate::sema::{OpenMpCodegenMode, Sema};
-use crate::transform::{split_prologue, transform_tile, transform_unroll_partial, LoopNestLevel};
+use crate::transform::{
+    split_prologue, transform_fuse, transform_interchange, transform_reverse, transform_tile,
+    transform_unroll_partial, LoopNestLevel,
+};
 use omplt_ast::{
     BinOp, Expr, LoopDirectiveHelpers, OMPClause, OMPClauseKind, OMPDirective, OMPDirectiveKind,
     PerLoopHelpers, ScheduleKind, Stmt, StmtKind, P,
@@ -58,6 +61,9 @@ impl Sema<'_> {
             }
             OMPDirectiveKind::Unroll => self.act_on_unroll(clauses, associated, loc),
             OMPDirectiveKind::Tile => self.act_on_tile(clauses, associated, loc),
+            OMPDirectiveKind::Interchange => self.act_on_interchange(clauses, associated, loc),
+            OMPDirectiveKind::Reverse => self.act_on_reverse(clauses, associated, loc),
+            OMPDirectiveKind::Fuse => self.act_on_fuse(clauses, associated, loc),
             OMPDirectiveKind::For
             | OMPDirectiveKind::ParallelFor
             | OMPDirectiveKind::Simd
@@ -79,6 +85,7 @@ impl Sema<'_> {
             let ok = match &c.kind {
                 OMPClauseKind::Full | OMPClauseKind::Partial(_) => kind == OMPDirectiveKind::Unroll,
                 OMPClauseKind::Sizes(_) => kind == OMPDirectiveKind::Tile,
+                OMPClauseKind::Permutation(_) => kind == OMPDirectiveKind::Interchange,
                 OMPClauseKind::Schedule { .. } | OMPClauseKind::Nowait => kind.is_worksharing(),
                 OMPClauseKind::NumThreads(_) => kind.is_parallel(),
                 OMPClauseKind::Collapse(_) => kind.is_loop_directive(),
@@ -338,6 +345,181 @@ impl Sema<'_> {
         let associated = self.maybe_wrap_canonical(associated, "#pragma omp tile");
         d.associated = Some(associated);
         Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    /// `#pragma omp interchange [permutation(σ)]` — swaps (or arbitrarily
+    /// permutes) a perfect loop nest. Like tile, interchange always stands
+    /// in for its generated nest via the shadow AST; legality against the
+    /// dependence graph is checked by `omplt-analysis` (`--analyze`), not
+    /// here — Sema only validates the permutation itself.
+    fn act_on_interchange(
+        &mut self,
+        clauses: Vec<P<OMPClause>>,
+        associated: P<Stmt>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        let pragma = OMPDirective::new(OMPDirectiveKind::Interchange, clauses.clone(), None, loc)
+            .pragma_text();
+        let mut d = OMPDirective::new(OMPDirectiveKind::Interchange, clauses, None, loc);
+
+        // permutation(σ): 1-based loop positions; without the clause the
+        // directive swaps the two outermost loops (OpenMP 6.0 §7.6).
+        let perm: Option<Vec<usize>> = match d.permutation_clause().map(<[_]>::to_vec) {
+            None => Some(vec![1, 0]),
+            Some(es) => {
+                let vals: Vec<u64> = es
+                    .iter()
+                    .filter_map(|e| self.positive_const(e, "permutation"))
+                    .collect();
+                if vals.len() != es.len() {
+                    None
+                } else if vals.len() < 2 {
+                    self.diags
+                        .error(loc, "'permutation' clause must name at least two loops");
+                    None
+                } else {
+                    let n = vals.len();
+                    let mut seen = vec![false; n];
+                    let mut ok = true;
+                    for (e, &v) in es.iter().zip(&vals) {
+                        if v as usize > n || seen[v as usize - 1] {
+                            self.diags.error(
+                                e.loc,
+                                format!("'permutation' arguments must be a permutation of 1..{n}"),
+                            );
+                            ok = false;
+                            break;
+                        }
+                        seen[v as usize - 1] = true;
+                    }
+                    ok.then(|| vals.iter().map(|&v| v as usize - 1).collect())
+                }
+            }
+        };
+
+        if let Some(perm) = perm {
+            if let Some(levels) =
+                self.collect_loop_nest(&associated, perm.len(), "#pragma omp interchange")
+            {
+                let transformed = {
+                    let mut sm = self.sm.borrow_mut();
+                    transform_interchange(&self.ctx, &mut sm, &levels, &perm, &pragma)
+                };
+                let transformed =
+                    self.wrap_transformed_tail_canonical(transformed, "#pragma omp interchange");
+                count_transformed_nodes(&transformed);
+                omplt_trace::count("sema.transform.interchange", 1);
+                d.transformed = Some(transformed);
+            }
+        }
+        let associated = self.maybe_wrap_canonical(associated, "#pragma omp interchange");
+        d.associated = Some(associated);
+        Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    /// `#pragma omp reverse` — runs the iterations of one canonical loop in
+    /// the opposite order. Legality (the loop must carry no dependence) is
+    /// the dependence engine's job.
+    fn act_on_reverse(
+        &mut self,
+        clauses: Vec<P<OMPClause>>,
+        associated: P<Stmt>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        let pragma =
+            OMPDirective::new(OMPDirectiveKind::Reverse, clauses.clone(), None, loc).pragma_text();
+        let mut d = OMPDirective::new(OMPDirectiveKind::Reverse, clauses, None, loc);
+        if let Some(levels) = self.collect_loop_nest(&associated, 1, "#pragma omp reverse") {
+            let transformed = {
+                let mut sm = self.sm.borrow_mut();
+                transform_reverse(&self.ctx, &mut sm, &levels[0].analysis, &pragma)
+            };
+            let transformed =
+                self.wrap_transformed_tail_canonical(transformed, "#pragma omp reverse");
+            let transformed = wrap_with_prologue(&levels[0].prologue, transformed, loc);
+            count_transformed_nodes(&transformed);
+            omplt_trace::count("sema.transform.reverse", 1);
+            d.transformed = Some(transformed);
+        }
+        let associated = self.maybe_wrap_canonical(associated, "#pragma omp reverse");
+        d.associated = Some(associated);
+        Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    /// `#pragma omp fuse` — fuses a sequence of sibling canonical loops
+    /// into one. Unequal trip counts are handled by guarding each body;
+    /// the dependence engine rejects fusions that would introduce a
+    /// negative-distance dependence.
+    fn act_on_fuse(
+        &mut self,
+        clauses: Vec<P<OMPClause>>,
+        associated: P<Stmt>,
+        loc: SourceLocation,
+    ) -> P<Stmt> {
+        let pragma =
+            OMPDirective::new(OMPDirectiveKind::Fuse, clauses.clone(), None, loc).pragma_text();
+        let mut d = OMPDirective::new(OMPDirectiveKind::Fuse, clauses, None, loc);
+
+        // The associated statement is a *loop sequence*: a compound whose
+        // statements each resolve to a canonical loop (possibly through a
+        // nested transformation directive standing in for its result).
+        let stmts: Vec<P<Stmt>> = match &associated.kind {
+            StmtKind::Compound(ss) => ss.clone(),
+            _ => vec![P::clone(&associated)],
+        };
+        let mut loops: Vec<LoopNestLevel> = Vec::with_capacity(stmts.len());
+        let mut ok = true;
+        for s in &stmts {
+            match self.collect_loop_nest(s, 1, "#pragma omp fuse") {
+                Some(mut lv) => loops.push(lv.pop().unwrap()),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && loops.len() < 2 {
+            self.diags.error(
+                loc,
+                "'#pragma omp fuse' requires a sequence of at least two loops",
+            );
+            ok = false;
+        }
+        if ok {
+            let transformed = {
+                let mut sm = self.sm.borrow_mut();
+                transform_fuse(&self.ctx, &mut sm, &loops, &pragma)
+            };
+            let transformed = self.wrap_transformed_tail_canonical(transformed, "#pragma omp fuse");
+            count_transformed_nodes(&transformed);
+            omplt_trace::count("sema.transform.fuse", 1);
+            d.transformed = Some(transformed);
+        }
+        // The associated compound is not a single canonical loop; the
+        // IrBuilder path consumes the shadow AST (whose tail IS wrapped).
+        d.associated = Some(associated);
+        Stmt::new(StmtKind::OMP(P::new(d)), loc)
+    }
+
+    /// In IrBuilder mode, wraps the *trailing loop* of a freshly built
+    /// transformed compound in `OMPCanonicalLoop`, so a consuming directive
+    /// (`#pragma omp for` over `interchange`/`reverse`/`fuse`) can emit the
+    /// generated loop through `emit_loop_construct` like any literal loop.
+    fn wrap_transformed_tail_canonical(&mut self, t: P<Stmt>, consumer: &str) -> P<Stmt> {
+        if self.mode != OpenMpCodegenMode::IrBuilder {
+            return t;
+        }
+        match &t.kind {
+            StmtKind::Compound(stmts) if !stmts.is_empty() => {
+                let mut stmts = stmts.clone();
+                let last = stmts.pop().unwrap();
+                stmts.push(self.wrap_transformed_tail_canonical(last, consumer));
+                let loc = t.loc;
+                Stmt::new(StmtKind::Compound(stmts), loc)
+            }
+            StmtKind::For { .. } => self.maybe_wrap_canonical(t, consumer),
+            _ => t,
+        }
     }
 
     // ---------------- loop-associated directives ----------------
@@ -916,6 +1098,143 @@ mod tests {
             s.act_on_omp_directive(OMPDirectiveKind::For, vec![sizes], Some(lp), loc)
         });
         assert!(msgs.iter().any(|m| m.contains("not valid on")), "{msgs:?}");
+    }
+
+    #[test]
+    fn interchange_default_swaps_two_loops() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let inner = mk_loop(s, 0, 8, 1, None);
+            let outer = mk_loop(s, 0, 16, 1, Some(inner));
+            s.act_on_omp_directive(
+                OMPDirectiveKind::Interchange,
+                vec![],
+                Some(outer),
+                SourceLocation::INVALID,
+            )
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        let t = d
+            .get_transformed_stmt()
+            .expect("interchange builds shadow AST");
+        assert_eq!(crate::transform::count_generated_loops(t), 2);
+    }
+
+    #[test]
+    fn interchange_permutation_must_be_valid() {
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let inner = mk_loop(s, 0, 8, 1, None);
+            let outer = mk_loop(s, 0, 16, 1, Some(inner));
+            let loc = SourceLocation::INVALID;
+            let perm = OMPClause::new(
+                OMPClauseKind::Permutation(vec![
+                    s.ctx.int_lit(1, s.ctx.int(), loc),
+                    s.ctx.int_lit(3, s.ctx.int(), loc),
+                ]),
+                loc,
+            );
+            s.act_on_omp_directive(OMPDirectiveKind::Interchange, vec![perm], Some(outer), loc)
+        });
+        assert!(
+            msgs.iter().any(|m| m.contains("permutation of 1..2")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn interchange_permutation_on_wrong_directive_is_diagnosed() {
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let loc = SourceLocation::INVALID;
+            let perm = OMPClause::new(
+                OMPClauseKind::Permutation(vec![
+                    s.ctx.int_lit(2, s.ctx.int(), loc),
+                    s.ctx.int_lit(1, s.ctx.int(), loc),
+                ]),
+                loc,
+            );
+            s.act_on_omp_directive(OMPDirectiveKind::Tile, vec![perm], Some(lp), loc)
+        });
+        assert!(msgs.iter().any(|m| m.contains("not valid on")), "{msgs:?}");
+    }
+
+    #[test]
+    fn reverse_builds_shadow_ast() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            s.act_on_omp_directive(
+                OMPDirectiveKind::Reverse,
+                vec![],
+                Some(lp),
+                SourceLocation::INVALID,
+            )
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        let t = d.get_transformed_stmt().expect("reverse builds shadow AST");
+        assert_eq!(crate::transform::count_generated_loops(t), 1);
+    }
+
+    #[test]
+    fn fuse_requires_two_loops() {
+        let (_, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let lp = mk_loop(s, 0, 10, 1, None);
+            let loc = SourceLocation::INVALID;
+            let compound = Stmt::new(StmtKind::Compound(vec![lp]), loc);
+            s.act_on_omp_directive(OMPDirectiveKind::Fuse, vec![], Some(compound), loc)
+        });
+        assert!(
+            msgs.iter().any(|m| m.contains("at least two loops")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn fuse_builds_single_guarded_loop() {
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let a = mk_loop(s, 0, 10, 1, None);
+            let b = mk_loop(s, 0, 6, 1, None);
+            let loc = SourceLocation::INVALID;
+            let compound = Stmt::new(StmtKind::Compound(vec![a, b]), loc);
+            s.act_on_omp_directive(OMPDirectiveKind::Fuse, vec![], Some(compound), loc)
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        let t = d.get_transformed_stmt().expect("fuse builds shadow AST");
+        assert_eq!(crate::transform::count_generated_loops(t), 1);
+    }
+
+    #[test]
+    fn consuming_interchange_reanalyzes_generated_loop() {
+        // #pragma omp for over #pragma omp interchange: the worksharing
+        // directive associates with the *generated* (permuted) outer loop.
+        let (stmt, msgs) = with_sema(OpenMpCodegenMode::Classic, |s| {
+            let inner = mk_loop(s, 0, 8, 1, None);
+            let outer = mk_loop(s, 0, 16, 1, Some(inner));
+            let ic = s.act_on_omp_directive(
+                OMPDirectiveKind::Interchange,
+                vec![],
+                Some(outer),
+                SourceLocation::INVALID,
+            );
+            s.act_on_omp_directive(
+                OMPDirectiveKind::For,
+                vec![],
+                Some(ic),
+                SourceLocation::INVALID,
+            )
+        });
+        assert!(msgs.is_empty(), "{msgs:?}");
+        let StmtKind::OMP(d) = &stmt.kind else {
+            panic!()
+        };
+        assert!(d.loop_helpers.is_some());
     }
 
     #[test]

@@ -329,18 +329,275 @@ pub fn transform_tile(
     Stmt::new(StmtKind::Compound(top), loc)
 }
 
+/// Builds the transformed AST of `#pragma omp interchange
+/// permutation(p₀+1, …, pₙ₋₁+1)` over a perfect nest of `n` canonical
+/// loops. `perm` is 0-based: position `k` of the generated nest runs the
+/// *original* level `perm[k]`.
+///
+/// ```text
+/// {
+///   <prologues of already-transformed inner levels>
+///   unsigned .capture_expr.k = <trip count of level k>;        // ∀k
+///   for (unsigned .permuted.iv.j = 0; < .capture_expr.{perm[0]}; ++)
+///     for (unsigned .permuted.iv.i = 0; < .capture_expr.{perm[1]}; ++)
+///       { T i = lb₀ ± .permuted.iv.i * step₀; …; <body> }
+/// }
+/// ```
+///
+/// Every generated loop runs the full logical iteration space of its
+/// original level, so the nest stays rectangular and re-analyzable.
+pub fn transform_interchange(
+    ctx: &ASTContext,
+    sm: &mut SourceManager,
+    levels: &[LoopNestLevel],
+    perm: &[usize],
+    pragma_text: &str,
+) -> P<Stmt> {
+    assert_eq!(levels.len(), perm.len());
+    let n = levels.len();
+    let loc = sm.create_transformed_loc(levels[0].analysis.loc, pragma_text);
+
+    let mut top: Vec<P<Stmt>> = Vec::new();
+    for l in levels {
+        top.extend(l.prologue.iter().cloned());
+    }
+    let mut tc_vars = Vec::with_capacity(n);
+    for l in levels {
+        let (var, stmt) = capture_trip_count(ctx, &l.analysis, loc);
+        top.push(stmt);
+        tc_vars.push(var);
+    }
+
+    // One logical IV per *original* level (indexed like `levels`).
+    let ivs: Vec<P<VarDecl>> = levels
+        .iter()
+        .map(|l| {
+            ctx.make_implicit_var(
+                format!(".permuted.iv.{}", l.analysis.iter_var.name),
+                P::clone(&l.analysis.logical_ty),
+                Some(ctx.int_lit(0, P::clone(&l.analysis.logical_ty), loc)),
+                loc,
+            )
+        })
+        .collect();
+
+    // Innermost body: materialize every original variable, then the body.
+    let mut body_stmts: Vec<P<Stmt>> = Vec::with_capacity(n + 1);
+    for (l, iv) in levels.iter().zip(&ivs) {
+        body_stmts.push(materialize_user_var(
+            ctx,
+            &l.analysis,
+            ctx.read_var(iv, loc),
+            loc,
+        ));
+    }
+    body_stmts.push(P::clone(&levels[n - 1].analysis.body));
+    let mut current = Stmt::new(StmtKind::Compound(body_stmts), loc);
+
+    // Loops in permuted order, innermost-out.
+    for &k in perm.iter().rev() {
+        let a = &levels[k].analysis;
+        let uty = P::clone(&a.logical_ty);
+        let cond = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&ivs[k], loc),
+            ctx.read_var(&tc_vars[k], loc),
+            ctx.bool_ty(),
+            loc,
+        );
+        let inc = ctx.unary(UnOp::PreInc, ctx.decl_ref(&ivs[k], loc), uty, loc);
+        current = make_loop(P::clone(&ivs[k]), cond, inc, current, loc);
+    }
+
+    top.push(current);
+    Stmt::new(StmtKind::Compound(top), loc)
+}
+
+/// Builds the transformed AST of `#pragma omp reverse`:
+///
+/// ```text
+/// {
+///   unsigned .capture_expr.N = <trip count>;
+///   for (unsigned .reversed.iv.i = 0; .reversed.iv.i < N; ++.reversed.iv.i)
+///     { T i = lb ± (N - 1 - .reversed.iv.i) * step; <body> }
+/// }
+/// ```
+pub fn transform_reverse(
+    ctx: &ASTContext,
+    sm: &mut SourceManager,
+    a: &CanonicalLoopAnalysis,
+    pragma_text: &str,
+) -> P<Stmt> {
+    let loc = sm.create_transformed_loc(a.loc, pragma_text);
+    let uty = P::clone(&a.logical_ty);
+    let ulit = |v: i128| ctx.int_lit(v, P::clone(&uty), loc);
+
+    let (tc_var, tc_decl) = capture_trip_count(ctx, a, loc);
+
+    let iv = ctx.make_implicit_var(
+        format!(".reversed.iv.{}", a.iter_var.name),
+        P::clone(&uty),
+        Some(ulit(0)),
+        loc,
+    );
+
+    // logical' = N - 1 - iv
+    let n_minus_1 = ctx.binary(
+        BinOp::Sub,
+        ctx.read_var(&tc_var, loc),
+        ulit(1),
+        P::clone(&uty),
+        loc,
+    );
+    let mirrored = ctx.binary(
+        BinOp::Sub,
+        n_minus_1,
+        ctx.read_var(&iv, loc),
+        P::clone(&uty),
+        loc,
+    );
+    let body = Stmt::new(
+        StmtKind::Compound(vec![
+            materialize_user_var(ctx, a, mirrored, loc),
+            P::clone(&a.body),
+        ]),
+        loc,
+    );
+
+    let cond = ctx.binary(
+        BinOp::Lt,
+        ctx.read_var(&iv, loc),
+        ctx.read_var(&tc_var, loc),
+        ctx.bool_ty(),
+        loc,
+    );
+    let inc = ctx.unary(UnOp::PreInc, ctx.decl_ref(&iv, loc), P::clone(&uty), loc);
+    let lp = make_loop(iv, cond, inc, body, loc);
+
+    Stmt::new(StmtKind::Compound(vec![tc_decl, lp]), loc)
+}
+
+/// Builds the transformed AST of `#pragma omp fuse` over `m` sibling
+/// canonical loops:
+///
+/// ```text
+/// {
+///   <prologues of already-transformed loops>
+///   unsigned .capture_expr.k = <trip count of loop k>;          // ∀k
+///   unsigned .fuse.max.iv = max(.capture_expr.0, …);
+///   for (unsigned .fused.iv = 0; .fused.iv < .fuse.max.iv; ++.fused.iv) {
+///     if (.fused.iv < .capture_expr.0) { T i = …; <body₀> }
+///     if (.fused.iv < .capture_expr.1) { T j = …; <body₁> }
+///   }
+/// }
+/// ```
+///
+/// Guarding each body keeps fusion correct for unequal trip counts (the
+/// guards fold away when the counts match).
+pub fn transform_fuse(
+    ctx: &ASTContext,
+    sm: &mut SourceManager,
+    loops: &[LoopNestLevel],
+    pragma_text: &str,
+) -> P<Stmt> {
+    assert!(loops.len() >= 2);
+    let loc = sm.create_transformed_loc(loops[0].analysis.loc, pragma_text);
+    let uty = P::clone(&loops[0].analysis.logical_ty);
+    let ulit = |v: i128| ctx.int_lit(v, P::clone(&uty), loc);
+
+    let mut top: Vec<P<Stmt>> = Vec::new();
+    for l in loops {
+        top.extend(l.prologue.iter().cloned());
+    }
+    let mut tc_vars = Vec::with_capacity(loops.len());
+    for l in loops {
+        let (var, stmt) = capture_trip_count(ctx, &l.analysis, loc);
+        top.push(stmt);
+        tc_vars.push(var);
+    }
+
+    // .fuse.max.iv = max over all trip counts (normalized to one logical
+    // type — the loops' iteration variables may differ in width).
+    let mut max = ctx.int_convert(ctx.read_var(&tc_vars[0], loc), &uty);
+    for tc in &tc_vars[1..] {
+        let tc_read = ctx.int_convert(ctx.read_var(tc, loc), &uty);
+        max = ctx.max_expr(max, tc_read, P::clone(&uty), loc);
+    }
+    let max_var = ctx.make_implicit_var(
+        ctx.fresh_name(".fuse.max.iv"),
+        P::clone(&uty),
+        Some(max),
+        loc,
+    );
+    top.push(Stmt::new(
+        StmtKind::Decl(vec![Decl::Var(P::clone(&max_var))]),
+        loc,
+    ));
+
+    let iv = ctx.make_implicit_var(".fused.iv", P::clone(&uty), Some(ulit(0)), loc);
+
+    // One guarded body per fused loop, in source order.
+    let mut fused_body: Vec<P<Stmt>> = Vec::with_capacity(loops.len());
+    for (l, tc) in loops.iter().zip(&tc_vars) {
+        let a = &l.analysis;
+        let then = Stmt::new(
+            StmtKind::Compound(vec![
+                materialize_user_var(ctx, a, ctx.read_var(&iv, loc), loc),
+                P::clone(&a.body),
+            ]),
+            loc,
+        );
+        let guard = ctx.binary(
+            BinOp::Lt,
+            ctx.read_var(&iv, loc),
+            ctx.int_convert(ctx.read_var(tc, loc), &uty),
+            ctx.bool_ty(),
+            loc,
+        );
+        fused_body.push(Stmt::new(
+            StmtKind::If {
+                cond: guard,
+                then,
+                els: None,
+            },
+            loc,
+        ));
+    }
+    let body = Stmt::new(StmtKind::Compound(fused_body), loc);
+
+    let cond = ctx.binary(
+        BinOp::Lt,
+        ctx.read_var(&iv, loc),
+        ctx.read_var(&max_var, loc),
+        ctx.bool_ty(),
+        loc,
+    );
+    let inc = ctx.unary(UnOp::PreInc, ctx.decl_ref(&iv, loc), P::clone(&uty), loc);
+    top.push(make_loop(iv, cond, inc, body, loc));
+
+    Stmt::new(StmtKind::Compound(top), loc)
+}
+
 /// Strips a transformed-AST wrapper into (prologue, loop): a `Compound`
 /// whose trailing statement is the generated loop, or a bare loop.
 pub fn split_prologue(stmt: &P<Stmt>) -> Option<(Vec<P<Stmt>>, P<Stmt>)> {
     match &stmt.kind {
         StmtKind::Compound(stmts) => {
             let (last, rest) = stmts.split_last()?;
-            if last.strip_to_loop().is_loop()
-                && rest.iter().all(|s| matches!(s.kind, StmtKind::Decl(_)))
-            {
+            if !rest.iter().all(|s| matches!(s.kind, StmtKind::Decl(_))) {
+                return None;
+            }
+            if last.strip_to_loop().is_loop() {
                 Some((rest.to_vec(), P::clone(last)))
             } else {
-                None
+                // A transformed AST may carry its own `{ decls; loop }`
+                // block inside an enclosing prologue (e.g. `reverse`
+                // consuming a tiled loop, whose prologue wraps the
+                // reverse-generated compound). Splice the prologues.
+                let (inner, lp) = split_prologue(last)?;
+                let mut pro = rest.to_vec();
+                pro.extend(inner);
+                Some((pro, lp))
             }
         }
         _ if stmt.strip_to_loop().is_loop() => Some((Vec::new(), P::clone(stmt))),
@@ -526,6 +783,38 @@ mod tests {
         );
         let (pro, l) = split_prologue(&lp).unwrap();
         assert!(pro.is_empty());
+        assert!(l.is_loop());
+    }
+
+    #[test]
+    fn split_prologue_splices_nested_transformed_blocks() {
+        // `reverse` consuming a tiled loop yields
+        // `{ <tile decls>; { <reverse decls>; for } }`; a consumer must see
+        // one flat prologue ending in the loop.
+        let ctx = ASTContext::new();
+        let loc = SourceLocation::INVALID;
+        let decl = |name: &str| {
+            let v = ctx.make_implicit_var(
+                name.to_string(),
+                ctx.int_ty(omplt_ast::IntWidth::W32, true),
+                None,
+                loc,
+            );
+            Stmt::new(StmtKind::Decl(vec![omplt_ast::Decl::Var(v)]), loc)
+        };
+        let lp = Stmt::new(
+            StmtKind::For {
+                init: None,
+                cond: None,
+                inc: None,
+                body: Stmt::new(StmtKind::Null, loc),
+            },
+            loc,
+        );
+        let inner = Stmt::new(StmtKind::Compound(vec![decl(".inner."), lp]), loc);
+        let outer = Stmt::new(StmtKind::Compound(vec![decl(".outer."), inner]), loc);
+        let (pro, l) = split_prologue(&outer).unwrap();
+        assert_eq!(pro.len(), 2);
         assert!(l.is_loop());
     }
 }

@@ -1,0 +1,30 @@
+/* Loop fusion: two independent sweeps over adjacent arrays are merged by
+ * `#pragma omp fuse` into a single loop, which `#pragma omp parallel for`
+ * then distributes over the thread team — one worksharing region instead of
+ * two, so a single barrier and one schedule covering both sweeps.
+ *
+ *   ompltc --opt --run examples/c/loop_fusion.c
+ *   ompltc --analyze examples/c/loop_fusion.c
+ */
+void print_i64(long v);
+long weights[24];
+long offsets[18];
+
+int main(void) {
+  #pragma omp parallel for schedule(static)
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 24; i += 1)
+      weights[i] = i * 7 + 3;
+    for (int j = 0; j < 18; j += 1)
+      offsets[j] = 200 - j * 5;
+  }
+
+  long checksum = 0;
+  for (int k = 0; k < 24; k += 1)
+    checksum += weights[k] * (k + 1);
+  for (int k = 0; k < 18; k += 1)
+    checksum += offsets[k];
+  print_i64(checksum);
+  return 0;
+}

@@ -1,0 +1,61 @@
+//! Transformation legality: `#pragma omp interchange` may only permute a
+//! loop nest when no dependence has direction `(<, >)` under the new loop
+//! order — swapping such a nest would run the sink before its source. This
+//! example runs the `--analyze` dependence pass over a *negative* case (a
+//! wavefront stencil whose flow dependence flips sign under interchange)
+//! and over a legal permutation of an independent nest.
+//!
+//! ```text
+//! cargo run --example interchange_legality
+//! ```
+
+use omplt::{CompilerInstance, Options};
+
+/// `a[i][j]` is written at iteration `(i, j)` and read at `(i+1, j-1)`: the
+/// flow dependence has distance vector `(1, -1)`, direction `(<, >)`.
+/// Interchanging the loops would make the reader run *before* the writer —
+/// the dependence pass rejects the permutation.
+const ILLEGAL: &str = r#"
+int main(void) {
+  int a[9][9];
+  #pragma omp interchange
+  for (int i = 1; i < 8; i += 1)
+    for (int j = 1; j < 8; j += 1)
+      a[i][j] = a[i - 1][j + 1] + 1;
+  return 0;
+}
+"#;
+
+/// Every iteration touches a distinct cell, so all direction vectors are
+/// `(=, =)` and any permutation is legal — here the classic locality motive
+/// for interchange: making the stride-1 subscript the inner loop.
+const LEGAL: &str = r#"
+int main(void) {
+  int a[72];
+  #pragma omp interchange permutation(2, 1)
+  for (int j = 0; j < 9; j += 1)
+    for (int i = 0; i < 8; i += 1)
+      a[i * 9 + j] = i + j;
+  return 0;
+}
+"#;
+
+fn analyze(name: &str, source: &str) {
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source(name, source).expect("parse");
+    let report = ci.analyze(&tu);
+    if report.has_findings() {
+        println!("{} error(s):\n", report.errors);
+        print!("{}", ci.render_diags());
+    } else {
+        println!("no findings — the permutation is legal ✓");
+    }
+}
+
+fn main() {
+    println!("=== wavefront dependence (rejected) ===\n{ILLEGAL}");
+    analyze("wavefront.c", ILLEGAL);
+
+    println!("\n=== independent nest (accepted) ===\n{LEGAL}");
+    analyze("independent.c", LEGAL);
+}

@@ -140,6 +140,72 @@ fn dispatch_schedule_clauses_golden() {
 }
 
 #[test]
+fn interchange_permutation_golden() {
+    // The permutation clause prints its (constant-wrapped) arguments in
+    // source order; the associated nest hangs off the directive unchanged.
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp interchange permutation(2, 1)\n  for (int i = 0; i < 8; i += 1)\n    for (int j = 0; j < 4; j += 1)\n      body(i * 8 + j);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPInterchangeDirective
+      |-OMPPermutationClause
+      | |-ConstantExpr 'int'
+      | | |-value: Int 2
+      | | `-IntegerLiteral 'int' 2
+      | `-ConstantExpr 'int'
+      |   |-value: Int 1
+      |   `-IntegerLiteral 'int' 1
+      `-ForStmt
+"#,
+    );
+}
+
+#[test]
+fn reverse_golden() {
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp reverse\n  for (int i = 0; i < 8; i += 1)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPReverseDirective
+      `-ForStmt
+        |-DeclStmt
+        | `-VarDecl used i 'int' cinit
+        |   `-IntegerLiteral 'int' 0
+"#,
+    );
+}
+
+#[test]
+fn fuse_loop_sequence_golden() {
+    // fuse associates with a *loop sequence*: a CompoundStmt whose children
+    // are the member loops, in program order.
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp fuse\n  {\n    for (int i = 0; i < 8; i += 1) body(i);\n    for (int j = 0; j < 4; j += 1) body(j);\n  }\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPFuseDirective
+      `-CompoundStmt
+        |-ForStmt
+        | |-DeclStmt
+        | | `-VarDecl used i 'int' cinit
+"#,
+    );
+    // Second member loop follows as the compound's trailing child.
+    assert_block(
+        &d,
+        r#"
+        `-ForStmt
+          |-DeclStmt
+          | `-VarDecl used j 'int' cinit
+          |   `-IntegerLiteral 'int' 0
+"#,
+    );
+}
+
+#[test]
 fn captured_parallel_for_golden() {
     let src = "void body(int i);\nvoid f(void) {\n  #pragma omp parallel for schedule(static)\n  for (int i = 7; i < 17; i += 3)\n    body(i);\n}\n";
     let d = dump(src, OpenMpCodegenMode::Classic);

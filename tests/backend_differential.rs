@@ -107,6 +107,7 @@ fn schedule_transform_thread_matrix_agrees() {
         ("none", ""),
         ("tile", "      #pragma omp tile sizes(4)\n"),
         ("unroll", "      #pragma omp unroll partial(2)\n"),
+        ("reverse", "      #pragma omp reverse\n"),
     ];
     for (sname, sched) in schedules {
         for (tname, pragma) in transforms {
@@ -189,10 +190,11 @@ fn random_nest(rng: &mut Lcg) -> (String, u32) {
     ]);
     let unroll_factor = rng.range(2, 4);
     let tile_size = rng.range(2, 5);
-    let pragma = match rng.range(0, 2) {
+    let pragma = match rng.range(0, 3) {
         0 => String::new(),
         1 => format!("      #pragma omp tile sizes({tile_size})\n"),
-        _ => format!("      #pragma omp unroll partial({unroll_factor})\n"),
+        2 => format!("      #pragma omp unroll partial({unroll_factor})\n"),
+        _ => "      #pragma omp reverse\n".to_string(),
     };
     let threads = *rng.pick(&[1u32, 4]);
     let total = ni * nj;
@@ -235,5 +237,73 @@ fn randomized_loop_nests_agree() {
             "random case {case} (seed {seed:#x}, {mode:?}, threads={threads}, opt={optimize})\n{src}"
         );
         assert_backends_agree(&src, base, optimize, &label);
+    }
+}
+
+/// The order-changing transformations (interchange, fuse, and reverse
+/// composed with tile) must agree between backends on every observable —
+/// these rewrite the loop *structure*, so a VM lowering bug would show up as
+/// divergent chunk logs or final memory even when the multiset of writes is
+/// right.
+#[test]
+fn order_changing_transforms_agree() {
+    let interchange = "\
+long acc[120];\n\
+int main(void) {\n\
+  #pragma omp parallel for schedule(static, 2)\n\
+  #pragma omp interchange permutation(2, 1)\n\
+  for (int i = 0; i < 10; i += 1)\n\
+    for (int j = 0; j < 12; j += 1)\n\
+      acc[i * 12 + j] = i * 31 + j * 7;\n\
+  long sum = 0;\n\
+  for (int k = 0; k < 120; k += 1)\n\
+    sum += acc[k];\n\
+  return sum % 251;\n\
+}\n";
+    let fuse = "\
+long a[17];\nlong b[9];\n\
+int main(void) {\n\
+  #pragma omp parallel for schedule(dynamic, 3)\n\
+  #pragma omp fuse\n\
+  {\n\
+    for (int i = 0; i < 17; i += 1) a[i] = i * 5 + 1;\n\
+    for (int j = 0; j < 9; j += 1) b[j] = 100 - j * 3;\n\
+  }\n\
+  long sum = 0;\n\
+  for (int k = 0; k < 17; k += 1) sum += a[k];\n\
+  for (int k = 0; k < 9; k += 1) sum += b[k];\n\
+  return sum % 251;\n\
+}\n";
+    let reverse_tile = "\
+long acc[40];\n\
+int main(void) {\n\
+  #pragma omp parallel for schedule(guided)\n\
+  #pragma omp reverse\n\
+  #pragma omp tile sizes(4)\n\
+  for (int i = 0; i < 40; i += 1)\n\
+    acc[i] = i * 13 - 6;\n\
+  long sum = 0;\n\
+  for (int k = 0; k < 40; k += 1)\n\
+    sum += acc[k];\n\
+  return sum % 251;\n\
+}\n";
+    for (name, src) in [
+        ("interchange", interchange),
+        ("fuse", fuse),
+        ("reverse+tile", reverse_tile),
+    ] {
+        for mode in MODES {
+            for threads in [1u32, 4] {
+                for optimize in [false, true] {
+                    let base = Options {
+                        codegen_mode: mode,
+                        num_threads: threads,
+                        ..Options::default()
+                    };
+                    let label = format!("{name} {mode:?} threads={threads} opt={optimize}");
+                    assert_backends_agree(src, base, optimize, &label);
+                }
+            }
+        }
     }
 }

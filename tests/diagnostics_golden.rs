@@ -202,6 +202,118 @@ fn non_ascii_character_is_a_diagnostic_not_a_panic() {
 }
 
 #[test]
+fn illegal_interchange_renders_exactly() {
+    // The textbook (<, >) violation on a linearized stencil: the error names
+    // the dependence kind and direction vector, and the notes pin source and
+    // sink accesses with the distance vector.
+    let src = "\
+int main(void) {
+  int a[64];
+  #pragma omp interchange
+  for (int i = 1; i < 8; i += 1)
+    for (int j = 0; j < 7; j += 1)
+      a[i * 8 + j] = a[(i - 1) * 8 + (j + 1)];
+  return a[9];
+}
+";
+    let expected = "\
+ic.c:3:11: error: '#pragma omp interchange' is illegal here: interchanging the loops would reverse the flow dependence on 'a' with direction vector (<, >)
+  #pragma omp interchange
+          ^
+ic.c:6:8: note: dependence source: access to 'a[8*i + j]'
+      a[i * 8 + j] = a[(i - 1) * 8 + (j + 1)];
+       ^
+ic.c:6:23: note: dependence sink: access to 'a[8*i + j - 7]' (distance vector (1, -1))
+      a[i * 8 + j] = a[(i - 1) * 8 + (j + 1)];
+                      ^
+";
+    assert_eq!(analyze_and_render("ic.c", src), expected);
+}
+
+#[test]
+fn illegal_fuse_renders_exactly() {
+    // Loop 2 overwrites elements loop 1 still needs four iterations later:
+    // fused, the write would move before the read (distance -4).
+    let src = "\
+int main(void) {
+  int a[70];
+  int b[64];
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 64; i += 1) b[i] = a[i] * 2;
+    for (int j = 0; j < 64; j += 1) a[j + 4] = j;
+  }
+  return b[9];
+}
+";
+    let expected = "\
+fuse.c:4:11: error: '#pragma omp fuse' is illegal here: fusing loops 1 and 2 creates a negative-distance anti dependence on 'a' (distance -4)
+  #pragma omp fuse
+          ^
+fuse.c:6:45: note: dependence source: access to 'a[i]'
+    for (int i = 0; i < 64; i += 1) b[i] = a[i] * 2;
+                                            ^
+fuse.c:7:38: note: dependence sink: access to 'a[j + 4]' (distance vector (-4))
+    for (int j = 0; j < 64; j += 1) a[j + 4] = j;
+                                     ^
+";
+    assert_eq!(analyze_and_render("fuse.c", src), expected);
+}
+
+#[test]
+fn analysis_limit_note_renders_exactly() {
+    // An indirect subscript defeats the subscript tests; the pass must say
+    // so (warning + note naming the access) instead of passing judgement.
+    let src = "\
+int main(void) {
+  int a[64];
+  int idx[64];
+  #pragma omp reverse
+  for (int i = 0; i < 64; i += 1)
+    a[idx[i]] = i;
+  return a[9];
+}
+";
+    let expected = "\
+lim.c:4:11: warning: cannot verify the legality of '#pragma omp reverse': some accesses are beyond the dependence tests [-Wanalysis-limit]
+  #pragma omp reverse
+          ^
+lim.c:6:10: note: 'a': subscript is not affine in the loop iteration variables
+    a[idx[i]] = i;
+         ^
+";
+    assert_eq!(analyze_and_render("lim.c", src), expected);
+}
+
+#[test]
+fn illegal_reverse_renders_json_exactly() {
+    // The acceptance criterion: the same dependence violation, as machine-
+    // readable JSON with nested notes.
+    let src = "\
+int main(void) {
+  int a[64];
+  a[0] = 1;
+  #pragma omp reverse
+  for (int i = 1; i < 64; i += 1)
+    a[i] = a[i - 1] + 1;
+  return a[9];
+}
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    let tu = ci.parse_source("rev.c", src).expect("parses");
+    let report = ci.analyze(&tu);
+    assert_eq!((report.errors, report.warnings), (1, 0));
+    let expected = "[{\"level\":\"error\",\"message\":\"'#pragma omp reverse' is illegal here: \
+                    the loop carries a flow dependence on 'a' with direction vector (<)\",\
+                    \"file\":\"rev.c\",\"line\":4,\"column\":11,\"notes\":[{\"level\":\"note\",\
+                    \"message\":\"dependence source: access to 'a[i]'\",\"file\":\"rev.c\",\
+                    \"line\":6,\"column\":6,\"notes\":[]},{\"level\":\"note\",\"message\":\
+                    \"dependence sink: access to 'a[i - 1]' (distance vector (1))\",\
+                    \"file\":\"rev.c\",\"line\":6,\"column\":13,\"notes\":[]}]}]\n";
+    assert_eq!(ci.render_diags_json(), expected);
+}
+
+#[test]
 fn json_rendering_matches_text_locations() {
     let src = "\
 int main(void) {
