@@ -123,6 +123,60 @@ while [ "$SECONDS" -lt "$deadline" ]; do
 done
 
 echo "fuzz smoke: $cases cases in ${budget}s (seed $seed), $failures uncontained"
+
+# ---------------------------------------------------------------------------
+# Tuner-enumerator leg: drive `--autotune` over byte-mutated inputs. The
+# tuner multiplies whatever the mutant contains through its own mutation
+# enumerator — dozens of full pipeline trips per case — so this leg stresses
+# the per-candidate ICE containment and the legality gate far harder than a
+# single compile does. The exit-code contract is identical.
+# Budget: ~30 seconds (override with TUNE_FUZZ_SECONDS).
+tune_budget=${TUNE_FUZZ_SECONDS:-30}
+tune_deadline=$((SECONDS + tune_budget))
+tcases=0
+while [ "$SECONDS" -lt "$tune_deadline" ]; do
+  src=${corpus[$(rand ${#corpus[@]})]}
+  size=$(wc -c < "$src")
+  mutant="$outdir/tune-mutant.c"
+  cp "$src" "$mutant"
+  edits=$(($(rand 4) + 1))
+  for _ in $(seq "$edits"); do
+    off=$(rand "$size")
+    byte=$(rand 256)
+    printf "$(printf '\\x%02x' "$byte")" \
+      | dd of="$mutant" bs=1 seek="$off" conv=notrunc status=none
+  done
+  tcases=$((tcases + 1))
+
+  set +e
+  timeout "$per_case_timeout" "$ompltc" --autotune=4 --tune-seed="$(rand 65536)" \
+    --tune-json="$outdir/tune-mutant-report.json" \
+    --fuel=2000000 --exec-timeout=8000 "$mutant" >/dev/null 2>&1
+  code=$?
+  set -e
+
+  case $code in
+    0 | 1 | 2 | 3) ;;
+    124)
+      failures=$((failures + 1))
+      cp "$mutant" "$outdir/failure-$failures.c"
+      echo "TUNER HANG (case $tcases): mutant saved to $outdir/failure-$failures.c" >&2
+      ;;
+    *)
+      failures=$((failures + 1))
+      cp "$mutant" "$outdir/failure-$failures.c"
+      echo "TUNER UNCONTAINED exit $code (case $tcases): mutant saved to $outdir/failure-$failures.c" >&2
+      ;;
+  esac
+done
+
+# A clean ranked report over the reference workload, archived as the CI
+# artifact: reviewers can inspect what the tuner currently finds without
+# running anything locally.
+"$ompltc" --autotune=16 --tune-json="$outdir/autotune-report.json" \
+  examples/c/triangular_reduction.c >/dev/null
+
+echo "fuzz smoke: $tcases tuner cases in ${tune_budget}s, report at $outdir/autotune-report.json"
 if [ "$failures" -gt 0 ]; then
   exit 1
 fi

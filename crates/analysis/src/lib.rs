@@ -49,6 +49,74 @@ impl AnalysisReport {
     }
 }
 
+/// One finding produced by a batch-mode analysis run (a detached
+/// [`omplt_source::Diagnostic`], without the engine it came from).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Severity.
+    pub level: Level,
+    /// Where the finding points.
+    pub loc: omplt_source::SourceLocation,
+    /// The message text.
+    pub message: String,
+}
+
+/// The legality verdict for one candidate program: the counted report plus
+/// the findings themselves, detached from any [`DiagnosticsEngine`].
+#[derive(Clone, Debug, Default)]
+pub struct Verdict {
+    /// Error/warning counts, as [`run_analyses`] returns them.
+    pub report: AnalysisReport,
+    /// Every diagnostic the passes produced (errors, warnings, and notes),
+    /// in emission order.
+    pub findings: Vec<Finding>,
+}
+
+impl Verdict {
+    /// The `--analyze` exit-code contract: legal ⇔ no findings at all
+    /// (warnings count — a racy candidate must not be auto-tuned into).
+    pub fn is_legal(&self) -> bool {
+        !self.report.has_findings()
+    }
+
+    /// Error- and warning-level messages, for pruned-candidate reports.
+    pub fn messages(&self) -> Vec<String> {
+        self.findings
+            .iter()
+            .filter(|f| f.level != Level::Note)
+            .map(|f| format!("{}: {}", f.level.as_str(), f.message))
+            .collect()
+    }
+}
+
+/// Batch legality API: runs every AST-level analysis pass over `tu` into a
+/// *private* diagnostics engine and returns the verdict, leaving the
+/// caller's diagnostics untouched. This is what lets the autotuner (and any
+/// other bulk consumer) prune hundreds of candidate programs in-process
+/// instead of shelling out to `ompltc --analyze` per candidate.
+pub fn verdict(tu: &TranslationUnit) -> Verdict {
+    let diags = DiagnosticsEngine::new();
+    let report = run_analyses(tu, &diags);
+    let findings = diags
+        .take_all()
+        .into_iter()
+        .map(|d| Finding {
+            level: d.level,
+            loc: d.loc,
+            message: d.message,
+        })
+        .collect();
+    Verdict { report, findings }
+}
+
+/// Batch form of [`verdict`]: one verdict per translation unit, in order.
+pub fn batch_verdicts<'a, I>(tus: I) -> Vec<Verdict>
+where
+    I: IntoIterator<Item = &'a TranslationUnit>,
+{
+    tus.into_iter().map(verdict).collect()
+}
+
 /// Runs every AST-level analysis pass over `tu`, reporting findings through
 /// `diags`. Returns how many errors/warnings the passes added (diagnostics
 /// already present — e.g. Sema warnings — are not counted).

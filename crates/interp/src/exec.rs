@@ -114,6 +114,12 @@ pub struct RunResult {
     /// Final byte contents of every module global, by name — the observable
     /// memory state differential tests compare across backends.
     pub final_globals: Vec<(String, Vec<u8>)>,
+    /// Total ops the engine retired during the run — the same number the
+    /// `interp.ops.retired` / `vm.ops.retired` trace counters report, but
+    /// available without a trace session. Deterministic for a given module
+    /// and configuration (the CI drift guard pins this), which is what the
+    /// autotuner's counter-based cost model ranks candidates by.
+    pub ops_retired: u64,
 }
 
 /// Shared interpreter state (one per run; `Sync`, shared across team
@@ -129,6 +135,9 @@ pub struct Interpreter<'m> {
     pub tasks: AtomicU64,
     /// Remaining instruction budget, shared across all threads.
     pub fuel: AtomicU64,
+    /// Total ops retired so far, across all threads (see
+    /// [`RunResult::ops_retired`]).
+    pub ops: AtomicU64,
     /// Runtime configuration.
     pub cfg: RuntimeConfig,
     /// Guest addresses of module globals, by symbol index.
@@ -148,6 +157,7 @@ impl<'m> Interpreter<'m> {
             out: Mutex::new(String::new()),
             tasks: AtomicU64::new(0),
             fuel: AtomicU64::new(cfg.max_steps),
+            ops: AtomicU64::new(0),
             cfg,
             global_addrs,
             chunk_log: ChunkLog::new(),
@@ -161,6 +171,7 @@ impl<'m> Interpreter<'m> {
             tasks_created: self.tasks.load(Ordering::Relaxed),
             chunk_log: self.chunk_log.take_sorted(),
             final_globals: engine::snapshot_globals(self.module, &self.mem, &self.global_addrs),
+            ops_retired: self.ops.load(Ordering::Relaxed),
         }
     }
 
@@ -233,6 +244,7 @@ impl<'m> Interpreter<'m> {
     ) -> Result<Option<RtVal>, ExecError> {
         let mut retired = 0u64;
         let r = self.exec_function_inner(f, args, ctx, &mut retired);
+        self.ops.fetch_add(retired, Ordering::Relaxed);
         if omplt_trace::active() {
             omplt_trace::count("interp.ops.retired", retired);
         }

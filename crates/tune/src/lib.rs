@@ -1,0 +1,43 @@
+//! # omplt-tune
+//!
+//! The directive autotuner's search machinery: instead of hand-picking
+//! transformation configurations (tile sizes, unroll factors, schedules) the
+//! way the paper does, `ompltc --autotune` *searches* the configuration
+//! space — the ROADMAP's autotuner item, in the spirit of MUPPET's
+//! `OMPMutation` enumeration and ROSE's `AutoTuningInterface`, and of the
+//! search-driver layer Kruse & Finkel's "Loop Optimization Framework"
+//! (arXiv:1811.00632) puts above a legality-gated transformation engine.
+//!
+//! This crate owns the representation-level pieces, all deterministic and
+//! dependency-free so the test suites can drive them directly:
+//!
+//! * [`model`] — source-level directive extraction and re-synthesis
+//!   ([`SourceModel`], [`Pragma`], [`Mutation`]);
+//! * [`mutate`] — the mutation axes, the deterministic grid [`Enumerator`],
+//!   and the seeded random [`Sampler`] that doubles as the differential
+//!   stress-corpus generator;
+//! * [`cost`] — the [`CostModel`]s (deterministic retired-op counts by
+//!   default, opt-in wall time);
+//! * [`report`] — the ranked [`TuneReport`] with byte-deterministic text and
+//!   JSON renderings.
+//!
+//! Orchestration — parsing candidates, pruning them through
+//! `omplt-analysis` verdicts, executing survivors on the engines — lives in
+//! the `omplt` facade (`omplt::tuner`), which wires these pieces to the
+//! `CompilerInstance` pipeline; the driver exposes it as
+//! `ompltc --autotune[=budget]`.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod model;
+pub mod mutate;
+pub mod report;
+
+pub use cost::{CostModel, Measurement};
+pub use model::{Clause, Mutation, Pragma, Site, SourceModel};
+pub use mutate::{
+    axes_for, enumerate, sample, Axis, AxisKind, AxisValue, BackendChoice, Candidate, EnumConfig,
+    Enumerator, Sampler, XorShift,
+};
+pub use report::{CandidateOutcome, Status, TuneReport};

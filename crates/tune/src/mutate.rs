@@ -1,0 +1,694 @@
+//! Mutation axes and candidate enumeration.
+//!
+//! The search space is factored into independent **axes**, one per tunable
+//! degree of freedom the directive stacks expose: the schedule of each
+//! worksharing directive, the sizes of each `tile`, the factor of each
+//! `unroll`, the permutation of each `interchange`, presence toggles for the
+//! order-changing transformations, and the execution backend. Axis value 0
+//! is always the *identity* (keep the original configuration), so the
+//! all-identity candidate is the hand-annotated program itself and is always
+//! enumerated first — the tuner can only ever report a configuration at
+//! least as good as the one the programmer wrote.
+//!
+//! Two generators share the axes:
+//!
+//! * [`Enumerator`] — deterministic grid walk: identity, then every single-
+//!   axis deviation (one-factor-at-a-time), then the full mixed-radix cross
+//!   product. Budgets cut the walk off at a stable prefix, so reports are
+//!   reproducible byte-for-byte.
+//! * [`Sampler`] — seeded random walk over the same space; this is the
+//!   randomized differential stress generator the test suites use.
+//!
+//! Candidates that would be *illegal* are enumerated anyway — pruning is the
+//! legality analyses' job, and asserting that illegal candidates are pruned
+//! (rather than silently skipped) is exactly what makes the enumerator a
+//! stress corpus.
+
+use crate::model::{Clause, Mutation, Pragma, SourceModel};
+
+/// Which execution engine evaluates a candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Tree-walking interpreter.
+    Interp,
+    /// Bytecode VM (strict: a compile/verify failure fails the candidate
+    /// instead of silently re-measuring on the interpreter).
+    Vm,
+}
+
+impl BackendChoice {
+    /// Flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Interp => "interp",
+            BackendChoice::Vm => "vm",
+        }
+    }
+}
+
+/// Whether an axis can change the inter-iteration execution order of the
+/// program (order-preserving mutations keep the output multiset of the
+/// unannotated program; order-changing ones need dependence legality).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxisKind {
+    /// Schedule kind/chunk, tile sizes, unroll factors, backend choice.
+    OrderPreserving,
+    /// Interchange permutations, reverse/fuse toggles, stack insertions.
+    OrderChanging,
+}
+
+/// One value an axis can take.
+#[derive(Clone, Debug)]
+pub struct AxisValue {
+    /// Short label for reports (`sched=dynamic,2`).
+    pub label: String,
+    /// Source mutations realizing this value (empty = identity).
+    pub mutations: Vec<Mutation>,
+    /// Backend override (the backend axis only).
+    pub backend: Option<BackendChoice>,
+}
+
+impl AxisValue {
+    fn identity() -> AxisValue {
+        AxisValue {
+            label: String::new(),
+            mutations: Vec::new(),
+            backend: None,
+        }
+    }
+}
+
+/// One tunable degree of freedom. `values[0]` is always the identity.
+#[derive(Clone, Debug)]
+pub struct Axis {
+    /// What the axis tunes (for reports).
+    pub name: String,
+    /// Order-preserving or order-changing.
+    pub kind: AxisKind,
+    /// Possible values, identity first.
+    pub values: Vec<AxisValue>,
+}
+
+/// Knobs for axis construction.
+#[derive(Clone, Debug)]
+pub struct EnumConfig {
+    /// `schedule(kind[, chunk])` variants tried on worksharing directives.
+    pub schedules: Vec<&'static str>,
+    /// Tile size candidates per dimension.
+    pub tile_sizes: Vec<u32>,
+    /// `unroll partial(f)` factors tried.
+    pub unroll_factors: Vec<u32>,
+    /// Whether to add the interp/vm backend axis.
+    pub explore_backends: bool,
+    /// Whether to try *inserting* order-changing directives (`reverse`,
+    /// `interchange`) that the original program does not have.
+    pub insertions: bool,
+    /// Drop every order-changing axis (the property suite's restriction).
+    pub order_preserving_only: bool,
+    /// Hard cap on enumerated candidates (bounds the mixed-radix walk).
+    pub max_enumerated: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> EnumConfig {
+        EnumConfig {
+            schedules: vec![
+                "static",
+                "static, 2",
+                "static, 4",
+                "dynamic, 2",
+                "dynamic, 4",
+                "guided",
+                "guided, 4",
+            ],
+            tile_sizes: vec![2, 4, 8],
+            unroll_factors: vec![2, 4, 8],
+            explore_backends: true,
+            insertions: true,
+            order_preserving_only: false,
+            max_enumerated: 4096,
+        }
+    }
+}
+
+/// A fully specified configuration to try: a set of source mutations plus
+/// the backend that executes it.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Stable enumeration index (ids are dense and deterministic).
+    pub id: usize,
+    /// Human-readable summary of the non-identity axis values
+    /// (`"original"` for the all-identity candidate).
+    pub label: String,
+    /// Source mutations (empty for the original program).
+    pub mutations: Vec<Mutation>,
+    /// Execution engine for this candidate; `None` inherits whatever the
+    /// session's `--backend` selected.
+    pub backend: Option<BackendChoice>,
+}
+
+/// Cartesian-product size guard: `k`-ary permutations enumerated for
+/// `interchange` (depth ≤ 3 keeps this tiny).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (1..=n).collect();
+    // Heap's algorithm, iterative; n ≤ 3 in practice.
+    fn heap(k: usize, a: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut idx, &mut out);
+    out.sort();
+    out
+}
+
+/// Builds the axes for `model` under `cfg`. Deterministic: axes appear in
+/// (site, pragma) order, with the backend axis last.
+pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
+    let mut axes = Vec::new();
+    for (si, site) in model.sites.iter().enumerate() {
+        for (pi, p) in site.pragmas.iter().enumerate() {
+            match p.directive.as_str() {
+                "for" | "parallel for" => {
+                    let mut values = vec![AxisValue::identity()];
+                    for s in &cfg.schedules {
+                        // Skip the variant that restates the original.
+                        if p.clause("schedule").and_then(|c| c.args.as_deref()) == Some(*s) {
+                            continue;
+                        }
+                        values.push(AxisValue {
+                            label: format!("s{si}.sched={}", s.replace(", ", ",")),
+                            mutations: vec![Mutation::SetClause {
+                                site: si,
+                                pragma: pi,
+                                name: "schedule".into(),
+                                args: Some((*s).to_string()),
+                            }],
+                            backend: None,
+                        });
+                    }
+                    if p.clause("schedule").is_some() {
+                        values.push(AxisValue {
+                            label: format!("s{si}.sched=none"),
+                            mutations: vec![Mutation::RemoveClause {
+                                site: si,
+                                pragma: pi,
+                                name: "schedule".into(),
+                            }],
+                            backend: None,
+                        });
+                    }
+                    axes.push(Axis {
+                        name: format!("s{si}.schedule"),
+                        kind: AxisKind::OrderPreserving,
+                        values,
+                    });
+                }
+                "tile" => {
+                    let dims = p
+                        .clause("sizes")
+                        .and_then(|c| c.args.as_ref())
+                        .map_or(1, |a| a.split(',').count());
+                    let mut values = vec![AxisValue::identity()];
+                    let mut combo = vec![0usize; dims];
+                    loop {
+                        let sizes: Vec<String> = combo
+                            .iter()
+                            .map(|&i| cfg.tile_sizes[i].to_string())
+                            .collect();
+                        let args = sizes.join(", ");
+                        if p.clause("sizes").and_then(|c| c.args.as_deref()) != Some(&args[..]) {
+                            values.push(AxisValue {
+                                label: format!("s{si}.tile={}", sizes.join("x")),
+                                mutations: vec![Mutation::SetClause {
+                                    site: si,
+                                    pragma: pi,
+                                    name: "sizes".into(),
+                                    args: Some(args),
+                                }],
+                                backend: None,
+                            });
+                        }
+                        // Odometer over tile_sizes^dims.
+                        let mut d = 0;
+                        loop {
+                            if d == dims {
+                                break;
+                            }
+                            combo[d] += 1;
+                            if combo[d] < cfg.tile_sizes.len() {
+                                break;
+                            }
+                            combo[d] = 0;
+                            d += 1;
+                        }
+                        if d == dims {
+                            break;
+                        }
+                    }
+                    values.push(AxisValue {
+                        label: format!("s{si}.tile=off"),
+                        mutations: vec![Mutation::RemovePragma {
+                            site: si,
+                            pragma: pi,
+                        }],
+                        backend: None,
+                    });
+                    axes.push(Axis {
+                        name: format!("s{si}.tile"),
+                        kind: AxisKind::OrderPreserving,
+                        values,
+                    });
+                }
+                "unroll" => {
+                    let mut values = vec![AxisValue::identity()];
+                    for f in &cfg.unroll_factors {
+                        if p.clause("partial").and_then(|c| c.args.as_deref())
+                            == Some(&f.to_string()[..])
+                        {
+                            continue;
+                        }
+                        values.push(AxisValue {
+                            label: format!("s{si}.unroll={f}"),
+                            mutations: vec![Mutation::SetClause {
+                                site: si,
+                                pragma: pi,
+                                name: "partial".into(),
+                                args: Some(f.to_string()),
+                            }],
+                            backend: None,
+                        });
+                    }
+                    values.push(AxisValue {
+                        label: format!("s{si}.unroll=off"),
+                        mutations: vec![Mutation::RemovePragma {
+                            site: si,
+                            pragma: pi,
+                        }],
+                        backend: None,
+                    });
+                    axes.push(Axis {
+                        name: format!("s{si}.unroll"),
+                        kind: AxisKind::OrderPreserving,
+                        values,
+                    });
+                }
+                "interchange" => {
+                    let dims = p
+                        .clause("permutation")
+                        .and_then(|c| c.args.as_ref())
+                        .map_or(2, |a| a.split(',').count());
+                    let mut values = vec![AxisValue::identity()];
+                    for perm in permutations(dims.min(3)) {
+                        let args = perm
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        if p.clause("permutation").and_then(|c| c.args.as_deref())
+                            == Some(&args[..])
+                        {
+                            continue;
+                        }
+                        values.push(AxisValue {
+                            label: format!(
+                                "s{si}.perm={}",
+                                perm.iter()
+                                    .map(|v| v.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join("")
+                            ),
+                            mutations: vec![Mutation::SetClause {
+                                site: si,
+                                pragma: pi,
+                                name: "permutation".into(),
+                                args: Some(args),
+                            }],
+                            backend: None,
+                        });
+                    }
+                    values.push(AxisValue {
+                        label: format!("s{si}.interchange=off"),
+                        mutations: vec![Mutation::RemovePragma {
+                            site: si,
+                            pragma: pi,
+                        }],
+                        backend: None,
+                    });
+                    axes.push(Axis {
+                        name: format!("s{si}.interchange"),
+                        kind: AxisKind::OrderChanging,
+                        values,
+                    });
+                }
+                "reverse" | "fuse" => {
+                    axes.push(Axis {
+                        name: format!("s{si}.{}", p.directive),
+                        kind: AxisKind::OrderChanging,
+                        values: vec![
+                            AxisValue::identity(),
+                            AxisValue {
+                                label: format!("s{si}.{}=off", p.directive),
+                                mutations: vec![Mutation::RemovePragma {
+                                    site: si,
+                                    pragma: pi,
+                                }],
+                                backend: None,
+                            },
+                        ],
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Insertion axis: try appending an order-changing transformation at
+        // the innermost position of the stack. Illegal insertions (wrong
+        // nest depth, carried dependences) are the legality analyses' to
+        // prune — generating them is the point.
+        if cfg.insertions && !site.pragmas.is_empty() {
+            let at = site.pragmas.len();
+            let has = |d: &str| site.pragmas.iter().any(|p| p.directive == d);
+            let mut values = vec![AxisValue::identity()];
+            if !has("reverse") {
+                values.push(AxisValue {
+                    label: format!("s{si}.+reverse"),
+                    mutations: vec![Mutation::InsertPragma {
+                        site: si,
+                        at,
+                        pragma: Pragma::new("reverse"),
+                    }],
+                    backend: None,
+                });
+            }
+            if !has("interchange") {
+                values.push(AxisValue {
+                    label: format!("s{si}.+interchange21"),
+                    mutations: vec![Mutation::InsertPragma {
+                        site: si,
+                        at,
+                        pragma: Pragma::new("interchange")
+                            .with(Clause::with_args("permutation", "2, 1")),
+                    }],
+                    backend: None,
+                });
+            }
+            if values.len() > 1 {
+                axes.push(Axis {
+                    name: format!("s{si}.insert"),
+                    kind: AxisKind::OrderChanging,
+                    values,
+                });
+            }
+        }
+    }
+    if cfg.order_preserving_only {
+        axes.retain(|a| a.kind == AxisKind::OrderPreserving);
+    }
+    if cfg.explore_backends {
+        axes.push(Axis {
+            name: "backend".into(),
+            kind: AxisKind::OrderPreserving,
+            values: vec![
+                AxisValue::identity(),
+                AxisValue {
+                    label: "backend=vm".into(),
+                    mutations: Vec::new(),
+                    backend: Some(BackendChoice::Vm),
+                },
+            ],
+        });
+    }
+    axes
+}
+
+/// Materializes the candidate for one axis-value selection.
+fn build_candidate(axes: &[Axis], sel: &[usize], id: usize) -> Candidate {
+    let mut mutations = Vec::new();
+    let mut backend = None;
+    let mut labels = Vec::new();
+    for (a, &v) in axes.iter().zip(sel) {
+        let val = &a.values[v];
+        mutations.extend(val.mutations.iter().cloned());
+        if val.backend.is_some() {
+            backend = val.backend;
+        }
+        if v != 0 {
+            labels.push(val.label.clone());
+        }
+    }
+    let label = if labels.is_empty() {
+        "original".to_string()
+    } else {
+        labels.join(" ")
+    };
+    Candidate {
+        id,
+        label,
+        mutations,
+        backend,
+    }
+}
+
+/// Deterministic grid enumerator (see module docs for the order).
+pub struct Enumerator {
+    axes: Vec<Axis>,
+    phase: Phase,
+    emitted: usize,
+    cap: usize,
+}
+
+enum Phase {
+    Identity,
+    /// One-factor-at-a-time: (axis index, value index ≥ 1).
+    Single(usize, usize),
+    /// Mixed-radix odometer over all axes.
+    Cross(Vec<usize>),
+    Done,
+}
+
+/// Starts the deterministic enumeration for `model`.
+pub fn enumerate(model: &SourceModel, cfg: &EnumConfig) -> Enumerator {
+    Enumerator {
+        axes: axes_for(model, cfg),
+        phase: Phase::Identity,
+        emitted: 0,
+        cap: cfg.max_enumerated,
+    }
+}
+
+impl Enumerator {
+    /// The axes being enumerated (for reports).
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    fn step_odometer(&self, sel: &mut [usize]) -> bool {
+        for (slot, axis) in sel.iter_mut().zip(&self.axes) {
+            *slot += 1;
+            if *slot < axis.values.len() {
+                return true;
+            }
+            *slot = 0;
+        }
+        false
+    }
+}
+
+impl Iterator for Enumerator {
+    type Item = Candidate;
+
+    fn next(&mut self) -> Option<Candidate> {
+        if self.emitted >= self.cap {
+            return None;
+        }
+        loop {
+            let phase = std::mem::replace(&mut self.phase, Phase::Done);
+            let sel: Option<Vec<usize>> = match phase {
+                Phase::Identity => {
+                    self.phase = if self.axes.is_empty() {
+                        Phase::Done
+                    } else {
+                        Phase::Single(0, 1)
+                    };
+                    Some(vec![0; self.axes.len()])
+                }
+                Phase::Single(a, v) => {
+                    if a >= self.axes.len() {
+                        self.phase = Phase::Cross(vec![0; self.axes.len()]);
+                        continue;
+                    }
+                    if v >= self.axes[a].values.len() {
+                        self.phase = Phase::Single(a + 1, 1);
+                        continue;
+                    }
+                    self.phase = Phase::Single(a, v + 1);
+                    let mut sel = vec![0; self.axes.len()];
+                    sel[a] = v;
+                    Some(sel)
+                }
+                Phase::Cross(prev) => {
+                    let mut cur = prev;
+                    let mut advanced = self.step_odometer(&mut cur);
+                    // Skip combinations already emitted in earlier phases
+                    // (≤ 1 non-identity axis).
+                    while advanced && cur.iter().filter(|&&v| v != 0).count() <= 1 {
+                        advanced = self.step_odometer(&mut cur);
+                    }
+                    if !advanced {
+                        // self.phase is already Done.
+                        continue;
+                    }
+                    self.phase = Phase::Cross(cur.clone());
+                    Some(cur)
+                }
+                Phase::Done => None,
+            };
+            let sel = sel?;
+            let c = build_candidate(&self.axes, &sel, self.emitted);
+            self.emitted += 1;
+            return Some(c);
+        }
+    }
+}
+
+/// xorshift64* — the same tiny deterministic PRNG the test suites use.
+#[derive(Clone, Debug)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator (0 is mapped to 1).
+    pub fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Seeded random walk over the same axis space as [`Enumerator`] — the
+/// randomized mutation generator the differential stress suites drive.
+pub struct Sampler {
+    axes: Vec<Axis>,
+    rng: XorShift,
+    emitted: usize,
+    cap: usize,
+}
+
+/// Starts a seeded random sampler for `model`. The first candidate is still
+/// the identity (so the stress corpus always covers the unmutated program);
+/// subsequent candidates draw every axis independently, biased 50/50 between
+/// identity and a uniformly random non-identity value so typical candidates
+/// mutate a handful of axes rather than all of them.
+pub fn sample(model: &SourceModel, cfg: &EnumConfig, seed: u64, count: usize) -> Sampler {
+    Sampler {
+        axes: axes_for(model, cfg),
+        rng: XorShift::new(seed),
+        emitted: 0,
+        cap: count,
+    }
+}
+
+impl Iterator for Sampler {
+    type Item = Candidate;
+
+    fn next(&mut self) -> Option<Candidate> {
+        if self.emitted >= self.cap {
+            return None;
+        }
+        let sel: Vec<usize> = if self.emitted == 0 {
+            vec![0; self.axes.len()]
+        } else {
+            self.axes
+                .iter()
+                .map(|a| {
+                    if a.values.len() <= 1 || self.rng.below(2) == 0 {
+                        0
+                    } else {
+                        1 + self.rng.below(a.values.len() - 1)
+                    }
+                })
+                .collect()
+        };
+        let c = build_candidate(&self.axes, &sel, self.emitted);
+        self.emitted += 1;
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "long a[64];\nint main(void) {\n  #pragma omp parallel for schedule(static)\n  #pragma omp tile sizes(4)\n  for (int i = 0; i < 64; i += 1)\n    a[i] = i;\n  return 0;\n}\n";
+
+    #[test]
+    fn identity_comes_first_and_is_verbatim() {
+        let m = SourceModel::parse(SRC);
+        let mut e = enumerate(&m, &EnumConfig::default());
+        let c0 = e.next().unwrap();
+        assert_eq!(c0.label, "original");
+        assert_eq!(m.apply(&c0.mutations).unwrap(), SRC);
+        assert_eq!(c0.backend, None, "identity inherits the session backend");
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_capped() {
+        let m = SourceModel::parse(SRC);
+        let cfg = EnumConfig {
+            max_enumerated: 40,
+            ..EnumConfig::default()
+        };
+        let a: Vec<String> = enumerate(&m, &cfg).map(|c| c.label).collect();
+        let b: Vec<String> = enumerate(&m, &cfg).map(|c| c.label).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        let unique: std::collections::BTreeSet<&String> = a.iter().collect();
+        assert_eq!(unique.len(), a.len(), "duplicate candidate labels: {a:?}");
+    }
+
+    #[test]
+    fn sampler_is_seed_deterministic() {
+        let m = SourceModel::parse(SRC);
+        let cfg = EnumConfig::default();
+        let a: Vec<String> = sample(&m, &cfg, 7, 16).map(|c| c.label).collect();
+        let b: Vec<String> = sample(&m, &cfg, 7, 16).map(|c| c.label).collect();
+        let c: Vec<String> = sample(&m, &cfg, 8, 16).map(|c| c.label).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a[0], "original");
+    }
+
+    #[test]
+    fn order_preserving_only_drops_order_changing_axes() {
+        let m = SourceModel::parse(SRC);
+        let cfg = EnumConfig {
+            order_preserving_only: true,
+            ..EnumConfig::default()
+        };
+        for axis in axes_for(&m, &cfg) {
+            assert_eq!(axis.kind, AxisKind::OrderPreserving, "{}", axis.name);
+        }
+    }
+}

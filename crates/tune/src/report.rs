@@ -1,0 +1,362 @@
+//! The ranked tuning report (text and JSON renderings).
+//!
+//! Determinism contract: with the [`CostModel::Ops`](crate::CostModel::Ops)
+//! cost model, two runs of the same tuner invocation produce byte-identical
+//! text and JSON reports — candidate ids come from the deterministic
+//! enumeration order, scores from deterministic op counts, and wall-clock
+//! fields are only emitted under the `time` model. The autotune test suite
+//! goldens this property.
+
+use crate::cost::{CostModel, Measurement};
+use crate::mutate::BackendChoice;
+use std::fmt::Write as _;
+
+/// Terminal state of one enumerated candidate.
+#[derive(Clone, Debug)]
+pub enum Status {
+    /// Survived pruning and ran to completion.
+    Evaluated(Measurement),
+    /// Rejected before execution; carries the rendered diagnostics
+    /// (parse/Sema errors or `--analyze` findings) explaining why.
+    Pruned(Vec<String>),
+    /// Ran, but its observables differ from the baseline program's — a
+    /// would-be miscompile caught by the output cross-check. Never ranked.
+    Diverged(String),
+    /// Compilation or execution failed after pruning passed (e.g. fuel
+    /// exhausted by a pathologically slower configuration).
+    Failed(String),
+    /// Re-synthesized to the same source+backend as an earlier candidate
+    /// (mutation combinations can alias); not re-evaluated.
+    Duplicate(usize),
+}
+
+/// One candidate's outcome in the report.
+#[derive(Clone, Debug)]
+pub struct CandidateOutcome {
+    /// Enumeration id.
+    pub id: usize,
+    /// Axis-value summary label.
+    pub label: String,
+    /// Engine that evaluated (or would have evaluated) it.
+    pub backend: BackendChoice,
+    /// What happened.
+    pub status: Status,
+}
+
+/// The complete result of one tuner invocation.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// Input name (file path as given to the driver).
+    pub input: String,
+    /// Cost model that ranked the candidates.
+    pub cost_model: CostModel,
+    /// Evaluation budget (max candidates executed).
+    pub budget: usize,
+    /// Sampler seed (`None` = deterministic grid enumeration).
+    pub seed: Option<u64>,
+    /// The hand-annotated program's own measurement (always evaluated
+    /// first, as candidate 0).
+    pub baseline: Measurement,
+    /// Every enumerated candidate, in enumeration order.
+    pub outcomes: Vec<CandidateOutcome>,
+}
+
+impl TuneReport {
+    /// Evaluated candidates ranked best-first (score, then id — total and
+    /// deterministic).
+    pub fn ranked(&self) -> Vec<(&CandidateOutcome, u64)> {
+        let mut v: Vec<(&CandidateOutcome, u64)> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                Status::Evaluated(m) => Some((o, m.score(self.cost_model))),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(o, s)| (*s, o.id));
+        v
+    }
+
+    /// The best evaluated candidate, if any survived.
+    pub fn winner(&self) -> Option<&CandidateOutcome> {
+        self.ranked().first().map(|(o, _)| *o)
+    }
+
+    /// Pruned candidates, in enumeration order.
+    pub fn pruned(&self) -> Vec<&CandidateOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, Status::Pruned(_)))
+            .collect()
+    }
+
+    /// Count of candidates in each terminal state:
+    /// `(evaluated, pruned, diverged, failed, duplicates)`.
+    pub fn tally(&self) -> (usize, usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0, 0);
+        for o in &self.outcomes {
+            match o.status {
+                Status::Evaluated(_) => t.0 += 1,
+                Status::Pruned(_) => t.1 += 1,
+                Status::Diverged(_) => t.2 += 1,
+                Status::Failed(_) => t.3 += 1,
+                Status::Duplicate(_) => t.4 += 1,
+            }
+        }
+        t
+    }
+
+    /// Human-readable ranked table.
+    pub fn render_text(&self) -> String {
+        let (ev, pr, dv, fl, du) = self.tally();
+        let mut out = String::new();
+        let _ = writeln!(out, "== autotune report: {} ==", self.input);
+        let _ = writeln!(
+            out,
+            "cost model: {} (lower is better) | budget: {} | enumeration: {}",
+            self.cost_model.name(),
+            self.budget,
+            match self.seed {
+                Some(s) => format!("seeded random (seed {s})"),
+                None => "deterministic grid".to_string(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "candidates: {} evaluated, {pr} pruned, {dv} diverged, {fl} failed, {du} duplicate",
+            ev
+        );
+        let _ = writeln!(
+            out,
+            "baseline (hand-annotated): score {}",
+            self.baseline.score(self.cost_model)
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>4}  {:>12}  {:<7}  config",
+            "rank", "id", "score", "backend"
+        );
+        for (rank, (o, score)) in self.ranked().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>4}  {:>12}  {:<7}  {}",
+                rank + 1,
+                o.id,
+                score,
+                o.backend.name(),
+                o.label
+            );
+        }
+        let pruned = self.pruned();
+        if !pruned.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "pruned (illegal) candidates:");
+            for o in pruned {
+                let Status::Pruned(diags) = &o.status else {
+                    unreachable!()
+                };
+                let _ = writeln!(out, "  #{} {}", o.id, o.label);
+                for d in diags {
+                    let _ = writeln!(out, "      {d}");
+                }
+            }
+        }
+        for o in &self.outcomes {
+            match &o.status {
+                Status::Diverged(why) => {
+                    let _ = writeln!(out, "DIVERGED #{} {}: {why}", o.id, o.label);
+                }
+                Status::Failed(why) => {
+                    let _ = writeln!(out, "failed #{} {}: {why}", o.id, o.label);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering (stable key order, candidates in
+    /// enumeration order plus a ranked index).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"input\":\"{}\"", esc(&self.input));
+        let _ = write!(out, ",\"cost_model\":\"{}\"", self.cost_model.name());
+        let _ = write!(out, ",\"budget\":{}", self.budget);
+        match self.seed {
+            Some(s) => {
+                let _ = write!(out, ",\"seed\":{s}");
+            }
+            None => out.push_str(",\"seed\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"baseline\":{{\"score\":{},\"exit_code\":{}}}",
+            self.baseline.score(self.cost_model),
+            self.baseline.exit_code
+        );
+        let (ev, pr, dv, fl, du) = self.tally();
+        let _ = write!(
+            out,
+            ",\"tally\":{{\"evaluated\":{ev},\"pruned\":{pr},\"diverged\":{dv},\"failed\":{fl},\"duplicate\":{du}}}"
+        );
+        out.push_str(",\"candidates\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"label\":\"{}\",\"backend\":\"{}\"",
+                o.id,
+                esc(&o.label),
+                o.backend.name()
+            );
+            match &o.status {
+                Status::Evaluated(m) => {
+                    let _ = write!(
+                        out,
+                        ",\"status\":\"evaluated\",\"score\":{},\"ops\":{},\"exit_code\":{}",
+                        m.score(self.cost_model),
+                        m.ops_retired,
+                        m.exit_code
+                    );
+                    if self.cost_model == CostModel::Time {
+                        let _ = write!(out, ",\"wall_us\":{}", m.wall_us);
+                    }
+                }
+                Status::Pruned(diags) => {
+                    out.push_str(",\"status\":\"pruned\",\"diagnostics\":[");
+                    for (j, d) in diags.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{}\"", esc(d));
+                    }
+                    out.push(']');
+                }
+                Status::Diverged(why) => {
+                    let _ = write!(out, ",\"status\":\"diverged\",\"reason\":\"{}\"", esc(why));
+                }
+                Status::Failed(why) => {
+                    let _ = write!(out, ",\"status\":\"failed\",\"reason\":\"{}\"", esc(why));
+                }
+                Status::Duplicate(of) => {
+                    let _ = write!(out, ",\"status\":\"duplicate\",\"of\":{of}");
+                }
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out.push_str(",\"ranking\":[");
+        for (i, (o, _)) in self.ranked().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", o.id);
+        }
+        out.push(']');
+        match self.winner() {
+            Some(w) => {
+                let _ = write!(
+                    out,
+                    ",\"winner\":{{\"id\":{},\"label\":\"{}\",\"backend\":\"{}\"}}",
+                    w.id,
+                    esc(&w.label),
+                    w.backend.name()
+                );
+            }
+            None => out.push_str(",\"winner\":null"),
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (same subset the driver uses).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TuneReport {
+        TuneReport {
+            input: "t.c".into(),
+            cost_model: CostModel::Ops,
+            budget: 8,
+            seed: None,
+            baseline: Measurement {
+                ops_retired: 100,
+                wall_us: 5,
+                exit_code: 0,
+            },
+            outcomes: vec![
+                CandidateOutcome {
+                    id: 0,
+                    label: "original".into(),
+                    backend: BackendChoice::Interp,
+                    status: Status::Evaluated(Measurement {
+                        ops_retired: 100,
+                        wall_us: 5,
+                        exit_code: 0,
+                    }),
+                },
+                CandidateOutcome {
+                    id: 1,
+                    label: "s0.unroll=4".into(),
+                    backend: BackendChoice::Interp,
+                    status: Status::Evaluated(Measurement {
+                        ops_retired: 80,
+                        wall_us: 9,
+                        exit_code: 0,
+                    }),
+                },
+                CandidateOutcome {
+                    id: 2,
+                    label: "s0.+reverse".into(),
+                    backend: BackendChoice::Interp,
+                    status: Status::Pruned(vec!["error: loop-carried dependence".into()]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ranking_is_total_and_winner_is_best() {
+        let r = sample_report();
+        let ranked = r.ranked();
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0.id, 1);
+        assert_eq!(r.winner().unwrap().id, 1);
+        assert_eq!(r.pruned().len(), 1);
+    }
+
+    #[test]
+    fn ops_model_json_has_no_wall_times() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(!json.contains("wall_us"), "{json}");
+        assert!(json.contains("\"winner\":{\"id\":1"), "{json}");
+        assert!(json.contains("\"status\":\"pruned\""), "{json}");
+        // Deterministic rendering: same input, same bytes.
+        assert_eq!(json, sample_report().to_json());
+        assert_eq!(r.render_text(), sample_report().render_text());
+    }
+}

@@ -41,6 +41,9 @@ pub struct VmEngine<'m> {
     tasks: AtomicU64,
     /// Remaining instruction budget, shared across all threads.
     fuel: AtomicU64,
+    /// Total ops retired so far, across all threads (see
+    /// [`RunResult::ops_retired`]).
+    ops: AtomicU64,
     /// Runtime configuration.
     cfg: RuntimeConfig,
     /// Guest addresses of module globals, by symbol index.
@@ -89,6 +92,7 @@ impl<'m> VmEngine<'m> {
             out: Mutex::new(String::new()),
             tasks: AtomicU64::new(0),
             fuel: AtomicU64::new(cfg.max_steps),
+            ops: AtomicU64::new(0),
             cfg,
             global_addrs,
             chunk_log: ChunkLog::new(),
@@ -103,6 +107,7 @@ impl<'m> VmEngine<'m> {
             tasks_created: self.tasks.load(Ordering::Relaxed),
             chunk_log: self.chunk_log.take_sorted(),
             final_globals: engine::snapshot_globals(self.module, &self.mem, &self.global_addrs),
+            ops_retired: self.ops.load(Ordering::Relaxed),
         }
     }
 
@@ -146,6 +151,7 @@ impl<'m> VmEngine<'m> {
     ) -> Result<Option<RtVal>, ExecError> {
         let mut retired = 0u64;
         let r = self.run_frame_inner(fi, args, ctx, &mut retired);
+        self.ops.fetch_add(retired, Ordering::Relaxed);
         if omplt_trace::active() {
             omplt_trace::count("vm.ops.retired", retired);
         }

@@ -1,0 +1,19 @@
+/* Triangular (imbalanced) reduction: iteration `i` of the worksharing loop
+ * costs O(i), so the schedule kind/chunk decides how evenly the team splits
+ * the work — the canonical autotuning workload (the bench twin runs the same
+ * shape at N=600).
+ *
+ *   ompltc --run examples/c/triangular_reduction.c
+ *   ompltc --autotune examples/c/triangular_reduction.c
+ */
+void print_i64(long v);
+
+int main(void) {
+  long sum = 0;
+  #pragma omp parallel for reduction(+: sum) schedule(static)
+  for (int i = 0; i < 48; i += 1)
+    for (int j = 0; j < i; j += 1)
+      sum = sum + (j % 7) + 1;
+  print_i64(sum);
+  return 0;
+}

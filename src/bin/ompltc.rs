@@ -6,6 +6,18 @@
 //!                            and exit; non-zero exit on any finding
 //!   --ast-dump               print the syntactic AST (clang -ast-dump style)
 //!   --ast-dump-transformed   additionally show shadow (transformed) subtrees
+//!   --autotune[=N]           autotune the file's OpenMP directives: enumerate
+//!                            mutated directive configurations, prune illegal
+//!                            ones through the analysis suite, execute up to N
+//!                            legal survivors (default 32), and print a ranked
+//!                            report; exit 1 if no candidate survives
+//!   --tune-best=FILE         write the winning annotated source to FILE
+//!   --tune-cost=M            candidate cost model: ops (default; retired-op
+//!                            count, deterministic) | time (wall micros)
+//!   --tune-json[=FILE]       emit the ranked report as JSON (replaces the
+//!                            text report when writing to stdout)
+//!   --tune-seed=N            sample seeded-random mutants instead of walking
+//!                            the deterministic grid (stress-test mode)
 //!   --backend=B              execution engine for --run: interp (default,
 //!                            tree-walking oracle) | vm (bytecode VM; falls
 //!                            back to the interpreter with a warning if
@@ -31,6 +43,9 @@
 //!                            (default 1); see `omplt-fault` for the catalog
 //!   --no-openmp              parse pragmas but ignore them
 //!   --run [args...]          interpret the module (calls `main`)
+//!   --serial                 run `parallel` regions on the calling thread
+//!                            (deterministic; equivalent to a team of one
+//!                            executing every chunk in order)
 //!   --opt                    run the mid-end pipeline (incl. LoopUnroll) first
 //!   --syntax-only            stop after semantic analysis
 //!   --threads N              thread-team size for `parallel` regions (default 4)
@@ -99,17 +114,29 @@ struct Cli {
     exec_timeout_ms: Option<u64>,
     /// `--crash-report` bundle directory.
     crash_report: Option<String>,
+    /// `--autotune` evaluation budget (`None` = not tuning).
+    autotune: Option<usize>,
+    /// `--tune-json` destination, same encoding as `time_trace`.
+    tune_json: Option<Option<String>>,
+    /// `--tune-best` destination for the winning annotated source.
+    tune_best: Option<String>,
+    /// `--tune-seed` for random-sampling mode.
+    tune_seed: Option<u64>,
+    /// `--tune-cost` model.
+    tune_cost: omplt::tune::CostModel,
 }
 
 fn usage() -> u8 {
     eprintln!(
         "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
-         [--backend=interp|vm|vm:strict] [--counters-json[=FILE]] \
-         [--crash-report=DIR] [--diag-format=text|json] [--emit-bytecode] \
-         [--emit-ir] [--enable-irbuilder] [--exec-timeout=MS] [--fuel=N] \
-         [--inject-fault=SITE[:COUNT]] [--opt] [--run] [--syntax-only] \
-         [--threads N] [--time-report] [--time-trace[=FILE]] [--verify-each] \
-         <file.c>"
+         [--autotune[=N]] [--backend=interp|vm|vm:strict] \
+         [--counters-json[=FILE]] [--crash-report=DIR] \
+         [--diag-format=text|json] [--emit-bytecode] [--emit-ir] \
+         [--enable-irbuilder] [--exec-timeout=MS] [--fuel=N] \
+         [--inject-fault=SITE[:COUNT]] [--opt] [--run] [--serial] \
+         [--syntax-only] [--threads N] [--time-report] [--time-trace[=FILE]] \
+         [--tune-best=FILE] [--tune-cost=ops|time] [--tune-json[=FILE]] \
+         [--tune-seed=N] [--verify-each] <file.c>"
     );
     2
 }
@@ -182,6 +209,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let mut counters_json = None;
     let mut exec_timeout_ms = None;
     let mut crash_report = None;
+    let mut autotune = None;
+    let mut tune_json = None;
+    let mut tune_best = None;
+    let mut tune_seed = None;
+    let mut tune_cost = None;
 
     let bad_backend = |v: &str| {
         driver_error(
@@ -227,6 +259,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         match a.as_str() {
             "--analyze" => analyze = true,
             "--ast-dump" => ast_dump = true,
+            "--autotune" => autotune = Some(omplt::tuner::DEFAULT_BUDGET),
+            "--tune-json" => tune_json = Some(None),
             "--ast-dump-transformed" => ast_dump_transformed = true,
             "--counters-json" => counters_json = Some(None),
             "--emit-bytecode" => emit_bytecode = true,
@@ -234,6 +268,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             "--enable-irbuilder" => opts.codegen_mode = OpenMpCodegenMode::IrBuilder,
             "--no-openmp" => opts.openmp = false,
             "--run" => run = true,
+            "--serial" => opts.serial = true,
             "--opt" => optimize = true,
             "--syntax-only" => syntax_only = true,
             "--time-report" => time_report = true,
@@ -312,6 +347,54 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             other if other.starts_with("--crash-report=") => {
                 crash_report = Some(other["--crash-report=".len()..].to_string());
             }
+            other if other.starts_with("--autotune=") => {
+                let v = &other["--autotune=".len()..];
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => autotune = Some(n),
+                    _ => {
+                        return Err(driver_error(
+                            &format!(
+                                "invalid value '{v}' for '--autotune': expected a positive \
+                                 candidate budget"
+                            ),
+                            json_diags,
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with("--tune-json=") => {
+                tune_json = Some(Some(other["--tune-json=".len()..].to_string()));
+            }
+            other if other.starts_with("--tune-best=") => {
+                tune_best = Some(other["--tune-best=".len()..].to_string());
+            }
+            other if other.starts_with("--tune-seed=") => {
+                let v = &other["--tune-seed=".len()..];
+                match v.parse::<u64>() {
+                    Ok(n) => tune_seed = Some(n),
+                    Err(_) => {
+                        return Err(driver_error(
+                            &format!(
+                                "invalid value '{v}' for '--tune-seed': expected a 64-bit \
+                                 unsigned integer"
+                            ),
+                            json_diags,
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with("--tune-cost=") => {
+                let v = &other["--tune-cost=".len()..];
+                match omplt::tune::CostModel::parse(v) {
+                    Some(m) => tune_cost = Some(m),
+                    None => {
+                        return Err(driver_error(
+                            &format!("unknown cost model '{v}' for '--tune-cost': ops|time"),
+                            json_diags,
+                        ))
+                    }
+                }
+            }
             other if other.starts_with("--counters-json=") => {
                 counters_json = Some(Some(other["--counters-json=".len()..].to_string()));
             }
@@ -338,6 +421,33 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let Some(file) = file else {
         return Err(usage());
     };
+    if autotune.is_none()
+        && (tune_json.is_some()
+            || tune_best.is_some()
+            || tune_seed.is_some()
+            || tune_cost.is_some())
+    {
+        return Err(driver_error(
+            "'--tune-json', '--tune-best', '--tune-seed', and '--tune-cost' require '--autotune'",
+            json_diags,
+        ));
+    }
+    if autotune.is_some()
+        && (analyze
+            || ast_dump
+            || ast_dump_transformed
+            || emit_ir
+            || emit_bytecode
+            || run
+            || syntax_only)
+    {
+        return Err(driver_error(
+            "'--autotune' is a driver mode of its own and cannot be combined with '--analyze', \
+             '--ast-dump[-transformed]', '--emit-ir', '--emit-bytecode', '--run', or \
+             '--syntax-only'",
+            json_diags,
+        ));
+    }
     Ok(Cli {
         opts,
         file,
@@ -355,6 +465,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         counters_json,
         exec_timeout_ms,
         crash_report,
+        autotune,
+        tune_json,
+        tune_best,
+        tune_seed,
+        tune_cost: tune_cost.unwrap_or_default(),
     })
 }
 
@@ -370,6 +485,9 @@ fn drive(cli: &Cli) -> u8 {
             return driver_error(&format!("cannot read '{}': {e}", cli.file), json);
         }
     };
+    if cli.autotune.is_some() {
+        return drive_autotune(cli, &source);
+    }
     let tu = match ci.parse_source(&cli.file, &source) {
         Ok(tu) => tu,
         Err(_) => {
@@ -472,6 +590,73 @@ fn drive(cli: &Cli) -> u8 {
     }
     emit_diags(&ci, json);
     0
+}
+
+/// The `--autotune` driver mode: search the directive-configuration space
+/// and report. Exit codes: 0 a ranked report with a surviving winner was
+/// produced, 1 the baseline failed / nothing survived / report I/O failed,
+/// 2 usage (handled in `parse_cli`). Per-candidate ICEs are contained by
+/// the tuner itself; only a panic outside candidate evaluation reaches the
+/// driver's ICE boundary.
+fn drive_autotune(cli: &Cli, source: &str) -> u8 {
+    let json = cli.json;
+    let cfg = omplt::tuner::TuneConfig {
+        budget: cli.autotune.expect("drive_autotune called with --autotune"),
+        seed: cli.tune_seed,
+        cost: cli.tune_cost,
+        opts: cli.opts,
+        enum_config: omplt::tune::EnumConfig::default(),
+    };
+    let outcome = match omplt::tuner::autotune(&cli.file, source, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            if json {
+                eprintln!("[{}]", json_diag_object("error", &e.to_string(), &[]));
+            } else {
+                eprintln!("ompltc: error: {e}");
+            }
+            return 1;
+        }
+    };
+    let mut code = 0;
+    match &cli.tune_json {
+        // Bare `--tune-json` claims stdout: machine output replaces the
+        // human-readable table entirely.
+        Some(None) => print!("{}", outcome.report.to_json()),
+        Some(Some(path)) => {
+            if !write_output(
+                &Some(path.clone()),
+                &outcome.report.to_json(),
+                "tune report",
+            ) {
+                code = 1;
+            }
+            print!("{}", outcome.report.render_text());
+        }
+        None => print!("{}", outcome.report.render_text()),
+    }
+    if let Some(path) = &cli.tune_best {
+        match &outcome.best_source {
+            Some(src) => {
+                if !write_output(&Some(path.clone()), src, "winning source") {
+                    code = 1;
+                }
+            }
+            None => {
+                eprintln!("ompltc: no winning source to write to '{path}': no candidate survived");
+            }
+        }
+    }
+    if outcome.report.winner().is_none() {
+        let msg = "autotune found no surviving candidate (all pruned, failed, or diverged)";
+        if json {
+            eprintln!("[{}]", json_diag_object("error", msg, &[]));
+        } else {
+            eprintln!("ompltc: error: {msg}");
+        }
+        code = 1;
+    }
+    code
 }
 
 /// The panic captured by the ICE hook: (message [with source location],

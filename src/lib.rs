@@ -27,6 +27,7 @@
 
 pub mod compiler;
 pub mod pipeline;
+pub mod tuner;
 
 pub use compiler::{Backend, CompilerInstance, Options};
 pub use omplt_analysis::AnalysisReport;
@@ -46,4 +47,5 @@ pub use omplt_parse as parse;
 pub use omplt_sema as sema;
 pub use omplt_source as source;
 pub use omplt_trace as trace;
+pub use omplt_tune as tune;
 pub use omplt_vm as vm;

@@ -1,0 +1,169 @@
+//! The autotuner's acceptance suite (ISSUE PR 7): with the deterministic
+//! retired-op cost model and a fixed enumeration (or fixed seed), the tuner
+//! must
+//!
+//! * rank the hand-annotated original no better than its own winner (the
+//!   identity is candidate 0, so the winner can only improve on it),
+//! * rediscover the known-best configurations of the two reference
+//!   workloads (stencil: a better schedule; triangular: the VM backend),
+//! * produce **byte-identical** reports across independent runs,
+//! * respect the evaluation budget,
+//! * prune every illegal candidate with the analysis diagnostics that
+//!   rejected it, and evaluate only candidates the analysis suite passes.
+
+use omplt::tune::{enumerate, BackendChoice, EnumConfig, SourceModel, Status};
+use omplt::tuner::{autotune, TuneConfig};
+
+fn example(name: &str) -> (String, String) {
+    let path = format!("{}/examples/c/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("example exists");
+    (path, src)
+}
+
+fn tune(name: &str, budget: usize, seed: Option<u64>) -> omplt::tuner::TuneOutcome {
+    let (path, src) = example(name);
+    let cfg = TuneConfig {
+        budget,
+        seed,
+        ..TuneConfig::default()
+    };
+    autotune(&path, &src, &cfg).expect("baseline is sound")
+}
+
+#[test]
+fn winner_never_loses_to_the_hand_annotation() {
+    for name in ["stencil_tiling.c", "triangular_reduction.c"] {
+        let outcome = tune(name, 12, None);
+        let report = &outcome.report;
+        let winner = report.winner().expect("grid search finds a survivor");
+        let Status::Evaluated(m) = &winner.status else {
+            panic!("winner must be an evaluated candidate");
+        };
+        assert!(
+            m.score(report.cost_model) <= report.baseline.score(report.cost_model),
+            "{name}: winner ({}) scored worse than the hand annotation",
+            winner.label
+        );
+        // Candidate 0 is the identity, so the bound above is structural —
+        // check the enumeration actually kept that promise.
+        let first = report.outcomes.first().expect("nonempty");
+        assert_eq!(first.id, 0);
+        assert_eq!(first.label, "original");
+        assert!(matches!(first.status, Status::Evaluated(_)));
+        assert!(outcome.best_source.is_some(), "{name}: winner has a source");
+    }
+}
+
+#[test]
+fn tuner_rediscovers_known_best_configs() {
+    // Triangular: the imbalanced nest retires roughly half the ops on the
+    // register VM, so with backend exploration on, the known-best config is
+    // a VM candidate — the tuner must land on it.
+    let outcome = tune("triangular_reduction.c", 24, None);
+    let winner = outcome.report.winner().expect("survivor");
+    assert_eq!(
+        winner.backend,
+        BackendChoice::Vm,
+        "triangular winner should run on the VM, got '{}'",
+        winner.label
+    );
+
+    // Stencil: the hand annotation uses the default static schedule; the
+    // grid must find a strictly cheaper configuration among the first
+    // handful of schedule mutations.
+    let outcome = tune("stencil_tiling.c", 8, None);
+    let report = &outcome.report;
+    let winner = report.winner().expect("survivor");
+    let Status::Evaluated(m) = &winner.status else {
+        panic!("winner must be evaluated");
+    };
+    assert!(
+        m.score(report.cost_model) < report.baseline.score(report.cost_model),
+        "stencil search should strictly improve on the hand annotation"
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    // Deterministic grid on the stencil, seeded sampling on the triangular
+    // nest — both report surfaces (JSON and text) must be reproducible
+    // byte-for-byte under the retired-op cost model.
+    for (name, seed) in [
+        ("stencil_tiling.c", None),
+        ("triangular_reduction.c", Some(7u64)),
+    ] {
+        let a = tune(name, 10, seed);
+        let b = tune(name, 10, seed);
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "{name}: JSON report must be byte-identical across runs"
+        );
+        assert_eq!(
+            a.report.render_text(),
+            b.report.render_text(),
+            "{name}: text report must be byte-identical across runs"
+        );
+        assert_eq!(a.best_source, b.best_source, "{name}: winning source");
+    }
+}
+
+#[test]
+fn budget_caps_evaluations() {
+    let outcome = tune("triangular_reduction.c", 5, None);
+    let (evaluated, _, _, _, _) = outcome.report.tally();
+    assert_eq!(evaluated, 5, "exactly the budgeted number of evaluations");
+    assert_eq!(outcome.report.budget, 5);
+}
+
+#[test]
+fn illegal_candidates_are_pruned_with_diagnostics() {
+    // The triangular nest makes both order-changing insertions illegal
+    // (reverse: loop-carried flow dependence on the reduction; interchange:
+    // non-rectangular bounds), so the grid is guaranteed to hit the prune
+    // path.
+    let (path, src) = example("triangular_reduction.c");
+    let cfg = TuneConfig {
+        budget: 16,
+        ..TuneConfig::default()
+    };
+    let outcome = autotune(&path, &src, &cfg).expect("baseline is sound");
+    let pruned = outcome.report.pruned();
+    assert!(!pruned.is_empty(), "grid must hit illegal candidates");
+    for p in &pruned {
+        let Status::Pruned(msgs) = &p.status else {
+            unreachable!()
+        };
+        assert!(
+            !msgs.is_empty(),
+            "pruned candidate '{}' must carry the diagnostics that rejected it",
+            p.label
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.starts_with("error:") || m.starts_with("warning:")),
+            "pruned candidate '{}' diagnostics must name a severity: {msgs:?}",
+            p.label
+        );
+    }
+
+    // And the dual: every *evaluated* candidate re-checks clean through the
+    // analysis suite — the tuner never executes what `--analyze` rejects.
+    let model = SourceModel::parse(&src);
+    let grid: Vec<_> = enumerate(&model, &EnumConfig::default()).collect();
+    for o in &outcome.report.outcomes {
+        if !matches!(o.status, Status::Evaluated(_)) {
+            continue;
+        }
+        let mutated = model.apply(&grid[o.id].mutations).expect("re-synthesis");
+        let mut ci = omplt::CompilerInstance::new(omplt::Options::default());
+        let tu = ci
+            .parse_source("cand.c", &mutated)
+            .expect("evaluated candidates parse");
+        assert!(
+            omplt::analysis::verdict(&tu).is_legal(),
+            "evaluated candidate '{}' fails --analyze",
+            o.label
+        );
+    }
+}

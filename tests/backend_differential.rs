@@ -240,6 +240,72 @@ fn randomized_loop_nests_agree() {
     }
 }
 
+/// Mutation-driven differential leg: the autotuner's seeded mutation
+/// sampler generates directive variants of a triangular reduction (a nest
+/// chosen because *both* of its order-changing insertions are illegal —
+/// `reverse` hits the reduction's loop-carried flow dependence and
+/// `interchange` hits the non-rectangular inner bound). Every variant the
+/// legality gate admits must execute identically on both backends; every
+/// variant it rejects must carry at least one diagnostic explaining why.
+/// This is the tuner's prune-before-run contract, checked from the outside.
+#[test]
+fn sampled_directive_mutants_agree_or_are_pruned() {
+    let base_src = "\
+void print_i64(long v);\n\
+int main(void) {\n\
+  long sum = 0;\n\
+  #pragma omp parallel for reduction(+: sum) schedule(static)\n\
+  for (int i = 0; i < 24; i += 1)\n\
+    for (int j = 0; j < i; j += 1)\n\
+      sum = sum + (j % 7) + 1;\n\
+  print_i64(sum);\n\
+  return 0;\n\
+}\n";
+    let model = omplt::tune::SourceModel::parse(base_src);
+    let cfg = omplt::tune::EnumConfig::default();
+    let (mut legal, mut pruned) = (0usize, 0usize);
+    for c in omplt::tune::sample(&model, &cfg, 0xA11CE, 48) {
+        let src = model.apply(&c.mutations).expect("re-synthesis");
+        let mut ci = CompilerInstance::new(Options::default());
+        match ci.parse_source("mut.c", &src) {
+            Err(_) => {
+                pruned += 1;
+                assert!(
+                    !ci.diags.is_empty(),
+                    "unparseable mutant '{}' must carry diagnostics:\n{src}",
+                    c.label
+                );
+            }
+            Ok(tu) => {
+                let verdict = omplt::analysis::verdict(&tu);
+                if verdict.is_legal() {
+                    legal += 1;
+                    let base = Options {
+                        num_threads: 4,
+                        ..Options::default()
+                    };
+                    assert_backends_agree(&src, base, true, &format!("mutant '{}'", c.label));
+                } else {
+                    pruned += 1;
+                    assert!(
+                        !verdict.messages().is_empty(),
+                        "illegal mutant '{}' must carry diagnostics:\n{src}",
+                        c.label
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        legal >= 5,
+        "sampler produced too few legal mutants ({legal})"
+    );
+    assert!(
+        pruned >= 1,
+        "sampler never hit an illegal mutation — the prune branch is untested"
+    );
+}
+
 /// The order-changing transformations (interchange, fuse, and reverse
 /// composed with tile) must agree between backends on every observable —
 /// these rewrite the loop *structure*, so a VM lowering bug would show up as

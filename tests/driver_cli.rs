@@ -497,3 +497,135 @@ fn verify_each_passes_on_valid_transformations() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// --autotune driver mode
+// ---------------------------------------------------------------------------
+
+const TUNABLE: &str = "void print_i64(long v);\n\
+int main(void) {\n\
+  long sum = 0;\n\
+  #pragma omp parallel for reduction(+: sum) schedule(static)\n\
+  for (int i = 0; i < 24; i += 1)\n\
+    for (int j = 0; j < i; j += 1)\n\
+      sum = sum + (j % 7) + 1;\n\
+  print_i64(sum);\n\
+  return 0;\n\
+}\n";
+
+#[test]
+fn autotune_produces_a_ranked_report() {
+    let p = write_temp("tune.c", TUNABLE);
+    let out = ompltc().arg("--autotune=6").arg(&p).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("autotune report"), "{text}");
+    assert!(text.contains("original"), "{text}");
+    assert!(text.contains("rank"), "{text}");
+}
+
+#[test]
+fn autotune_json_report_is_deterministic_across_invocations() {
+    let p = write_temp("tune_det.c", TUNABLE);
+    let run = || {
+        let out = ompltc()
+            .arg("--autotune=8")
+            .arg("--tune-json")
+            .arg(&p)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two invocations must emit byte-identical JSON");
+    let text = String::from_utf8_lossy(&a);
+    assert!(
+        text.starts_with('{') && text.contains("\"candidates\":"),
+        "{text}"
+    );
+}
+
+#[test]
+fn autotune_writes_winning_source() {
+    let p = write_temp("tune_best.c", TUNABLE);
+    let best = std::env::temp_dir().join("omplt-cli-tests/tune_best_out.c");
+    let _ = std::fs::remove_file(&best);
+    let out = ompltc()
+        .arg("--autotune=8")
+        .arg(format!("--tune-best={}", best.display()))
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let winner = std::fs::read_to_string(&best).expect("winning source written");
+    assert!(winner.contains("int main"), "{winner}");
+    // The winning source must itself be accepted by the analysis gate.
+    let reparse = ompltc().arg("--analyze").arg(&best).output().unwrap();
+    assert!(
+        reparse.status.success(),
+        "winning source fails --analyze:\n{winner}"
+    );
+}
+
+#[test]
+fn autotune_flag_conflicts_are_usage_errors() {
+    let p = write_temp("tune_conflict.c", TUNABLE);
+    for args in [
+        vec!["--autotune", "--run"],
+        vec!["--autotune", "--analyze"],
+        vec!["--autotune", "--emit-ir"],
+        vec!["--tune-json"], // tune flags require --autotune
+        vec!["--tune-seed=1"],
+        vec!["--autotune=0"], // budget must be positive
+        vec!["--autotune=banana"],
+        vec!["--autotune", "--tune-cost=furlongs"],
+    ] {
+        let out = ompltc().args(&args).arg(&p).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} should be a usage error: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn autotune_reports_tuner_counters() {
+    let p = write_temp("tune_counters.c", TUNABLE);
+    let out = ompltc()
+        .arg("--autotune=4")
+        .arg("--tune-json")
+        .arg("--counters-json=/dev/null")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Re-run with counters on stdout only (suppress the report to a file).
+    let json_path = std::env::temp_dir().join("omplt-cli-tests/tune_counters.json");
+    let out = ompltc()
+        .arg("--autotune=4")
+        .arg(format!("--tune-json={}", json_path.display()))
+        .arg("--counters-json")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"tuner.candidates\""), "{text}");
+    assert!(text.contains("\"tuner.evaluated\""), "{text}");
+}

@@ -550,3 +550,72 @@ fn schedule_over_stacked_transform_chain_multiset_equivalent() {
         }
     }
 }
+
+/// Autotuner property (the tuner's core safety claim, checked exhaustively):
+/// every *order-preserving* mutation the enumerator can produce — schedule
+/// kind/chunk, tile sizes, unroll factors, and their removals — preserves
+/// the output multiset of the program relative to its fully *unannotated*
+/// baseline. Order-changing axes (reverse, interchange, fuse) are excluded
+/// by construction via `order_preserving_only`; what remains may reorder or
+/// re-chunk iterations but must never change what is computed.
+#[test]
+fn order_preserving_mutations_preserve_output_multiset() {
+    let annotated = format!(
+        "{PROTO}int main(void) {{\n\
+         \x20 #pragma omp parallel for schedule(static)\n\
+         \x20 #pragma omp tile sizes(2, 2)\n\
+         \x20 for (int i = 0; i < 10; i += 1)\n\
+         \x20   for (int j = 0; j < 8; j += 1)\n\
+         \x20     print_i64(i * 100 + j);\n\
+         \x20 #pragma omp unroll partial(2)\n\
+         \x20 for (int k = 0; k < 12; k += 1)\n\
+         \x20   print_i64(9000 + k);\n\
+         \x20 return 0;\n\
+         }}\n"
+    );
+    let model = omplt::tune::SourceModel::parse(&annotated);
+    assert_eq!(model.num_pragmas(), 3, "three pragmas in the fixture");
+
+    // The reference semantics: the same program with every pragma erased,
+    // run serially on the oracle backend.
+    let baseline = run_source_with(&model.strip_pragmas(), Options::default(), true);
+    let mut want: Vec<String> = baseline.stdout.lines().map(str::to_string).collect();
+    want.sort_unstable();
+    assert_eq!(want.len(), 10 * 8 + 12, "fixture prints every cell once");
+
+    let cfg = omplt::tune::EnumConfig {
+        order_preserving_only: true,
+        insertions: false,
+        explore_backends: false,
+        ..omplt::tune::EnumConfig::default()
+    };
+    let mut checked = 0;
+    for c in omplt::tune::enumerate(&model, &cfg).take(48) {
+        let src = model.apply(&c.mutations).expect("re-synthesis");
+        let r = run_source_with(
+            &src,
+            Options {
+                num_threads: 4,
+                ..Options::default()
+            },
+            true,
+        );
+        assert_eq!(
+            r.exit_code, baseline.exit_code,
+            "mutant '{}' exit code",
+            c.label
+        );
+        let mut got: Vec<String> = r.stdout.lines().map(str::to_string).collect();
+        got.sort_unstable();
+        assert_eq!(
+            got, want,
+            "order-preserving mutant '{}' changed the output multiset:\n{src}",
+            c.label
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 10,
+        "enumerator produced too few order-preserving mutants ({checked})"
+    );
+}
