@@ -83,7 +83,31 @@ for src in examples/c/*.c; do
   done
 done
 
+# Daemon artifact-cache drift guard: `ompltd --warmup` replays a fixed job
+# sequence (A A B A' A A' => 3 hits, 3 misses) against a fresh cache. The
+# hit/miss split is a pure function of the cache key — a silent change
+# means the source hash or the canonical options fingerprint moved (e.g. a
+# runtime-only option leaked into the fingerprint, or a compile-relevant
+# one fell out of it).
+ompltd=${OMPLTD:-target/release/ompltd}
+if [ ! -x "$ompltd" ]; then
+  echo "error: $ompltd not built (run 'cargo build --release' first)" >&2
+  status=1
+else
+  expected="ci/expected-counters/daemon.warmup.txt"
+  got=$("$ompltd" --warmup 2>/dev/null \
+    | grep -o '"daemon\.cache\.\(hits\|misses\)":[0-9]*' | sort)
+  if [ ! -f "$expected" ]; then
+    echo "missing $expected; expected contents:" >&2
+    printf '%s\n' "$got" >&2
+    status=1
+  elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
+    echo "daemon cache hit/miss drift: update $expected if intentional" >&2
+    status=1
+  fi
+fi
+
 if [ "$status" = 0 ]; then
-  echo "shadow-AST node counters and retired-op counts match ci/expected-counters/"
+  echo "shadow-AST node counters, retired-op counts and daemon cache pins match ci/expected-counters/"
 fi
 exit $status

@@ -177,6 +177,85 @@ done
   examples/c/triangular_reduction.c >/dev/null
 
 echo "fuzz smoke: $tcases tuner cases in ${tune_budget}s, report at $outdir/autotune-report.json"
+
+# ---------------------------------------------------------------------------
+# Daemon frame-protocol leg: malformed frames on the ompltd wire must yield
+# a structured `{"id":null,"error":...}` reply and a clean server exit —
+# never a crash, a hang, or an unbounded allocation. Covers the framing
+# failure shapes (truncated length prefix, truncated body, a length prefix
+# exceeding the 16 MiB cap, non-JSON payloads) plus a seeded stream of
+# random valid-framed garbage bodies.
+ompltd=${OMPLTD:-target/release/ompltd}
+if [ ! -x "$ompltd" ]; then
+  echo "error: $ompltd not built (run 'cargo build --release' first)" >&2
+  exit 2
+fi
+if ! timeout 60 python3 - "$ompltd" "$seed" <<'EOF'
+import random
+import struct
+import subprocess
+import sys
+
+daemon, seed = sys.argv[1], int(sys.argv[2])
+
+
+def drive(case, payload):
+    """Feed raw bytes to `ompltd --stdio`; expect error replies, exit 0."""
+    proc = subprocess.run(
+        [daemon, "--stdio", "--workers=1"],
+        input=payload,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        timeout=20,
+    )
+    if proc.returncode != 0:
+        print(f"{case}: daemon exited {proc.returncode}", file=sys.stderr)
+        return False
+    out = proc.stdout
+    replies = []
+    while len(out) >= 4:
+        n = struct.unpack("<I", out[:4])[0]
+        replies.append(out[4 : 4 + n].decode("utf-8", "replace"))
+        out = out[4 + n :]
+    if not replies:
+        print(f"{case}: no reply frame", file=sys.stderr)
+        return False
+    for reply in replies:
+        if '"error"' not in reply:
+            print(f"{case}: expected an error reply, got: {reply}", file=sys.stderr)
+            return False
+    return True
+
+
+failures = 0
+cases = {
+    "truncated-prefix": b"\x07",
+    "truncated-body": struct.pack("<I", 64) + b"{\"op\":",
+    "oversized-frame": struct.pack("<I", 0xFFFFFFFF),
+    "invalid-json": struct.pack("<I", 15) + b"this is garbage",
+}
+for case, payload in cases.items():
+    if not drive(case, payload):
+        failures += 1
+
+# Seeded random garbage bodies, all correctly framed: each must get its own
+# error reply on one connection, and the daemon must exit cleanly at EOF.
+rng = random.Random(seed)
+stream = b""
+for _ in range(64):
+    body = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+    stream += struct.pack("<I", len(body)) + body
+if not drive("random-garbage", stream):
+    failures += 1
+
+print(f"fuzz smoke: {len(cases) + 1} daemon frame cases (seed {seed}), {failures} failed")
+sys.exit(1 if failures else 0)
+EOF
+then
+  failures=$((failures + 1))
+  echo "daemon frame-protocol leg failed" >&2
+fi
+
 if [ "$failures" -gt 0 ]; then
   exit 1
 fi

@@ -4,13 +4,32 @@
 //! where a test (via `ompltc --inject-fault=SITE[:COUNT]`) can force a
 //! failure: an internal panic, a bytecode-verifier rejection, immediate fuel
 //! exhaustion, or a team thread that vanishes before the barrier. The
-//! registry is process-global and one-shot: arming `SITE:3` makes the third
-//! call to [`fire`] for that site trigger, after which the site disarms.
+//! registry is scoped per job (thread) and one-shot: arming `SITE:3` makes
+//! the third call to [`fire`] for that site trigger, after which the site
+//! disarms.
 //!
 //! The crate also tracks the *current pipeline stage* so the ICE boundary in
 //! the driver can name where a panic (injected or genuine) originated.
+//!
+//! ## Job scoping
+//!
+//! Armed faults and the stage marker live in a per-thread *fault scope*, not
+//! a process-global slot, so a multi-tenant server (`ompltd`) can run jobs
+//! with different armaments concurrently without cross-talk. OpenMP team
+//! threads spawned by the runtime inherit the forking job's scope via
+//! [`handle`]/[`Handle::attach`], mirroring `omplt-trace`'s session handles —
+//! that is what lets `runtime.lost-thread` fire on a team member while the
+//! neighbouring job stays clean.
+//!
+//! Panic capture works the same way: [`install_panic_capture`] registers a
+//! process-wide hook once, but the captured (message, backtrace) pair is
+//! keyed by thread id and consumed with [`take_panic`], so two jobs that ICE
+//! at the same time each report their own panic.
 
-use std::sync::Mutex;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::thread::ThreadId;
 
 /// Every registered fault site, with the failure it forces. The driver uses
 /// this list to validate `--inject-fault` and to render the site catalog in
@@ -42,8 +61,118 @@ struct Armed {
     remaining: u64,
 }
 
-static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
-static STAGE: Mutex<&'static str> = Mutex::new("startup");
+/// One job's fault state: the armed site (if any) and the pipeline stage the
+/// job is currently executing. Shared by `Arc` with any team threads the job
+/// forks, so the interior is mutex-protected.
+struct ScopeInner {
+    armed: Mutex<Option<Armed>>,
+    stage: Mutex<&'static str>,
+}
+
+impl ScopeInner {
+    fn new() -> Self {
+        ScopeInner {
+            armed: Mutex::new(None),
+            stage: Mutex::new("startup"),
+        }
+    }
+}
+
+thread_local! {
+    /// The fault scope current on this thread, if any. Lazily created by
+    /// [`arm`]/[`set_stage`]; absent on threads that never touch faults, so
+    /// the hot-path [`fire`] check is a thread-local read plus nothing.
+    static CURRENT: RefCell<Option<Arc<ScopeInner>>> = const { RefCell::new(None) };
+
+    /// Whether this thread is inside an ICE containment region
+    /// ([`contain_panics`]). Only then does the capture hook suppress the
+    /// default panic spew; everywhere else (test harness threads, genuinely
+    /// unexpected panics) the previous hook still prints.
+    static CONTAINED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn with_current<R>(f: impl FnOnce(&ScopeInner) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|s| f(s)))
+}
+
+fn with_current_or_create<R>(f: impl FnOnce(&ScopeInner) -> R) -> R {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let scope = cur.get_or_insert_with(|| Arc::new(ScopeInner::new()));
+        f(scope)
+    })
+}
+
+/// A shareable reference to the calling thread's fault scope, used to extend
+/// the scope onto worker (team) threads. Mirrors `omplt_trace::Handle`.
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<ScopeInner>,
+}
+
+/// Returns a handle to this thread's fault scope, creating the scope if the
+/// thread has none yet. `fork_call` captures one before spawning a team so
+/// injected runtime faults (`runtime.lost-thread`) trigger on team members
+/// of the arming job — and only of that job.
+pub fn handle() -> Handle {
+    let inner = CURRENT.with(|c| {
+        c.borrow_mut()
+            .get_or_insert_with(|| Arc::new(ScopeInner::new()))
+            .clone()
+    });
+    Handle { inner }
+}
+
+impl Handle {
+    /// Installs the scope on the calling thread until the guard drops; the
+    /// previously installed scope (if any) is restored afterwards. Attached
+    /// threads count as contained: a team-thread panic is converted to a
+    /// runtime error by `fork_call`, so the capture hook should record it
+    /// rather than spray the server's stderr.
+    pub fn attach(&self) -> AttachGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self.inner.clone()));
+        let prev_contained = CONTAINED.with(|c| c.replace(true));
+        AttachGuard {
+            prev,
+            prev_contained,
+        }
+    }
+}
+
+/// Restores the previously attached fault scope when dropped.
+pub struct AttachGuard {
+    prev: Option<Arc<ScopeInner>>,
+    prev_contained: bool,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+        CONTAINED.with(|c| c.set(self.prev_contained));
+    }
+}
+
+/// Marks the calling thread as inside an ICE containment boundary until the
+/// guard drops: panics are captured for [`take_panic`] *instead of* being
+/// printed by the default hook. The driver and the daemon wrap their
+/// `catch_unwind` regions in this; threads outside such a region keep the
+/// normal panic output.
+pub fn contain_panics() -> ContainGuard {
+    install_panic_capture();
+    let prev = CONTAINED.with(|c| c.replace(true));
+    ContainGuard { prev }
+}
+
+/// Ends the containment region when dropped.
+pub struct ContainGuard {
+    prev: bool,
+}
+
+impl Drop for ContainGuard {
+    fn drop(&mut self) {
+        CONTAINED.with(|c| c.set(self.prev));
+    }
+}
 
 /// Returns `true` when `name` is a registered fault site.
 pub fn is_known_site(name: &str) -> bool {
@@ -55,9 +184,10 @@ pub fn site_catalog() -> String {
     SITES.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(", ")
 }
 
-/// Arms a fault from a `SITE[:COUNT]` spec. COUNT is the 1-based hit at
-/// which the site triggers (default 1). Only one site is armed at a time;
-/// arming replaces any previous armament.
+/// Arms a fault from a `SITE[:COUNT]` spec in the calling thread's fault
+/// scope. COUNT is the 1-based hit at which the site triggers (default 1).
+/// Only one site is armed at a time per scope; arming replaces any previous
+/// armament.
 pub fn arm(spec: &str) -> Result<(), String> {
     let (name, count) = match spec.split_once(':') {
         Some((name, count)) => {
@@ -83,40 +213,48 @@ pub fn arm(spec: &str) -> Result<(), String> {
                 site_catalog()
             )
         })?;
-    *ARMED.lock().unwrap() = Some(Armed {
-        site,
-        remaining: count,
+    with_current_or_create(|scope| {
+        *scope.armed.lock().unwrap() = Some(Armed {
+            site,
+            remaining: count,
+        });
     });
     Ok(())
 }
 
-/// Disarms any armed fault and resets the stage. Tests that arm faults
-/// in-process must call this before returning.
+/// Drops the calling thread's fault scope entirely: disarms any armed fault
+/// and resets the stage to "startup". Tests that arm faults in-process must
+/// call this before returning; the daemon calls it between jobs.
 pub fn reset() {
-    *ARMED.lock().unwrap() = None;
-    *STAGE.lock().unwrap() = "startup";
+    CURRENT.with(|c| *c.borrow_mut() = None);
 }
 
 /// Called at an injection point. Returns `true` when the armed countdown for
 /// `site` reaches zero; the site then disarms so recovery paths (e.g. the
 /// interpreter fallback after a forced verifier rejection) run clean. Bumps
-/// the `fault.fired.<site>` trace counter when it triggers.
+/// the `fault.fired.<site>` trace counter when it triggers. Threads with no
+/// fault scope never fire.
 pub fn fire(site: &str) -> bool {
-    let mut armed = ARMED.lock().unwrap();
-    let Some(a) = armed.as_mut() else {
-        return false;
-    };
-    if a.site != site {
-        return false;
+    let fired = with_current(|scope| {
+        let mut armed = scope.armed.lock().unwrap();
+        let Some(a) = armed.as_mut() else {
+            return false;
+        };
+        if a.site != site {
+            return false;
+        }
+        a.remaining -= 1;
+        if a.remaining > 0 {
+            return false;
+        }
+        *armed = None;
+        true
+    })
+    .unwrap_or(false);
+    if fired {
+        omplt_trace::count(&format!("fault.fired.{site}"), 1);
     }
-    a.remaining -= 1;
-    if a.remaining > 0 {
-        return false;
-    }
-    *armed = None;
-    drop(armed);
-    omplt_trace::count(&format!("fault.fired.{site}"), 1);
-    true
+    fired
 }
 
 /// One-line helper for `*.panic` sites: panics with a recognizable message
@@ -129,32 +267,81 @@ pub fn panic_if_armed(site: &'static str) {
     }
 }
 
-/// Records the pipeline stage now executing. The ICE boundary reads this to
-/// name where a panic originated; stages are coarse ("parse", "sema",
-/// "codegen", "midend", "vm", "runtime").
+/// Records the pipeline stage now executing in the calling thread's fault
+/// scope. The ICE boundary reads this to name where a panic originated;
+/// stages are coarse ("parse", "sema", "codegen", "midend", "vm",
+/// "runtime").
 pub fn set_stage(stage: &'static str) {
-    *STAGE.lock().unwrap() = stage;
+    with_current_or_create(|scope| *scope.stage.lock().unwrap() = stage);
 }
 
-/// The most recently recorded pipeline stage.
+/// The most recently recorded pipeline stage on this thread's scope, or
+/// "startup" when the thread has no scope.
 pub fn current_stage() -> &'static str {
-    *STAGE.lock().unwrap()
+    with_current(|scope| *scope.stage.lock().unwrap()).unwrap_or("startup")
+}
+
+/// Captured panics, keyed by the panicking thread. A map (rather than one
+/// global slot) so two jobs that ICE concurrently on different worker
+/// threads each keep their own (message, backtrace) pair.
+static CAPTURED: OnceLock<Mutex<HashMap<ThreadId, (String, String)>>> = OnceLock::new();
+
+fn captured() -> &'static Mutex<HashMap<ThreadId, (String, String)>> {
+    CAPTURED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Installs the process-wide panic hook that records panics per thread for
+/// [`take_panic`]. Idempotent; safe to call from every entry point (CLI
+/// main, daemon startup, tests). On threads inside a [`contain_panics`]
+/// region (or attached to a job scope) the default stderr spew is
+/// suppressed — the ICE boundary will render the report; everywhere else
+/// the previously installed hook still runs, so unexpected panics and test
+/// failures stay visible.
+pub fn install_panic_capture() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            let msg = match info.location() {
+                Some(l) => format!("{msg} [at {}:{}:{}]", l.file(), l.line(), l.column()),
+                None => msg,
+            };
+            let bt = std::backtrace::Backtrace::force_capture().to_string();
+            captured()
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(std::thread::current().id(), (msg, bt));
+            if !CONTAINED.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Takes the (message, backtrace) captured for the calling thread's most
+/// recent panic, if any. The ICE boundary calls this right after its
+/// `catch_unwind` observes an unwind — on the same thread that panicked —
+/// so concurrent jobs cannot clobber each other's reports.
+pub fn take_panic() -> Option<(String, String)> {
+    captured()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(&std::thread::current().id())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::MutexGuard;
-
-    /// The registry is process-global; serialize tests that touch it.
-    fn lock() -> MutexGuard<'static, ()> {
-        static GUARD: Mutex<()> = Mutex::new(());
-        GUARD.lock().unwrap_or_else(|p| p.into_inner())
-    }
 
     #[test]
     fn fires_once_at_the_armed_count() {
-        let _g = lock();
         arm("sema.panic:3").unwrap();
         assert!(!fire("sema.panic"));
         assert!(!fire("lex.panic"), "other sites never fire");
@@ -166,7 +353,6 @@ mod tests {
 
     #[test]
     fn default_count_is_the_first_hit() {
-        let _g = lock();
         arm("vm.verify.reject").unwrap();
         assert!(fire("vm.verify.reject"));
         reset();
@@ -174,7 +360,6 @@ mod tests {
 
     #[test]
     fn rejects_unknown_sites_and_bad_counts() {
-        let _g = lock();
         assert!(arm("nope").unwrap_err().contains("unknown fault site"));
         assert!(arm("lex.panic:0").unwrap_err().contains("positive"));
         assert!(arm("lex.panic:x").unwrap_err().contains("positive"));
@@ -183,7 +368,6 @@ mod tests {
 
     #[test]
     fn stage_tracking_round_trips() {
-        let _g = lock();
         set_stage("midend");
         assert_eq!(current_stage(), "midend");
         reset();
@@ -198,5 +382,65 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), n, "duplicate site names");
         assert!(site_catalog().contains("runtime.lost-thread"));
+    }
+
+    #[test]
+    fn scopes_are_thread_isolated() {
+        // Arm on this thread; a sibling thread must neither see the armament
+        // nor be able to fire it, and its own arming must not disturb ours.
+        arm("midend.panic").unwrap();
+        set_stage("midend");
+        let sibling = std::thread::spawn(|| {
+            assert!(
+                !fire("midend.panic"),
+                "armament must not leak across threads"
+            );
+            assert_eq!(current_stage(), "startup");
+            arm("vm.panic").unwrap();
+            set_stage("vm");
+            assert!(fire("vm.panic"));
+            reset();
+        });
+        sibling.join().unwrap();
+        assert_eq!(current_stage(), "midend");
+        assert!(
+            fire("midend.panic"),
+            "own armament survives sibling activity"
+        );
+        reset();
+    }
+
+    #[test]
+    fn handle_attach_extends_scope_to_workers() {
+        arm("runtime.lost-thread").unwrap();
+        let h = handle();
+        let worker = std::thread::spawn(move || {
+            assert!(!fire("runtime.lost-thread"), "no scope before attach");
+            let _g = h.attach();
+            assert!(
+                fire("runtime.lost-thread"),
+                "attached scope shares armament"
+            );
+        });
+        worker.join().unwrap();
+        // The worker consumed the one-shot armament through the shared scope.
+        assert!(!fire("runtime.lost-thread"));
+        reset();
+    }
+
+    #[test]
+    fn panic_capture_is_keyed_per_thread() {
+        install_panic_capture();
+        let a = std::thread::spawn(|| {
+            let _ = std::panic::catch_unwind(|| panic!("boom-a"));
+            take_panic().expect("thread a captured its own panic").0
+        });
+        let b = std::thread::spawn(|| {
+            let _ = std::panic::catch_unwind(|| panic!("boom-b"));
+            take_panic().expect("thread b captured its own panic").0
+        });
+        assert!(a.join().unwrap().contains("boom-a"));
+        assert!(b.join().unwrap().contains("boom-b"));
+        assert!(take_panic().is_none(), "main thread has no captured panic");
     }
 }

@@ -61,6 +61,9 @@ pub enum ExecError {
     Unreachable,
     /// The step budget was exhausted (guards against infinite loops).
     FuelExhausted,
+    /// The per-job wall-clock deadline passed (checked cooperatively at
+    /// fuel-refill boundaries). Carries the configured timeout in ms.
+    DeadlineExpired(u64),
     /// Call to an unknown function.
     UnknownFunction(String),
     /// Malformed IR encountered at runtime.
@@ -85,6 +88,12 @@ impl std::fmt::Display for ExecError {
             ExecError::Mem(m) => write!(f, "memory error: {m}"),
             ExecError::Unreachable => write!(f, "reached 'unreachable'"),
             ExecError::FuelExhausted => write!(f, "step budget exhausted (infinite loop?)"),
+            ExecError::DeadlineExpired(ms) => {
+                write!(
+                    f,
+                    "wall-clock deadline of {ms} ms exceeded ('--exec-timeout')"
+                )
+            }
             ExecError::UnknownFunction(n) => write!(f, "call to unknown function '{n}'"),
             ExecError::Malformed(m) => write!(f, "malformed IR: {m}"),
             ExecError::ThreadPanic => write!(f, "a team thread panicked"),
@@ -304,6 +313,13 @@ impl<'m> Interpreter<'m> {
                     let prev_fuel = self.fuel.fetch_sub(FUEL_BATCH, Ordering::Relaxed);
                     if prev_fuel < FUEL_BATCH {
                         return Err(ExecError::FuelExhausted);
+                    }
+                    // Piggyback the per-job wall-clock deadline on the fuel
+                    // refill so the check costs nothing on the per-op path.
+                    if let Some(dl) = self.cfg.deadline {
+                        if dl.expired() {
+                            return Err(ExecError::DeadlineExpired(dl.ms));
+                        }
                     }
                     local_fuel = FUEL_BATCH;
                 }

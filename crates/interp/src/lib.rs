@@ -28,4 +28,4 @@ pub mod runtime;
 pub use engine::{ChunkKind, ChunkLog, ChunkRecord, Engine};
 pub use exec::{ExecError, Interpreter, RtVal, RunResult};
 pub use memory::Memory;
-pub use runtime::{DispatchKind, RuntimeConfig, RuntimeSchedule, TeamState, ThreadCtx};
+pub use runtime::{Deadline, DispatchKind, RuntimeConfig, RuntimeSchedule, TeamState, ThreadCtx};

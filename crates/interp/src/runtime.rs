@@ -17,7 +17,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a dispatch (non-static) worksharing loop doles out iterations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,15 +103,6 @@ impl RuntimeSchedule {
             },
         }
     }
-
-    /// Reads `OMP_SCHEDULE`; falls back to balanced static chunks (the
-    /// libomp default for an unset variable). The fallback is silent here —
-    /// drivers should resolve the variable up front via
-    /// [`RuntimeSchedule::resolve`] so the user sees the warning.
-    pub fn from_env() -> RuntimeSchedule {
-        let var = std::env::var("OMP_SCHEDULE").ok();
-        Self::resolve(var.as_deref()).0
-    }
 }
 
 /// Per-run configuration.
@@ -124,12 +115,43 @@ pub struct RuntimeConfig {
     /// When true, `parallel` regions execute sequentially (tid 0..n in
     /// order) — useful for deterministic golden tests.
     pub serial: bool,
-    /// What `schedule(runtime)` resolves to; `None` reads `OMP_SCHEDULE`
-    /// at dispatch time.
+    /// What `schedule(runtime)` resolves to; `None` means the balanced
+    /// static libomp default. `OMP_SCHEDULE` is resolved once at CLI/client
+    /// entry — never inside the runtime, where a daemon's tenants would all
+    /// see the server's environment.
     pub runtime_schedule: Option<RuntimeSchedule>,
     /// Record every served schedule chunk in the engine's
     /// [`crate::engine::ChunkLog`] (differential-testing aid).
     pub log_chunks: bool,
+    /// Cooperative wall-clock deadline, checked at fuel-refill boundaries
+    /// (every [`crate::exec`] FUEL_BATCH retired ops per thread). `None`
+    /// disables the check. The one-shot CLI uses a process-exit watchdog
+    /// instead; the daemon sets this so a runaway job kills only itself.
+    pub deadline: Option<Deadline>,
+}
+
+/// A per-job wall-clock execution deadline (see [`RuntimeConfig::deadline`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    /// The instant past which execution aborts.
+    pub at: Instant,
+    /// The originally requested timeout, for the diagnostic message.
+    pub ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now.
+    pub fn in_ms(ms: u64) -> Deadline {
+        Deadline {
+            at: Instant::now() + std::time::Duration::from_millis(ms),
+            ms,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -140,6 +162,7 @@ impl Default for RuntimeConfig {
             serial: false,
             runtime_schedule: None,
             log_chunks: false,
+            deadline: None,
         }
     }
 }
@@ -555,6 +578,10 @@ fn fork_call<E: Engine>(
     // Team members inherit the forking thread's trace session (if any), so
     // runtime counters and spans from worker threads land in the same trace.
     let trace = omplt_trace::handle();
+    // They also inherit the forking job's fault scope: injected runtime
+    // faults (`runtime.lost-thread`) must trigger on this job's team members
+    // and never on a concurrent job sharing the process.
+    let fault = omplt_fault::handle();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..team)
             .map(|tid| {
@@ -562,8 +589,10 @@ fn fork_call<E: Engine>(
                 let caps = caps.clone();
                 let state = Arc::clone(&state);
                 let trace = trace.clone();
+                let fault = fault.clone();
                 s.spawn(move || {
                     let _trace = trace.as_ref().map(omplt_trace::Handle::attach);
+                    let _fault = fault.attach();
                     // Feeds the watchdog on every exit path out of the
                     // region, panic unwind included.
                     let _departure = DepartureGuard {
@@ -732,10 +761,15 @@ fn dispatch_init<E: Engine>(
         SCHED_DYNAMIC_CHUNKED => (DispatchKind::Dynamic, chunk),
         SCHED_GUIDED_CHUNKED => (DispatchKind::Guided, chunk),
         SCHED_RUNTIME => {
+            // The runtime never consults the process environment: in a
+            // multi-tenant daemon every job would otherwise see the server's
+            // env. `OMP_SCHEDULE` is resolved exactly once at CLI/client
+            // entry and threaded through the config; an unset config means
+            // the libomp default.
             let rs = e
                 .cfg()
                 .runtime_schedule
-                .unwrap_or_else(RuntimeSchedule::from_env);
+                .unwrap_or_else(RuntimeSchedule::default_static);
             (rs.kind, rs.chunk)
         }
         other => {

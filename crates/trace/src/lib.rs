@@ -74,12 +74,17 @@ thread_local! {
 /// into a later test that happens to reuse the thread.
 pub struct Session {
     inner: Arc<SessionInner>,
+    /// The recorder displaced by `begin`, restored when this session ends.
+    /// Stack discipline matters on a worker pool: a per-job session begun on
+    /// a worker thread must hand the thread back to whatever recorder (if
+    /// any) was installed before the job, not wipe it.
+    prev: Option<(Arc<SessionInner>, u32)>,
 }
 
 impl Session {
     /// Starts a session and installs it as the current thread's recorder
     /// (virtual tid 0). The previous recorder, if any, is displaced until
-    /// this session is finished or dropped.
+    /// this session is finished or dropped, then restored.
     pub fn begin() -> Session {
         let inner = Arc::new(SessionInner {
             start: Instant::now(),
@@ -87,8 +92,8 @@ impl Session {
             counters: Mutex::new(BTreeMap::new()),
             next_tid: AtomicU32::new(1),
         });
-        CURRENT.with(|c| *c.borrow_mut() = Some((inner.clone(), 0)));
-        Session { inner }
+        let prev = CURRENT.with(|c| c.borrow_mut().replace((inner.clone(), 0)));
+        Session { inner, prev }
     }
 
     /// A cloneable, sendable handle other threads can [`Handle::attach`].
@@ -119,7 +124,7 @@ impl Drop for Session {
             let mut cur = c.borrow_mut();
             if let Some((inner, _)) = cur.as_ref() {
                 if Arc::ptr_eq(inner, &self.inner) {
-                    *cur = None;
+                    *cur = self.prev.take();
                 }
             }
         });
@@ -453,6 +458,28 @@ mod tests {
         let session = Session::begin();
         drop(session);
         assert!(!active());
+    }
+
+    #[test]
+    fn nested_sessions_restore_the_outer_recorder() {
+        // A per-job session begun on a worker thread (e.g. by ompltd) must
+        // hand the thread back to the outer recorder when it ends, so
+        // consecutive jobs on one worker cannot leak into each other or
+        // into a surrounding session.
+        let outer = Session::begin();
+        count("outer", 1);
+        {
+            let inner = Session::begin();
+            count("job", 1);
+            let data = inner.finish();
+            assert_eq!(data.counters.get("job"), Some(&1));
+            assert!(!data.counters.contains_key("outer"));
+        }
+        assert!(active(), "outer recorder restored after the job session");
+        count("outer", 1);
+        let data = outer.finish();
+        assert_eq!(data.counters.get("outer"), Some(&2));
+        assert!(!data.counters.contains_key("job"));
     }
 
     #[test]

@@ -30,10 +30,12 @@ pub mod compile;
 pub mod ops;
 pub mod peephole;
 pub mod regalloc;
+pub mod serde;
 pub mod verify;
 pub mod vm;
 
 pub use compile::{compile_module, CompileError};
 pub use ops::{disasm, CallTarget, Op, PoolConst, Reg, RegClass, VmFunction, VmModule};
+pub use serde::{decode, encode, DecodeError};
 pub use verify::{verify_function, verify_module, VerifyError};
 pub use vm::VmEngine;

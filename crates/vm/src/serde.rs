@@ -1,0 +1,839 @@
+//! Binary serialization for compiled bytecode ([`VmModule`]).
+//!
+//! The daemon's artifact cache stores compiled modules as flat byte strings
+//! so cache sizing is exact (the LRU budget counts real bytes) and so cached
+//! artifacts survive any future move to an on-disk or remote cache tier.
+//! The format is a private, versioned, little-endian encoding:
+//!
+//! ```text
+//! "OMPLTBC\x01"  magic + format version (bump on any layout change)
+//! u32            function count
+//! per function:  name, ret, params, reg classes, const pool,
+//!                call args, call targets, block starts, ops
+//! ```
+//!
+//! Every enum crosses the boundary through an exhaustive `match`, so adding
+//! an IR or bytecode variant without extending the codec is a compile error,
+//! not a silent corruption. [`decode`] validates tags and lengths and fails
+//! with a message — never panics — because cached bytes, like anything a
+//! server reads back, are treated as untrusted input.
+
+use crate::ops::{CallTarget, Op, PoolConst, Reg, RegClass, VmFunction, VmModule};
+use omplt_interp::RtVal;
+use omplt_ir::{BinOpKind, CastOp, CmpPred, IrType, SymbolId};
+
+/// Magic prefix: 7 identifying bytes plus a 1-byte format version.
+const MAGIC: &[u8; 8] = b"OMPLTBC\x01";
+
+/// A malformed or version-incompatible bytecode image.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bytecode image: {}", self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, DecodeError> {
+    Err(DecodeError(msg.into()))
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn reg(&mut self, r: Reg) {
+        self.u16(r);
+    }
+    fn opt_reg(&mut self, r: Option<Reg>) {
+        match r {
+            None => self.u8(0),
+            Some(r) => {
+                self.u8(1);
+                self.u16(r);
+            }
+        }
+    }
+    fn ty(&mut self, t: IrType) {
+        self.u8(ty_tag(t));
+    }
+}
+
+fn ty_tag(t: IrType) -> u8 {
+    match t {
+        IrType::Void => 0,
+        IrType::I1 => 1,
+        IrType::I8 => 2,
+        IrType::I16 => 3,
+        IrType::I32 => 4,
+        IrType::I64 => 5,
+        IrType::F32 => 6,
+        IrType::F64 => 7,
+        IrType::Ptr => 8,
+    }
+}
+
+fn ty_from(tag: u8) -> Result<IrType, DecodeError> {
+    Ok(match tag {
+        0 => IrType::Void,
+        1 => IrType::I1,
+        2 => IrType::I8,
+        3 => IrType::I16,
+        4 => IrType::I32,
+        5 => IrType::I64,
+        6 => IrType::F32,
+        7 => IrType::F64,
+        8 => IrType::Ptr,
+        other => return err(format!("bad IrType tag {other}")),
+    })
+}
+
+fn bin_tag(op: BinOpKind) -> u8 {
+    match op {
+        BinOpKind::Add => 0,
+        BinOpKind::Sub => 1,
+        BinOpKind::Mul => 2,
+        BinOpKind::SDiv => 3,
+        BinOpKind::UDiv => 4,
+        BinOpKind::SRem => 5,
+        BinOpKind::URem => 6,
+        BinOpKind::Shl => 7,
+        BinOpKind::AShr => 8,
+        BinOpKind::LShr => 9,
+        BinOpKind::And => 10,
+        BinOpKind::Or => 11,
+        BinOpKind::Xor => 12,
+        BinOpKind::FAdd => 13,
+        BinOpKind::FSub => 14,
+        BinOpKind::FMul => 15,
+        BinOpKind::FDiv => 16,
+        BinOpKind::FRem => 17,
+    }
+}
+
+fn bin_from(tag: u8) -> Result<BinOpKind, DecodeError> {
+    Ok(match tag {
+        0 => BinOpKind::Add,
+        1 => BinOpKind::Sub,
+        2 => BinOpKind::Mul,
+        3 => BinOpKind::SDiv,
+        4 => BinOpKind::UDiv,
+        5 => BinOpKind::SRem,
+        6 => BinOpKind::URem,
+        7 => BinOpKind::Shl,
+        8 => BinOpKind::AShr,
+        9 => BinOpKind::LShr,
+        10 => BinOpKind::And,
+        11 => BinOpKind::Or,
+        12 => BinOpKind::Xor,
+        13 => BinOpKind::FAdd,
+        14 => BinOpKind::FSub,
+        15 => BinOpKind::FMul,
+        16 => BinOpKind::FDiv,
+        17 => BinOpKind::FRem,
+        other => return err(format!("bad BinOpKind tag {other}")),
+    })
+}
+
+fn pred_tag(p: CmpPred) -> u8 {
+    match p {
+        CmpPred::Eq => 0,
+        CmpPred::Ne => 1,
+        CmpPred::Slt => 2,
+        CmpPred::Sle => 3,
+        CmpPred::Sgt => 4,
+        CmpPred::Sge => 5,
+        CmpPred::Ult => 6,
+        CmpPred::Ule => 7,
+        CmpPred::Ugt => 8,
+        CmpPred::Uge => 9,
+        CmpPred::FEq => 10,
+        CmpPred::FNe => 11,
+        CmpPred::FLt => 12,
+        CmpPred::FLe => 13,
+        CmpPred::FGt => 14,
+        CmpPred::FGe => 15,
+    }
+}
+
+fn pred_from(tag: u8) -> Result<CmpPred, DecodeError> {
+    Ok(match tag {
+        0 => CmpPred::Eq,
+        1 => CmpPred::Ne,
+        2 => CmpPred::Slt,
+        3 => CmpPred::Sle,
+        4 => CmpPred::Sgt,
+        5 => CmpPred::Sge,
+        6 => CmpPred::Ult,
+        7 => CmpPred::Ule,
+        8 => CmpPred::Ugt,
+        9 => CmpPred::Uge,
+        10 => CmpPred::FEq,
+        11 => CmpPred::FNe,
+        12 => CmpPred::FLt,
+        13 => CmpPred::FLe,
+        14 => CmpPred::FGt,
+        15 => CmpPred::FGe,
+        other => return err(format!("bad CmpPred tag {other}")),
+    })
+}
+
+fn cast_tag(c: CastOp) -> u8 {
+    match c {
+        CastOp::Trunc => 0,
+        CastOp::ZExt => 1,
+        CastOp::SExt => 2,
+        CastOp::SiToFp => 3,
+        CastOp::UiToFp => 4,
+        CastOp::FpToSi => 5,
+        CastOp::FpToUi => 6,
+        CastOp::FpTrunc => 7,
+        CastOp::FpExt => 8,
+        CastOp::PtrToInt => 9,
+        CastOp::IntToPtr => 10,
+    }
+}
+
+fn cast_from(tag: u8) -> Result<CastOp, DecodeError> {
+    Ok(match tag {
+        0 => CastOp::Trunc,
+        1 => CastOp::ZExt,
+        2 => CastOp::SExt,
+        3 => CastOp::SiToFp,
+        4 => CastOp::UiToFp,
+        5 => CastOp::FpToSi,
+        6 => CastOp::FpToUi,
+        7 => CastOp::FpTrunc,
+        8 => CastOp::FpExt,
+        9 => CastOp::PtrToInt,
+        10 => CastOp::IntToPtr,
+        other => return err(format!("bad CastOp tag {other}")),
+    })
+}
+
+fn class_tag(c: RegClass) -> u8 {
+    match c {
+        RegClass::Int => 0,
+        RegClass::Float => 1,
+        RegClass::Ptr => 2,
+    }
+}
+
+fn class_from(tag: u8) -> Result<RegClass, DecodeError> {
+    Ok(match tag {
+        0 => RegClass::Int,
+        1 => RegClass::Float,
+        2 => RegClass::Ptr,
+        other => return err(format!("bad RegClass tag {other}")),
+    })
+}
+
+fn encode_op(e: &mut Enc, op: Op) {
+    match op {
+        Op::Const { dst, idx } => {
+            e.u8(0);
+            e.reg(dst);
+            e.u16(idx);
+        }
+        Op::Mov { dst, src } => {
+            e.u8(1);
+            e.reg(dst);
+            e.reg(src);
+        }
+        Op::Alloca { dst, bytes } => {
+            e.u8(2);
+            e.reg(dst);
+            e.u32(bytes);
+        }
+        Op::Load { dst, addr, ty } => {
+            e.u8(3);
+            e.reg(dst);
+            e.reg(addr);
+            e.ty(ty);
+        }
+        Op::Store { src, addr, ty } => {
+            e.u8(4);
+            e.reg(src);
+            e.reg(addr);
+            e.ty(ty);
+        }
+        Op::Gep {
+            dst,
+            base,
+            index,
+            elem_size,
+        } => {
+            e.u8(5);
+            e.reg(dst);
+            e.reg(base);
+            e.reg(index);
+            e.u32(elem_size);
+        }
+        Op::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            e.u8(6);
+            e.u8(bin_tag(op));
+            e.ty(ty);
+            e.reg(dst);
+            e.reg(lhs);
+            e.reg(rhs);
+        }
+        Op::Cmp {
+            pred,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            e.u8(7);
+            e.u8(pred_tag(pred));
+            e.ty(ty);
+            e.reg(dst);
+            e.reg(lhs);
+            e.reg(rhs);
+        }
+        Op::Cast {
+            op,
+            from,
+            to,
+            dst,
+            src,
+        } => {
+            e.u8(8);
+            e.u8(cast_tag(op));
+            e.ty(from);
+            e.ty(to);
+            e.reg(dst);
+            e.reg(src);
+        }
+        Op::Select { dst, cond, t, f } => {
+            e.u8(9);
+            e.reg(dst);
+            e.reg(cond);
+            e.reg(t);
+            e.reg(f);
+        }
+        Op::Call {
+            target,
+            args_at,
+            nargs,
+            ret,
+            dst,
+        } => {
+            e.u8(10);
+            e.u16(target);
+            e.u32(args_at);
+            e.u16(nargs);
+            e.ty(ret);
+            e.opt_reg(dst);
+        }
+        Op::Jmp { target } => {
+            e.u8(11);
+            e.u32(target);
+        }
+        Op::Br {
+            cond,
+            then_t,
+            else_t,
+        } => {
+            e.u8(12);
+            e.reg(cond);
+            e.u32(then_t);
+            e.u32(else_t);
+        }
+        Op::BinJmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+            target,
+        } => {
+            e.u8(13);
+            e.u8(bin_tag(op));
+            e.ty(ty);
+            e.reg(dst);
+            e.reg(lhs);
+            e.reg(rhs);
+            e.u32(target);
+        }
+        Op::CmpBr {
+            pred,
+            ty,
+            lhs,
+            rhs,
+            then_t,
+            else_t,
+        } => {
+            e.u8(14);
+            e.u8(pred_tag(pred));
+            e.ty(ty);
+            e.reg(lhs);
+            e.reg(rhs);
+            e.u32(then_t);
+            e.u32(else_t);
+        }
+        Op::Ret { src } => {
+            e.u8(15);
+            e.opt_reg(src);
+        }
+        Op::Unreachable => e.u8(16),
+    }
+}
+
+fn encode_const(e: &mut Enc, c: PoolConst) {
+    match c {
+        PoolConst::Val(RtVal::I(v)) => {
+            e.u8(0);
+            e.u64(v as u64);
+        }
+        PoolConst::Val(RtVal::F(v)) => {
+            e.u8(1);
+            e.u64(v.to_bits());
+        }
+        PoolConst::Val(RtVal::P(v)) => {
+            e.u8(2);
+            e.u64(v);
+        }
+        PoolConst::Global(s) => {
+            e.u8(3);
+            e.u32(s.0);
+        }
+        PoolConst::FnPtr(s) => {
+            e.u8(4);
+            e.u32(s.0);
+        }
+    }
+}
+
+/// Serializes a compiled module to its canonical byte image.
+pub fn encode(m: &VmModule) -> Vec<u8> {
+    let mut e = Enc {
+        buf: Vec::with_capacity(64 + m.num_ops() * 12),
+    };
+    e.buf.extend_from_slice(MAGIC);
+    e.u32(m.funcs.len() as u32);
+    for f in &m.funcs {
+        e.str(&f.name);
+        e.ty(f.ret);
+        e.u16(f.num_regs);
+        e.u32(f.params.len() as u32);
+        for &r in &f.params {
+            e.reg(r);
+        }
+        e.u32(f.reg_class.len() as u32);
+        for &c in &f.reg_class {
+            e.u8(class_tag(c));
+        }
+        e.u32(f.consts.len() as u32);
+        for &c in &f.consts {
+            encode_const(&mut e, c);
+        }
+        e.u32(f.call_args.len() as u32);
+        for &r in &f.call_args {
+            e.reg(r);
+        }
+        e.u32(f.call_targets.len() as u32);
+        for &t in &f.call_targets {
+            match t {
+                CallTarget::Bytecode(i) => {
+                    e.u8(0);
+                    e.u32(i);
+                }
+                CallTarget::Runtime(s) => {
+                    e.u8(1);
+                    e.u32(s.0);
+                }
+            }
+        }
+        e.u32(f.block_starts.len() as u32);
+        for &b in &f.block_starts {
+            e.u32(b);
+        }
+        e.u32(f.ops.len() as u32);
+        for &op in &f.ops {
+            encode_op(&mut e, op);
+        }
+    }
+    e.buf
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.at < n {
+            return err("truncated");
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A length prefix used to size a preallocation; bounded so a corrupt
+    /// image cannot request an absurd reservation before truncation is hit.
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.at {
+            return err(format!("length {n} exceeds remaining image"));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).or_else(|_| err("invalid UTF-8 in name"))
+    }
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        self.u16()
+    }
+    fn opt_reg(&mut self) -> Result<Option<Reg>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u16()?)),
+            other => err(format!("bad Option<Reg> tag {other}")),
+        }
+    }
+    fn ty(&mut self) -> Result<IrType, DecodeError> {
+        ty_from(self.u8()?)
+    }
+}
+
+fn decode_op(d: &mut Dec) -> Result<Op, DecodeError> {
+    Ok(match d.u8()? {
+        0 => Op::Const {
+            dst: d.reg()?,
+            idx: d.u16()?,
+        },
+        1 => Op::Mov {
+            dst: d.reg()?,
+            src: d.reg()?,
+        },
+        2 => Op::Alloca {
+            dst: d.reg()?,
+            bytes: d.u32()?,
+        },
+        3 => Op::Load {
+            dst: d.reg()?,
+            addr: d.reg()?,
+            ty: d.ty()?,
+        },
+        4 => Op::Store {
+            src: d.reg()?,
+            addr: d.reg()?,
+            ty: d.ty()?,
+        },
+        5 => Op::Gep {
+            dst: d.reg()?,
+            base: d.reg()?,
+            index: d.reg()?,
+            elem_size: d.u32()?,
+        },
+        6 => Op::Bin {
+            op: bin_from(d.u8()?)?,
+            ty: d.ty()?,
+            dst: d.reg()?,
+            lhs: d.reg()?,
+            rhs: d.reg()?,
+        },
+        7 => Op::Cmp {
+            pred: pred_from(d.u8()?)?,
+            ty: d.ty()?,
+            dst: d.reg()?,
+            lhs: d.reg()?,
+            rhs: d.reg()?,
+        },
+        8 => Op::Cast {
+            op: cast_from(d.u8()?)?,
+            from: d.ty()?,
+            to: d.ty()?,
+            dst: d.reg()?,
+            src: d.reg()?,
+        },
+        9 => Op::Select {
+            dst: d.reg()?,
+            cond: d.reg()?,
+            t: d.reg()?,
+            f: d.reg()?,
+        },
+        10 => Op::Call {
+            target: d.u16()?,
+            args_at: d.u32()?,
+            nargs: d.u16()?,
+            ret: d.ty()?,
+            dst: d.opt_reg()?,
+        },
+        11 => Op::Jmp { target: d.u32()? },
+        12 => Op::Br {
+            cond: d.reg()?,
+            then_t: d.u32()?,
+            else_t: d.u32()?,
+        },
+        13 => Op::BinJmp {
+            op: bin_from(d.u8()?)?,
+            ty: d.ty()?,
+            dst: d.reg()?,
+            lhs: d.reg()?,
+            rhs: d.reg()?,
+            target: d.u32()?,
+        },
+        14 => Op::CmpBr {
+            pred: pred_from(d.u8()?)?,
+            ty: d.ty()?,
+            lhs: d.reg()?,
+            rhs: d.reg()?,
+            then_t: d.u32()?,
+            else_t: d.u32()?,
+        },
+        15 => Op::Ret { src: d.opt_reg()? },
+        16 => Op::Unreachable,
+        other => return err(format!("bad Op tag {other}")),
+    })
+}
+
+fn decode_const(d: &mut Dec) -> Result<PoolConst, DecodeError> {
+    Ok(match d.u8()? {
+        0 => PoolConst::Val(RtVal::I(d.u64()? as i64)),
+        1 => PoolConst::Val(RtVal::F(f64::from_bits(d.u64()?))),
+        2 => PoolConst::Val(RtVal::P(d.u64()?)),
+        3 => PoolConst::Global(SymbolId(d.u32()?)),
+        4 => PoolConst::FnPtr(SymbolId(d.u32()?)),
+        other => return err(format!("bad PoolConst tag {other}")),
+    })
+}
+
+/// Reconstructs a module from a byte image produced by [`encode`].
+///
+/// The result is structurally valid but *semantically* untrusted — callers
+/// that execute it should run it through `verify_module` once (the daemon
+/// verifies at insert time instead, and trusts its own process memory).
+pub fn decode(bytes: &[u8]) -> Result<VmModule, DecodeError> {
+    let mut d = Dec { buf: bytes, at: 0 };
+    if d.take(MAGIC.len())? != MAGIC {
+        return err("bad magic or unsupported version");
+    }
+    let nfuncs = d.u32()?;
+    let mut funcs = Vec::new();
+    for _ in 0..nfuncs {
+        let name = d.str()?;
+        let ret = d.ty()?;
+        let num_regs = d.u16()?;
+        let nparams = d.len()?;
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            params.push(d.reg()?);
+        }
+        let nclasses = d.len()?;
+        let mut reg_class = Vec::with_capacity(nclasses);
+        for _ in 0..nclasses {
+            reg_class.push(class_from(d.u8()?)?);
+        }
+        let nconsts = d.len()?;
+        let mut consts = Vec::with_capacity(nconsts);
+        for _ in 0..nconsts {
+            consts.push(decode_const(&mut d)?);
+        }
+        let nargs = d.len()?;
+        let mut call_args = Vec::with_capacity(nargs);
+        for _ in 0..nargs {
+            call_args.push(d.reg()?);
+        }
+        let ntargets = d.len()?;
+        let mut call_targets = Vec::with_capacity(ntargets);
+        for _ in 0..ntargets {
+            call_targets.push(match d.u8()? {
+                0 => CallTarget::Bytecode(d.u32()?),
+                1 => CallTarget::Runtime(SymbolId(d.u32()?)),
+                other => return err(format!("bad CallTarget tag {other}")),
+            });
+        }
+        let nblocks = d.len()?;
+        let mut block_starts = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            block_starts.push(d.u32()?);
+        }
+        let nops = d.len()?;
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            ops.push(decode_op(&mut d)?);
+        }
+        funcs.push(VmFunction {
+            name,
+            params,
+            num_regs,
+            reg_class,
+            ops,
+            consts,
+            call_args,
+            call_targets,
+            block_starts,
+            ret,
+        });
+    }
+    if d.at != bytes.len() {
+        return err(format!(
+            "{} trailing bytes after module",
+            bytes.len() - d.at
+        ));
+    }
+    Ok(VmModule { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VmModule {
+        let f = VmFunction {
+            name: "main".to_string(),
+            params: vec![0, 1],
+            num_regs: 6,
+            reg_class: vec![
+                RegClass::Int,
+                RegClass::Int,
+                RegClass::Float,
+                RegClass::Ptr,
+                RegClass::Int,
+                RegClass::Int,
+            ],
+            ops: vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::Alloca { dst: 3, bytes: 16 },
+                Op::Store {
+                    src: 0,
+                    addr: 3,
+                    ty: IrType::I64,
+                },
+                Op::Load {
+                    dst: 4,
+                    addr: 3,
+                    ty: IrType::I64,
+                },
+                Op::Bin {
+                    op: BinOpKind::Add,
+                    ty: IrType::I64,
+                    dst: 4,
+                    lhs: 4,
+                    rhs: 0,
+                },
+                Op::Cast {
+                    op: CastOp::SiToFp,
+                    from: IrType::I64,
+                    to: IrType::F64,
+                    dst: 2,
+                    src: 4,
+                },
+                Op::CmpBr {
+                    pred: CmpPred::Slt,
+                    ty: IrType::I64,
+                    lhs: 4,
+                    rhs: 0,
+                    then_t: 1,
+                    else_t: 7,
+                },
+                Op::Call {
+                    target: 0,
+                    args_at: 0,
+                    nargs: 2,
+                    ret: IrType::Void,
+                    dst: None,
+                },
+                Op::Ret { src: Some(4) },
+            ],
+            consts: vec![
+                PoolConst::Val(RtVal::I(-7)),
+                PoolConst::Val(RtVal::F(1.5)),
+                PoolConst::Global(SymbolId(3)),
+                PoolConst::FnPtr(SymbolId(4)),
+            ],
+            call_args: vec![0, 1],
+            call_targets: vec![CallTarget::Runtime(SymbolId(9)), CallTarget::Bytecode(0)],
+            block_starts: vec![0, 1, 7],
+            ret: IrType::I32,
+        };
+        VmModule { funcs: vec![f] }
+    }
+
+    #[test]
+    fn roundtrips_structurally() {
+        let m = sample();
+        let bytes = encode(&m);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back.funcs.len(), 1);
+        let (a, b) = (&m.funcs[0], &back.funcs[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.num_regs, b.num_regs);
+        assert_eq!(a.reg_class, b.reg_class);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.consts, b.consts);
+        assert_eq!(a.call_args, b.call_args);
+        assert_eq!(a.call_targets, b.call_targets);
+        assert_eq!(a.block_starts, b.block_starts);
+        assert_eq!(a.ret, b.ret);
+        // And the image itself is canonical: re-encoding reproduces it.
+        assert_eq!(bytes, encode(&back));
+    }
+
+    #[test]
+    fn rejects_corruption_without_panicking() {
+        let bytes = encode(&sample());
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode(&bad).is_err());
+        // Future format version.
+        let mut vers = bytes.clone();
+        vers[7] = 2;
+        assert!(decode(&vers).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode(&long).is_err());
+    }
+}

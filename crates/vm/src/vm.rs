@@ -209,6 +209,13 @@ impl<'m> VmEngine<'m> {
                 if prev < FUEL_BATCH {
                     return Err(ExecError::FuelExhausted);
                 }
+                // Per-job wall-clock deadline, checked once per batch so the
+                // per-op dispatch loop stays untouched.
+                if let Some(dl) = self.cfg.deadline {
+                    if dl.expired() {
+                        return Err(ExecError::DeadlineExpired(dl.ms));
+                    }
+                }
                 fuel = FUEL_BATCH;
                 *granted += FUEL_BATCH;
             }

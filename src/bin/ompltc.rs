@@ -79,7 +79,6 @@
 use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
 use std::panic::AssertUnwindSafe;
 use std::process::ExitCode;
-use std::sync::Mutex;
 
 fn emit_diags(ci: &CompilerInstance, json: bool) {
     if ci.diags.is_empty() {
@@ -114,6 +113,12 @@ struct Cli {
     exec_timeout_ms: Option<u64>,
     /// `--crash-report` bundle directory.
     crash_report: Option<String>,
+    /// `--remote=PATH` — ship the job to an `ompltd` socket instead of
+    /// compiling in-process.
+    remote: Option<String>,
+    /// `--inject-fault` spec, kept verbatim so `--remote` can forward it
+    /// (it is also armed locally at parse time for the in-process path).
+    inject_fault: Option<String>,
     /// `--autotune` evaluation budget (`None` = not tuning).
     autotune: Option<usize>,
     /// `--tune-json` destination, same encoding as `time_trace`.
@@ -133,46 +138,19 @@ fn usage() -> u8 {
          [--counters-json[=FILE]] [--crash-report=DIR] \
          [--diag-format=text|json] [--emit-bytecode] [--emit-ir] \
          [--enable-irbuilder] [--exec-timeout=MS] [--fuel=N] \
-         [--inject-fault=SITE[:COUNT]] [--opt] [--run] [--serial] \
-         [--syntax-only] [--threads N] [--time-report] [--time-trace[=FILE]] \
+         [--inject-fault=SITE[:COUNT]] [--opt] [--remote=SOCKET] [--run] \
+         [--serial] [--syntax-only] [--threads N] [--time-report] \
+         [--time-trace[=FILE]] \
          [--tune-best=FILE] [--tune-cost=ops|time] [--tune-json[=FILE]] \
          [--tune-seed=N] [--verify-each] <file.c>"
     );
     2
 }
 
-/// Minimal JSON string escaping for driver-rendered diagnostics (quotes,
-/// backslashes, newlines) — driver errors happen before/around a
-/// `CompilerInstance`, so the array is rendered here in the same shape
-/// `DiagnosticsEngine::render_json` produces.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// One file-less diagnostic object in `render_json`'s shape.
-fn json_diag_object(level: &str, msg: &str, notes: &[String]) -> String {
-    let notes = notes
-        .iter()
-        .map(|n| json_diag_object("note", n, &[]))
-        .collect::<Vec<_>>()
-        .join(",");
-    format!(
-        "{{\"level\":\"{level}\",\"message\":\"{}\",\"file\":null,\"notes\":[{notes}]}}",
-        json_escape(msg)
-    )
-}
+// Driver errors happen before/around a `CompilerInstance`, so their JSON
+// rendering lives in `omplt::protocol` (shared with the daemon, which must
+// produce byte-identical driver diagnostics) and is re-used here.
+use omplt::protocol::json_diag_object;
 
 /// Diagnoses a driver-level error on stderr — as a JSON diagnostic array
 /// when `--diag-format=json` is in effect — and returns exit code 2.
@@ -209,6 +187,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let mut counters_json = None;
     let mut exec_timeout_ms = None;
     let mut crash_report = None;
+    let mut remote = None;
+    let mut inject_fault: Option<String> = None;
     let mut autotune = None;
     let mut tune_json = None;
     let mut tune_best = None;
@@ -320,6 +300,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                     return Err(2);
                 };
                 arm_fault(v)?;
+                inject_fault = Some(v.to_string());
             }
             "--crash-report" => {
                 let Some(v) = it.next() else {
@@ -342,10 +323,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                 set_timeout(&mut exec_timeout_ms, &other["--exec-timeout=".len()..])?;
             }
             other if other.starts_with("--inject-fault=") => {
-                arm_fault(&other["--inject-fault=".len()..])?;
+                let v = &other["--inject-fault=".len()..];
+                arm_fault(v)?;
+                inject_fault = Some(v.to_string());
             }
             other if other.starts_with("--crash-report=") => {
                 crash_report = Some(other["--crash-report=".len()..].to_string());
+            }
+            other if other.starts_with("--remote=") => {
+                remote = Some(other["--remote=".len()..].to_string());
             }
             other if other.starts_with("--autotune=") => {
                 let v = &other["--autotune=".len()..];
@@ -465,6 +451,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         counters_json,
         exec_timeout_ms,
         crash_report,
+        remote,
+        inject_fault,
         autotune,
         tune_json,
         tune_best,
@@ -659,31 +647,10 @@ fn drive_autotune(cli: &Cli, source: &str) -> u8 {
     code
 }
 
-/// The panic captured by the ICE hook: (message [with source location],
-/// backtrace). Last panic wins — that is the one escaping to the boundary.
-static PANIC_INFO: Mutex<Option<(String, String)>> = Mutex::new(None);
-
-/// Replaces the default panic hook: instead of spewing raw panic output to
-/// stderr, record the message and a backtrace for the ICE report. Worker
-/// (team) thread panics also land here; those are converted to runtime
-/// errors by `fork_call` and never reach the ICE boundary.
-fn install_ice_hook() {
-    std::panic::set_hook(Box::new(|info| {
-        let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = info.payload().downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "<non-string panic payload>".to_string()
-        };
-        let msg = match info.location() {
-            Some(l) => format!("{msg} [at {}:{}:{}]", l.file(), l.line(), l.column()),
-            None => msg,
-        };
-        let bt = std::backtrace::Backtrace::force_capture().to_string();
-        *PANIC_INFO.lock().unwrap() = Some((msg, bt));
-    }));
-}
+// Panic capture lives in `omplt::fault` now: the hook records (message,
+// backtrace) keyed by the panicking *thread*, so a daemon running jobs on a
+// worker pool reports each job's own panic instead of whichever panicked
+// last. This driver consumes the same per-thread API.
 
 /// Writes the `--crash-report` bundle: the input source, a report naming the
 /// pipeline stage and panic with its backtrace, and a counters snapshot.
@@ -721,23 +688,34 @@ fn write_crash_report(
     Ok(())
 }
 
-/// The ICE boundary's reporter: renders the structured "internal compiler
-/// error" diagnostic (text or JSON), writes the optional crash bundle, and
-/// returns exit code 3.
+/// The ICE boundary's reporter for in-process panics: fetches this thread's
+/// captured panic and delegates to [`report_ice_as`].
 fn report_ice(cli: &Cli, data: Option<&omplt::trace::TraceData>) -> u8 {
     let stage = omplt::fault::current_stage();
-    let (msg, backtrace) = PANIC_INFO
-        .lock()
-        .unwrap()
-        .take()
+    let (msg, backtrace) = omplt::fault::take_panic()
         .unwrap_or_else(|| ("<panic details unavailable>".to_string(), String::new()));
+    report_ice_as(cli, data, stage, &msg, &backtrace)
+}
+
+/// Renders the structured "internal compiler error" diagnostic (text or
+/// JSON), writes the optional crash bundle, and returns exit code 3. Also
+/// the rendering path for ICEs a daemon contained on our behalf — the
+/// stage/message/backtrace then arrive in the job reply, and the output
+/// bytes match an in-process ICE exactly.
+fn report_ice_as(
+    cli: &Cli,
+    data: Option<&omplt::trace::TraceData>,
+    stage: &str,
+    msg: &str,
+    backtrace: &str,
+) -> u8 {
     let headline = format!("internal compiler error in stage '{stage}': {msg}");
     let mut notes = vec![
         "this is a bug in ompltc, not in your source file".to_string(),
         "the request was contained: the process is exiting cleanly with code 3".to_string(),
     ];
     if let Some(dir) = &cli.crash_report {
-        match write_crash_report(dir, cli, stage, &msg, &backtrace, data) {
+        match write_crash_report(dir, cli, stage, msg, backtrace, data) {
             Ok(()) => notes.push(format!("crash report written to '{dir}'")),
             Err(e) => notes.push(format!("failed to write crash report to '{dir}': {e}")),
         }
@@ -770,13 +748,98 @@ fn write_output(dest: &Option<String>, content: &str, what: &str) -> bool {
     }
 }
 
+/// The `--remote` client: ship the job to an `ompltd` socket and replay the
+/// reply so the invocation is byte-identical to an in-process run — same
+/// stdout, same stderr (diagnostics pre-rendered by the server in the
+/// requested format), same exit code, and the same locally rendered ICE
+/// report (with `--crash-report` bundle) if the daemon contained a panic.
+fn drive_remote(cli: &Cli, path: &str) -> u8 {
+    use omplt::protocol::{read_frame, write_frame, JobRequest, JobResponse};
+    let json = cli.json;
+    if cli.analyze
+        || cli.ast_dump
+        || cli.ast_dump_transformed
+        || cli.emit_bytecode
+        || cli.autotune.is_some()
+        || cli.time_trace.is_some()
+        || cli.time_report
+    {
+        return driver_error(
+            "'--remote' ships compile/run jobs only and cannot be combined with '--analyze', \
+             '--ast-dump[-transformed]', '--emit-bytecode', '--autotune', '--time-trace', or \
+             '--time-report'",
+            json,
+        );
+    }
+    let source = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            return driver_error(&format!("cannot read '{}': {e}", cli.file), json);
+        }
+    };
+    let mut job = JobRequest::new(1, &cli.file, &source);
+    job.opts = cli.opts;
+    job.optimize = cli.optimize;
+    job.run = cli.run;
+    job.syntax_only = cli.syntax_only;
+    job.emit_ir = cli.emit_ir;
+    job.json_diags = json;
+    job.want_counters = cli.counters_json.is_some();
+    job.inject_fault = cli.inject_fault.clone();
+    // The CLI watchdog cannot kill a job inside the daemon, so the deadline
+    // travels with the job and is enforced at the engines' fuel-refill
+    // points instead.
+    job.opts.deadline_ms = cli.exec_timeout_ms;
+    if cli.run && job.opts.runtime_schedule.is_none() {
+        // `OMP_SCHEDULE` is resolved exactly once, here, in the client's
+        // environment. The daemon never reads environment variables — its
+        // tenants would otherwise see each other's (or the daemon's) env.
+        let env = std::env::var("OMP_SCHEDULE").ok();
+        let (sched, warning) = omplt::interp::RuntimeSchedule::resolve(env.as_deref());
+        job.opts.runtime_schedule = Some(sched);
+        job.schedule_warning = warning;
+    }
+    let mut stream = match std::os::unix::net::UnixStream::connect(path) {
+        Ok(s) => s,
+        Err(e) => {
+            return driver_error(&format!("cannot connect to ompltd at '{path}': {e}"), json);
+        }
+    };
+    if let Err(e) = write_frame(&mut stream, job.render().as_bytes()) {
+        return driver_error(&format!("cannot send job to ompltd: {e}"), json);
+    }
+    let body = match read_frame(&mut stream) {
+        Ok(Some(b)) => b,
+        Ok(None) => return driver_error("ompltd closed the connection without replying", json),
+        Err(e) => return driver_error(&format!("cannot read ompltd reply: {e}"), json),
+    };
+    let text = String::from_utf8_lossy(&body);
+    let resp = match JobResponse::parse(&text) {
+        Ok(r) => r,
+        Err(e) => return driver_error(&format!("invalid ompltd reply: {e}"), json),
+    };
+    print!("{}", resp.stdout);
+    eprint!("{}", resp.stderr);
+    let mut code = resp.exit_code;
+    if let Some(ice) = &resp.ice {
+        code = report_ice_as(cli, None, &ice.stage, &ice.message, &ice.backtrace);
+    }
+    if let Some(dest) = &cli.counters_json {
+        let doc = resp.counters_json.unwrap_or_default();
+        if !write_output(dest, &doc, "counters") && code == 0 {
+            code = 1;
+        }
+    }
+    code
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_cli(&args) {
         Ok(cli) => cli,
         Err(code) => return ExitCode::from(code),
     };
-    install_ice_hook();
+    omplt::fault::install_panic_capture();
 
     if let Some(ms) = cli.exec_timeout_ms {
         // Detached wall-clock watchdog: if the pipeline (or the program it
@@ -796,6 +859,13 @@ fn main() -> ExitCode {
         });
     }
 
+    if let Some(path) = &cli.remote {
+        // Remote jobs run (and are traced, contained, and cached) inside the
+        // daemon; the client just replays the reply. The watchdog above
+        // still guards against a hung daemon.
+        return ExitCode::from(drive_remote(&cli, path));
+    }
+
     // `--crash-report` forces a trace session so the bundle always carries a
     // counters snapshot of how far the pipeline got.
     let tracing = cli.time_trace.is_some()
@@ -804,6 +874,9 @@ fn main() -> ExitCode {
         || cli.crash_report.is_some();
     let session = tracing.then(omplt::trace::Session::begin);
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // Suppress default panic spew inside the ICE boundary; the captured
+        // panic is rendered as a structured diagnostic instead.
+        let _contain = omplt::fault::contain_panics();
         // The root span; everything the pipeline does nests under it. Scoped
         // so it is closed before the session is finished below.
         let _root = omplt::trace::span("ompltc");

@@ -1,0 +1,341 @@
+//! ompltd — the compile server.
+//!
+//! Serves `omplt::service` over length-prefixed JSON frames (see
+//! `src/protocol.rs` for the frame format and exit-code contract), either on
+//! a Unix-domain socket (`--listen=PATH`) or over stdin/stdout (`--stdio`).
+//! Jobs execute on a fixed worker pool (`--workers=N`); compiled artifacts
+//! are shared through the content-addressed LRU cache (`--cache-bytes=N`).
+//!
+//! Two additional driver modes support CI:
+//!
+//! * `--warmup` runs a fixed, scripted job sequence against a fresh cache
+//!   and prints the `daemon.cache.*` counters — `ci/check_counter_drift.sh`
+//!   pins the exact hit/miss counts.
+//! * `--bench` runs the throughput benchmark (cold pass, then warm passes at
+//!   each `--bench-workers` count) and emits a JSON artifact.
+
+use omplt::protocol::{error_reply, read_frame, write_frame};
+use omplt::service::{throughput_bench, BenchConfig, Service};
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+struct Config {
+    listen: Option<String>,
+    stdio: bool,
+    workers: usize,
+    cache_bytes: usize,
+    warmup: bool,
+    bench: bool,
+    bench_out: Option<String>,
+    bench_jobs: usize,
+}
+
+fn usage() -> u8 {
+    eprintln!(
+        "usage: ompltd (--listen=PATH | --stdio) [--workers=N] [--cache-bytes=N]\n\
+         \x20      ompltd --warmup [--cache-bytes=N]\n\
+         \x20      ompltd --bench [--bench-jobs=N] [--bench-out=FILE] [--cache-bytes=N]"
+    );
+    2
+}
+
+fn parse_args(args: &[String]) -> Result<Config, u8> {
+    let mut cfg = Config {
+        listen: None,
+        stdio: false,
+        workers: 4,
+        cache_bytes: omplt::cache::DEFAULT_CACHE_BYTES,
+        warmup: false,
+        bench: false,
+        bench_out: None,
+        bench_jobs: 32,
+    };
+    for a in args {
+        match a.as_str() {
+            "--stdio" => cfg.stdio = true,
+            "--warmup" => cfg.warmup = true,
+            "--bench" => cfg.bench = true,
+            other if other.starts_with("--listen=") => {
+                cfg.listen = Some(other["--listen=".len()..].to_string());
+            }
+            other if other.starts_with("--workers=") => {
+                let v = &other["--workers=".len()..];
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.workers = n,
+                    _ => {
+                        eprintln!(
+                            "ompltd: invalid value '{v}' for '--workers': expected a \
+                             positive integer"
+                        );
+                        return Err(2);
+                    }
+                }
+            }
+            other if other.starts_with("--cache-bytes=") => {
+                let v = &other["--cache-bytes=".len()..];
+                match v.parse::<usize>() {
+                    Ok(n) => cfg.cache_bytes = n,
+                    Err(_) => {
+                        eprintln!(
+                            "ompltd: invalid value '{v}' for '--cache-bytes': expected a \
+                             byte count"
+                        );
+                        return Err(2);
+                    }
+                }
+            }
+            other if other.starts_with("--bench-jobs=") => {
+                let v = &other["--bench-jobs=".len()..];
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.bench_jobs = n,
+                    _ => {
+                        eprintln!("ompltd: invalid value '{v}' for '--bench-jobs'");
+                        return Err(2);
+                    }
+                }
+            }
+            other if other.starts_with("--bench-out=") => {
+                cfg.bench_out = Some(other["--bench-out=".len()..].to_string());
+            }
+            other => {
+                eprintln!("ompltd: unknown option '{other}'");
+                return Err(usage());
+            }
+        }
+    }
+    let modes = usize::from(cfg.stdio)
+        + usize::from(cfg.listen.is_some())
+        + usize::from(cfg.warmup)
+        + usize::from(cfg.bench);
+    if modes != 1 {
+        return Err(usage());
+    }
+    Ok(cfg)
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of job-execution threads fed from one shared queue.
+struct Pool {
+    tx: mpsc::Sender<Task>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        let (tx, rx) = mpsc::channel::<Task>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the queue lock only while dequeuing, never while
+                    // running a task.
+                    let task = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
+                    match task {
+                        Ok(t) => t(),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        Pool { tx, handles }
+    }
+
+    fn submit(&self, task: Task) {
+        let _ = self.tx.send(task);
+    }
+
+    fn join(self) {
+        drop(self.tx);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reads frames from `reader`, dispatches them to the pool, and writes
+/// replies (in completion order — replies carry the request id) to
+/// `writer`. Returns true if a shutdown request was honored.
+fn serve_stream<R, W>(
+    reader: &mut R,
+    writer: Arc<Mutex<W>>,
+    service: &Arc<Service>,
+    pool: &Pool,
+) -> bool
+where
+    R: std::io::Read,
+    W: Write + Send + 'static,
+{
+    let (done_tx, done_rx) = mpsc::channel::<bool>();
+    let mut outstanding = 0usize;
+    let mut shutdown = false;
+    loop {
+        match read_frame(reader) {
+            Ok(None) => break,
+            Ok(Some(body)) => {
+                let service = service.clone();
+                let writer = writer.clone();
+                let done = done_tx.clone();
+                pool.submit(Box::new(move || {
+                    let out = service.handle_frame(&body);
+                    {
+                        let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                        let _ = write_frame(&mut *w, out.reply.as_bytes());
+                    }
+                    let _ = done.send(out.shutdown);
+                }));
+                outstanding += 1;
+                // Stop reading as soon as a completed request asked for
+                // shutdown; later frames on this stream are not consumed.
+                while let Ok(flag) = done_rx.try_recv() {
+                    outstanding -= 1;
+                    shutdown |= flag;
+                }
+                if shutdown {
+                    break;
+                }
+            }
+            Err(e) => {
+                // A malformed frame desynchronizes the stream: reply with a
+                // structured error, then close this connection. The server
+                // itself keeps serving.
+                let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                let _ = write_frame(&mut *w, error_reply(&e.to_string()).as_bytes());
+                break;
+            }
+        }
+    }
+    for _ in 0..outstanding {
+        if let Ok(flag) = done_rx.recv() {
+            shutdown |= flag;
+        }
+    }
+    shutdown
+}
+
+fn serve_socket(path: &str, cfg: &Config) -> ExitCode {
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ompltd: cannot bind '{path}': {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let service = Arc::new(Service::new(cfg.cache_bytes));
+    let pool = Pool::new(cfg.workers);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    eprintln!("ompltd: listening on {path} ({} workers)", cfg.workers);
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let service = &service;
+            let pool = &pool;
+            let shutdown = &shutdown;
+            let path = path.to_string();
+            scope.spawn(move || {
+                let mut reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                let writer = Arc::new(Mutex::new(stream));
+                if serve_stream(&mut reader, writer, service, pool) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it can observe the flag.
+                    let _ = UnixStream::connect(&path);
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    pool.join();
+    eprintln!("ompltd: shutting down");
+    ExitCode::SUCCESS
+}
+
+fn serve_stdio(cfg: &Config) -> ExitCode {
+    let service = Arc::new(Service::new(cfg.cache_bytes));
+    let pool = Pool::new(cfg.workers);
+    let mut stdin = std::io::stdin().lock();
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    serve_stream(&mut stdin, stdout, &service, &pool);
+    pool.join();
+    ExitCode::SUCCESS
+}
+
+/// The scripted warm-up `ci/check_counter_drift.sh` pins: four distinct
+/// compile jobs replayed in a fixed pattern. The expected counters are part
+/// of the CI contract — if this script changes, the pin must change with it.
+fn warmup(cfg: &Config) -> ExitCode {
+    let service = Service::new(cfg.cache_bytes);
+    let a = "void print_i64(long v);\n\
+             int main(void) { print_i64(41); return 0; }\n";
+    let a_mutated = "void print_i64(long v);\n\
+             int main(void) { print_i64(42); return 0; }\n";
+    let b = "int main(void) { return 7; }\n";
+    // A(miss) A(hit) B(miss) A'(miss) A(hit) A'(hit) => 3 hits, 3 misses.
+    for (id, src) in [a, a, b, a_mutated, a, a_mutated].iter().enumerate() {
+        let mut job = omplt::protocol::JobRequest::new(id as u64, "warmup.c", src);
+        job.run = true;
+        let resp = service.execute(&job);
+        if resp.exit_code != 0 && resp.exit_code != 7 {
+            eprintln!(
+                "ompltd: warmup job {id} failed with exit {}: {}",
+                resp.exit_code, resp.stderr
+            );
+            return ExitCode::from(1);
+        }
+    }
+    print!("{}", service.cache().counters_json());
+    ExitCode::SUCCESS
+}
+
+fn bench(cfg: &Config) -> ExitCode {
+    let artifact = throughput_bench(&BenchConfig {
+        jobs: cfg.bench_jobs,
+        worker_counts: vec![1, 4, 8],
+        cache_bytes: cfg.cache_bytes,
+    });
+    match &cfg.bench_out {
+        None => print!("{artifact}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &artifact) {
+                eprintln!("ompltd: cannot write bench artifact to '{path}': {e}");
+                return ExitCode::from(1);
+            }
+            eprint!("{artifact}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(code) => return ExitCode::from(code),
+    };
+    if cfg.warmup {
+        return warmup(&cfg);
+    }
+    if cfg.bench {
+        return bench(&cfg);
+    }
+    if cfg.stdio {
+        return serve_stdio(&cfg);
+    }
+    match &cfg.listen {
+        Some(path) => serve_socket(path, &cfg),
+        None => ExitCode::from(usage()),
+    }
+}

@@ -53,7 +53,7 @@ impl Backend {
 }
 
 /// Pipeline options (the interesting subset of `clang`'s flags).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Options {
     /// `-fopenmp` (default true) — honor OpenMP pragmas.
     pub openmp: bool,
@@ -69,13 +69,20 @@ pub struct Options {
     /// invariants) after every `OpenMPIRBuilder` transformation and between
     /// every mid-end pass.
     pub verify_each: bool,
-    /// What `schedule(runtime)` resolves to; `None` defers to the
-    /// `OMP_SCHEDULE` environment variable at dispatch time.
+    /// What `schedule(runtime)` resolves to; `None` means the balanced
+    /// static libomp default. Drivers resolve `OMP_SCHEDULE` exactly once
+    /// at CLI/client entry — the runtime itself never reads the environment
+    /// (a daemon's tenants must not see the server's env).
     pub runtime_schedule: Option<omplt_interp::RuntimeSchedule>,
     /// `--backend=interp|vm` — which engine executes `--run`.
     pub backend: Backend,
     /// Record every worksharing chunk served (for differential testing).
     pub log_chunks: bool,
+    /// Cooperative wall-clock run deadline in milliseconds, enforced inside
+    /// the engines at fuel-refill boundaries. The one-shot CLI keeps its
+    /// process-exit watchdog instead; the daemon sets this so a runaway job
+    /// aborts alone while the server keeps serving.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -90,6 +97,7 @@ impl Default for Options {
             runtime_schedule: None,
             backend: Backend::Interp,
             log_chunks: false,
+            deadline_ms: None,
         }
     }
 }
@@ -226,21 +234,30 @@ impl CompilerInstance {
         }
     }
 
-    /// Executes `main` on the selected backend (`--backend=interp|vm|vm:strict`).
-    pub fn run(&self, module: &Module) -> Result<RunResult, omplt_interp::ExecError> {
-        omplt_fault::set_stage("runtime");
+    /// The engine configuration derived from [`Options`], with any armed
+    /// `runtime.fuel` fault applied. Shared by [`CompilerInstance::run`] and
+    /// the daemon's warm-cache path so both execute under identical rules.
+    pub fn runtime_config(&self) -> RuntimeConfig {
         let mut cfg = RuntimeConfig {
             num_threads: self.opts.num_threads,
             max_steps: self.opts.max_steps,
             serial: self.opts.serial,
             runtime_schedule: self.opts.runtime_schedule,
             log_chunks: self.opts.log_chunks,
+            deadline: self.opts.deadline_ms.map(omplt_interp::Deadline::in_ms),
         };
         if omplt_fault::fire("runtime.fuel") {
             // Zero budget: the first batch refill in either backend fails
             // with `ExecError::FuelExhausted`.
             cfg.max_steps = 0;
         }
+        cfg
+    }
+
+    /// Executes `main` on the selected backend (`--backend=interp|vm|vm:strict`).
+    pub fn run(&self, module: &Module) -> Result<RunResult, omplt_interp::ExecError> {
+        omplt_fault::set_stage("runtime");
+        let cfg = self.runtime_config();
         match self.opts.backend {
             Backend::Interp => Interpreter::new(module, cfg).run_main(),
             Backend::Vm => match self.compile_bytecode(module) {
@@ -254,6 +271,30 @@ impl CompilerInstance {
                 let code = self.compile_bytecode(module)?;
                 omplt_vm::VmEngine::new(module, &code, cfg)?.run_main()
             }
+        }
+    }
+
+    /// Executes `main` from already-compiled bytecode — the daemon's
+    /// warm-cache path, where the front end, mid end, and VM compiler have
+    /// all been skipped. Behaviour matches [`CompilerInstance::run`] for the
+    /// VM backends: `--backend=vm` degrades to the interpreter oracle if the
+    /// engine rejects the module, `vm:strict` keeps that fatal. With
+    /// `Backend::Interp` the bytecode is ignored and the interpreter runs
+    /// `module` directly.
+    pub fn run_precompiled(
+        &self,
+        module: &Module,
+        code: &omplt_vm::VmModule,
+    ) -> Result<RunResult, omplt_interp::ExecError> {
+        omplt_fault::set_stage("runtime");
+        let cfg = self.runtime_config();
+        match self.opts.backend {
+            Backend::Interp => Interpreter::new(module, cfg).run_main(),
+            Backend::Vm => match omplt_vm::VmEngine::new(module, code, cfg) {
+                Ok(engine) => engine.run_main(),
+                Err(e) => self.run_interp_fallback(module, cfg, &e),
+            },
+            Backend::VmStrict => omplt_vm::VmEngine::new(module, code, cfg)?.run_main(),
         }
     }
 

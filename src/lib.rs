@@ -25,14 +25,18 @@
 //! See `DESIGN.md` for the complete system inventory and `EXPERIMENTS.md`
 //! for the paper-artifact ↔ reproduction map.
 
+pub mod cache;
 pub mod compiler;
 pub mod pipeline;
+pub mod protocol;
+pub mod service;
 pub mod tuner;
 
 pub use compiler::{Backend, CompilerInstance, Options};
 pub use omplt_analysis::AnalysisReport;
 pub use omplt_sema::OpenMpCodegenMode;
 pub use pipeline::{assert_matrix_output, run_matrix, run_source, run_source_with};
+pub use service::Service;
 
 pub use omplt_analysis as analysis;
 pub use omplt_ast as ast;

@@ -1,0 +1,584 @@
+//! The `ompltd` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or reply, socket or stdio — is one *frame*: a
+//! 4-byte little-endian byte length followed by exactly that many bytes of
+//! UTF-8 JSON. Frames larger than [`MAX_FRAME`] are rejected before any
+//! allocation, so a hostile or corrupt prefix cannot balloon memory; a
+//! truncated frame is an explicit [`FrameError::Truncated`], never a hang on
+//! garbage. The JSON layer reuses `omplt_trace::json` (the workspace builds
+//! without registry access, so there is no serde) and renders documents by
+//! hand in a fixed field order, making replies byte-deterministic.
+//!
+//! Exit-code contract (mirrors `ompltc` exactly): `0` success, `1` compile
+//! or runtime failure, `2` driver/usage error, `3` contained internal
+//! compiler error. A malformed *frame* never takes the server down — the
+//! reply is `{"id":null,"error":...}` and the connection is closed.
+
+use crate::compiler::{Backend, Options};
+use omplt_interp::{ChunkRecord, DispatchKind, RuntimeSchedule};
+use omplt_sema::OpenMpCodegenMode;
+use omplt_trace::json::{self, Value};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame body. Large enough for any real translation unit
+/// plus its stdout; small enough that a corrupt length prefix cannot OOM the
+/// server.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// The length prefix names a body larger than [`MAX_FRAME`].
+    TooLarge(u64),
+    /// The stream ended mid-prefix or mid-body.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Truncated => write!(f, "truncated frame"),
+        }
+    }
+}
+
+/// Writes one frame: length prefix, body, flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at a
+/// frame boundary); EOF anywhere else is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len as u64));
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(body))
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One file-less diagnostic object in `DiagnosticsEngine::render_json`'s
+/// shape — shared by the CLI driver and the daemon so driver-level errors
+/// are byte-identical wherever they are produced.
+pub fn json_diag_object(level: &str, msg: &str, notes: &[String]) -> String {
+    let notes = notes
+        .iter()
+        .map(|n| json_diag_object("note", n, &[]))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"level\":\"{level}\",\"message\":\"{}\",\"file\":null,\"notes\":[{notes}]}}",
+        json_escape(msg)
+    )
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", json_escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders a [`RuntimeSchedule`] in `OMP_SCHEDULE` syntax (`kind[,chunk]`),
+/// the protocol's schedule encoding.
+pub fn schedule_to_string(s: &RuntimeSchedule) -> String {
+    let kind = match s.kind {
+        DispatchKind::Static => "static",
+        DispatchKind::Dynamic => "dynamic",
+        DispatchKind::Guided => "guided",
+    };
+    if s.chunk > 0 {
+        format!("{kind},{}", s.chunk)
+    } else {
+        kind.to_string()
+    }
+}
+
+/// Renders a chunk log as deterministic text, one record per line
+/// (`kind lo..=hi`), for byte-for-byte comparison between local and remote
+/// runs.
+pub fn render_chunk_log(log: &[ChunkRecord]) -> String {
+    let mut out = String::new();
+    for r in log {
+        out.push_str(&format!("{:?} {}..={}\n", r.kind, r.lo, r.hi));
+    }
+    out
+}
+
+/// One compile/run job. Carries the source text itself — the daemon never
+/// touches the client's filesystem — plus the compile- and runtime-relevant
+/// options. Environment is deliberately absent: `OMP_SCHEDULE` and friends
+/// are resolved once at the *client*, then travel as `schedule`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen correlation id, echoed in the reply.
+    pub id: u64,
+    /// Display name for diagnostics (the client's input path).
+    pub name: String,
+    /// The C source text.
+    pub source: String,
+    /// Compile/runtime options (see [`Options`]).
+    pub opts: Options,
+    /// Run the mid-end pipeline (`--opt`).
+    pub optimize: bool,
+    /// Execute `main` after compiling (`--run`).
+    pub run: bool,
+    /// Stop after parse/sema (`--syntax-only`).
+    pub syntax_only: bool,
+    /// Print the (possibly optimized) IR to stdout (`--emit-ir`).
+    pub emit_ir: bool,
+    /// Render diagnostics as JSON (`--diag-format=json`).
+    pub json_diags: bool,
+    /// Return a `--counters-json` document for this job.
+    pub want_counters: bool,
+    /// Fault-injection spec (`--inject-fault=site[:count]`), armed in the
+    /// worker's own scope. Always bypasses the artifact cache.
+    pub inject_fault: Option<String>,
+    /// Warning produced while the *client* resolved `OMP_SCHEDULE`; the
+    /// server records it in the job's diagnostics before running so remote
+    /// stderr is byte-identical to an in-process run.
+    pub schedule_warning: Option<String>,
+}
+
+impl JobRequest {
+    /// A job with default options for `source`, ready to customize.
+    pub fn new(id: u64, name: &str, source: &str) -> JobRequest {
+        JobRequest {
+            id,
+            name: name.to_string(),
+            source: source.to_string(),
+            opts: Options::default(),
+            optimize: false,
+            run: false,
+            syntax_only: false,
+            emit_ir: false,
+            json_diags: false,
+            want_counters: false,
+            inject_fault: None,
+            schedule_warning: None,
+        }
+    }
+
+    /// Renders the job as a request document (`"op":"job"`).
+    pub fn render(&self) -> String {
+        let o = &self.opts;
+        let mode = match o.codegen_mode {
+            OpenMpCodegenMode::Classic => "classic",
+            OpenMpCodegenMode::IrBuilder => "irbuilder",
+        };
+        let schedule = o.runtime_schedule.as_ref().map(schedule_to_string);
+        let deadline = match o.deadline_ms {
+            Some(ms) => ms.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"op\":\"job\",\"id\":{},\"name\":\"{}\",\"source\":\"{}\",",
+                "\"openmp\":{},\"mode\":\"{}\",\"threads\":{},\"serial\":{},",
+                "\"max_steps\":\"{}\",\"verify_each\":{},\"schedule\":{},",
+                "\"backend\":\"{}\",\"log_chunks\":{},\"deadline_ms\":{},",
+                "\"optimize\":{},\"run\":{},\"syntax_only\":{},\"emit_ir\":{},",
+                "\"json_diags\":{},\"want_counters\":{},\"inject_fault\":{},",
+                "\"schedule_warning\":{}}}"
+            ),
+            self.id,
+            json_escape(&self.name),
+            json_escape(&self.source),
+            o.openmp,
+            mode,
+            o.num_threads,
+            o.serial,
+            o.max_steps,
+            o.verify_each,
+            opt_str(&schedule),
+            o.backend.name(),
+            o.log_chunks,
+            deadline,
+            self.optimize,
+            self.run,
+            self.syntax_only,
+            self.emit_ir,
+            self.json_diags,
+            self.want_counters,
+            opt_str(&self.inject_fault),
+            opt_str(&self.schedule_warning),
+        )
+    }
+}
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Compile (and maybe run) one job.
+    Job(Box<JobRequest>),
+    /// Report the daemon's `daemon.cache.*` counters.
+    Stats,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders a request document.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Job(j) => j.render(),
+            Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parses a request frame body. Every malformation is an `Err` message
+    /// (turned into an error reply by the server), never a panic.
+    pub fn parse(body: &str) -> Result<Request, String> {
+        let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing or non-string 'op'")?;
+        match op {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "job" => Ok(Request::Job(Box::new(parse_job(&v)?))),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+fn need_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("'{key}' must be a boolean")),
+        None => Err(format!("missing '{key}'")),
+    }
+}
+
+fn need_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string '{key}'"))
+}
+
+fn opt_string(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("'{key}' must be a string or null")),
+    }
+}
+
+fn parse_job(v: &Value) -> Result<JobRequest, String> {
+    let id = v
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or("missing or non-integer 'id'")?;
+    let mut opts = Options {
+        openmp: need_bool(v, "openmp")?,
+        serial: need_bool(v, "serial")?,
+        verify_each: need_bool(v, "verify_each")?,
+        log_chunks: need_bool(v, "log_chunks")?,
+        ..Options::default()
+    };
+    opts.codegen_mode = match need_str(v, "mode")? {
+        "classic" => OpenMpCodegenMode::Classic,
+        "irbuilder" => OpenMpCodegenMode::IrBuilder,
+        other => return Err(format!("unknown codegen mode '{other}'")),
+    };
+    opts.num_threads = v
+        .get("threads")
+        .and_then(Value::as_u64)
+        .ok_or("missing or non-integer 'threads'")? as u32;
+    // u64 fuel travels as a string: the JSON number lane is f64 and would
+    // silently round the default budget.
+    opts.max_steps = need_str(v, "max_steps")?
+        .parse::<u64>()
+        .map_err(|_| "invalid 'max_steps'".to_string())?;
+    opts.runtime_schedule = match opt_string(v, "schedule")? {
+        Some(s) => Some(RuntimeSchedule::parse(&s).map_err(|e| format!("bad 'schedule': {e}"))?),
+        None => None,
+    };
+    opts.backend =
+        Backend::parse(need_str(v, "backend")?).ok_or_else(|| "unknown 'backend'".to_string())?;
+    opts.deadline_ms = match v.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(n) => Some(
+            n.as_u64()
+                .ok_or("'deadline_ms' must be a non-negative integer or null")?,
+        ),
+    };
+    Ok(JobRequest {
+        id,
+        name: need_str(v, "name")?.to_string(),
+        source: need_str(v, "source")?.to_string(),
+        opts,
+        optimize: need_bool(v, "optimize")?,
+        run: need_bool(v, "run")?,
+        syntax_only: need_bool(v, "syntax_only")?,
+        emit_ir: need_bool(v, "emit_ir")?,
+        json_diags: need_bool(v, "json_diags")?,
+        want_counters: need_bool(v, "want_counters")?,
+        inject_fault: opt_string(v, "inject_fault")?,
+        schedule_warning: opt_string(v, "schedule_warning")?,
+    })
+}
+
+/// A contained internal compiler error, reported structurally so the
+/// *client* can render the ICE diagnostic (and write its `--crash-report`
+/// bundle) with exactly the bytes an in-process run would have produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IceInfo {
+    /// Pipeline stage that was active when the panic escaped.
+    pub stage: String,
+    /// Panic message (with source location when available).
+    pub message: String,
+    /// Captured backtrace (crash bundles only; never printed to stderr).
+    pub backtrace: String,
+}
+
+/// How a job interacted with the artifact cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Front end + mid end + VM compile all skipped.
+    Hit,
+    /// Full compile; the artifact was stored (if clean).
+    Miss,
+    /// The job was ineligible (fault injection, syntax-only, …).
+    Bypass,
+}
+
+impl CacheOutcome {
+    fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// The reply to a [`JobRequest`]. `stdout`/`stderr` hold the exact bytes an
+/// in-process `ompltc` invocation would have written (diagnostics already
+/// rendered in the requested format); the client replays them verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Process exit code under the `ompltc` contract.
+    pub exit_code: u8,
+    /// Program/driver stdout bytes.
+    pub stdout: String,
+    /// Diagnostic stderr bytes (empty on ICE — see `ice`).
+    pub stderr: String,
+    /// Cache interaction.
+    pub cache: CacheOutcome,
+    /// The job's `--counters-json` document, when requested.
+    pub counters_json: Option<String>,
+    /// Rendered chunk log ([`render_chunk_log`]), when chunk logging ran.
+    pub chunk_log: Option<String>,
+    /// Present iff the job ICEd; the client renders the report.
+    pub ice: Option<IceInfo>,
+}
+
+impl JobResponse {
+    /// Renders the reply document.
+    pub fn render(&self) -> String {
+        let ice = match &self.ice {
+            None => "null".to_string(),
+            Some(i) => format!(
+                "{{\"stage\":\"{}\",\"message\":\"{}\",\"backtrace\":\"{}\"}}",
+                json_escape(&i.stage),
+                json_escape(&i.message),
+                json_escape(&i.backtrace)
+            ),
+        };
+        format!(
+            concat!(
+                "{{\"id\":{},\"exit_code\":{},\"stdout\":\"{}\",\"stderr\":\"{}\",",
+                "\"cache\":\"{}\",\"counters_json\":{},\"chunk_log\":{},\"ice\":{}}}"
+            ),
+            self.id,
+            self.exit_code,
+            json_escape(&self.stdout),
+            json_escape(&self.stderr),
+            self.cache.name(),
+            opt_str(&self.counters_json),
+            opt_str(&self.chunk_log),
+            ice,
+        )
+    }
+
+    /// Parses a reply document (the client side).
+    pub fn parse(body: &str) -> Result<JobResponse, String> {
+        let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        if let Some(err) = v.get("error").and_then(Value::as_str) {
+            return Err(format!("server error: {err}"));
+        }
+        let cache = match need_str(&v, "cache")? {
+            "hit" => CacheOutcome::Hit,
+            "miss" => CacheOutcome::Miss,
+            "bypass" => CacheOutcome::Bypass,
+            other => return Err(format!("unknown cache outcome '{other}'")),
+        };
+        let ice = match v.get("ice") {
+            None | Some(Value::Null) => None,
+            Some(i) => Some(IceInfo {
+                stage: need_str(i, "stage")?.to_string(),
+                message: need_str(i, "message")?.to_string(),
+                backtrace: need_str(i, "backtrace")?.to_string(),
+            }),
+        };
+        Ok(JobResponse {
+            id: v
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or("missing or non-integer 'id'")?,
+            exit_code: v
+                .get("exit_code")
+                .and_then(Value::as_u64)
+                .ok_or("missing or non-integer 'exit_code'")? as u8,
+            stdout: need_str(&v, "stdout")?.to_string(),
+            stderr: need_str(&v, "stderr")?.to_string(),
+            cache,
+            counters_json: opt_string(&v, "counters_json")?,
+            chunk_log: opt_string(&v, "chunk_log")?,
+            ice,
+        })
+    }
+}
+
+/// Renders the error reply for an unparseable or oversized frame.
+pub fn error_reply(message: &str) -> String {
+    format!("{{\"id\":null,\"error\":\"{}\"}}", json_escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_reject_garbage() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"stats\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"op\":\"stats\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // Truncated prefix.
+        let mut r: &[u8] = &[0x05, 0x00];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Truncated body.
+        let mut r: &[u8] = &[0x05, 0x00, 0x00, 0x00, b'a'];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Oversized length prefix refuses before allocating.
+        let mut r: &[u8] = &[0xff, 0xff, 0xff, 0xff];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn job_request_roundtrips() {
+        let mut job = JobRequest::new(7, "t.c", "int main(void){return 0;}\n\"quoted\"");
+        job.opts.backend = Backend::Vm;
+        job.opts.num_threads = 3;
+        job.opts.max_steps = u64::MAX;
+        job.opts.runtime_schedule = Some(RuntimeSchedule::parse("dynamic,4").unwrap());
+        job.opts.deadline_ms = Some(250);
+        job.run = true;
+        job.optimize = true;
+        job.want_counters = true;
+        job.inject_fault = Some("parse:1".to_string());
+        let parsed = match Request::parse(&job.render()).unwrap() {
+            Request::Job(j) => *j,
+            other => panic!("parsed as {other:?}"),
+        };
+        assert_eq!(parsed, job);
+        assert_eq!(parsed.opts.max_steps, u64::MAX, "fuel survives as string");
+    }
+
+    #[test]
+    fn stats_shutdown_and_errors() {
+        assert_eq!(
+            Request::parse("{\"op\":\"stats\"}").unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        assert!(Request::parse("not json").is_err());
+        assert!(
+            Request::parse("{\"op\":\"job\"}").is_err(),
+            "missing fields"
+        );
+        assert!(Request::parse("{\"id\":1}").is_err(), "missing op");
+    }
+
+    #[test]
+    fn job_response_roundtrips() {
+        let resp = JobResponse {
+            id: 9,
+            exit_code: 3,
+            stdout: "1\n2\n".to_string(),
+            stderr: String::new(),
+            cache: CacheOutcome::Bypass,
+            counters_json: Some("{\"counters\":{}}\n".to_string()),
+            chunk_log: Some("StaticInit 0..=9\n".to_string()),
+            ice: Some(IceInfo {
+                stage: "parse".to_string(),
+                message: "injected fault [at src/x.rs:1:1]".to_string(),
+                backtrace: "frame 0\nframe 1".to_string(),
+            }),
+        };
+        assert_eq!(JobResponse::parse(&resp.render()).unwrap(), resp);
+        // The error-reply shape surfaces as Err on the client.
+        assert!(JobResponse::parse(&error_reply("bad frame"))
+            .unwrap_err()
+            .contains("bad frame"));
+    }
+}

@@ -1,0 +1,561 @@
+//! End-to-end tests of the compile daemon: `ompltd --listen=SOCKET` serving
+//! `ompltc --remote=SOCKET` clients, plus raw-frame protocol coverage.
+//!
+//! The central contract is differential: for every job shape the daemon
+//! accepts, `ompltc --remote` must produce byte-identical stdout, stderr,
+//! and exit code to the in-process driver. Cache behaviour is observed
+//! through the `stats` frame (`daemon.cache.*` counters).
+
+use omplt::protocol::{read_frame, write_frame, CacheOutcome, JobRequest, Request};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("omplt-daemon-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+/// `ompltc` with a scrubbed environment so the host's `OMP_SCHEDULE` (if
+/// any) cannot leak into differential comparisons.
+fn ompltc() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ompltc"));
+    cmd.env_remove("OMP_SCHEDULE");
+    cmd
+}
+
+/// An `ompltd --listen` child bound to a per-test socket. Dropping it sends
+/// a shutdown frame, then reaps (or kills) the child.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(tag: &str) -> Daemon {
+        Daemon::start_with(tag, &[], &[])
+    }
+
+    fn start_with(tag: &str, extra_args: &[&str], env: &[(&str, &str)]) -> Daemon {
+        let dir = std::env::temp_dir().join("omplt-daemon-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join(format!("{tag}-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_ompltd"));
+        cmd.arg(format!("--listen={}", socket.display()))
+            .args(extra_args)
+            .env_remove("OMP_SCHEDULE")
+            .stderr(Stdio::null());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn ompltd");
+        for _ in 0..400 {
+            if socket.exists() {
+                return Daemon { child, socket };
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        panic!("ompltd never bound {}", socket.display());
+    }
+
+    fn remote_flag(&self) -> String {
+        format!("--remote={}", self.socket.display())
+    }
+
+    /// Sends one request frame on a fresh connection and returns the reply
+    /// body.
+    fn request(&self, body: &str) -> String {
+        let mut s = UnixStream::connect(&self.socket).expect("connect");
+        write_frame(&mut s, body.as_bytes()).unwrap();
+        let reply = read_frame(&mut s)
+            .expect("read reply")
+            .expect("reply frame");
+        String::from_utf8(reply).unwrap()
+    }
+
+    /// Reads one `daemon.cache.*` counter out of a `stats` reply.
+    fn cache_counter(&self, name: &str) -> u64 {
+        let stats = self.request(&Request::Stats.render());
+        let needle = format!("\"{name}\":");
+        let at = stats
+            .find(&needle)
+            .unwrap_or_else(|| panic!("{name} missing from stats reply: {stats}"));
+        let rest = &stats[at + needle.len()..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().unwrap()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Ok(mut s) = UnixStream::connect(&self.socket) {
+            let _ = write_frame(&mut s, Request::Shutdown.render().as_bytes());
+            let _ = read_frame(&mut s);
+        }
+        for _ in 0..200 {
+            if matches!(self.child.try_wait(), Ok(Some(_))) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Capture {
+    code: i32,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+}
+
+fn run_ompltc(envs: &[(&str, &str)], args: &[&str], file: &Path) -> Capture {
+    let mut cmd = ompltc();
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.args(args).arg(file).output().expect("run ompltc");
+    Capture {
+        code: out.status.code().expect("exit code"),
+        stdout: out.stdout,
+        stderr: out.stderr,
+    }
+}
+
+/// The differential oracle: the same invocation locally and via `--remote`
+/// must agree on every observable byte.
+fn assert_remote_matches_local(
+    daemon: &Daemon,
+    envs: &[(&str, &str)],
+    args: &[&str],
+    file: &Path,
+    label: &str,
+) -> Capture {
+    let local = run_ompltc(envs, args, file);
+    let remote_flag = daemon.remote_flag();
+    let mut remote_args = vec![remote_flag.as_str()];
+    remote_args.extend_from_slice(args);
+    let remote = run_ompltc(envs, &remote_args, file);
+    assert_eq!(local.code, remote.code, "[{label}] exit code");
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout),
+        "[{label}] stdout"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&local.stderr),
+        String::from_utf8_lossy(&remote.stderr),
+        "[{label}] stderr"
+    );
+    remote
+}
+
+const DEMO: &str = "void print_i64(long v);\n\
+    long data[64];\n\
+    int main(void) {\n\
+      #pragma omp parallel for schedule(static) num_threads(2)\n\
+      for (int i = 0; i < 64; i += 1)\n\
+        data[i] = i * 3;\n\
+      long sum = 0;\n\
+      for (int k = 0; k < 64; k += 1)\n\
+        sum += data[k];\n\
+      print_i64(sum);\n\
+      return 0;\n\
+    }\n";
+
+const SCHED_RUNTIME: &str = "void print_i64(long v);\n\
+    int main(void) {\n\
+      #pragma omp parallel num_threads(4)\n\
+      {\n\
+        #pragma omp for schedule(runtime)\n\
+        for (int i = 0; i < 9; i += 1)\n\
+          print_i64(i);\n\
+      }\n\
+      return 0;\n\
+    }\n";
+
+#[test]
+fn remote_matches_local_for_every_example() {
+    let daemon = Daemon::start("examples");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/c");
+    let mut ran = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/c exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        for (leg, args) in [
+            ("run", &["--run"][..]),
+            ("opt-vm", &["--opt", "--run", "--backend=vm"][..]),
+        ] {
+            assert_remote_matches_local(&daemon, &[], args, &path, &format!("{name}/{leg}"));
+        }
+        ran += 1;
+    }
+    assert!(ran >= 3, "expected the full example corpus, ran {ran}");
+}
+
+#[test]
+fn remote_matches_local_for_diagnostics_in_both_formats() {
+    let daemon = Daemon::start("diags");
+    let bad = write_temp("diag.c", "int main(void) {\n  return undeclared_name;\n}\n");
+    let text = assert_remote_matches_local(&daemon, &[], &[], &bad, "diag/text");
+    assert_eq!(text.code, 1);
+    assert!(
+        String::from_utf8_lossy(&text.stderr).contains("error"),
+        "diagnostic expected"
+    );
+    let json =
+        assert_remote_matches_local(&daemon, &[], &["--diag-format=json"], &bad, "diag/json");
+    assert_eq!(json.code, 1);
+    assert!(
+        String::from_utf8_lossy(&json.stderr).contains("\"level\":\"error\""),
+        "JSON diagnostic expected"
+    );
+}
+
+#[test]
+fn warm_hits_skip_the_front_end_and_reordered_flags_still_hit() {
+    let daemon = Daemon::start("cacheprops");
+    let src = write_temp("cache-a.c", DEMO);
+    let remote = daemon.remote_flag();
+
+    let cold = run_ompltc(&[], &[&remote, "--opt", "--run", "--counters-json"], &src);
+    assert_eq!(cold.code, 0, "{}", String::from_utf8_lossy(&cold.stderr));
+    assert!(
+        String::from_utf8_lossy(&cold.stdout).contains("sema."),
+        "cold job runs the front end"
+    );
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 1);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 0);
+
+    // Same flags spelled in a different order: the options fingerprint is
+    // canonical, so this must hit.
+    let warm = run_ompltc(&[], &["--run", &remote, "--counters-json", "--opt"], &src);
+    assert_eq!(warm.code, 0);
+    assert!(
+        !String::from_utf8_lossy(&warm.stdout).contains("sema."),
+        "warm hit must not re-run lex/parse/sema:\n{}",
+        String::from_utf8_lossy(&warm.stdout)
+    );
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 1);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 1);
+
+    // Runtime-only flags (thread count, serial execution) are not part of
+    // the compiled artifact, so they must not defeat the cache either.
+    let serial = run_ompltc(&[], &[&remote, "--opt", "--run", "--serial"], &src);
+    assert_eq!(serial.code, 0);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 2);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 1);
+
+    // Mutating a single token of the source must miss.
+    let mutated = write_temp("cache-b.c", &DEMO.replace("i * 3", "i * 4"));
+    let miss = run_ompltc(&[], &[&remote, "--opt", "--run"], &mutated);
+    assert_eq!(miss.code, 0);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 2);
+
+    // And a compile-relevant flag change (optimization pipeline) must miss.
+    let unopt = run_ompltc(&[], &[&remote, "--run"], &src);
+    assert_eq!(unopt.code, 0);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 3);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 2);
+}
+
+#[test]
+fn daemon_environment_never_leaks_into_jobs() {
+    // The daemon itself is started with a malformed OMP_SCHEDULE. If any
+    // job resolved the schedule from the *server's* environment, the
+    // malformed-value warning would appear in the reply.
+    let daemon = Daemon::start_with("schedenv", &[], &[("OMP_SCHEDULE", "bogus")]);
+    let src = write_temp("sched.c", SCHED_RUNTIME);
+
+    // Client env unset: no warning, output identical to a local run.
+    let clean = assert_remote_matches_local(
+        &daemon,
+        &[],
+        &["--run", "--serial"],
+        &src,
+        "sched/clean-env",
+    );
+    assert_eq!(clean.code, 0);
+    assert!(
+        !String::from_utf8_lossy(&clean.stderr).contains("OMP_SCHEDULE"),
+        "daemon's OMP_SCHEDULE leaked into the job:\n{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Client env malformed: the warning is resolved client-side and must be
+    // byte-identical to the local driver's.
+    let warned = assert_remote_matches_local(
+        &daemon,
+        &[("OMP_SCHEDULE", "bogus")],
+        &["--run", "--serial"],
+        &src,
+        "sched/malformed-env",
+    );
+    assert!(
+        String::from_utf8_lossy(&warned.stderr).contains("malformed OMP_SCHEDULE"),
+        "client's OMP_SCHEDULE must be honored:\n{}",
+        String::from_utf8_lossy(&warned.stderr)
+    );
+
+    // Client env valid: schedule behaviour itself travels with the job.
+    assert_remote_matches_local(
+        &daemon,
+        &[("OMP_SCHEDULE", "static,3")],
+        &["--run", "--serial"],
+        &src,
+        "sched/valid-env",
+    );
+}
+
+#[test]
+fn malformed_frames_get_error_replies_and_the_server_survives() {
+    let daemon = Daemon::start("malformed");
+
+    // Valid frame, invalid JSON payload.
+    let reply = daemon.request("this is not json");
+    assert!(reply.contains("\"error\""), "{reply}");
+
+    // Length prefix larger than the frame cap: rejected before allocation.
+    {
+        let mut s = UnixStream::connect(&daemon.socket).unwrap();
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let reply = read_frame(&mut s).expect("reply").expect("reply frame");
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.contains("exceeds"), "{reply}");
+    }
+
+    // Truncated prefix: two bytes then EOF.
+    {
+        let mut s = UnixStream::connect(&daemon.socket).unwrap();
+        s.write_all(&[0x01, 0x02]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let reply = read_frame(&mut s).expect("reply").expect("reply frame");
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.contains("truncated"), "{reply}");
+    }
+
+    // Truncated body: the prefix promises more bytes than arrive.
+    {
+        let mut s = UnixStream::connect(&daemon.socket).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(b"{short}").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let reply = read_frame(&mut s).expect("reply").expect("reply frame");
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.contains("truncated"), "{reply}");
+    }
+
+    // After all of that abuse the server still compiles and runs jobs.
+    let src = write_temp("after-abuse.c", DEMO);
+    let ok = run_ompltc(&[], &[&daemon.remote_flag(), "--run"], &src);
+    assert_eq!(ok.code, 0, "{}", String::from_utf8_lossy(&ok.stderr));
+    assert_eq!(String::from_utf8_lossy(&ok.stdout), "6048\n");
+}
+
+#[test]
+fn concurrent_fault_jobs_each_name_their_own_stage() {
+    let daemon = Daemon::start_with("faults", &["--workers=4"], &[]);
+    let src = write_temp("fault.c", DEMO);
+
+    // A remote ICE renders byte-identically to a local one (the structured
+    // stage/message travel in the reply, the client does the rendering).
+    let ice = assert_remote_matches_local(
+        &daemon,
+        &[],
+        &["--run", "--inject-fault=parse.panic"],
+        &src,
+        "fault/differential",
+    );
+    assert_eq!(ice.code, 3);
+
+    // Two clients injecting faults into different stages, concurrently and
+    // repeatedly: each reply must name its own stage, never the peer's.
+    // This is the regression test for the old single-slot panic capture.
+    let remote = daemon.remote_flag();
+    std::thread::scope(|scope| {
+        for (site, stage, other) in [
+            ("parse.panic", "parse", "codegen"),
+            ("codegen.panic", "codegen", "parse"),
+        ] {
+            let remote = remote.clone();
+            let src = src.clone();
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    let fault = format!("--inject-fault={site}");
+                    let out = run_ompltc(&[], &[&remote, "--run", &fault], &src);
+                    assert_eq!(out.code, 3);
+                    let stderr = String::from_utf8_lossy(&out.stderr);
+                    assert!(
+                        stderr.contains(&format!("internal compiler error in stage '{stage}'")),
+                        "[{site}] {stderr}"
+                    );
+                    assert!(
+                        !stderr.contains(&format!("stage '{other}'")),
+                        "[{site}] captured the peer's panic: {stderr}"
+                    );
+                }
+            });
+        }
+    });
+
+    // The poisoned jobs were contained per-job: the server still serves.
+    let ok = run_ompltc(&[], &[&remote, "--run"], &src);
+    assert_eq!(ok.code, 0, "{}", String::from_utf8_lossy(&ok.stderr));
+}
+
+#[test]
+fn counters_json_is_identical_solo_and_under_load() {
+    let daemon = Daemon::start_with("busy", &["--workers=4"], &[]);
+    let remote = daemon.remote_flag();
+    let x = write_temp("busy-x.c", DEMO);
+    let y = write_temp("busy-y.c", &DEMO.replace("i * 3", "i * 5"));
+
+    // Warm the measured job so both captures replay a cache hit and report
+    // runtime-only counters (deterministic under --serial).
+    let warm = run_ompltc(&[], &[&remote, "--run", "--serial"], &x);
+    assert_eq!(warm.code, 0, "{}", String::from_utf8_lossy(&warm.stderr));
+    let args = [remote.as_str(), "--run", "--serial", "--counters-json"];
+    let solo = run_ompltc(&[], &args, &x);
+    assert_eq!(solo.code, 0);
+
+    // Saturate the pool with unrelated jobs, then re-measure. Trace
+    // sessions are attached per job, so the neighbors' counters must not
+    // bleed into this reply.
+    let mut load: Vec<Child> = (0..6)
+        .map(|_| {
+            ompltc()
+                .arg(&remote)
+                .arg("--run")
+                .arg(&y)
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    let busy = run_ompltc(&[], &args, &x);
+    for child in load.drain(..) {
+        let out = child.wait_with_output().expect("wait for load child");
+        assert!(
+            out.status.success(),
+            "load child failed ({:?}): {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(busy.code, 0);
+    assert_eq!(
+        String::from_utf8_lossy(&solo.stdout),
+        String::from_utf8_lossy(&busy.stdout),
+        "counters must be identical solo vs busy pool"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&solo.stderr),
+        String::from_utf8_lossy(&busy.stderr)
+    );
+}
+
+#[test]
+fn fuel_exhaustion_is_a_structured_reply_and_the_server_keeps_serving() {
+    let daemon = Daemon::start("fuel");
+    let src = write_temp("fuel.c", DEMO);
+    let starved = assert_remote_matches_local(
+        &daemon,
+        &[],
+        &["--run", "--fuel=10"],
+        &src,
+        "fuel/differential",
+    );
+    assert_eq!(starved.code, 1);
+    assert!(
+        String::from_utf8_lossy(&starved.stderr).contains("runtime error"),
+        "{}",
+        String::from_utf8_lossy(&starved.stderr)
+    );
+    let ok = run_ompltc(&[], &[&daemon.remote_flag(), "--run"], &src);
+    assert_eq!(ok.code, 0, "{}", String::from_utf8_lossy(&ok.stderr));
+}
+
+#[test]
+fn remote_rejects_local_only_modes() {
+    let daemon = Daemon::start("reject");
+    let src = write_temp("reject.c", DEMO);
+    let out = run_ompltc(&[], &[&daemon.remote_flag(), "--analyze"], &src);
+    assert_eq!(out.code, 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--remote"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn chunk_logs_replay_identically_across_miss_and_hit() {
+    // `log_chunks` has no CLI flag, so this leg exercises the service
+    // library directly: a cache hit must replay the exact chunk dispatch of
+    // the original compile.
+    let service = omplt::Service::new(omplt::cache::DEFAULT_CACHE_BYTES);
+    let mut job = JobRequest::new(1, "chunks.c", DEMO);
+    job.run = true;
+    job.optimize = true;
+    job.opts.serial = true;
+    job.opts.log_chunks = true;
+    let cold = service.execute(&job);
+    assert_eq!(cold.exit_code, 0, "{}", cold.stderr);
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    let log = cold.chunk_log.as_deref().expect("chunk log requested");
+    assert!(log.contains(".."), "chunk records expected, got: {log:?}");
+
+    job.id = 2;
+    let warm = service.execute(&job);
+    assert_eq!(warm.cache, CacheOutcome::Hit);
+    assert_eq!(warm.exit_code, cold.exit_code);
+    assert_eq!(warm.stdout, cold.stdout);
+    assert_eq!(warm.stderr, cold.stderr);
+    assert_eq!(warm.chunk_log, cold.chunk_log, "chunk logs must replay");
+}
+
+#[test]
+fn stdio_transport_serves_the_same_protocol() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ompltd"))
+        .arg("--stdio")
+        .arg("--workers=1")
+        .env_remove("OMP_SCHEDULE")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ompltd --stdio");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = child.stdout.take().unwrap();
+
+    let mut job = JobRequest::new(7, "stdio.c", DEMO);
+    job.run = true;
+    write_frame(&mut stdin, job.render().as_bytes()).unwrap();
+    let reply = read_frame(&mut stdout).expect("reply").expect("frame");
+    let resp = omplt::protocol::JobResponse::parse(&String::from_utf8(reply).unwrap())
+        .expect("job response");
+    assert_eq!(resp.id, 7);
+    assert_eq!(resp.exit_code, 0, "{}", resp.stderr);
+    assert_eq!(resp.stdout, "6048\n");
+
+    write_frame(&mut stdin, Request::Shutdown.render().as_bytes()).unwrap();
+    let reply = read_frame(&mut stdout).expect("reply").expect("frame");
+    assert!(String::from_utf8(reply).unwrap().contains("\"ok\":true"));
+    drop(stdin);
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}
