@@ -1,0 +1,17 @@
+/* A loop-carried flow dependence of distance 1: lane-parallel execution
+ * would read a[i] before the previous iteration's store to a[i+1]... i.e.
+ * after widening, lane j reads the value lane j-1 was supposed to produce.
+ * No safelen can make this legal (safelen(1) is scalar execution), so the
+ * analysis rejects the directive, citing the dependence, and the bytecode
+ * widening pass independently refuses it (vm.simd.refused) — the program
+ * still runs correctly in scalar form.
+ */
+int main(void) {
+  int a[64];
+  for (int i = 0; i < 64; i += 1)
+    a[i] = i;
+  #pragma omp simd
+  for (int i = 0; i < 63; i += 1)
+    a[i + 1] = a[i] + 1;
+  return a[63] - 63;
+}

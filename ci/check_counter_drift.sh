@@ -83,6 +83,28 @@ for src in examples/c/*.c; do
   done
 done
 
+# SIMD widening drift guard: for every example, `--backend=vm
+# --vector-width=4` pins the widening pass's outcome counters
+# (vm.simd.widened_loops / vm.simd.epilogue_iters / vm.simd.refused) and the
+# retired-op count of the widened program. A silent change means the
+# planner's legality gates, the clamp logic, or the vector emission moved.
+# Examples without a `simd` loop pin all-zero simd counters — that absence
+# is itself the guarded expectation (the widener must not touch them).
+for src in examples/c/*.c; do
+  base=$(basename "$src" .c)
+  expected="ci/expected-counters/$base.vm.simd.txt"
+  got=$("$ompltc" --counters-json --run --backend=vm --vector-width=4 "$src" 2>/dev/null | tail -1 \
+    | grep -o '"vm\.\(simd\.[^"]*\|ops\.retired\)":[0-9]*' | sort)
+  if [ ! -f "$expected" ]; then
+    echo "missing $expected; expected contents:" >&2
+    printf '%s\n' "$got" >&2
+    status=1
+  elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
+    echo "simd counter drift in $src: update $expected if intentional" >&2
+    status=1
+  fi
+done
+
 # Daemon artifact-cache drift guard: `ompltd --warmup` replays a fixed job
 # sequence (A A B A' A A' => 3 hits, 3 misses) against a fresh cache. The
 # hit/miss split is a pure function of the cache key — a silent change
@@ -108,6 +130,6 @@ else
 fi
 
 if [ "$status" = 0 ]; then
-  echo "shadow-AST node counters, retired-op counts and daemon cache pins match ci/expected-counters/"
+  echo "shadow-AST node counters, retired-op, simd widening and daemon cache pins match ci/expected-counters/"
 fi
 exit $status

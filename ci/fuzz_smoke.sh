@@ -179,6 +179,60 @@ done
 echo "fuzz smoke: $tcases tuner cases in ${tune_budget}s, report at $outdir/autotune-report.json"
 
 # ---------------------------------------------------------------------------
+# Vector-bytecode serde leg: serialize a *widened* module (vector register
+# classes, vload/vstore/vbin/vreduce ops, per-function vreg tables) through
+# the OMPLTBC container, then byte-mutate the container and push it back
+# through decode + the bytecode verifier. The decoder and the vector
+# verifier rules must be total over arbitrary bytes: every mutant must be
+# either rejected as a finding (exit 1) or accepted as still-well-formed
+# (exit 0) — a panic, abort, or hang in the serde/verify path is a bug.
+# Budget: ~15 seconds (override with SERDE_FUZZ_SECONDS).
+serde_budget=${SERDE_FUZZ_SECONDS:-15}
+serde_deadline=$((SECONDS + serde_budget))
+seed_bc="$outdir/seed-simd.bc"
+"$ompltc" --backend=vm --vector-width=4 --emit-bytecode-bin="$seed_bc" \
+  examples/c/saxpy_simd.c >/dev/null
+"$ompltc" --check-bytecode "$seed_bc" >/dev/null 2>&1 || {
+  echo "vector-bytecode seed container failed to verify" >&2
+  exit 1
+}
+bc_size=$(wc -c < "$seed_bc")
+scases=0
+while [ "$SECONDS" -lt "$serde_deadline" ]; do
+  mutant="$outdir/mutant.bc"
+  cp "$seed_bc" "$mutant"
+  edits=$(($(rand 8) + 1))
+  for _ in $(seq "$edits"); do
+    off=$(rand "$bc_size")
+    byte=$(rand 256)
+    printf "$(printf '\\x%02x' "$byte")" \
+      | dd of="$mutant" bs=1 seek="$off" conv=notrunc status=none
+  done
+  scases=$((scases + 1))
+
+  set +e
+  timeout "$per_case_timeout" "$ompltc" --check-bytecode "$mutant" >/dev/null 2>&1
+  code=$?
+  set -e
+
+  case $code in
+    0 | 1 | 2 | 3) ;;
+    124)
+      failures=$((failures + 1))
+      cp "$mutant" "$outdir/failure-$failures.bc"
+      echo "SERDE HANG (case $scases): mutant saved to $outdir/failure-$failures.bc" >&2
+      ;;
+    *)
+      failures=$((failures + 1))
+      cp "$mutant" "$outdir/failure-$failures.bc"
+      echo "SERDE UNCONTAINED exit $code (case $scases): mutant saved to $outdir/failure-$failures.bc" >&2
+      ;;
+  esac
+done
+
+echo "fuzz smoke: $scases vector-bytecode serde cases in ${serde_budget}s"
+
+# ---------------------------------------------------------------------------
 # Daemon frame-protocol leg: malformed frames on the ompltd wire must yield
 # a structured `{"id":null,"error":...}` reply and a clean server exit —
 # never a crash, a hang, or an unbounded allocation. Covers the framing

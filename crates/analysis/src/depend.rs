@@ -32,7 +32,8 @@
 
 use crate::nest::{resolve_literal_nest, NestLevel};
 use omplt_ast::{
-    walk_expr, walk_stmt, BinOp, Decl, DeclId, Expr, ExprKind, OMPDirective, OMPDirectiveKind,
+    walk_expr, walk_stmt, BinOp, Decl, DeclId, Expr, ExprKind, OMPClauseKind, OMPDirective,
+    OMPDirectiveKind,
     Stmt, StmtKind, StmtVisitor, TranslationUnit, Type, TypeKind, UnOp, P,
 };
 use omplt_sema::LoopDirection;
@@ -924,6 +925,7 @@ impl StmtVisitor for DependVisitor<'_> {
                 OMPDirectiveKind::Interchange => self.check_interchange(d),
                 OMPDirectiveKind::Reverse => self.check_reverse(d),
                 OMPDirectiveKind::Fuse => self.check_fuse(d),
+                k if k.has_simd() => self.check_simd(d),
                 _ => {}
             }
         }
@@ -1068,6 +1070,65 @@ impl DependVisitor<'_> {
                 ),
                 dep,
             );
+        }
+    }
+
+    /// `simd` (and the `for simd` composites) promise that consecutive
+    /// iterations may execute as concurrent lanes. Anti dependences survive
+    /// (the lane model preserves in-chunk textual order); a loop-carried
+    /// flow or output dependence is illegal unless its distance leaves room
+    /// for at least two lanes — or unless `safelen` already caps the lane
+    /// span at or below the distance.
+    fn check_simd(&mut self, d: &P<OMPDirective>) {
+        let pragma = d.pragma_text();
+        let Some(graph) = self.graph_for(d, &pragma, 1) else {
+            return;
+        };
+        let safelen = d.safelen_value();
+        // Variables the directive privatizes per lane carry no cross-lane
+        // dependence: each lane gets its own copy (reductions combine after
+        // the loop).
+        let privatized: std::collections::HashSet<String> = d
+            .clauses
+            .iter()
+            .flat_map(|c| match &c.kind {
+                OMPClauseKind::Reduction { vars, .. }
+                | OMPClauseKind::Private(vars)
+                | OMPClauseKind::FirstPrivate(vars) => vars.as_slice(),
+                _ => &[],
+            })
+            .filter_map(|e| e.as_decl_ref().map(|v| v.name.clone()))
+            .collect();
+        for dep in graph.deps.iter().filter(|p| p.carried_level() == Some(0)) {
+            if dep.kind == DepKind::Anti || privatized.contains(&dep.name) {
+                continue;
+            }
+            let illegal = match dep.distances[0] {
+                Some(dist) => match safelen {
+                    // The user-asserted lane span must not exceed the
+                    // provable dependence distance.
+                    Some(s) => u128::from(s) > dist.unsigned_abs(),
+                    // No cap: distance 1 forbids any lane pair; distance
+                    // >= 2 still admits a narrower vector (the backend
+                    // clamps its width to the distance).
+                    None => dist.unsigned_abs() < 2,
+                },
+                None => true, // carried at an unprovable distance
+            };
+            if illegal {
+                self.violation(
+                    d,
+                    &pragma,
+                    format!(
+                        "concurrent lanes would violate the loop-carried {} dependence on '{}' with distance vector {}",
+                        dep.kind,
+                        dep.name,
+                        dep.distance_vector()
+                    ),
+                    dep,
+                );
+                return;
+            }
         }
     }
 

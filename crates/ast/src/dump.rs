@@ -316,7 +316,11 @@ fn clause_node(c: &P<OMPClause>, opts: DumpOptions) -> DumpNode {
             }
             return DumpNode::new(label, ch);
         }
-        OMPClauseKind::Collapse(e) | OMPClauseKind::NumThreads(e) | OMPClauseKind::Grainsize(e) => {
+        OMPClauseKind::Collapse(e)
+        | OMPClauseKind::NumThreads(e)
+        | OMPClauseKind::Grainsize(e)
+        | OMPClauseKind::Safelen(e)
+        | OMPClauseKind::Simdlen(e) => {
             ch.push(expr_node(e, opts));
         }
         OMPClauseKind::Partial(f) => {

@@ -27,6 +27,10 @@ pub enum OMPDirectiveKind {
     ParallelFor,
     /// `#pragma omp simd`.
     Simd,
+    /// `#pragma omp for simd` (composite: workshare chunks, widen lanes).
+    ForSimd,
+    /// `#pragma omp parallel for simd` (combined + composite).
+    ParallelForSimd,
     /// `#pragma omp taskloop`.
     Taskloop,
     /// `#pragma omp unroll` (loop transformation, OpenMP 5.1).
@@ -50,6 +54,8 @@ impl OMPDirectiveKind {
             OMPDirectiveKind::For => "for",
             OMPDirectiveKind::ParallelFor => "parallel for",
             OMPDirectiveKind::Simd => "simd",
+            OMPDirectiveKind::ForSimd => "for simd",
+            OMPDirectiveKind::ParallelForSimd => "parallel for simd",
             OMPDirectiveKind::Taskloop => "taskloop",
             OMPDirectiveKind::Unroll => "unroll",
             OMPDirectiveKind::Tile => "tile",
@@ -66,6 +72,8 @@ impl OMPDirectiveKind {
             OMPDirectiveKind::For => "OMPForDirective",
             OMPDirectiveKind::ParallelFor => "OMPParallelForDirective",
             OMPDirectiveKind::Simd => "OMPSimdDirective",
+            OMPDirectiveKind::ForSimd => "OMPForSimdDirective",
+            OMPDirectiveKind::ParallelForSimd => "OMPParallelForSimdDirective",
             OMPDirectiveKind::Taskloop => "OMPTaskLoopDirective",
             OMPDirectiveKind::Unroll => "OMPUnrollDirective",
             OMPDirectiveKind::Tile => "OMPTileDirective",
@@ -88,7 +96,21 @@ impl OMPDirectiveKind {
             OMPDirectiveKind::For
                 | OMPDirectiveKind::ParallelFor
                 | OMPDirectiveKind::Simd
+                | OMPDirectiveKind::ForSimd
+                | OMPDirectiveKind::ParallelForSimd
                 | OMPDirectiveKind::Taskloop
+        )
+    }
+
+    /// Whether the directive carries the `simd` construct (alone or as part
+    /// of a composite): its loop is marked `llvm.loop.vectorize.enable` and
+    /// accepts `safelen`/`simdlen` clauses.
+    pub fn has_simd(self) -> bool {
+        matches!(
+            self,
+            OMPDirectiveKind::Simd
+                | OMPDirectiveKind::ForSimd
+                | OMPDirectiveKind::ParallelForSimd
         )
     }
 
@@ -117,13 +139,21 @@ impl OMPDirectiveKind {
     pub fn is_parallel(self) -> bool {
         matches!(
             self,
-            OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor
+            OMPDirectiveKind::Parallel
+                | OMPDirectiveKind::ParallelFor
+                | OMPDirectiveKind::ParallelForSimd
         )
     }
 
     /// Whether the directive workshares iterations across a team.
     pub fn is_worksharing(self) -> bool {
-        matches!(self, OMPDirectiveKind::For | OMPDirectiveKind::ParallelFor)
+        matches!(
+            self,
+            OMPDirectiveKind::For
+                | OMPDirectiveKind::ParallelFor
+                | OMPDirectiveKind::ForSimd
+                | OMPDirectiveKind::ParallelForSimd
+        )
     }
 }
 
@@ -214,6 +244,11 @@ pub enum OMPClauseKind {
     Grainsize(P<Expr>),
     /// `permutation(p1, p2, …)` for `interchange` (1-based loop levels).
     Permutation(Vec<P<Expr>>),
+    /// `safelen(n)` — no two iterations more than `n-1` apart may run
+    /// concurrently as SIMD lanes.
+    Safelen(P<Expr>),
+    /// `simdlen(n)` — the preferred SIMD width.
+    Simdlen(P<Expr>),
 }
 
 impl OMPClauseKind {
@@ -233,6 +268,8 @@ impl OMPClauseKind {
             OMPClauseKind::Nowait => "OMPNowaitClause",
             OMPClauseKind::Grainsize(_) => "OMPGrainsizeClause",
             OMPClauseKind::Permutation(_) => "OMPPermutationClause",
+            OMPClauseKind::Safelen(_) => "OMPSafelenClause",
+            OMPClauseKind::Simdlen(_) => "OMPSimdlenClause",
         }
     }
 
@@ -252,6 +289,8 @@ impl OMPClauseKind {
             OMPClauseKind::Nowait => "nowait",
             OMPClauseKind::Grainsize(_) => "grainsize",
             OMPClauseKind::Permutation(_) => "permutation",
+            OMPClauseKind::Safelen(_) => "safelen",
+            OMPClauseKind::Simdlen(_) => "simdlen",
         }
     }
 }
@@ -445,6 +484,28 @@ impl OMPDirective {
             })
     }
 
+    /// The `safelen(n)` value (constant-evaluated), if present and positive.
+    pub fn safelen_value(&self) -> Option<u64> {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Safelen(_)))
+            .and_then(|c| match &c.kind {
+                OMPClauseKind::Safelen(e) => e.eval_const_int(),
+                _ => None,
+            })
+            .and_then(|v| u64::try_from(v).ok())
+            .filter(|&v| v > 0)
+    }
+
+    /// The `simdlen(n)` value (constant-evaluated), if present and positive.
+    pub fn simdlen_value(&self) -> Option<u64> {
+        self.find_clause(|k| matches!(k, OMPClauseKind::Simdlen(_)))
+            .and_then(|c| match &c.kind {
+                OMPClauseKind::Simdlen(e) => e.eval_const_int(),
+                _ => None,
+            })
+            .and_then(|v| u64::try_from(v).ok())
+            .filter(|&v| v > 0)
+    }
+
     /// The `collapse(n)` value (constant-evaluated), defaulting to 1.
     /// Non-positive values clamp to 1: sema diagnoses them separately, and
     /// every consumer needs at least one loop level to stay well-formed.
@@ -468,7 +529,9 @@ impl OMPDirective {
                 OMPClauseKind::Partial(Some(e))
                 | OMPClauseKind::Collapse(e)
                 | OMPClauseKind::NumThreads(e)
-                | OMPClauseKind::Grainsize(e) => {
+                | OMPClauseKind::Grainsize(e)
+                | OMPClauseKind::Safelen(e)
+                | OMPClauseKind::Simdlen(e) => {
                     if let Some(v) = e.eval_const_int() {
                         s.push_str(&format!("({v})"));
                     } else {

@@ -179,7 +179,11 @@ pub fn walk_clauses<V: OMPClauseVisitor + ?Sized>(v: &mut V, d: &OMPDirective) {
 pub fn clause_exprs(c: &OMPClause) -> Vec<&P<Expr>> {
     match &c.kind {
         OMPClauseKind::Schedule { chunk, .. } => chunk.iter().collect(),
-        OMPClauseKind::Collapse(e) | OMPClauseKind::NumThreads(e) | OMPClauseKind::Grainsize(e) => {
+        OMPClauseKind::Collapse(e)
+        | OMPClauseKind::NumThreads(e)
+        | OMPClauseKind::Grainsize(e)
+        | OMPClauseKind::Safelen(e)
+        | OMPClauseKind::Simdlen(e) => {
             vec![e]
         }
         OMPClauseKind::Partial(f) => f.iter().collect(),

@@ -1,0 +1,166 @@
+//! Lane-parallel vector tier (experiment V2): `#pragma omp simd` kernels
+//! executed on the bytecode VM at `--vector-width` ∈ {0 (scalar), 2, 4, 8},
+//! with the tree-walking interpreter as the scalar oracle.
+//!
+//! Two kernels, both integer (the widening pass refuses float reductions so
+//! every configuration is bit-identical by construction):
+//!
+//! * `saxpy` — dense `y[i] = y[i] + a*x[i]` without a reduction, repeated
+//!   over the array so the widened loop dominates the run. The ISSUE's
+//!   acceptance target is a **≥2× retired-op reduction at width 4** on this
+//!   kernel; the assertion below enforces it before anything is timed, and
+//!   `ci/check_counter_drift.sh` pins the per-example counterpart.
+//! * `dot` — `simd reduction(+: sum)` over two arrays: the reduction tail
+//!   (lane accumulator + horizontal `vreduce`) is the interesting overhead.
+//!
+//! Bytecode compilation (including the widening pass) happens *outside* the
+//! timed region, mirroring `--backend=vm`: both sides measure pure
+//! execution. Every configuration's stdout is asserted byte-identical to
+//! the interpreter's before timing starts — the bench doubles as a
+//! differential check at all three widths.
+//!
+//! Repro / CI artifact:
+//! `cargo bench -p omplt-bench --bench simd_kernels -- --save-json simd_kernels.json`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omplt::interp::{Interpreter, RuntimeConfig};
+use omplt::vm::VmEngine;
+use omplt::{CompilerInstance, OpenMpCodegenMode, Options};
+use omplt_ir::Module;
+
+const N: u64 = 4096;
+const REPS: u64 = 24;
+
+/// Dense update kernel: no reduction, unit stride, repeated `REPS` times so
+/// the simd loop dominates the scalar init.
+fn saxpy_src() -> String {
+    format!(
+        "void print_i64(long v);\n\
+         long x[{N}];\nlong y[{N}];\n\
+         int main(void) {{\n\
+           for (int i = 0; i < {N}; i += 1) {{\n\
+             x[i] = i - 2048;\n\
+             y[i] = 3 * i + 1;\n\
+           }}\n\
+           for (int r = 0; r < {REPS}; r += 1) {{\n\
+             #pragma omp simd\n\
+             for (int i = 0; i < {N}; i += 1)\n\
+               y[i] = y[i] + 7 * x[i];\n\
+           }}\n\
+           long sum = 0;\n\
+           for (int k = 0; k < {N}; k += 1)\n\
+             sum += y[k];\n\
+           print_i64(sum);\n\
+           return 0;\n\
+         }}\n"
+    )
+}
+
+/// Reduction kernel: the lane accumulator + horizontal reduce epilogue.
+fn dot_src() -> String {
+    format!(
+        "void print_i64(long v);\n\
+         long x[{N}];\nlong y[{N}];\n\
+         int main(void) {{\n\
+           for (int i = 0; i < {N}; i += 1) {{\n\
+             x[i] = i % 17;\n\
+             y[i] = i % 23;\n\
+           }}\n\
+           long sum = 0;\n\
+           for (int r = 0; r < {REPS}; r += 1) {{\n\
+             #pragma omp simd reduction(+: sum)\n\
+             for (int i = 0; i < {N}; i += 1)\n\
+               sum += x[i] * y[i];\n\
+           }}\n\
+           print_i64(sum);\n\
+           return 0;\n\
+         }}\n"
+    )
+}
+
+fn compile(src: &str, vector_width: u8) -> (CompilerInstance, Module) {
+    let opts = Options {
+        codegen_mode: OpenMpCodegenMode::Classic,
+        num_threads: 1,
+        vector_width,
+        ..Options::default()
+    };
+    let mut ci = CompilerInstance::new(opts);
+    let tu = ci.parse_source("b.c", src).expect("parse");
+    let module = ci.codegen(&tu).expect("codegen");
+    (ci, module)
+}
+
+fn rt_cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        num_threads: 1,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Runs one kernel on the VM at `width`, returning (stdout, ops retired).
+fn vm_run(src: &str, width: u8) -> (String, u64) {
+    let (ci, module) = compile(src, width);
+    let code = ci.compile_bytecode(&module).expect("bytecode");
+    let r = VmEngine::new(&module, &code, rt_cfg())
+        .expect("vm init")
+        .run_main()
+        .expect("vm");
+    (r.stdout, r.ops_retired)
+}
+
+fn bench_kernel(c: &mut Criterion, name: &str, src: &str) {
+    let mut g = c.benchmark_group("simd_kernels");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // Scalar oracle: the interpreter never widens.
+    let (_ci, module) = compile(src, 0);
+    let want = Interpreter::new(&module, rt_cfg())
+        .run_main()
+        .expect("interp")
+        .stdout;
+    g.bench_with_input(BenchmarkId::new("interp", name), &module, |b, module| {
+        b.iter(|| Interpreter::new(module, rt_cfg()).run_main().expect("run"))
+    });
+
+    let (_, scalar_ops) = vm_run(src, 0);
+    for width in [0u8, 2, 4, 8] {
+        let (ci, module) = compile(src, width);
+        let code = ci.compile_bytecode(&module).expect("bytecode");
+        // Differential gate: every width must reproduce the oracle's bytes.
+        let (got, ops) = vm_run(src, width);
+        assert_eq!(got, want, "{name}: width {width} diverged from the oracle");
+        if width == 4 && name == "saxpy" {
+            // The acceptance floor: ≥2× fewer retired ops than the scalar
+            // VM lowering of the same program.
+            assert!(
+                ops * 2 <= scalar_ops,
+                "saxpy at width 4 must retire ≤ half the scalar ops \
+                 (got {ops} vs scalar {scalar_ops})"
+            );
+        }
+        let id = BenchmarkId::new(format!("vm-w{width}"), name);
+        g.bench_with_input(id, &module, |b, module| {
+            b.iter(|| {
+                VmEngine::new(module, &code, rt_cfg())
+                    .expect("vm init")
+                    .run_main()
+                    .expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_saxpy(c: &mut Criterion) {
+    bench_kernel(c, "saxpy", &saxpy_src());
+}
+
+fn bench_dot(c: &mut Criterion) {
+    bench_kernel(c, "dot", &dot_src());
+}
+
+criterion_group!(benches, bench_saxpy, bench_dot);
+criterion_main!(benches);

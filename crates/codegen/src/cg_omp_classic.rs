@@ -24,9 +24,10 @@ impl FnCodegen<'_, '_> {
     /// Classic-mode directive dispatch.
     pub(crate) fn emit_omp_classic(&mut self, d: &P<OMPDirective>) {
         match d.kind {
-            OMPDirectiveKind::Parallel => self.emit_omp_classic_parallel(d),
-            OMPDirectiveKind::ParallelFor => self.emit_omp_classic_parallel(d),
-            OMPDirectiveKind::For => {
+            OMPDirectiveKind::Parallel
+            | OMPDirectiveKind::ParallelFor
+            | OMPDirectiveKind::ParallelForSimd => self.emit_omp_classic_parallel(d),
+            OMPDirectiveKind::For | OMPDirectiveKind::ForSimd => {
                 let saved = self.apply_data_sharing(d);
                 self.emit_workshared_loop(d);
                 self.restore_data_sharing(d, saved);
@@ -94,7 +95,7 @@ impl FnCodegen<'_, '_> {
     /// (`parallel` runs the body; `parallel for` workshares inside,
     /// dispatching by codegen mode.)
     pub(crate) fn emit_omp_classic_parallel(&mut self, d: &P<OMPDirective>) {
-        let content = if d.kind == OMPDirectiveKind::ParallelFor {
+        let content = if d.kind.is_worksharing() {
             OutlinedContent::Workshare(d)
         } else {
             OutlinedContent::PlainBody
@@ -297,9 +298,13 @@ impl FnCodegen<'_, '_> {
             None => Value::i64(0),
         };
 
+        // Composite `for simd` / `parallel for simd`: mark the inner chunk
+        // loop vectorizable — chunks distribute across the team, lanes run
+        // within each thread's chunk.
+        let simd_md = simd_metadata(d);
         if dispatch {
             self.emit_dispatch_workshare(
-                &h, &body, gtid, last, chunk_v, sched, plast, plb, pub_, pstride,
+                &h, &body, gtid, last, chunk_v, sched, plast, plb, pub_, pstride, simd_md,
             );
         } else {
             self.emit_static_workshare(
@@ -313,6 +318,7 @@ impl FnCodegen<'_, '_> {
                 plb,
                 pub_,
                 pstride,
+                simd_md,
             );
         }
 
@@ -349,6 +355,7 @@ impl FnCodegen<'_, '_> {
         plb: Value,
         pub_: Value,
         pstride: Value,
+        simd_md: Option<LoopMetadata>,
     ) {
         let init_fn = self.module.declare_extern(
             "__kmpc_for_static_init",
@@ -430,7 +437,13 @@ impl FnCodegen<'_, '_> {
         self.branch_if_open(ws_inc);
         self.cur = ws_inc;
         self.emit_rvalue(&h.inc);
-        self.with_builder(|b| b.br(ws_cond));
+        match &simd_md {
+            Some(md) => {
+                let md = md.clone();
+                self.with_builder(|b| b.br_with_md(ws_cond, md));
+            }
+            None => self.with_builder(|b| b.br(ws_cond)),
+        }
 
         self.cur = chunk_inc;
         self.emit_rvalue(&h.next_lower_bound);
@@ -468,6 +481,7 @@ impl FnCodegen<'_, '_> {
         plb: Value,
         pub_: Value,
         pstride: Value,
+        simd_md: Option<LoopMetadata>,
     ) {
         let init_fn = self.module.declare_extern(
             "__kmpc_dispatch_init_8",
@@ -555,7 +569,13 @@ impl FnCodegen<'_, '_> {
         self.branch_if_open(ws_inc);
         self.cur = ws_inc;
         self.emit_rvalue(&h.inc);
-        self.with_builder(|b| b.br(ws_cond));
+        match &simd_md {
+            Some(md) => {
+                let md = md.clone();
+                self.with_builder(|b| b.br_with_md(ws_cond, md));
+            }
+            None => self.with_builder(|b| b.br(ws_cond)),
+        }
 
         self.cur = disp_end;
         self.with_builder(|b| {
@@ -622,10 +642,7 @@ impl FnCodegen<'_, '_> {
         self.cur = inc_bb;
         self.emit_rvalue(&h.inc);
         let md = if flavor == LoopFlavor::Simd {
-            LoopMetadata {
-                vectorize_enable: true,
-                ..Default::default()
-            }
+            simd_metadata(d).unwrap_or_default()
         } else {
             LoopMetadata::default()
         };
@@ -844,6 +861,22 @@ pub(crate) fn resolve_loop(stmt: &P<Stmt>) -> (Vec<P<Stmt>>, P<Stmt>) {
         };
         cur = next;
     }
+}
+
+/// The loop metadata a `simd`-bearing directive hangs on its (innermost)
+/// latch: `vectorize.enable` plus the clause-supplied `safelen`/`simdlen`
+/// caps the widening pass must honor. `None` for non-simd directives.
+fn simd_metadata(d: &P<OMPDirective>) -> Option<LoopMetadata> {
+    if !d.kind.has_simd() {
+        return None;
+    }
+    let clamp = |v: u64| u8::try_from(v).unwrap_or(u8::MAX);
+    Some(LoopMetadata {
+        vectorize_enable: true,
+        safelen: d.safelen_value().map_or(0, clamp),
+        simdlen: d.simdlen_value().map_or(0, clamp),
+        ..Default::default()
+    })
 }
 
 /// Extracts the schedule clause (kind + chunk).

@@ -52,10 +52,10 @@ impl FnCodegen<'_, '_> {
             // paper notes IR-level outlining "may also become unnecessary
             // with further adaption of OpenMPIRBuilder"; like Clang today,
             // the front-end still outlines.
-            OMPDirectiveKind::Parallel | OMPDirectiveKind::ParallelFor => {
-                self.emit_omp_classic_parallel_shim(d)
-            }
-            OMPDirectiveKind::For => {
+            OMPDirectiveKind::Parallel
+            | OMPDirectiveKind::ParallelFor
+            | OMPDirectiveKind::ParallelForSimd => self.emit_omp_classic_parallel_shim(d),
+            OMPDirectiveKind::For | OMPDirectiveKind::ForSimd => {
                 let Some(assoc) = d.associated.clone() else {
                     return;
                 };
@@ -76,6 +76,9 @@ impl FnCodegen<'_, '_> {
                 if let Some(cli) = self.emit_loop_construct(&assoc) {
                     let mut md = cli.metadata(&self.func).unwrap_or_default();
                     md.vectorize_enable = true;
+                    let clamp = |v: u64| u8::try_from(v).unwrap_or(u8::MAX);
+                    md.safelen = d.safelen_value().map_or(0, clamp);
+                    md.simdlen = d.simdlen_value().map_or(0, clamp);
                     cli.set_metadata(&mut self.func, md);
                     self.cur = cli.after;
                 }
@@ -287,6 +290,17 @@ impl FnCodegen<'_, '_> {
                 None
             }
         };
+        // Composite `for simd` / `parallel for simd`: after the workshare
+        // transform, `cli` is the per-thread chunk loop — lanes run within
+        // each thread's chunk, so the vectorize hint lands there.
+        if d.kind.has_simd() {
+            let mut md = cli.metadata(&self.func).unwrap_or_default();
+            md.vectorize_enable = true;
+            let clamp = |v: u64| u8::try_from(v).unwrap_or(u8::MAX);
+            md.safelen = d.safelen_value().map_or(0, clamp);
+            md.simdlen = d.simdlen_value().map_or(0, clamp);
+            cli.set_metadata(&mut self.func, md);
+        }
         self.verify_transformed("omp for", d.loc, &[cli]);
         if let Some(dli) = &dli {
             self.verify_dispatch("omp for", d.loc, dli);

@@ -33,6 +33,12 @@ pub struct LoopMetadata {
     /// Marks loops emitted by `create_canonical_loop` (used by tests to
     /// locate skeleton loops).
     pub is_canonical: bool,
+    /// `safelen(n)` clause value: lanes beyond this distance may not execute
+    /// concurrently. 0 means unset (no limit beyond what dependences allow).
+    pub safelen: u8,
+    /// `simdlen(n)` clause value: the *preferred* vector width. 0 means
+    /// unset (the widening pass uses its configured width).
+    pub simdlen: u8,
 }
 
 impl LoopMetadata {
@@ -53,7 +59,11 @@ impl LoopMetadata {
 
     /// True if any property is set (worth printing).
     pub fn is_interesting(&self) -> bool {
-        self.unroll.is_some() || self.vectorize_enable || self.is_canonical
+        self.unroll.is_some()
+            || self.vectorize_enable
+            || self.is_canonical
+            || self.safelen != 0
+            || self.simdlen != 0
     }
 
     /// Textual rendering for the IR printer, LLVM-flavored.
@@ -70,6 +80,12 @@ impl LoopMetadata {
         }
         if self.vectorize_enable {
             parts.push("!\"llvm.loop.vectorize.enable\", i1 true".to_string());
+        }
+        if self.safelen != 0 {
+            parts.push(format!("!\"llvm.loop.vectorize.safelen\", i32 {}", self.safelen));
+        }
+        if self.simdlen != 0 {
+            parts.push(format!("!\"llvm.loop.vectorize.width\", i32 {}", self.simdlen));
         }
         if self.is_canonical {
             parts.push("!\"omplt.loop.canonical\"".to_string());

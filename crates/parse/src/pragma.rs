@@ -56,14 +56,22 @@ fn parse_directive_name(p: &mut Parser<'_, '_>) -> Option<OMPDirectiveKind> {
     match &p.peek().kind {
         TokenKind::Kw(Keyword::For) => {
             p.next();
-            Some(OMPDirectiveKind::For)
+            if eat_simd(p) {
+                Some(OMPDirectiveKind::ForSimd)
+            } else {
+                Some(OMPDirectiveKind::For)
+            }
         }
         TokenKind::Ident(name) => match name.as_str() {
             "parallel" => {
                 p.next();
                 if p.peek().kind.is_kw(Keyword::For) {
                     p.next();
-                    Some(OMPDirectiveKind::ParallelFor)
+                    if eat_simd(p) {
+                        Some(OMPDirectiveKind::ParallelForSimd)
+                    } else {
+                        Some(OMPDirectiveKind::ParallelFor)
+                    }
                 } else {
                     Some(OMPDirectiveKind::Parallel)
                 }
@@ -99,6 +107,16 @@ fn parse_directive_name(p: &mut Parser<'_, '_>) -> Option<OMPDirectiveKind> {
             _ => None,
         },
         _ => None,
+    }
+}
+
+/// Consumes a trailing `simd` composite-construct token if present.
+fn eat_simd(p: &mut Parser<'_, '_>) -> bool {
+    if matches!(&p.peek().kind, TokenKind::Ident(n) if n == "simd") {
+        p.next();
+        true
+    } else {
+        false
     }
 }
 
@@ -159,6 +177,18 @@ fn parse_clause(p: &mut Parser<'_, '_>) -> Option<P<OMPClause>> {
             let e = p.parse_assignment_expr();
             p.expect_punct(Punct::RParen);
             OMPClauseKind::Collapse(wrap_constant(p, e))
+        }
+        "safelen" => {
+            p.expect_punct(Punct::LParen);
+            let e = p.parse_assignment_expr();
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Safelen(wrap_constant(p, e))
+        }
+        "simdlen" => {
+            p.expect_punct(Punct::LParen);
+            let e = p.parse_assignment_expr();
+            p.expect_punct(Punct::RParen);
+            OMPClauseKind::Simdlen(wrap_constant(p, e))
         }
         "num_threads" => {
             p.expect_punct(Punct::LParen);

@@ -67,6 +67,8 @@ impl Sema<'_> {
             OMPDirectiveKind::For
             | OMPDirectiveKind::ParallelFor
             | OMPDirectiveKind::Simd
+            | OMPDirectiveKind::ForSimd
+            | OMPDirectiveKind::ParallelForSimd
             | OMPDirectiveKind::Taskloop => {
                 self.act_on_loop_directive(kind, clauses, associated, loc)
             }
@@ -90,6 +92,7 @@ impl Sema<'_> {
                 OMPClauseKind::NumThreads(_) => kind.is_parallel(),
                 OMPClauseKind::Collapse(_) => kind.is_loop_directive(),
                 OMPClauseKind::Grainsize(_) => kind == OMPDirectiveKind::Taskloop,
+                OMPClauseKind::Safelen(_) | OMPClauseKind::Simdlen(_) => kind.has_simd(),
                 OMPClauseKind::Private(_)
                 | OMPClauseKind::FirstPrivate(_)
                 | OMPClauseKind::Shared(_)
@@ -124,6 +127,36 @@ impl Sema<'_> {
                         format!("schedule kind '{}' does not take a chunk size", sk.name()),
                     );
                 }
+            }
+            if let OMPClauseKind::Safelen(e) | OMPClauseKind::Simdlen(e) = &c.kind {
+                self.positive_const(e, c.kind.name());
+            }
+        }
+        // OpenMP 5.1 §10.4: `simdlen` must not exceed `safelen` when both
+        // are present (a preferred width above the legal distance bound
+        // would be unsatisfiable).
+        let const_of = |want: fn(&OMPClauseKind) -> bool| {
+            clauses
+                .iter()
+                .find(|c| want(&c.kind))
+                .and_then(|c| match &c.kind {
+                    OMPClauseKind::Safelen(e) | OMPClauseKind::Simdlen(e) => {
+                        e.eval_const_int().map(|v| (v, c.loc))
+                    }
+                    _ => None,
+                })
+        };
+        if let (Some((safelen, _)), Some((simdlen, loc))) = (
+            const_of(|k| matches!(k, OMPClauseKind::Safelen(_))),
+            const_of(|k| matches!(k, OMPClauseKind::Simdlen(_))),
+        ) {
+            if simdlen > safelen {
+                self.diags.error(
+                    loc,
+                    format!(
+                        "'simdlen({simdlen})' must not be greater than 'safelen({safelen})'"
+                    ),
+                );
             }
         }
     }
@@ -731,13 +764,19 @@ impl Sema<'_> {
             if let Some(d) = divisor {
                 idx = ctx.binary(BinOp::Div, idx, d, P::clone(&szt), loc);
             }
-            idx = ctx.binary(
-                BinOp::Rem,
-                idx,
-                ctx.read_var(&capture_decls[k], loc),
-                P::clone(&szt),
-                loc,
-            );
+            // The outermost counter needs no `% tc_0`: iv < Π tc_j implies
+            // iv / Π_{j>0} tc_j < tc_0 already. Skipping it keeps the
+            // single-loop (depth-1) index a plain affine function of the
+            // logical IV, which the bytecode widening pass can analyze.
+            if k > 0 {
+                idx = ctx.binary(
+                    BinOp::Rem,
+                    idx,
+                    ctx.read_var(&capture_decls[k], loc),
+                    P::clone(&szt),
+                    loc,
+                );
+            }
             let update_val = a.user_value_expr(ctx, P::clone(&a.lb), idx);
             let update = ctx.assign(ctx.decl_ref(&a.iter_var, loc), update_val, loc);
 

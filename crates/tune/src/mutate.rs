@@ -4,7 +4,9 @@
 //! degree of freedom the directive stacks expose: the schedule of each
 //! worksharing directive, the sizes of each `tile`, the factor of each
 //! `unroll`, the permutation of each `interchange`, presence toggles for the
-//! order-changing transformations, and the execution backend. Axis value 0
+//! order-changing transformations, the execution backend, and — when the
+//! program has a simd-annotated loop — the `simdlen` hint and the VM's
+//! `--vector-width`. Axis value 0
 //! is always the *identity* (keep the original configuration), so the
 //! all-identity candidate is the hand-annotated program itself and is always
 //! enumerated first — the tuner can only ever report a configuration at
@@ -66,6 +68,9 @@ pub struct AxisValue {
     pub mutations: Vec<Mutation>,
     /// Backend override (the backend axis only).
     pub backend: Option<BackendChoice>,
+    /// `--vector-width` override (the vector-width axis only; implies the
+    /// VM backend, since the widening pass lives in the bytecode tier).
+    pub vector_width: Option<u8>,
 }
 
 impl AxisValue {
@@ -74,6 +79,7 @@ impl AxisValue {
             label: String::new(),
             mutations: Vec::new(),
             backend: None,
+            vector_width: None,
         }
     }
 }
@@ -100,6 +106,9 @@ pub struct EnumConfig {
     pub unroll_factors: Vec<u32>,
     /// Whether to add the interp/vm backend axis.
     pub explore_backends: bool,
+    /// `--vector-width` values tried (and `simdlen` clause candidates) when
+    /// the program has a simd-annotated loop; empty disables the axis.
+    pub vector_widths: Vec<u8>,
     /// Whether to try *inserting* order-changing directives (`reverse`,
     /// `interchange`) that the original program does not have.
     pub insertions: bool,
@@ -124,6 +133,7 @@ impl Default for EnumConfig {
             tile_sizes: vec![2, 4, 8],
             unroll_factors: vec![2, 4, 8],
             explore_backends: true,
+            vector_widths: vec![2, 4, 8],
             insertions: true,
             order_preserving_only: false,
             max_enumerated: 4096,
@@ -145,6 +155,8 @@ pub struct Candidate {
     /// Execution engine for this candidate; `None` inherits whatever the
     /// session's `--backend` selected.
     pub backend: Option<BackendChoice>,
+    /// `--vector-width` for this candidate; `None` inherits the session's.
+    pub vector_width: Option<u8>,
 }
 
 /// Cartesian-product size guard: `k`-ary permutations enumerated for
@@ -173,7 +185,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 }
 
 /// Builds the axes for `model` under `cfg`. Deterministic: axes appear in
-/// (site, pragma) order, with the backend axis last.
+/// (site, pragma) order, with the backend and vector-width axes last.
 pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
     let mut axes = Vec::new();
     for (si, site) in model.sites.iter().enumerate() {
@@ -195,6 +207,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                                 args: Some((*s).to_string()),
                             }],
                             backend: None,
+                            vector_width: None,
                         });
                     }
                     if p.clause("schedule").is_some() {
@@ -206,6 +219,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                                 name: "schedule".into(),
                             }],
                             backend: None,
+                            vector_width: None,
                         });
                     }
                     axes.push(Axis {
@@ -237,6 +251,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                                     args: Some(args),
                                 }],
                                 backend: None,
+                                vector_width: None,
                             });
                         }
                         // Odometer over tile_sizes^dims.
@@ -263,6 +278,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                             pragma: pi,
                         }],
                         backend: None,
+                        vector_width: None,
                     });
                     axes.push(Axis {
                         name: format!("s{si}.tile"),
@@ -287,6 +303,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                                 args: Some(f.to_string()),
                             }],
                             backend: None,
+                            vector_width: None,
                         });
                     }
                     values.push(AxisValue {
@@ -296,6 +313,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                             pragma: pi,
                         }],
                         backend: None,
+                        vector_width: None,
                     });
                     axes.push(Axis {
                         name: format!("s{si}.unroll"),
@@ -335,6 +353,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                                 args: Some(args),
                             }],
                             backend: None,
+                            vector_width: None,
                         });
                     }
                     values.push(AxisValue {
@@ -344,12 +363,58 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                             pragma: pi,
                         }],
                         backend: None,
+                        vector_width: None,
                     });
                     axes.push(Axis {
                         name: format!("s{si}.interchange"),
                         kind: AxisKind::OrderChanging,
                         values,
                     });
+                }
+                "simd" | "for simd" | "parallel for simd" => {
+                    // `simdlen` is a preferred-width hint the widening pass
+                    // clamps to, so it is order-preserving by construction.
+                    // Values that sema rejects (simdlen > safelen) are
+                    // enumerated anyway — classifying them is the legality
+                    // machinery's job, same as every other axis.
+                    let mut values = vec![AxisValue::identity()];
+                    for &w in &cfg.vector_widths {
+                        if p.clause("simdlen").and_then(|c| c.args.as_deref())
+                            == Some(&w.to_string()[..])
+                        {
+                            continue;
+                        }
+                        values.push(AxisValue {
+                            label: format!("s{si}.simdlen={w}"),
+                            mutations: vec![Mutation::SetClause {
+                                site: si,
+                                pragma: pi,
+                                name: "simdlen".into(),
+                                args: Some(w.to_string()),
+                            }],
+                            backend: None,
+                            vector_width: None,
+                        });
+                    }
+                    if p.clause("simdlen").is_some() {
+                        values.push(AxisValue {
+                            label: format!("s{si}.simdlen=none"),
+                            mutations: vec![Mutation::RemoveClause {
+                                site: si,
+                                pragma: pi,
+                                name: "simdlen".into(),
+                            }],
+                            backend: None,
+                            vector_width: None,
+                        });
+                    }
+                    if values.len() > 1 {
+                        axes.push(Axis {
+                            name: format!("s{si}.simdlen"),
+                            kind: AxisKind::OrderPreserving,
+                            values,
+                        });
+                    }
                 }
                 "reverse" | "fuse" => {
                     axes.push(Axis {
@@ -364,6 +429,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                                     pragma: pi,
                                 }],
                                 backend: None,
+                                vector_width: None,
                             },
                         ],
                     });
@@ -388,6 +454,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                         pragma: Pragma::new("reverse"),
                     }],
                     backend: None,
+                    vector_width: None,
                 });
             }
             if !has("interchange") {
@@ -400,6 +467,7 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                             .with(Clause::with_args("permutation", "2, 1")),
                     }],
                     backend: None,
+                    vector_width: None,
                 });
             }
             if values.len() > 1 {
@@ -424,8 +492,39 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
                     label: "backend=vm".into(),
                     mutations: Vec::new(),
                     backend: Some(BackendChoice::Vm),
+                    vector_width: None,
                 },
             ],
+        });
+    }
+    // Vector-width axis: lane counts the VM's widening pass tries on the
+    // program's simd loops. Gated on a simd-annotated pragma actually being
+    // present — on any other program every width is a no-op and the axis
+    // would only inflate the grid with duplicates. Each value implies the
+    // (strict) VM backend: the interpreter is the scalar oracle and has no
+    // lanes to widen into.
+    let has_simd = model.sites.iter().any(|site| {
+        site.pragmas.iter().any(|p| {
+            matches!(
+                p.directive.as_str(),
+                "simd" | "for simd" | "parallel for simd"
+            )
+        })
+    });
+    if has_simd && !cfg.vector_widths.is_empty() {
+        let mut values = vec![AxisValue::identity()];
+        for &w in &cfg.vector_widths {
+            values.push(AxisValue {
+                label: format!("vw={w}"),
+                mutations: Vec::new(),
+                backend: Some(BackendChoice::Vm),
+                vector_width: Some(w),
+            });
+        }
+        axes.push(Axis {
+            name: "vector-width".into(),
+            kind: AxisKind::OrderPreserving,
+            values,
         });
     }
     axes
@@ -435,12 +534,16 @@ pub fn axes_for(model: &SourceModel, cfg: &EnumConfig) -> Vec<Axis> {
 fn build_candidate(axes: &[Axis], sel: &[usize], id: usize) -> Candidate {
     let mut mutations = Vec::new();
     let mut backend = None;
+    let mut vector_width = None;
     let mut labels = Vec::new();
     for (a, &v) in axes.iter().zip(sel) {
         let val = &a.values[v];
         mutations.extend(val.mutations.iter().cloned());
         if val.backend.is_some() {
             backend = val.backend;
+        }
+        if val.vector_width.is_some() {
+            vector_width = val.vector_width;
         }
         if v != 0 {
             labels.push(val.label.clone());
@@ -456,6 +559,7 @@ fn build_candidate(axes: &[Axis], sel: &[usize], id: usize) -> Candidate {
         label,
         mutations,
         backend,
+        vector_width,
     }
 }
 

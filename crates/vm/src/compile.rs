@@ -20,6 +20,7 @@
 use crate::ops::{CallTarget, Op, PoolConst, Reg, RegClass, VmFunction, VmModule};
 use crate::peephole;
 use crate::regalloc;
+use crate::vectorize;
 use omplt_interp::RtVal;
 use omplt_ir::{BlockId, Function, Inst, InstId, IrType, Module, Terminator, Value};
 use std::collections::{HashMap, HashSet};
@@ -71,6 +72,14 @@ impl std::error::Error for CompileError {}
 /// resolution uses the same precedence as the interpreter: module-defined
 /// functions first, then runtime shims.
 pub fn compile_module(m: &Module) -> Result<VmModule, CompileError> {
+    compile_module_with(m, 0)
+}
+
+/// [`compile_module`] with the widening pass enabled: `vector_width >= 2`
+/// converts eligible `simd`-annotated innermost loops to lane-parallel
+/// vector ops at that width (clamped by `safelen`/`simdlen` and dependence
+/// distances); `0` or `1` disables the pass entirely.
+pub fn compile_module_with(m: &Module, vector_width: u8) -> Result<VmModule, CompileError> {
     let _span = omplt_trace::span("vm.compile");
     omplt_fault::panic_if_armed("vm.panic");
     // First name occurrence wins, matching `Module::function`.
@@ -81,8 +90,9 @@ pub fn compile_module(m: &Module) -> Result<VmModule, CompileError> {
     let mut funcs = Vec::with_capacity(m.functions.len());
     let mut promoted_total = 0u64;
     let mut removed_total = 0u64;
+    let mut stats = vectorize::PlanStats::default();
     for f in &m.functions {
-        let (vf, promoted, removed) = compile_function(m, f, &fn_index)?;
+        let (vf, promoted, removed) = compile_function(m, f, &fn_index, vector_width, &mut stats)?;
         promoted_total += promoted as u64;
         removed_total += removed as u64;
         funcs.push(vf);
@@ -93,6 +103,12 @@ pub fn compile_module(m: &Module) -> Result<VmModule, CompileError> {
         omplt_trace::count("vm.compile.ops", vm.num_ops() as u64);
         omplt_trace::count("vm.compile.promoted", promoted_total);
         omplt_trace::count("vm.compile.peephole.removed", removed_total);
+        // Emitted only when the pass ran, so width-0 counter documents stay
+        // byte-identical to the pre-simd era.
+        if vector_width >= 2 {
+            omplt_trace::count("vm.simd.widened_loops", stats.widened);
+            omplt_trace::count("vm.simd.refused", stats.refused);
+        }
     }
     Ok(vm)
 }
@@ -100,7 +116,7 @@ pub fn compile_module(m: &Module) -> Result<VmModule, CompileError> {
 /// Dedup key for constant-pool entries (`RtVal` holds an `f64`, so the pool
 /// itself cannot be a hash key; floats key by bit pattern).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-enum ConstKey {
+pub(crate) enum ConstKey {
     Int(i64),
     Float(u64),
     PtrZero,
@@ -111,7 +127,7 @@ enum ConstKey {
 /// Maps a constant-like [`Value`] to its dedup key and pool entry. `Undef`
 /// lowers to the zero of its class — same observable behaviour as the
 /// interpreter (`F(0.0)` for floats, zero bits otherwise).
-fn const_of(v: Value) -> Option<(ConstKey, PoolConst)> {
+pub(crate) fn const_of(v: Value) -> Option<(ConstKey, PoolConst)> {
     match v {
         Value::Inst(_) | Value::Arg(_) => None,
         Value::ConstInt { val, .. } => Some((ConstKey::Int(val), PoolConst::Val(RtVal::I(val)))),
@@ -205,34 +221,42 @@ enum Fixup {
     BrArm(usize, bool, BlockId),
 }
 
-struct FuncCompiler<'a> {
+pub(crate) struct FuncCompiler<'a> {
     m: &'a Module,
-    f: &'a Function,
+    pub(crate) f: &'a Function,
     fn_index: &'a HashMap<&'a str, u32>,
-    promoted: HashMap<InstId, Reg>,
-    vreg_class: Vec<RegClass>,
-    inst_reg: HashMap<InstId, Reg>,
-    const_reg: HashMap<ConstKey, Reg>,
-    pool: Vec<PoolConst>,
+    pub(crate) promoted: HashMap<InstId, Reg>,
+    pub(crate) vreg_class: Vec<RegClass>,
+    pub(crate) inst_reg: HashMap<InstId, Reg>,
+    pub(crate) const_reg: HashMap<ConstKey, Reg>,
+    pub(crate) pool: Vec<PoolConst>,
     pool_idx: HashMap<ConstKey, u16>,
-    ops: Vec<Op>,
+    pub(crate) ops: Vec<Op>,
     call_args: Vec<Reg>,
     call_targets: Vec<CallTarget>,
     target_idx: HashMap<CallTarget, u16>,
     block_starts: Vec<u32>,
     block_off: Vec<Option<u32>>,
     fixups: Vec<Fixup>,
+    /// Vector register classes (one per vector register).
+    pub(crate) vv_class: Vec<RegClass>,
+    /// Vector register widths, parallel to `vv_class`.
+    pub(crate) vv_width: Vec<u8>,
+    /// Widened-loop latch blocks mapped to their *scalar* header offset:
+    /// the backedge must re-enter the scalar epilogue loop, not the vector
+    /// preamble the header's block offset points at.
+    pub(crate) latch_redirect: HashMap<u32, u32>,
 }
 
 impl<'a> FuncCompiler<'a> {
-    fn err_large(&self, what: &str) -> CompileError {
+    pub(crate) fn err_large(&self, what: &str) -> CompileError {
         CompileError::TooLarge {
             func: self.f.name.clone(),
             what: what.to_string(),
         }
     }
 
-    fn new_vreg(&mut self, class: RegClass) -> Result<Reg, CompileError> {
+    pub(crate) fn new_vreg(&mut self, class: RegClass) -> Result<Reg, CompileError> {
         if self.vreg_class.len() >= u16::MAX as usize {
             return Err(CompileError::TooManyRegs {
                 func: self.f.name.clone(),
@@ -259,9 +283,46 @@ impl<'a> FuncCompiler<'a> {
         Ok(r)
     }
 
+    /// Allocates a vector register of the given class and lane width.
+    pub(crate) fn new_vvreg(&mut self, class: RegClass, w: u8) -> Result<Reg, CompileError> {
+        if self.vv_class.len() >= u16::MAX as usize {
+            return Err(CompileError::TooManyRegs {
+                func: self.f.name.clone(),
+            });
+        }
+        let r = self.vv_class.len() as Reg;
+        self.vv_class.push(class);
+        self.vv_width.push(w);
+        Ok(r)
+    }
+
+    /// A constant register usable *after* the prologue has been emitted:
+    /// reuses the prologue-loaded register when the pool already holds the
+    /// constant, otherwise appends a pool entry and materializes it with an
+    /// `Op::Const` at the current emission point. Callers must ensure that
+    /// point dominates every use (the widener only calls this from a loop
+    /// preamble).
+    pub(crate) fn inline_const(
+        &mut self,
+        key: ConstKey,
+        entry: PoolConst,
+    ) -> Result<Reg, CompileError> {
+        if let Some(&r) = self.const_reg.get(&key) {
+            return Ok(r);
+        }
+        if self.pool.len() >= u16::MAX as usize {
+            return Err(self.err_large("constant pool"));
+        }
+        let idx = self.pool.len() as u16;
+        self.pool.push(entry);
+        let dst = self.new_vreg(entry.class())?;
+        self.ops.push(Op::Const { dst, idx });
+        Ok(dst)
+    }
+
     /// The register holding `v` (instruction result, argument, or
     /// prologue-loaded constant).
-    fn reg_of(&mut self, v: Value) -> Result<Reg, CompileError> {
+    pub(crate) fn reg_of(&mut self, v: Value) -> Result<Reg, CompileError> {
         match v {
             Value::Inst(id) => {
                 self.inst_reg
@@ -289,7 +350,7 @@ impl<'a> FuncCompiler<'a> {
         }
     }
 
-    fn mark_block_start(&mut self) {
+    pub(crate) fn mark_block_start(&mut self) {
         self.block_starts.push(self.ops.len() as u32);
     }
 
@@ -500,6 +561,14 @@ impl<'a> FuncCompiler<'a> {
     fn emit_terminator(&mut self, bb: BlockId, term: &Terminator) -> Result<(), CompileError> {
         match term {
             Terminator::Br { target, .. } => {
+                // A widened loop's latch re-enters the *scalar* copy of the
+                // header (already emitted — headers precede latches in RPO);
+                // the header's block offset points at the vector preamble,
+                // which must run only on loop entry.
+                if let Some(&off) = self.latch_redirect.get(&bb.0) {
+                    self.ops.push(Op::Jmp { target: off });
+                    return Ok(());
+                }
                 let pairs = self.edge_pairs(bb, *target)?;
                 self.emit_edge_moves(&pairs)?;
                 self.fixups.push(Fixup::Jmp(self.ops.len(), *target));
@@ -582,9 +651,16 @@ fn compile_function(
     m: &Module,
     f: &Function,
     fn_index: &HashMap<&str, u32>,
+    vector_width: u8,
+    stats: &mut vectorize::PlanStats,
 ) -> Result<(VmFunction, usize, usize), CompileError> {
     let rpo = f.reverse_postorder();
     let promoted_set = promotable_allocas(f, &rpo);
+    let plans = if vector_width >= 2 {
+        vectorize::plan_loops(f, &promoted_set, vector_width, stats)
+    } else {
+        HashMap::new()
+    };
     let mut c = FuncCompiler {
         m,
         f,
@@ -602,6 +678,9 @@ fn compile_function(
         block_starts: Vec::new(),
         block_off: vec![None; f.blocks.len()],
         fixups: Vec::new(),
+        vv_class: Vec::new(),
+        vv_width: Vec::new(),
+        latch_redirect: HashMap::new(),
     };
 
     // Virtual registers: arguments first (frame entry copies them in).
@@ -677,6 +756,14 @@ fn compile_function(
                 c.ops.push(Op::Const { dst, idx });
             }
         }
+        if let Some(plan) = plans.get(&bb.0) {
+            // Vector preamble + main loop + exit combine, then the scalar
+            // copy of the loop as its epilogue. The block offset recorded
+            // above points at the preamble, so entry edges run it; the
+            // latch's backedge is redirected past it (`latch_redirect`).
+            vectorize::emit_vector_loop(&mut c, plan)?;
+            c.mark_block_start();
+        }
         for &iid in &f.block(bb).insts {
             c.emit_inst(iid, f.inst(iid))?;
         }
@@ -701,6 +788,9 @@ fn compile_function(
         params,
         num_regs: c.vreg_class.len() as u16,
         reg_class: c.vreg_class,
+        num_vregs: c.vv_class.len() as u16,
+        vreg_class: c.vv_class,
+        vreg_width: c.vv_width,
         ops: c.ops,
         consts: c.pool,
         call_args: c.call_args,

@@ -31,11 +31,15 @@ pub mod ops;
 pub mod peephole;
 pub mod regalloc;
 pub mod serde;
+mod vectorize;
 pub mod verify;
 pub mod vm;
 
-pub use compile::{compile_module, CompileError};
-pub use ops::{disasm, CallTarget, Op, PoolConst, Reg, RegClass, VmFunction, VmModule};
+pub use compile::{compile_module, compile_module_with, CompileError};
+pub use ops::{
+    disasm, CallTarget, Op, PoolConst, Reg, RegClass, VReg, VecVal, VmFunction, VmModule,
+    MAX_LANES,
+};
 pub use serde::{decode, encode, DecodeError};
 pub use verify::{verify_function, verify_module, VerifyError};
 pub use vm::VmEngine;

@@ -16,6 +16,32 @@ use omplt_ir::{BinOpKind, CastOp, CmpPred, IrType, SymbolId};
 /// A virtual register index within one frame.
 pub type Reg = u16;
 
+/// A vector register index within one frame. Vector registers live in their
+/// own namespace (`v0`, `v1`, …), parallel to the scalar file — a frame only
+/// allocates the vector file when [`VmFunction::num_vregs`] is nonzero, so
+/// scalar-only code pays nothing for the tier.
+pub type VReg = u16;
+
+/// Maximum lane count any vector op may carry. `--vector-width` requests are
+/// clamped here, and [`VecVal`] storage is sized by it.
+pub const MAX_LANES: usize = 8;
+
+/// One vector register's value: a fixed array of scalar lanes. Ops only
+/// touch lanes `0..w`; the rest are dead storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VecVal {
+    /// Per-lane scalar values.
+    pub lanes: [RtVal; MAX_LANES],
+}
+
+impl Default for VecVal {
+    fn default() -> VecVal {
+        VecVal {
+            lanes: [RtVal::I(0); MAX_LANES],
+        }
+    }
+}
+
 /// Coarse register type class — enough to verify operand compatibility
 /// (the fine-grained `IrType` rides on the ops that need width information).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -271,6 +297,149 @@ pub enum Op {
     },
     /// `unreachable` executed — aborts the run.
     Unreachable,
+    /// `vdst = vsrc` (vector copy; loop-carried accumulator plumbing).
+    VMov {
+        /// Destination vector register.
+        dst: VReg,
+        /// Source vector register.
+        src: VReg,
+        /// Lane count.
+        w: u8,
+    },
+    /// `vdst.lane[l] = base + l` for `l < w` — the per-block lane indices of
+    /// a widened induction variable.
+    VIota {
+        /// Destination vector register (Int class).
+        dst: VReg,
+        /// Scalar base register.
+        base: Reg,
+        /// Lane count.
+        w: u8,
+    },
+    /// `vdst.lane[l] = src` for `l < w`.
+    VBroadcast {
+        /// Destination vector register.
+        dst: VReg,
+        /// Scalar source register.
+        src: Reg,
+        /// Lane count.
+        w: u8,
+    },
+    /// `dst = vsrc.lane[lane]`.
+    VExtract {
+        /// Scalar destination register.
+        dst: Reg,
+        /// Source vector register.
+        src: VReg,
+        /// Lane index (must be < the register's width).
+        lane: u8,
+    },
+    /// Unit-stride vector load: `vdst.lane[l] = *(ty*)(addr + l*size(ty))`.
+    VLoad {
+        /// Destination vector register.
+        dst: VReg,
+        /// Scalar lane-0 address register.
+        addr: Reg,
+        /// Element type (width + decode).
+        ty: IrType,
+        /// Lane count.
+        w: u8,
+    },
+    /// Unit-stride vector store: `*(ty*)(addr + l*size(ty)) = vsrc.lane[l]`.
+    VStore {
+        /// Source vector register.
+        src: VReg,
+        /// Scalar lane-0 address register.
+        addr: Reg,
+        /// Element type (width + encode).
+        ty: IrType,
+        /// Lane count.
+        w: u8,
+    },
+    /// Indexed vector load:
+    /// `vdst.lane[l] = *(ty*)(base + vidx.lane[l]*elem_size)`.
+    VGather {
+        /// Index scale in bytes (leads the payload: `#[repr(u8)]` lays
+        /// fields out C-style, and a trailing u32 would pad past 16 bytes).
+        elem_size: u32,
+        /// Destination vector register.
+        dst: VReg,
+        /// Scalar base pointer register.
+        base: Reg,
+        /// Per-lane index vector register (Int class).
+        idx: VReg,
+        /// Element type.
+        ty: IrType,
+        /// Lane count.
+        w: u8,
+    },
+    /// Indexed vector store:
+    /// `*(ty*)(base + vidx.lane[l]*elem_size) = vsrc.lane[l]`.
+    VScatter {
+        /// Index scale in bytes (leads the payload: `#[repr(u8)]` lays
+        /// fields out C-style, and a trailing u32 would pad past 16 bytes).
+        elem_size: u32,
+        /// Source vector register.
+        src: VReg,
+        /// Scalar base pointer register.
+        base: Reg,
+        /// Per-lane index vector register (Int class).
+        idx: VReg,
+        /// Element type.
+        ty: IrType,
+        /// Lane count.
+        w: u8,
+    },
+    /// Lane-parallel arithmetic: `vdst.lane[l] = vlhs.lane[l] <op> vrhs.lane[l]`.
+    VBin {
+        /// Operation.
+        op: BinOpKind,
+        /// Operand type (wrapping width).
+        ty: IrType,
+        /// Destination vector register.
+        dst: VReg,
+        /// Left operand vector register.
+        lhs: VReg,
+        /// Right operand vector register.
+        rhs: VReg,
+        /// Lane count.
+        w: u8,
+    },
+    /// Lane-parallel conversion: `vdst.lane[l] = cast<op>(vsrc.lane[l])`.
+    VCast {
+        /// Conversion.
+        op: CastOp,
+        /// Source type.
+        from: IrType,
+        /// Destination type.
+        to: IrType,
+        /// Destination vector register.
+        dst: VReg,
+        /// Source vector register.
+        src: VReg,
+        /// Lane count.
+        w: u8,
+    },
+    /// Horizontal reduction, left fold in lane order:
+    /// `dst = (…(lane[0] <op> lane[1]) <op> …) <op> lane[w-1]`.
+    VReduce {
+        /// Operation (associative integer op for exact results).
+        op: BinOpKind,
+        /// Operand type.
+        ty: IrType,
+        /// Scalar destination register.
+        dst: Reg,
+        /// Source vector register.
+        src: VReg,
+        /// Lane count.
+        w: u8,
+    },
+    /// Epilogue bookkeeping: tallies `max(src, 0)` scalar remainder
+    /// iterations into the `vm.simd.epilogue_iters` counter. No data effect.
+    VEpi {
+        /// Scalar register holding the remaining-iteration count.
+        src: Reg,
+    },
 }
 
 impl Op {
@@ -286,9 +455,46 @@ impl Op {
             | Op::Cmp { dst, .. }
             | Op::Cast { dst, .. }
             | Op::Select { dst, .. }
-            | Op::BinJmp { dst, .. } => Some(dst),
+            | Op::BinJmp { dst, .. }
+            | Op::VExtract { dst, .. }
+            | Op::VReduce { dst, .. } => Some(dst),
             Op::Call { dst, .. } => dst,
             _ => None,
+        }
+    }
+
+    /// The vector register this op defines, if any.
+    pub fn vdef(self) -> Option<VReg> {
+        match self {
+            Op::VMov { dst, .. }
+            | Op::VIota { dst, .. }
+            | Op::VBroadcast { dst, .. }
+            | Op::VLoad { dst, .. }
+            | Op::VGather { dst, .. }
+            | Op::VBin { dst, .. }
+            | Op::VCast { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Visits every vector register this op *reads*.
+    pub fn for_each_vuse(self, mut f: impl FnMut(VReg)) {
+        match self {
+            Op::VMov { src, .. }
+            | Op::VExtract { src, .. }
+            | Op::VCast { src, .. }
+            | Op::VReduce { src, .. } => f(src),
+            Op::VStore { src, .. } => f(src),
+            Op::VGather { idx, .. } => f(idx),
+            Op::VScatter { src, idx, .. } => {
+                f(src);
+                f(idx);
+            }
+            Op::VBin { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            _ => {}
         }
     }
 
@@ -331,6 +537,20 @@ impl Op {
                     f(r);
                 }
             }
+            // Vector ops: only their *scalar* operands are uses here (vector
+            // registers have their own namespace and are never renamed).
+            Op::VIota { base, .. }
+            | Op::VBroadcast { src: base, .. }
+            | Op::VLoad { addr: base, .. }
+            | Op::VStore { addr: base, .. }
+            | Op::VGather { base, .. }
+            | Op::VScatter { base, .. }
+            | Op::VEpi { src: base } => f(base),
+            Op::VMov { .. }
+            | Op::VExtract { .. }
+            | Op::VBin { .. }
+            | Op::VCast { .. }
+            | Op::VReduce { .. } => {}
         }
     }
 
@@ -395,6 +615,15 @@ impl Op {
                     *r = f(*r);
                 }
             }
+            Op::VIota { base, .. }
+            | Op::VBroadcast { src: base, .. }
+            | Op::VLoad { addr: base, .. }
+            | Op::VStore { addr: base, .. }
+            | Op::VGather { base, .. }
+            | Op::VScatter { base, .. }
+            | Op::VEpi { src: base } => *base = f(*base),
+            Op::VExtract { dst, .. } | Op::VReduce { dst, .. } => *dst = f(*dst),
+            Op::VMov { .. } | Op::VBin { .. } | Op::VCast { .. } => {}
             Op::Jmp { .. } | Op::Unreachable => {}
         }
     }
@@ -412,7 +641,9 @@ impl Op {
             | Op::Cmp { dst, .. }
             | Op::Cast { dst, .. }
             | Op::Select { dst, .. }
-            | Op::BinJmp { dst, .. } => *dst = r,
+            | Op::BinJmp { dst, .. }
+            | Op::VExtract { dst, .. }
+            | Op::VReduce { dst, .. } => *dst = r,
             Op::Call { dst: Some(d), .. } => *d = r,
             _ => {}
         }
@@ -459,6 +690,18 @@ impl Op {
                     *r = f(*r);
                 }
             }
+            Op::VIota { base, .. }
+            | Op::VBroadcast { src: base, .. }
+            | Op::VLoad { addr: base, .. }
+            | Op::VStore { addr: base, .. }
+            | Op::VGather { base, .. }
+            | Op::VScatter { base, .. }
+            | Op::VEpi { src: base } => *base = f(*base),
+            Op::VMov { .. }
+            | Op::VExtract { .. }
+            | Op::VBin { .. }
+            | Op::VCast { .. }
+            | Op::VReduce { .. } => {}
         }
     }
 
@@ -487,6 +730,14 @@ pub struct VmFunction {
     pub num_regs: u16,
     /// Class of each register (indexed by register number).
     pub reg_class: Vec<RegClass>,
+    /// Size of the vector register file (0 for scalar-only functions — the
+    /// common case; frames skip the vector file entirely then).
+    pub num_vregs: u16,
+    /// Lane class of each vector register (indexed by vector register).
+    pub vreg_class: Vec<RegClass>,
+    /// Declared lane count of each vector register; every op touching the
+    /// register must carry exactly this width (verifier-enforced).
+    pub vreg_width: Vec<u8>,
     /// The flat instruction stream.
     pub ops: Vec<Op>,
     /// Constant pool (deduplicated).
@@ -541,12 +792,19 @@ pub fn disasm(f: &VmFunction) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let params: Vec<String> = f.params.iter().map(|r| format!("r{r}")).collect();
+    // Scalar-only functions keep the historical header shape (goldens pin it).
+    let vregs = if f.num_vregs > 0 {
+        format!(" vregs={}", f.num_vregs)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "func @{}({}) regs={} ret={}",
+        "func @{}({}) regs={}{} ret={}",
         f.name,
         params.join(", "),
         f.num_regs,
+        vregs,
         f.ret
     );
     for (pc, op) in f.ops.iter().enumerate() {
@@ -648,6 +906,60 @@ pub fn disasm(f: &VmFunction) -> String {
                 None => "ret".to_string(),
             },
             Op::Unreachable => "unreachable".to_string(),
+            Op::VMov { dst, src, w } => format!("v{dst} = vmov.x{w} v{src}"),
+            Op::VIota { dst, base, w } => format!("v{dst} = viota.x{w} r{base}"),
+            Op::VBroadcast { dst, src, w } => {
+                format!("v{dst} = vbcast.x{w} r{src}")
+            }
+            Op::VExtract { dst, src, lane } => {
+                format!("r{dst} = vextract v{src}[{lane}]")
+            }
+            Op::VLoad { dst, addr, ty, w } => {
+                format!("v{dst} = vload.{ty}.x{w} [r{addr}]")
+            }
+            Op::VStore { src, addr, ty, w } => {
+                format!("vstore.{ty}.x{w} [r{addr}], v{src}")
+            }
+            Op::VGather {
+                dst,
+                base,
+                idx,
+                ty,
+                elem_size,
+                w,
+            } => format!("v{dst} = vgather.{ty}.x{w} r{base} + v{idx}*{elem_size}"),
+            Op::VScatter {
+                src,
+                base,
+                idx,
+                ty,
+                elem_size,
+                w,
+            } => format!("vscatter.{ty}.x{w} r{base} + v{idx}*{elem_size}, v{src}"),
+            Op::VBin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+                w,
+            } => format!("v{dst} = v{}.{ty}.x{w} v{lhs}, v{rhs}", op.mnemonic()),
+            Op::VCast {
+                op,
+                from,
+                to,
+                dst,
+                src,
+                w,
+            } => format!("v{dst} = v{}.{from}.{to}.x{w} v{src}", op.mnemonic()),
+            Op::VReduce {
+                op,
+                ty,
+                dst,
+                src,
+                w,
+            } => format!("r{dst} = vreduce.{}.{ty}.x{w} v{src}", op.mnemonic()),
+            Op::VEpi { src } => format!("vepi r{src}"),
         };
         let _ = writeln!(out, "  {pc:4}  {text}");
     }
@@ -692,6 +1004,38 @@ mod tests {
         let mut uses = Vec::new();
         call.for_each_use(&[9, 4, 5, 9], |r| uses.push(r));
         assert_eq!(uses, vec![4, 5], "call reads its slice of the arg pool");
+    }
+
+    #[test]
+    fn vector_ops_report_defs_and_uses() {
+        let red = Op::VReduce {
+            op: BinOpKind::Add,
+            ty: IrType::I64,
+            dst: 5,
+            src: 1,
+            w: 4,
+        };
+        assert_eq!(red.def(), Some(5), "horizontal reduce defines a scalar");
+        assert_eq!(red.vdef(), None);
+        let mut vuses = Vec::new();
+        red.for_each_vuse(|v| vuses.push(v));
+        assert_eq!(vuses, vec![1]);
+
+        let gather = Op::VGather {
+            dst: 0,
+            base: 3,
+            idx: 1,
+            ty: IrType::I64,
+            elem_size: 8,
+            w: 4,
+        };
+        assert_eq!(gather.vdef(), Some(0));
+        let mut uses = Vec::new();
+        gather.for_each_use(&[], |r| uses.push(r));
+        assert_eq!(uses, vec![3], "gather's base pointer is a scalar use");
+        let mut vuses = Vec::new();
+        gather.for_each_vuse(|v| vuses.push(v));
+        assert_eq!(vuses, vec![1]);
     }
 
     #[test]

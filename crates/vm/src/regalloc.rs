@@ -272,6 +272,9 @@ mod tests {
             params: vec![],
             num_regs,
             reg_class: classes,
+            num_vregs: 0,
+            vreg_class: vec![],
+            vreg_width: vec![],
             ops,
             consts: vec![PoolConst::Val(RtVal::I(1))],
             call_args: vec![],

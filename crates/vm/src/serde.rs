@@ -6,10 +6,10 @@
 //! The format is a private, versioned, little-endian encoding:
 //!
 //! ```text
-//! "OMPLTBC\x01"  magic + format version (bump on any layout change)
+//! "OMPLTBC\x02"  magic + format version (bump on any layout change)
 //! u32            function count
-//! per function:  name, ret, params, reg classes, const pool,
-//!                call args, call targets, block starts, ops
+//! per function:  name, ret, params, reg classes, vreg classes/widths,
+//!                const pool, call args, call targets, block starts, ops
 //! ```
 //!
 //! Every enum crosses the boundary through an exhaustive `match`, so adding
@@ -23,7 +23,7 @@ use omplt_interp::RtVal;
 use omplt_ir::{BinOpKind, CastOp, CmpPred, IrType, SymbolId};
 
 /// Magic prefix: 7 identifying bytes plus a 1-byte format version.
-const MAGIC: &[u8; 8] = b"OMPLTBC\x01";
+const MAGIC: &[u8; 8] = b"OMPLTBC\x02";
 
 /// A malformed or version-incompatible bytecode image.
 #[derive(Debug, PartialEq, Eq)]
@@ -403,6 +403,120 @@ fn encode_op(e: &mut Enc, op: Op) {
             e.opt_reg(src);
         }
         Op::Unreachable => e.u8(16),
+        Op::VMov { dst, src, w } => {
+            e.u8(17);
+            e.reg(dst);
+            e.reg(src);
+            e.u8(w);
+        }
+        Op::VIota { dst, base, w } => {
+            e.u8(18);
+            e.reg(dst);
+            e.reg(base);
+            e.u8(w);
+        }
+        Op::VBroadcast { dst, src, w } => {
+            e.u8(19);
+            e.reg(dst);
+            e.reg(src);
+            e.u8(w);
+        }
+        Op::VExtract { dst, src, lane } => {
+            e.u8(20);
+            e.reg(dst);
+            e.reg(src);
+            e.u8(lane);
+        }
+        Op::VLoad { dst, addr, ty, w } => {
+            e.u8(21);
+            e.reg(dst);
+            e.reg(addr);
+            e.ty(ty);
+            e.u8(w);
+        }
+        Op::VStore { src, addr, ty, w } => {
+            e.u8(22);
+            e.reg(src);
+            e.reg(addr);
+            e.ty(ty);
+            e.u8(w);
+        }
+        Op::VGather {
+            dst,
+            base,
+            idx,
+            ty,
+            elem_size,
+            w,
+        } => {
+            e.u8(23);
+            e.reg(dst);
+            e.reg(base);
+            e.reg(idx);
+            e.ty(ty);
+            e.u32(elem_size);
+            e.u8(w);
+        }
+        Op::VScatter {
+            src,
+            base,
+            idx,
+            ty,
+            elem_size,
+            w,
+        } => {
+            e.u8(24);
+            e.reg(src);
+            e.reg(base);
+            e.reg(idx);
+            e.ty(ty);
+            e.u32(elem_size);
+            e.u8(w);
+        }
+        Op::VBin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+            w,
+        } => {
+            e.u8(25);
+            e.u8(bin_tag(op));
+            e.ty(ty);
+            e.reg(dst);
+            e.reg(lhs);
+            e.reg(rhs);
+            e.u8(w);
+        }
+        Op::VCast {
+            op,
+            from,
+            to,
+            dst,
+            src,
+            w,
+        } => {
+            e.u8(26);
+            e.u8(cast_tag(op));
+            e.ty(from);
+            e.ty(to);
+            e.reg(dst);
+            e.reg(src);
+            e.u8(w);
+        }
+        Op::VReduce { op, ty, dst, src, w } => {
+            e.u8(27);
+            e.u8(bin_tag(op));
+            e.ty(ty);
+            e.reg(dst);
+            e.reg(src);
+            e.u8(w);
+        }
+        Op::VEpi { src } => {
+            e.u8(28);
+            e.reg(src);
+        }
     }
 }
 
@@ -449,6 +563,15 @@ pub fn encode(m: &VmModule) -> Vec<u8> {
         e.u32(f.reg_class.len() as u32);
         for &c in &f.reg_class {
             e.u8(class_tag(c));
+        }
+        e.u16(f.num_vregs);
+        e.u32(f.vreg_class.len() as u32);
+        for &c in &f.vreg_class {
+            e.u8(class_tag(c));
+        }
+        e.u32(f.vreg_width.len() as u32);
+        for &w in &f.vreg_width {
+            e.u8(w);
         }
         e.u32(f.consts.len() as u32);
         for &c in &f.consts {
@@ -628,6 +751,78 @@ fn decode_op(d: &mut Dec) -> Result<Op, DecodeError> {
         },
         15 => Op::Ret { src: d.opt_reg()? },
         16 => Op::Unreachable,
+        17 => Op::VMov {
+            dst: d.reg()?,
+            src: d.reg()?,
+            w: d.u8()?,
+        },
+        18 => Op::VIota {
+            dst: d.reg()?,
+            base: d.reg()?,
+            w: d.u8()?,
+        },
+        19 => Op::VBroadcast {
+            dst: d.reg()?,
+            src: d.reg()?,
+            w: d.u8()?,
+        },
+        20 => Op::VExtract {
+            dst: d.reg()?,
+            src: d.reg()?,
+            lane: d.u8()?,
+        },
+        21 => Op::VLoad {
+            dst: d.reg()?,
+            addr: d.reg()?,
+            ty: d.ty()?,
+            w: d.u8()?,
+        },
+        22 => Op::VStore {
+            src: d.reg()?,
+            addr: d.reg()?,
+            ty: d.ty()?,
+            w: d.u8()?,
+        },
+        23 => Op::VGather {
+            dst: d.reg()?,
+            base: d.reg()?,
+            idx: d.reg()?,
+            ty: d.ty()?,
+            elem_size: d.u32()?,
+            w: d.u8()?,
+        },
+        24 => Op::VScatter {
+            src: d.reg()?,
+            base: d.reg()?,
+            idx: d.reg()?,
+            ty: d.ty()?,
+            elem_size: d.u32()?,
+            w: d.u8()?,
+        },
+        25 => Op::VBin {
+            op: bin_from(d.u8()?)?,
+            ty: d.ty()?,
+            dst: d.reg()?,
+            lhs: d.reg()?,
+            rhs: d.reg()?,
+            w: d.u8()?,
+        },
+        26 => Op::VCast {
+            op: cast_from(d.u8()?)?,
+            from: d.ty()?,
+            to: d.ty()?,
+            dst: d.reg()?,
+            src: d.reg()?,
+            w: d.u8()?,
+        },
+        27 => Op::VReduce {
+            op: bin_from(d.u8()?)?,
+            ty: d.ty()?,
+            dst: d.reg()?,
+            src: d.reg()?,
+            w: d.u8()?,
+        },
+        28 => Op::VEpi { src: d.reg()? },
         other => return err(format!("bad Op tag {other}")),
     })
 }
@@ -669,6 +864,17 @@ pub fn decode(bytes: &[u8]) -> Result<VmModule, DecodeError> {
         for _ in 0..nclasses {
             reg_class.push(class_from(d.u8()?)?);
         }
+        let num_vregs = d.u16()?;
+        let nvclasses = d.len()?;
+        let mut vreg_class = Vec::with_capacity(nvclasses);
+        for _ in 0..nvclasses {
+            vreg_class.push(class_from(d.u8()?)?);
+        }
+        let nvwidths = d.len()?;
+        let mut vreg_width = Vec::with_capacity(nvwidths);
+        for _ in 0..nvwidths {
+            vreg_width.push(d.u8()?);
+        }
         let nconsts = d.len()?;
         let mut consts = Vec::with_capacity(nconsts);
         for _ in 0..nconsts {
@@ -703,6 +909,9 @@ pub fn decode(bytes: &[u8]) -> Result<VmModule, DecodeError> {
             params,
             num_regs,
             reg_class,
+            num_vregs,
+            vreg_class,
+            vreg_width,
             ops,
             consts,
             call_args,
@@ -779,6 +988,66 @@ mod tests {
                     ret: IrType::Void,
                     dst: None,
                 },
+                Op::VBroadcast { dst: 0, src: 0, w: 4 },
+                Op::VIota { dst: 1, base: 0, w: 4 },
+                Op::VLoad {
+                    dst: 2,
+                    addr: 3,
+                    ty: IrType::I64,
+                    w: 2,
+                },
+                Op::VBin {
+                    op: BinOpKind::Add,
+                    ty: IrType::I64,
+                    dst: 2,
+                    lhs: 2,
+                    rhs: 0,
+                    w: 2,
+                },
+                Op::VGather {
+                    dst: 2,
+                    base: 3,
+                    idx: 1,
+                    ty: IrType::I64,
+                    elem_size: 8,
+                    w: 2,
+                },
+                Op::VScatter {
+                    src: 2,
+                    base: 3,
+                    idx: 1,
+                    ty: IrType::I64,
+                    elem_size: 8,
+                    w: 2,
+                },
+                Op::VStore {
+                    src: 2,
+                    addr: 3,
+                    ty: IrType::I64,
+                    w: 2,
+                },
+                Op::VCast {
+                    op: CastOp::SiToFp,
+                    from: IrType::I64,
+                    to: IrType::F64,
+                    dst: 3,
+                    src: 2,
+                    w: 2,
+                },
+                Op::VMov { dst: 2, src: 1, w: 4 },
+                Op::VReduce {
+                    op: BinOpKind::Add,
+                    ty: IrType::I64,
+                    dst: 5,
+                    src: 2,
+                    w: 4,
+                },
+                Op::VExtract {
+                    dst: 5,
+                    src: 1,
+                    lane: 3,
+                },
+                Op::VEpi { src: 5 },
                 Op::Ret { src: Some(4) },
             ],
             consts: vec![
@@ -789,6 +1058,14 @@ mod tests {
             ],
             call_args: vec![0, 1],
             call_targets: vec![CallTarget::Runtime(SymbolId(9)), CallTarget::Bytecode(0)],
+            num_vregs: 4,
+            vreg_class: vec![
+                RegClass::Int,
+                RegClass::Int,
+                RegClass::Int,
+                RegClass::Float,
+            ],
+            vreg_width: vec![4, 4, 2, 2],
             block_starts: vec![0, 1, 7],
             ret: IrType::I32,
         };
@@ -806,6 +1083,9 @@ mod tests {
         assert_eq!(a.params, b.params);
         assert_eq!(a.num_regs, b.num_regs);
         assert_eq!(a.reg_class, b.reg_class);
+        assert_eq!(a.num_vregs, b.num_vregs);
+        assert_eq!(a.vreg_class, b.vreg_class);
+        assert_eq!(a.vreg_width, b.vreg_width);
         assert_eq!(a.ops, b.ops);
         assert_eq!(a.consts, b.consts);
         assert_eq!(a.call_args, b.call_args);
@@ -829,7 +1109,7 @@ mod tests {
         assert!(decode(&bad).is_err());
         // Future format version.
         let mut vers = bytes.clone();
-        vers[7] = 2;
+        vers[7] = 3;
         assert!(decode(&vers).is_err());
         // Trailing garbage.
         let mut long = bytes.clone();

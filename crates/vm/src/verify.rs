@@ -18,7 +18,7 @@
 //!    the block graph: a register read before any write on some path is an
 //!    error, not a zero.
 
-use crate::ops::{CallTarget, Op, RegClass, VmFunction, VmModule};
+use crate::ops::{CallTarget, Op, RegClass, VmFunction, VmModule, MAX_LANES};
 use omplt_ir::IrType;
 
 /// One verification failure.
@@ -100,6 +100,20 @@ fn structural(f: &VmFunction, num_funcs: usize, errs: &mut Vec<VerifyError>) {
         );
         return;
     }
+    if f.vreg_class.len() != f.num_vregs as usize || f.vreg_width.len() != f.num_vregs as usize {
+        err(
+            errs,
+            f,
+            0,
+            format!(
+                "vector register tables have {}/{} entries for {} vector registers",
+                f.vreg_class.len(),
+                f.vreg_width.len(),
+                f.num_vregs
+            ),
+        );
+        return;
+    }
     if f.block_starts.first() != Some(&0) {
         err(errs, f, 0, "first block does not start at op 0".to_string());
     }
@@ -133,6 +147,15 @@ fn structural(f: &VmFunction, num_funcs: usize, errs: &mut Vec<VerifyError>) {
         if let Some(d) = op.def() {
             check_reg(errs, d);
         }
+        let check_vreg = |errs: &mut Vec<VerifyError>, v: u16| {
+            if v >= f.num_vregs {
+                err(errs, f, pc, format!("vector register v{v} out of range"));
+            }
+        };
+        if let Some(v) = op.vdef() {
+            check_vreg(errs, v);
+        }
+        op.for_each_vuse(|v| check_vreg(errs, v));
         // Argument-pool ranges are validated on the Call op itself; reading
         // the pool for use-collection is guarded below.
         match *op {
@@ -235,8 +258,34 @@ fn class_name(c: RegClass) -> &'static str {
 
 fn types(f: &VmFunction, errs: &mut Vec<VerifyError>) {
     let cls = |r: u16| f.reg_class[r as usize];
+    let vcls = |v: u16| f.vreg_class[v as usize];
     let mismatch = |errs: &mut Vec<VerifyError>, pc: usize, what: String| {
         err(errs, f, pc, format!("type mismatch: {what}"));
+    };
+    // Lane-count discipline: every vector op carries the width it operates
+    // at, and that width must match the static width of every vector
+    // register it touches — lane counts are part of the type, not a runtime
+    // property.
+    let lanes = |errs: &mut Vec<VerifyError>, pc: usize, w: u8| {
+        if !(2..=MAX_LANES as u8).contains(&w) {
+            err(
+                errs,
+                f,
+                pc,
+                format!("bad lane count {w} (must be 2..={MAX_LANES})"),
+            );
+        }
+    };
+    let vwidth = |errs: &mut Vec<VerifyError>, pc: usize, role: &str, v: u16, w: u8| {
+        let have = f.vreg_width[v as usize];
+        if have != w {
+            err(
+                errs,
+                f,
+                pc,
+                format!("{role} v{v} has width {have} but op uses {w} lanes"),
+            );
+        }
     };
     for (pc, op) in f.ops.iter().enumerate() {
         match *op {
@@ -524,6 +573,283 @@ fn types(f: &VmFunction, errs: &mut Vec<VerifyError>) {
                 }
             }
             Op::Ret { src: None } | Op::Jmp { .. } | Op::Unreachable => {}
+            Op::VMov { dst, src, w } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "vmov destination", dst, w);
+                vwidth(errs, pc, "vmov source", src, w);
+                if vcls(dst) != vcls(src) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "vmov from {} v{src} to {} v{dst}",
+                            class_name(vcls(src)),
+                            class_name(vcls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::VIota { dst, base, w } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "viota destination", dst, w);
+                if vcls(dst) != RegClass::Int {
+                    mismatch(errs, pc, format!("viota destination v{dst} is not int"));
+                }
+                if cls(base) != RegClass::Int {
+                    mismatch(errs, pc, format!("viota base r{base} is not int"));
+                }
+            }
+            Op::VBroadcast { dst, src, w } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "broadcast destination", dst, w);
+                if vcls(dst) != cls(src) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "broadcast of {} r{src} into {} v{dst}",
+                            class_name(cls(src)),
+                            class_name(vcls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::VExtract { dst, src, lane } => {
+                let have = f.vreg_width[src as usize];
+                if lane >= have {
+                    err(
+                        errs,
+                        f,
+                        pc,
+                        format!("lane {lane} out of range for v{src} of width {have}"),
+                    );
+                }
+                if cls(dst) != vcls(src) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "extract of {} v{src} into {} r{dst}",
+                            class_name(vcls(src)),
+                            class_name(cls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::VLoad { dst, addr, ty, w } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "vload destination", dst, w);
+                if ty == IrType::Void {
+                    mismatch(errs, pc, "vector load of void".to_string());
+                } else if vcls(dst) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("vector load of {ty} into {} v{dst}", class_name(vcls(dst))),
+                    );
+                }
+                if cls(addr) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("vector load address r{addr} is not ptr"));
+                }
+            }
+            Op::VStore { src, addr, ty, w } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "vstore source", src, w);
+                if ty == IrType::Void {
+                    mismatch(errs, pc, "vector store of void".to_string());
+                } else if vcls(src) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("vector store of {ty} from {} v{src}", class_name(vcls(src))),
+                    );
+                }
+                if cls(addr) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("vector store address r{addr} is not ptr"));
+                }
+            }
+            Op::VGather {
+                dst,
+                base,
+                idx,
+                ty,
+                w,
+                ..
+            } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "gather destination", dst, w);
+                vwidth(errs, pc, "gather index", idx, w);
+                if ty == IrType::Void {
+                    mismatch(errs, pc, "vector gather of void".to_string());
+                } else if vcls(dst) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("vector gather of {ty} into {} v{dst}", class_name(vcls(dst))),
+                    );
+                }
+                if cls(base) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("gather base r{base} is not ptr"));
+                }
+                if vcls(idx) != RegClass::Int {
+                    mismatch(errs, pc, format!("gather index v{idx} is not int"));
+                }
+            }
+            Op::VScatter {
+                src,
+                base,
+                idx,
+                ty,
+                w,
+                ..
+            } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "scatter source", src, w);
+                vwidth(errs, pc, "scatter index", idx, w);
+                if ty == IrType::Void {
+                    mismatch(errs, pc, "vector scatter of void".to_string());
+                } else if vcls(src) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("vector scatter of {ty} from {} v{src}", class_name(vcls(src))),
+                    );
+                }
+                if cls(base) != RegClass::Ptr {
+                    mismatch(errs, pc, format!("scatter base r{base} is not ptr"));
+                }
+                if vcls(idx) != RegClass::Int {
+                    mismatch(errs, pc, format!("scatter index v{idx} is not int"));
+                }
+            }
+            Op::VBin {
+                op: bop,
+                ty,
+                dst,
+                lhs,
+                rhs,
+                w,
+            } => {
+                lanes(errs, pc, w);
+                for (role, v) in [("destination", dst), ("lhs", lhs), ("rhs", rhs)] {
+                    vwidth(errs, pc, &format!("vector op {role}"), v, w);
+                }
+                if ty == IrType::Ptr {
+                    mismatch(errs, pc, "vector pointer arithmetic".to_string());
+                } else if bop.is_float() {
+                    if !ty.is_float() {
+                        mismatch(
+                            errs,
+                            pc,
+                            format!("float vector op {} at type {ty}", bop.mnemonic()),
+                        );
+                    }
+                    for (role, v) in [("destination", dst), ("lhs", lhs), ("rhs", rhs)] {
+                        if vcls(v) != RegClass::Float {
+                            mismatch(
+                                errs,
+                                pc,
+                                format!(
+                                    "float vector op {} with {} {role} v{v}",
+                                    bop.mnemonic(),
+                                    class_name(vcls(v))
+                                ),
+                            );
+                        }
+                    }
+                } else {
+                    if ty.is_float() {
+                        mismatch(
+                            errs,
+                            pc,
+                            format!("integer vector op {} at type {ty}", bop.mnemonic()),
+                        );
+                    }
+                    for (role, v) in [("destination", dst), ("lhs", lhs), ("rhs", rhs)] {
+                        if vcls(v) != RegClass::Int {
+                            mismatch(
+                                errs,
+                                pc,
+                                format!(
+                                    "integer vector op {} with {} {role} v{v}",
+                                    bop.mnemonic(),
+                                    class_name(vcls(v))
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::VCast {
+                from,
+                to,
+                dst,
+                src,
+                w,
+                ..
+            } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "vector cast destination", dst, w);
+                vwidth(errs, pc, "vector cast source", src, w);
+                if vcls(src) != RegClass::of(from) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "vector cast source v{src} is {} but operand type is {from}",
+                            class_name(vcls(src))
+                        ),
+                    );
+                }
+                if vcls(dst) != RegClass::of(to) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!(
+                            "vector cast destination v{dst} is {} but result type is {to}",
+                            class_name(vcls(dst))
+                        ),
+                    );
+                }
+            }
+            Op::VReduce {
+                op: bop,
+                ty,
+                dst,
+                src,
+                w,
+            } => {
+                lanes(errs, pc, w);
+                vwidth(errs, pc, "reduce source", src, w);
+                if ty == IrType::Ptr {
+                    mismatch(errs, pc, "vector reduction of ptr".to_string());
+                } else if bop.is_float() != ty.is_float() {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("reduce op {} at type {ty}", bop.mnemonic()),
+                    );
+                }
+                if vcls(src) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("reduce of {ty} from {} v{src}", class_name(vcls(src))),
+                    );
+                }
+                if cls(dst) != RegClass::of(ty) {
+                    mismatch(
+                        errs,
+                        pc,
+                        format!("reduce of {ty} into {} r{dst}", class_name(cls(dst))),
+                    );
+                }
+            }
+            Op::VEpi { src } => {
+                if cls(src) != RegClass::Int {
+                    mismatch(errs, pc, format!("epilogue count r{src} is not int"));
+                }
+            }
         }
     }
 }
@@ -531,8 +857,10 @@ fn types(f: &VmFunction, errs: &mut Vec<VerifyError>) {
 /// Forward "definitely assigned" dataflow: a register may only be read if
 /// every path from entry wrote it first.
 fn definite_init(f: &VmFunction, errs: &mut Vec<VerifyError>) {
+    // One dataflow domain covers both files: scalar register r maps to bit
+    // r, vector register v to bit num_regs + v.
     let n = f.num_regs as usize;
-    let words = n.div_ceil(64).max(1);
+    let words = (n + f.num_vregs as usize).div_ceil(64).max(1);
     let nb = f.block_starts.len();
     let block_of = |off: u32| -> usize {
         match f.block_starts.binary_search(&off) {
@@ -589,6 +917,10 @@ fn definite_init(f: &VmFunction, errs: &mut Vec<VerifyError>) {
                 if let Some(d) = op.def() {
                     out[d as usize / 64] |= 1 << (d as usize % 64);
                 }
+                if let Some(v) = op.vdef() {
+                    let bit = n + v as usize;
+                    out[bit / 64] |= 1 << (bit % 64);
+                }
             }
             if inn != in_set[b] {
                 in_set[b] = inn;
@@ -620,8 +952,23 @@ fn definite_init(f: &VmFunction, errs: &mut Vec<VerifyError>) {
                     );
                 }
             });
+            op.for_each_vuse(|v| {
+                let bit = n + v as usize;
+                if defined[bit / 64] & (1 << (bit % 64)) == 0 {
+                    err(
+                        errs,
+                        f,
+                        pc,
+                        format!("read of vector register v{v} before any write"),
+                    );
+                }
+            });
             if let Some(d) = op.def() {
                 defined[d as usize / 64] |= 1 << (d as usize % 64);
+            }
+            if let Some(v) = op.vdef() {
+                let bit = n + v as usize;
+                defined[bit / 64] |= 1 << (bit % 64);
             }
         }
     }
@@ -639,6 +986,9 @@ mod tests {
             params: vec![],
             num_regs: 2,
             reg_class: vec![RegClass::Int, RegClass::Int],
+            num_vregs: 0,
+            vreg_class: vec![],
+            vreg_width: vec![],
             ops: vec![
                 Op::Const { dst: 0, idx: 0 },
                 Op::Mov { dst: 1, src: 0 },
@@ -686,6 +1036,102 @@ mod tests {
         assert!(errs.iter().any(|e| e.what.contains("type mismatch")));
     }
 
+    fn vtiny() -> VmFunction {
+        VmFunction {
+            name: "v".into(),
+            params: vec![],
+            num_regs: 2,
+            reg_class: vec![RegClass::Int, RegClass::Int],
+            num_vregs: 2,
+            vreg_class: vec![RegClass::Int, RegClass::Int],
+            vreg_width: vec![4, 4],
+            ops: vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::VBroadcast { dst: 0, src: 0, w: 4 },
+                Op::VMov { dst: 1, src: 0, w: 4 },
+                Op::VExtract {
+                    dst: 1,
+                    src: 1,
+                    lane: 3,
+                },
+                Op::Ret { src: Some(1) },
+            ],
+            consts: vec![PoolConst::Val(RtVal::I(7))],
+            call_args: vec![],
+            call_targets: vec![],
+            block_starts: vec![0],
+            ret: IrType::I64,
+        }
+    }
+
+    #[test]
+    fn clean_vector_function_verifies() {
+        assert!(verify_function(&vtiny(), 1).is_empty());
+    }
+
+    #[test]
+    fn bad_lane_count_is_reported() {
+        let mut f = vtiny();
+        f.ops[1] = Op::VBroadcast {
+            dst: 0,
+            src: 0,
+            w: 16,
+        };
+        let errs = verify_function(&f, 1);
+        assert!(
+            errs.iter().any(|e| e.what.contains("bad lane count 16")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn lane_width_mismatch_is_reported() {
+        let mut f = vtiny();
+        f.ops[2] = Op::VMov { dst: 1, src: 0, w: 2 };
+        let errs = verify_function(&f, 1);
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("has width 4 but op uses 2 lanes")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn scalar_vector_class_mix_is_reported() {
+        let mut f = vtiny();
+        f.vreg_class[0] = RegClass::Float; // int broadcast into float vreg
+        let errs = verify_function(&f, 1);
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("broadcast of int r0 into float v0")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn uninitialized_vector_register_is_reported() {
+        let mut f = vtiny();
+        f.ops[1] = Op::VMov { dst: 0, src: 0, w: 4 }; // v0 read before any write
+        let errs = verify_function(&f, 1);
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("read of vector register v0 before any write")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn vector_register_out_of_range_is_reported() {
+        let mut f = vtiny();
+        f.ops[2] = Op::VMov { dst: 9, src: 0, w: 4 };
+        let errs = verify_function(&f, 1);
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("vector register v9 out of range")),
+            "{errs:?}"
+        );
+    }
+
     #[test]
     fn diverging_paths_must_both_define() {
         // entry: br r0 ? L3 : L4 — only the then-path defines r1; the join
@@ -695,6 +1141,9 @@ mod tests {
             params: vec![0],
             num_regs: 2,
             reg_class: vec![RegClass::Int, RegClass::Int],
+            num_vregs: 0,
+            vreg_class: vec![],
+            vreg_width: vec![],
             ops: vec![
                 Op::Br {
                     cond: 0,

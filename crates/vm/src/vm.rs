@@ -18,7 +18,7 @@
 //!   trait. Team threads run their own VM frames over the same shared
 //!   engine state.
 
-use crate::ops::{CallTarget, Op, PoolConst, VmModule};
+use crate::ops::{CallTarget, Op, PoolConst, VecVal, VmModule};
 use omplt_interp::engine::{self, ChunkLog, Engine};
 use omplt_interp::exec::{decode_scalar, encode_scalar, exec_bin, exec_cast, exec_cmp};
 use omplt_interp::runtime::{self, RuntimeConfig, ThreadCtx};
@@ -174,24 +174,38 @@ impl<'m> VmEngine<'m> {
                 .ok_or_else(|| ExecError::Malformed(format!("missing argument {i}")))?;
         }
 
+        // The vector file is only materialized for widened functions, so
+        // scalar code pays nothing for the tier.
+        let mut vregs: Vec<VecVal> = vec![VecVal::default(); f.num_vregs as usize];
+
         // Fuel in batches, like the interpreter: one shared-atomic touch per
         // 4096 ops so team threads don't serialize on the budget counter.
         // Retired-op accounting rides on the same counter (granted − unused)
         // instead of a second per-op increment in the hot loop.
         let mut granted: u64 = 0;
         let mut local_fuel: u64 = 0;
-        let r = self.dispatch(f, consts, &mut regs, ctx, &mut granted, &mut local_fuel);
+        let r = self.dispatch(
+            f,
+            consts,
+            &mut regs,
+            &mut vregs,
+            ctx,
+            &mut granted,
+            &mut local_fuel,
+        );
         *retired += granted - local_fuel;
         r
     }
 
     /// The dispatch loop proper. `granted`/`local_fuel` live in the caller
     /// so retired-op counts survive early `?` returns.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         f: &crate::ops::VmFunction,
         consts: &[RtVal],
         regs: &mut [RtVal],
+        vregs: &mut [VecVal],
         ctx: &ThreadCtx,
         granted: &mut u64,
         local_fuel: &mut u64,
@@ -361,6 +375,145 @@ impl<'m> VmEngine<'m> {
                 Op::Unreachable => {
                     *local_fuel = fuel;
                     return Err(ExecError::Unreachable);
+                }
+                Op::VMov { dst, src, .. } => vregs[dst as usize] = vregs[src as usize],
+                Op::VIota { dst, base, w } => {
+                    let b = regs[base as usize].as_i();
+                    let v = &mut vregs[dst as usize];
+                    for l in 0..w as usize {
+                        v.lanes[l] = RtVal::I(b.wrapping_add(l as i64));
+                    }
+                }
+                Op::VBroadcast { dst, src, w } => {
+                    let s = regs[src as usize];
+                    let v = &mut vregs[dst as usize];
+                    for l in 0..w as usize {
+                        v.lanes[l] = s;
+                    }
+                }
+                Op::VExtract { dst, src, lane } => {
+                    regs[dst as usize] = vregs[src as usize].lanes[lane as usize];
+                }
+                Op::VLoad { dst, addr, ty, w } => {
+                    let base = regs[addr as usize].as_p();
+                    let size = ty.size();
+                    let mut v = VecVal::default();
+                    for l in 0..w as usize {
+                        let raw = self
+                            .mem
+                            .load(base.wrapping_add(l as u64 * size), size)
+                            .map_err(|e| ExecError::Mem(e.what))?;
+                        v.lanes[l] = decode_scalar(ty, raw);
+                    }
+                    vregs[dst as usize] = v;
+                }
+                Op::VStore { src, addr, ty, w } => {
+                    let base = regs[addr as usize].as_p();
+                    let size = ty.size();
+                    let v = vregs[src as usize];
+                    for l in 0..w as usize {
+                        self.mem
+                            .store(
+                                base.wrapping_add(l as u64 * size),
+                                size,
+                                encode_scalar(ty, v.lanes[l]),
+                            )
+                            .map_err(|e| ExecError::Mem(e.what))?;
+                    }
+                }
+                Op::VGather {
+                    dst,
+                    base,
+                    idx,
+                    ty,
+                    elem_size,
+                    w,
+                } => {
+                    let p = regs[base as usize].as_p();
+                    let iv = vregs[idx as usize];
+                    let mut v = VecVal::default();
+                    for l in 0..w as usize {
+                        let a = p.wrapping_add(
+                            (iv.lanes[l].as_i() as u64).wrapping_mul(elem_size as u64),
+                        );
+                        let raw = self
+                            .mem
+                            .load(a, ty.size())
+                            .map_err(|e| ExecError::Mem(e.what))?;
+                        v.lanes[l] = decode_scalar(ty, raw);
+                    }
+                    vregs[dst as usize] = v;
+                }
+                Op::VScatter {
+                    src,
+                    base,
+                    idx,
+                    ty,
+                    elem_size,
+                    w,
+                } => {
+                    let p = regs[base as usize].as_p();
+                    let iv = vregs[idx as usize];
+                    let v = vregs[src as usize];
+                    for l in 0..w as usize {
+                        let a = p.wrapping_add(
+                            (iv.lanes[l].as_i() as u64).wrapping_mul(elem_size as u64),
+                        );
+                        self.mem
+                            .store(a, ty.size(), encode_scalar(ty, v.lanes[l]))
+                            .map_err(|e| ExecError::Mem(e.what))?;
+                    }
+                }
+                Op::VBin {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                    w,
+                } => {
+                    let a = vregs[lhs as usize];
+                    let b = vregs[rhs as usize];
+                    let mut v = VecVal::default();
+                    for l in 0..w as usize {
+                        v.lanes[l] = exec_bin(op, ty, a.lanes[l], b.lanes[l])?;
+                    }
+                    vregs[dst as usize] = v;
+                }
+                Op::VCast {
+                    op,
+                    from,
+                    to,
+                    dst,
+                    src,
+                    w,
+                } => {
+                    let s = vregs[src as usize];
+                    let mut v = VecVal::default();
+                    for l in 0..w as usize {
+                        v.lanes[l] = exec_cast(op, from, to, s.lanes[l]);
+                    }
+                    vregs[dst as usize] = v;
+                }
+                Op::VReduce {
+                    op,
+                    ty,
+                    dst,
+                    src,
+                    w,
+                } => {
+                    let v = vregs[src as usize];
+                    let mut acc = v.lanes[0];
+                    for l in 1..w as usize {
+                        acc = exec_bin(op, ty, acc, v.lanes[l])?;
+                    }
+                    regs[dst as usize] = acc;
+                }
+                Op::VEpi { src } => {
+                    if omplt_trace::active() {
+                        let left = regs[src as usize].as_i().max(0) as u64;
+                        omplt_trace::count("vm.simd.epilogue_iters", left);
+                    }
                 }
             }
         }

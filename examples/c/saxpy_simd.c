@@ -1,0 +1,32 @@
+/* Lane-parallel saxpy: `#pragma omp simd reduction(+: checksum)` marks the
+ * update loop vectorizable, and the bytecode backend widens it into
+ * vload/vbin/vstore lanes at `--vector-width=N` with a scalar epilogue for
+ * the trip-count remainder (the interpreter always stays scalar and serves
+ * as the oracle). The reduction is an *integer* accumulator: integer adds
+ * reassociate freely, so the lane-parallel sum is bit-identical to the
+ * scalar one — a float accumulator would be refused by the widening pass.
+ *
+ *   ompltc --backend=vm --vector-width=4 --run examples/c/saxpy_simd.c
+ *   ompltc --backend=vm --vector-width=4 --emit-bytecode examples/c/saxpy_simd.c
+ *   ompltc --analyze examples/c/saxpy_simd.c
+ */
+void print_i64(long v);
+int x[103];
+int y[103];
+
+int main(void) {
+  for (int i = 0; i < 103; i += 1) {
+    x[i] = i - 50;
+    y[i] = 3 * i + 1;
+  }
+
+  long checksum = 0;
+  #pragma omp simd reduction(+: checksum) simdlen(4)
+  for (int i = 0; i < 103; i += 1) {
+    y[i] = y[i] + 7 * x[i];
+    checksum += y[i];
+  }
+
+  print_i64(checksum);
+  return 0;
+}

@@ -30,6 +30,11 @@
 //!                            backtrace, counters snapshot) into DIR
 //!   --diag-format=FMT        diagnostics output format: text (default) | json
 //!   --emit-bytecode          print the VM bytecode disassembly
+//!   --emit-bytecode-bin=FILE serialize the compiled VM bytecode module to
+//!                            FILE in the OMPLTBC container format
+//!   --check-bytecode         treat <file> as an OMPLTBC container: decode it
+//!                            and run the bytecode verifier; exit 0 if clean,
+//!                            1 with diagnostics on any decode/verify finding
 //!   --emit-ir                print generated IR
 //!   --enable-irbuilder       use the OpenMPIRBuilder / OMPCanonicalLoop path
 //!   --exec-timeout=MS        hard wall-clock deadline for the whole
@@ -54,6 +59,10 @@
 //!   --time-trace[=FILE]      emit a Chrome trace-event JSON profile of the
 //!                            whole pipeline, like clang's `-ftime-trace`
 //!                            (stdout unless FILE is given)
+//!   --vector-width=N         widen `simd`-annotated loops to N lanes (2-8)
+//!                            in the VM backend; 0 (default) stays scalar.
+//!                            Illegal widenings are refused per loop, never
+//!                            miscompiled
 //!   --verify-each            re-verify IR (incl. canonical-loop skeletons)
 //!                            after every transformation and mid-end pass
 //! ```
@@ -100,6 +109,10 @@ struct Cli {
     ast_dump_transformed: bool,
     emit_ir: bool,
     emit_bytecode: bool,
+    /// `--emit-bytecode-bin=FILE` — serialized OMPLTBC container destination.
+    emit_bytecode_bin: Option<String>,
+    /// `--check-bytecode` — decode + verify `file` as an OMPLTBC container.
+    check_bytecode: bool,
     run: bool,
     optimize: bool,
     syntax_only: bool,
@@ -136,13 +149,14 @@ fn usage() -> u8 {
         "usage: ompltc [--analyze] [--ast-dump] [--ast-dump-transformed] \
          [--autotune[=N]] [--backend=interp|vm|vm:strict] \
          [--counters-json[=FILE]] [--crash-report=DIR] \
-         [--diag-format=text|json] [--emit-bytecode] [--emit-ir] \
+         [--check-bytecode] \
+         [--diag-format=text|json] [--emit-bytecode] [--emit-bytecode-bin=FILE] [--emit-ir] \
          [--enable-irbuilder] [--exec-timeout=MS] [--fuel=N] \
          [--inject-fault=SITE[:COUNT]] [--opt] [--remote=SOCKET] [--run] \
          [--serial] [--syntax-only] [--threads N] [--time-report] \
          [--time-trace[=FILE]] \
          [--tune-best=FILE] [--tune-cost=ops|time] [--tune-json[=FILE]] \
-         [--tune-seed=N] [--verify-each] <file.c>"
+         [--tune-seed=N] [--vector-width=N] [--verify-each] <file.c>"
     );
     2
 }
@@ -178,6 +192,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let mut ast_dump_transformed = false;
     let mut emit_ir = false;
     let mut emit_bytecode = false;
+    let mut emit_bytecode_bin = None;
+    let mut check_bytecode = false;
     let mut run = false;
     let mut optimize = false;
     let mut syntax_only = false;
@@ -215,6 +231,21 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             )),
         }
     };
+    let set_vector_width = |opts: &mut Options, v: &str| -> Result<(), u8> {
+        match v.parse::<u8>() {
+            Ok(n) if n == 0 || (2..=8).contains(&n) => {
+                opts.vector_width = n;
+                Ok(())
+            }
+            _ => Err(driver_error(
+                &format!(
+                    "invalid value '{v}' for '--vector-width': expected 0 (scalar) or a \
+                     lane count between 2 and 8"
+                ),
+                json_diags,
+            )),
+        }
+    };
     let set_timeout = |slot: &mut Option<u64>, v: &str| -> Result<(), u8> {
         match v.parse::<u64>() {
             Ok(n) if n > 0 => {
@@ -244,6 +275,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             "--ast-dump-transformed" => ast_dump_transformed = true,
             "--counters-json" => counters_json = Some(None),
             "--emit-bytecode" => emit_bytecode = true,
+            "--check-bytecode" => check_bytecode = true,
             "--emit-ir" => emit_ir = true,
             "--enable-irbuilder" => opts.codegen_mode = OpenMpCodegenMode::IrBuilder,
             "--no-openmp" => opts.openmp = false,
@@ -263,6 +295,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                     Some(b) => opts.backend = b,
                     None => return Err(bad_backend(v)),
                 }
+            }
+            "--vector-width" => {
+                let Some(v) = it.next() else {
+                    eprintln!("ompltc: '--vector-width' requires a value");
+                    return Err(2);
+                };
+                set_vector_width(&mut opts, v)?;
             }
             "--threads" => {
                 let Some(n) = it.next() else {
@@ -318,6 +357,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             }
             other if other.starts_with("--fuel=") => {
                 set_fuel(&mut opts, &other["--fuel=".len()..])?;
+            }
+            other if other.starts_with("--vector-width=") => {
+                set_vector_width(&mut opts, &other["--vector-width=".len()..])?;
             }
             other if other.starts_with("--exec-timeout=") => {
                 set_timeout(&mut exec_timeout_ms, &other["--exec-timeout=".len()..])?;
@@ -381,6 +423,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
                     }
                 }
             }
+            other if other.starts_with("--emit-bytecode-bin=") => {
+                emit_bytecode_bin = Some(other["--emit-bytecode-bin=".len()..].to_string());
+            }
             other if other.starts_with("--counters-json=") => {
                 counters_json = Some(Some(other["--counters-json=".len()..].to_string()));
             }
@@ -442,6 +487,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         ast_dump_transformed,
         emit_ir,
         emit_bytecode,
+        emit_bytecode_bin,
+        check_bytecode,
         run,
         optimize,
         syntax_only,
@@ -466,6 +513,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
 /// and so `main`'s `catch_unwind` wall encloses the whole pipeline.
 fn drive(cli: &Cli) -> u8 {
     let json = cli.json;
+    if cli.check_bytecode {
+        return drive_check_bytecode(cli);
+    }
     let mut ci = CompilerInstance::new(cli.opts);
     let source = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
@@ -527,11 +577,18 @@ fn drive(cli: &Cli) -> u8 {
     if cli.emit_ir {
         print!("{}", omplt::ir::print_module(&module));
     }
-    if cli.emit_bytecode {
+    if cli.emit_bytecode || cli.emit_bytecode_bin.is_some() {
         match ci.compile_bytecode(&module) {
             Ok(code) => {
-                for f in &code.funcs {
-                    print!("{}", omplt::vm::disasm(f));
+                if cli.emit_bytecode {
+                    for f in &code.funcs {
+                        print!("{}", omplt::vm::disasm(f));
+                    }
+                }
+                if let Some(path) = &cli.emit_bytecode_bin {
+                    if let Err(e) = std::fs::write(path, omplt::vm::encode(&code)) {
+                        return driver_error(&format!("cannot write '{path}': {e}"), json);
+                    }
                 }
             }
             Err(e) => {
@@ -746,6 +803,35 @@ fn write_output(dest: &Option<String>, content: &str, what: &str) -> bool {
             }
         },
     }
+}
+
+/// The `--check-bytecode` mode: the positional file is an OMPLTBC container
+/// (as written by `--emit-bytecode-bin`), not C source. Decode it and run
+/// the bytecode verifier over every function. Exit 0 when the container is
+/// well-formed and verifies; 1 with a diagnostic per finding otherwise. The
+/// decoder and verifier are total over arbitrary bytes — corrupt input is a
+/// *finding*, never a panic — which is what the serde leg of the smoke fuzz
+/// leans on.
+fn drive_check_bytecode(cli: &Cli) -> u8 {
+    let json = cli.json;
+    let bytes = match std::fs::read(&cli.file) {
+        Ok(b) => b,
+        Err(e) => {
+            return driver_error(&format!("cannot read '{}': {e}", cli.file), json);
+        }
+    };
+    let module = match omplt::vm::decode(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ompltc: {}: bytecode decode error: {e}", cli.file);
+            return 1;
+        }
+    };
+    let errors = omplt::vm::verify_module(&module);
+    for e in &errors {
+        eprintln!("ompltc: {}: bytecode verify error: {e}", cli.file);
+    }
+    u8::from(!errors.is_empty())
 }
 
 /// The `--remote` client: ship the job to an `ompltd` socket and replay the

@@ -42,12 +42,13 @@ pub fn hash128(bytes: &[u8]) -> u128 {
 /// is excluded so equivalent requests converge on one cache line.
 pub fn options_fingerprint(opts: &Options, optimize: bool) -> String {
     format!(
-        "openmp={};mode={:?};opt={};verify={};bc={}",
+        "openmp={};mode={:?};opt={};verify={};bc={};vw={}",
         opts.openmp,
         opts.codegen_mode,
         optimize,
         opts.verify_each,
         opts.backend != Backend::Interp,
+        opts.vector_width,
     )
 }
 

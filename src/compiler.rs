@@ -83,6 +83,10 @@ pub struct Options {
     /// process-exit watchdog instead; the daemon sets this so a runaway job
     /// aborts alone while the server keeps serving.
     pub deadline_ms: Option<u64>,
+    /// `--vector-width=N` — widen `simd`-annotated loops to N lanes in the
+    /// bytecode backend (`2..=8`; `0` disables the widening pass). The
+    /// interpreter always stays scalar and serves as the oracle.
+    pub vector_width: u8,
 }
 
 impl Default for Options {
@@ -98,6 +102,7 @@ impl Default for Options {
             backend: Backend::Interp,
             log_chunks: false,
             deadline_ms: None,
+            vector_width: 0,
         }
     }
 }
@@ -337,7 +342,7 @@ impl CompilerInstance {
         module: &Module,
     ) -> Result<omplt_vm::VmModule, omplt_interp::ExecError> {
         omplt_fault::set_stage("vm");
-        let code = omplt_vm::compile_module(module)
+        let code = omplt_vm::compile_module_with(module, self.opts.vector_width)
             .map_err(|e| omplt_interp::ExecError::Malformed(format!("bytecode compile: {e}")))?;
         let passes = if self.opts.verify_each { 2 } else { 1 };
         for _ in 0..passes {

@@ -222,7 +222,8 @@ impl JobRequest {
                 "{{\"op\":\"job\",\"id\":{},\"name\":\"{}\",\"source\":\"{}\",",
                 "\"openmp\":{},\"mode\":\"{}\",\"threads\":{},\"serial\":{},",
                 "\"max_steps\":\"{}\",\"verify_each\":{},\"schedule\":{},",
-                "\"backend\":\"{}\",\"log_chunks\":{},\"deadline_ms\":{},",
+                "\"backend\":\"{}\",\"vector_width\":{},\"log_chunks\":{},",
+                "\"deadline_ms\":{},",
                 "\"optimize\":{},\"run\":{},\"syntax_only\":{},\"emit_ir\":{},",
                 "\"json_diags\":{},\"want_counters\":{},\"inject_fault\":{},",
                 "\"schedule_warning\":{}}}"
@@ -238,6 +239,7 @@ impl JobRequest {
             o.verify_each,
             opt_str(&schedule),
             o.backend.name(),
+            o.vector_width,
             o.log_chunks,
             deadline,
             self.optimize,
@@ -344,6 +346,13 @@ fn parse_job(v: &Value) -> Result<JobRequest, String> {
     };
     opts.backend =
         Backend::parse(need_str(v, "backend")?).ok_or_else(|| "unknown 'backend'".to_string())?;
+    // Absent in frames from older clients: the scalar default is exactly
+    // what those clients meant.
+    opts.vector_width = match v.get("vector_width") {
+        None | Some(Value::Null) => 0,
+        Some(n) => u8::try_from(n.as_u64().ok_or("'vector_width' must be an integer")?)
+            .map_err(|_| "'vector_width' out of range".to_string())?,
+    };
     opts.deadline_ms = match v.get("deadline_ms") {
         None | Some(Value::Null) => None,
         Some(n) => Some(

@@ -253,7 +253,7 @@ pub fn autotune(name: &str, source: &str, cfg: &TuneConfig) -> Result<TuneOutcom
         )),
     };
     let mut outcomes: Vec<CandidateOutcome> = Vec::new();
-    let mut seen: HashMap<(String, &'static str), usize> = HashMap::new();
+    let mut seen: HashMap<(String, &'static str, u8), usize> = HashMap::new();
     let mut evaluated = 0usize;
     for c in candidates {
         if evaluated >= cfg.budget {
@@ -271,9 +271,17 @@ pub fn autotune(name: &str, source: &str, cfg: &TuneConfig) -> Result<TuneOutcom
             Backend::Interp => BackendChoice::Interp,
             Backend::Vm | Backend::VmStrict => BackendChoice::Vm,
         };
+        // The widening pass only exists in the bytecode tier, so on the
+        // interpreter every width is the same program — fold it to 0 in the
+        // dedup key so interp candidates differing only in width collapse.
+        let vector_width = c.vector_width.unwrap_or(base_opts.vector_width);
+        let dedup_width = match choice {
+            BackendChoice::Vm => vector_width,
+            BackendChoice::Interp => 0,
+        };
         let status = match model.apply(&c.mutations) {
             Err(e) => Some(Status::Failed(format!("re-synthesis error: {e}"))),
-            Ok(mutated) => match seen.entry((mutated.clone(), choice.name())) {
+            Ok(mutated) => match seen.entry((mutated.clone(), choice.name(), dedup_width)) {
                 std::collections::hash_map::Entry::Occupied(first) => {
                     Some(Status::Duplicate(*first.get()))
                 }
@@ -282,6 +290,7 @@ pub fn autotune(name: &str, source: &str, cfg: &TuneConfig) -> Result<TuneOutcom
                     let _span = omplt_trace::span_detail("tuner.candidate", c.label.clone());
                     let mut opts = base_opts;
                     opts.backend = backend;
+                    opts.vector_width = vector_width;
                     opts.max_steps = fuel_rail;
                     match evaluate_contained(name, &mutated, opts) {
                         Eval::Pruned(msgs) => Some(Status::Pruned(msgs)),

@@ -228,3 +228,62 @@ fn captured_parallel_for_golden() {
 "#,
     );
 }
+
+#[test]
+fn saxpy_simd_example_golden() {
+    // The shipped example's directive subtree: `simd` with an integer
+    // reduction and a `simdlen` cap, the associated loop captured.
+    let src = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/examples/c/saxpy_simd.c"),
+    )
+    .expect("example exists");
+    let d = dump(&src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    |-OMPSimdDirective
+    | |-OMPReductionClause '+'
+    | | `-DeclRefExpr 'long' lvalue Var 'checksum' 'long'
+    | |-OMPSimdlenClause
+    | | `-ConstantExpr 'int'
+    | |   |-value: Int 4
+    | |   `-IntegerLiteral 'int' 4
+    | `-CapturedStmt
+"#,
+    );
+}
+
+#[test]
+fn parallel_for_simd_golden() {
+    // The combined+composite directive parses as one node with both caps.
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp parallel for simd safelen(8) simdlen(4)\n  for (int i = 0; i < 64; i += 1)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPParallelForSimdDirective
+      |-OMPSafelenClause
+      | `-ConstantExpr 'int'
+      |   |-value: Int 8
+      |   `-IntegerLiteral 'int' 8
+      |-OMPSimdlenClause
+      | `-ConstantExpr 'int'
+      |   |-value: Int 4
+      |   `-IntegerLiteral 'int' 4
+      `-CapturedStmt
+"#,
+    );
+}
+
+#[test]
+fn for_simd_golden() {
+    let src = "void body(int i);\nvoid f(void) {\n  #pragma omp for simd\n  for (int i = 0; i < 64; i += 1)\n    body(i);\n}\n";
+    let d = dump(src, OpenMpCodegenMode::Classic);
+    assert_block(
+        &d,
+        r#"
+    `-OMPForSimdDirective
+      `-CapturedStmt
+"#,
+    );
+}

@@ -167,3 +167,46 @@ fn illegal_candidates_are_pruned_with_diagnostics() {
         );
     }
 }
+
+#[test]
+fn vector_width_axis_rediscovers_widening() {
+    // Saxpy-simd: a lane-parallel integer kernel whose `#pragma omp simd`
+    // loop the VM widens. The grid's vector-width axis must (a) keep the
+    // unmutated hand annotation as candidate 0 — the scalar baseline every
+    // ranked report is anchored to — and (b) land the winner on a widened
+    // VM candidate that retires well under half the baseline's ops.
+    let outcome = tune("saxpy_simd.c", 12, None);
+    let report = &outcome.report;
+
+    let first = report.outcomes.first().expect("nonempty");
+    assert_eq!(first.id, 0);
+    assert_eq!(first.label, "original");
+    assert!(matches!(first.status, Status::Evaluated(_)));
+
+    let winner = report.winner().expect("survivor");
+    assert_eq!(
+        winner.backend,
+        BackendChoice::Vm,
+        "widening only exists in the bytecode tier, got '{}'",
+        winner.label
+    );
+    assert!(
+        winner.label.contains("vw="),
+        "winner should come from the vector-width axis, got '{}'",
+        winner.label
+    );
+    let Status::Evaluated(m) = &winner.status else {
+        panic!("winner must be evaluated");
+    };
+    assert!(
+        m.score(report.cost_model) * 2 < report.baseline.score(report.cost_model),
+        "width-4 lanes should at least halve the retired-op score \
+         (winner {} vs baseline {})",
+        m.score(report.cost_model),
+        report.baseline.score(report.cost_model)
+    );
+
+    // The ranked text report renders the axis labels verbatim.
+    let text = report.render_text();
+    assert!(text.contains("vw=4"), "report lists the width-4 candidate");
+}

@@ -559,3 +559,68 @@ fn stdio_transport_serves_the_same_protocol() {
     let status = child.wait().unwrap();
     assert!(status.success());
 }
+
+#[test]
+fn vector_width_is_one_token_of_the_cache_key() {
+    // `--vector-width` changes the *compiled artifact* (the widening pass
+    // runs at bytecode-lowering time), so it must be part of the cache
+    // fingerprint: every distinct width is its own cache line, and repeating
+    // a width must hit that line — never another width's scalar/vector
+    // bytecode. A simd kernel makes the stakes concrete: serving the
+    // width-4 artifact to a width-0 request would silently change the
+    // program the VM executes.
+    let daemon = Daemon::start("vwkey");
+    let src = write_temp(
+        "cache-vw.c",
+        "void print_i64(long v);\n\
+         long a[40];\n\
+         int main(void) {\n\
+           #pragma omp simd\n\
+           for (int i = 0; i < 40; i += 1)\n\
+             a[i] = i * 5;\n\
+           long sum = 0;\n\
+           for (int k = 0; k < 40; k += 1)\n\
+             sum += a[k];\n\
+           print_i64(sum);\n\
+           return 0;\n\
+         }\n",
+    );
+    let remote = daemon.remote_flag();
+
+    let run = |extra: &[&str]| {
+        let mut args = vec![remote.as_str(), "--run", "--backend", "vm"];
+        args.extend_from_slice(extra);
+        let cap = run_ompltc(&[], &args, &src);
+        assert_eq!(cap.code, 0, "{}", String::from_utf8_lossy(&cap.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&cap.stdout),
+            "3900\n",
+            "every width computes the same sum"
+        );
+    };
+
+    run(&["--vector-width", "4"]);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 1);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 0);
+
+    // Same width again: hit.
+    run(&["--vector-width", "4"]);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 1);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 1);
+
+    // One token different — width 2 — must miss and compile its own line.
+    run(&["--vector-width", "2"]);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 2);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 1);
+
+    // The scalar default (no flag at all) is a third distinct artifact.
+    run(&[]);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 3);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 1);
+
+    // And each previously compiled width still hits its own line.
+    run(&["--vector-width", "2"]);
+    run(&["--vector-width", "4"]);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 3);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 3);
+}

@@ -339,3 +339,70 @@ int main(void) {
     );
     assert!(json.ends_with("]\n"), "{json}");
 }
+
+#[test]
+fn illegal_simd_renders_exactly() {
+    let src = "\
+int main(void) {
+  int a[64];
+  for (int i = 0; i < 64; i += 1)
+    a[i] = i;
+  #pragma omp simd
+  for (int i = 0; i < 63; i += 1)
+    a[i + 1] = a[i] + 1;
+  return 0;
+}
+";
+    let expected = "\
+simd.c:5:11: error: '#pragma omp simd' is illegal here: concurrent lanes would violate the loop-carried flow dependence on 'a' with distance vector (1)
+  #pragma omp simd
+          ^
+simd.c:7:6: note: dependence source: access to 'a[i + 1]'
+    a[i + 1] = a[i] + 1;
+     ^
+simd.c:7:17: note: dependence sink: access to 'a[i]' (distance vector (1))
+    a[i + 1] = a[i] + 1;
+                ^
+";
+    assert_eq!(analyze_and_render("simd.c", src), expected);
+}
+
+#[test]
+fn simdlen_exceeding_safelen_is_rejected() {
+    let src = "\
+int main(void) {
+  int a[64];
+  #pragma omp simd safelen(2) simdlen(4)
+  for (int i = 0; i < 64; i += 1)
+    a[i] = i;
+  return 0;
+}
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    assert!(ci.parse_source("cap.c", src).is_err(), "sema must reject");
+    let rendered = ci.render_diags();
+    assert!(
+        rendered.contains("'simdlen(4)' must not be greater than 'safelen(2)'"),
+        "unexpected rendering:\n{rendered}"
+    );
+}
+
+#[test]
+fn safelen_on_non_simd_directive_is_rejected() {
+    let src = "\
+int main(void) {
+  int a[64];
+  #pragma omp for safelen(4)
+  for (int i = 0; i < 64; i += 1)
+    a[i] = i;
+  return 0;
+}
+";
+    let mut ci = CompilerInstance::new(Options::default());
+    assert!(ci.parse_source("cl.c", src).is_err(), "sema must reject");
+    let rendered = ci.render_diags();
+    assert!(
+        rendered.contains("clause 'safelen' is not valid on '#pragma omp for'"),
+        "unexpected rendering:\n{rendered}"
+    );
+}
