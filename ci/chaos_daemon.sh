@@ -1,0 +1,237 @@
+#!/usr/bin/env bash
+# Chaos leg for the compile daemon: one ompltd under continuous injected
+# failure — worker kills, admission sheds, a corrupted cache artifact,
+# slowloris frames, raw protocol garbage — serving 8 concurrent retrying
+# clients. The acceptance bar:
+#
+#   * zero lost accepted jobs: every client exits 0 with byte-identical
+#     output to a local (in-process) run of the same invocation;
+#   * the corrupted cache entry is quarantined and recompiled
+#     (daemon.cache.integrity_failures >= 1), never served;
+#   * no job is abandoned (the global worker-kill policy only takes first
+#     attempts, so the requeue always lands);
+#   * a timed SIGTERM drain finishes the backlog and exits 0.
+#
+# The final `health` snapshot is archived to target/chaos/chaos-health.json
+# for the CI artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ompltc=${OMPLTC:-target/release/ompltc}
+ompltd=${OMPLTD:-target/release/ompltd}
+for bin in "$ompltc" "$ompltd"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run 'cargo build --release' first)" >&2
+    exit 2
+  fi
+done
+
+outdir=${CHAOS_OUTDIR:-target/chaos}
+clients=${CHAOS_CLIENTS:-8}
+jobs_per_client=${CHAOS_JOBS:-25}
+mkdir -p "$outdir"
+rm -f "$outdir"/client-*.log "$outdir"/chaos-health.json
+sock="$outdir/chaos.sock"
+rm -f "$sock"
+
+# The workload: four sources that differ by one constant, so the cache holds
+# several live lines while warm hits dominate. Local runs are the oracle.
+declare -a srcs expected
+for k in 0 1 2 3; do
+  src="$outdir/chaos-$k.c"
+  cat > "$src" <<EOF
+void print_i64(long v);
+long data[64];
+int main(void) {
+  #pragma omp parallel for schedule(static) num_threads(2)
+  for (int i = 0; i < 64; i += 1)
+    data[i] = i * (3 + $k);
+  long sum = 0;
+  for (int j = 0; j < 64; j += 1)
+    sum += data[j];
+  print_i64(sum);
+  return 0;
+}
+EOF
+  srcs[$k]=$src
+  expected[$k]=$("$ompltc" --run --backend=vm "$src")
+done
+
+# Two global worker kills (first attempts only => always requeued, never
+# abandoned) and two admission sheds, against a deliberately tight pool.
+"$ompltd" --listen="$sock" --workers=2 --queue-depth=4 \
+  --frame-timeout-ms=300 \
+  --inject-fault=daemon.worker-kill:2 \
+  --inject-fault=daemon.queue-full:2 \
+  > "$outdir/daemon.log" 2>&1 &
+daemon_pid=$!
+trap 'kill "$daemon_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do
+  [ -S "$sock" ] && break
+  sleep 0.05
+done
+[ -S "$sock" ] || { echo "ompltd never bound $sock" >&2; exit 1; }
+
+# Warm one line, then corrupt exactly it via a per-job fault: the checksum
+# must quarantine the entry and recompile instead of serving garbage.
+warm=$("$ompltc" --remote="$sock" --run --backend=vm "${srcs[0]}")
+[ "$warm" = "${expected[0]}" ] || { echo "warmup mismatch" >&2; exit 1; }
+poisoned=$("$ompltc" --remote="$sock" --run --backend=vm \
+  --inject-fault=daemon.cache-corrupt "${srcs[0]}")
+if [ "$poisoned" != "${expected[0]}" ]; then
+  echo "corrupted cache entry leaked into a reply: '$poisoned'" >&2
+  exit 1
+fi
+
+# The fleet: 8 concurrent clients, each mixing warm hits, cold-ish misses,
+# and an injected slowloris every 5th job, all on a retry budget that must
+# absorb every shed, kill, and stall the daemon throws at them.
+client_loop() {
+  local id=$1 fails=0
+  for j in $(seq "$jobs_per_client"); do
+    local k=$(((id + j) % 4))
+    local args=(--remote="$sock" --remote-retries=6 --remote-backoff-ms=25
+      --run --backend=vm)
+    if [ $((j % 5)) = 0 ]; then
+      args+=(--inject-fault=daemon.frame-stall)
+    fi
+    local got
+    if ! got=$("$ompltc" "${args[@]}" "${srcs[$k]}" 2>>"$outdir/client-$id.log"); then
+      echo "client $id job $j: nonzero exit" >> "$outdir/client-$id.log"
+      fails=$((fails + 1))
+    elif [ "$got" != "${expected[$k]}" ]; then
+      echo "client $id job $j: got '$got' want '${expected[$k]}'" \
+        >> "$outdir/client-$id.log"
+      fails=$((fails + 1))
+    fi
+  done
+  return "$fails"
+}
+
+pids=()
+for id in $(seq "$clients"); do
+  client_loop "$id" &
+  pids+=($!)
+done
+
+# Meanwhile, a vandal throws raw protocol garbage at the same socket.
+python3 - "$sock" <<'EOF' &
+import socket, struct, random
+import sys
+
+path = sys.argv[1]
+rng = random.Random(20260807)
+for shape in range(24):
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(5)
+        s.connect(path)
+        kind = shape % 4
+        if kind == 0:
+            s.sendall(struct.pack("<I", 0xFFFFFFFF))       # over the cap
+        elif kind == 1:
+            s.sendall(b"\x07")                             # truncated prefix
+        elif kind == 2:
+            body = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+            s.sendall(struct.pack("<I", len(body)) + body)  # framed garbage
+        else:
+            s.sendall(struct.pack("<I", 512) + b"{")       # vanish mid-frame
+        try:
+            s.recv(4096)
+        except OSError:
+            pass
+        s.close()
+    except OSError:
+        pass
+EOF
+vandal=$!
+
+lost=0
+for pid in "${pids[@]}"; do
+  if ! wait "$pid"; then
+    lost=1
+  fi
+done
+wait "$vandal" || true
+if [ "$lost" != 0 ]; then
+  echo "chaos: lost or corrupted replies (see $outdir/client-*.log)" >&2
+  exit 1
+fi
+
+# Archive the health snapshot and check the survivability invariants.
+python3 - "$sock" "$outdir/chaos-health.json" <<'EOF'
+import json, socket, struct, sys
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(10)
+s.connect(sys.argv[1])
+body = b'{"op":"health"}'
+s.sendall(struct.pack("<I", len(body)) + body)
+data = b""
+while len(data) < 4:
+    data += s.recv(4)
+n = struct.unpack("<I", data[:4])[0]
+data = data[4:]
+while len(data) < n:
+    data += s.recv(n - len(data))
+doc = json.loads(data.decode())
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+h = doc["health"]
+failures = []
+if h["counters"]["daemon.cache.integrity_failures"] < 1:
+    failures.append("cache corruption was never detected")
+if h["supervisor"]["abandoned"] != 0:
+    failures.append(f"{h['supervisor']['abandoned']} job(s) abandoned")
+if h["supervisor"]["respawns"] < 2:
+    failures.append("injected worker kills did not respawn")
+if h["workers_alive"] != h["workers_configured"]:
+    failures.append(f"pool lost workers: {h['workers_alive']}/{h['workers_configured']}")
+if h["queue_depth"] != 0 or h["running"] != 0:
+    failures.append("backlog not drained after the fleet finished")
+for msg in failures:
+    print(f"chaos health: {msg}", file=sys.stderr)
+print(
+    "chaos health: respawns={} requeued={} abandoned={} integrity_failures={}".format(
+        h["supervisor"]["respawns"],
+        h["supervisor"]["requeued"],
+        h["supervisor"]["abandoned"],
+        h["counters"]["daemon.cache.integrity_failures"],
+    )
+)
+sys.exit(1 if failures else 0)
+EOF
+
+# Timed drain: queue a little work, SIGTERM, and require a clean exit well
+# inside the drain window.
+for id in 1 2 3; do
+  "$ompltc" --remote="$sock" --run --backend=vm "${srcs[0]}" \
+    > /dev/null 2>>"$outdir/client-drain.log" &
+done
+sleep 0.2
+kill -TERM "$daemon_pid"
+drain_deadline=$((SECONDS + 15))
+while kill -0 "$daemon_pid" 2>/dev/null; do
+  if [ "$SECONDS" -ge "$drain_deadline" ]; then
+    echo "chaos: daemon still alive ${drain_deadline}s after SIGTERM" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+set +e
+wait "$daemon_pid"
+drain_code=$?
+set -e
+trap - EXIT
+wait || true
+if [ "$drain_code" != 0 ]; then
+  echo "chaos: drain exited $drain_code (want 0); daemon log:" >&2
+  cat "$outdir/daemon.log" >&2
+  exit 1
+fi
+
+total=$((clients * jobs_per_client))
+echo "chaos: $total jobs across $clients clients survived kills, sheds, stalls, and garbage; drain exited 0"
+echo "chaos: health snapshot archived at $outdir/chaos-health.json"

@@ -118,13 +118,31 @@ if [ ! -x "$ompltd" ]; then
 else
   expected="ci/expected-counters/daemon.warmup.txt"
   got=$("$ompltd" --warmup 2>/dev/null \
-    | grep -o '"daemon\.cache\.\(hits\|misses\)":[0-9]*' | sort)
+    | grep -o '"daemon\.cache\.\(hits\|misses\|integrity_failures\)":[0-9]*' | sort)
   if [ ! -f "$expected" ]; then
     echo "missing $expected; expected contents:" >&2
     printf '%s\n' "$got" >&2
     status=1
   elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
     echo "daemon cache hit/miss drift: update $expected if intentional" >&2
+    status=1
+  fi
+
+  # Survivability drift guard: `ompltd --selftest` drives the in-process
+  # pool through a fixed kill/corrupt/recover script (miss, hit, one kill
+  # with requeue, a double kill with abandonment, one cache corruption,
+  # final hit). The supervisor and integrity counters it prints are a pure
+  # function of that script — drift means the requeue-at-most-once policy,
+  # the respawn accounting, or the checksum quarantine moved.
+  expected="ci/expected-counters/daemon.selftest.txt"
+  got=$("$ompltd" --selftest 2>/dev/null \
+    | grep -o '"daemon\.\(cache\.\(hits\|misses\|integrity_failures\)\|supervisor\.[a-z]*\)":[0-9]*' | sort)
+  if [ ! -f "$expected" ]; then
+    echo "missing $expected; expected contents:" >&2
+    printf '%s\n' "$got" >&2
+    status=1
+  elif ! diff -u "$expected" <(printf '%s\n' "$got"); then
+    echo "daemon survivability drift: update $expected if intentional" >&2
     status=1
   fi
 fi

@@ -310,6 +310,116 @@ then
   echo "daemon frame-protocol leg failed" >&2
 fi
 
+# ---------------------------------------------------------------------------
+# Daemon frame-stall leg: slowloris-shaped clients against a socket daemon
+# with a short `--frame-timeout-ms`. A connection that sends a length prefix
+# and then stalls (or dribbles the body forever, or disappears mid-frame)
+# must be shed with a "frame read timed out" error reply and a closed
+# connection — and the daemon must keep serving well-formed frames after
+# every shed. A stuck reader thread here would eventually starve the
+# listener; the trailing health probe is the regression test for that.
+stall_sock="$outdir/fuzz-stall.sock"
+rm -f "$stall_sock"
+"$ompltd" --listen="$stall_sock" --workers=1 --frame-timeout-ms=250 \
+  >/dev/null 2>&1 &
+stall_pid=$!
+trap 'kill "$stall_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do
+  [ -S "$stall_sock" ] && break
+  sleep 0.05
+done
+if ! timeout 60 python3 - "$stall_sock" "$seed" <<'EOF'
+import socket
+import struct
+import sys
+import time
+
+path, seed = sys.argv[1], int(sys.argv[2])
+
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(10)
+    s.connect(path)
+    return s
+
+
+def read_frame(s):
+    data = b""
+    while len(data) < 4:
+        chunk = s.recv(4 - len(data))
+        if not chunk:
+            return None
+        data += chunk
+    n = struct.unpack("<I", data)[0]
+    body = b""
+    while len(body) < n:
+        chunk = s.recv(n - len(body))
+        if not chunk:
+            return None
+        body += chunk
+    return body.decode("utf-8", "replace")
+
+
+failures = 0
+
+
+def expect_stall_shed(case, s):
+    global failures
+    reply = read_frame(s)
+    if reply is None or "timed out" not in reply or '"error"' not in reply:
+        print(f"{case}: expected a timeout error reply, got: {reply!r}", file=sys.stderr)
+        failures += 1
+        return
+    if read_frame(s) is not None:
+        print(f"{case}: connection must close after the shed", file=sys.stderr)
+        failures += 1
+
+
+# Prefix then silence: the classic slowloris.
+s = connect()
+s.sendall(struct.pack("<I", 64))
+expect_stall_shed("prefix-then-silence", s)
+s.close()
+
+# Prefix then a dribble slower than the frame timeout allows.
+s = connect()
+s.sendall(struct.pack("<I", 32))
+try:
+    for _ in range(4):
+        s.sendall(b"x")
+        time.sleep(0.15)
+    expect_stall_shed("dribbled-body", s)
+except BrokenPipeError:
+    pass  # the daemon already shed us mid-dribble: equally correct
+s.close()
+
+# Partial write then an abrupt disappearance (no FIN wait).
+s = connect()
+s.sendall(struct.pack("<I", 1024) + b"{")
+s.close()
+
+# After every abuse shape the daemon still serves a well-formed request.
+s = connect()
+body = b'{"op":"health"}'
+s.sendall(struct.pack("<I", len(body)) + body)
+reply = read_frame(s)
+s.close()
+if reply is None or '"health"' not in reply:
+    print(f"post-stall health probe failed: {reply!r}", file=sys.stderr)
+    failures += 1
+
+print(f"fuzz smoke: 4 daemon frame-stall cases (seed {seed}), {failures} failed")
+sys.exit(1 if failures else 0)
+EOF
+then
+  failures=$((failures + 1))
+  echo "daemon frame-stall leg failed" >&2
+fi
+kill "$stall_pid" 2>/dev/null || true
+wait "$stall_pid" 2>/dev/null || true
+trap - EXIT
+
 if [ "$failures" -gt 0 ]; then
   exit 1
 fi

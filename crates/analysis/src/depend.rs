@@ -33,8 +33,7 @@
 use crate::nest::{resolve_literal_nest, NestLevel};
 use omplt_ast::{
     walk_expr, walk_stmt, BinOp, Decl, DeclId, Expr, ExprKind, OMPClauseKind, OMPDirective,
-    OMPDirectiveKind,
-    Stmt, StmtKind, StmtVisitor, TranslationUnit, Type, TypeKind, UnOp, P,
+    OMPDirectiveKind, Stmt, StmtKind, StmtVisitor, TranslationUnit, Type, TypeKind, UnOp, P,
 };
 use omplt_sema::LoopDirection;
 use omplt_source::{Diagnostic, DiagnosticsEngine, Level, SourceLocation};

@@ -108,9 +108,7 @@ impl OMPDirectiveKind {
     pub fn has_simd(self) -> bool {
         matches!(
             self,
-            OMPDirectiveKind::Simd
-                | OMPDirectiveKind::ForSimd
-                | OMPDirectiveKind::ParallelForSimd
+            OMPDirectiveKind::Simd | OMPDirectiveKind::ForSimd | OMPDirectiveKind::ParallelForSimd
         )
     }
 

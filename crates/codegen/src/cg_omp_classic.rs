@@ -439,7 +439,7 @@ impl FnCodegen<'_, '_> {
         self.emit_rvalue(&h.inc);
         match &simd_md {
             Some(md) => {
-                let md = md.clone();
+                let md = *md;
                 self.with_builder(|b| b.br_with_md(ws_cond, md));
             }
             None => self.with_builder(|b| b.br(ws_cond)),
@@ -571,7 +571,7 @@ impl FnCodegen<'_, '_> {
         self.emit_rvalue(&h.inc);
         match &simd_md {
             Some(md) => {
-                let md = md.clone();
+                let md = *md;
                 self.with_builder(|b| b.br_with_md(ws_cond, md));
             }
             None => self.with_builder(|b| b.br(ws_cond)),

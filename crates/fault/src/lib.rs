@@ -53,6 +53,22 @@ pub const SITES: &[(&str, &str)] = &[
         "runtime.lost-thread",
         "highest-numbered team thread exits without reaching the barrier",
     ),
+    (
+        "daemon.worker-kill",
+        "uncontained panic kills the pool worker holding the job",
+    ),
+    (
+        "daemon.frame-stall",
+        "client writes the length prefix then stalls past the frame timeout",
+    ),
+    (
+        "daemon.cache-corrupt",
+        "flip a byte in the cached artifact before the next lookup",
+    ),
+    (
+        "daemon.queue-full",
+        "admission control sheds the job as if the queue were full",
+    ),
 ];
 
 struct Armed {
@@ -184,11 +200,12 @@ pub fn site_catalog() -> String {
     SITES.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(", ")
 }
 
-/// Arms a fault from a `SITE[:COUNT]` spec in the calling thread's fault
-/// scope. COUNT is the 1-based hit at which the site triggers (default 1).
-/// Only one site is armed at a time per scope; arming replaces any previous
-/// armament.
-pub fn arm(spec: &str) -> Result<(), String> {
+/// Parses a `SITE[:COUNT]` spec against the site registry. Returns the
+/// interned site name and the count (default 1). Shared by the per-thread
+/// [`arm`] and the process-global [`arm_global`]; also used by the daemon's
+/// supervisor to read a job's `daemon.worker-kill:N` armament without
+/// consuming it.
+pub fn parse_spec(spec: &str) -> Result<(&'static str, u64), String> {
     let (name, count) = match spec.split_once(':') {
         Some((name, count)) => {
             let n: u64 = count.parse().map_err(|_| {
@@ -213,6 +230,15 @@ pub fn arm(spec: &str) -> Result<(), String> {
                 site_catalog()
             )
         })?;
+    Ok((site, count))
+}
+
+/// Arms a fault from a `SITE[:COUNT]` spec in the calling thread's fault
+/// scope. COUNT is the 1-based hit at which the site triggers (default 1).
+/// Only one site is armed at a time per scope; arming replaces any previous
+/// armament.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let (site, count) = parse_spec(spec)?;
     with_current_or_create(|scope| {
         *scope.armed.lock().unwrap() = Some(Armed {
             site,
@@ -255,6 +281,60 @@ pub fn fire(site: &str) -> bool {
         omplt_trace::count(&format!("fault.fired.{site}"), 1);
     }
     fired
+}
+
+/// Process-global armory for daemon-level sites. Unlike the per-thread
+/// scope, a global armament is visible from every thread (the acceptor, any
+/// pool worker) and `SITE:COUNT` means *COUNT shots*: the first COUNT
+/// [`fire_global`] calls for the site all trigger, then it disarms. That is
+/// the semantics a chaos run wants ("kill two workers over the whole run"),
+/// whereas the per-thread scope wants "fail on the Nth hit of this one job".
+static GLOBAL: OnceLock<Mutex<HashMap<&'static str, u64>>> = OnceLock::new();
+
+fn global_armory() -> &'static Mutex<HashMap<&'static str, u64>> {
+    GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms a process-global fault from a `SITE[:COUNT]` spec (COUNT = number of
+/// shots, default 1). Repeat arming of the same site accumulates shots, so a
+/// daemon can take several `--inject-fault` flags.
+pub fn arm_global(spec: &str) -> Result<(), String> {
+    let (site, count) = parse_spec(spec)?;
+    let mut armory = global_armory().lock().unwrap_or_else(|p| p.into_inner());
+    *armory.entry(site).or_insert(0) += count;
+    Ok(())
+}
+
+/// Fires a process-global site: returns `true` while armed shots remain for
+/// `site`, consuming one per call. Bumps the `fault.fired.<site>` counter on
+/// the calling thread's trace session when it triggers.
+pub fn fire_global(site: &str) -> bool {
+    let fired = {
+        let mut armory = global_armory().lock().unwrap_or_else(|p| p.into_inner());
+        match armory.get_mut(site) {
+            Some(shots) if *shots > 0 => {
+                *shots -= 1;
+                if *shots == 0 {
+                    armory.remove(site);
+                }
+                true
+            }
+            _ => false,
+        }
+    };
+    if fired {
+        omplt_trace::count(&format!("fault.fired.{site}"), 1);
+    }
+    fired
+}
+
+/// Disarms every process-global site. Tests that arm globals in-process must
+/// call this before returning.
+pub fn reset_global() {
+    global_armory()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
 }
 
 /// One-line helper for `*.panic` sites: panics with a recognizable message
@@ -372,6 +452,36 @@ mod tests {
         assert_eq!(current_stage(), "midend");
         reset();
         assert_eq!(current_stage(), "startup");
+    }
+
+    #[test]
+    fn global_armory_consumes_shots_across_threads() {
+        arm_global("daemon.worker-kill:2").unwrap();
+        assert!(
+            !fire_global("daemon.queue-full"),
+            "unarmed site never fires"
+        );
+        let sibling = std::thread::spawn(|| fire_global("daemon.worker-kill"));
+        assert!(sibling.join().unwrap(), "globals are visible cross-thread");
+        assert!(fire_global("daemon.worker-kill"), "second shot");
+        assert!(!fire_global("daemon.worker-kill"), "shots exhausted");
+        // Repeat arming accumulates.
+        arm_global("daemon.queue-full").unwrap();
+        arm_global("daemon.queue-full").unwrap();
+        assert!(fire_global("daemon.queue-full"));
+        assert!(fire_global("daemon.queue-full"));
+        assert!(!fire_global("daemon.queue-full"));
+        reset_global();
+    }
+
+    #[test]
+    fn parse_spec_round_trips_sites_and_counts() {
+        assert_eq!(parse_spec("daemon.frame-stall").unwrap().1, 1);
+        assert_eq!(
+            parse_spec("daemon.cache-corrupt:4").unwrap(),
+            ("daemon.cache-corrupt", 4)
+        );
+        assert!(parse_spec("daemon.bogus").is_err());
     }
 
     #[test]

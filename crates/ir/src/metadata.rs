@@ -82,10 +82,16 @@ impl LoopMetadata {
             parts.push("!\"llvm.loop.vectorize.enable\", i1 true".to_string());
         }
         if self.safelen != 0 {
-            parts.push(format!("!\"llvm.loop.vectorize.safelen\", i32 {}", self.safelen));
+            parts.push(format!(
+                "!\"llvm.loop.vectorize.safelen\", i32 {}",
+                self.safelen
+            ));
         }
         if self.simdlen != 0 {
-            parts.push(format!("!\"llvm.loop.vectorize.width\", i32 {}", self.simdlen));
+            parts.push(format!(
+                "!\"llvm.loop.vectorize.width\", i32 {}",
+                self.simdlen
+            ));
         }
         if self.is_canonical {
             parts.push("!\"omplt.loop.canonical\"".to_string());

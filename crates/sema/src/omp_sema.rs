@@ -153,9 +153,7 @@ impl Sema<'_> {
             if simdlen > safelen {
                 self.diags.error(
                     loc,
-                    format!(
-                        "'simdlen({simdlen})' must not be greater than 'safelen({safelen})'"
-                    ),
+                    format!("'simdlen({simdlen})' must not be greater than 'safelen({safelen})'"),
                 );
             }
         }

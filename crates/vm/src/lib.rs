@@ -37,8 +37,7 @@ pub mod vm;
 
 pub use compile::{compile_module, compile_module_with, CompileError};
 pub use ops::{
-    disasm, CallTarget, Op, PoolConst, Reg, RegClass, VReg, VecVal, VmFunction, VmModule,
-    MAX_LANES,
+    disasm, CallTarget, Op, PoolConst, Reg, RegClass, VReg, VecVal, VmFunction, VmModule, MAX_LANES,
 };
 pub use serde::{decode, encode, DecodeError};
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -505,7 +505,13 @@ fn encode_op(e: &mut Enc, op: Op) {
             e.reg(src);
             e.u8(w);
         }
-        Op::VReduce { op, ty, dst, src, w } => {
+        Op::VReduce {
+            op,
+            ty,
+            dst,
+            src,
+            w,
+        } => {
             e.u8(27);
             e.u8(bin_tag(op));
             e.ty(ty);
@@ -988,8 +994,16 @@ mod tests {
                     ret: IrType::Void,
                     dst: None,
                 },
-                Op::VBroadcast { dst: 0, src: 0, w: 4 },
-                Op::VIota { dst: 1, base: 0, w: 4 },
+                Op::VBroadcast {
+                    dst: 0,
+                    src: 0,
+                    w: 4,
+                },
+                Op::VIota {
+                    dst: 1,
+                    base: 0,
+                    w: 4,
+                },
                 Op::VLoad {
                     dst: 2,
                     addr: 3,
@@ -1034,7 +1048,11 @@ mod tests {
                     src: 2,
                     w: 2,
                 },
-                Op::VMov { dst: 2, src: 1, w: 4 },
+                Op::VMov {
+                    dst: 2,
+                    src: 1,
+                    w: 4,
+                },
                 Op::VReduce {
                     op: BinOpKind::Add,
                     ty: IrType::I64,
@@ -1059,12 +1077,7 @@ mod tests {
             call_args: vec![0, 1],
             call_targets: vec![CallTarget::Runtime(SymbolId(9)), CallTarget::Bytecode(0)],
             num_vregs: 4,
-            vreg_class: vec![
-                RegClass::Int,
-                RegClass::Int,
-                RegClass::Int,
-                RegClass::Float,
-            ],
+            vreg_class: vec![RegClass::Int, RegClass::Int, RegClass::Int, RegClass::Float],
             vreg_width: vec![4, 4, 2, 2],
             block_starts: vec![0, 1, 7],
             ret: IrType::I32,

@@ -28,9 +28,7 @@
 use crate::compile::{const_of, CompileError, ConstKey, FuncCompiler};
 use crate::ops::{Op, PoolConst, Reg, RegClass, VReg, MAX_LANES};
 use omplt_interp::RtVal;
-use omplt_ir::{
-    BinOpKind, BlockId, CmpPred, Function, Inst, InstId, IrType, Terminator, Value,
-};
+use omplt_ir::{BinOpKind, BlockId, CmpPred, Function, Inst, InstId, IrType, Terminator, Value};
 use std::collections::{HashMap, HashSet};
 
 /// Per-module widening statistics, reported as `vm.simd.*` counters.
@@ -276,9 +274,11 @@ impl<'a> Planner<'a> {
                         })
                     };
                     match op {
-                        BinOpKind::Add => {
-                            combine(self.lin(*lhs, depth - 1)?, self.lin(*rhs, depth - 1)?, false)
-                        }
+                        BinOpKind::Add => combine(
+                            self.lin(*lhs, depth - 1)?,
+                            self.lin(*rhs, depth - 1)?,
+                            false,
+                        ),
                         BinOpKind::Sub => {
                             combine(self.lin(*lhs, depth - 1)?, self.lin(*rhs, depth - 1)?, true)
                         }
@@ -394,7 +394,9 @@ impl<'a> Planner<'a> {
             return false;
         }
         match self.lin(*index, 16) {
-            Some(l) if l.coeff != 0 && l.coeff as i128 * *elem_size as i128 == ty.size() as i128 => {
+            Some(l)
+                if l.coeff != 0 && l.coeff as i128 * *elem_size as i128 == ty.size() as i128 =>
+            {
                 // Unit stride: lane-0 address is the scalar Gep clone.
                 self.scalar_cloneable(ptr, depth - 1)
             }
@@ -482,7 +484,10 @@ fn try_plan(
     let Inst::Cmp { pred, lhs, rhs } = f.inst(*cmp_id) else {
         return None;
     };
-    if !matches!(pred, CmpPred::Slt | CmpPred::Ult | CmpPred::Sle | CmpPred::Ule) {
+    if !matches!(
+        pred,
+        CmpPred::Slt | CmpPred::Ult | CmpPred::Sle | CmpPred::Ule
+    ) {
         return None;
     }
     // lhs must load the induction slot.
@@ -553,7 +558,10 @@ fn try_plan(
         for &iid in &f.block(bb).insts {
             order.insert(iid, pos);
             match f.inst(iid) {
-                Inst::Phi { .. } | Inst::Call { .. } | Inst::Select { .. } | Inst::Alloca { .. } => {
+                Inst::Phi { .. }
+                | Inst::Call { .. }
+                | Inst::Select { .. }
+                | Inst::Alloca { .. } => {
                     return None;
                 }
                 Inst::Load { ptr, .. } => {
@@ -687,8 +695,7 @@ fn try_plan(
         if !(uses_load(*lhs) ^ uses_load(*rhs)) {
             return None;
         }
-        if uses.get(&load_id).copied().unwrap_or(0) != 1
-            || uses.get(bid).copied().unwrap_or(0) != 1
+        if uses.get(&load_id).copied().unwrap_or(0) != 1 || uses.get(bid).copied().unwrap_or(0) != 1
         {
             return None;
         }
@@ -1027,8 +1034,7 @@ impl<'a, 'b> Widener<'a, 'b> {
 
     fn lookup_slot(&self, ptr: Value) -> Option<InstId> {
         if let Value::Inst(id) = ptr {
-            if self.c.promoted.contains_key(&id)
-                && matches!(self.c.f.inst(id), Inst::Alloca { .. })
+            if self.c.promoted.contains_key(&id) && matches!(self.c.f.inst(id), Inst::Alloca { .. })
             {
                 return Some(id);
             }
@@ -1141,8 +1147,7 @@ impl<'a, 'b> Widener<'a, 'b> {
                 what: "widened load without gep address".into(),
             });
         };
-        let es32 =
-            u32::try_from(elem_size).map_err(|_| self.c.err_large("gep element size"))?;
+        let es32 = u32::try_from(elem_size).map_err(|_| self.c.err_large("gep element size"))?;
         if self.unit_stride(ty, Value::Inst(gid)) {
             let addr = self.scalar_of(ptr)?;
             let dst = self.c.new_vvreg(RegClass::of(ty), self.w())?;
@@ -1213,10 +1218,7 @@ impl<'a, 'b> Widener<'a, 'b> {
 /// point (the loop header's block offset). Leaves the op stream positioned
 /// so the caller emits the scalar loop directly after, and registers the
 /// latch redirect that keeps the scalar backedge out of the preamble.
-pub(crate) fn emit_vector_loop(
-    c: &mut FuncCompiler,
-    plan: &LoopPlan,
-) -> Result<(), CompileError> {
+pub(crate) fn emit_vector_loop(c: &mut FuncCompiler, plan: &LoopPlan) -> Result<(), CompileError> {
     let w = plan.width;
     let f = c.f;
     let mut loop_insts: HashSet<InstId> = HashSet::new();
@@ -1245,7 +1247,11 @@ pub(crate) fn emit_vector_loop(
     let w_const = wd.int_const(w as i64)?;
     let wm1_const = wd.int_const(w as i64 - 1)?;
     let le_pred = matches!(plan.pred, CmpPred::Sle | CmpPred::Ule);
-    let one_const = if le_pred { Some(wd.int_const(1)?) } else { None };
+    let one_const = if le_pred {
+        Some(wd.int_const(1)?)
+    } else {
+        None
+    };
     let bound_reg = wd.scalar_of(plan.bound)?;
     wd.c.ops.push(Op::Mov {
         dst: riv,
@@ -1277,7 +1283,11 @@ pub(crate) fn emit_vector_loop(
         let r = wd.slot_reg(slot);
         let class = wd.c.vreg_class[r as usize];
         let acc = wd.c.new_vvreg(class, w)?;
-        wd.c.ops.push(Op::VBroadcast { dst: acc, src: r, w });
+        wd.c.ops.push(Op::VBroadcast {
+            dst: acc,
+            src: r,
+            w,
+        });
         wd.acc.insert(slot, acc);
     }
     // Guard: `bound >= w-1` keeps `bound - (w-1)` from wrapping for
@@ -1351,7 +1361,9 @@ pub(crate) fn emit_vector_loop(
                 }
                 match plan.roles.get(&slot) {
                     Some(SlotRole::Reduction(op)) => {
-                        let Value::Inst(bid) = val else { unreachable!() };
+                        let Value::Inst(bid) = val else {
+                            unreachable!()
+                        };
                         let Inst::Bin { lhs, rhs, .. } = f.inst(bid) else {
                             unreachable!()
                         };
@@ -1393,14 +1405,11 @@ pub(crate) fn emit_vector_loop(
                 let src = wd.vec_of(val)?;
                 if wd.unit_stride(ty, ptr) {
                     let addr = wd.scalar_of(ptr)?;
-                    wd.c.ops.push(Op::VStore {
-                        src,
-                        addr,
-                        ty,
-                        w,
-                    });
+                    wd.c.ops.push(Op::VStore { src, addr, ty, w });
                 } else {
-                    let Value::Inst(gid) = ptr else { unreachable!() };
+                    let Value::Inst(gid) = ptr else {
+                        unreachable!()
+                    };
                     let Inst::Gep {
                         ptr: base,
                         index,
@@ -1409,8 +1418,8 @@ pub(crate) fn emit_vector_loop(
                     else {
                         unreachable!()
                     };
-                    let es32 = u32::try_from(elem_size)
-                        .map_err(|_| wd.c.err_large("gep element size"))?;
+                    let es32 =
+                        u32::try_from(elem_size).map_err(|_| wd.c.err_large("gep element size"))?;
                     let b = wd.scalar_of(base)?;
                     let idx = wd.vec_of(index)?;
                     wd.c.ops.push(Op::VScatter {
@@ -1510,8 +1519,6 @@ pub(crate) fn emit_vector_loop(
     if let Op::Br { else_t, .. } = &mut wd.c.ops[br_at] {
         *else_t = vexit_off;
     }
-    wd.c
-        .latch_redirect
-        .insert(plan.latch.0, scalar_header_off);
+    wd.c.latch_redirect.insert(plan.latch.0, scalar_header_off);
     Ok(())
 }

@@ -685,7 +685,10 @@ fn types(f: &VmFunction, errs: &mut Vec<VerifyError>) {
                     mismatch(
                         errs,
                         pc,
-                        format!("vector gather of {ty} into {} v{dst}", class_name(vcls(dst))),
+                        format!(
+                            "vector gather of {ty} into {} v{dst}",
+                            class_name(vcls(dst))
+                        ),
                     );
                 }
                 if cls(base) != RegClass::Ptr {
@@ -712,7 +715,10 @@ fn types(f: &VmFunction, errs: &mut Vec<VerifyError>) {
                     mismatch(
                         errs,
                         pc,
-                        format!("vector scatter of {ty} from {} v{src}", class_name(vcls(src))),
+                        format!(
+                            "vector scatter of {ty} from {} v{src}",
+                            class_name(vcls(src))
+                        ),
                     );
                 }
                 if cls(base) != RegClass::Ptr {
@@ -1047,8 +1053,16 @@ mod tests {
             vreg_width: vec![4, 4],
             ops: vec![
                 Op::Const { dst: 0, idx: 0 },
-                Op::VBroadcast { dst: 0, src: 0, w: 4 },
-                Op::VMov { dst: 1, src: 0, w: 4 },
+                Op::VBroadcast {
+                    dst: 0,
+                    src: 0,
+                    w: 4,
+                },
+                Op::VMov {
+                    dst: 1,
+                    src: 0,
+                    w: 4,
+                },
                 Op::VExtract {
                     dst: 1,
                     src: 1,
@@ -1087,7 +1101,11 @@ mod tests {
     #[test]
     fn lane_width_mismatch_is_reported() {
         let mut f = vtiny();
-        f.ops[2] = Op::VMov { dst: 1, src: 0, w: 2 };
+        f.ops[2] = Op::VMov {
+            dst: 1,
+            src: 0,
+            w: 2,
+        };
         let errs = verify_function(&f, 1);
         assert!(
             errs.iter()
@@ -1111,11 +1129,16 @@ mod tests {
     #[test]
     fn uninitialized_vector_register_is_reported() {
         let mut f = vtiny();
-        f.ops[1] = Op::VMov { dst: 0, src: 0, w: 4 }; // v0 read before any write
+        f.ops[1] = Op::VMov {
+            dst: 0,
+            src: 0,
+            w: 4,
+        }; // v0 read before any write
         let errs = verify_function(&f, 1);
         assert!(
-            errs.iter()
-                .any(|e| e.what.contains("read of vector register v0 before any write")),
+            errs.iter().any(|e| e
+                .what
+                .contains("read of vector register v0 before any write")),
             "{errs:?}"
         );
     }
@@ -1123,7 +1146,11 @@ mod tests {
     #[test]
     fn vector_register_out_of_range_is_reported() {
         let mut f = vtiny();
-        f.ops[2] = Op::VMov { dst: 9, src: 0, w: 4 };
+        f.ops[2] = Op::VMov {
+            dst: 9,
+            src: 0,
+            w: 4,
+        };
         let errs = verify_function(&f, 1);
         assert!(
             errs.iter()

@@ -5,9 +5,7 @@
 //! equality here extends the oracle chain to the vector tier.
 
 use omplt_interp::RuntimeConfig;
-use omplt_ir::{
-    CmpPred, Function, IrBuilder, IrType, LoopMetadata, Module, Value,
-};
+use omplt_ir::{CmpPred, Function, IrBuilder, IrType, LoopMetadata, Module, Value};
 use omplt_vm::{compile_module, compile_module_with, disasm, verify_module, VmEngine, VmModule};
 
 fn simd_md() -> LoopMetadata {
@@ -132,7 +130,16 @@ fn disasm_all(code: &VmModule) -> String {
 
 #[test]
 fn widened_saxpy_matches_scalar_at_every_width() {
-    for (n, reps) in [(0i64, 1i64), (1, 1), (3, 1), (4, 1), (7, 1), (8, 1), (17, 3), (64, 2)] {
+    for (n, reps) in [
+        (0i64, 1i64),
+        (1, 1),
+        (3, 1),
+        (4, 1),
+        (7, 1),
+        (8, 1),
+        (17, 3),
+        (64, 2),
+    ] {
         let probe = (n - 1).max(0);
         let m = saxpy_like(n, 5, probe, reps, simd_md());
         let scalar = compile_module(&m).expect("scalar compiles");
@@ -145,7 +152,10 @@ fn widened_saxpy_matches_scalar_at_every_width() {
                 "width {w} bytecode must verify"
             );
             let got = run(&vec, &m);
-            assert_eq!(got, want, "n={n} reps={reps} width={w} diverged from scalar oracle");
+            assert_eq!(
+                got, want,
+                "n={n} reps={reps} width={w} diverged from scalar oracle"
+            );
         }
     }
 }

@@ -129,6 +129,12 @@ struct Cli {
     /// `--remote=PATH` — ship the job to an `ompltd` socket instead of
     /// compiling in-process.
     remote: Option<String>,
+    /// `--remote-retries=N` — transient daemon failures (connect refusal,
+    /// mid-stream EOF, `Overloaded`) are retried up to N times.
+    remote_retries: u32,
+    /// `--remote-backoff-ms=MS` — base delay of the exponential backoff
+    /// between retries.
+    remote_backoff_ms: u64,
     /// `--inject-fault` spec, kept verbatim so `--remote` can forward it
     /// (it is also armed locally at parse time for the in-process path).
     inject_fault: Option<String>,
@@ -152,7 +158,8 @@ fn usage() -> u8 {
          [--check-bytecode] \
          [--diag-format=text|json] [--emit-bytecode] [--emit-bytecode-bin=FILE] [--emit-ir] \
          [--enable-irbuilder] [--exec-timeout=MS] [--fuel=N] \
-         [--inject-fault=SITE[:COUNT]] [--opt] [--remote=SOCKET] [--run] \
+         [--inject-fault=SITE[:COUNT]] [--opt] [--remote=SOCKET] \
+         [--remote-retries=N] [--remote-backoff-ms=MS] [--run] \
          [--serial] [--syntax-only] [--threads N] [--time-report] \
          [--time-trace[=FILE]] \
          [--tune-best=FILE] [--tune-cost=ops|time] [--tune-json[=FILE]] \
@@ -204,6 +211,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let mut exec_timeout_ms = None;
     let mut crash_report = None;
     let mut remote = None;
+    let mut remote_retries: Option<u32> = None;
+    let mut remote_backoff_ms: Option<u64> = None;
     let mut inject_fault: Option<String> = None;
     let mut autotune = None;
     let mut tune_json = None;
@@ -375,6 +384,36 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
             other if other.starts_with("--remote=") => {
                 remote = Some(other["--remote=".len()..].to_string());
             }
+            other if other.starts_with("--remote-retries=") => {
+                let v = &other["--remote-retries=".len()..];
+                match v.parse::<u32>() {
+                    Ok(n) => remote_retries = Some(n),
+                    Err(_) => {
+                        return Err(driver_error(
+                            &format!(
+                                "invalid value '{v}' for '--remote-retries': expected a \
+                                 non-negative retry count"
+                            ),
+                            json_diags,
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with("--remote-backoff-ms=") => {
+                let v = &other["--remote-backoff-ms=".len()..];
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => remote_backoff_ms = Some(n),
+                    _ => {
+                        return Err(driver_error(
+                            &format!(
+                                "invalid value '{v}' for '--remote-backoff-ms': expected a \
+                                 positive number of milliseconds"
+                            ),
+                            json_diags,
+                        ))
+                    }
+                }
+            }
             other if other.starts_with("--autotune=") => {
                 let v = &other["--autotune=".len()..];
                 match v.parse::<usize>() {
@@ -452,6 +491,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
     let Some(file) = file else {
         return Err(usage());
     };
+    if remote.is_none() && (remote_retries.is_some() || remote_backoff_ms.is_some()) {
+        return Err(driver_error(
+            "'--remote-retries' and '--remote-backoff-ms' require '--remote'",
+            json_diags,
+        ));
+    }
     if autotune.is_none()
         && (tune_json.is_some()
             || tune_best.is_some()
@@ -499,6 +544,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, u8> {
         exec_timeout_ms,
         crash_report,
         remote,
+        remote_retries: remote_retries.unwrap_or(3),
+        remote_backoff_ms: remote_backoff_ms.unwrap_or(50),
         inject_fault,
         autotune,
         tune_json,
@@ -834,13 +881,106 @@ fn drive_check_bytecode(cli: &Cli) -> u8 {
     u8::from(!errors.is_empty())
 }
 
+/// One shot at delivering the job. `Done` carries the final exit code;
+/// `Retry` carries the failure wording (surfaced verbatim if retries run
+/// out) and an optional server-suggested wait.
+enum Attempt {
+    Done(u8),
+    Retry { err: String, wait_ms: Option<u64> },
+}
+
+/// How long an injected `daemon.frame-stall` holds the body back. Longer
+/// than the frame timeouts the tests and the chaos harness configure, so
+/// the daemon reliably classifies the stall as a slowloris.
+const FRAME_STALL_MS: u64 = 750;
+
+/// Connect, send, and read one reply. Every transient failure — connect
+/// refusal, mid-stream EOF, an `Overloaded` shed — comes back as
+/// `Attempt::Retry`; only a parsed `JobResponse` (or a malformed reply from
+/// a healthy exchange, which retrying would not fix) is `Done`.
+fn remote_attempt(cli: &Cli, path: &str, payload: &str) -> Attempt {
+    use omplt::protocol::{read_frame, write_frame, Reply};
+    let json = cli.json;
+    let retry = |err: String| Attempt::Retry { err, wait_ms: None };
+    let mut stream = match std::os::unix::net::UnixStream::connect(path) {
+        Ok(s) => s,
+        Err(e) => return retry(format!("cannot connect to ompltd at '{path}': {e}")),
+    };
+    // Client-side chaos: write the length prefix, then stall past the
+    // daemon's frame timeout before the body follows. The daemon answers
+    // with a mid-frame timeout error and closes; that reply is retryable
+    // only because we caused it ourselves.
+    let stalled = omplt::fault::fire("daemon.frame-stall");
+    let sent = if stalled {
+        let body = payload.as_bytes();
+        let prefix = (body.len() as u32).to_le_bytes();
+        std::io::Write::write_all(&mut stream, &prefix)
+            .and_then(|()| std::io::Write::flush(&mut stream))
+            .map(|()| {
+                std::thread::sleep(std::time::Duration::from_millis(FRAME_STALL_MS));
+            })
+            .and_then(|()| std::io::Write::write_all(&mut stream, body))
+    } else {
+        write_frame(&mut stream, payload.as_bytes())
+    };
+    // A stalled write may fail with EPIPE once the daemon has already shed
+    // the connection; that is still the injected stall, so still retryable.
+    if let Err(e) = sent {
+        return retry(format!("cannot send job to ompltd: {e}"));
+    }
+    let body = match read_frame(&mut stream) {
+        Ok(Some(b)) => b,
+        Ok(None) => return retry("ompltd closed the connection without replying".to_string()),
+        Err(e) => return retry(format!("cannot read ompltd reply: {e}")),
+    };
+    let text = String::from_utf8_lossy(&body);
+    let resp = match Reply::parse(&text) {
+        Ok(Reply::Job(r)) => r,
+        Ok(Reply::Overloaded(o)) => {
+            return Attempt::Retry {
+                err: format!(
+                    "ompltd is overloaded (queue depth {}, retry after {} ms)",
+                    o.queue_depth, o.retry_after_ms
+                ),
+                wait_ms: Some(o.retry_after_ms),
+            }
+        }
+        Err(e) if stalled => {
+            // The daemon's "frame read timed out" error reply — earned by
+            // the injected stall above, so try again without it.
+            return retry(format!("invalid ompltd reply: {e}"));
+        }
+        Err(e) => return Attempt::Done(driver_error(&format!("invalid ompltd reply: {e}"), json)),
+    };
+    print!("{}", resp.stdout);
+    eprint!("{}", resp.stderr);
+    let mut code = resp.exit_code;
+    if let Some(ice) = &resp.ice {
+        code = report_ice_as(cli, None, &ice.stage, &ice.message, &ice.backtrace);
+    }
+    if let Some(dest) = &cli.counters_json {
+        let doc = resp.counters_json.clone().unwrap_or_default();
+        if !write_output(dest, &doc, "counters") && code == 0 {
+            code = 1;
+        }
+    }
+    Attempt::Done(code)
+}
+
 /// The `--remote` client: ship the job to an `ompltd` socket and replay the
 /// reply so the invocation is byte-identical to an in-process run — same
 /// stdout, same stderr (diagnostics pre-rendered by the server in the
 /// requested format), same exit code, and the same locally rendered ICE
 /// report (with `--crash-report` bundle) if the daemon contained a panic.
+///
+/// Transient failures (connect refusal, mid-stream EOF, `Overloaded`) are
+/// retried up to `--remote-retries` times with bounded exponential backoff
+/// (`--remote-backoff-ms` base, deterministic jitter); only the final
+/// successful reply is replayed, so a retried job's output is byte-identical
+/// to a first-try success. The original error wording surfaces unchanged
+/// once retries are exhausted.
 fn drive_remote(cli: &Cli, path: &str) -> u8 {
-    use omplt::protocol::{read_frame, write_frame, JobRequest, JobResponse};
+    use omplt::protocol::JobRequest;
     let json = cli.json;
     if cli.analyze
         || cli.ast_dump
@@ -885,38 +1025,40 @@ fn drive_remote(cli: &Cli, path: &str) -> u8 {
         job.opts.runtime_schedule = Some(sched);
         job.schedule_warning = warning;
     }
-    let mut stream = match std::os::unix::net::UnixStream::connect(path) {
-        Ok(s) => s,
-        Err(e) => {
-            return driver_error(&format!("cannot connect to ompltd at '{path}': {e}"), json);
+    let payload = job.render();
+    let mut last_err = String::new();
+    // A server-suggested wait (from an `Overloaded` shed) replaces the next
+    // exponential step when present.
+    let mut wait_hint: Option<u64> = None;
+    for attempt in 0..=cli.remote_retries {
+        if attempt > 0 {
+            let wait = match wait_hint.take() {
+                Some(ms) => ms.min(2000),
+                None => backoff_ms(cli.remote_backoff_ms, attempt, &cli.file),
+            };
+            std::thread::sleep(std::time::Duration::from_millis(wait));
         }
-    };
-    if let Err(e) = write_frame(&mut stream, job.render().as_bytes()) {
-        return driver_error(&format!("cannot send job to ompltd: {e}"), json);
-    }
-    let body = match read_frame(&mut stream) {
-        Ok(Some(b)) => b,
-        Ok(None) => return driver_error("ompltd closed the connection without replying", json),
-        Err(e) => return driver_error(&format!("cannot read ompltd reply: {e}"), json),
-    };
-    let text = String::from_utf8_lossy(&body);
-    let resp = match JobResponse::parse(&text) {
-        Ok(r) => r,
-        Err(e) => return driver_error(&format!("invalid ompltd reply: {e}"), json),
-    };
-    print!("{}", resp.stdout);
-    eprint!("{}", resp.stderr);
-    let mut code = resp.exit_code;
-    if let Some(ice) = &resp.ice {
-        code = report_ice_as(cli, None, &ice.stage, &ice.message, &ice.backtrace);
-    }
-    if let Some(dest) = &cli.counters_json {
-        let doc = resp.counters_json.unwrap_or_default();
-        if !write_output(dest, &doc, "counters") && code == 0 {
-            code = 1;
+        match remote_attempt(cli, path, &payload) {
+            Attempt::Done(code) => return code,
+            Attempt::Retry { err, wait_ms } => {
+                last_err = err;
+                wait_hint = wait_ms;
+            }
         }
     }
-    code
+    driver_error(&last_err, json)
+}
+
+/// Delay before retry `attempt` (1-based): exponential in the base, plus a
+/// deterministic jitter derived from the file name so concurrent clients
+/// compiling different files desynchronize, capped at two seconds. No RNG —
+/// retry timing must be reproducible under test.
+fn backoff_ms(base: u64, attempt: u32, seed: &str) -> u64 {
+    let expo = base.saturating_mul(1 << (attempt - 1).min(6));
+    let hash = seed.bytes().fold(attempt as u64, |h, b| {
+        h.wrapping_mul(31).wrapping_add(b as u64)
+    });
+    (expo + hash % base.max(1)).min(2000)
 }
 
 fn main() -> ExitCode {

@@ -84,8 +84,22 @@ pub struct Artifact {
     pub size: usize,
 }
 
+impl Artifact {
+    /// Integrity checksum over the serialized bytecode image — the part of
+    /// the artifact that is replayed bit-for-bit into an engine. Artifacts
+    /// without bytecode checksum to a fixed sentinel and trivially verify.
+    fn checksum(&self) -> u128 {
+        match &self.bytecode {
+            Some(bc) => hash128(bc),
+            None => 0,
+        }
+    }
+}
+
 struct Entry {
     artifact: Artifact,
+    /// [`Artifact::checksum`] recorded at insert; re-verified on every hit.
+    checksum: u128,
     last_used: u64,
 }
 
@@ -102,6 +116,7 @@ pub struct ArtifactCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    integrity_failures: AtomicU64,
 }
 
 /// Default byte budget (`ompltd --cache-bytes` overrides): 64 MiB.
@@ -120,16 +135,31 @@ impl ArtifactCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            integrity_failures: AtomicU64::new(0),
         }
     }
 
     /// Looks up `key`, refreshing its recency. Records a hit or miss.
+    ///
+    /// Every hit is integrity-checked against the checksum recorded at
+    /// insert. A mismatch means the in-memory artifact was corrupted after
+    /// insertion (injected via `daemon.cache-corrupt`, or a real memory
+    /// fault): the entry is quarantined — removed so it can never serve
+    /// again — `daemon.cache.integrity_failures` is bumped, and the call
+    /// reports a miss so the caller recompiles and re-inserts a clean copy.
     pub fn lookup(&self, key: &CacheKey) -> Option<Artifact> {
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
             Some(entry) => {
+                if entry.artifact.checksum() != entry.checksum {
+                    let dead = inner.map.remove(key).expect("entry just observed");
+                    inner.bytes -= dead.artifact.size;
+                    self.integrity_failures.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.artifact.clone())
@@ -139,6 +169,30 @@ impl ArtifactCache {
                 None
             }
         }
+    }
+
+    /// Fault-injection hook for `daemon.cache-corrupt`: flips one byte in
+    /// the cached bytecode image for `key`, cloning the buffer first so
+    /// outstanding `Artifact` clones keep their pristine copy. Returns
+    /// `false` when the key is absent or carries no bytecode (nothing to
+    /// corrupt). The next [`ArtifactCache::lookup`] for the key detects the
+    /// mismatch and quarantines the entry.
+    pub fn corrupt(&self, key: &CacheKey) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.map.get_mut(key) else {
+            return false;
+        };
+        let Some(bc) = &entry.artifact.bytecode else {
+            return false;
+        };
+        let mut bytes = bc.as_ref().clone();
+        if bytes.is_empty() {
+            return false;
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        entry.artifact.bytecode = Some(Arc::new(bytes));
+        true
     }
 
     /// Inserts an artifact, evicting least-recently-used entries until the
@@ -154,10 +208,12 @@ impl ArtifactCache {
             inner.bytes -= old.artifact.size;
         }
         inner.bytes += artifact.size;
+        let checksum = artifact.checksum();
         inner.map.insert(
             key,
             Entry {
                 artifact,
+                checksum,
                 last_used: tick,
             },
         );
@@ -190,6 +246,10 @@ impl ArtifactCache {
                 self.evictions.load(Ordering::Relaxed),
             ),
             ("daemon.cache.hits", self.hits.load(Ordering::Relaxed)),
+            (
+                "daemon.cache.integrity_failures",
+                self.integrity_failures.load(Ordering::Relaxed),
+            ),
             ("daemon.cache.misses", self.misses.load(Ordering::Relaxed)),
         ]
     }
@@ -294,5 +354,47 @@ mod tests {
         let c = ArtifactCache::new(10);
         c.insert(key("a"), artifact(11));
         assert!(c.lookup(&key("a")).is_none());
+    }
+
+    fn bytecode_artifact(image: &[u8]) -> Artifact {
+        Artifact {
+            module: Arc::new(omplt_ir::Module::default()),
+            bytecode: Some(Arc::new(image.to_vec())),
+            size: image.len(),
+        }
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_not_served() {
+        let c = ArtifactCache::new(1000);
+        c.insert(key("a"), bytecode_artifact(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert!(c.lookup(&key("a")).is_some(), "clean hit first");
+        assert!(c.corrupt(&key("a")), "injection point flips a byte");
+        assert!(
+            c.lookup(&key("a")).is_none(),
+            "corrupted entry must not be served"
+        );
+        assert!(
+            c.lookup(&key("a")).is_none(),
+            "quarantine removed the entry entirely"
+        );
+        let counters: std::collections::HashMap<_, _> = c.counters().into_iter().collect();
+        assert_eq!(counters["daemon.cache.integrity_failures"], 1);
+        assert_eq!(counters["daemon.cache.hits"], 1);
+        assert_eq!(counters["daemon.cache.misses"], 2);
+        assert_eq!(counters["daemon.cache.entries"], 0);
+        assert_eq!(counters["daemon.cache.bytes"], 0);
+        // Reinsertion after recompile serves clean hits again.
+        c.insert(key("a"), bytecode_artifact(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert!(c.lookup(&key("a")).is_some());
+    }
+
+    #[test]
+    fn corrupt_reports_missing_or_bytecode_free_entries() {
+        let c = ArtifactCache::new(1000);
+        assert!(!c.corrupt(&key("absent")));
+        c.insert(key("a"), artifact(10));
+        assert!(!c.corrupt(&key("a")), "no bytecode image to corrupt");
+        assert!(c.lookup(&key("a")).is_some(), "entry unharmed");
     }
 }

@@ -34,6 +34,14 @@ pub enum FrameError {
     TooLarge(u64),
     /// The stream ended mid-prefix or mid-body.
     Truncated,
+    /// The transport's read timeout expired. `mid_frame` distinguishes a
+    /// slowloris peer (bytes of a frame arrived, then the stream stalled —
+    /// the connection must be cut) from plain idleness (no bytes at all —
+    /// the server may simply poll again or reclaim the thread).
+    TimedOut {
+        /// Whether any bytes of the current frame had already arrived.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -44,19 +52,32 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
             }
             FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::TimedOut { mid_frame: true } => write!(f, "frame read timed out"),
+            FrameError::TimedOut { mid_frame: false } => write!(f, "idle read timed out"),
         }
     }
 }
 
-/// Writes one frame: length prefix, body, flush.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one frame: length prefix, body, flush. `?Sized` so trait-object
+/// writers (the daemon's shared connection sinks) work directly.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
 /// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at a
-/// frame boundary); EOF anywhere else is [`FrameError::Truncated`].
+/// frame boundary); EOF anywhere else is [`FrameError::Truncated`]. On a
+/// transport with a read timeout configured, a timeout surfaces as
+/// [`FrameError::TimedOut`] with `mid_frame` telling whether the peer had
+/// already sent part of a frame.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
@@ -66,6 +87,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(FrameError::TimedOut { mid_frame: got > 0 }),
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -80,6 +102,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(FrameError::TimedOut { mid_frame: true }),
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -178,7 +201,9 @@ pub struct JobRequest {
     /// Return a `--counters-json` document for this job.
     pub want_counters: bool,
     /// Fault-injection spec (`--inject-fault=site[:count]`), armed in the
-    /// worker's own scope. Always bypasses the artifact cache.
+    /// worker's own scope. Pipeline sites bypass the artifact cache;
+    /// `daemon.*` sites do not (they target the service layer itself, and
+    /// e.g. `daemon.cache-corrupt` needs the cache to be live).
     pub inject_fault: Option<String>,
     /// Warning produced while the *client* resolved `OMP_SCHEDULE`; the
     /// server records it in the job's diagnostics before running so remote
@@ -261,6 +286,8 @@ pub enum Request {
     Job(Box<JobRequest>),
     /// Report the daemon's `daemon.cache.*` counters.
     Stats,
+    /// Report the daemon's survivability snapshot ([`HealthReport`]).
+    Health,
     /// Drain and exit.
     Shutdown,
 }
@@ -271,6 +298,7 @@ impl Request {
         match self {
             Request::Job(j) => j.render(),
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Health => "{\"op\":\"health\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
         }
     }
@@ -285,6 +313,7 @@ impl Request {
             .ok_or("missing or non-string 'op'")?;
         match op {
             "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             "job" => Ok(Request::Job(Box::new(parse_job(&v)?))),
             other => Err(format!("unknown op '{other}'")),
@@ -467,7 +496,11 @@ impl JobResponse {
         if let Some(err) = v.get("error").and_then(Value::as_str) {
             return Err(format!("server error: {err}"));
         }
-        let cache = match need_str(&v, "cache")? {
+        JobResponse::from_value(&v)
+    }
+
+    fn from_value(v: &Value) -> Result<JobResponse, String> {
+        let cache = match need_str(v, "cache")? {
             "hit" => CacheOutcome::Hit,
             "miss" => CacheOutcome::Miss,
             "bypass" => CacheOutcome::Bypass,
@@ -490,19 +523,183 @@ impl JobResponse {
                 .get("exit_code")
                 .and_then(Value::as_u64)
                 .ok_or("missing or non-integer 'exit_code'")? as u8,
-            stdout: need_str(&v, "stdout")?.to_string(),
-            stderr: need_str(&v, "stderr")?.to_string(),
+            stdout: need_str(v, "stdout")?.to_string(),
+            stderr: need_str(v, "stderr")?.to_string(),
             cache,
-            counters_json: opt_string(&v, "counters_json")?,
-            chunk_log: opt_string(&v, "chunk_log")?,
+            counters_json: opt_string(v, "counters_json")?,
+            chunk_log: opt_string(v, "chunk_log")?,
             ice,
         })
+    }
+}
+
+/// An admission-control rejection: the daemon's bounded job queue is full
+/// (or the daemon is draining), so the job was shed instead of accepted.
+/// Clients with retry budget wait `retry_after_ms` and resubmit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Server's backoff hint in milliseconds.
+    pub retry_after_ms: u64,
+    /// Queue depth observed when the job was shed.
+    pub queue_depth: u64,
+}
+
+/// Renders the load-shedding reply for a job that was refused admission.
+/// `id` is `None` for connections refused wholesale during drain.
+pub fn overloaded_reply(id: Option<u64>, o: &Overloaded) -> String {
+    let id = id.map_or_else(|| "null".to_string(), |i| i.to_string());
+    format!(
+        "{{\"id\":{id},\"overloaded\":{{\"retry_after_ms\":{},\"queue_depth\":{}}}}}",
+        o.retry_after_ms, o.queue_depth
+    )
+}
+
+/// The daemon's survivability snapshot, served for `{"op":"health"}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthReport {
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Jobs queued but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Admission-control bound on the queue.
+    pub queue_capacity: u64,
+    /// Jobs currently executing on workers.
+    pub running: u64,
+    /// Live worker threads (respawns keep this at the configured count).
+    pub workers_alive: u64,
+    /// Worker count the daemon was started with.
+    pub workers_configured: u64,
+    /// Whether the daemon is draining (refusing new work).
+    pub draining: bool,
+    /// Workers respawned after an uncontained panic.
+    pub respawns: u64,
+    /// In-flight jobs requeued after their worker died (at most once each).
+    pub requeued: u64,
+    /// Jobs abandoned after dying twice; their clients got an error reply.
+    pub abandoned: u64,
+    /// `daemon.cache.*` counters, sorted by name.
+    pub cache: Vec<(String, u64)>,
+}
+
+impl HealthReport {
+    /// Renders the health reply document.
+    pub fn render(&self) -> String {
+        let cache = self
+            .cache
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"health\":{{\"uptime_ms\":{},\"queue_depth\":{},",
+                "\"queue_capacity\":{},\"running\":{},\"workers_alive\":{},",
+                "\"workers_configured\":{},\"draining\":{},",
+                "\"supervisor\":{{\"respawns\":{},\"requeued\":{},\"abandoned\":{}}},",
+                "\"counters\":{{{}}}}}}}"
+            ),
+            self.uptime_ms,
+            self.queue_depth,
+            self.queue_capacity,
+            self.running,
+            self.workers_alive,
+            self.workers_configured,
+            self.draining,
+            self.respawns,
+            self.requeued,
+            self.abandoned,
+            cache,
+        )
+    }
+
+    /// Parses a health reply document (the client side).
+    pub fn parse(body: &str) -> Result<HealthReport, String> {
+        let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        if let Some(err) = v.get("error").and_then(Value::as_str) {
+            return Err(format!("server error: {err}"));
+        }
+        let h = v.get("health").ok_or("missing 'health'")?;
+        let field = |obj: &Value, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer '{key}'"))
+        };
+        let sup = h.get("supervisor").ok_or("missing 'supervisor'")?;
+        let cache = h
+            .get("counters")
+            .and_then(Value::as_object)
+            .ok_or("missing 'counters'")?
+            .iter()
+            .map(|(k, val)| {
+                val.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("non-integer counter '{k}'"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HealthReport {
+            uptime_ms: field(h, "uptime_ms")?,
+            queue_depth: field(h, "queue_depth")?,
+            queue_capacity: field(h, "queue_capacity")?,
+            running: field(h, "running")?,
+            workers_alive: field(h, "workers_alive")?,
+            workers_configured: field(h, "workers_configured")?,
+            draining: match h.get("draining") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("missing or non-boolean 'draining'".to_string()),
+            },
+            respawns: field(sup, "respawns")?,
+            requeued: field(sup, "requeued")?,
+            abandoned: field(sup, "abandoned")?,
+            cache,
+        })
+    }
+}
+
+/// Every frame a client can receive in answer to a job submission. The
+/// retry loop in `ompltc --remote` needs to see [`Reply::Overloaded`]
+/// structurally (it is retryable), whereas [`JobResponse::parse`] folds all
+/// non-job replies into errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// The job executed (any exit code, possibly an ICE) — terminal.
+    Job(Box<JobResponse>),
+    /// The job was shed by admission control — retryable.
+    Overloaded(Overloaded),
+}
+
+impl Reply {
+    /// Parses a reply frame body. Server error replies (`{"id":null,
+    /// "error":...}`) surface as `Err`, like [`JobResponse::parse`].
+    pub fn parse(body: &str) -> Result<Reply, String> {
+        let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        if let Some(err) = v.get("error").and_then(Value::as_str) {
+            return Err(format!("server error: {err}"));
+        }
+        if let Some(o) = v.get("overloaded") {
+            let field = |key: &str| -> Result<u64, String> {
+                o.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("missing or non-integer '{key}'"))
+            };
+            return Ok(Reply::Overloaded(Overloaded {
+                retry_after_ms: field("retry_after_ms")?,
+                queue_depth: field("queue_depth")?,
+            }));
+        }
+        Ok(Reply::Job(Box::new(JobResponse::from_value(&v)?)))
     }
 }
 
 /// Renders the error reply for an unparseable or oversized frame.
 pub fn error_reply(message: &str) -> String {
     format!("{{\"id\":null,\"error\":\"{}\"}}", json_escape(message))
+}
+
+/// Renders an error reply correlated to a specific job id — used when an
+/// *accepted* job cannot produce a normal reply (e.g. its worker died twice
+/// and the job was abandoned), so the client still gets exactly one answer.
+pub fn error_reply_for(id: u64, message: &str) -> String {
+    format!("{{\"id\":{id},\"error\":\"{}\"}}", json_escape(message))
 }
 
 #[cfg(test)]
@@ -589,5 +786,86 @@ mod tests {
         assert!(JobResponse::parse(&error_reply("bad frame"))
             .unwrap_err()
             .contains("bad frame"));
+    }
+
+    #[test]
+    fn health_request_parses() {
+        assert_eq!(
+            Request::parse("{\"op\":\"health\"}").unwrap(),
+            Request::Health
+        );
+        assert_eq!(Request::Health.render(), "{\"op\":\"health\"}");
+    }
+
+    #[test]
+    fn overloaded_reply_roundtrips_via_reply_parse() {
+        let o = Overloaded {
+            retry_after_ms: 50,
+            queue_depth: 64,
+        };
+        let body = overloaded_reply(Some(12), &o);
+        assert_eq!(
+            body,
+            "{\"id\":12,\"overloaded\":{\"retry_after_ms\":50,\"queue_depth\":64}}"
+        );
+        assert_eq!(Reply::parse(&body).unwrap(), Reply::Overloaded(o));
+        let anon = overloaded_reply(None, &o);
+        assert!(anon.starts_with("{\"id\":null,"));
+        assert_eq!(Reply::parse(&anon).unwrap(), Reply::Overloaded(o));
+    }
+
+    #[test]
+    fn reply_parse_covers_jobs_and_errors() {
+        let resp = JobResponse {
+            id: 4,
+            exit_code: 0,
+            stdout: "ok\n".to_string(),
+            stderr: String::new(),
+            cache: CacheOutcome::Hit,
+            counters_json: None,
+            chunk_log: None,
+            ice: None,
+        };
+        assert_eq!(
+            Reply::parse(&resp.render()).unwrap(),
+            Reply::Job(Box::new(resp))
+        );
+        assert!(Reply::parse(&error_reply_for(4, "job abandoned"))
+            .unwrap_err()
+            .contains("job abandoned"));
+    }
+
+    #[test]
+    fn health_report_roundtrips() {
+        let h = HealthReport {
+            uptime_ms: 1234,
+            queue_depth: 2,
+            queue_capacity: 64,
+            running: 1,
+            workers_alive: 4,
+            workers_configured: 4,
+            draining: true,
+            respawns: 3,
+            requeued: 2,
+            abandoned: 1,
+            cache: vec![
+                ("daemon.cache.hits".to_string(), 7),
+                ("daemon.cache.misses".to_string(), 9),
+            ],
+        };
+        assert_eq!(HealthReport::parse(&h.render()).unwrap(), h);
+        assert!(HealthReport::parse(&error_reply("nope")).is_err());
+    }
+
+    #[test]
+    fn timed_out_frame_errors_render_distinctly() {
+        assert_eq!(
+            FrameError::TimedOut { mid_frame: true }.to_string(),
+            "frame read timed out"
+        );
+        assert_eq!(
+            FrameError::TimedOut { mid_frame: false }.to_string(),
+            "idle read timed out"
+        );
     }
 }

@@ -23,15 +23,17 @@
 //! canonical options fingerprint. A warm hit skips lexing, parsing, sema,
 //! codegen, the mid end, and the VM compiler entirely: the module is shared
 //! by `Arc` and the bytecode image is decoded from its serialized form.
-//! Jobs that inject faults, stop at `--syntax-only`, or produce any
-//! diagnostic bypass or skip the cache, which is what keeps hit replay
-//! byte-exact (there are no compile diagnostics to reproduce).
+//! Jobs that inject pipeline faults, stop at `--syntax-only`, or produce
+//! any diagnostic bypass or skip the cache, which is what keeps hit replay
+//! byte-exact (there are no compile diagnostics to reproduce). Jobs that
+//! inject `daemon.*` faults keep the cache live: those sites exercise the
+//! service layer (corrupted entries, killed workers), not the pipeline.
 
 use crate::cache::{Artifact, ArtifactCache, CacheKey};
 use crate::compiler::{Backend, CompilerInstance};
 use crate::protocol::{
-    error_reply, json_diag_object, render_chunk_log, CacheOutcome, IceInfo, JobRequest,
-    JobResponse, Request,
+    error_reply, json_diag_object, render_chunk_log, CacheOutcome, HealthReport, IceInfo,
+    JobRequest, JobResponse, Request,
 };
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -81,6 +83,7 @@ pub struct FrameOutcome {
 /// execution. Construct once, share by reference across workers.
 pub struct Service {
     cache: ArtifactCache,
+    started: Instant,
 }
 
 impl Service {
@@ -91,12 +94,38 @@ impl Service {
         omplt_fault::install_panic_capture();
         Service {
             cache: ArtifactCache::new(cache_bytes),
+            started: Instant::now(),
         }
     }
 
     /// The artifact cache (counters, direct inspection in tests).
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// A health snapshot with the service-level fields (uptime, cache
+    /// counters) filled in and the transport-level fields (queue, workers,
+    /// supervisor) zeroed. `ompltd`'s transport loop overlays its pool
+    /// state before rendering; a bare [`Service`] answers with this as-is.
+    pub fn base_health(&self) -> HealthReport {
+        HealthReport {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: 0,
+            queue_capacity: 0,
+            running: 0,
+            workers_alive: 0,
+            workers_configured: 0,
+            draining: false,
+            respawns: 0,
+            requeued: 0,
+            abandoned: 0,
+            cache: self
+                .cache
+                .counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
     }
 
     /// Handles one already-read frame body and says whether the server
@@ -113,6 +142,7 @@ impl Service {
         match Request::parse(text) {
             Err(e) => keep(error_reply(&e)),
             Ok(Request::Stats) => keep(self.cache.counters_json().trim_end().to_string()),
+            Ok(Request::Health) => keep(self.base_health().render()),
             Ok(Request::Shutdown) => FrameOutcome {
                 reply: "{\"ok\":true}".to_string(),
                 shutdown: true,
@@ -206,14 +236,28 @@ impl Service {
             }
         };
 
-        // Fault-injection jobs bypass the cache entirely: an armed site can
-        // fire anywhere in the pipeline, so neither serving a hit (which
-        // would skip the site) nor storing the result is sound.
-        let key = (job.inject_fault.is_none() && !job.syntax_only)
+        // Pipeline fault-injection jobs bypass the cache entirely: an armed
+        // site can fire anywhere in the pipeline, so neither serving a hit
+        // (which would skip the site) nor storing the result is sound.
+        // `daemon.*` sites target the service layer itself and keep the
+        // cache live — `daemon.cache-corrupt` needs an entry to corrupt,
+        // and a job requeued after `daemon.worker-kill` must still warm-hit.
+        let daemon_fault = job
+            .inject_fault
+            .as_deref()
+            .is_some_and(|s| s.starts_with("daemon."));
+        let key = ((job.inject_fault.is_none() || daemon_fault) && !job.syntax_only)
             .then(|| CacheKey::new(&job.source, &job.opts, job.optimize));
         let mut cache_outcome = CacheOutcome::Bypass;
         let mut cached = None;
         if let Some(k) = &key {
+            // Injected corruption lands immediately before the lookup that
+            // would have served the entry, exercising the verify path.
+            if omplt_fault::fire("daemon.cache-corrupt")
+                || omplt_fault::fire_global("daemon.cache-corrupt")
+            {
+                self.cache.corrupt(k);
+            }
             cached = self.cache.lookup(k);
             cache_outcome = if cached.is_some() {
                 CacheOutcome::Hit
@@ -495,6 +539,41 @@ mod tests {
         assert!(ice.message.contains("injected fault"), "{}", ice.message);
         // The service survives and still serves hits.
         assert_eq!(service.execute(&run_request(3)).cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn corrupted_cache_entry_is_quarantined_and_recompiled() {
+        let service = Service::new(DEFAULT_CACHE_BYTES);
+        let clean = service.execute(&run_request(1));
+        assert_eq!(clean.cache, CacheOutcome::Miss);
+        // `daemon.cache-corrupt` flips a byte in the cached artifact right
+        // before lookup; the integrity check must refuse to serve it and
+        // recompile instead of replaying a miscompile.
+        let mut job = run_request(2);
+        job.inject_fault = Some("daemon.cache-corrupt".to_string());
+        let resp = service.execute(&job);
+        assert_eq!(resp.cache, CacheOutcome::Miss, "quarantine forces a miss");
+        assert_eq!(resp.exit_code, 0, "stderr: {}", resp.stderr);
+        assert_eq!(resp.stdout, clean.stdout, "recompiled output is clean");
+        let counters: std::collections::HashMap<_, _> =
+            service.cache().counters().into_iter().collect();
+        assert_eq!(counters["daemon.cache.integrity_failures"], 1);
+        // The recompiled entry serves clean hits again.
+        let warm = service.execute(&run_request(3));
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(warm.stdout, clean.stdout);
+    }
+
+    #[test]
+    fn health_frames_answer_with_service_level_snapshot() {
+        let service = Service::new(DEFAULT_CACHE_BYTES);
+        service.execute(&run_request(1));
+        let out = service.handle_frame(b"{\"op\":\"health\"}");
+        assert!(!out.shutdown);
+        let h = crate::protocol::HealthReport::parse(&out.reply).unwrap();
+        assert_eq!(h.workers_configured, 0, "bare service has no pool");
+        let cache: std::collections::HashMap<_, _> = h.cache.into_iter().collect();
+        assert_eq!(cache["daemon.cache.misses"], 1);
     }
 
     #[test]

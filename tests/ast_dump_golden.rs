@@ -233,9 +233,10 @@ fn captured_parallel_for_golden() {
 fn saxpy_simd_example_golden() {
     // The shipped example's directive subtree: `simd` with an integer
     // reduction and a `simdlen` cap, the associated loop captured.
-    let src = std::fs::read_to_string(
-        concat!(env!("CARGO_MANIFEST_DIR"), "/examples/c/saxpy_simd.c"),
-    )
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/c/saxpy_simd.c"
+    ))
     .expect("example exists");
     let d = dump(&src, OpenMpCodegenMode::Classic);
     assert_block(

@@ -398,7 +398,7 @@ fn simd_width_transform_matrix_agrees() {
              \x20 print_i64(sum);\n\
              \x20 return 0;\n\
              }\n"
-                .to_string(),
+            .to_string(),
         ),
         (
             "simd+tile",
@@ -415,7 +415,7 @@ fn simd_width_transform_matrix_agrees() {
              \x20 print_i64(s);\n\
              \x20 return 0;\n\
              }\n"
-                .to_string(),
+            .to_string(),
         ),
         (
             "simd+unroll",
@@ -432,7 +432,7 @@ fn simd_width_transform_matrix_agrees() {
              \x20 print_i64(s);\n\
              \x20 return 0;\n\
              }\n"
-                .to_string(),
+            .to_string(),
         ),
         (
             "for-simd",
@@ -449,7 +449,7 @@ fn simd_width_transform_matrix_agrees() {
              \x20 for (int k = 0; k < 130; k += 1) s += y[k];\n\
              \x20 return s % 251;\n\
              }\n"
-                .to_string(),
+            .to_string(),
         ),
         (
             "parallel-for-simd",
@@ -463,7 +463,7 @@ fn simd_width_transform_matrix_agrees() {
              \x20 for (int k = 0; k < 130; k += 1) s += y[k];\n\
              \x20 return s % 251;\n\
              }\n"
-                .to_string(),
+            .to_string(),
         ),
     ];
     for (name, src) in &cases {
@@ -511,7 +511,7 @@ fn simd_gather_case_agrees_and_widens() {
     let tu = ci.parse_source("gather.c", src).expect("parse");
     let module = ci.codegen(&tu).expect("codegen");
     let code = ci.compile_bytecode(&module).expect("bytecode");
-    let disasm: String = code.funcs.iter().map(|f| omplt::vm::disasm(f)).collect();
+    let disasm: String = code.funcs.iter().map(omplt::vm::disasm).collect();
     assert!(
         disasm.contains("vgather"),
         "stride-2 subscript should widen through a gather:\n{disasm}"

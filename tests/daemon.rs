@@ -561,6 +561,394 @@ fn stdio_transport_serves_the_same_protocol() {
 }
 
 #[test]
+fn health_reports_transport_and_supervisor_state() {
+    let daemon = Daemon::start_with("health", &["--workers=2", "--queue-depth=7"], &[]);
+    let reply = daemon.request(&Request::Health.render());
+    let health = omplt::protocol::HealthReport::parse(&reply).expect("health report");
+    assert_eq!(health.workers_configured, 2);
+    assert_eq!(health.workers_alive, 2);
+    assert_eq!(health.queue_capacity, 7);
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(health.running, 0);
+    assert!(!health.draining);
+    assert_eq!(health.respawns, 0);
+    assert!(
+        health.cache.iter().any(|(k, _)| k == "daemon.cache.hits"),
+        "cache counters travel in the health reply: {reply}"
+    );
+}
+
+#[test]
+fn killed_worker_is_respawned_and_the_job_requeued_once() {
+    let daemon = Daemon::start_with("workerkill", &["--workers=2"], &[]);
+    let src = write_temp("kill.c", DEMO);
+
+    // One injected kill: the supervisor respawns the worker and requeues
+    // the job, whose retry must be byte-identical to a local run.
+    let out = assert_remote_matches_local(
+        &daemon,
+        &[],
+        &["--run", "--backend=vm", "--inject-fault=daemon.worker-kill"],
+        &src,
+        "kill/requeued",
+    );
+    assert_eq!(out.code, 0);
+
+    // Two kills on the same job: requeued at most once, then abandoned
+    // with a structured error — never a hang, never a third attempt.
+    let dead = run_ompltc(
+        &[],
+        &[
+            &daemon.remote_flag(),
+            "--run",
+            "--backend=vm",
+            "--inject-fault=daemon.worker-kill:2",
+            "--remote-retries=0",
+        ],
+        &src,
+    );
+    assert_eq!(dead.code, 2);
+    assert!(
+        String::from_utf8_lossy(&dead.stderr).contains("job abandoned"),
+        "{}",
+        String::from_utf8_lossy(&dead.stderr)
+    );
+
+    // The pool healed: the next job is served normally.
+    let ok = run_ompltc(&[], &[&daemon.remote_flag(), "--run"], &src);
+    assert_eq!(ok.code, 0, "{}", String::from_utf8_lossy(&ok.stderr));
+
+    let reply = daemon.request(&Request::Health.render());
+    let health = omplt::protocol::HealthReport::parse(&reply).expect("health report");
+    assert_eq!(health.respawns, 3, "1 requeue kill + 2 abandon kills");
+    assert_eq!(health.requeued, 2);
+    assert_eq!(health.abandoned, 1);
+    assert_eq!(health.workers_alive, 2, "every killed worker was replaced");
+}
+
+#[test]
+fn overload_shed_is_retried_and_surfaces_only_after_exhaustion() {
+    // The daemon sheds the first admission as if the queue were full. A
+    // retrying client absorbs the shed invisibly...
+    let daemon = Daemon::start_with(
+        "overload",
+        &["--workers=2", "--inject-fault=daemon.queue-full:1"],
+        &[],
+    );
+    let src = write_temp("overload.c", DEMO);
+    let ok = run_ompltc(
+        &[],
+        &[&daemon.remote_flag(), "--run", "--remote-backoff-ms=10"],
+        &src,
+    );
+    assert_eq!(ok.code, 0, "{}", String::from_utf8_lossy(&ok.stderr));
+
+    // ...and a client with retries disabled sees the structured error.
+    let daemon2 = Daemon::start_with(
+        "overload0",
+        &["--workers=2", "--inject-fault=daemon.queue-full:1"],
+        &[],
+    );
+    let shed = run_ompltc(
+        &[],
+        &[&daemon2.remote_flag(), "--run", "--remote-retries=0"],
+        &src,
+    );
+    assert_eq!(shed.code, 2);
+    let stderr = String::from_utf8_lossy(&shed.stderr);
+    assert!(
+        stderr.contains("ompltd is overloaded") && stderr.contains("retry after"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn client_retries_span_a_daemon_restart() {
+    // The client starts with no daemon listening and must survive on its
+    // retry budget until the daemon comes up.
+    let dir = std::env::temp_dir().join("omplt-daemon-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join(format!("restart-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let src = write_temp("restart.c", DEMO);
+    let client = ompltc()
+        .arg(format!("--remote={}", socket.display()))
+        .arg("--remote-retries=40")
+        .arg("--remote-backoff-ms=50")
+        .arg("--run")
+        .arg(&src)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn retrying client");
+    std::thread::sleep(Duration::from_millis(300));
+    // `Daemon::start_with` derives exactly this socket path from the tag.
+    let daemon = Daemon::start_with("restart", &[], &[]);
+    assert_eq!(daemon.socket, socket);
+    let out = client.wait_with_output().expect("client exits");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "6048\n");
+}
+
+#[test]
+fn frame_stall_is_shed_by_the_daemon_and_absorbed_by_client_retry() {
+    // The client injects its own slowloris (prefix, 750 ms stall, body)
+    // against a 200 ms frame timeout. The daemon sheds the stalled frame
+    // with an error reply; the client's retry — without the stall — must
+    // end byte-identical to a local run.
+    let daemon = Daemon::start_with("stall", &["--frame-timeout-ms=200"], &[]);
+    let src = write_temp("stall.c", DEMO);
+    let out = assert_remote_matches_local(
+        &daemon,
+        &[],
+        &["--run", "--inject-fault=daemon.frame-stall"],
+        &src,
+        "stall/retried",
+    );
+    assert_eq!(out.code, 0);
+}
+
+#[test]
+fn corrupted_cache_entry_is_quarantined_and_recompiled() {
+    let daemon = Daemon::start("integrity");
+    let src = write_temp("integrity.c", DEMO);
+    let remote = daemon.remote_flag();
+    // Only the VM backend caches a bytecode image; corruption of an
+    // interp-backed entry would be invisible.
+    let args = ["--run", "--backend=vm"];
+
+    let cold = run_ompltc(&[], &[&remote, args[0], args[1]], &src);
+    assert_eq!(cold.code, 0, "{}", String::from_utf8_lossy(&cold.stderr));
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 1);
+
+    // `daemon.cache-corrupt` flips a byte in the cached artifact right
+    // before this job's lookup: the checksum catches it, the entry is
+    // quarantined, and the job recompiles — with correct output.
+    let poisoned = run_ompltc(
+        &[],
+        &[
+            &remote,
+            args[0],
+            args[1],
+            "--inject-fault=daemon.cache-corrupt",
+        ],
+        &src,
+    );
+    assert_eq!(poisoned.code, 0);
+    assert_eq!(
+        String::from_utf8_lossy(&poisoned.stdout),
+        String::from_utf8_lossy(&cold.stdout),
+        "recompiled job must not serve corrupted bytecode"
+    );
+    assert_eq!(daemon.cache_counter("daemon.cache.integrity_failures"), 1);
+    assert_eq!(daemon.cache_counter("daemon.cache.misses"), 2);
+
+    // The recompiled artifact is healthy and serves hits again.
+    let warm = run_ompltc(&[], &[&remote, args[0], args[1]], &src);
+    assert_eq!(warm.code, 0);
+    assert_eq!(daemon.cache_counter("daemon.cache.hits"), 1);
+}
+
+#[test]
+fn sigterm_drains_queued_jobs_and_exits_zero() {
+    let mut daemon = Daemon::start_with("drain", &["--workers=2"], &[]);
+    let src = write_temp("drain.c", DEMO);
+
+    // Keep the pool busy so the drain window actually has work to finish.
+    let clients: Vec<Child> = (0..6)
+        .map(|_| {
+            ompltc()
+                .arg(daemon.remote_flag())
+                .arg("--run")
+                .arg(&src)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    let term = Command::new("kill")
+        .arg("-TERM")
+        .arg(daemon.child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    // Every job accepted before the signal still gets its reply. (Clients
+    // racing the signal may be refused and retry against a gone daemon;
+    // those exit 2 with the connect error — but none may hang or crash.)
+    let mut served = 0;
+    for client in clients {
+        let out = client.wait_with_output().expect("client exits");
+        match out.status.code() {
+            Some(0) => {
+                assert_eq!(String::from_utf8_lossy(&out.stdout), "6048\n");
+                served += 1;
+            }
+            Some(2) => {}
+            code => panic!("unexpected client exit {code:?}"),
+        }
+    }
+    assert!(served >= 1, "drain must finish accepted jobs");
+
+    // And the daemon itself exits 0 within the drain window.
+    let mut status = None;
+    for _ in 0..200 {
+        if let Ok(Some(s)) = daemon.child.try_wait() {
+            status = Some(s);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let status = status.expect("daemon exits within the drain window");
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+}
+
+/// The soak: 8 concurrent clients, each cycling through a mixed workload —
+/// warm hits, cold misses, injected ICEs, worker kills, and raw oversized
+/// frames — for 200+ jobs total. Every accepted job gets exactly one reply,
+/// byte-identical to the same invocation against the in-process driver.
+#[test]
+fn soak_mixed_workload_under_eight_concurrent_clients() {
+    let daemon = Daemon::start_with("soak", &["--workers=4"], &[]);
+    let src = write_temp("soak.c", DEMO);
+
+    // Expected captures, one per job shape, from local (in-process) runs.
+    let hit_args = ["--run", "--backend=vm"];
+    let ice_args = ["--run", "--inject-fault=parse.panic"];
+    let kill_args = ["--run", "--backend=vm", "--inject-fault=daemon.worker-kill"];
+    let expect_hit = run_ompltc(&[], &hit_args, &src);
+    let expect_ice = run_ompltc(&[], &ice_args, &src);
+    assert_eq!(expect_hit.code, 0);
+    assert_eq!(expect_ice.code, 3);
+
+    let remote = daemon.remote_flag();
+    let check = |label: String, got: &Capture, want: &Capture| {
+        assert_eq!(got.code, want.code, "[{label}] exit code");
+        assert_eq!(
+            String::from_utf8_lossy(&got.stdout),
+            String::from_utf8_lossy(&want.stdout),
+            "[{label}] stdout"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&got.stderr),
+            String::from_utf8_lossy(&want.stderr),
+            "[{label}] stderr"
+        );
+    };
+
+    const CLIENTS: usize = 8;
+    const JOBS_PER_CLIENT: usize = 26; // 8 × 26 = 208 jobs
+    let socket: &Path = &daemon.socket;
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let remote = remote.clone();
+            let src = src.clone();
+            let (expect_hit, expect_ice) = (&expect_hit, &expect_ice);
+            let check = &check;
+            scope.spawn(move || {
+                for i in 0..JOBS_PER_CLIENT {
+                    let label = format!("soak t{t} job{i}");
+                    match i % 5 {
+                        // Warm hit (after the first round compiles it).
+                        0 => {
+                            let got = run_ompltc(&[], &[&remote, hit_args[0], hit_args[1]], &src);
+                            check(label, &got, expect_hit);
+                        }
+                        // Cold miss: a source no other job compiles.
+                        1 => {
+                            let n = 1000 + t * 100 + i;
+                            let uniq = write_temp(
+                                &format!("soak-{t}-{i}.c"),
+                                &DEMO.replace("i * 3", &format!("i * 3 + {n}")),
+                            );
+                            let want = run_ompltc(&[], &["--run"], &uniq);
+                            assert_eq!(want.code, 0, "[{label}] local oracle");
+                            let got = run_ompltc(&[], &[&remote, "--run"], &uniq);
+                            check(label, &got, &want);
+                        }
+                        // Contained ICE: structured stage/message in the
+                        // reply, rendered client-side exactly like local.
+                        2 => {
+                            let got = run_ompltc(&[], &[&remote, ice_args[0], ice_args[1]], &src);
+                            check(label, &got, expect_ice);
+                        }
+                        // Worker kill: supervisor requeues, reply matches
+                        // the clean local run.
+                        3 => {
+                            let got = run_ompltc(
+                                &[],
+                                &[&remote, kill_args[0], kill_args[1], kill_args[2]],
+                                &src,
+                            );
+                            check(label, &got, expect_hit);
+                        }
+                        // Raw oversized frame: exactly one error reply,
+                        // connection closed, daemon unharmed.
+                        _ => {
+                            let mut s = UnixStream::connect(socket).unwrap();
+                            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+                            let reply = read_frame(&mut s).expect("reply").expect("reply frame");
+                            let reply = String::from_utf8(reply).unwrap();
+                            assert!(reply.contains("exceeds"), "[{label}] {reply}");
+                            assert!(
+                                read_frame(&mut s).expect("EOF after shed").is_none(),
+                                "[{label}] connection must close after an oversized frame"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Post-soak invariants: no worker was lost for good, nothing was
+    // abandoned, and the queue drained.
+    let reply = daemon.request(&Request::Health.render());
+    let health = omplt::protocol::HealthReport::parse(&reply).expect("health report");
+    assert_eq!(health.workers_alive, 4, "all workers alive (or respawned)");
+    assert_eq!(health.abandoned, 0, "no accepted job was lost");
+    assert_eq!(
+        health.respawns, health.requeued,
+        "every single-kill respawn requeued its job"
+    );
+    // Each client ran 5 worker-kill jobs (i % 5 == 3 for i in 0..26), each
+    // killing exactly one worker before its requeued retry succeeds.
+    assert_eq!(health.respawns, (CLIENTS * 5) as u64);
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(health.running, 0);
+}
+
+#[test]
+fn retry_flags_require_remote_and_validate_their_values() {
+    let src = write_temp("retryflags.c", DEMO);
+    let no_remote = run_ompltc(&[], &["--remote-retries=2"], &src);
+    assert_eq!(no_remote.code, 2);
+    assert!(
+        String::from_utf8_lossy(&no_remote.stderr).contains("require '--remote'"),
+        "{}",
+        String::from_utf8_lossy(&no_remote.stderr)
+    );
+    let bad = run_ompltc(
+        &[],
+        &["--remote=/tmp/x.sock", "--remote-backoff-ms=0"],
+        &src,
+    );
+    assert_eq!(bad.code, 2);
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("--remote-backoff-ms"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}
+
+#[test]
 fn vector_width_is_one_token_of_the_cache_key() {
     // `--vector-width` changes the *compiled artifact* (the widening pass
     // runs at bytecode-lowering time), so it must be part of the cache
